@@ -1,0 +1,121 @@
+// The paper's motivating deployment: a distributed database where branch
+// offices keep local, periodically refreshed snapshots of a headquarters
+// table instead of transactionally replicated copies.
+//
+// Two branches snapshot the HQ `accounts` table with their own
+// restrictions; the planner picks the refresh method from workload
+// estimates; a network partition demonstrates why refresh-on-demand beats
+// ASAP propagation for flaky links.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "snapshot/planner.h"
+#include "snapshot/snapshot_manager.h"
+
+using namespace snapdiff;
+
+namespace {
+
+Tuple Account(int64_t id, const char* region, int64_t balance) {
+  return Tuple({Value::Int64(id), Value::String(region),
+                Value::Int64(balance)});
+}
+
+void Report(const char* label, const RefreshStats& stats) {
+  std::printf("  %-28s %5llu data msgs, %4llu frames, %6llu wire bytes\n",
+              label,
+              static_cast<unsigned long long>(stats.data_messages()),
+              static_cast<unsigned long long>(stats.traffic.frames),
+              static_cast<unsigned long long>(stats.traffic.wire_bytes));
+}
+
+}  // namespace
+
+int main() {
+  SnapshotSystem sys;
+  Schema schema({{"Id", TypeId::kInt64, false},
+                 {"Region", TypeId::kString, false},
+                 {"Balance", TypeId::kInt64, false}});
+  BaseTable* accounts = sys.CreateBaseTable("accounts", schema).value();
+
+  // HQ loads 3000 accounts across two regions.
+  Random rng(2026);
+  std::vector<Address> addrs;
+  const char* regions[] = {"WEST", "EAST"};
+  for (int64_t id = 0; id < 3000; ++id) {
+    const char* region = regions[rng.Uniform(2)];
+    addrs.push_back(
+        accounts->Insert(Account(id, region, int64_t(rng.Uniform(100000))))
+            .value());
+  }
+
+  // 1. The CREATE SNAPSHOT-time planning decision the paper describes.
+  RefreshCostModel model;
+  const WorkloadPoint west_estimate{3000, 0.5, 0.02};  // quiet region
+  std::printf("planner: %s\n",
+              ExplainChoice(west_estimate, model, false).c_str());
+
+  // 2. Each branch is its own snapshot site with its own WAN link, holding
+  //    a restricted, projected snapshot.
+  (void)sys.AddSnapshotSite("west");
+  (void)sys.AddSnapshotSite("east");
+  SnapshotOptions opts;
+  opts.method =
+      ChooseRefreshMethod(west_estimate, model, /*has_index=*/false);
+  opts.projection = {"Id", "Balance"};
+  opts.site = "west";
+  (void)sys.CreateSnapshot("west_branch", "accounts", "Region = 'WEST'",
+                           opts)
+      .value();
+  opts.site = "east";
+  (void)sys.CreateSnapshot("east_branch", "accounts", "Region = 'EAST'",
+                           opts)
+      .value();
+
+  std::printf("\ninitial population:\n");
+  Report("west_branch", sys.Refresh("west_branch").value());
+  Report("east_branch", sys.Refresh("east_branch").value());
+
+  // 3. A quiet business day: 1% of accounts see balance changes.
+  for (int i = 0; i < 30; ++i) {
+    const Address victim = addrs[rng.Uniform(addrs.size())];
+    Tuple row = accounts->ReadUserRow(victim).value();
+    (void)accounts->Update(
+        victim, Account(row.value(0).as_int64(),
+                        row.value(1).as_string().c_str(),
+                        int64_t(rng.Uniform(100000))));
+  }
+  std::printf("\nafter a quiet day (~1%% updated), differential refresh:\n");
+  Report("west_branch", sys.Refresh("west_branch").value());
+  Report("east_branch", sys.Refresh("east_branch").value());
+
+  // 4. The WAN link to the west branch drops (east is unaffected).
+  //    Refresh-on-demand just waits; when the link heals, one refresh
+  //    catches up.
+  (void)sys.SetSitePartitioned("west", true);
+  for (int i = 0; i < 50; ++i) {
+    const Address victim = addrs[rng.Uniform(addrs.size())];
+    Tuple row = accounts->ReadUserRow(victim).value();
+    (void)accounts->Update(
+        victim, Account(row.value(0).as_int64(),
+                        row.value(1).as_string().c_str(),
+                        int64_t(rng.Uniform(100000))));
+  }
+  auto blocked = sys.Refresh("west_branch");
+  std::printf("\nduring the partition, refresh fails cleanly: %s\n",
+              blocked.status().ToString().c_str());
+  (void)sys.SetSitePartitioned("west", false);
+  std::printf("after the link heals, one refresh catches up:\n");
+  Report("west_branch", sys.Refresh("west_branch").value());
+
+  // 5. Branch analysts can layer further snapshots locally (cascade,
+  //    hosted at the same branch site).
+  SnapshotOptions vip;
+  vip.site = "west";
+  (void)sys.CreateSnapshot("west_vip", "west_branch", "Balance >= 90000",
+                           vip)
+      .value();
+  Report("west_vip (cascade)", sys.Refresh("west_vip").value());
+  return 0;
+}

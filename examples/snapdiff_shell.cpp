@@ -1,0 +1,280 @@
+// A miniature interactive shell over the public API — the quickest way to
+// poke at the system. Reads commands from stdin (or pipe a script in):
+//
+//   create table emp (Name STRING, Salary INT64)
+//   insert emp 'Laura' 6
+//   insert emp 'Bruce' 15
+//   create snapshot low on emp where Salary < 10
+//   refresh low
+//   show low
+//   update emp p0.s0 'Laura' 12
+//   delete emp p0.s1
+//   refresh low
+//   stats
+//   quit
+//
+// Try piping a script in:
+//   printf "create table t (N STRING, S INT64)\ninsert t 'a' 1\nquit\n" |
+//       ./build/examples/snapdiff_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot_manager.h"
+
+using namespace snapdiff;
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\'') {
+        out.push_back("'" + cur);  // marker prefix: string literal
+        cur.clear();
+        in_string = false;
+      } else {
+        cur.push_back(c);
+      }
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+    } else if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+               c == ')' || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Result<TypeId> ParseType(const std::string& t) {
+  if (t == "STRING") return TypeId::kString;
+  if (t == "INT64") return TypeId::kInt64;
+  if (t == "DOUBLE") return TypeId::kDouble;
+  if (t == "BOOL") return TypeId::kBool;
+  return Status::InvalidArgument("unknown type " + t +
+                                 " (STRING|INT64|DOUBLE|BOOL)");
+}
+
+Result<Address> ParseAddr(const std::string& s) {
+  // pX.sY
+  if (s.size() < 4 || s[0] != 'p') {
+    return Status::InvalidArgument("address must look like p0.s3");
+  }
+  const size_t dot = s.find(".s");
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument("address must look like p0.s3");
+  }
+  return Address::FromPageSlot(
+      static_cast<PageId>(std::stoul(s.substr(1, dot - 1))),
+      static_cast<SlotId>(std::stoul(s.substr(dot + 2))));
+}
+
+Result<Value> ParseValueFor(const Column& col, const std::string& token) {
+  const bool is_string_literal = !token.empty() && token[0] == '\'';
+  switch (col.type) {
+    case TypeId::kString:
+      return Value::String(is_string_literal ? token.substr(1) : token);
+    case TypeId::kInt64:
+      return Value::Int64(std::stoll(token));
+    case TypeId::kDouble:
+      return Value::Double(std::stod(token));
+    case TypeId::kBool:
+      return Value::Bool(token == "true" || token == "TRUE");
+    default:
+      return Status::NotSupported("type not supported in shell");
+  }
+}
+
+Result<Tuple> ParseRow(const Schema& user_schema,
+                       const std::vector<std::string>& tokens,
+                       size_t first) {
+  std::vector<Value> values;
+  for (size_t i = 0; i < user_schema.column_count(); ++i) {
+    if (first + i >= tokens.size()) {
+      return Status::InvalidArgument("expected " +
+                                     std::to_string(
+                                         user_schema.column_count()) +
+                                     " values");
+    }
+    ASSIGN_OR_RETURN(Value v, ParseValueFor(user_schema.column(i),
+                                            tokens[first + i]));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+class Shell {
+ public:
+  /// Executes one command line; returns false on `quit`.
+  bool Execute(const std::string& line) {
+    if (line.empty() || line[0] == '#') return true;
+    std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) return true;
+    if (tok[0] == "quit" || tok[0] == "exit") return false;
+    Status st = Dispatch(line, tok);
+    if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+    return true;
+  }
+
+ private:
+  Status Dispatch(const std::string& line,
+                  const std::vector<std::string>& tok) {
+    if (tok[0] == "create" && tok.size() >= 3 && tok[1] == "table") {
+      return CreateTable(tok);
+    }
+    if (tok[0] == "create" && tok.size() >= 3 && tok[1] == "snapshot") {
+      return CreateSnap(line, tok);
+    }
+    if (tok[0] == "insert") return Insert(tok);
+    if (tok[0] == "update") return Update(tok);
+    if (tok[0] == "delete") return Delete(tok);
+    if (tok[0] == "refresh") return Refresh(tok);
+    if (tok[0] == "show") return Show(tok);
+    if (tok[0] == "stats") return Stats();
+    return Status::InvalidArgument("unknown command: " + tok[0]);
+  }
+
+  Status CreateTable(const std::vector<std::string>& tok) {
+    // create table <name> ( Col TYPE [, ...] )
+    if (tok.size() < 5 || (tok.size() - 3) % 2 != 0) {
+      return Status::InvalidArgument(
+          "usage: create table <name> (Col TYPE, ...)");
+    }
+    std::vector<Column> cols;
+    for (size_t i = 3; i + 1 < tok.size(); i += 2) {
+      ASSIGN_OR_RETURN(TypeId type, ParseType(tok[i + 1]));
+      cols.push_back({tok[i], type, /*nullable=*/true});
+    }
+    RETURN_IF_ERROR(sys_.CreateBaseTable(tok[2], Schema(cols)).status());
+    std::printf("table %s created (%zu columns)\n", tok[2].c_str(),
+                cols.size());
+    return Status::OK();
+  }
+
+  Status CreateSnap(const std::string& line,
+                    const std::vector<std::string>& tok) {
+    // create snapshot <name> on <table> where <predicate...>
+    if (tok.size() < 7 || tok[3] != "on" || tok[5] != "where") {
+      return Status::InvalidArgument(
+          "usage: create snapshot <name> on <table> where <predicate>");
+    }
+    const size_t where = line.find(" where ");
+    RETURN_IF_ERROR(
+        sys_.CreateSnapshot(tok[2], tok[4], line.substr(where + 7))
+            .status());
+    std::printf("snapshot %s created over %s\n", tok[2].c_str(),
+                tok[4].c_str());
+    return Status::OK();
+  }
+
+  Status Insert(const std::vector<std::string>& tok) {
+    if (tok.size() < 2) return Status::InvalidArgument("usage: insert <table> <values...>");
+    ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
+    ASSIGN_OR_RETURN(Tuple row, ParseRow(table->user_schema(), tok, 2));
+    ASSIGN_OR_RETURN(Address addr, table->Insert(row));
+    std::printf("inserted at %s\n", addr.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Update(const std::vector<std::string>& tok) {
+    if (tok.size() < 3) {
+      return Status::InvalidArgument("usage: update <table> <addr> <values...>");
+    }
+    ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
+    ASSIGN_OR_RETURN(Address addr, ParseAddr(tok[2]));
+    ASSIGN_OR_RETURN(Tuple row, ParseRow(table->user_schema(), tok, 3));
+    RETURN_IF_ERROR(table->Update(addr, row));
+    std::printf("updated %s\n", addr.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Delete(const std::vector<std::string>& tok) {
+    if (tok.size() != 3) {
+      return Status::InvalidArgument("usage: delete <table> <addr>");
+    }
+    ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
+    ASSIGN_OR_RETURN(Address addr, ParseAddr(tok[2]));
+    RETURN_IF_ERROR(table->Delete(addr));
+    std::printf("deleted %s\n", addr.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Refresh(const std::vector<std::string>& tok) {
+    if (tok.size() != 2) return Status::InvalidArgument("usage: refresh <snapshot>");
+    ASSIGN_OR_RETURN(RefreshStats stats, sys_.Refresh(tok[1]));
+    std::printf("refreshed %s: %s\n", tok[1].c_str(),
+                stats.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Show(const std::vector<std::string>& tok) {
+    if (tok.size() != 2) return Status::InvalidArgument("usage: show <snapshot|table>");
+    auto snap = sys_.GetSnapshot(tok[1]);
+    if (snap.ok()) {
+      ASSIGN_OR_RETURN(auto contents, (*snap)->Contents());
+      std::printf("%s (SnapTime %lld, %zu rows)\n", tok[1].c_str(),
+                  static_cast<long long>((*snap)->snap_time()),
+                  contents.size());
+      for (const auto& [addr, row] : contents) {
+        std::printf("  %-10s %s\n", addr.ToString().c_str(),
+                    row.ToString((*snap)->value_schema()).c_str());
+      }
+      return Status::OK();
+    }
+    ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
+    std::printf("%s (%llu rows)\n", tok[1].c_str(),
+                static_cast<unsigned long long>(table->live_rows()));
+    return table->ScanAnnotated(
+        [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+          std::printf("  %-10s %s\n", addr.ToString().c_str(),
+                      row.user.ToString(table->user_schema()).c_str());
+          return Status::OK();
+        });
+  }
+
+  Status Stats() {
+    const ChannelStats& s = sys_.data_channel()->stats();
+    std::printf(
+        "channel: %llu msgs (%llu entry / %llu delete / %llu control), "
+        "%llu frames, %llu wire bytes\n",
+        static_cast<unsigned long long>(s.messages),
+        static_cast<unsigned long long>(s.entry_messages),
+        static_cast<unsigned long long>(s.delete_messages),
+        static_cast<unsigned long long>(s.control_messages),
+        static_cast<unsigned long long>(s.frames),
+        static_cast<unsigned long long>(s.wire_bytes));
+    return Status::OK();
+  }
+
+  SnapshotSystem sys_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("snapdiff shell — 'quit' to exit\n");
+  Shell shell;
+  std::string line;
+  while (true) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Execute(line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "analysis/analytic_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace snapdiff {
+
+namespace {
+
+void CheckPoint(const WorkloadPoint& p) {
+  SNAPDIFF_DCHECK(p.selectivity >= 0.0 && p.selectivity <= 1.0);
+  SNAPDIFF_DCHECK(p.update_fraction >= 0.0 && p.update_fraction <= 1.0);
+}
+
+}  // namespace
+
+double ExpectedFullMessages(const WorkloadPoint& p) {
+  CheckPoint(p);
+  // Full refresh retransmits the entire qualified set, independent of u.
+  return p.selectivity * static_cast<double>(p.table_size);
+}
+
+double ExpectedIdealMessages(const WorkloadPoint& p) {
+  CheckPoint(p);
+  // Per updated entry (probability u):
+  //   after-state qualifies  (prob q)        → one UPSERT
+  //   before qualified, after does not (q·(1−q)) → one DELETE
+  // Non-updated entries cost nothing.
+  const double n = static_cast<double>(p.table_size);
+  const double q = p.selectivity;
+  const double u = p.update_fraction;
+  return n * u * (q + q * (1.0 - q));
+}
+
+double ExpectedDifferentialMessages(const WorkloadPoint& p) {
+  CheckPoint(p);
+  // A currently-qualified entry E is transmitted iff
+  //   (a) E itself was updated (its TimeStamp > SnapTime), or
+  //   (b) the Deletion flag is set on arrival at E: some entry in the run
+  //       of currently-unqualified entries immediately preceding E was
+  //       updated.
+  // With per-entry update probability u and i.i.d. qualification q, the
+  // run length G before a qualified entry is Geometric: P(G=g) = q(1−q)^g.
+  //   P(E not transmitted) = (1−u) · E[(1−u)^G]
+  //                        = (1−u) · q / (1 − (1−q)(1−u)).
+  // Expected messages = q·N · (1 − that). Deletions at the tail ride on the
+  // closing END_OF_REFRESH control message and are not counted here.
+  const double n = static_cast<double>(p.table_size);
+  const double q = p.selectivity;
+  const double u = p.update_fraction;
+  if (q <= 0.0) return 0.0;
+  const double denom = 1.0 - (1.0 - q) * (1.0 - u);
+  if (denom <= 0.0) return 0.0;  // q == 0 && u == 0
+  const double p_not_sent = (1.0 - u) * q / denom;
+  return n * q * (1.0 - p_not_sent);
+}
+
+double ExpectedFullPercent(const WorkloadPoint& p) {
+  return 100.0 * ExpectedFullMessages(p) / static_cast<double>(p.table_size);
+}
+
+double ExpectedIdealPercent(const WorkloadPoint& p) {
+  return 100.0 * ExpectedIdealMessages(p) / static_cast<double>(p.table_size);
+}
+
+double ExpectedDifferentialPercent(const WorkloadPoint& p) {
+  return 100.0 * ExpectedDifferentialMessages(p) /
+         static_cast<double>(p.table_size);
+}
+
+double SuperfluousFraction(const WorkloadPoint& p) {
+  const double diff = ExpectedDifferentialMessages(p);
+  if (diff <= 0.0) return 0.0;
+  // Ideal's *upserts* are the necessary qualified-entry transmissions; the
+  // differential algorithm's excess over them is superfluous.
+  const double necessary = static_cast<double>(p.table_size) *
+                           p.update_fraction * p.selectivity;
+  return std::max(0.0, (diff - necessary) / diff);
+}
+
+}  // namespace snapdiff

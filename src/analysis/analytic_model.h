@@ -1,0 +1,50 @@
+#ifndef SNAPDIFF_ANALYSIS_ANALYTIC_MODEL_H_
+#define SNAPDIFF_ANALYSIS_ANALYTIC_MODEL_H_
+
+#include <cstdint>
+
+namespace snapdiff {
+
+/// The workload model behind Figures 8 and 9 ("Both simulation and
+/// analysis show that the above hypothesis is true"):
+///
+///   * N entries; each qualifies for the snapshot independently with
+///     probability q (the restriction selects a uniformly random value
+///     attribute against a threshold);
+///   * between two refreshes a fraction u of *distinct* entries is updated
+///     exactly once; an update redraws the restricted attribute, so the
+///     updated entry qualifies again with probability q, independently.
+///
+/// Expected data messages per refresh (derivations in analytic_model.cc):
+///   full          q·N                               (every qualified entry)
+///   ideal         u·q·N + u·q·(1−q)·N = u·q·(2−q)·N (upserts + deletes)
+///   differential  q·N·(1 − (1−u)·q / (1 − (1−q)(1−u)))
+///
+/// The differential term is the probability that a currently-qualified
+/// entry is transmitted: it escapes transmission only when it was not
+/// updated AND no entry in the run of unqualified entries immediately
+/// before it was updated (run length ~ Geometric(q)).
+struct WorkloadPoint {
+  uint64_t table_size;     // N
+  double selectivity;      // q ∈ [0, 1]
+  double update_fraction;  // u ∈ [0, 1]
+};
+
+double ExpectedFullMessages(const WorkloadPoint& p);
+double ExpectedIdealMessages(const WorkloadPoint& p);
+double ExpectedDifferentialMessages(const WorkloadPoint& p);
+
+/// The same quantities as percentages of the base-table size — the y-axis
+/// of Figures 8 and 9.
+double ExpectedFullPercent(const WorkloadPoint& p);
+double ExpectedIdealPercent(const WorkloadPoint& p);
+double ExpectedDifferentialPercent(const WorkloadPoint& p);
+
+/// Fraction of differential's qualified-entry messages that the ideal
+/// algorithm would not have sent (the "superfluous message" rate the paper
+/// discusses for restrictive snapshots).
+double SuperfluousFraction(const WorkloadPoint& p);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_ANALYSIS_ANALYTIC_MODEL_H_

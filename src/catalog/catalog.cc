@@ -1,0 +1,115 @@
+#include "catalog/catalog.h"
+
+namespace snapdiff {
+
+Result<TableInfo*> Catalog::CreateTable(std::string_view name, Schema schema,
+                                        PlacementPolicy policy) {
+  const std::string key(name);
+  if (by_name_.contains(key)) {
+    return Status::AlreadyExists("table " + key + " already exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = next_id_++;
+  info->name = key;
+  info->schema = std::move(schema);
+  info->heap = std::make_unique<TableHeap>(pool_, policy,
+                                           /*seed=*/0x7ab1e ^ info->id);
+  TableInfo* ptr = info.get();
+  by_id_[info->id] = ptr;
+  by_name_[key] = std::move(info);
+  return ptr;
+}
+
+Result<TableInfo*> Catalog::AttachTable(std::string_view name, Schema schema,
+                                        std::vector<PageId> pages,
+                                        PlacementPolicy policy, TableId id) {
+  const std::string key(name);
+  if (by_name_.contains(key)) {
+    return Status::AlreadyExists("table " + key + " already exists");
+  }
+  if (id != 0 && by_id_.contains(id)) {
+    return Status::AlreadyExists("table id " + std::to_string(id) +
+                                 " already in use");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = id != 0 ? id : next_id_++;
+  if (id >= next_id_) next_id_ = id + 1;
+  info->name = key;
+  info->schema = std::move(schema);
+  ASSIGN_OR_RETURN(info->heap,
+                   TableHeap::Attach(pool_, std::move(pages), policy,
+                                     /*seed=*/0x7ab1e ^ info->id));
+  TableInfo* ptr = info.get();
+  by_id_[info->id] = ptr;
+  by_name_[key] = std::move(info);
+  return ptr;
+}
+
+Result<TableInfo*> Catalog::GetTable(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named " + std::string(name));
+  }
+  return it->second.get();
+}
+
+Result<TableInfo*> Catalog::GetTableById(TableId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named " + std::string(name));
+  }
+  by_id_.erase(it->second->id);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::AddAnnotationColumns(TableInfo* table) {
+  ASSIGN_OR_RETURN(Schema annotated, table->schema.WithAnnotations());
+  table->schema = std::move(annotated);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, info] : by_name_) names.push_back(name);
+  return names;
+}
+
+Result<Address> InsertRow(TableInfo* table, const Tuple& row) {
+  ASSIGN_OR_RETURN(std::string bytes, row.Serialize(table->schema));
+  return table->heap->Insert(bytes);
+}
+
+Result<Tuple> ReadRow(TableInfo* table, Address addr) {
+  ASSIGN_OR_RETURN(std::string bytes, table->heap->Get(addr));
+  return Tuple::Deserialize(table->schema, bytes);
+}
+
+Status UpdateRow(TableInfo* table, Address addr, const Tuple& row) {
+  ASSIGN_OR_RETURN(std::string bytes, row.Serialize(table->schema));
+  return table->heap->Update(addr, bytes);
+}
+
+Status DeleteRow(TableInfo* table, Address addr) {
+  return table->heap->Delete(addr);
+}
+
+Status ScanRows(TableInfo* table,
+                const std::function<Status(Address, const Tuple&)>& fn) {
+  return table->heap->ForEach(
+      [&](Address addr, std::string_view bytes) -> Status {
+        ASSIGN_OR_RETURN(Tuple row, Tuple::Deserialize(table->schema, bytes));
+        return fn(addr, row);
+      });
+}
+
+}  // namespace snapdiff

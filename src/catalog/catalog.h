@@ -1,0 +1,92 @@
+#ifndef SNAPDIFF_CATALOG_CATALOG_H_
+#define SNAPDIFF_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_heap.h"
+
+namespace snapdiff {
+
+/// A table registered in the catalog: schema + backing heap.
+struct TableInfo {
+  TableId id;
+  std::string name;
+  Schema schema;
+  std::unique_ptr<TableHeap> heap;
+};
+
+/// Owns the tables of one database site. The snapshot machinery adds the
+/// funny annotation columns via `AddAnnotationColumns` when the first
+/// differential snapshot on a table is created (mirroring R*); existing
+/// tuples are untouched — they deserialize with NULL annotations.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<TableInfo*> CreateTable(
+      std::string_view name, Schema schema,
+      PlacementPolicy policy = PlacementPolicy::kFirstFit);
+
+  /// Re-registers a table whose pages already exist on the (durable)
+  /// disk backing this catalog's buffer pool — the restart path.
+  /// `id` = 0 assigns a fresh table id; a non-zero id restores the
+  /// original one (so WAL records keep resolving).
+  Result<TableInfo*> AttachTable(
+      std::string_view name, Schema schema, std::vector<PageId> pages,
+      PlacementPolicy policy = PlacementPolicy::kFirstFit, TableId id = 0);
+
+  Result<TableInfo*> GetTable(std::string_view name);
+  Result<TableInfo*> GetTableById(TableId id);
+
+  Status DropTable(std::string_view name);
+
+  /// Appends $PREVADDR$ / $TIMESTAMP$ to the table's schema without touching
+  /// stored tuples. Idempotent-unfriendly by design: fails with
+  /// AlreadyExists if the columns are present.
+  Status AddAnnotationColumns(TableInfo* table);
+
+  std::vector<std::string> TableNames() const;
+
+  BufferPool* buffer_pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  TableId next_id_ = 1;
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> by_name_;
+  std::unordered_map<TableId, TableInfo*> by_id_;
+};
+
+/// Row-level helpers that marry Schema-directed serialization to TableHeap.
+
+/// Serializes `row` against the table schema and inserts it.
+Result<Address> InsertRow(TableInfo* table, const Tuple& row);
+
+/// Reads and deserializes the row at `addr`.
+Result<Tuple> ReadRow(TableInfo* table, Address addr);
+
+/// Serializes `row` and overwrites the row at `addr` in place.
+Status UpdateRow(TableInfo* table, Address addr, const Tuple& row);
+
+/// Deletes the row at `addr`.
+Status DeleteRow(TableInfo* table, Address addr);
+
+/// Calls `fn(addr, row)` for every live row in address order.
+Status ScanRows(TableInfo* table,
+                const std::function<Status(Address, const Tuple&)>& fn);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_CATALOG_CATALOG_H_

@@ -1,0 +1,166 @@
+#include "catalog/catalog_persistence.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace snapdiff {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'C', 'A', 'T', 'L', 'G', '1'};
+// Superblock layout: magic(8) + blob_len(4) + page_count(4) + page ids.
+constexpr size_t kSuperblockHeader = 8 + 4 + 4;
+constexpr size_t kMaxMetadataPages =
+    (Page::kPageSize - kSuperblockHeader) / 4;
+
+std::string SerializeCatalog(Catalog* catalog) {
+  std::vector<std::string> names = catalog->TableNames();
+  std::sort(names.begin(), names.end());
+  std::string blob;
+  PutFixed32(&blob, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    TableInfo* info = catalog->GetTable(name).value();
+    PutLengthPrefixed(&blob, name);
+    PutFixed32(&blob, info->id);
+    blob.push_back(static_cast<char>(info->heap->policy()));
+    PutFixed32(&blob, static_cast<uint32_t>(info->schema.column_count()));
+    for (const Column& col : info->schema.columns()) {
+      PutLengthPrefixed(&blob, col.name);
+      blob.push_back(static_cast<char>(col.type));
+      blob.push_back(col.nullable ? 1 : 0);
+    }
+    const std::vector<PageId>& pages = info->heap->pages();
+    PutFixed32(&blob, static_cast<uint32_t>(pages.size()));
+    for (PageId p : pages) PutFixed32(&blob, p);
+  }
+  return blob;
+}
+
+Status DeserializeInto(Catalog* catalog, std::string_view blob) {
+  uint32_t table_count = 0;
+  RETURN_IF_ERROR(GetFixed32(&blob, &table_count));
+  for (uint32_t t = 0; t < table_count; ++t) {
+    std::string name;
+    RETURN_IF_ERROR(GetLengthPrefixed(&blob, &name));
+    uint32_t id = 0;
+    RETURN_IF_ERROR(GetFixed32(&blob, &id));
+    if (blob.empty()) return Status::Corruption("catalog blob underflow");
+    const auto policy = static_cast<PlacementPolicy>(blob[0]);
+    blob.remove_prefix(1);
+    uint32_t column_count = 0;
+    RETURN_IF_ERROR(GetFixed32(&blob, &column_count));
+    std::vector<Column> columns;
+    columns.reserve(column_count);
+    for (uint32_t c = 0; c < column_count; ++c) {
+      Column col;
+      RETURN_IF_ERROR(GetLengthPrefixed(&blob, &col.name));
+      if (blob.size() < 2) return Status::Corruption("column underflow");
+      col.type = static_cast<TypeId>(blob[0]);
+      col.nullable = blob[1] != 0;
+      blob.remove_prefix(2);
+      columns.push_back(std::move(col));
+    }
+    uint32_t page_count = 0;
+    RETURN_IF_ERROR(GetFixed32(&blob, &page_count));
+    std::vector<PageId> pages;
+    pages.reserve(page_count);
+    for (uint32_t p = 0; p < page_count; ++p) {
+      uint32_t page = 0;
+      RETURN_IF_ERROR(GetFixed32(&blob, &page));
+      pages.push_back(page);
+    }
+    RETURN_IF_ERROR(catalog
+                        ->AttachTable(name, Schema(std::move(columns)),
+                                      std::move(pages), policy, id)
+                        .status());
+  }
+  if (!blob.empty()) return Status::Corruption("trailing catalog bytes");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock) {
+  const std::string blob = SerializeCatalog(catalog);
+
+  // Reuse the existing metadata pages when possible.
+  std::vector<PageId> meta_pages;
+  char sb[Page::kPageSize];
+  RETURN_IF_ERROR(disk->ReadPage(superblock, sb));
+  if (std::memcmp(sb, kMagic, sizeof(kMagic)) == 0) {
+    uint32_t old_count = 0;
+    std::memcpy(&old_count, sb + 12, 4);
+    for (uint32_t i = 0; i < old_count; ++i) {
+      uint32_t page = 0;
+      std::memcpy(&page, sb + kSuperblockHeader + 4 * i, 4);
+      meta_pages.push_back(page);
+    }
+  }
+  const size_t needed = (blob.size() + Page::kPageSize - 1) / Page::kPageSize;
+  if (needed > kMaxMetadataPages) {
+    return Status::ResourceExhausted("catalog metadata too large");
+  }
+  while (meta_pages.size() < needed) {
+    ASSIGN_OR_RETURN(PageId p, disk->AllocatePage());
+    meta_pages.push_back(p);
+  }
+
+  // Write the blob across the metadata pages.
+  for (size_t i = 0; i < needed; ++i) {
+    char buf[Page::kPageSize];
+    std::memset(buf, 0, sizeof(buf));
+    const size_t offset = i * Page::kPageSize;
+    const size_t len = std::min(Page::kPageSize, blob.size() - offset);
+    std::memcpy(buf, blob.data() + offset, len);
+    RETURN_IF_ERROR(disk->WritePage(meta_pages[i], buf));
+  }
+
+  // Publish via the superblock (single page write = atomic switch-over in
+  // this model).
+  std::memset(sb, 0, sizeof(sb));
+  std::memcpy(sb, kMagic, sizeof(kMagic));
+  const uint32_t blob_len = static_cast<uint32_t>(blob.size());
+  std::memcpy(sb + 8, &blob_len, 4);
+  const uint32_t page_count = static_cast<uint32_t>(meta_pages.size());
+  std::memcpy(sb + 12, &page_count, 4);
+  for (size_t i = 0; i < meta_pages.size(); ++i) {
+    const uint32_t page = meta_pages[i];
+    std::memcpy(sb + kSuperblockHeader + 4 * i, &page, 4);
+  }
+  return disk->WritePage(superblock, sb);
+}
+
+Status LoadCatalog(Catalog* catalog, DiskManager* disk, PageId superblock) {
+  char sb[Page::kPageSize];
+  RETURN_IF_ERROR(disk->ReadPage(superblock, sb));
+  if (std::memcmp(sb, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("superblock has no catalog");
+  }
+  uint32_t blob_len = 0;
+  std::memcpy(&blob_len, sb + 8, 4);
+  uint32_t page_count = 0;
+  std::memcpy(&page_count, sb + 12, 4);
+  if (page_count > kMaxMetadataPages ||
+      blob_len > page_count * Page::kPageSize) {
+    return Status::Corruption("superblock metadata bounds are inconsistent");
+  }
+  std::string blob;
+  blob.reserve(blob_len);
+  for (uint32_t i = 0; i < page_count && blob.size() < blob_len; ++i) {
+    uint32_t page = 0;
+    std::memcpy(&page, sb + kSuperblockHeader + 4 * i, 4);
+    char buf[Page::kPageSize];
+    RETURN_IF_ERROR(disk->ReadPage(page, buf));
+    const size_t len =
+        std::min<size_t>(Page::kPageSize, blob_len - blob.size());
+    blob.append(buf, len);
+  }
+  if (blob.size() != blob_len) {
+    return Status::Corruption("catalog blob truncated");
+  }
+  return DeserializeInto(catalog, blob);
+}
+
+}  // namespace snapdiff

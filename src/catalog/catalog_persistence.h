@@ -1,0 +1,30 @@
+#ifndef SNAPDIFF_CATALOG_CATALOG_PERSISTENCE_H_
+#define SNAPDIFF_CATALOG_CATALOG_PERSISTENCE_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+
+/// Durable catalog metadata: table names, ids, schemas (including the funny
+/// annotation columns), placement policies, and page lists, written through
+/// a fixed *superblock* page so a restarted site can reattach every table
+/// from the disk file alone.
+///
+/// Layout: the superblock (a caller-reserved page, conventionally page 0)
+/// holds a magic, the metadata byte length, and the ids of the metadata
+/// pages; the serialized metadata blob spans those pages. Each SaveCatalog
+/// call reuses previously allocated metadata pages when the blob still
+/// fits and allocates more when it grew (old pages are never reclaimed —
+/// catalog metadata is tiny relative to data).
+Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock);
+
+/// Reads the superblock and reattaches every recorded table into `catalog`
+/// (which must not already contain any of them). Buffer-pool contents are
+/// untouched; table heaps recompute their live counts by scanning.
+Status LoadCatalog(Catalog* catalog, DiskManager* disk, PageId superblock);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_CATALOG_CATALOG_PERSISTENCE_H_

@@ -1,0 +1,63 @@
+#include "catalog/key_encoding.h"
+
+#include <cstring>
+
+namespace snapdiff {
+
+namespace {
+
+void PutBigEndian64(std::string* dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+Status EncodeOrderPreserving(const Value& v, std::string* dst) {
+  if (v.is_null()) {
+    return Status::InvalidArgument("cannot encode NULL as an index key");
+  }
+  switch (v.type()) {
+    case TypeId::kBool:
+      dst->push_back(v.as_bool() ? 1 : 0);
+      return Status::OK();
+    case TypeId::kInt64: {
+      const uint64_t bits =
+          static_cast<uint64_t>(v.as_int64()) ^ (1ULL << 63);
+      PutBigEndian64(dst, bits);
+      return Status::OK();
+    }
+    case TypeId::kDouble: {
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;  // normalize -0.0 so it equals +0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      // Positive values: set the sign bit; negatives: invert everything.
+      bits = (bits & (1ULL << 63)) ? ~bits : (bits | (1ULL << 63));
+      PutBigEndian64(dst, bits);
+      return Status::OK();
+    }
+    case TypeId::kString:
+      dst->append(v.as_string());
+      return Status::OK();
+    case TypeId::kTimestamp: {
+      const uint64_t bits =
+          static_cast<uint64_t>(v.as_timestamp()) ^ (1ULL << 63);
+      PutBigEndian64(dst, bits);
+      return Status::OK();
+    }
+    case TypeId::kAddress:
+      PutBigEndian64(dst, v.as_address().raw());
+      return Status::OK();
+  }
+  return Status::Internal("bad type in EncodeOrderPreserving");
+}
+
+Result<std::string> OrderPreservingKey(const Value& v) {
+  std::string out;
+  RETURN_IF_ERROR(EncodeOrderPreserving(v, &out));
+  return out;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,35 @@
+#ifndef SNAPDIFF_CATALOG_KEY_ENCODING_H_
+#define SNAPDIFF_CATALOG_KEY_ENCODING_H_
+
+#include <string>
+
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace snapdiff {
+
+/// Order-preserving ("memcomparable") encoding of a Value: for any two
+/// non-NULL values a, b of the same type,
+///   bytes(a) < bytes(b)  ⇔  a.Compare(b) < 0
+/// under plain lexicographic byte comparison. Used as the key format of
+/// secondary indexes so a B+-tree over raw bytes yields value order.
+///
+/// Encodings:
+///   BOOL       1 byte, 0/1
+///   INT64      8 bytes big-endian with the sign bit flipped
+///   DOUBLE     8 bytes big-endian of the IEEE bits, negatives bit-inverted
+///              (total order; -0.0 and +0.0 compare equal as in Compare)
+///   STRING     the raw bytes (lexicographic; prefix sorts first)
+///   TIMESTAMP  like INT64
+///   ADDRESS    8 bytes big-endian of the raw address
+///
+/// NULLs are not encodable (indexes skip NULL keys, mirroring the join's
+/// NULL semantics); encoding one fails with InvalidArgument.
+Status EncodeOrderPreserving(const Value& v, std::string* dst);
+
+/// Convenience wrapper returning the encoded bytes.
+Result<std::string> OrderPreservingKey(const Value& v);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_CATALOG_KEY_ENCODING_H_

@@ -1,0 +1,184 @@
+#include "catalog/tuple.h"
+
+#include "common/coding.h"
+
+namespace snapdiff {
+
+Result<Value> Tuple::Get(const Schema& schema, std::string_view name) const {
+  ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+  if (idx >= values_.size()) {
+    return Status::InvalidArgument("tuple narrower than schema");
+  }
+  return values_[idx];
+}
+
+Result<std::string> Tuple::Serialize(const Schema& schema) const {
+  if (values_.size() != schema.column_count()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(values_.size()) + " fields, schema " +
+        std::to_string(schema.column_count()));
+  }
+  const size_t n = values_.size();
+  std::string out;
+  PutFixed16(&out, static_cast<uint16_t>(n));
+  std::string bitmap((n + 7) / 8, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    const Column& col = schema.column(i);
+    const Value& v = values_[i];
+    if (v.type() != col.type) {
+      return Status::InvalidArgument("column " + col.name + " expects " +
+                                     std::string(TypeIdToString(col.type)) +
+                                     ", got " +
+                                     std::string(TypeIdToString(v.type())));
+    }
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("column " + col.name +
+                                       " is NOT NULL");
+      }
+      bitmap[i / 8] |= static_cast<char>(1 << (i % 8));
+    }
+  }
+  out += bitmap;
+  // NULL fields still occupy their fixed width (zeros; a NULL string is an
+  // empty string slot). This keeps a tuple's serialized size independent of
+  // NULL-ness, so the refresh fix-up can replace NULL annotations in place
+  // without ever growing the row — the property that lets R* update the
+  // funny fields of a packed page.
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = values_[i];
+    switch (schema.column(i).type) {
+      case TypeId::kBool:
+        out.push_back(!v.is_null() && v.as_bool() ? 1 : 0);
+        break;
+      case TypeId::kInt64:
+        PutFixed64(&out,
+                   v.is_null() ? 0 : static_cast<uint64_t>(v.as_int64()));
+        break;
+      case TypeId::kDouble:
+        PutDouble(&out, v.is_null() ? 0.0 : v.as_double());
+        break;
+      case TypeId::kString:
+        PutLengthPrefixed(&out, v.is_null() ? std::string_view()
+                                            : std::string_view(v.as_string()));
+        break;
+      case TypeId::kTimestamp:
+        PutFixed64(&out, v.is_null()
+                             ? 0
+                             : static_cast<uint64_t>(v.as_timestamp()));
+        break;
+      case TypeId::kAddress:
+        PutFixed64(&out, v.is_null() ? 0 : v.as_address().raw());
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Tuple> Tuple::Deserialize(const Schema& schema,
+                                 std::string_view bytes) {
+  std::string_view in = bytes;
+  uint16_t stored = 0;
+  RETURN_IF_ERROR(GetFixed16(&in, &stored));
+  if (stored > schema.column_count()) {
+    return Status::Corruption("tuple wider than schema");
+  }
+  const size_t bitmap_len = (stored + 7) / 8;
+  if (in.size() < bitmap_len) return Status::Corruption("bitmap underflow");
+  std::string_view bitmap = in.substr(0, bitmap_len);
+  in.remove_prefix(bitmap_len);
+
+  std::vector<Value> values;
+  values.reserve(schema.column_count());
+  for (size_t i = 0; i < stored; ++i) {
+    const Column& col = schema.column(i);
+    const bool null = (bitmap[i / 8] >> (i % 8)) & 1;
+    // NULL fields still occupy their slot (see Serialize); consume it.
+    switch (col.type) {
+      case TypeId::kBool: {
+        if (in.empty()) return Status::Corruption("bool underflow");
+        const bool b = in[0] != 0;
+        in.remove_prefix(1);
+        values.push_back(null ? Value::Null(col.type) : Value::Bool(b));
+        break;
+      }
+      case TypeId::kInt64: {
+        uint64_t raw = 0;
+        RETURN_IF_ERROR(GetFixed64(&in, &raw));
+        values.push_back(null ? Value::Null(col.type)
+                              : Value::Int64(static_cast<int64_t>(raw)));
+        break;
+      }
+      case TypeId::kDouble: {
+        double d = 0;
+        RETURN_IF_ERROR(GetDouble(&in, &d));
+        values.push_back(null ? Value::Null(col.type) : Value::Double(d));
+        break;
+      }
+      case TypeId::kString: {
+        std::string s;
+        RETURN_IF_ERROR(GetLengthPrefixed(&in, &s));
+        values.push_back(null ? Value::Null(col.type)
+                              : Value::String(std::move(s)));
+        break;
+      }
+      case TypeId::kTimestamp: {
+        uint64_t raw = 0;
+        RETURN_IF_ERROR(GetFixed64(&in, &raw));
+        values.push_back(null ? Value::Null(col.type)
+                              : Value::Ts(static_cast<Timestamp>(raw)));
+        break;
+      }
+      case TypeId::kAddress: {
+        uint64_t raw = 0;
+        RETURN_IF_ERROR(GetFixed64(&in, &raw));
+        values.push_back(null ? Value::Null(col.type)
+                              : Value::Addr(Address::FromRaw(raw)));
+        break;
+      }
+    }
+  }
+  // Trailing columns added after this tuple was written (schema evolution):
+  // fill with NULL.
+  for (size_t i = stored; i < schema.column_count(); ++i) {
+    values.push_back(Value::Null(schema.column(i).type));
+  }
+  return Tuple(std::move(values));
+}
+
+Result<Tuple> Tuple::Project(const Schema& schema,
+                             const std::vector<std::string>& names) const {
+  std::vector<Value> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    ASSIGN_OR_RETURN(Value v, Get(schema, name));
+    out.push_back(std::move(v));
+  }
+  return Tuple(std::move(out));
+}
+
+bool Tuple::Equals(const Tuple& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!values_[i].Equals(other.values_[i])) return false;
+  }
+  return true;
+}
+
+bool operator==(const Tuple& a, const Tuple& b) { return a.Equals(b); }
+
+std::string Tuple::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (i < schema.column_count()) {
+      out += schema.column(i).name;
+      out += "=";
+    }
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,64 @@
+#ifndef SNAPDIFF_CATALOG_TUPLE_H_
+#define SNAPDIFF_CATALOG_TUPLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace snapdiff {
+
+/// A row of typed values, (de)serialized against a Schema.
+///
+/// Wire format (schema-directed, little-endian):
+///   uint16 field_count
+///   null bitmap, ceil(field_count / 8) bytes, LSB-first
+///   payloads in column order (fixed 1/8 bytes or length-prefixed); NULL
+///   fields still occupy their slot (zeros / zero-length string), so a
+///   tuple's size does not depend on NULL-ness and annotation fix-up can
+///   rewrite rows in place
+///
+/// Deserialization accepts field_count < schema.column_count(): the missing
+/// trailing fields become NULL. This implements R*'s "adding fields to an
+/// existing table without accessing all the entries" — the funny annotation
+/// columns are appended to the schema and old tuples keep their bytes.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  void Set(size_t i, Value v) { values_[i] = std::move(v); }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// By-name field access through a schema.
+  Result<Value> Get(const Schema& schema, std::string_view name) const;
+
+  /// Validates types/nullability against `schema` and serializes.
+  Result<std::string> Serialize(const Schema& schema) const;
+
+  static Result<Tuple> Deserialize(const Schema& schema,
+                                   std::string_view bytes);
+
+  /// Projects onto schema columns `names`, in the given order.
+  Result<Tuple> Project(const Schema& schema,
+                        const std::vector<std::string>& names) const;
+
+  bool Equals(const Tuple& other) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+bool operator==(const Tuple& a, const Tuple& b);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_CATALOG_TUPLE_H_

@@ -1,0 +1,216 @@
+#include "catalog/value.h"
+
+#include <cmath>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace snapdiff {
+
+std::string_view TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+    case TypeId::kTimestamp:
+      return "TIMESTAMP";
+    case TypeId::kAddress:
+      return "ADDRESS";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::as_bool() const {
+  SNAPDIFF_CHECK(!is_null_ && type_ == TypeId::kBool);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::as_int64() const {
+  SNAPDIFF_CHECK(!is_null_ && type_ == TypeId::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::as_double() const {
+  SNAPDIFF_CHECK(!is_null_ && type_ == TypeId::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  SNAPDIFF_CHECK(!is_null_ && type_ == TypeId::kString);
+  return std::get<std::string>(data_);
+}
+
+Timestamp Value::as_timestamp() const {
+  SNAPDIFF_CHECK(type_ == TypeId::kTimestamp);
+  if (is_null_) return kNullTimestamp;
+  return std::get<int64_t>(data_);
+}
+
+Address Value::as_address() const {
+  SNAPDIFF_CHECK(type_ == TypeId::kAddress);
+  if (is_null_) return Address::Null();
+  return std::get<Address>(data_);
+}
+
+double Value::as_numeric() const {
+  SNAPDIFF_CHECK(!is_null_);
+  if (type_ == TypeId::kInt64) return static_cast<double>(as_int64());
+  SNAPDIFF_CHECK(type_ == TypeId::kDouble);
+  return as_double();
+}
+
+namespace {
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null_ || other.is_null_) {
+    return Status::InvalidArgument("comparison with NULL");
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      const int64_t a = as_int64(), b = other.as_int64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return Sign(as_numeric() - other.as_numeric());
+  }
+  if (type_ != other.type_) {
+    return Status::InvalidArgument(
+        std::string("cannot compare ") + std::string(TypeIdToString(type_)) +
+        " with " + std::string(TypeIdToString(other.type_)));
+  }
+  switch (type_) {
+    case TypeId::kBool: {
+      const int a = as_bool(), b = other.as_bool();
+      return a - b;
+    }
+    case TypeId::kString:
+      return as_string().compare(other.as_string()) < 0
+                 ? -1
+                 : (as_string() == other.as_string() ? 0 : 1);
+    case TypeId::kTimestamp: {
+      const Timestamp a = as_timestamp(), b = other.as_timestamp();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kAddress: {
+      const Address a = as_address(), b = other.as_address();
+      return a < b ? -1 : (a == b ? 0 : 1);
+    }
+    default:
+      return Status::Internal("unreachable in Compare");
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type_ != other.type_) return false;
+  if (is_null_ != other.is_null_) return false;
+  if (is_null_) return true;
+  return data_ == other.data_;
+}
+
+bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case TypeId::kBool:
+      return as_bool() ? "TRUE" : "FALSE";
+    case TypeId::kInt64:
+      return std::to_string(as_int64());
+    case TypeId::kDouble: {
+      std::string s = std::to_string(as_double());
+      return s;
+    }
+    case TypeId::kString:
+      return "'" + as_string() + "'";
+    case TypeId::kTimestamp:
+      return "ts:" + std::to_string(as_timestamp());
+    case TypeId::kAddress:
+      return as_address().ToString();
+  }
+  return "?";
+}
+
+void Value::SerializeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type_));
+  dst->push_back(is_null_ ? 1 : 0);
+  if (is_null_) return;
+  switch (type_) {
+    case TypeId::kBool:
+      dst->push_back(as_bool() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+      PutFixed64(dst, static_cast<uint64_t>(as_int64()));
+      break;
+    case TypeId::kDouble:
+      PutDouble(dst, as_double());
+      break;
+    case TypeId::kString:
+      PutLengthPrefixed(dst, as_string());
+      break;
+    case TypeId::kTimestamp:
+      PutFixed64(dst, static_cast<uint64_t>(as_timestamp()));
+      break;
+    case TypeId::kAddress:
+      PutFixed64(dst, as_address().raw());
+      break;
+  }
+}
+
+Result<Value> Value::DeserializeFrom(std::string_view* input) {
+  if (input->size() < 2) return Status::Corruption("value header underflow");
+  const TypeId type = static_cast<TypeId>((*input)[0]);
+  const bool null = (*input)[1] != 0;
+  input->remove_prefix(2);
+  if (static_cast<uint8_t>(type) > static_cast<uint8_t>(TypeId::kAddress)) {
+    return Status::Corruption("bad value type tag");
+  }
+  if (null) return Null(type);
+  switch (type) {
+    case TypeId::kBool: {
+      if (input->empty()) return Status::Corruption("bool underflow");
+      const bool b = (*input)[0] != 0;
+      input->remove_prefix(1);
+      return Bool(b);
+    }
+    case TypeId::kInt64: {
+      uint64_t raw = 0;
+      RETURN_IF_ERROR(GetFixed64(input, &raw));
+      return Int64(static_cast<int64_t>(raw));
+    }
+    case TypeId::kDouble: {
+      double d = 0;
+      RETURN_IF_ERROR(GetDouble(input, &d));
+      return Double(d);
+    }
+    case TypeId::kString: {
+      std::string s;
+      RETURN_IF_ERROR(GetLengthPrefixed(input, &s));
+      return String(std::move(s));
+    }
+    case TypeId::kTimestamp: {
+      uint64_t raw = 0;
+      RETURN_IF_ERROR(GetFixed64(input, &raw));
+      return Ts(static_cast<Timestamp>(raw));
+    }
+    case TypeId::kAddress: {
+      uint64_t raw = 0;
+      RETURN_IF_ERROR(GetFixed64(input, &raw));
+      return Addr(Address::FromRaw(raw));
+    }
+  }
+  return Status::Corruption("bad value type tag");
+}
+
+}  // namespace snapdiff

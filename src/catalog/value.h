@@ -1,0 +1,104 @@
+#ifndef SNAPDIFF_CATALOG_VALUE_H_
+#define SNAPDIFF_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace snapdiff {
+
+/// Column types supported by the catalog.
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kTimestamp = 4,
+  kAddress = 5,
+};
+
+std::string_view TypeIdToString(TypeId type);
+
+/// A typed, NULLable SQL value. NULL values carry a type so that schemas
+/// stay checkable; the funny annotation columns ($PREVADDR$, $TIMESTAMP$)
+/// rely on NULL to mean "maintenance deferred to refresh time".
+class Value {
+ public:
+  /// Default-constructed value is a NULL of type kInt64; prefer the
+  /// factories below.
+  Value() : type_(TypeId::kInt64), is_null_(true) {}
+
+  static Value Null(TypeId type) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Bool(bool b) { return Value(TypeId::kBool, b); }
+  static Value Int64(int64_t i) { return Value(TypeId::kInt64, i); }
+  static Value Double(double d) { return Value(TypeId::kDouble, d); }
+  static Value String(std::string s) {
+    return Value(TypeId::kString, std::move(s));
+  }
+  /// A timestamp value; `kNullTimestamp` maps to SQL NULL.
+  static Value Ts(Timestamp t) {
+    if (t == kNullTimestamp) return Null(TypeId::kTimestamp);
+    return Value(TypeId::kTimestamp, t);
+  }
+  /// An address value; `Address::Null()` maps to SQL NULL.
+  static Value Addr(Address a) {
+    if (a.IsNull()) return Null(TypeId::kAddress);
+    return Value(TypeId::kAddress, a);
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  /// Typed accessors. Precondition: !is_null() and matching type, except
+  /// `as_timestamp`/`as_address`, which map NULL back to their sentinels.
+  bool as_bool() const;
+  int64_t as_int64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  Timestamp as_timestamp() const;
+  Address as_address() const;
+
+  /// Numeric value widened to double (int64 or double). Precondition:
+  /// !is_null() and numeric type.
+  double as_numeric() const;
+
+  /// Three-way comparison: negative/zero/positive. Numeric types compare
+  /// across int64/double. Errors on incomparable types or NULL operands
+  /// (predicate evaluation treats NULL comparisons as not-qualified).
+  Result<int> Compare(const Value& other) const;
+
+  /// Deep equality; NULLs of the same type are equal (used by table
+  /// equality checks, not by predicates).
+  bool Equals(const Value& other) const;
+
+  std::string ToString() const;
+
+  /// Self-describing serialization: [type byte][null byte][payload].
+  void SerializeTo(std::string* dst) const;
+  static Result<Value> DeserializeFrom(std::string_view* input);
+
+ private:
+  template <typename T>
+  Value(TypeId type, T v) : type_(type), is_null_(false), data_(std::move(v)) {}
+
+  TypeId type_;
+  bool is_null_;
+  std::variant<std::monostate, bool, int64_t, double, std::string, Address>
+      data_;
+};
+
+bool operator==(const Value& a, const Value& b);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_CATALOG_VALUE_H_

@@ -1,0 +1,88 @@
+#ifndef SNAPDIFF_COMMON_CODING_H_
+#define SNAPDIFF_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace snapdiff {
+
+/// Little-endian fixed-width and length-prefixed encoders used by tuple and
+/// message serialization (RocksDB-style coding helpers). All Get* functions
+/// consume from the front of `*input` and fail with Corruption on underflow.
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutFixed64(dst, bits);
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+inline Status GetFixed16(std::string_view* input, uint16_t* v) {
+  if (input->size() < 2) return Status::Corruption("GetFixed16 underflow");
+  std::memcpy(v, input->data(), 2);
+  input->remove_prefix(2);
+  return Status::OK();
+}
+
+inline Status GetFixed32(std::string_view* input, uint32_t* v) {
+  if (input->size() < 4) return Status::Corruption("GetFixed32 underflow");
+  std::memcpy(v, input->data(), 4);
+  input->remove_prefix(4);
+  return Status::OK();
+}
+
+inline Status GetFixed64(std::string_view* input, uint64_t* v) {
+  if (input->size() < 8) return Status::Corruption("GetFixed64 underflow");
+  std::memcpy(v, input->data(), 8);
+  input->remove_prefix(8);
+  return Status::OK();
+}
+
+inline Status GetDouble(std::string_view* input, double* v) {
+  uint64_t bits = 0;
+  RETURN_IF_ERROR(GetFixed64(input, &bits));
+  std::memcpy(v, &bits, 8);
+  return Status::OK();
+}
+
+inline Status GetLengthPrefixed(std::string_view* input, std::string* s) {
+  uint32_t len = 0;
+  RETURN_IF_ERROR(GetFixed32(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("GetLengthPrefixed underflow");
+  }
+  s->assign(input->data(), len);
+  input->remove_prefix(len);
+  return Status::OK();
+}
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_COMMON_CODING_H_

@@ -1,0 +1,70 @@
+#ifndef SNAPDIFF_COMMON_LOGGING_H_
+#define SNAPDIFF_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace snapdiff {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by SNAPDIFF_CHECK; invariant violations are programming errors, so
+/// the process terminates rather than propagating a Status.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line
+            << " Check failed: " << condition << " ";
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace snapdiff
+
+/// Aborts with a streamed message when `cond` is false. Always compiled in.
+/// Usage: SNAPDIFF_CHECK(x > 0) << "x was " << x;
+#define SNAPDIFF_CHECK(cond)                                             \
+  switch (0)                                                             \
+  case 0:                                                                \
+  default:                                                               \
+    if (cond)                                                            \
+      ;                                                                  \
+    else                                                                 \
+      ::snapdiff::internal_logging::FatalLogMessage(__FILE__, __LINE__,  \
+                                                    #cond)
+
+#ifndef NDEBUG
+#define SNAPDIFF_DCHECK(cond) SNAPDIFF_CHECK(cond)
+#else
+// `cond` stays syntactically used (so no unused-variable warnings) but is
+// never evaluated in release builds.
+#define SNAPDIFF_DCHECK(cond)                                            \
+  switch (0)                                                             \
+  case 0:                                                                \
+  default:                                                               \
+    if (true || (cond))                                                  \
+      ;                                                                  \
+    else                                                                 \
+      ::snapdiff::internal_logging::FatalLogMessage(__FILE__, __LINE__,  \
+                                                    #cond)
+#endif
+
+#endif  // SNAPDIFF_COMMON_LOGGING_H_

@@ -1,0 +1,83 @@
+#ifndef SNAPDIFF_COMMON_RESULT_H_
+#define SNAPDIFF_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace snapdiff {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`.
+/// It is the return type of fallible functions that produce a value,
+/// mirroring arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<int> ParsePort(std::string_view s);
+///   ASSIGN_OR_RETURN(int port, ParsePort(arg));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    SNAPDIFF_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    SNAPDIFF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SNAPDIFF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SNAPDIFF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace snapdiff
+
+#define SNAPDIFF_CONCAT_IMPL(a, b) a##b
+#define SNAPDIFF_CONCAT(a, b) SNAPDIFF_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+/// `lhs` may include a declaration: ASSIGN_OR_RETURN(auto x, Foo());
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  ASSIGN_OR_RETURN_IMPL(SNAPDIFF_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value()
+
+#endif  // SNAPDIFF_COMMON_RESULT_H_

@@ -1,0 +1,11 @@
+#include "common/types.h"
+
+namespace snapdiff {
+
+std::string Address::ToString() const {
+  if (IsOrigin()) return "origin";
+  if (IsNull()) return "null";
+  return "p" + std::to_string(page()) + ".s" + std::to_string(slot());
+}
+
+}  // namespace snapdiff

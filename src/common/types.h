@@ -1,0 +1,101 @@
+#ifndef SNAPDIFF_COMMON_TYPES_H_
+#define SNAPDIFF_COMMON_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace snapdiff {
+
+/// Logical time used to annotate base-table entries and snapshots.
+/// The paper only requires "any local, monotonically increasing value";
+/// we use a logical counter issued by txn::TimestampOracle.
+using Timestamp = int64_t;
+
+/// In-memory sentinel for a NULL TimeStamp annotation (the batch-maintenance
+/// variant stores SQL NULL in the funny column; typed code uses this value).
+inline constexpr Timestamp kNullTimestamp = -1;
+
+/// The smallest real timestamp the oracle will ever issue.
+inline constexpr Timestamp kMinTimestamp = 0;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+using SlotId = uint16_t;
+
+using TableId = uint32_t;
+using SnapshotId = uint32_t;
+using TxnId = uint64_t;
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// A stable, totally ordered address of an entry in a base table — the
+/// paper's "some sort of address for every actual entry … totally ordered".
+///
+/// Encoding: raw = (page_id << 16) | (slot + 1). Slots are numbered from 0,
+/// so raw value 0 is free to serve as `Origin()`, the paper's address "0"
+/// that precedes every real address (used as the initial PrevAddr / LastQual).
+/// `Null()` (all ones) represents the SQL NULL stored by lazy annotation
+/// maintenance, and also the end-of-scan marker in refresh messages.
+///
+/// Addresses sort first by page, then by slot, which is exactly the physical
+/// scan order of TableHeap.
+class Address {
+ public:
+  /// Default-constructed address is Origin().
+  constexpr Address() : raw_(0) {}
+
+  static constexpr Address FromPageSlot(PageId page, SlotId slot) {
+    return Address((static_cast<uint64_t>(page) << 16) |
+                   (static_cast<uint64_t>(slot) + 1));
+  }
+
+  static constexpr Address FromRaw(uint64_t raw) { return Address(raw); }
+
+  /// The sentinel that precedes every real address (the paper's address 0).
+  static constexpr Address Origin() { return Address(0); }
+
+  /// The sentinel representing SQL NULL / end-of-scan.
+  static constexpr Address Null() {
+    return Address(std::numeric_limits<uint64_t>::max());
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr bool IsOrigin() const { return raw_ == 0; }
+  constexpr bool IsNull() const {
+    return raw_ == std::numeric_limits<uint64_t>::max();
+  }
+  /// True for addresses that denote an actual slot (not a sentinel).
+  constexpr bool IsReal() const { return !IsOrigin() && !IsNull(); }
+
+  /// Precondition: IsReal().
+  constexpr PageId page() const { return static_cast<PageId>(raw_ >> 16); }
+  /// Precondition: IsReal().
+  constexpr SlotId slot() const {
+    return static_cast<SlotId>((raw_ & 0xFFFF) - 1);
+  }
+
+  friend constexpr auto operator<=>(Address a, Address b) = default;
+
+  /// "origin", "null", or "p<page>.s<slot>".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Address(uint64_t raw) : raw_(raw) {}
+
+  uint64_t raw_;
+};
+
+}  // namespace snapdiff
+
+template <>
+struct std::hash<snapdiff::Address> {
+  size_t operator()(snapdiff::Address a) const noexcept {
+    return std::hash<uint64_t>()(a.raw());
+  }
+};
+
+#endif  // SNAPDIFF_COMMON_TYPES_H_

@@ -1,0 +1,354 @@
+#include "expr/expr.h"
+
+#include <cmath>
+
+namespace snapdiff {
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+namespace {
+
+class ColumnRefExpr final : public Expression {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+
+  Result<Value> Evaluate(const Tuple& row,
+                         const Schema& schema) const override {
+    return row.Get(schema, name_);
+  }
+
+  std::string ToString() const override { return name_; }
+
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  std::string_view column_name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expression {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+
+  Result<Value> Evaluate(const Tuple&, const Schema&) const override {
+    return value_;
+  }
+
+  std::string ToString() const override { return value_.ToString(); }
+
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  const Value* literal() const override { return &value_; }
+
+ private:
+  Value value_;
+};
+
+class ComparisonExpr final : public Expression {
+ public:
+  ComparisonExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Evaluate(const Tuple& row,
+                         const Schema& schema) const override {
+    ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(row, schema));
+    ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(row, schema));
+    if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+    ASSIGN_OR_RETURN(int cmp, l.Compare(r));
+    switch (op_) {
+      case CmpOp::kEq:
+        return Value::Bool(cmp == 0);
+      case CmpOp::kNe:
+        return Value::Bool(cmp != 0);
+      case CmpOp::kLt:
+        return Value::Bool(cmp < 0);
+      case CmpOp::kLe:
+        return Value::Bool(cmp <= 0);
+      case CmpOp::kGt:
+        return Value::Bool(cmp > 0);
+      case CmpOp::kGe:
+        return Value::Bool(cmp >= 0);
+    }
+    return Status::Internal("bad CmpOp");
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + std::string(CmpOpToString(op_)) +
+           " " + rhs_->ToString() + ")";
+  }
+
+  ExprKind kind() const override { return ExprKind::kComparison; }
+  const Expression* child(size_t i) const override {
+    return i == 0 ? lhs_.get() : (i == 1 ? rhs_.get() : nullptr);
+  }
+  CmpOp cmp_op() const override { return op_; }
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// SQL three-valued AND/OR.
+class LogicalExpr final : public Expression {
+ public:
+  LogicalExpr(bool is_and, ExprPtr lhs, ExprPtr rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Evaluate(const Tuple& row,
+                         const Schema& schema) const override {
+    ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(row, schema));
+    if (l.type() != TypeId::kBool) return NotBool(l);
+    // Short-circuit where three-valued logic allows it.
+    if (is_and_) {
+      if (!l.is_null() && !l.as_bool()) return Value::Bool(false);
+    } else {
+      if (!l.is_null() && l.as_bool()) return Value::Bool(true);
+    }
+    ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(row, schema));
+    if (r.type() != TypeId::kBool) return NotBool(r);
+    if (is_and_) {
+      if (!r.is_null() && !r.as_bool()) return Value::Bool(false);
+      if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+      return Value::Bool(true);
+    }
+    if (!r.is_null() && r.as_bool()) return Value::Bool(true);
+    if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+    return Value::Bool(false);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + (is_and_ ? " AND " : " OR ") +
+           rhs_->ToString() + ")";
+  }
+
+  ExprKind kind() const override {
+    return is_and_ ? ExprKind::kAnd : ExprKind::kOr;
+  }
+  const Expression* child(size_t i) const override {
+    return i == 0 ? lhs_.get() : (i == 1 ? rhs_.get() : nullptr);
+  }
+
+ private:
+  static Status NotBool(const Value& v) {
+    return Status::InvalidArgument("logical operand is " +
+                                   std::string(TypeIdToString(v.type())) +
+                                   ", expected BOOL");
+  }
+
+  bool is_and_;
+  ExprPtr lhs_, rhs_;
+};
+
+class NotExpr final : public Expression {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+
+  Result<Value> Evaluate(const Tuple& row,
+                         const Schema& schema) const override {
+    ASSIGN_OR_RETURN(Value v, operand_->Evaluate(row, schema));
+    if (v.type() != TypeId::kBool) {
+      return Status::InvalidArgument("NOT operand must be BOOL");
+    }
+    if (v.is_null()) return Value::Null(TypeId::kBool);
+    return Value::Bool(!v.as_bool());
+  }
+
+  std::string ToString() const override {
+    return "(NOT " + operand_->ToString() + ")";
+  }
+
+  ExprKind kind() const override { return ExprKind::kNot; }
+  const Expression* child(size_t i) const override {
+    return i == 0 ? operand_.get() : nullptr;
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class ArithmeticExpr final : public Expression {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Evaluate(const Tuple& row,
+                         const Schema& schema) const override {
+    ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(row, schema));
+    ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(row, schema));
+    if (l.is_null() || r.is_null()) {
+      // Result type follows the wider operand; NULL propagates.
+      const TypeId t = (l.type() == TypeId::kDouble ||
+                        r.type() == TypeId::kDouble)
+                           ? TypeId::kDouble
+                           : TypeId::kInt64;
+      return Value::Null(t);
+    }
+    const bool numeric_l =
+        l.type() == TypeId::kInt64 || l.type() == TypeId::kDouble;
+    const bool numeric_r =
+        r.type() == TypeId::kInt64 || r.type() == TypeId::kDouble;
+    if (!numeric_l || !numeric_r) {
+      return Status::InvalidArgument("arithmetic on non-numeric operands");
+    }
+    if (l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64) {
+      const int64_t a = l.as_int64(), b = r.as_int64();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value::Int64(a + b);
+        case ArithOp::kSub:
+          return Value::Int64(a - b);
+        case ArithOp::kMul:
+          return Value::Int64(a * b);
+        case ArithOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          return Value::Int64(a / b);
+      }
+    }
+    const double a = l.as_numeric(), b = r.as_numeric();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Double(a + b);
+      case ArithOp::kSub:
+        return Value::Double(a - b);
+      case ArithOp::kMul:
+        return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / b);
+    }
+    return Status::Internal("bad ArithOp");
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " +
+           std::string(ArithOpToString(op_)) + " " + rhs_->ToString() + ")";
+  }
+
+  ExprKind kind() const override { return ExprKind::kArithmetic; }
+  const Expression* child(size_t i) const override {
+    return i == 0 ? lhs_.get() : (i == 1 ? rhs_.get() : nullptr);
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class IsNullExpr final : public Expression {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  Result<Value> Evaluate(const Tuple& row,
+                         const Schema& schema) const override {
+    ASSIGN_OR_RETURN(Value v, operand_->Evaluate(row, schema));
+    return Value::Bool(v.is_null() != negated_);
+  }
+
+  std::string ToString() const override {
+    return "(" + operand_->ToString() +
+           (negated_ ? " IS NOT NULL)" : " IS NULL)");
+  }
+
+  ExprKind kind() const override { return ExprKind::kIsNull; }
+  const Expression* child(size_t i) const override {
+    return i == 0 ? operand_.get() : nullptr;
+  }
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+}  // namespace
+
+ExprPtr MakeColumnRef(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+
+ExprPtr MakeComparison(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ComparisonExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(true, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(false, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeNot(ExprPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+
+ExprPtr MakeArithmetic(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithmeticExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  return std::make_shared<IsNullExpr>(std::move(operand), negated);
+}
+
+ExprPtr MakeTrue() { return MakeLiteral(Value::Bool(true)); }
+
+Result<bool> EvaluatePredicate(const Expression& expr, const Tuple& row,
+                               const Schema& schema) {
+  ASSIGN_OR_RETURN(Value v, expr.Evaluate(row, schema));
+  if (v.type() != TypeId::kBool) {
+    return Status::InvalidArgument("restriction is not boolean: " +
+                                   expr.ToString());
+  }
+  // SQL WHERE semantics: NULL does not qualify.
+  return !v.is_null() && v.as_bool();
+}
+
+Status ValidateAgainstSchema(const Expression& expr, const Schema& schema) {
+  std::vector<Value> nulls;
+  nulls.reserve(schema.column_count());
+  for (size_t i = 0; i < schema.column_count(); ++i) {
+    nulls.push_back(Value::Null(schema.column(i).type));
+  }
+  Tuple all_null(std::move(nulls));
+  ASSIGN_OR_RETURN(Value v, expr.Evaluate(all_null, schema));
+  if (v.type() != TypeId::kBool) {
+    return Status::InvalidArgument("restriction is not boolean: " +
+                                   expr.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace snapdiff

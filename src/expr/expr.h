@@ -1,0 +1,101 @@
+#ifndef SNAPDIFF_EXPR_EXPR_H_
+#define SNAPDIFF_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace snapdiff {
+
+class Expression;
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Node kinds, exposed for compile-time analyses (e.g. range extraction
+/// for index-assisted refresh).
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,
+  kIsNull,
+};
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+std::string_view CmpOpToString(CmpOp op);
+
+/// Binary arithmetic operators over numeric values.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+std::string_view ArithOpToString(ArithOp op);
+
+/// An immutable expression tree evaluated against one row. Snapshot
+/// restrictions (`SnapRestrict`) are boolean expressions over the base
+/// table's user columns; e.g. the paper's running example `Salary < 10`.
+///
+/// NULL semantics: comparisons and arithmetic involving NULL evaluate to
+/// NULL; a restriction qualifies a row only when it evaluates to TRUE
+/// (NULL and FALSE both disqualify), matching SQL WHERE semantics.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  virtual Result<Value> Evaluate(const Tuple& row,
+                                 const Schema& schema) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// --- structural introspection (for analyses; see ExprKind) ---
+
+  virtual ExprKind kind() const = 0;
+
+  /// Child i (0 = lhs/operand, 1 = rhs); nullptr when out of range.
+  virtual const Expression* child(size_t i) const {
+    (void)i;
+    return nullptr;
+  }
+
+  /// kColumnRef: the referenced column name; empty otherwise.
+  virtual std::string_view column_name() const { return {}; }
+
+  /// kLiteral: the constant; nullptr otherwise.
+  virtual const Value* literal() const { return nullptr; }
+
+  /// kComparison: the operator. Meaningless for other kinds.
+  virtual CmpOp cmp_op() const { return CmpOp::kEq; }
+};
+
+/// Node factories.
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeComparison(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+ExprPtr MakeArithmetic(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+/// IS NULL / IS NOT NULL.
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+
+/// The constant TRUE predicate (an unrestricted snapshot).
+ExprPtr MakeTrue();
+
+/// Evaluates a restriction: TRUE qualifies; FALSE or NULL does not.
+/// Non-boolean results are an error.
+Result<bool> EvaluatePredicate(const Expression& expr, const Tuple& row,
+                               const Schema& schema);
+
+/// Verifies that `expr` type-checks against `schema` by evaluating it on a
+/// row of NULLs (catches unknown columns and gross type errors at
+/// CREATE SNAPSHOT time, mirroring R*'s compile-time binding).
+Status ValidateAgainstSchema(const Expression& expr, const Schema& schema);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_EXPR_EXPR_H_

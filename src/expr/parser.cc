@@ -1,0 +1,350 @@
+#include "expr/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+#include <vector>
+
+namespace snapdiff {
+
+namespace {
+
+enum class TokenType {
+  kIdentifier,
+  kInt,
+  kDouble,
+  kString,
+  kOperator,  // = != <> < <= > >= + - * / ( )
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // uppercased for identifiers/keywords
+  std::string raw;   // original spelling
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) {
+        out.push_back({TokenType::kEnd, "", ""});
+        return out;
+      }
+      const char c = input_[pos_];
+      if (IsIdentStart(c)) {
+        out.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(std::move(t));
+      } else if (c == '\'') {
+        ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else {
+        ASSIGN_OR_RETURN(Token t, LexOperator());
+        out.push_back(std::move(t));
+      }
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdentifier() {
+    const size_t start = pos_;
+    while (pos_ < input_.size() && IsIdentChar(input_[pos_])) ++pos_;
+    std::string raw(input_.substr(start, pos_ - start));
+    std::string upper = raw;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    return {TokenType::kIdentifier, std::move(upper), std::move(raw)};
+  }
+
+  Result<Token> LexNumber() {
+    const size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      if (input_[pos_] == '.') {
+        if (is_double) return Status::InvalidArgument("malformed number");
+        is_double = true;
+      }
+      ++pos_;
+    }
+    std::string raw(input_.substr(start, pos_ - start));
+    if (raw == ".") return Status::InvalidArgument("malformed number");
+    return Token{is_double ? TokenType::kDouble : TokenType::kInt, raw, raw};
+  }
+
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '\'') {
+        // '' escapes a single quote.
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+          value.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return Token{TokenType::kString, value, value};
+      }
+      value.push_back(input_[pos_++]);
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<Token> LexOperator() {
+    static constexpr std::string_view kTwoChar[] = {"!=", "<>", "<=", ">="};
+    for (std::string_view op : kTwoChar) {
+      if (input_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        return Token{TokenType::kOperator, std::string(op), std::string(op)};
+      }
+    }
+    const char c = input_[pos_];
+    static constexpr std::string_view kOneChar = "=<>+-*/()";
+    if (kOneChar.find(c) != std::string_view::npos) {
+      ++pos_;
+      return Token{TokenType::kOperator, std::string(1, c),
+                   std::string(1, c)};
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "'");
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after expression: '" +
+                                     Peek().raw + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  Token Consume() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().type == TokenType::kIdentifier && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchOperator(std::string_view op) {
+    if (Peek().type == TokenType::kOperator && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (MatchKeyword("AND")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchKeyword("NOT")) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeNot(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (MatchKeyword("IS")) {
+      const bool negated = MatchKeyword("NOT");
+      if (!MatchKeyword("NULL")) {
+        return Status::InvalidArgument("expected NULL after IS");
+      }
+      return MakeIsNull(std::move(lhs), negated);
+    }
+    struct OpMap {
+      std::string_view text;
+      CmpOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"=", CmpOp::kEq},  {"!=", CmpOp::kNe}, {"<>", CmpOp::kNe},
+        {"<=", CmpOp::kLe}, {">=", CmpOp::kGe}, {"<", CmpOp::kLt},
+        {">", CmpOp::kGt},
+    };
+    for (const OpMap& m : kOps) {
+      if (MatchOperator(m.text)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeComparison(m.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (MatchOperator("+")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeArithmetic(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (MatchOperator("-")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeArithmetic(ArithOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    while (true) {
+      if (MatchOperator("*")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        lhs = MakeArithmetic(ArithOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (MatchOperator("/")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        lhs = MakeArithmetic(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        int64_t v = 0;
+        auto [ptr, ec] =
+            std::from_chars(t.raw.data(), t.raw.data() + t.raw.size(), v);
+        if (ec != std::errc()) {
+          return Status::InvalidArgument("bad integer literal: " + t.raw);
+        }
+        Consume();
+        return MakeLiteral(Value::Int64(v));
+      }
+      case TokenType::kDouble: {
+        Consume();
+        return MakeLiteral(Value::Double(std::stod(t.raw)));
+      }
+      case TokenType::kString: {
+        Token tok = Consume();
+        return MakeLiteral(Value::String(std::move(tok.raw)));
+      }
+      case TokenType::kIdentifier: {
+        if (t.text == "TRUE") {
+          Consume();
+          return MakeLiteral(Value::Bool(true));
+        }
+        if (t.text == "FALSE") {
+          Consume();
+          return MakeLiteral(Value::Bool(false));
+        }
+        if (t.text == "NULL") {
+          Consume();
+          return MakeLiteral(Value::Null(TypeId::kInt64));
+        }
+        if (t.text == "AND" || t.text == "OR" || t.text == "NOT" ||
+            t.text == "IS") {
+          return Status::InvalidArgument("unexpected keyword '" + t.raw +
+                                         "'");
+        }
+        Token tok = Consume();
+        return MakeColumnRef(std::move(tok.raw));
+      }
+      case TokenType::kOperator: {
+        if (MatchOperator("(")) {
+          ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+          if (!MatchOperator(")")) {
+            return Status::InvalidArgument("missing closing parenthesis");
+          }
+          return e;
+        }
+        if (MatchOperator("-")) {
+          // Fold unary minus on numeric literals so "-5" is a literal
+          // (keeps ToString → parse a fixpoint); anything else becomes
+          // 0 - operand.
+          if (Peek().type == TokenType::kInt) {
+            Token num = Consume();
+            int64_t v = 0;
+            auto [ptr, ec] =
+                std::from_chars(num.raw.data(),
+                                num.raw.data() + num.raw.size(), v);
+            if (ec != std::errc()) {
+              return Status::InvalidArgument("bad integer literal: " +
+                                             num.raw);
+            }
+            return MakeLiteral(Value::Int64(-v));
+          }
+          if (Peek().type == TokenType::kDouble) {
+            Token num = Consume();
+            return MakeLiteral(Value::Double(-std::stod(num.raw)));
+          }
+          ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+          return MakeArithmetic(ArithOp::kSub,
+                                MakeLiteral(Value::Int64(0)), std::move(e));
+        }
+        return Status::InvalidArgument("unexpected token '" + t.raw + "'");
+      }
+      case TokenType::kEnd:
+        return Status::InvalidArgument("unexpected end of input");
+    }
+    return Status::Internal("unreachable in ParsePrimary");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParsePredicate(std::string_view input) {
+  Lexer lexer(input);
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,35 @@
+#ifndef SNAPDIFF_EXPR_PARSER_H_
+#define SNAPDIFF_EXPR_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace snapdiff {
+
+/// Parses a restriction predicate such as
+///
+///   Salary < 10 AND (Dept = 'eng' OR Dept = 'ops') AND NOT Retired
+///   Salary * 2 + Bonus >= 30
+///   Manager IS NOT NULL
+///
+/// Grammar (case-insensitive keywords, C-like precedence):
+///   expr     := or
+///   or       := and (OR and)*
+///   and      := unary (AND unary)*
+///   unary    := NOT unary | cmp
+///   cmp      := add (( = | != | <> | < | <= | > | >= ) add)?
+///             | add IS [NOT] NULL
+///   add      := mul (( + | - ) mul)*
+///   mul      := primary (( * | / ) primary)*
+///   primary  := number | 'string' | TRUE | FALSE | NULL
+///             | identifier | ( expr ) | - primary
+///
+/// Identifiers are column names (letters, digits, `_`, `$`). Numbers with a
+/// decimal point parse as DOUBLE, otherwise INT64.
+Result<ExprPtr> ParsePredicate(std::string_view input);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_EXPR_PARSER_H_

@@ -1,0 +1,136 @@
+#include "expr/range_analysis.h"
+
+#include <vector>
+
+namespace snapdiff {
+
+namespace {
+
+/// One recognized conjunct: column OP literal (already normalized so the
+/// column is on the left).
+struct Term {
+  std::string column;
+  CmpOp op;
+  Value literal;
+};
+
+/// Flattens nested ANDs into conjuncts; false when any node is not an AND
+/// or a recognizable comparison.
+bool CollectTerms(const Expression* expr, std::vector<Term>* terms) {
+  if (expr->kind() == ExprKind::kAnd) {
+    return CollectTerms(expr->child(0), terms) &&
+           CollectTerms(expr->child(1), terms);
+  }
+  if (expr->kind() != ExprKind::kComparison) return false;
+  const Expression* lhs = expr->child(0);
+  const Expression* rhs = expr->child(1);
+  CmpOp op = expr->cmp_op();
+  if (op == CmpOp::kNe) return false;  // not a contiguous range
+
+  const Expression* col = nullptr;
+  const Expression* lit = nullptr;
+  if (lhs->kind() == ExprKind::kColumnRef &&
+      rhs->kind() == ExprKind::kLiteral) {
+    col = lhs;
+    lit = rhs;
+  } else if (lhs->kind() == ExprKind::kLiteral &&
+             rhs->kind() == ExprKind::kColumnRef) {
+    col = rhs;
+    lit = lhs;
+    // Mirror the operator: 10 > col  ≡  col < 10.
+    switch (op) {
+      case CmpOp::kLt:
+        op = CmpOp::kGt;
+        break;
+      case CmpOp::kLe:
+        op = CmpOp::kGe;
+        break;
+      case CmpOp::kGt:
+        op = CmpOp::kLt;
+        break;
+      case CmpOp::kGe:
+        op = CmpOp::kLe;
+        break;
+      default:
+        break;  // = is symmetric
+    }
+  } else {
+    return false;
+  }
+  const Value* v = lit->literal();
+  if (v == nullptr || v->is_null()) return false;
+  terms->push_back({std::string(col->column_name()), op, *v});
+  return true;
+}
+
+/// Tightens `range` with one term; false on incomparable literal types.
+bool ApplyTerm(const Term& term, ColumnRange* range) {
+  auto tighten_lo = [&](const Value& v, bool inclusive) -> bool {
+    if (!range->lo.has_value()) {
+      range->lo = v;
+      range->lo_inclusive = inclusive;
+      return true;
+    }
+    auto cmp = v.Compare(*range->lo);
+    if (!cmp.ok()) return false;
+    if (*cmp > 0) {
+      range->lo = v;
+      range->lo_inclusive = inclusive;
+    } else if (*cmp == 0 && !inclusive) {
+      range->lo_inclusive = false;
+    }
+    return true;
+  };
+  auto tighten_hi = [&](const Value& v, bool inclusive) -> bool {
+    if (!range->hi.has_value()) {
+      range->hi = v;
+      range->hi_inclusive = inclusive;
+      return true;
+    }
+    auto cmp = v.Compare(*range->hi);
+    if (!cmp.ok()) return false;
+    if (*cmp < 0) {
+      range->hi = v;
+      range->hi_inclusive = inclusive;
+    } else if (*cmp == 0 && !inclusive) {
+      range->hi_inclusive = false;
+    }
+    return true;
+  };
+  switch (term.op) {
+    case CmpOp::kEq:
+      return tighten_lo(term.literal, true) &&
+             tighten_hi(term.literal, true);
+    case CmpOp::kLt:
+      return tighten_hi(term.literal, false);
+    case CmpOp::kLe:
+      return tighten_hi(term.literal, true);
+    case CmpOp::kGt:
+      return tighten_lo(term.literal, false);
+    case CmpOp::kGe:
+      return tighten_lo(term.literal, true);
+    case CmpOp::kNe:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ColumnRange> AnalyzeRestrictionRange(const ExprPtr& expr) {
+  if (expr == nullptr) return std::nullopt;
+  std::vector<Term> terms;
+  if (!CollectTerms(expr.get(), &terms) || terms.empty()) {
+    return std::nullopt;
+  }
+  ColumnRange range;
+  range.column = terms.front().column;
+  for (const Term& term : terms) {
+    if (term.column != range.column) return std::nullopt;  // multi-column
+    if (!ApplyTerm(term, &range)) return std::nullopt;
+  }
+  range.exact = true;  // every conjunct was folded into the bounds
+  return range;
+}
+
+}  // namespace snapdiff

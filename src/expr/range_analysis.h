@@ -1,0 +1,37 @@
+#ifndef SNAPDIFF_EXPR_RANGE_ANALYSIS_H_
+#define SNAPDIFF_EXPR_RANGE_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+
+#include "catalog/value.h"
+#include "expr/expr.h"
+
+namespace snapdiff {
+
+/// A single-column range [lo, hi] (either bound may be open or absent)
+/// extracted from a restriction. The compile-time analysis that lets full
+/// refresh use "an efficient method for applying the snapshot restriction
+/// (e.g., an index)" instead of a sequential scan.
+struct ColumnRange {
+  std::string column;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+  /// True when the range captures the restriction *exactly* (no residual
+  /// predicate needs to be re-applied to retrieved rows).
+  bool exact = true;
+};
+
+/// Attempts to reduce `expr` to a range over one column. Recognizes
+///   column OP literal   and   literal OP column
+/// for OP in {=, <, <=, >, >=}, plus conjunctions (AND) of such terms over
+/// the same column (bounds are intersected). Anything else — ORs, NOT,
+/// arithmetic, multiple columns, IS NULL, != — yields nullopt and the
+/// caller falls back to the sequential scan.
+std::optional<ColumnRange> AnalyzeRestrictionRange(const ExprPtr& expr);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_EXPR_RANGE_ANALYSIS_H_

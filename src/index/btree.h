@@ -1,0 +1,393 @@
+#ifndef SNAPDIFF_INDEX_BTREE_H_
+#define SNAPDIFF_INDEX_BTREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace snapdiff {
+
+/// An in-memory B+ tree mapping totally ordered keys to values.
+///
+/// Snapshot tables index their rows by `BaseAddr` with this tree: refresh
+/// apply uses point lookups for upserts and *range scans* to delete every
+/// snapshot entry whose BaseAddr falls inside a transmitted empty region
+/// (`(PrevAddr, Addr)` gaps). Leaves are linked for ordered iteration.
+///
+/// `kFanout` is the maximum number of keys per node; nodes split at
+/// kFanout + 1 and rebalance below kFanout / 2.
+template <typename K, typename V, size_t kFanout = 64>
+class BPlusTree {
+  static_assert(kFanout >= 4, "fanout too small");
+
+  // Defined in the private section below; forward-declared for Iterator.
+  struct Node;
+
+ public:
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts a new key. Fails with AlreadyExists on duplicates.
+  Status Insert(const K& key, V value) {
+    if (FindLeaf(key).second != kNotFound) {
+      return Status::AlreadyExists("duplicate key");
+    }
+    InsertOrAssign(key, std::move(value));
+    return Status::OK();
+  }
+
+  /// Inserts or overwrites.
+  void InsertOrAssign(const K& key, V value) {
+    auto split = InsertRec(root_.get(), key, std::move(value));
+    if (split.has_value()) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(split->first);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split->second));
+      root_ = std::move(new_root);
+    }
+  }
+
+  /// Point lookup.
+  Result<V> Find(const K& key) const {
+    auto [leaf, idx] = FindLeaf(key);
+    if (idx == kNotFound) return Status::NotFound("key not in index");
+    return leaf->values[idx];
+  }
+
+  bool Contains(const K& key) const {
+    return FindLeaf(key).second != kNotFound;
+  }
+
+  /// Removes a key. NotFound if absent.
+  Status Delete(const K& key) {
+    if (FindLeaf(key).second == kNotFound) {
+      return Status::NotFound("key not in index");
+    }
+    DeleteRec(root_.get(), key);
+    // Shrink the root when it has a single child.
+    if (!root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children[0]);
+    }
+    --size_;
+    return Status::OK();
+  }
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    const K& key() const { return leaf_->keys[idx_]; }
+    const V& value() const { return leaf_->values[idx_]; }
+
+    void Next() {
+      SNAPDIFF_DCHECK(Valid());
+      if (++idx_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+    }
+
+   private:
+    friend class BPlusTree;
+    Iterator(const Node* leaf, size_t idx) : leaf_(leaf), idx_(idx) {}
+
+    const Node* leaf_;
+    size_t idx_;
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const {
+    const Node* node = root_.get();
+    while (!node->leaf) node = node->children.front().get();
+    if (node->keys.empty()) return Iterator(nullptr, 0);
+    return Iterator(node, 0);
+  }
+
+  /// Iterator at the first key >= `key`.
+  Iterator LowerBound(const K& key) const {
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      node = node->children[ChildIndex(node, key)].get();
+    }
+    size_t idx = 0;
+    while (idx < node->keys.size() && node->keys[idx] < key) ++idx;
+    if (idx == node->keys.size()) {
+      node = node->next;
+      idx = 0;
+      if (node != nullptr && node->keys.empty()) node = nullptr;
+    }
+    if (node == nullptr) return Iterator(nullptr, 0);
+    return Iterator(node, idx);
+  }
+
+  /// Collects the keys in [lo, hi) — the gap-deletion primitive.
+  std::vector<K> KeysInRange(const K& lo, const K& hi) const {
+    std::vector<K> out;
+    for (Iterator it = LowerBound(lo); it.Valid() && it.key() < hi;
+         it.Next()) {
+      out.push_back(it.key());
+    }
+    return out;
+  }
+
+  /// Structural invariant check for property tests: key order within and
+  /// across nodes, separator correctness, and size consistency.
+  Status Validate() const {
+    size_t counted = 0;
+    RETURN_IF_ERROR(ValidateRec(root_.get(), nullptr, nullptr, &counted));
+    if (counted != size_) {
+      return Status::Internal("size mismatch: counted " +
+                              std::to_string(counted) + " tracked " +
+                              std::to_string(size_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+    bool leaf;
+    std::vector<K> keys;
+    // Internal nodes: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaves: values.size() == keys.size(); linked list for scans.
+    std::vector<V> values;
+    Node* next = nullptr;
+    Node* prev = nullptr;
+  };
+
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr size_t kMinKeys = kFanout / 2;
+
+  /// Index of the child to descend into for `key`.
+  static size_t ChildIndex(const Node* node, const K& key) {
+    size_t i = 0;
+    while (i < node->keys.size() && !(key < node->keys[i])) ++i;
+    return i;
+  }
+
+  std::pair<const Node*, size_t> FindLeaf(const K& key) const {
+    const Node* node = root_.get();
+    while (!node->leaf) node = node->children[ChildIndex(node, key)].get();
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (!(node->keys[i] < key) && !(key < node->keys[i])) {
+        return {node, i};
+      }
+    }
+    return {node, kNotFound};
+  }
+
+  /// Inserts into the subtree; returns the (separator, right sibling) when
+  /// the node split.
+  std::optional<std::pair<K, std::unique_ptr<Node>>> InsertRec(Node* node,
+                                                               const K& key,
+                                                               V value) {
+    if (node->leaf) {
+      size_t i = 0;
+      while (i < node->keys.size() && node->keys[i] < key) ++i;
+      if (i < node->keys.size() && !(key < node->keys[i])) {
+        node->values[i] = std::move(value);  // overwrite
+        return std::nullopt;
+      }
+      node->keys.insert(node->keys.begin() + i, key);
+      node->values.insert(node->values.begin() + i, std::move(value));
+      ++size_;
+      if (node->keys.size() <= kFanout) return std::nullopt;
+      return SplitLeaf(node);
+    }
+    const size_t ci = ChildIndex(node, key);
+    auto split = InsertRec(node->children[ci].get(), key, std::move(value));
+    if (!split.has_value()) return std::nullopt;
+    node->keys.insert(node->keys.begin() + ci, split->first);
+    node->children.insert(node->children.begin() + ci + 1,
+                          std::move(split->second));
+    if (node->keys.size() <= kFanout) return std::nullopt;
+    return SplitInternal(node);
+  }
+
+  std::pair<K, std::unique_ptr<Node>> SplitLeaf(Node* node) {
+    const size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(std::make_move_iterator(node->values.begin() + mid),
+                         std::make_move_iterator(node->values.end()));
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    right->prev = node;
+    if (right->next != nullptr) right->next->prev = right.get();
+    node->next = right.get();
+    return {right->keys.front(), std::move(right)};
+  }
+
+  std::pair<K, std::unique_ptr<Node>> SplitInternal(Node* node) {
+    const size_t mid = node->keys.size() / 2;
+    const K separator = node->keys[mid];
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() + mid + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    return {separator, std::move(right)};
+  }
+
+  /// Deletes `key` from the subtree rooted at `node`, rebalancing children
+  /// as the recursion unwinds. Precondition: the key exists.
+  void DeleteRec(Node* node, const K& key) {
+    if (node->leaf) {
+      for (size_t i = 0; i < node->keys.size(); ++i) {
+        if (!(node->keys[i] < key) && !(key < node->keys[i])) {
+          node->keys.erase(node->keys.begin() + i);
+          node->values.erase(node->values.begin() + i);
+          return;
+        }
+      }
+      SNAPDIFF_CHECK(false) << "DeleteRec: key vanished";
+      return;
+    }
+    const size_t ci = ChildIndex(node, key);
+    DeleteRec(node->children[ci].get(), key);
+    RebalanceChild(node, ci);
+  }
+
+  /// Restores the child's minimum occupancy by borrowing from or merging
+  /// with an adjacent sibling.
+  void RebalanceChild(Node* parent, size_t ci) {
+    Node* child = parent->children[ci].get();
+    if (child->keys.size() >= kMinKeys) return;
+    // The root's children may underflow freely; only rebalance real
+    // violations (non-root nodes with fewer than kMinKeys keys).
+    Node* left = ci > 0 ? parent->children[ci - 1].get() : nullptr;
+    Node* right = ci + 1 < parent->children.size()
+                      ? parent->children[ci + 1].get()
+                      : nullptr;
+
+    if (left != nullptr && left->keys.size() > kMinKeys) {
+      BorrowFromLeft(parent, ci, left, child);
+      return;
+    }
+    if (right != nullptr && right->keys.size() > kMinKeys) {
+      BorrowFromRight(parent, ci, child, right);
+      return;
+    }
+    if (left != nullptr) {
+      MergeChildren(parent, ci - 1);
+    } else if (right != nullptr) {
+      MergeChildren(parent, ci);
+    }
+  }
+
+  void BorrowFromLeft(Node* parent, size_t ci, Node* left, Node* child) {
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->values.insert(child->values.begin(),
+                           std::move(left->values.back()));
+      left->keys.pop_back();
+      left->values.pop_back();
+      parent->keys[ci - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(), parent->keys[ci - 1]);
+      parent->keys[ci - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+  }
+
+  void BorrowFromRight(Node* parent, size_t ci, Node* child, Node* right) {
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->values.push_back(std::move(right->values.front()));
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      parent->keys[ci] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[ci]);
+      parent->keys[ci] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+  }
+
+  /// Merges children li and li+1 into li, removing the separator.
+  void MergeChildren(Node* parent, size_t li) {
+    Node* left = parent->children[li].get();
+    Node* right = parent->children[li + 1].get();
+    if (left->leaf) {
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      left->values.insert(left->values.end(),
+                          std::make_move_iterator(right->values.begin()),
+                          std::make_move_iterator(right->values.end()));
+      left->next = right->next;
+      if (right->next != nullptr) right->next->prev = left;
+    } else {
+      left->keys.push_back(parent->keys[li]);
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      left->children.insert(left->children.end(),
+                            std::make_move_iterator(right->children.begin()),
+                            std::make_move_iterator(right->children.end()));
+    }
+    parent->keys.erase(parent->keys.begin() + li);
+    parent->children.erase(parent->children.begin() + li + 1);
+  }
+
+  Status ValidateRec(const Node* node, const K* lo, const K* hi,
+                     size_t* counted) const {
+    for (size_t i = 1; i < node->keys.size(); ++i) {
+      if (!(node->keys[i - 1] < node->keys[i])) {
+        return Status::Internal("keys out of order within node");
+      }
+    }
+    for (const K& k : node->keys) {
+      if (lo != nullptr && k < *lo) {
+        return Status::Internal("key below subtree lower bound");
+      }
+      if (hi != nullptr && !(k < *hi)) {
+        return Status::Internal("key above subtree upper bound");
+      }
+    }
+    if (node->leaf) {
+      if (node->values.size() != node->keys.size()) {
+        return Status::Internal("leaf arity mismatch");
+      }
+      *counted += node->keys.size();
+      return Status::OK();
+    }
+    if (node->children.size() != node->keys.size() + 1) {
+      return Status::Internal("internal arity mismatch");
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const K* clo = i == 0 ? lo : &node->keys[i - 1];
+      const K* chi = i == node->keys.size() ? hi : &node->keys[i];
+      RETURN_IF_ERROR(ValidateRec(node->children[i].get(), clo, chi,
+                                  counted));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_INDEX_BTREE_H_

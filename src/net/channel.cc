@@ -1,0 +1,77 @@
+#include "net/channel.h"
+
+namespace snapdiff {
+
+ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
+  ChannelStats d;
+  d.messages = a.messages - b.messages;
+  d.entry_messages = a.entry_messages - b.entry_messages;
+  d.delete_messages = a.delete_messages - b.delete_messages;
+  d.control_messages = a.control_messages - b.control_messages;
+  d.payload_bytes = a.payload_bytes - b.payload_bytes;
+  d.wire_bytes = a.wire_bytes - b.wire_bytes;
+  d.frames = a.frames - b.frames;
+  d.send_failures = a.send_failures - b.send_failures;
+  return d;
+}
+
+Channel::Channel(ChannelOptions options) : options_(options) {}
+
+Status Channel::Send(const Message& msg) {
+  if (fail_after_.has_value() && *fail_after_ == 0) {
+    partitioned_ = true;  // the injected link loss persists until healed
+    fail_after_.reset();
+  }
+  if (partitioned_) {
+    ++stats_.send_failures;
+    return Status::Unavailable("channel partitioned");
+  }
+  if (fail_after_.has_value()) --*fail_after_;
+  std::string bytes;
+  msg.SerializeTo(&bytes);
+
+  ++stats_.messages;
+  switch (msg.type) {
+    case MessageType::kEntry:
+    case MessageType::kUpsert:
+      ++stats_.entry_messages;
+      break;
+    case MessageType::kDelete:
+    case MessageType::kDeleteRange:
+      ++stats_.delete_messages;
+      break;
+    default:
+      ++stats_.control_messages;
+      break;
+  }
+  stats_.payload_bytes += bytes.size();
+  stats_.wire_bytes += bytes.size() + options_.per_message_overhead_bytes;
+
+  // Frame accounting: opening a fresh frame pays the header.
+  if (open_frame_messages_ == 0) {
+    ++stats_.frames;
+    stats_.wire_bytes += options_.frame_header_bytes;
+  }
+  if (++open_frame_messages_ >= options_.blocking_factor) {
+    open_frame_messages_ = 0;
+  }
+
+  const bool is_end = msg.type == MessageType::kEndOfRefresh;
+  queue_.push_back(std::move(bytes));
+  if (is_end) FlushFrame();
+  return Status::OK();
+}
+
+Result<Message> Channel::Receive() {
+  if (queue_.empty()) return Status::NotFound("channel empty");
+  std::string bytes = std::move(queue_.front());
+  queue_.pop_front();
+  std::string_view in = bytes;
+  ASSIGN_OR_RETURN(Message msg, Message::DeserializeFrom(&in));
+  if (!in.empty()) return Status::Corruption("trailing bytes in message");
+  return msg;
+}
+
+void Channel::FlushFrame() { open_frame_messages_ = 0; }
+
+}  // namespace snapdiff

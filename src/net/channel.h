@@ -1,0 +1,92 @@
+#ifndef SNAPDIFF_NET_CHANNEL_H_
+#define SNAPDIFF_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/message.h"
+
+namespace snapdiff {
+
+/// Framing/overhead model for the simulated link. R* "blocks the entries to
+/// be transmitted" — up to `blocking_factor` messages share one network
+/// frame, whose fixed header is paid once.
+struct ChannelOptions {
+  size_t blocking_factor = 32;
+  size_t frame_header_bytes = 64;
+  size_t per_message_overhead_bytes = 8;
+};
+
+/// Traffic meters. `messages` counts logical protocol messages — the unit
+/// of Figures 8/9 — split by category; `frames` counts network frames under
+/// the blocking model; `wire_bytes` = payloads + per-message overhead +
+/// frame headers.
+struct ChannelStats {
+  uint64_t messages = 0;
+  uint64_t entry_messages = 0;    // kEntry + kUpsert
+  uint64_t delete_messages = 0;   // kDelete + kDeleteRange
+  uint64_t control_messages = 0;  // request/clear/end
+  uint64_t payload_bytes = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t frames = 0;
+  uint64_t send_failures = 0;  // rejected while partitioned
+};
+
+ChannelStats operator-(const ChannelStats& a, const ChannelStats& b);
+
+/// A simulated, metered, in-process unidirectional link between the base
+/// site and a snapshot site. Messages are serialized on Send and
+/// deserialized on Receive so the wire format is exercised on every hop.
+///
+/// `SetPartitioned(true)` makes Send fail with Unavailable — the failure
+/// mode the paper holds against ASAP propagation (a refresh-on-demand
+/// method simply retries later; an ASAP propagator must buffer or reject).
+class Channel {
+ public:
+  explicit Channel(ChannelOptions options = {});
+
+  /// Enqueues a message. Ends the current frame when `blocking_factor`
+  /// messages have accumulated. Fails with Unavailable when partitioned.
+  Status Send(const Message& msg);
+
+  /// Dequeues the oldest message. NotFound when empty.
+  Result<Message> Receive();
+
+  bool HasPending() const { return !queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  /// Closes the current partially filled frame (end of a transmission
+  /// burst; called automatically when an END_OF_REFRESH is sent).
+  void FlushFrame();
+
+  void SetPartitioned(bool partitioned) {
+    partitioned_ = partitioned;
+    if (!partitioned) fail_after_.reset();
+  }
+  bool partitioned() const { return partitioned_; }
+
+  /// Failure injection: after `n` more successful sends the link behaves
+  /// as partitioned (mid-transmission link loss). Cleared by
+  /// SetPartitioned(false).
+  void FailAfterSends(uint64_t n) { fail_after_ = n; }
+
+  const ChannelStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChannelStats{}; }
+  const ChannelOptions& options() const { return options_; }
+
+ private:
+  ChannelOptions options_;
+  std::deque<std::string> queue_;
+  size_t open_frame_messages_ = 0;
+  bool partitioned_ = false;
+  std::optional<uint64_t> fail_after_;
+  ChannelStats stats_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_NET_CHANNEL_H_

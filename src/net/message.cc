@@ -1,0 +1,148 @@
+#include "net/message.h"
+
+#include "common/coding.h"
+
+namespace snapdiff {
+
+std::string_view MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kRefreshRequest:
+      return "REFRESH_REQUEST";
+    case MessageType::kClear:
+      return "CLEAR";
+    case MessageType::kEntry:
+      return "ENTRY";
+    case MessageType::kUpsert:
+      return "UPSERT";
+    case MessageType::kDelete:
+      return "DELETE";
+    case MessageType::kDeleteRange:
+      return "DELETE_RANGE";
+    case MessageType::kEndOfRefresh:
+      return "END_OF_REFRESH";
+  }
+  return "UNKNOWN";
+}
+
+void Message::SerializeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutFixed32(dst, snapshot_id);
+  PutFixed64(dst, base_addr.raw());
+  PutFixed64(dst, prev_addr.raw());
+  PutFixed64(dst, static_cast<uint64_t>(timestamp));
+  PutLengthPrefixed(dst, payload);
+}
+
+Result<Message> Message::DeserializeFrom(std::string_view* input) {
+  if (input->empty()) return Status::Corruption("empty message");
+  const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
+  if (type_raw > static_cast<uint8_t>(MessageType::kEndOfRefresh)) {
+    return Status::Corruption("bad message type");
+  }
+  input->remove_prefix(1);
+  Message msg;
+  msg.type = static_cast<MessageType>(type_raw);
+  uint32_t u32 = 0;
+  RETURN_IF_ERROR(GetFixed32(input, &u32));
+  msg.snapshot_id = u32;
+  uint64_t u64 = 0;
+  RETURN_IF_ERROR(GetFixed64(input, &u64));
+  msg.base_addr = Address::FromRaw(u64);
+  RETURN_IF_ERROR(GetFixed64(input, &u64));
+  msg.prev_addr = Address::FromRaw(u64);
+  RETURN_IF_ERROR(GetFixed64(input, &u64));
+  msg.timestamp = static_cast<Timestamp>(u64);
+  RETURN_IF_ERROR(GetLengthPrefixed(input, &msg.payload));
+  return msg;
+}
+
+size_t Message::SerializedSize() const {
+  return 1 + 4 + 8 + 8 + 8 + 4 + payload.size();
+}
+
+std::string Message::ToString() const {
+  std::string out = "[" + std::string(MessageTypeToString(type)) +
+                    " snap=" + std::to_string(snapshot_id);
+  out += " addr=" + base_addr.ToString();
+  out += " prev=" + prev_addr.ToString();
+  if (timestamp != kNullTimestamp) {
+    out += " ts=" + std::to_string(timestamp);
+  }
+  if (!payload.empty()) {
+    out += " payload=" + std::to_string(payload.size()) + "B";
+  }
+  out += "]";
+  return out;
+}
+
+bool operator==(const Message& a, const Message& b) {
+  return a.type == b.type && a.snapshot_id == b.snapshot_id &&
+         a.base_addr == b.base_addr && a.prev_addr == b.prev_addr &&
+         a.timestamp == b.timestamp && a.payload == b.payload;
+}
+
+Message MakeRefreshRequest(SnapshotId id, Timestamp snap_time,
+                           std::string restriction_text) {
+  Message m;
+  m.type = MessageType::kRefreshRequest;
+  m.snapshot_id = id;
+  m.timestamp = snap_time;
+  m.payload = std::move(restriction_text);
+  return m;
+}
+
+Message MakeClear(SnapshotId id) {
+  Message m;
+  m.type = MessageType::kClear;
+  m.snapshot_id = id;
+  return m;
+}
+
+Message MakeEntry(SnapshotId id, Address addr, Address prev_qual,
+                  std::string projected_tuple) {
+  Message m;
+  m.type = MessageType::kEntry;
+  m.snapshot_id = id;
+  m.base_addr = addr;
+  m.prev_addr = prev_qual;
+  m.payload = std::move(projected_tuple);
+  return m;
+}
+
+Message MakeUpsert(SnapshotId id, Address addr, std::string projected_tuple) {
+  Message m;
+  m.type = MessageType::kUpsert;
+  m.snapshot_id = id;
+  m.base_addr = addr;
+  m.payload = std::move(projected_tuple);
+  return m;
+}
+
+Message MakeDeleteMsg(SnapshotId id, Address addr) {
+  Message m;
+  m.type = MessageType::kDelete;
+  m.snapshot_id = id;
+  m.base_addr = addr;
+  return m;
+}
+
+Message MakeDeleteRange(SnapshotId id, Address lo, Address hi) {
+  Message m;
+  m.type = MessageType::kDeleteRange;
+  m.snapshot_id = id;
+  m.base_addr = lo;
+  m.prev_addr = hi;
+  return m;
+}
+
+Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
+                         Timestamp new_snap_time) {
+  Message m;
+  m.type = MessageType::kEndOfRefresh;
+  m.snapshot_id = id;
+  m.prev_addr = last_qual;
+  m.timestamp = new_snap_time;
+  return m;
+}
+
+}  // namespace snapdiff

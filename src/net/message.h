@@ -1,0 +1,80 @@
+#ifndef SNAPDIFF_NET_MESSAGE_H_
+#define SNAPDIFF_NET_MESSAGE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace snapdiff {
+
+/// Wire messages of the refresh protocol. One message ≈ one "item
+/// transmitted to the snapshot" in the paper's accounting.
+enum class MessageType : uint8_t {
+  /// snapshot → base: demand a refresh. `timestamp` carries SnapTime,
+  /// `payload` the restriction text (informational; plans are compiled at
+  /// CREATE SNAPSHOT time).
+  kRefreshRequest = 0,
+  /// base → snapshot: discard all snapshot contents (full refresh preamble).
+  kClear = 1,
+  /// base → snapshot, differential: `base_addr` + projected values in
+  /// `payload`, plus `prev_addr` = address of the *previous qualified*
+  /// entry. Apply deletes every snapshot entry with BaseAddr strictly
+  /// between prev_addr and base_addr, then upserts (Figure 4).
+  kEntry = 2,
+  /// base → snapshot: plain upsert of `base_addr` (full/ideal/log/ASAP
+  /// paths; no gap semantics).
+  kUpsert = 3,
+  /// base → snapshot: delete the entry with BaseAddr = `base_addr`.
+  kDelete = 4,
+  /// base → snapshot, empty-region algorithm: delete every entry with
+  /// BaseAddr in [base_addr, prev_addr] (inclusive region bounds).
+  kDeleteRange = 5,
+  /// base → snapshot: end of refresh. `prev_addr` = LastQual — apply
+  /// deletes every entry with BaseAddr > LastQual unless prev_addr is the
+  /// NULL sentinel (methods without positional semantics). `timestamp`
+  /// carries the new SnapTime.
+  kEndOfRefresh = 6,
+};
+
+std::string_view MessageTypeToString(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kRefreshRequest;
+  SnapshotId snapshot_id = 0;
+  Address base_addr = Address::Null();
+  Address prev_addr = Address::Null();
+  Timestamp timestamp = kNullTimestamp;
+  std::string payload;
+
+  bool IsDataMessage() const {
+    return type == MessageType::kEntry || type == MessageType::kUpsert ||
+           type == MessageType::kDelete || type == MessageType::kDeleteRange;
+  }
+
+  void SerializeTo(std::string* dst) const;
+  static Result<Message> DeserializeFrom(std::string_view* input);
+  size_t SerializedSize() const;
+
+  std::string ToString() const;
+};
+
+bool operator==(const Message& a, const Message& b);
+
+/// Factories for the common shapes.
+Message MakeRefreshRequest(SnapshotId id, Timestamp snap_time,
+                           std::string restriction_text);
+Message MakeClear(SnapshotId id);
+Message MakeEntry(SnapshotId id, Address addr, Address prev_qual,
+                  std::string projected_tuple);
+Message MakeUpsert(SnapshotId id, Address addr, std::string projected_tuple);
+Message MakeDeleteMsg(SnapshotId id, Address addr);
+Message MakeDeleteRange(SnapshotId id, Address lo, Address hi);
+Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
+                         Timestamp new_snap_time);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_NET_MESSAGE_H_

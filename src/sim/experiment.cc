@@ -1,0 +1,158 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "analysis/analytic_model.h"
+
+namespace snapdiff {
+
+namespace {
+
+double AnalyticPercent(RefreshMethod method, const WorkloadPoint& p) {
+  switch (method) {
+    case RefreshMethod::kFull:
+      return ExpectedFullPercent(p);
+    case RefreshMethod::kIdeal:
+      return ExpectedIdealPercent(p);
+    case RefreshMethod::kDifferential:
+      return ExpectedDifferentialPercent(p);
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FigurePoint>> RunFigureExperiment(
+    const FigureExperimentConfig& config) {
+  std::vector<FigurePoint> points;
+  for (double q : config.selectivities) {
+    for (double u : config.update_fractions) {
+      // method → accumulated (messages, bytes)
+      std::map<RefreshMethod, std::pair<double, double>> acc;
+      for (int trial = 0; trial < config.trials; ++trial) {
+        SnapshotSystem sys;
+        WorkloadConfig wc;
+        wc.table_size = config.table_size;
+        wc.seed = config.seed + 977u * trial + uint64_t(q * 1e4) +
+                  uint64_t(u * 1e6);
+        ASSIGN_OR_RETURN(auto workload, Workload::Create(&sys, "base", wc));
+        const std::string restriction = workload->RestrictionFor(q);
+
+        // One snapshot per method over the same base table.
+        for (RefreshMethod method : config.methods) {
+          SnapshotOptions opts;
+          opts.method = method;
+          ASSIGN_OR_RETURN(
+              auto snap,
+              sys.CreateSnapshot("snap_" +
+                                     std::string(RefreshMethodToString(method)),
+                                 "base", restriction, opts));
+          (void)snap;
+        }
+        for (RefreshMethod method : config.methods) {
+          RETURN_IF_ERROR(
+              sys.Refresh("snap_" +
+                          std::string(RefreshMethodToString(method)))
+                  .status());
+        }
+
+        // The measured change burst.
+        RETURN_IF_ERROR(workload->UpdateFraction(u));
+
+        for (RefreshMethod method : config.methods) {
+          ASSIGN_OR_RETURN(
+              RefreshStats stats,
+              sys.Refresh("snap_" +
+                          std::string(RefreshMethodToString(method))));
+          acc[method].first += double(stats.data_messages());
+          acc[method].second += double(stats.traffic.payload_bytes);
+        }
+      }
+      for (RefreshMethod method : config.methods) {
+        FigurePoint pt;
+        pt.selectivity = q;
+        pt.update_fraction = u;
+        pt.method = method;
+        pt.data_messages = acc[method].first / config.trials;
+        pt.payload_bytes = acc[method].second / config.trials;
+        pt.pct_sent = 100.0 * pt.data_messages / double(config.table_size);
+        pt.analytic_pct =
+            AnalyticPercent(method, WorkloadPoint{config.table_size, q, u});
+        points.push_back(pt);
+      }
+    }
+  }
+  return points;
+}
+
+std::string RenderFigureTable(const std::vector<FigurePoint>& points) {
+  // Group: selectivity → update fraction → method → point.
+  std::map<double, std::map<double, std::map<RefreshMethod, FigurePoint>>>
+      grouped;
+  for (const FigurePoint& p : points) {
+    grouped[p.selectivity][p.update_fraction][p.method] = p;
+  }
+  std::string out;
+  char buf[256];
+  for (const auto& [q, by_u] : grouped) {
+    std::snprintf(buf, sizeof(buf),
+                  "-- selectivity q = %.4g%% of base table qualifies --\n",
+                  q * 100.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%10s", "%updated");
+    out += buf;
+    const auto& first_row = by_u.begin()->second;
+    for (const auto& [method, p] : first_row) {
+      std::snprintf(buf, sizeof(buf), " %14s",
+                    std::string(RefreshMethodToString(method)).c_str());
+      out += buf;
+      if (!std::isnan(p.analytic_pct)) {
+        std::snprintf(buf, sizeof(buf), " %14s",
+                      ("~" + std::string(RefreshMethodToString(method)))
+                          .c_str());
+        out += buf;
+      }
+    }
+    out += "\n";
+    for (const auto& [u, by_method] : by_u) {
+      std::snprintf(buf, sizeof(buf), "%9.4g%%", u * 100.0);
+      out += buf;
+      for (const auto& [method, p] : by_method) {
+        std::snprintf(buf, sizeof(buf), " %13.3f%%", p.pct_sent);
+        out += buf;
+        if (!std::isnan(p.analytic_pct)) {
+          std::snprintf(buf, sizeof(buf), " %13.3f%%", p.analytic_pct);
+          out += buf;
+        }
+      }
+      out += "\n";
+    }
+    out += "\n";
+  }
+  out +=
+      "(columns prefixed with ~ are the closed-form model of "
+      "src/analysis/analytic_model.h)\n";
+  return out;
+}
+
+std::string RenderFigureCsv(const std::vector<FigurePoint>& points) {
+  std::string out =
+      "selectivity,update_fraction,method,pct_sent,data_messages,"
+      "payload_bytes,analytic_pct\n";
+  char buf[256];
+  for (const FigurePoint& p : points) {
+    std::snprintf(buf, sizeof(buf), "%.6g,%.6g,%s,%.4f,%.1f,%.1f,%.4f\n",
+                  p.selectivity, p.update_fraction,
+                  std::string(RefreshMethodToString(p.method)).c_str(),
+                  p.pct_sent, p.data_messages, p.payload_bytes,
+                  p.analytic_pct);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,54 @@
+#ifndef SNAPDIFF_SIM_EXPERIMENT_H_
+#define SNAPDIFF_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/workload.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// One measured point of a Figure 8/9 style experiment.
+struct FigurePoint {
+  double selectivity;      // q
+  double update_fraction;  // u
+  RefreshMethod method;
+  double pct_sent;         // data messages as % of table size (the y-axis)
+  double data_messages;    // averaged over trials
+  double payload_bytes;    // averaged over trials
+  double analytic_pct;     // closed-form prediction (NaN for methods
+                           // without one)
+};
+
+struct FigureExperimentConfig {
+  uint64_t table_size = 10000;
+  std::vector<double> selectivities;     // q values
+  std::vector<double> update_fractions;  // u values
+  int trials = 3;
+  uint64_t seed = 1;
+  std::vector<RefreshMethod> methods = {RefreshMethod::kIdeal,
+                                        RefreshMethod::kDifferential,
+                                        RefreshMethod::kFull};
+};
+
+/// Runs the paper's evaluation: for each (q, u) and each method, build a
+/// fresh system, load N rows, create one snapshot per method over the SAME
+/// base table, initialize them, apply the update burst once, refresh each
+/// snapshot, and record its data-message traffic. Multiple snapshots on one
+/// base table see the identical change sequence, exactly how the paper
+/// compares the algorithms.
+Result<std::vector<FigurePoint>> RunFigureExperiment(
+    const FigureExperimentConfig& config);
+
+/// Renders points grouped like the paper's figures: one block per
+/// selectivity, a row per update fraction, a column per method.
+std::string RenderFigureTable(const std::vector<FigurePoint>& points);
+
+/// Renders a CSV (for replotting).
+std::string RenderFigureCsv(const std::vector<FigurePoint>& points);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SIM_EXPERIMENT_H_

@@ -1,0 +1,99 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snapdiff {
+
+Result<std::unique_ptr<Workload>> Workload::Create(
+    SnapshotSystem* sys, const std::string& table_name,
+    const WorkloadConfig& config) {
+  Schema schema({{"Id", TypeId::kInt64, false},
+                 {"Qual", TypeId::kInt64, false},
+                 {"Payload", TypeId::kString, false}});
+  ASSIGN_OR_RETURN(BaseTable * table,
+                   sys->CreateBaseTable(table_name, std::move(schema),
+                                        AnnotationMode::kLazy,
+                                        config.placement));
+  auto workload = std::unique_ptr<Workload>(
+      new Workload(sys, table, config));
+  workload->live_.reserve(config.table_size);
+  for (uint64_t i = 0; i < config.table_size; ++i) {
+    ASSIGN_OR_RETURN(Address addr,
+                     table->Insert(workload->MakeRow(workload->next_id_++)));
+    workload->live_.push_back(addr);
+  }
+  return workload;
+}
+
+std::string Workload::RestrictionFor(double q, int64_t qual_domain) {
+  const int64_t threshold = static_cast<int64_t>(
+      std::llround(q * static_cast<double>(qual_domain)));
+  return "Qual < " + std::to_string(threshold);
+}
+
+Tuple Workload::MakeRow(int64_t id) {
+  std::string payload(config_.payload_bytes, 'x');
+  for (char& c : payload) {
+    c = static_cast<char>('a' + rng_.Uniform(26));
+  }
+  return Tuple({Value::Int64(id),
+                Value::Int64(static_cast<int64_t>(
+                    rng_.Uniform(static_cast<uint64_t>(config_.qual_domain)))),
+                Value::String(std::move(payload))});
+}
+
+Status Workload::UpdateFraction(double u) {
+  if (live_.empty() || u <= 0.0) return Status::OK();
+  const size_t count = std::min<size_t>(
+      live_.size(),
+      static_cast<size_t>(std::llround(u * double(live_.size()))));
+  // Choose `count` distinct victims: uniform = prefix of a shuffle;
+  // zipfian = draw ranks with skew (deduplicated, so hot rows saturate).
+  std::vector<size_t> victims;
+  if (config_.zipf_theta <= 0.0) {
+    std::vector<size_t> idx(live_.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng_.Shuffle(&idx);
+    victims.assign(idx.begin(), idx.begin() + count);
+  } else {
+    ZipfianGenerator zipf(live_.size(), config_.zipf_theta,
+                          rng_.NextUint64());
+    std::vector<bool> taken(live_.size(), false);
+    while (victims.size() < count) {
+      const size_t i = static_cast<size_t>(zipf.Next());
+      if (!taken[i]) {
+        taken[i] = true;
+        victims.push_back(i);
+      }
+    }
+  }
+  for (size_t i : victims) {
+    ASSIGN_OR_RETURN(Tuple row, table_->ReadUserRow(live_[i]));
+    Tuple fresh = MakeRow(row.value(0).as_int64());
+    RETURN_IF_ERROR(table_->Update(live_[i], fresh));
+  }
+  return Status::OK();
+}
+
+Status Workload::ApplyMixedOps(size_t count, double insert_prob,
+                               double delete_prob) {
+  for (size_t op = 0; op < count; ++op) {
+    const double dice = rng_.NextDouble();
+    if ((dice < insert_prob) || live_.empty()) {
+      ASSIGN_OR_RETURN(Address addr, table_->Insert(MakeRow(next_id_++)));
+      live_.push_back(addr);
+    } else if (dice < insert_prob + delete_prob) {
+      const size_t i = rng_.Uniform(live_.size());
+      RETURN_IF_ERROR(table_->Delete(live_[i]));
+      live_[i] = live_.back();
+      live_.pop_back();
+    } else {
+      const size_t i = rng_.Uniform(live_.size());
+      RETURN_IF_ERROR(table_->Update(live_[i], MakeRow(next_id_++)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,71 @@
+#ifndef SNAPDIFF_SIM_WORKLOAD_H_
+#define SNAPDIFF_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+
+/// The synthetic table behind the Figure 8/9 experiments:
+///   Id INT64, Qual INT64 (uniform in [0, qual_domain)), Payload STRING.
+/// A snapshot with selectivity q restricts on `Qual < q * qual_domain`,
+/// so each row qualifies independently with probability q — the workload
+/// model of the paper's analysis section.
+struct WorkloadConfig {
+  uint64_t table_size = 10000;
+  int64_t qual_domain = 1u << 20;
+  size_t payload_bytes = 16;
+  uint64_t seed = 1;
+  PlacementPolicy placement = PlacementPolicy::kFirstFit;
+  /// Update targeting: 0 = uniform; > 0 = zipfian skew theta.
+  double zipf_theta = 0.0;
+};
+
+/// Builds and mutates the experiment table inside a SnapshotSystem.
+class Workload {
+ public:
+  /// Creates base table `table_name` in `sys` and loads `table_size` rows.
+  static Result<std::unique_ptr<Workload>> Create(
+      SnapshotSystem* sys, const std::string& table_name,
+      const WorkloadConfig& config);
+
+  /// The restriction text selecting a fraction `q` of rows.
+  static std::string RestrictionFor(double q, int64_t qual_domain);
+  std::string RestrictionFor(double q) const {
+    return RestrictionFor(q, config_.qual_domain);
+  }
+
+  /// Updates a fraction `u` of *distinct* live rows (chosen uniformly or
+  /// zipfian per config), redrawing Qual and Payload — the paper's "% of
+  /// tuples updated" axis.
+  Status UpdateFraction(double u);
+
+  /// Applies `count` random operations with the given insert/delete
+  /// probabilities (remainder are updates). Keeps the live-address list.
+  Status ApplyMixedOps(size_t count, double insert_prob, double delete_prob);
+
+  BaseTable* table() const { return table_; }
+  const std::vector<Address>& live_addresses() const { return live_; }
+  uint64_t table_size() const { return live_.size(); }
+
+ private:
+  Workload(SnapshotSystem* sys, BaseTable* table, WorkloadConfig config)
+      : sys_(sys), table_(table), config_(config), rng_(config.seed) {}
+
+  Tuple MakeRow(int64_t id);
+
+  SnapshotSystem* sys_;
+  BaseTable* table_;
+  WorkloadConfig config_;
+  Random rng_;
+  std::vector<Address> live_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SIM_WORKLOAD_H_

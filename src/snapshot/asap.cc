@@ -1,0 +1,81 @@
+#include "snapshot/asap.h"
+
+#include "common/logging.h"
+
+namespace snapdiff {
+
+AsapPropagator::AsapPropagator(SnapshotDescriptor* desc, BaseTable* base,
+                               Channel* channel, bool buffer_on_partition)
+    : desc_(desc),
+      base_(base),
+      channel_(channel),
+      buffer_on_partition_(buffer_on_partition) {
+  auto projected = base->user_schema().Project(desc->projection);
+  SNAPDIFF_CHECK(projected.ok()) << projected.status().ToString();
+  projected_schema_ = std::move(projected).value();
+}
+
+Result<bool> AsapPropagator::Qualifies(const Tuple& user_row) const {
+  return EvaluatePredicate(*desc_->restriction, user_row,
+                           base_->user_schema());
+}
+
+void AsapPropagator::Propagate(Message msg) {
+  Status sent = channel_->Send(msg);
+  if (sent.ok()) {
+    ++stats_.propagated;
+    return;
+  }
+  if (buffer_on_partition_) {
+    buffer_.push_back(std::move(msg));
+    ++stats_.buffered;
+    stats_.buffered_high_water =
+        std::max<uint64_t>(stats_.buffered_high_water, buffer_.size());
+  } else {
+    ++stats_.rejected;
+  }
+}
+
+Status AsapPropagator::FlushBuffered() {
+  while (!buffer_.empty()) {
+    RETURN_IF_ERROR(channel_->Send(buffer_.front()));
+    ++stats_.propagated;
+    buffer_.pop_front();
+  }
+  return Status::OK();
+}
+
+void AsapPropagator::OnInsert(Address addr, const Tuple& after) {
+  auto q = Qualifies(after);
+  if (!q.ok()) return;
+  if (!*q) return;
+  auto projected = after.Project(base_->user_schema(), desc_->projection);
+  if (!projected.ok()) return;
+  auto payload = projected->Serialize(projected_schema_);
+  if (!payload.ok()) return;
+  Propagate(MakeUpsert(desc_->id, addr, std::move(*payload)));
+}
+
+void AsapPropagator::OnUpdate(Address addr, const Tuple& before,
+                              const Tuple& after) {
+  auto before_q = Qualifies(before);
+  auto after_q = Qualifies(after);
+  if (!before_q.ok() || !after_q.ok()) return;
+  if (*after_q) {
+    auto projected = after.Project(base_->user_schema(), desc_->projection);
+    if (!projected.ok()) return;
+    auto payload = projected->Serialize(projected_schema_);
+    if (!payload.ok()) return;
+    Propagate(MakeUpsert(desc_->id, addr, std::move(*payload)));
+  } else if (*before_q) {
+    Propagate(MakeDeleteMsg(desc_->id, addr));
+  }
+}
+
+void AsapPropagator::OnDelete(Address addr, const Tuple& before) {
+  auto q = Qualifies(before);
+  if (!q.ok() || !*q) return;
+  Propagate(MakeDeleteMsg(desc_->id, addr));
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,65 @@
+#ifndef SNAPDIFF_SNAPSHOT_ASAP_H_
+#define SNAPDIFF_SNAPSHOT_ASAP_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "net/channel.h"
+#include "snapshot/base_table.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// ASAP ("As Soon As Possible") update propagation — the eager alternative
+/// the paper argues against. Attached as a BaseTable observer, it restricts
+/// every base change and immediately sends UPSERT/DELETE to the snapshot.
+///
+/// Reproduced drawbacks:
+///   * every base operation pays a message (and a restriction evaluation);
+///   * when the channel is partitioned, changes "must be buffered or
+///     rejected" — `buffer_on_partition` selects which, and the meters
+///     expose the buffering high-water mark / the loss count. Rejected
+///     changes make the snapshot permanently stale until a full refresh.
+class AsapPropagator : public TableObserver {
+ public:
+  struct Stats {
+    uint64_t propagated = 0;        // messages sent at operation time
+    uint64_t buffered = 0;          // queued while partitioned
+    uint64_t buffered_high_water = 0;
+    uint64_t rejected = 0;          // dropped while partitioned
+  };
+
+  AsapPropagator(SnapshotDescriptor* desc, BaseTable* base, Channel* channel,
+                 bool buffer_on_partition = true);
+
+  /// Re-sends buffered changes after the partition heals, in order.
+  Status FlushBuffered();
+
+  /// Drops buffered changes (used when a full copy subsumes them).
+  void DiscardBuffered() { buffer_.clear(); }
+
+  size_t buffered() const { return buffer_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // TableObserver:
+  void OnInsert(Address addr, const Tuple& after) override;
+  void OnUpdate(Address addr, const Tuple& before,
+                const Tuple& after) override;
+  void OnDelete(Address addr, const Tuple& before) override;
+
+ private:
+  Result<bool> Qualifies(const Tuple& user_row) const;
+  void Propagate(Message msg);
+
+  SnapshotDescriptor* desc_;
+  BaseTable* base_;
+  Channel* channel_;
+  bool buffer_on_partition_;
+  Schema projected_schema_;
+  std::deque<Message> buffer_;
+  Stats stats_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_ASAP_H_

@@ -1,0 +1,309 @@
+#include "snapshot/base_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "snapshot/secondary_index.h"
+
+namespace snapdiff {
+
+std::string_view AnnotationModeToString(AnnotationMode mode) {
+  switch (mode) {
+    case AnnotationMode::kNone:
+      return "none";
+    case AnnotationMode::kEager:
+      return "eager";
+    case AnnotationMode::kLazy:
+      return "lazy";
+  }
+  return "unknown";
+}
+
+BaseTable::BaseTable(TableInfo* info, AnnotationMode mode,
+                     TimestampOracle* oracle, LogManager* wal)
+    : info_(info), mode_(mode), oracle_(oracle), wal_(wal) {
+  if (mode != AnnotationMode::kNone) {
+    SNAPDIFF_CHECK(info_->schema.HasAnnotations())
+        << "annotated mode requires funny columns in schema";
+  }
+  std::vector<Column> user_cols(
+      info_->schema.columns().begin(),
+      info_->schema.columns().begin() + info_->schema.UserColumnCount());
+  user_schema_ = Schema(std::move(user_cols));
+}
+
+Status BaseTable::SetMode(AnnotationMode mode) {
+  if (mode != AnnotationMode::kNone && !info_->schema.HasAnnotations()) {
+    return Status::InvalidArgument(
+        "annotation columns missing; call Catalog::AddAnnotationColumns "
+        "first");
+  }
+  mode_ = mode;
+  // The schema may have grown; refresh the cached user schema.
+  std::vector<Column> user_cols(
+      info_->schema.columns().begin(),
+      info_->schema.columns().begin() + info_->schema.UserColumnCount());
+  user_schema_ = Schema(std::move(user_cols));
+  return Status::OK();
+}
+
+std::vector<std::string> BaseTable::UserColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(user_schema_.column_count());
+  for (const Column& c : user_schema_.columns()) names.push_back(c.name);
+  return names;
+}
+
+Tuple BaseTable::MakeStored(const Tuple& user_row, Address prev,
+                            Timestamp ts) const {
+  if (mode_ == AnnotationMode::kNone && !info_->schema.HasAnnotations()) {
+    return user_row;
+  }
+  std::vector<Value> values = user_row.values();
+  values.push_back(Value::Addr(prev));
+  values.push_back(Value::Ts(ts));
+  return Tuple(std::move(values));
+}
+
+BaseTable::AnnotatedRow BaseTable::SplitStored(const Tuple& stored) const {
+  AnnotatedRow row;
+  const size_t user_n = info_->schema.UserColumnCount();
+  std::vector<Value> user(stored.values().begin(),
+                          stored.values().begin() + user_n);
+  row.user = Tuple(std::move(user));
+  if (info_->schema.HasAnnotations()) {
+    row.prev_addr =
+        stored.value(info_->schema.PrevAddrIndex()).as_address();
+    row.timestamp =
+        stored.value(info_->schema.TimestampIndex()).as_timestamp();
+  } else {
+    row.prev_addr = Address::Null();
+    row.timestamp = kNullTimestamp;
+  }
+  return row;
+}
+
+Status BaseTable::LogAutocommit(LogRecordType type, Address addr,
+                                std::string before, std::string after) {
+  if (wal_ == nullptr) return Status::OK();
+  const TxnId txn = next_txn_++;
+  wal_->LogBegin(txn);
+  switch (type) {
+    case LogRecordType::kInsert:
+      wal_->LogInsert(txn, info_->id, addr, std::move(after));
+      break;
+    case LogRecordType::kUpdate:
+      wal_->LogUpdate(txn, info_->id, addr, std::move(before),
+                      std::move(after));
+      break;
+    case LogRecordType::kDelete:
+      wal_->LogDelete(txn, info_->id, addr, std::move(before));
+      break;
+    default:
+      return Status::Internal("bad autocommit record type");
+  }
+  wal_->LogCommit(txn);
+  return Status::OK();
+}
+
+Result<Address> BaseTable::Insert(const Tuple& user_row) {
+  if (user_row.size() != user_schema_.column_count()) {
+    return Status::InvalidArgument("row arity does not match user schema");
+  }
+  // Lazy (and none): annotations are NULL — "insert operations will set the
+  // PrevAddr and TimeStamp fields to NULL".
+  Tuple stored = MakeStored(user_row, Address::Null(), kNullTimestamp);
+  ASSIGN_OR_RETURN(Address addr, InsertRow(info_, stored));
+
+  if (mode_ == AnnotationMode::kEager) {
+    // Repair the chain around the new entry.
+    ++maintenance_stats_.successor_searches;
+    ASSIGN_OR_RETURN(Address succ, info_->heap->NextLiveAfter(addr));
+    Address my_prev;
+    if (succ.IsReal()) {
+      ++maintenance_stats_.extra_entry_reads;
+      ASSIGN_OR_RETURN(Tuple succ_stored, ReadRow(info_, succ));
+      AnnotatedRow succ_row = SplitStored(succ_stored);
+      my_prev = succ_row.prev_addr;
+      if (my_prev.IsNull()) {
+        // Successor predates annotation maintenance; derive from position.
+        ++maintenance_stats_.successor_searches;
+        ASSIGN_OR_RETURN(my_prev, info_->heap->PrevLiveBefore(addr));
+      }
+      // "the PrevAddr in the next entry must be set to the address of the
+      // new entry" — its TimeStamp is NOT touched.
+      ++maintenance_stats_.extra_entry_writes;
+      RETURN_IF_ERROR(
+          WriteAnnotations(succ, addr, succ_row.timestamp));
+    } else {
+      ++maintenance_stats_.successor_searches;
+      ASSIGN_OR_RETURN(my_prev, info_->heap->PrevLiveBefore(addr));
+    }
+    RETURN_IF_ERROR(WriteAnnotations(addr, my_prev, oracle_->Next()));
+  }
+
+  ASSIGN_OR_RETURN(std::string after_bytes, user_row.Serialize(user_schema_));
+  RETURN_IF_ERROR(
+      LogAutocommit(LogRecordType::kInsert, addr, "", std::move(after_bytes)));
+  for (TableObserver* obs : observers_) obs->OnInsert(addr, user_row);
+  return addr;
+}
+
+Status BaseTable::Update(Address addr, const Tuple& user_row) {
+  if (user_row.size() != user_schema_.column_count()) {
+    return Status::InvalidArgument("row arity does not match user schema");
+  }
+  ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
+  AnnotatedRow old_row = SplitStored(old_stored);
+
+  const Timestamp new_ts = mode_ == AnnotationMode::kEager
+                               ? oracle_->Next()
+                               : kNullTimestamp;
+  // "Update operations will simply set the TimeStamp field to NULL" (lazy);
+  // PrevAddr is preserved in both modes.
+  Tuple stored = MakeStored(user_row, old_row.prev_addr, new_ts);
+  RETURN_IF_ERROR(UpdateRow(info_, addr, stored));
+
+  if (wal_ != nullptr) {
+    ASSIGN_OR_RETURN(std::string before_bytes,
+                     old_row.user.Serialize(user_schema_));
+    ASSIGN_OR_RETURN(std::string after_bytes,
+                     user_row.Serialize(user_schema_));
+    RETURN_IF_ERROR(LogAutocommit(LogRecordType::kUpdate, addr,
+                                  std::move(before_bytes),
+                                  std::move(after_bytes)));
+  }
+  for (TableObserver* obs : observers_) {
+    obs->OnUpdate(addr, old_row.user, user_row);
+  }
+  return Status::OK();
+}
+
+Status BaseTable::Delete(Address addr) {
+  ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
+  AnnotatedRow old_row = SplitStored(old_stored);
+
+  RETURN_IF_ERROR(DeleteRow(info_, addr));
+
+  if (mode_ == AnnotationMode::kEager) {
+    // "the PrevAddr and TimeStamp fields of the succeeding base table entry
+    // must be updated with the PrevAddr from the deleted entry and the
+    // current time". Tail deletions need no successor update; the refresh's
+    // closing message covers them.
+    ++maintenance_stats_.successor_searches;
+    ASSIGN_OR_RETURN(Address succ, info_->heap->NextLiveAfter(addr));
+    if (succ.IsReal()) {
+      ++maintenance_stats_.extra_entry_writes;
+      RETURN_IF_ERROR(WriteAnnotations(succ, old_row.prev_addr,
+                                       oracle_->Next()));
+    }
+  }
+
+  if (wal_ != nullptr) {
+    ASSIGN_OR_RETURN(std::string before_bytes,
+                     old_row.user.Serialize(user_schema_));
+    RETURN_IF_ERROR(LogAutocommit(LogRecordType::kDelete, addr,
+                                  std::move(before_bytes), ""));
+  }
+  for (TableObserver* obs : observers_) obs->OnDelete(addr, old_row.user);
+  return Status::OK();
+}
+
+Result<Tuple> BaseTable::ReadUserRow(Address addr) {
+  ASSIGN_OR_RETURN(Tuple stored, ReadRow(info_, addr));
+  return SplitStored(stored).user;
+}
+
+Result<BaseTable::AnnotatedRow> BaseTable::ReadAnnotated(Address addr) {
+  ASSIGN_OR_RETURN(Tuple stored, ReadRow(info_, addr));
+  return SplitStored(stored);
+}
+
+Status BaseTable::ScanAnnotated(
+    const std::function<Status(Address, const AnnotatedRow&)>& fn) {
+  return ScanRows(info_, [&](Address addr, const Tuple& stored) -> Status {
+    return fn(addr, SplitStored(stored));
+  });
+}
+
+Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
+                                   Timestamp ts) {
+  if (!info_->schema.HasAnnotations()) {
+    return Status::InvalidArgument("table has no annotation columns");
+  }
+  ASSIGN_OR_RETURN(Tuple stored, ReadRow(info_, addr));
+  stored.Set(info_->schema.PrevAddrIndex(), Value::Addr(prev_addr));
+  stored.Set(info_->schema.TimestampIndex(), Value::Ts(ts));
+  return UpdateRow(info_, addr, stored);
+}
+
+// Out of line: ~unique_ptr<SecondaryIndex> needs the complete type.
+BaseTable::~BaseTable() = default;
+
+Result<SecondaryIndex*> BaseTable::CreateSecondaryIndex(
+    const std::string& column) {
+  if (FindSecondaryIndex(column) != nullptr) {
+    return Status::AlreadyExists("index on " + column + " already exists");
+  }
+  ASSIGN_OR_RETURN(auto index, SecondaryIndex::Build(this, column));
+  SecondaryIndex* ptr = index.get();
+  indexes_.push_back(std::move(index));
+  AddObserver(ptr);
+  return ptr;
+}
+
+SecondaryIndex* BaseTable::FindSecondaryIndex(
+    const std::string& column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+Status BaseTable::DropSecondaryIndex(const std::string& column) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if ((*it)->column() == column) {
+      RemoveObserver(it->get());
+      indexes_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no index on " + column);
+}
+
+Status ValidateAnnotationChain(BaseTable* table) {
+  if (!table->stored_schema().HasAnnotations()) {
+    return Status::InvalidArgument("table has no annotation columns");
+  }
+  Address expected_prev = Address::Origin();
+  Status scan = table->ScanAnnotated(
+      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        if (row.prev_addr.IsNull()) {
+          return Status::Internal("NULL PrevAddr at " + addr.ToString());
+        }
+        if (row.timestamp == kNullTimestamp) {
+          return Status::Internal("NULL TimeStamp at " + addr.ToString());
+        }
+        if (row.prev_addr != expected_prev) {
+          return Status::Internal(
+              "broken chain at " + addr.ToString() + ": PrevAddr " +
+              row.prev_addr.ToString() + ", expected " +
+              expected_prev.ToString());
+        }
+        expected_prev = addr;
+        return Status::OK();
+      });
+  return scan;
+}
+
+void BaseTable::AddObserver(TableObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void BaseTable::RemoveObserver(TableObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,170 @@
+#ifndef SNAPDIFF_SNAPSHOT_BASE_TABLE_H_
+#define SNAPDIFF_SNAPSHOT_BASE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "txn/timestamp_oracle.h"
+#include "wal/log_manager.h"
+
+namespace snapdiff {
+
+class SecondaryIndex;
+
+/// How the funny annotation columns are maintained by base-table mutators.
+enum class AnnotationMode {
+  /// No annotation columns; only full refresh is possible.
+  kNone,
+  /// §"Associating Empty Regions with Actual Entries": inserts and deletes
+  /// synchronously repair the successor's PrevAddr/TimeStamp. Base
+  /// operations pay; refresh is a pure read scan.
+  kEager,
+  /// §"Batch Maintenance" (the paper's recommendation): mutators only write
+  /// NULLs; the combined fix-up + refresh scan repairs annotations at
+  /// refresh time, detecting deletions as PrevAddr-chain anomalies.
+  kLazy,
+};
+
+std::string_view AnnotationModeToString(AnnotationMode mode);
+
+/// Extra work charged to base-table operations for snapshot support — the
+/// cost axis of the eager-vs-lazy ablation (bench_base_op_overhead).
+struct AnnotationMaintenanceStats {
+  uint64_t successor_searches = 0;  // NextLiveAfter/PrevLiveBefore scans
+  uint64_t extra_entry_writes = 0;  // neighbour rows rewritten
+  uint64_t extra_entry_reads = 0;   // neighbour rows read
+};
+
+/// A change observer (ASAP propagation hook). Callbacks fire after the
+/// heap mutation succeeds; `before`/`after` are user-level tuples.
+class TableObserver {
+ public:
+  virtual ~TableObserver() = default;
+
+  virtual void OnInsert(Address addr, const Tuple& after) = 0;
+  virtual void OnUpdate(Address addr, const Tuple& before,
+                        const Tuple& after) = 0;
+  virtual void OnDelete(Address addr, const Tuple& before) = 0;
+};
+
+/// An updatable table that transparently maintains the differential-refresh
+/// annotations ($PREVADDR$, $TIMESTAMP$) behind a user-schema interface,
+/// writes full before/after images to the WAL (when attached), and notifies
+/// observers.
+///
+/// A row read through `ReadUserRow` never exposes the funny columns, just
+/// as R* hides them from user queries.
+class BaseTable {
+ public:
+  /// A stored row split into its user part and its annotations.
+  struct AnnotatedRow {
+    Tuple user;
+    Address prev_addr;    // Address::Null() encodes SQL NULL
+    Timestamp timestamp;  // kNullTimestamp encodes SQL NULL
+  };
+
+  /// `info` must already carry the annotation columns when `mode` is not
+  /// kNone. `wal` may be null (no logging).
+  BaseTable(TableInfo* info, AnnotationMode mode, TimestampOracle* oracle,
+            LogManager* wal);
+  ~BaseTable();
+
+  BaseTable(const BaseTable&) = delete;
+  BaseTable& operator=(const BaseTable&) = delete;
+
+  /// Inserts a user row "into some empty address" chosen by the heap's
+  /// placement policy. Annotations per mode: eager repairs the successor;
+  /// lazy stores NULLs.
+  Result<Address> Insert(const Tuple& user_row);
+
+  /// Rewrites the user fields in place. Eager: TimeStamp := now; lazy:
+  /// TimeStamp := NULL. PrevAddr is preserved either way.
+  Status Update(Address addr, const Tuple& user_row);
+
+  /// Deletes the row. Eager: the successor inherits the deleted row's
+  /// PrevAddr and gets TimeStamp := now. Lazy: "unaffected by the
+  /// snapshots — the base table entry is simply deleted".
+  Status Delete(Address addr);
+
+  Result<Tuple> ReadUserRow(Address addr);
+  Result<AnnotatedRow> ReadAnnotated(Address addr);
+
+  /// Visits live rows in address order with their annotations.
+  Status ScanAnnotated(
+      const std::function<Status(Address, const AnnotatedRow&)>& fn);
+
+  /// Rewrites one row's annotations, keeping the user fields (fix-up
+  /// primitive; also exercised by fault-injection tests).
+  Status WriteAnnotations(Address addr, Address prev_addr, Timestamp ts);
+
+  void AddObserver(TableObserver* observer);
+  void RemoveObserver(TableObserver* observer);
+
+  /// Creates (and thereafter maintains) a secondary index on a user
+  /// column. Full refresh uses it automatically when the restriction
+  /// reduces to a range over the indexed column.
+  Result<SecondaryIndex*> CreateSecondaryIndex(const std::string& column);
+
+  /// The index on `column`, or nullptr.
+  SecondaryIndex* FindSecondaryIndex(const std::string& column) const;
+
+  Status DropSecondaryIndex(const std::string& column);
+
+  TableInfo* info() const { return info_; }
+  const Schema& stored_schema() const { return info_->schema; }
+  const Schema& user_schema() const { return user_schema_; }
+  AnnotationMode mode() const { return mode_; }
+  TimestampOracle* oracle() const { return oracle_; }
+  LogManager* wal() const { return wal_; }
+  uint64_t live_rows() const { return info_->heap->live_tuples(); }
+
+  /// Switches maintenance mode. Used when the first differential snapshot
+  /// is created on a previously annotation-free table (the schema must
+  /// already have been extended via Catalog::AddAnnotationColumns).
+  Status SetMode(AnnotationMode mode);
+
+  const AnnotationMaintenanceStats& maintenance_stats() const {
+    return maintenance_stats_;
+  }
+  void ResetMaintenanceStats() {
+    maintenance_stats_ = AnnotationMaintenanceStats{};
+  }
+
+  /// The names of the user columns, in order (the default projection).
+  std::vector<std::string> UserColumnNames() const;
+
+ private:
+  /// Builds the stored tuple = user values + (prev, ts).
+  Tuple MakeStored(const Tuple& user_row, Address prev, Timestamp ts) const;
+
+  /// Splits a stored tuple into user part + annotations.
+  AnnotatedRow SplitStored(const Tuple& stored) const;
+
+  Status LogAutocommit(LogRecordType type, Address addr, std::string before,
+                       std::string after);
+
+  TableInfo* info_;
+  AnnotationMode mode_;
+  TimestampOracle* oracle_;
+  LogManager* wal_;
+  Schema user_schema_;
+  std::vector<TableObserver*> observers_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  AnnotationMaintenanceStats maintenance_stats_;
+  TxnId next_txn_ = 1;
+};
+
+/// Verifies the repaired-annotation invariant: every live row's $PREVADDR$
+/// equals the address of the previous live row (Origin for the first) and
+/// no NULL annotations remain. Holds immediately after a differential
+/// refresh (any mode) and at all times under eager maintenance with no
+/// pre-annotation rows. Quiescence is the caller's responsibility.
+Status ValidateAnnotationChain(BaseTable* table);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_BASE_TABLE_H_

@@ -1,0 +1,73 @@
+#ifndef SNAPDIFF_SNAPSHOT_DENSE_TABLE_H_
+#define SNAPDIFF_SNAPSHOT_DENSE_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "expr/expr.h"
+#include "net/channel.h"
+#include "snapshot/refresh_types.h"
+#include "txn/timestamp_oracle.h"
+
+namespace snapdiff {
+
+/// The paper's *simple, but impractical* first model (Figures 1 and 2): the
+/// base table embedded in a dense, ordered address space where **every**
+/// element — occupied or empty — carries a TimeStamp of its last
+/// modification. Kept as a faithful executable of the pedagogical
+/// algorithm and as the reference the later variants are tested against.
+///
+/// Addresses are 1-based indices into the dense space, surfaced as
+/// Address::FromRaw(index) so the shared SnapshotTable apply path works.
+class DenseTable {
+ public:
+  /// `capacity` fixed at creation (dense space does not grow).
+  DenseTable(Schema user_schema, size_t capacity, TimestampOracle* oracle);
+
+  size_t capacity() const { return elements_.size(); }
+  const Schema& user_schema() const { return user_schema_; }
+
+  /// Places a row at a specific empty address (1-based).
+  Status InsertAt(size_t index, const Tuple& row);
+
+  /// Places a row at the lowest empty address.
+  Result<size_t> Insert(const Tuple& row);
+
+  Status Update(size_t index, const Tuple& row);
+  Status Delete(size_t index);
+
+  bool IsOccupied(size_t index) const;
+  Result<Tuple> Get(size_t index) const;
+  Timestamp TimestampOf(size_t index) const;
+
+  /// Overrides an element's timestamp (used to reconstruct the paper's
+  /// Figure 1 scenario verbatim in tests/examples).
+  Status SetTimestamp(size_t index, Timestamp ts);
+
+  /// The simple refresh algorithm: scan every address; an element with
+  /// TimeStamp > SnapTime is transmitted — address + value if it satisfies
+  /// the restriction, address + "empty" status (a DELETE message)
+  /// otherwise. Ends with END_OF_REFRESH carrying the new SnapTime.
+  Status SimpleRefresh(Timestamp snap_time, const Expression& restriction,
+                       SnapshotId snapshot_id, Channel* channel,
+                       RefreshStats* stats);
+
+ private:
+  struct Element {
+    bool occupied = false;
+    Timestamp ts = kMinTimestamp;
+    std::optional<Tuple> row;
+  };
+
+  Status CheckIndex(size_t index) const;
+
+  Schema user_schema_;
+  TimestampOracle* oracle_;
+  std::vector<Element> elements_;  // elements_[i] is address i+1
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_DENSE_TABLE_H_

@@ -1,0 +1,56 @@
+#ifndef SNAPDIFF_SNAPSHOT_DIFFERENTIAL_REFRESH_H_
+#define SNAPDIFF_SNAPSHOT_DIFFERENTIAL_REFRESH_H_
+
+#include "net/channel.h"
+#include "snapshot/base_table.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// The paper's differential snapshot refresh: one sequential scan of the
+/// base table that (a) repairs the $PREVADDR$/$TIMESTAMP$ annotations left
+/// NULL by lazily maintained base operations (Figure 7's BaseFixup) and
+/// (b) transmits exactly the entries the Figure 3 BaseRefresh rule selects:
+///
+///   * a qualified entry is sent when its (fixed-up) TimeStamp > SnapTime,
+///     or when a deletion/unqualified-update was observed since the last
+///     qualified entry; each ENTRY message carries the address of the
+///     previous qualified entry so the snapshot purges the gap;
+///   * an unqualified entry with TimeStamp > SnapTime raises the Deletion
+///     flag (it may have qualified before its modification);
+///   * the scan closes with END_OF_REFRESH(LastQual, new SnapTime), which
+///     also covers deletions at the end of the table.
+///
+/// The caller must hold the table lock (exclusive: the fix-up writes).
+/// Works for both kLazy (fix-up active) and kEager (fix-up finds nothing to
+/// repair) annotation modes; fails for kNone.
+///
+/// `snap_time` is the SnapTime from the refresh request. On success the new
+/// SnapTime (= the fix-up timestamp) has been transmitted in the closing
+/// message and recorded in stats->new_snap_time.
+Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
+                                  Timestamp snap_time, Channel* channel,
+                                  RefreshStats* stats);
+
+/// One member of a group refresh: a snapshot being served, its SnapTime
+/// from the refresh request, and where to accumulate its meters.
+struct GroupRefreshMember {
+  SnapshotDescriptor* desc;
+  Timestamp snap_time;
+  RefreshStats* stats;
+};
+
+/// Refreshes several snapshots of the same base table in ONE combined
+/// fix-up + transmit scan — the amortization the paper promises ("much of
+/// the extra work is amortized over the set of snapshots depending upon
+/// the base table"). The fix-up runs once; each member keeps its own
+/// Figure-3 transmit state (LastQual, Deletion flag) against its own
+/// SnapTime. All members receive the same new SnapTime.
+Status ExecuteGroupDifferentialRefresh(BaseTable* base,
+                                       std::vector<GroupRefreshMember>*
+                                           members,
+                                       Channel* channel);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_DIFFERENTIAL_REFRESH_H_

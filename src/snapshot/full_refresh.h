@@ -1,0 +1,18 @@
+#ifndef SNAPDIFF_SNAPSHOT_FULL_REFRESH_H_
+#define SNAPDIFF_SNAPSHOT_FULL_REFRESH_H_
+
+#include "net/channel.h"
+#include "snapshot/base_table.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// The baseline "simplest method": clear the snapshot, then transmit every
+/// entry that satisfies the restriction. Costs q·N messages regardless of
+/// update activity, but leaves base-table operations completely untouched.
+Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
+                          Channel* channel, RefreshStats* stats);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_FULL_REFRESH_H_

@@ -1,0 +1,52 @@
+#include "snapshot/ideal_refresh.h"
+
+#include <map>
+
+namespace snapdiff {
+
+Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
+                           Channel* channel, RefreshStats* stats) {
+  ASSIGN_OR_RETURN(Schema projected_schema,
+                   base->user_schema().Project(desc->projection));
+  const Timestamp now = base->oracle()->Next();
+
+  // Current qualified projection.
+  std::map<Address, std::string> current;
+  RETURN_IF_ERROR(base->ScanAnnotated(
+      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        ++stats->entries_scanned;
+        ASSIGN_OR_RETURN(bool qualified,
+                         EvaluatePredicate(*desc->restriction, row.user,
+                                           base->user_schema()));
+        if (!qualified) return Status::OK();
+        ASSIGN_OR_RETURN(Tuple projected,
+                         row.user.Project(base->user_schema(),
+                                          desc->projection));
+        ASSIGN_OR_RETURN(std::string payload,
+                         projected.Serialize(projected_schema));
+        current.emplace(addr, std::move(payload));
+        return Status::OK();
+      }));
+
+  // Ship the exact difference against the last-refresh shadow.
+  for (const auto& [addr, payload] : current) {
+    auto it = desc->ideal_shadow.find(addr);
+    if (it == desc->ideal_shadow.end() || it->second != payload) {
+      RETURN_IF_ERROR(channel->Send(MakeUpsert(desc->id, addr, payload)));
+    }
+  }
+  for (const auto& [addr, payload] : desc->ideal_shadow) {
+    if (!current.contains(addr)) {
+      RETURN_IF_ERROR(channel->Send(MakeDeleteMsg(desc->id, addr)));
+    }
+  }
+  RETURN_IF_ERROR(
+      channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
+  // Only now is the transmission complete; committing the shadow earlier
+  // would silently lose the delta if a send failed mid-stream (the failed
+  // refresh must remain retryable).
+  desc->ideal_shadow = std::move(current);
+  return Status::OK();
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,22 @@
+#ifndef SNAPDIFF_SNAPSHOT_IDEAL_REFRESH_H_
+#define SNAPDIFF_SNAPSHOT_IDEAL_REFRESH_H_
+
+#include "net/channel.h"
+#include "snapshot/base_table.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// The paper's *ideal* comparator: "transmits only actual base table
+/// changes to the (restricted) snapshot and only the most recent change to
+/// each entry". It keeps a measurement-only shadow of the qualified
+/// projection as of the last refresh (desc->ideal_shadow) and ships the
+/// exact set difference: an UPSERT per new/changed qualified row, a DELETE
+/// per row that left the qualified set. The shadow's cost is deliberately
+/// *not* metered — no implementable method gets this information for free.
+Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
+                           Channel* channel, RefreshStats* stats);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_IDEAL_REFRESH_H_

@@ -1,0 +1,56 @@
+#ifndef SNAPDIFF_SNAPSHOT_JOIN_REFRESH_H_
+#define SNAPDIFF_SNAPSHOT_JOIN_REFRESH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "snapshot/base_table.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// A snapshot defined by a two-table equi-join: the "general snapshot"
+/// case. The paper: "When the snapshot is derived from several tables, the
+/// snapshot query must, in general, be re-evaluated to determine the new
+/// snapshot contents" — so join snapshots always refresh by full
+/// re-evaluation, never differentially.
+struct JoinDescriptor {
+  SnapshotId id = 0;
+  std::string name;
+  BaseTable* left = nullptr;
+  BaseTable* right = nullptr;
+  /// Equi-join condition: left.join_left_column = right.join_right_column.
+  std::string join_left_column;
+  std::string join_right_column;
+  /// Restriction over the combined row (left columns followed by right
+  /// columns; names must be disjoint between the inputs).
+  ExprPtr restriction;
+  std::string restriction_text;
+  /// Projection over the combined schema.
+  std::vector<std::string> projection;
+  /// The combined user schema (left ++ right), bound at create time.
+  Schema combined_schema;
+};
+
+/// Builds the combined schema and validates the join columns exist with
+/// matching types and that column names do not collide.
+Result<Schema> BuildJoinSchema(BaseTable* left, BaseTable* right,
+                               const std::string& join_left_column,
+                               const std::string& join_right_column);
+
+/// Re-evaluates the join (hash join: build on the right input, probe with
+/// the left), restricts, projects, and transmits a CLEAR + one UPSERT per
+/// result row + END_OF_REFRESH. Result rows are keyed by a dense synthetic
+/// ordinal (join results have no single base address).
+Status ExecuteJoinFullRefresh(JoinDescriptor* desc, Channel* channel,
+                              RefreshStats* stats);
+
+/// Recomputes the expected join-snapshot contents (verification helper;
+/// keyed by the same synthetic ordinals ExecuteJoinFullRefresh assigns).
+Result<std::map<Address, Tuple>> ExpectedJoinContents(JoinDescriptor* desc);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_JOIN_REFRESH_H_

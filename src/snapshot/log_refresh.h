@@ -1,0 +1,26 @@
+#ifndef SNAPDIFF_SNAPSHOT_LOG_REFRESH_H_
+#define SNAPDIFF_SNAPSHOT_LOG_REFRESH_H_
+
+#include "net/channel.h"
+#include "snapshot/base_table.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// The log-buffering alternative the paper weighs against annotation:
+/// committed changes to the base table since the snapshot's last refresh
+/// are culled from the recovery log (coalescing per address), restricted
+/// using the logged before/after images, and shipped as UPSERT/DELETE.
+///
+/// Faithfully reproduces the caveats of §"Alternative Refresh Methods":
+///   * the cull touches every retained log record, not just this table's
+///     (stats->log_records_culled);
+///   * if the log was truncated past the snapshot's last refresh point,
+///     the entire (restricted) base table is retransmitted instead
+///     (stats->fell_back_to_full).
+Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
+                              Channel* channel, RefreshStats* stats);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_LOG_REFRESH_H_

@@ -1,0 +1,62 @@
+#include "snapshot/planner.h"
+
+namespace snapdiff {
+
+double EstimateDifferentialCost(const WorkloadPoint& p,
+                                const RefreshCostModel& model) {
+  const double n = static_cast<double>(p.table_size);
+  const double messages = ExpectedDifferentialMessages(p);
+  // Fix-up writes ≈ one per updated entry (NULL timestamps to repair).
+  const double fixups = n * p.update_fraction;
+  // Snapshot applies ≈ one upsert per message plus gap deletions ≈ ideal's
+  // delete count.
+  const double snap_ops = messages + ExpectedIdealMessages(p) -
+                          n * p.update_fraction * p.selectivity;
+  return n * model.sequential_read_cost +
+         fixups * model.annotation_write_cost +
+         messages * model.message_cost +
+         snap_ops * model.snapshot_write_cost;
+}
+
+double EstimateFullCost(const WorkloadPoint& p, const RefreshCostModel& model,
+                        bool has_restriction_index) {
+  const double n = static_cast<double>(p.table_size);
+  const double qualified = ExpectedFullMessages(p);
+  // "When an efficient method for applying the snapshot restriction is
+  // available (e.g., an index), the base table sequential scan may be more
+  // costly than simply re-populating the snapshot."
+  const double retrieval = has_restriction_index
+                               ? qualified * model.random_read_cost
+                               : n * model.sequential_read_cost;
+  // The snapshot is cleared and rebuilt: delete + insert per row.
+  const double snap_ops = 2.0 * qualified;
+  return retrieval + qualified * model.message_cost +
+         snap_ops * model.snapshot_write_cost;
+}
+
+RefreshMethod ChooseRefreshMethod(const WorkloadPoint& p,
+                                  const RefreshCostModel& model,
+                                  bool has_restriction_index) {
+  const double diff = EstimateDifferentialCost(p, model);
+  const double full = EstimateFullCost(p, model, has_restriction_index);
+  return diff <= full ? RefreshMethod::kDifferential : RefreshMethod::kFull;
+}
+
+std::string ExplainChoice(const WorkloadPoint& p,
+                          const RefreshCostModel& model,
+                          bool has_restriction_index) {
+  const double diff = EstimateDifferentialCost(p, model);
+  const double full = EstimateFullCost(p, model, has_restriction_index);
+  std::string out = "N=" + std::to_string(p.table_size);
+  out += " q=" + std::to_string(p.selectivity);
+  out += " u=" + std::to_string(p.update_fraction);
+  out += has_restriction_index ? " [restriction index]" : " [no index]";
+  out += ": differential=" + std::to_string(diff);
+  out += " full=" + std::to_string(full);
+  out += " -> ";
+  out += RefreshMethodToString(
+      ChooseRefreshMethod(p, model, has_restriction_index));
+  return out;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,50 @@
+#ifndef SNAPDIFF_SNAPSHOT_PLANNER_H_
+#define SNAPDIFF_SNAPSHOT_PLANNER_H_
+
+#include <string>
+
+#include "analysis/analytic_model.h"
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+/// Relative cost weights of the refresh cost model. The defaults reflect a
+/// remote snapshot: a message costs an order of magnitude more than a
+/// sequential entry read; an index-assisted qualified-entry retrieval costs
+/// a random read.
+struct RefreshCostModel {
+  double sequential_read_cost = 1.0;   // per base entry scanned
+  double random_read_cost = 4.0;       // per index-retrieved entry
+  double message_cost = 20.0;          // per data message
+  double snapshot_write_cost = 2.0;    // per snapshot upsert/delete
+  double annotation_write_cost = 2.0;  // per fix-up write during refresh
+};
+
+/// Expected cost of one differential refresh at workload point `p`:
+/// a full sequential scan + fix-up writes + the analytic message count +
+/// snapshot updates.
+double EstimateDifferentialCost(const WorkloadPoint& p,
+                                const RefreshCostModel& model);
+
+/// Expected cost of one full refresh: retrieve the qualified set (index
+/// scan when `has_restriction_index`, else sequential scan), ship it, and
+/// rebuild the snapshot.
+double EstimateFullCost(const WorkloadPoint& p, const RefreshCostModel& model,
+                        bool has_restriction_index);
+
+/// The CREATE SNAPSHOT-time decision the paper describes: "The expected
+/// costs of differential refresh and full refresh can be computed when the
+/// snapshot is defined and the appropriate refresh method can be selected."
+/// Returns kFull or kDifferential.
+RefreshMethod ChooseRefreshMethod(const WorkloadPoint& p,
+                                  const RefreshCostModel& model,
+                                  bool has_restriction_index);
+
+/// Human-readable cost comparison (used by examples).
+std::string ExplainChoice(const WorkloadPoint& p,
+                          const RefreshCostModel& model,
+                          bool has_restriction_index);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_PLANNER_H_

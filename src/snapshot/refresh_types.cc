@@ -1,0 +1,37 @@
+#include "snapshot/refresh_types.h"
+
+namespace snapdiff {
+
+std::string_view RefreshMethodToString(RefreshMethod method) {
+  switch (method) {
+    case RefreshMethod::kFull:
+      return "full";
+    case RefreshMethod::kDifferential:
+      return "differential";
+    case RefreshMethod::kIdeal:
+      return "ideal";
+    case RefreshMethod::kLogBased:
+      return "log-based";
+    case RefreshMethod::kAsap:
+      return "asap";
+  }
+  return "unknown";
+}
+
+std::string RefreshStats::ToString() const {
+  std::string out = "RefreshStats{scanned=" + std::to_string(entries_scanned);
+  out += " writes=" + std::to_string(base_writes);
+  out += " msgs=" + std::to_string(traffic.messages);
+  out += " (entry=" + std::to_string(traffic.entry_messages);
+  out += " del=" + std::to_string(traffic.delete_messages);
+  out += " ctl=" + std::to_string(traffic.control_messages) + ")";
+  out += " frames=" + std::to_string(traffic.frames);
+  out += " upserts=" + std::to_string(snap_upserts);
+  out += " deletes=" + std::to_string(snap_deletes);
+  out += " snaptime=" + std::to_string(new_snap_time);
+  if (fell_back_to_full) out += " FELL_BACK_TO_FULL";
+  out += "}";
+  return out;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,97 @@
+#ifndef SNAPDIFF_SNAPSHOT_REFRESH_TYPES_H_
+#define SNAPDIFF_SNAPSHOT_REFRESH_TYPES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "expr/expr.h"
+#include "net/channel.h"
+
+namespace snapdiff {
+
+/// How a snapshot's contents are brought up to date.
+enum class RefreshMethod {
+  /// Re-transmit every qualified entry; snapshot is cleared first.
+  kFull,
+  /// The paper's contribution: annotation-driven differential refresh
+  /// (single combined fix-up + transmit scan under a table lock).
+  kDifferential,
+  /// Oracle baseline: transmit exactly the net changes (old/new values kept
+  /// by a measurement-only shadow on the base site).
+  kIdeal,
+  /// The log-buffering alternative: cull committed changes from the WAL.
+  kLogBased,
+  /// As-soon-as-possible propagation: changes stream at base-update time;
+  /// refresh merely drains the channel and stamps the snapshot.
+  kAsap,
+};
+
+std::string_view RefreshMethodToString(RefreshMethod method);
+
+/// Everything the base site needs to serve one snapshot, bound once at
+/// CREATE SNAPSHOT time (the analogue of R*'s compiled refresh plan).
+struct SnapshotDescriptor {
+  SnapshotId id = 0;
+  std::string name;
+  RefreshMethod method = RefreshMethod::kDifferential;
+  /// The SnapRestrict predicate over the base table's user columns.
+  ExprPtr restriction;
+  std::string restriction_text;
+  /// Projected user columns, in snapshot column order.
+  std::vector<std::string> projection;
+
+  /// The paper closes with "the reader is invited to discover improvements
+  /// which reduce the message traffic". This one: a qualified entry that is
+  /// transmitted *only* because the Deletion flag is set (its own TimeStamp
+  /// is not newer than SnapTime) must already be present in the snapshot
+  /// with its current value — so its ENTRY message can omit the payload and
+  /// act purely as a gap-deletion anchor. Saves payload bytes; message
+  /// count is unchanged.
+  bool anchor_optimization = false;
+
+  /// --- per-method base-site state ---
+  /// kIdeal: qualified projection as of the last refresh
+  /// (BaseAddr → serialized projected tuple).
+  std::map<Address, std::string> ideal_shadow;
+  /// kLogBased: WAL position of the last refresh.
+  Lsn last_refresh_lsn = 0;
+};
+
+/// Counters for one refresh operation, merging base-site scan work, channel
+/// traffic, and snapshot-site apply work.
+struct RefreshStats {
+  // Base-site costs.
+  uint64_t entries_scanned = 0;  // live base entries visited
+  uint64_t base_reads = 0;       // entry reads beyond the scan (eager mode)
+  uint64_t base_writes = 0;      // annotation fix-up writes
+  uint64_t fixups_inserted = 0;  // entries repaired as "inserted"
+  uint64_t fixups_updated = 0;   // entries repaired as "updated"
+  uint64_t fixups_deleted = 0;   // PrevAddr anomalies (deletion detected)
+  uint64_t log_records_culled = 0;  // kLogBased: records scanned in the WAL
+  bool fell_back_to_full = false;   // kLogBased after log truncation
+  uint64_t anchor_messages = 0;     // payload-free ENTRY messages sent
+
+  // Channel traffic (delta over this refresh).
+  ChannelStats traffic;
+
+  // Snapshot-site apply work.
+  uint64_t snap_upserts = 0;
+  uint64_t snap_inserts = 0;  // subset of upserts that created a row
+  uint64_t snap_deletes = 0;
+
+  Timestamp new_snap_time = kNullTimestamp;
+
+  /// Data messages sent — the y-axis unit of Figures 8 and 9.
+  uint64_t data_messages() const {
+    return traffic.entry_messages + traffic.delete_messages;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SNAPSHOT_REFRESH_TYPES_H_

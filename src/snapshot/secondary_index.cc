@@ -1,0 +1,121 @@
+#include "snapshot/secondary_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace snapdiff {
+
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Build(
+    BaseTable* table, const std::string& column) {
+  ASSIGN_OR_RETURN(size_t idx, table->user_schema().IndexOf(column));
+  auto index = std::unique_ptr<SecondaryIndex>(
+      new SecondaryIndex(column, idx));
+  RETURN_IF_ERROR(table->ScanAnnotated(
+      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        index->Add(addr, row.user.value(idx));
+        return Status::OK();
+      }));
+  return index;
+}
+
+void SecondaryIndex::Add(Address addr, const Value& v) {
+  if (v.is_null()) return;
+  auto key = OrderPreservingKey(v);
+  if (!key.ok()) return;
+  tree_.InsertOrAssign({std::move(*key), addr.raw()}, true);
+}
+
+void SecondaryIndex::Remove(Address addr, const Value& v) {
+  if (v.is_null()) return;
+  auto key = OrderPreservingKey(v);
+  if (!key.ok()) return;
+  (void)tree_.Delete({std::move(*key), addr.raw()});
+}
+
+void SecondaryIndex::OnInsert(Address addr, const Tuple& after) {
+  Add(addr, after.value(column_index_));
+}
+
+void SecondaryIndex::OnUpdate(Address addr, const Tuple& before,
+                              const Tuple& after) {
+  const Value& old_v = before.value(column_index_);
+  const Value& new_v = after.value(column_index_);
+  if (old_v.Equals(new_v)) return;
+  Remove(addr, old_v);
+  Add(addr, new_v);
+}
+
+void SecondaryIndex::OnDelete(Address addr, const Tuple& before) {
+  Remove(addr, before.value(column_index_));
+}
+
+Result<std::vector<Address>> SecondaryIndex::SelectEquals(
+    const Value& v) const {
+  if (v.is_null()) return std::vector<Address>{};
+  ASSIGN_OR_RETURN(std::string key, OrderPreservingKey(v));
+  std::vector<Address> out;
+  for (auto it = tree_.LowerBound({key, 0}); it.Valid(); it.Next()) {
+    if (it.key().first != key) break;
+    out.push_back(Address::FromRaw(it.key().second));
+  }
+  return out;
+}
+
+Result<std::vector<Address>> SecondaryIndex::SelectRange(
+    const ColumnRange& range) const {
+  if (range.column != column_) {
+    return Status::InvalidArgument("range is over column " + range.column +
+                                   ", index is over " + column_);
+  }
+  // Lower starting point.
+  BPlusTree<std::pair<std::string, uint64_t>, bool, 32>::Iterator it =
+      tree_.Begin();
+  std::string lo_key;
+  if (range.lo.has_value()) {
+    ASSIGN_OR_RETURN(lo_key, OrderPreservingKey(*range.lo));
+    // Exclusive lower bound: start past every (lo_key, addr) entry —
+    // stored addresses are always < uint64 max (that is Address::Null()).
+    it = tree_.LowerBound(
+        {lo_key, range.lo_inclusive
+                     ? 0
+                     : std::numeric_limits<uint64_t>::max()});
+  }
+  std::string hi_key;
+  if (range.hi.has_value()) {
+    ASSIGN_OR_RETURN(hi_key, OrderPreservingKey(*range.hi));
+  }
+  std::vector<Address> out;
+  for (; it.Valid(); it.Next()) {
+    const std::string& key = it.key().first;
+    if (range.hi.has_value()) {
+      if (range.hi_inclusive ? key > hi_key : key >= hi_key) break;
+    }
+    out.push_back(Address::FromRaw(it.key().second));
+  }
+  return out;
+}
+
+Status SecondaryIndex::CheckConsistency(BaseTable* table) const {
+  size_t expected = 0;
+  Status scan = table->ScanAnnotated(
+      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        const Value& v = row.user.value(column_index_);
+        if (v.is_null()) return Status::OK();
+        ++expected;
+        ASSIGN_OR_RETURN(std::string key, OrderPreservingKey(v));
+        if (!tree_.Contains({key, addr.raw()})) {
+          return Status::Internal("index missing entry for " +
+                                  addr.ToString());
+        }
+        return Status::OK();
+      });
+  RETURN_IF_ERROR(scan);
+  if (expected != tree_.size()) {
+    return Status::Internal("index has " + std::to_string(tree_.size()) +
+                            " entries, table implies " +
+                            std::to_string(expected));
+  }
+  return tree_.Validate();
+}
+
+}  // namespace snapdiff

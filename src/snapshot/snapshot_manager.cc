@@ -1,0 +1,605 @@
+#include "snapshot/snapshot_manager.h"
+
+#include "catalog/catalog_persistence.h"
+#include "common/logging.h"
+#include "expr/parser.h"
+#include "snapshot/differential_refresh.h"
+#include "snapshot/full_refresh.h"
+#include "snapshot/ideal_refresh.h"
+#include "snapshot/log_refresh.h"
+
+namespace snapdiff {
+
+namespace {
+
+// Reserved pages of a file-backed base site.
+constexpr PageId kOraclePage = 0;
+constexpr PageId kCatalogSuperblock = 1;
+
+std::unique_ptr<DiskManager> MakeBaseDisk(
+    const SnapshotSystemOptions& options) {
+  if (options.base_data_path.empty()) {
+    return std::make_unique<MemoryDiskManager>();
+  }
+  auto disk = FileDiskManager::Open(options.base_data_path);
+  SNAPDIFF_CHECK(disk.ok()) << "cannot open base data file "
+                            << options.base_data_path << ": "
+                            << disk.status().ToString();
+  return std::move(*disk);
+}
+
+}  // namespace
+
+SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
+    : options_(options),
+      base_disk_(MakeBaseDisk(options)),
+      base_pool_(base_disk_.get(), options.base_pool_pages),
+      base_catalog_(&base_pool_),
+      request_channel_(options.channel) {
+  sites_.emplace("main", std::make_unique<SnapshotSite>(
+                             options_.snap_pool_pages, options_.channel));
+  if (options_.enable_wal) wal_ = std::make_unique<LogManager>();
+  if (!options_.base_data_path.empty()) {
+    if (base_disk_->page_count() == 0) {
+      // Fresh file: reserve the oracle + catalog pages.
+      SNAPDIFF_CHECK(base_disk_->AllocatePage().ok());
+      SNAPDIFF_CHECK(base_disk_->AllocatePage().ok());
+    } else {
+      Status restored = RestoreBaseSite();
+      SNAPDIFF_CHECK(restored.ok())
+          << "base data file is not a valid checkpoint: "
+          << restored.ToString();
+    }
+  }
+}
+
+Status SnapshotSystem::RestoreBaseSite() {
+  RETURN_IF_ERROR(
+      LoadCatalog(&base_catalog_, base_disk_.get(), kCatalogSuperblock));
+  ASSIGN_OR_RETURN(TimestampOracle recovered,
+                   TimestampOracle::Recover(base_disk_.get(), kOraclePage));
+  base_oracle_ = recovered;
+  for (const std::string& name : base_catalog_.TableNames()) {
+    ASSIGN_OR_RETURN(TableInfo * info, base_catalog_.GetTable(name));
+    const AnnotationMode mode = info->schema.HasAnnotations()
+                                    ? AnnotationMode::kLazy
+                                    : AnnotationMode::kNone;
+    base_tables_[name] =
+        std::make_unique<BaseTable>(info, mode, &base_oracle_, wal_.get());
+  }
+  return Status::OK();
+}
+
+Status SnapshotSystem::CheckpointBaseSite() {
+  if (options_.base_data_path.empty()) {
+    return Status::InvalidArgument(
+        "base site is memory-backed; nothing durable to checkpoint");
+  }
+  RETURN_IF_ERROR(base_pool_.FlushAll());
+  RETURN_IF_ERROR(
+      SaveCatalog(&base_catalog_, base_disk_.get(), kCatalogSuperblock));
+  return base_oracle_.Checkpoint(base_disk_.get(), kOraclePage);
+}
+
+Result<BaseTable*> SnapshotSystem::CreateBaseTable(const std::string& name,
+                                                   Schema user_schema,
+                                                   AnnotationMode mode,
+                                                   PlacementPolicy policy) {
+  if (base_tables_.contains(name)) {
+    return Status::AlreadyExists("base table " + name + " already exists");
+  }
+  Schema stored = std::move(user_schema);
+  if (mode != AnnotationMode::kNone) {
+    ASSIGN_OR_RETURN(stored, stored.WithAnnotations());
+  }
+  ASSIGN_OR_RETURN(TableInfo * info,
+                   base_catalog_.CreateTable(name, std::move(stored), policy));
+  auto table = std::make_unique<BaseTable>(info, mode, &base_oracle_,
+                                           wal_.get());
+  BaseTable* ptr = table.get();
+  base_tables_[name] = std::move(table);
+  return ptr;
+}
+
+Result<BaseTable*> SnapshotSystem::GetBaseTable(const std::string& name) {
+  auto it = base_tables_.find(name);
+  if (it == base_tables_.end()) {
+    return Status::NotFound("no base table named " + name);
+  }
+  return it->second.get();
+}
+
+Status SnapshotSystem::AddSnapshotSite(const std::string& site_name) {
+  if (sites_.contains(site_name)) {
+    return Status::AlreadyExists("site " + site_name + " already exists");
+  }
+  sites_.emplace(site_name,
+                 std::make_unique<SnapshotSite>(options_.snap_pool_pages,
+                                                options_.channel));
+  return Status::OK();
+}
+
+std::vector<std::string> SnapshotSystem::SnapshotSiteNames() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) names.push_back(name);
+  return names;
+}
+
+Result<SnapshotSystem::SnapshotSite*> SnapshotSystem::GetSite(
+    const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    return Status::NotFound("no snapshot site named " + name);
+  }
+  return it->second.get();
+}
+
+void SnapshotSystem::SetPartitioned(bool partitioned) {
+  sites_.at("main")->channel.SetPartitioned(partitioned);
+}
+
+Status SnapshotSystem::SetSitePartitioned(const std::string& site_name,
+                                          bool partitioned) {
+  ASSIGN_OR_RETURN(SnapshotSite * site, GetSite(site_name));
+  site->channel.SetPartitioned(partitioned);
+  return Status::OK();
+}
+
+Channel* SnapshotSystem::data_channel() {
+  return &sites_.at("main")->channel;
+}
+
+Result<Channel*> SnapshotSystem::site_channel(const std::string& site_name) {
+  ASSIGN_OR_RETURN(SnapshotSite * site, GetSite(site_name));
+  return &site->channel;
+}
+
+Result<BaseTable*> SnapshotSystem::ResolveSource(const std::string& name) {
+  auto base = GetBaseTable(name);
+  if (base.ok()) return base;
+  // A snapshot's storage can source a cascaded snapshot.
+  auto snap = snapshots_.find(name);
+  if (snap != snapshots_.end()) return snap->second.table->storage();
+  return Status::NotFound("no base table or snapshot named " + name);
+}
+
+Result<SnapshotTable*> SnapshotSystem::CreateSnapshot(
+    const std::string& snapshot_name, const std::string& source_name,
+    const std::string& restriction_text, SnapshotOptions options) {
+  if (snapshots_.contains(snapshot_name)) {
+    return Status::AlreadyExists("snapshot " + snapshot_name +
+                                 " already exists");
+  }
+  ASSIGN_OR_RETURN(BaseTable * source, ResolveSource(source_name));
+
+  // Compile the restriction now (CREATE SNAPSHOT-time binding).
+  ASSIGN_OR_RETURN(ExprPtr restriction, ParsePredicate(restriction_text));
+  RETURN_IF_ERROR(ValidateAgainstSchema(*restriction, source->user_schema()));
+
+  if (options.method == RefreshMethod::kDifferential &&
+      source->mode() == AnnotationMode::kNone) {
+    // R*: "the extra fields are added automatically to the base table when
+    // the first snapshot using differential refresh is created".
+    RETURN_IF_ERROR(base_catalog_.AddAnnotationColumns(source->info()));
+    RETURN_IF_ERROR(source->SetMode(AnnotationMode::kLazy));
+  }
+  if (options.method == RefreshMethod::kLogBased && wal_ == nullptr) {
+    return Status::InvalidArgument("log-based refresh requires the WAL");
+  }
+
+  std::vector<std::string> projection = options.projection;
+  if (projection.empty()) {
+    projection = source->UserColumnNames();
+    // Cascaded snapshots: the source's own $BASEADDR$ bookkeeping column is
+    // not user data at the next level.
+    std::erase(projection, std::string(SnapshotTable::kBaseAddrColumn));
+  }
+  std::set<std::string> seen;
+  for (const std::string& col : projection) {
+    ASSIGN_OR_RETURN(size_t idx, source->user_schema().IndexOf(col));
+    (void)idx;
+    if (!seen.insert(col).second) {
+      return Status::InvalidArgument("duplicate projected column: " + col);
+    }
+  }
+  ASSIGN_OR_RETURN(Schema value_schema,
+                   source->user_schema().Project(projection));
+
+  ASSIGN_OR_RETURN(SnapshotSite * site, GetSite(options.site));
+  ASSIGN_OR_RETURN(auto table,
+                   SnapshotTable::Create(&site->catalog, snapshot_name,
+                                         std::move(value_schema),
+                                         &site->oracle));
+
+  SnapshotEntry entry;
+  entry.site = site;
+  entry.descriptor.id = next_snapshot_id_++;
+  entry.descriptor.name = snapshot_name;
+  entry.descriptor.method = options.method;
+  entry.descriptor.restriction = std::move(restriction);
+  entry.descriptor.restriction_text = restriction_text;
+  entry.descriptor.projection = std::move(projection);
+  entry.descriptor.anchor_optimization = options.anchor_optimization;
+  entry.descriptor.last_refresh_lsn = 0;  // first refresh replays the log
+  entry.table = std::move(table);
+  entry.source = source;
+
+  auto [it, inserted] = snapshots_.emplace(snapshot_name, std::move(entry));
+  SNAPDIFF_CHECK(inserted);
+  snapshots_by_id_[it->second.descriptor.id] = &it->second;
+  if (options.method == RefreshMethod::kAsap) {
+    // Constructed only after the entry has its final home: the propagator
+    // keeps a pointer to the descriptor.
+    it->second.asap = std::make_unique<AsapPropagator>(
+        &it->second.descriptor, source, &it->second.site->channel,
+        options.asap_buffer_on_partition);
+    source->AddObserver(it->second.asap.get());
+  }
+  return it->second.table.get();
+}
+
+Result<SnapshotTable*> SnapshotSystem::CreateJoinSnapshot(
+    const std::string& snapshot_name, const std::string& left_table,
+    const std::string& right_table, const std::string& join_left_column,
+    const std::string& join_right_column,
+    const std::string& restriction_text,
+    std::vector<std::string> projection) {
+  if (snapshots_.contains(snapshot_name)) {
+    return Status::AlreadyExists("snapshot " + snapshot_name +
+                                 " already exists");
+  }
+  ASSIGN_OR_RETURN(BaseTable * left, ResolveSource(left_table));
+  ASSIGN_OR_RETURN(BaseTable * right, ResolveSource(right_table));
+  if (left == right) {
+    return Status::NotSupported("self-joins are not supported");
+  }
+  ASSIGN_OR_RETURN(Schema combined,
+                   BuildJoinSchema(left, right, join_left_column,
+                                   join_right_column));
+  ASSIGN_OR_RETURN(ExprPtr restriction, ParsePredicate(restriction_text));
+  RETURN_IF_ERROR(ValidateAgainstSchema(*restriction, combined));
+
+  if (projection.empty()) {
+    for (const Column& c : combined.columns()) projection.push_back(c.name);
+  }
+  std::set<std::string> seen;
+  for (const std::string& col : projection) {
+    ASSIGN_OR_RETURN(size_t idx, combined.IndexOf(col));
+    (void)idx;
+    if (!seen.insert(col).second) {
+      return Status::InvalidArgument("duplicate projected column: " + col);
+    }
+  }
+  ASSIGN_OR_RETURN(Schema value_schema, combined.Project(projection));
+  ASSIGN_OR_RETURN(SnapshotSite * site, GetSite("main"));
+  ASSIGN_OR_RETURN(auto table,
+                   SnapshotTable::Create(&site->catalog, snapshot_name,
+                                         std::move(value_schema),
+                                         &site->oracle));
+
+  SnapshotEntry entry;
+  entry.site = site;
+  entry.descriptor.id = next_snapshot_id_++;
+  entry.descriptor.name = snapshot_name;
+  entry.descriptor.method = RefreshMethod::kFull;  // re-evaluation only
+  entry.descriptor.restriction = restriction;
+  entry.descriptor.restriction_text = restriction_text;
+  entry.descriptor.projection = projection;
+  entry.table = std::move(table);
+  entry.source = left;  // lock anchor; Refresh locks both inputs
+
+  auto join = std::make_unique<JoinDescriptor>();
+  join->id = entry.descriptor.id;
+  join->name = snapshot_name;
+  join->left = left;
+  join->right = right;
+  join->join_left_column = join_left_column;
+  join->join_right_column = join_right_column;
+  join->restriction = std::move(restriction);
+  join->restriction_text = restriction_text;
+  join->projection = std::move(projection);
+  join->combined_schema = std::move(combined);
+  entry.join = std::move(join);
+
+  auto [it, inserted] = snapshots_.emplace(snapshot_name, std::move(entry));
+  SNAPDIFF_CHECK(inserted);
+  snapshots_by_id_[it->second.descriptor.id] = &it->second;
+  return it->second.table.get();
+}
+
+Status SnapshotSystem::DropSnapshot(const std::string& snapshot_name) {
+  auto it = snapshots_.find(snapshot_name);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("no snapshot named " + snapshot_name);
+  }
+  if (it->second.asap != nullptr) {
+    it->second.source->RemoveObserver(it->second.asap.get());
+  }
+  snapshots_by_id_.erase(it->second.descriptor.id);
+  RETURN_IF_ERROR(it->second.site->catalog.DropTable(snapshot_name));
+  snapshots_.erase(it);
+  return Status::OK();
+}
+
+Result<SnapshotSystem::SnapshotEntry*> SnapshotSystem::GetEntry(
+    const std::string& name) {
+  auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("no snapshot named " + name);
+  }
+  return &it->second;
+}
+
+Result<SnapshotTable*> SnapshotSystem::GetSnapshot(
+    const std::string& snapshot_name) {
+  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(snapshot_name));
+  return entry->table.get();
+}
+
+Status SnapshotSystem::DrainSite(SnapshotSite* site) {
+  while (site->channel.HasPending()) {
+    ASSIGN_OR_RETURN(Message msg, site->channel.Receive());
+    auto it = snapshots_by_id_.find(msg.snapshot_id);
+    if (it == snapshots_by_id_.end()) {
+      // Message for a dropped snapshot: discard.
+      continue;
+    }
+    RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, nullptr));
+  }
+  return Status::OK();
+}
+
+Status SnapshotSystem::DrainChannel() {
+  for (auto& [name, site] : sites_) {
+    RETURN_IF_ERROR(DrainSite(site.get()));
+  }
+  return Status::OK();
+}
+
+Result<RefreshStats> SnapshotSystem::Refresh(
+    const std::string& snapshot_name) {
+  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(snapshot_name));
+  SnapshotDescriptor* desc = &entry->descriptor;
+  BaseTable* base = entry->source;
+  SnapshotTable* snap = entry->table.get();
+  RefreshStats stats;
+
+  // Deliver anything still in flight (ASAP streams) before measuring.
+  RETURN_IF_ERROR(DrainChannel());
+
+  // The demand: snapshot → base, carrying SnapTime + restriction.
+  RETURN_IF_ERROR(request_channel_.Send(MakeRefreshRequest(
+      desc->id, snap->snap_time(), desc->restriction_text)));
+  ASSIGN_OR_RETURN(Message request, request_channel_.Receive());
+
+  if (entry->join != nullptr) {
+    // General (join) snapshot: re-evaluate under shared locks on both
+    // inputs.
+    const TxnId jtxn = refresh_txn_++;
+    JoinDescriptor* join = entry->join.get();
+    RETURN_IF_ERROR(
+        locks_.Acquire(jtxn, join->left->info()->id, LockMode::kShared));
+    Status right_lock =
+        locks_.Acquire(jtxn, join->right->info()->id, LockMode::kShared);
+    if (!right_lock.ok()) {
+      locks_.ReleaseAll(jtxn);
+      return right_lock;
+    }
+    Channel* jchannel = &entry->site->channel;
+    const ChannelStats jbefore = jchannel->stats();
+    Status jexec = ExecuteJoinFullRefresh(join, jchannel, &stats);
+    locks_.ReleaseAll(jtxn);
+    RETURN_IF_ERROR(jexec);
+    stats.traffic = jchannel->stats() - jbefore;
+    while (jchannel->HasPending()) {
+      ASSIGN_OR_RETURN(Message msg, jchannel->Receive());
+      auto it = snapshots_by_id_.find(msg.snapshot_id);
+      if (it == snapshots_by_id_.end()) continue;
+      RefreshStats* apply_stats = it->second == entry ? &stats : nullptr;
+      RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
+    }
+    return stats;
+  }
+
+  // "we must obtain a table level lock on the base table during the fix up
+  // (and refresh) procedures". Differential writes annotations → exclusive.
+  const TxnId txn = refresh_txn_++;
+  const LockMode lock_mode = desc->method == RefreshMethod::kDifferential
+                                 ? LockMode::kExclusive
+                                 : LockMode::kShared;
+  RETURN_IF_ERROR(locks_.Acquire(txn, base->info()->id, lock_mode));
+
+  Channel* channel = &entry->site->channel;
+  const ChannelStats before = channel->stats();
+  Status exec = Status::OK();
+  switch (desc->method) {
+    case RefreshMethod::kFull:
+      exec = ExecuteFullRefresh(base, desc, channel, &stats);
+      break;
+    case RefreshMethod::kDifferential:
+      exec = ExecuteDifferentialRefresh(base, desc, request.timestamp,
+                                        channel, &stats);
+      break;
+    case RefreshMethod::kIdeal:
+      exec = ExecuteIdealRefresh(base, desc, channel, &stats);
+      break;
+    case RefreshMethod::kLogBased:
+      exec = ExecuteLogBasedRefresh(base, desc, channel, &stats);
+      break;
+    case RefreshMethod::kAsap: {
+      if (snap->snap_time() == kNullTimestamp) {
+        // First refresh initializes the replica with a full copy; changes
+        // made before the snapshot existed were never streamed. Anything
+        // the propagator buffered is subsumed by the copy.
+        if (entry->asap != nullptr) entry->asap->DiscardBuffered();
+        exec = ExecuteFullRefresh(base, desc, channel, &stats);
+        break;
+      }
+      // Thereafter changes are already streamed; flush any partition
+      // backlog and stamp the snapshot with a fresh base time.
+      if (entry->asap != nullptr) exec = entry->asap->FlushBuffered();
+      if (exec.ok()) {
+        exec = channel->Send(MakeEndOfRefresh(
+            desc->id, Address::Null(), base->oracle()->Next()));
+      }
+      break;
+    }
+  }
+  Status unlock = locks_.Release(txn, base->info()->id);
+  RETURN_IF_ERROR(exec);
+  RETURN_IF_ERROR(unlock);
+  stats.traffic = channel->stats() - before;
+
+  // Snapshot site: receive and apply.
+  while (channel->HasPending()) {
+    ASSIGN_OR_RETURN(Message msg, channel->Receive());
+    auto it = snapshots_by_id_.find(msg.snapshot_id);
+    if (it == snapshots_by_id_.end()) continue;
+    RefreshStats* apply_stats =
+        it->second == entry ? &stats : nullptr;
+    RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
+  }
+  return stats;
+}
+
+Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
+    const std::vector<std::string>& snapshot_names) {
+  if (snapshot_names.empty()) {
+    return Status::InvalidArgument("empty refresh group");
+  }
+  std::vector<SnapshotEntry*> entries;
+  entries.reserve(snapshot_names.size());
+  BaseTable* base = nullptr;
+  SnapshotSite* group_site = nullptr;
+  for (const std::string& name : snapshot_names) {
+    ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(name));
+    if (entry->descriptor.method != RefreshMethod::kDifferential) {
+      return Status::InvalidArgument(
+          "group refresh supports only differential snapshots; " + name +
+          " is " +
+          std::string(RefreshMethodToString(entry->descriptor.method)));
+    }
+    if (base == nullptr) {
+      base = entry->source;
+      group_site = entry->site;
+    } else if (base != entry->source) {
+      return Status::InvalidArgument(
+          "group members must share one base table");
+    } else if (group_site != entry->site) {
+      return Status::InvalidArgument(
+          "group members must live at one snapshot site (one transmission "
+          "burst, one link)");
+    }
+    entries.push_back(entry);
+  }
+
+  RETURN_IF_ERROR(DrainChannel());
+
+  std::map<std::string, RefreshStats> results;
+  std::vector<GroupRefreshMember> members;
+  members.reserve(entries.size());
+  for (SnapshotEntry* entry : entries) {
+    RETURN_IF_ERROR(request_channel_.Send(
+        MakeRefreshRequest(entry->descriptor.id, entry->table->snap_time(),
+                           entry->descriptor.restriction_text)));
+    ASSIGN_OR_RETURN(Message request, request_channel_.Receive());
+    RefreshStats& stats = results[entry->descriptor.name];
+    members.push_back(
+        {&entry->descriptor, request.timestamp, &stats});
+  }
+
+  const TxnId txn = refresh_txn_++;
+  RETURN_IF_ERROR(locks_.Acquire(txn, base->info()->id,
+                                 LockMode::kExclusive));
+  Channel* channel = &group_site->channel;
+  const ChannelStats before = channel->stats();
+  Status exec = ExecuteGroupDifferentialRefresh(base, &members, channel);
+  Status unlock = locks_.Release(txn, base->info()->id);
+  RETURN_IF_ERROR(exec);
+  RETURN_IF_ERROR(unlock);
+  const ChannelStats total = channel->stats() - before;
+
+  // Receive and apply, attributing message counts per snapshot.
+  while (channel->HasPending()) {
+    ASSIGN_OR_RETURN(Message msg, channel->Receive());
+    auto it = snapshots_by_id_.find(msg.snapshot_id);
+    if (it == snapshots_by_id_.end()) continue;
+    RefreshStats* stats = nullptr;
+    auto res = results.find(it->second->descriptor.name);
+    if (res != results.end()) {
+      stats = &res->second;
+      ++stats->traffic.messages;
+      switch (msg.type) {
+        case MessageType::kEntry:
+        case MessageType::kUpsert:
+          ++stats->traffic.entry_messages;
+          break;
+        case MessageType::kDelete:
+        case MessageType::kDeleteRange:
+          ++stats->traffic.delete_messages;
+          break;
+        default:
+          ++stats->traffic.control_messages;
+          break;
+      }
+      stats->traffic.payload_bytes += msg.SerializedSize();
+      // Frames are a property of the whole burst; report the total.
+      stats->traffic.frames = total.frames;
+      stats->traffic.wire_bytes = total.wire_bytes;
+    }
+    RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, stats));
+  }
+  return results;
+}
+
+Status SnapshotSystem::FlushAsapBuffers() {
+  for (auto& [name, entry] : snapshots_) {
+    if (entry.asap != nullptr) {
+      RETURN_IF_ERROR(entry.asap->FlushBuffered());
+    }
+  }
+  return DrainChannel();
+}
+
+Result<std::map<Address, Tuple>> SnapshotSystem::ExpectedContents(
+    const std::string& snapshot_name) {
+  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(snapshot_name));
+  if (entry->join != nullptr) {
+    return ExpectedJoinContents(entry->join.get());
+  }
+  const SnapshotDescriptor& desc = entry->descriptor;
+  BaseTable* base = entry->source;
+  std::map<Address, Tuple> out;
+  RETURN_IF_ERROR(base->ScanAnnotated(
+      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        ASSIGN_OR_RETURN(bool qualified,
+                         EvaluatePredicate(*desc.restriction, row.user,
+                                           base->user_schema()));
+        if (!qualified) return Status::OK();
+        ASSIGN_OR_RETURN(Tuple projected,
+                         row.user.Project(base->user_schema(),
+                                          desc.projection));
+        out.emplace(addr, std::move(projected));
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<const AsapPropagator::Stats*> SnapshotSystem::AsapStats(
+    const std::string& snapshot_name) {
+  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(snapshot_name));
+  if (entry->asap == nullptr) {
+    return Status::InvalidArgument(snapshot_name + " is not an ASAP snapshot");
+  }
+  return &entry->asap->stats();
+}
+
+std::vector<std::string> SnapshotSystem::SnapshotNames() const {
+  std::vector<std::string> names;
+  names.reserve(snapshots_.size());
+  for (const auto& [name, entry] : snapshots_) names.push_back(name);
+  return names;
+}
+
+}  // namespace snapdiff

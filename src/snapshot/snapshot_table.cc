@@ -1,0 +1,191 @@
+#include "snapshot/snapshot_table.h"
+
+#include "common/logging.h"
+
+namespace snapdiff {
+
+Result<std::unique_ptr<SnapshotTable>> SnapshotTable::Create(
+    Catalog* catalog, const std::string& name, Schema value_schema,
+    TimestampOracle* oracle) {
+  if (value_schema.HasColumn(kBaseAddrColumn)) {
+    return Status::InvalidArgument("projected schema may not contain " +
+                                   std::string(kBaseAddrColumn));
+  }
+  std::vector<Column> cols;
+  cols.push_back(
+      {std::string(kBaseAddrColumn), TypeId::kAddress, /*nullable=*/false});
+  for (const Column& c : value_schema.columns()) cols.push_back(c);
+  ASSIGN_OR_RETURN(Schema stored, Schema(std::move(cols)).WithAnnotations());
+
+  ASSIGN_OR_RETURN(TableInfo * info,
+                   catalog->CreateTable(name, std::move(stored)));
+  auto storage = std::make_unique<BaseTable>(info, AnnotationMode::kLazy,
+                                             oracle, /*wal=*/nullptr);
+  return std::unique_ptr<SnapshotTable>(new SnapshotTable(
+      name, std::move(value_schema), std::move(storage)));
+}
+
+SnapshotTable::SnapshotTable(std::string name, Schema value_schema,
+                             std::unique_ptr<BaseTable> storage)
+    : name_(std::move(name)),
+      value_schema_(std::move(value_schema)),
+      storage_(std::move(storage)) {}
+
+std::pair<Address, Tuple> SnapshotTable::SplitRow(
+    const Tuple& stored_user) const {
+  const Address base_addr = stored_user.value(0).as_address();
+  std::vector<Value> values(stored_user.values().begin() + 1,
+                            stored_user.values().end());
+  return {base_addr, Tuple(std::move(values))};
+}
+
+Status SnapshotTable::Upsert(Address base_addr, const Tuple& value_row,
+                             RefreshStats* stats) {
+  if (value_row.size() != value_schema_.column_count()) {
+    return Status::InvalidArgument("value row arity mismatch");
+  }
+  std::vector<Value> full;
+  full.reserve(value_row.size() + 1);
+  full.push_back(Value::Addr(base_addr));
+  for (const Value& v : value_row.values()) full.push_back(v);
+  Tuple user_row(std::move(full));
+
+  auto existing = index_.Find(base_addr);
+  if (existing.ok()) {
+    RETURN_IF_ERROR(storage_->Update(*existing, user_row));
+  } else {
+    ASSIGN_OR_RETURN(Address heap_addr, storage_->Insert(user_row));
+    index_.InsertOrAssign(base_addr, heap_addr);
+    if (stats != nullptr) ++stats->snap_inserts;
+  }
+  if (stats != nullptr) ++stats->snap_upserts;
+  return Status::OK();
+}
+
+Status SnapshotTable::DeleteByBaseAddr(Address base_addr,
+                                       RefreshStats* stats) {
+  auto heap_addr = index_.Find(base_addr);
+  if (!heap_addr.ok()) {
+    // "the snapshot entry ... is deleted (if such an element exists)".
+    return Status::OK();
+  }
+  RETURN_IF_ERROR(storage_->Delete(*heap_addr));
+  RETURN_IF_ERROR(index_.Delete(base_addr));
+  if (stats != nullptr) ++stats->snap_deletes;
+  return Status::OK();
+}
+
+Status SnapshotTable::DeleteRangeExclusive(Address lo, Address hi,
+                                           RefreshStats* stats) {
+  if (!(lo < hi)) return Status::OK();
+  std::vector<Address> victims = index_.KeysInRange(lo, hi);
+  for (Address base_addr : victims) {
+    if (base_addr == lo) continue;  // exclusive lower bound
+    RETURN_IF_ERROR(DeleteByBaseAddr(base_addr, stats));
+  }
+  return Status::OK();
+}
+
+Status SnapshotTable::DeleteRangeInclusive(Address lo, Address hi,
+                                           RefreshStats* stats) {
+  if (hi < lo) return Status::OK();
+  std::vector<Address> victims = index_.KeysInRange(lo, hi);
+  if (index_.Contains(hi)) victims.push_back(hi);
+  for (Address base_addr : victims) {
+    RETURN_IF_ERROR(DeleteByBaseAddr(base_addr, stats));
+  }
+  return Status::OK();
+}
+
+Status SnapshotTable::DeleteAfter(Address lo, RefreshStats* stats) {
+  std::vector<Address> victims;
+  for (auto it = index_.LowerBound(lo); it.Valid(); it.Next()) {
+    if (it.key() == lo) continue;
+    victims.push_back(it.key());
+  }
+  for (Address base_addr : victims) {
+    RETURN_IF_ERROR(DeleteByBaseAddr(base_addr, stats));
+  }
+  return Status::OK();
+}
+
+Status SnapshotTable::Clear(RefreshStats* stats) {
+  return DeleteAfter(Address::Origin(), stats);
+}
+
+Result<Tuple> SnapshotTable::Lookup(Address base_addr) {
+  ASSIGN_OR_RETURN(Address heap_addr, index_.Find(base_addr));
+  ASSIGN_OR_RETURN(Tuple user_row, storage_->ReadUserRow(heap_addr));
+  return SplitRow(user_row).second;
+}
+
+Result<std::map<Address, Tuple>> SnapshotTable::Contents() {
+  std::map<Address, Tuple> out;
+  RETURN_IF_ERROR(storage_->ScanAnnotated(
+      [&](Address, const BaseTable::AnnotatedRow& row) -> Status {
+        auto [base_addr, values] = SplitRow(row.user);
+        out.emplace(base_addr, std::move(values));
+        return Status::OK();
+      }));
+  return out;
+}
+
+Status SnapshotTable::ValidateIndex() {
+  ASSIGN_OR_RETURN(auto contents, Contents());
+  if (contents.size() != index_.size()) {
+    return Status::Internal("index size " + std::to_string(index_.size()) +
+                            " != heap rows " +
+                            std::to_string(contents.size()));
+  }
+  for (const auto& [base_addr, values] : contents) {
+    ASSIGN_OR_RETURN(Address heap_addr, index_.Find(base_addr));
+    ASSIGN_OR_RETURN(Tuple user_row, storage_->ReadUserRow(heap_addr));
+    if (SplitRow(user_row).first != base_addr) {
+      return Status::Internal("index points at row with wrong BaseAddr");
+    }
+  }
+  return index_.Validate();
+}
+
+Status SnapshotTable::ApplyMessage(const Message& msg, RefreshStats* stats) {
+  switch (msg.type) {
+    case MessageType::kClear:
+      return Clear(stats);
+    case MessageType::kEntry: {
+      // Figure 4: the gap (prev qualified, this entry) is now empty or
+      // unqualified — purge it, then upsert the carried value. A
+      // payload-free ENTRY is an anchor (see SnapshotDescriptor::
+      // anchor_optimization): the entry is unchanged and already present.
+      RETURN_IF_ERROR(
+          DeleteRangeExclusive(msg.prev_addr, msg.base_addr, stats));
+      if (msg.payload.empty()) return Status::OK();
+      ASSIGN_OR_RETURN(Tuple value_row,
+                       Tuple::Deserialize(value_schema_, msg.payload));
+      return Upsert(msg.base_addr, value_row, stats);
+    }
+    case MessageType::kUpsert: {
+      ASSIGN_OR_RETURN(Tuple value_row,
+                       Tuple::Deserialize(value_schema_, msg.payload));
+      return Upsert(msg.base_addr, value_row, stats);
+    }
+    case MessageType::kDelete:
+      return DeleteByBaseAddr(msg.base_addr, stats);
+    case MessageType::kDeleteRange:
+      return DeleteRangeInclusive(msg.base_addr, msg.prev_addr, stats);
+    case MessageType::kEndOfRefresh:
+      if (!msg.prev_addr.IsNull()) {
+        // Deletions at the end of the base table (Figure 3's closing
+        // Xmit(NULL, LastQual, NULL)).
+        RETURN_IF_ERROR(DeleteAfter(msg.prev_addr, stats));
+      }
+      snap_time_ = msg.timestamp;
+      if (stats != nullptr) stats->new_snap_time = msg.timestamp;
+      return Status::OK();
+    case MessageType::kRefreshRequest:
+      return Status::InvalidArgument(
+          "refresh request arrived at snapshot site");
+  }
+  return Status::Internal("bad message type");
+}
+
+}  // namespace snapdiff

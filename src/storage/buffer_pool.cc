@@ -1,0 +1,128 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace snapdiff {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
+  SNAPDIFF_CHECK(pool_size > 0);
+  frames_.reserve(pool_size);
+  free_frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);
+  }
+}
+
+void BufferPool::TouchLru(size_t frame_idx) {
+  RemoveFromLru(frame_idx);
+  lru_.push_back(frame_idx);
+  lru_pos_[frame_idx] = std::prev(lru_.end());
+}
+
+void BufferPool::RemoveFromLru(size_t frame_idx) {
+  auto it = lru_pos_.find(frame_idx);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+    lru_pos_.erase(it);
+  }
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  const size_t idx = lru_.front();
+  Page* victim = frames_[idx].get();
+  SNAPDIFF_DCHECK(victim->pin_count_ == 0);
+  if (victim->is_dirty_) {
+    RETURN_IF_ERROR(disk_->WritePage(victim->page_id_, victim->data_));
+    ++stats_.flushes;
+  }
+  page_table_.erase(victim->page_id_);
+  RemoveFromLru(idx);
+  victim->Reset();
+  ++stats_.evictions;
+  return idx;
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Page* page = frames_[it->second].get();
+    if (page->pin_count_ == 0) RemoveFromLru(it->second);
+    ++page->pin_count_;
+    ++stats_.hits;
+    return page;
+  }
+  ++stats_.misses;
+  ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Page* page = frames_[idx].get();
+  Status read = disk_->ReadPage(page_id, page->data_);
+  if (!read.ok()) {
+    free_frames_.push_back(idx);
+    return read;
+  }
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = false;
+  page_table_[page_id] = idx;
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage(PageId* page_id) {
+  ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Page* page = frames_[idx].get();
+  page->page_id_ = id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = true;  // must be written even if untouched
+  page_table_[id] = idx;
+  *page_id = id;
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("UnpinPage: page not resident");
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::Internal("UnpinPage: pin count already zero");
+  }
+  page->is_dirty_ = page->is_dirty_ || dirty;
+  if (--page->pin_count_ == 0) TouchLru(it->second);
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("FlushPage: page not resident");
+  }
+  Page* page = frames_[it->second].get();
+  RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+  page->is_dirty_ = false;
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [page_id, idx] : page_table_) {
+    Page* page = frames_[idx].get();
+    if (page->is_dirty_) {
+      RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+      page->is_dirty_ = false;
+      ++stats_.flushes;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace snapdiff

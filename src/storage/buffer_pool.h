@@ -1,0 +1,124 @@
+#ifndef SNAPDIFF_STORAGE_BUFFER_POOL_H_
+#define SNAPDIFF_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace snapdiff {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+/// A classic pin-count buffer pool with LRU replacement over unpinned
+/// frames. Fetched pages stay resident while pinned; unpinning with
+/// `dirty = true` schedules a write-back on eviction or flush.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t pool_size);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins and returns the page. Fails with ResourceExhausted when every
+  /// frame is pinned.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a fresh page on disk, pins it, and returns it.
+  /// The new page id is reported through `*page_id`.
+  Result<Page*> NewPage(PageId* page_id);
+
+  /// Drops one pin; `dirty` marks the frame as needing write-back.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes the page back if resident (regardless of pin state).
+  Status FlushPage(PageId page_id);
+
+  /// Writes back every dirty resident page.
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  /// Finds a frame for a new resident page: a free frame if any, else the
+  /// least recently used unpinned frame (evicting its current page).
+  Result<size_t> GetVictimFrame();
+
+  void TouchLru(size_t frame_idx);
+  void RemoveFromLru(size_t frame_idx);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::vector<size_t> free_frames_;
+  // LRU order of unpinned frames; front = least recently used.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard. Unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page, bool dirty = false)
+      : pool_(pool), page_(page), dirty_(dirty) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      page_ = other.page_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.page_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~PageGuard() { Release(); }
+
+  Page* page() const { return page_; }
+  Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  /// Marks the underlying frame dirty at unpin time.
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      // Unpin cannot fail for a page we hold pinned.
+      (void)pool_->UnpinPage(page_->page_id(), dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,103 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+#include <filesystem>
+
+namespace snapdiff {
+
+Status MemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
+                              " not allocated");
+  }
+  std::memcpy(out, pages_[page_id].get(), Page::kPageSize);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status MemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
+                              " not allocated");
+  }
+  std::memcpy(pages_[page_id].get(), data, Page::kPageSize);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> MemoryDiskManager::AllocatePage() {
+  auto buf = std::make_unique<char[]>(Page::kPageSize);
+  std::memset(buf.get(), 0, Page::kPageSize);
+  pages_.push_back(std::move(buf));
+  ++stats_.allocations;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+PageId MemoryDiskManager::page_count() const {
+  return static_cast<PageId>(pages_.size());
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  // Open read/write, creating the file if needed.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!file.is_open()) {
+    std::ofstream create(path, std::ios::binary);
+    if (!create.is_open()) {
+      return Status::IOError("cannot create " + path);
+    }
+    create.close();
+    file.open(path, std::ios::in | std::ios::out | std::ios::binary);
+    if (!file.is_open()) {
+      return Status::IOError("cannot open " + path);
+    }
+  }
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+  const PageId pages = static_cast<PageId>(size / Page::kPageSize);
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(std::move(file), pages));
+}
+
+Status FileDiskManager::ReadPage(PageId page_id, char* out) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
+                              " not allocated");
+  }
+  file_.seekg(static_cast<std::streamoff>(page_id) * Page::kPageSize);
+  file_.read(out, Page::kPageSize);
+  if (!file_) return Status::IOError("short read");
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId page_id, const char* data) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
+                              " not allocated");
+  }
+  file_.seekp(static_cast<std::streamoff>(page_id) * Page::kPageSize);
+  file_.write(data, Page::kPageSize);
+  if (!file_) return Status::IOError("short write");
+  file_.flush();
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  const PageId id = page_count_;
+  char zeros[Page::kPageSize];
+  std::memset(zeros, 0, Page::kPageSize);
+  file_.seekp(static_cast<std::streamoff>(id) * Page::kPageSize);
+  file_.write(zeros, Page::kPageSize);
+  if (!file_) return Status::IOError("allocate write failed");
+  file_.flush();
+  ++page_count_;
+  ++stats_.allocations;
+  return id;
+}
+
+PageId FileDiskManager::page_count() const { return page_count_; }
+
+}  // namespace snapdiff

@@ -1,0 +1,87 @@
+#ifndef SNAPDIFF_STORAGE_DISK_MANAGER_H_
+#define SNAPDIFF_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace snapdiff {
+
+/// I/O counters exposed by every DiskManager.
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// Abstract page store. Pages are `Page::kPageSize` bytes, identified by a
+/// densely allocated PageId starting at 0.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Copies the page contents into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId page_id, char* out) = 0;
+
+  /// Persists `data` (kPageSize bytes) as the page contents.
+  virtual Status WritePage(PageId page_id, const char* data) = 0;
+
+  /// Allocates a fresh zeroed page and returns its id. Ids are monotonically
+  /// increasing, which TableHeap relies on for address ordering.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Number of pages allocated so far.
+  virtual PageId page_count() const = 0;
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ protected:
+  DiskStats stats_;
+};
+
+/// Heap-backed page store; the default for simulations and tests.
+class MemoryDiskManager : public DiskManager {
+ public:
+  MemoryDiskManager() = default;
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override;
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// File-backed page store for durability demos. The file grows on demand;
+/// page N lives at byte offset N * kPageSize.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Creates or opens `path`. Existing pages are preserved and re-counted.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override;
+
+ private:
+  FileDiskManager(std::fstream file, PageId page_count)
+      : file_(std::move(file)), page_count_(page_count) {}
+
+  std::fstream file_;
+  PageId page_count_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,49 @@
+#ifndef SNAPDIFF_STORAGE_PAGE_H_
+#define SNAPDIFF_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace snapdiff {
+
+/// A fixed-size in-memory frame holding one disk page. Pin counts and the
+/// dirty bit are managed by BufferPool; client code obtains Page pointers
+/// from the pool and must unpin them when done (see PageGuard for the RAII
+/// wrapper).
+class Page {
+ public:
+  static constexpr size_t kPageSize = 4096;
+
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return is_dirty_; }
+
+ private:
+  friend class BufferPool;
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    is_dirty_ = false;
+  }
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool is_dirty_ = false;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_STORAGE_PAGE_H_

@@ -1,0 +1,247 @@
+#include "storage/table_heap.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/slotted_page.h"
+
+namespace snapdiff {
+
+std::string_view PlacementPolicyToString(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kAppend:
+      return "append";
+    case PlacementPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+TableHeap::TableHeap(BufferPool* pool, PlacementPolicy policy, uint64_t seed)
+    : pool_(pool), policy_(policy), rng_(seed) {}
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Attach(
+    BufferPool* pool, std::vector<PageId> pages, PlacementPolicy policy,
+    uint64_t seed) {
+  if (!std::is_sorted(pages.begin(), pages.end())) {
+    return Status::InvalidArgument("Attach: pages must be in address order");
+  }
+  auto heap = std::make_unique<TableHeap>(pool, policy, seed);
+  heap->pages_ = std::move(pages);
+  for (PageId id : heap->pages_) {
+    ASSIGN_OR_RETURN(Page * page, pool->FetchPage(id));
+    PageGuard guard(pool, page);
+    heap->live_tuples_ += SlottedPage(page).live_count();
+  }
+  return heap;
+}
+
+Result<PageId> TableHeap::AllocatePage() {
+  PageId id;
+  ASSIGN_OR_RETURN(Page * page, pool_->NewPage(&id));
+  PageGuard guard(pool_, page, /*dirty=*/true);
+  SlottedPage sp(page);
+  sp.Init();
+  pages_.push_back(id);
+  ++stats_.page_allocations;
+  return id;
+}
+
+Result<PageId> TableHeap::PickPageForInsert(size_t len) {
+  const bool reuse = SlotReuseAllowed();
+  switch (policy_) {
+    case PlacementPolicy::kFirstFit: {
+      for (PageId id : pages_) {
+        ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(id));
+        PageGuard guard(pool_, page);
+        if (SlottedPage(page).CanInsert(len, reuse)) return id;
+      }
+      break;
+    }
+    case PlacementPolicy::kAppend: {
+      if (!pages_.empty()) {
+        const PageId id = pages_.back();
+        ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(id));
+        PageGuard guard(pool_, page);
+        if (SlottedPage(page).CanInsert(len, reuse)) return id;
+      }
+      break;
+    }
+    case PlacementPolicy::kRandom: {
+      // Try a handful of random probes, then fall back to a linear scan so
+      // behaviour stays deterministic and complete.
+      if (!pages_.empty()) {
+        for (int probe = 0; probe < 4; ++probe) {
+          const PageId id = pages_[rng_.Uniform(pages_.size())];
+          ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(id));
+          PageGuard guard(pool_, page);
+          if (SlottedPage(page).CanInsert(len, reuse)) return id;
+        }
+        for (PageId id : pages_) {
+          ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(id));
+          PageGuard guard(pool_, page);
+          if (SlottedPage(page).CanInsert(len, reuse)) return id;
+        }
+      }
+      break;
+    }
+  }
+  return AllocatePage();
+}
+
+Result<Address> TableHeap::Insert(std::string_view bytes) {
+  if (bytes.size() > SlottedPage::kMaxTupleSize) {
+    return Status::InvalidArgument("tuple larger than page capacity");
+  }
+  ASSIGN_OR_RETURN(PageId page_id, PickPageForInsert(bytes.size()));
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  PageGuard guard(pool_, page, /*dirty=*/true);
+  ASSIGN_OR_RETURN(SlotId slot,
+                   SlottedPage(page).Insert(bytes, SlotReuseAllowed()));
+  ++live_tuples_;
+  ++stats_.inserts;
+  return Address::FromPageSlot(page_id, slot);
+}
+
+Status TableHeap::Delete(Address addr) {
+  if (!addr.IsReal()) return Status::InvalidArgument("delete: bad address");
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page, /*dirty=*/true);
+  RETURN_IF_ERROR(SlottedPage(page).Delete(addr.slot()));
+  --live_tuples_;
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Status TableHeap::Update(Address addr, std::string_view bytes) {
+  if (!addr.IsReal()) return Status::InvalidArgument("update: bad address");
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page, /*dirty=*/true);
+  RETURN_IF_ERROR(SlottedPage(page).Update(addr.slot(), bytes));
+  ++stats_.updates;
+  return Status::OK();
+}
+
+Result<std::string> TableHeap::Get(Address addr) {
+  if (!addr.IsReal()) return Status::InvalidArgument("get: bad address");
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page);
+  ASSIGN_OR_RETURN(std::string_view view, SlottedPage(page).Get(addr.slot()));
+  return std::string(view);
+}
+
+Result<bool> TableHeap::Exists(Address addr) {
+  if (!addr.IsReal()) return false;
+  // The address may name a page this table never allocated.
+  if (!std::binary_search(pages_.begin(), pages_.end(), addr.page())) {
+    return false;
+  }
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page);
+  return SlottedPage(page).IsOccupied(addr.slot());
+}
+
+Result<Address> TableHeap::NextLiveAfter(Address addr) {
+  // First candidate page: the page containing addr (later slots), then all
+  // subsequent pages.
+  size_t page_idx = 0;
+  uint32_t slot = 0;
+  if (addr.IsReal()) {
+    page_idx = std::lower_bound(pages_.begin(), pages_.end(), addr.page()) -
+               pages_.begin();
+    if (page_idx < pages_.size() && pages_[page_idx] == addr.page()) {
+      slot = static_cast<uint32_t>(addr.slot()) + 1;
+    }
+  } else if (addr.IsNull()) {
+    return Address::Null();
+  }
+  for (; page_idx < pages_.size(); ++page_idx, slot = 0) {
+    const PageId page_id = pages_[page_idx];
+    ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+    PageGuard guard(pool_, page);
+    SlottedPage sp(page);
+    for (; slot < sp.slot_count(); ++slot) {
+      if (sp.IsOccupied(static_cast<SlotId>(slot))) {
+        return Address::FromPageSlot(page_id, static_cast<SlotId>(slot));
+      }
+    }
+  }
+  return Address::Null();
+}
+
+Result<Address> TableHeap::PrevLiveBefore(Address addr) {
+  if (addr.IsOrigin()) return Address::Origin();
+  size_t page_idx = pages_.size();
+  int32_t slot_limit = -1;  // exclusive upper bound within the first page
+  if (addr.IsReal()) {
+    page_idx = std::upper_bound(pages_.begin(), pages_.end(), addr.page()) -
+               pages_.begin();
+    if (page_idx > 0 && pages_[page_idx - 1] == addr.page()) {
+      slot_limit = static_cast<int32_t>(addr.slot());
+    }
+  }
+  for (size_t i = page_idx; i-- > 0;) {
+    const PageId page_id = pages_[i];
+    ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+    PageGuard guard(pool_, page);
+    SlottedPage sp(page);
+    int32_t start = static_cast<int32_t>(sp.slot_count()) - 1;
+    if (i + 1 == page_idx && slot_limit >= 0) start = slot_limit - 1;
+    for (int32_t s = start; s >= 0; --s) {
+      if (sp.IsOccupied(static_cast<SlotId>(s))) {
+        return Address::FromPageSlot(page_id, static_cast<SlotId>(s));
+      }
+    }
+    slot_limit = -1;
+  }
+  return Address::Origin();
+}
+
+Status TableHeap::Iterator::FindNext() {
+  valid_ = false;
+  while (page_idx_ < heap_->pages_.size()) {
+    const PageId page_id = heap_->pages_[page_idx_];
+    ASSIGN_OR_RETURN(Page * page, heap_->pool_->FetchPage(page_id));
+    PageGuard guard(heap_->pool_, page);
+    SlottedPage sp(page);
+    while (slot_ < sp.slot_count()) {
+      const SlotId s = static_cast<SlotId>(slot_);
+      ++slot_;
+      if (sp.IsOccupied(s)) {
+        ASSIGN_OR_RETURN(std::string_view view, sp.Get(s));
+        tuple_.assign(view);
+        address_ = Address::FromPageSlot(page_id, s);
+        valid_ = true;
+        return Status::OK();
+      }
+    }
+    ++page_idx_;
+    slot_ = 0;
+  }
+  return Status::OK();
+}
+
+Status TableHeap::Iterator::Next() {
+  if (!valid_) return Status::Internal("Next() past end");
+  return FindNext();
+}
+
+Result<TableHeap::Iterator> TableHeap::Begin() {
+  Iterator it(this);
+  RETURN_IF_ERROR(it.FindNext());
+  return it;
+}
+
+Status TableHeap::ForEach(
+    const std::function<Status(Address, std::string_view)>& fn) {
+  ASSIGN_OR_RETURN(Iterator it, Begin());
+  while (it.Valid()) {
+    RETURN_IF_ERROR(fn(it.address(), it.tuple()));
+    RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+}  // namespace snapdiff

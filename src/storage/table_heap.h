@@ -1,0 +1,153 @@
+#ifndef SNAPDIFF_STORAGE_TABLE_HEAP_H_
+#define SNAPDIFF_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+
+namespace snapdiff {
+
+/// Where newly inserted tuples are placed. The paper's algorithm must cope
+/// with inserts landing at "some empty address", including interior holes
+/// left by deletions; the policy is a first-class experimental knob
+/// (bench_placement) because it changes how often PrevAddr anomalies arise.
+enum class PlacementPolicy {
+  /// Scan pages in address order and reuse the first hole (default; the
+  /// behaviour the paper's examples exhibit, e.g. Laura inserted at addr 2).
+  kFirstFit,
+  /// Always place at the end of the table; freed slots are never reused.
+  kAppend,
+  /// Place on a uniformly random page with room (hot-hole stress test).
+  kRandom,
+};
+
+std::string_view PlacementPolicyToString(PlacementPolicy policy);
+
+struct TableHeapStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  uint64_t page_allocations = 0;
+};
+
+/// A heap table of byte-string tuples with stable, totally ordered
+/// `Address`es (page id, slot). Updates never move a tuple to a different
+/// address; deletes free the slot for possible reuse (policy permitting).
+///
+/// Iteration via `Iterator` / `ForEach` visits live tuples in strictly
+/// increasing address order — the scan order the refresh algorithms rely on.
+class TableHeap {
+ public:
+  TableHeap(BufferPool* pool, PlacementPolicy policy = PlacementPolicy::kFirstFit,
+            uint64_t seed = 0x5eed);
+
+  /// Reattaches a heap to pages that already exist on disk (site restart
+  /// with a durable DiskManager). `pages` must be the table's page ids in
+  /// allocation order; the live-tuple count is recomputed by scanning.
+  static Result<std::unique_ptr<TableHeap>> Attach(
+      BufferPool* pool, std::vector<PageId> pages,
+      PlacementPolicy policy = PlacementPolicy::kFirstFit,
+      uint64_t seed = 0x5eed);
+
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
+
+  /// Inserts a tuple and returns its (new) address.
+  Result<Address> Insert(std::string_view bytes);
+
+  /// Deletes the tuple at `addr`. NotFound if the slot is empty.
+  Status Delete(Address addr);
+
+  /// Replaces the tuple bytes at `addr`, keeping the address.
+  Status Update(Address addr, std::string_view bytes);
+
+  /// Copies out the tuple at `addr`.
+  Result<std::string> Get(Address addr);
+
+  /// Whether a live tuple exists at `addr`.
+  Result<bool> Exists(Address addr);
+
+  /// The smallest live address strictly greater than `addr`
+  /// (Address::Origin() scans from the start). Returns Address::Null()
+  /// when none exists. Used by eager annotation maintenance to find the
+  /// successor whose PrevAddr must be fixed.
+  Result<Address> NextLiveAfter(Address addr);
+
+  /// The largest live address strictly smaller than `addr`
+  /// (Address::Null() scans from the end). Returns Address::Origin() when
+  /// none exists.
+  Result<Address> PrevLiveBefore(Address addr);
+
+  uint64_t live_tuples() const { return live_tuples_; }
+  const TableHeapStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TableHeapStats{}; }
+  const std::vector<PageId>& pages() const { return pages_; }
+  PlacementPolicy policy() const { return policy_; }
+  void set_policy(PlacementPolicy policy) { policy_ = policy; }
+
+  /// Forward iterator over live tuples in address order. The tuple bytes are
+  /// copied into the iterator, so it remains valid across page evictions.
+  /// Mutating the heap invalidates iterators.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    Address address() const { return address_; }
+    const std::string& tuple() const { return tuple_; }
+
+    /// Advances to the next live tuple; clears Valid() at the end.
+    Status Next();
+
+   private:
+    friend class TableHeap;
+    Iterator(TableHeap* heap) : heap_(heap) {}
+
+    /// Advances from the current (page_idx_, slot_) position to the next
+    /// occupied slot, loading its bytes.
+    Status FindNext();
+
+    TableHeap* heap_;
+    size_t page_idx_ = 0;
+    uint32_t slot_ = 0;  // next slot to examine on the current page
+    bool valid_ = false;
+    Address address_;
+    std::string tuple_;
+  };
+
+  /// Positions an iterator at the first live tuple.
+  Result<Iterator> Begin();
+
+  /// Calls `fn(address, bytes)` for every live tuple in address order;
+  /// stops early on error.
+  Status ForEach(
+      const std::function<Status(Address, std::string_view)>& fn);
+
+ private:
+  /// Picks (or allocates) a page that can hold `len` bytes under the current
+  /// placement policy.
+  Result<PageId> PickPageForInsert(size_t len);
+
+  Result<PageId> AllocatePage();
+
+  bool SlotReuseAllowed() const {
+    return policy_ != PlacementPolicy::kAppend;
+  }
+
+  BufferPool* pool_;
+  PlacementPolicy policy_;
+  Random rng_;
+  std::vector<PageId> pages_;  // in allocation (= address) order
+  uint64_t live_tuples_ = 0;
+  TableHeapStats stats_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_STORAGE_TABLE_HEAP_H_

@@ -1,0 +1,70 @@
+#include "txn/lock_manager.h"
+
+namespace snapdiff {
+
+Status LockManager::Acquire(TxnId txn, TableId table, LockMode mode) {
+  TableLock& lock = locks_[table];
+  if (lock.holders.empty()) {
+    lock.mode = mode;
+    lock.holders.insert(txn);
+    ++stats_.acquisitions;
+    return Status::OK();
+  }
+  const bool sole_holder =
+      lock.holders.size() == 1 && lock.holders.contains(txn);
+  if (lock.holders.contains(txn)) {
+    if (mode == LockMode::kShared || lock.mode == LockMode::kExclusive) {
+      return Status::OK();  // already held at sufficient strength
+    }
+    // Upgrade request S -> X.
+    if (sole_holder) {
+      lock.mode = LockMode::kExclusive;
+      ++stats_.upgrades;
+      return Status::OK();
+    }
+    ++stats_.conflicts;
+    return Status::Aborted("lock upgrade conflict on table " +
+                           std::to_string(table));
+  }
+  if (mode == LockMode::kShared && lock.mode == LockMode::kShared) {
+    lock.holders.insert(txn);
+    ++stats_.acquisitions;
+    return Status::OK();
+  }
+  ++stats_.conflicts;
+  return Status::Aborted("lock conflict on table " + std::to_string(table));
+}
+
+Status LockManager::Release(TxnId txn, TableId table) {
+  auto it = locks_.find(table);
+  if (it == locks_.end() || !it->second.holders.contains(txn)) {
+    return Status::NotFound("txn " + std::to_string(txn) +
+                            " holds no lock on table " +
+                            std::to_string(table));
+  }
+  it->second.holders.erase(txn);
+  if (it->second.holders.empty()) locks_.erase(it);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockManager::HoldsLock(TxnId txn, TableId table) const {
+  auto it = locks_.find(table);
+  return it != locks_.end() && it->second.holders.contains(txn);
+}
+
+bool LockManager::IsLocked(TableId table) const {
+  return locks_.contains(table);
+}
+
+}  // namespace snapdiff

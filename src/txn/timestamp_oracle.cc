@@ -1,0 +1,32 @@
+#include "txn/timestamp_oracle.h"
+
+#include <cstring>
+
+namespace snapdiff {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'D', 'O', 'R', 'A', 'C', 'L', 'E'};
+}  // namespace
+
+Status TimestampOracle::Checkpoint(DiskManager* disk, PageId page_id) const {
+  char buf[Page::kPageSize];
+  std::memset(buf, 0, sizeof(buf));
+  std::memcpy(buf, kMagic, sizeof(kMagic));
+  std::memcpy(buf + sizeof(kMagic), &next_, sizeof(next_));
+  return disk->WritePage(page_id, buf);
+}
+
+Result<TimestampOracle> TimestampOracle::Recover(DiskManager* disk,
+                                                 PageId page_id,
+                                                 Timestamp skew) {
+  char buf[Page::kPageSize];
+  RETURN_IF_ERROR(disk->ReadPage(page_id, buf));
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("oracle page has no checkpoint");
+  }
+  Timestamp next = 0;
+  std::memcpy(&next, buf + sizeof(kMagic), sizeof(next));
+  return TimestampOracle(next + skew);
+}
+
+}  // namespace snapdiff

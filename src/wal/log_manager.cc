@@ -1,0 +1,193 @@
+#include "wal/log_manager.h"
+
+#include <unordered_set>
+
+namespace snapdiff {
+
+Lsn LogManager::Append(LogRecord record) {
+  record.lsn = records_.size() + 1;
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+Lsn LogManager::LogBegin(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kBegin;
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogCommit(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kCommit;
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogAbort(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kAbort;
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogInsert(TxnId txn, TableId table, Address addr,
+                          std::string after) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kInsert;
+  rec.table_id = table;
+  rec.addr = addr;
+  rec.after = std::move(after);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogUpdate(TxnId txn, TableId table, Address addr,
+                          std::string before, std::string after) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kUpdate;
+  rec.table_id = table;
+  rec.addr = addr;
+  rec.before = std::move(before);
+  rec.after = std::move(after);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogDelete(TxnId txn, TableId table, Address addr,
+                          std::string before) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kDelete;
+  rec.table_id = table;
+  rec.addr = addr;
+  rec.before = std::move(before);
+  return Append(std::move(rec));
+}
+
+Result<const LogRecord*> LogManager::Get(Lsn lsn) const {
+  if (lsn == kInvalidLsn || lsn > records_.size()) {
+    return Status::NotFound("no record with lsn " + std::to_string(lsn));
+  }
+  if (lsn <= truncated_) {
+    return Status::NotFound("lsn " + std::to_string(lsn) + " truncated");
+  }
+  return &records_[lsn - 1];
+}
+
+std::vector<const LogRecord*> LogManager::Scan(Lsn from_lsn) const {
+  std::vector<const LogRecord*> out;
+  const size_t start = std::max<size_t>(from_lsn, truncated_);
+  for (size_t i = start; i < records_.size(); ++i) {
+    out.push_back(&records_[i]);
+  }
+  return out;
+}
+
+Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
+    TableId table, Lsn from_lsn, CullStats* stats) const {
+  if (from_lsn < truncated_) {
+    return Status::OutOfRange(
+        "log truncated past requested start lsn " + std::to_string(from_lsn) +
+        "; full refresh required");
+  }
+  // Pass 1: find transactions committed within or after the interval. A
+  // transaction's changes count once its commit record exists anywhere in
+  // the retained log.
+  std::unordered_set<TxnId> committed;
+  for (size_t i = truncated_; i < records_.size(); ++i) {
+    if (records_[i].type == LogRecordType::kCommit) {
+      committed.insert(records_[i].txn_id);
+    }
+  }
+
+  // Pass 2: fold data records of committed transactions, in LSN order.
+  std::map<Address, NetChange> net;
+  for (size_t i = from_lsn; i < records_.size(); ++i) {
+    const LogRecord& rec = records_[i];
+    if (stats != nullptr) {
+      ++stats->records_scanned;
+      stats->bytes_scanned += rec.SerializedSize();
+    }
+    if (!rec.IsDataRecord() || rec.table_id != table) continue;
+    if (!committed.contains(rec.txn_id)) continue;
+    if (stats != nullptr) ++stats->relevant_records;
+
+    auto it = net.find(rec.addr);
+    if (it == net.end()) {
+      NetChange change;
+      change.addr = rec.addr;
+      switch (rec.type) {
+        case LogRecordType::kInsert:
+          change.kind = NetChange::Kind::kInsert;
+          change.after = rec.after;
+          break;
+        case LogRecordType::kUpdate:
+          change.kind = NetChange::Kind::kUpdate;
+          change.before = rec.before;
+          change.after = rec.after;
+          break;
+        case LogRecordType::kDelete:
+          change.kind = NetChange::Kind::kDelete;
+          change.before = rec.before;
+          break;
+        default:
+          break;
+      }
+      net.emplace(rec.addr, std::move(change));
+      continue;
+    }
+    NetChange& change = it->second;
+    switch (rec.type) {
+      case LogRecordType::kInsert:
+        // Slot reuse: a delete followed by an insert at the same address.
+        if (change.kind == NetChange::Kind::kDelete) {
+          // Net effect is an update of the old image to the new one.
+          change.kind = NetChange::Kind::kUpdate;
+          change.after = rec.after;
+        } else {
+          change.kind = NetChange::Kind::kInsert;
+          change.after = rec.after;
+        }
+        break;
+      case LogRecordType::kUpdate:
+        change.after = rec.after;
+        break;
+      case LogRecordType::kDelete:
+        if (change.kind == NetChange::Kind::kInsert) {
+          // Inserted and deleted inside the interval: no net effect.
+          net.erase(it);
+        } else {
+          change.kind = NetChange::Kind::kDelete;
+          change.after.clear();
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return net;
+}
+
+void LogManager::Truncate(Lsn up_to) {
+  if (up_to <= truncated_) return;
+  const size_t new_truncated = std::min<size_t>(up_to, records_.size());
+  // Free the payloads but keep the slots so LSN arithmetic stays simple.
+  for (size_t i = truncated_; i < new_truncated; ++i) {
+    records_[i].before.clear();
+    records_[i].before.shrink_to_fit();
+    records_[i].after.clear();
+    records_[i].after.shrink_to_fit();
+  }
+  truncated_ = new_truncated;
+}
+
+size_t LogManager::retained_bytes() const {
+  size_t bytes = 0;
+  for (size_t i = truncated_; i < records_.size(); ++i) {
+    bytes += records_[i].SerializedSize();
+  }
+  return bytes;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,80 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+
+namespace snapdiff {
+
+std::string_view LogRecordTypeToString(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kBegin:
+      return "BEGIN";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+    case LogRecordType::kInsert:
+      return "INSERT";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kDelete:
+      return "DELETE";
+  }
+  return "UNKNOWN";
+}
+
+void LogRecord::SerializeTo(std::string* dst) const {
+  PutFixed64(dst, lsn);
+  PutFixed64(dst, txn_id);
+  dst->push_back(static_cast<char>(type));
+  PutFixed32(dst, table_id);
+  PutFixed64(dst, addr.raw());
+  PutLengthPrefixed(dst, before);
+  PutLengthPrefixed(dst, after);
+}
+
+Result<LogRecord> LogRecord::DeserializeFrom(std::string_view* input) {
+  LogRecord rec;
+  uint64_t u64 = 0;
+  RETURN_IF_ERROR(GetFixed64(input, &u64));
+  rec.lsn = u64;
+  RETURN_IF_ERROR(GetFixed64(input, &u64));
+  rec.txn_id = u64;
+  if (input->empty()) return Status::Corruption("log record underflow");
+  const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  if (type_raw > static_cast<uint8_t>(LogRecordType::kDelete)) {
+    return Status::Corruption("bad log record type");
+  }
+  rec.type = static_cast<LogRecordType>(type_raw);
+  uint32_t u32 = 0;
+  RETURN_IF_ERROR(GetFixed32(input, &u32));
+  rec.table_id = u32;
+  RETURN_IF_ERROR(GetFixed64(input, &u64));
+  rec.addr = Address::FromRaw(u64);
+  RETURN_IF_ERROR(GetLengthPrefixed(input, &rec.before));
+  RETURN_IF_ERROR(GetLengthPrefixed(input, &rec.after));
+  return rec;
+}
+
+size_t LogRecord::SerializedSize() const {
+  return 8 + 8 + 1 + 4 + 8 + 4 + before.size() + 4 + after.size();
+}
+
+std::string LogRecord::ToString() const {
+  std::string out = "[lsn=" + std::to_string(lsn) +
+                    " txn=" + std::to_string(txn_id) + " " +
+                    std::string(LogRecordTypeToString(type));
+  if (IsDataRecord()) {
+    out += " table=" + std::to_string(table_id) + " addr=" + addr.ToString();
+  }
+  out += "]";
+  return out;
+}
+
+bool operator==(const LogRecord& a, const LogRecord& b) {
+  return a.lsn == b.lsn && a.txn_id == b.txn_id && a.type == b.type &&
+         a.table_id == b.table_id && a.addr == b.addr &&
+         a.before == b.before && a.after == b.after;
+}
+
+}  // namespace snapdiff

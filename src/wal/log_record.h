@@ -1,0 +1,59 @@
+#ifndef SNAPDIFF_WAL_LOG_RECORD_H_
+#define SNAPDIFF_WAL_LOG_RECORD_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace snapdiff {
+
+enum class LogRecordType : uint8_t {
+  kBegin = 0,
+  kCommit = 1,
+  kAbort = 2,
+  kInsert = 3,
+  kUpdate = 4,
+  kDelete = 5,
+};
+
+std::string_view LogRecordTypeToString(LogRecordType type);
+
+/// One entry of the recovery log. Data records carry before/after images of
+/// the *serialized* tuple so the log-based refresh alternative can recover
+/// both the old and new values (the paper notes that "unless the values of
+/// unchanged base table fields are written to the log, an access to the
+/// base table is required" — we write full images, the favourable case for
+/// that method).
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  TxnId txn_id = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  TableId table_id = 0;        // data records only
+  Address addr;                // data records only
+  std::string before;          // kUpdate, kDelete
+  std::string after;           // kInsert, kUpdate
+
+  bool IsDataRecord() const {
+    return type == LogRecordType::kInsert ||
+           type == LogRecordType::kUpdate || type == LogRecordType::kDelete;
+  }
+
+  /// Binary round trip (used by the durability tests and byte accounting).
+  void SerializeTo(std::string* dst) const;
+  static Result<LogRecord> DeserializeFrom(std::string_view* input);
+
+  /// Size of the serialized representation, the unit of log-space
+  /// accounting in bench_alternatives.
+  size_t SerializedSize() const;
+
+  std::string ToString() const;
+};
+
+bool operator==(const LogRecord& a, const LogRecord& b);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_WAL_LOG_RECORD_H_

@@ -1,0 +1,124 @@
+#include "analysis/analytic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "snapshot/planner.h"
+
+namespace snapdiff {
+namespace {
+
+WorkloadPoint P(double q, double u, uint64_t n = 10000) {
+  return WorkloadPoint{n, q, u};
+}
+
+TEST(AnalyticModelTest, FullIsFlatInUpdateActivity) {
+  EXPECT_DOUBLE_EQ(ExpectedFullMessages(P(0.25, 0.0)), 2500.0);
+  EXPECT_DOUBLE_EQ(ExpectedFullMessages(P(0.25, 1.0)), 2500.0);
+  EXPECT_DOUBLE_EQ(ExpectedFullPercent(P(0.25, 0.5)), 25.0);
+}
+
+TEST(AnalyticModelTest, ZeroActivityCostsNothingDifferentially) {
+  EXPECT_DOUBLE_EQ(ExpectedDifferentialMessages(P(0.25, 0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedIdealMessages(P(0.25, 0.0)), 0.0);
+}
+
+TEST(AnalyticModelTest, NoRestrictionDifferentialEqualsIdeal) {
+  // "When there is no restriction, the differential refresh algorithm
+  // performs as well as the ideal refresh."
+  for (double u : {0.01, 0.1, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(ExpectedDifferentialMessages(P(1.0, u)),
+                ExpectedIdealMessages(P(1.0, u)), 1e-9)
+        << "u=" << u;
+  }
+}
+
+TEST(AnalyticModelTest, DifferentialDominatedByFullUntilSaturation) {
+  // Differential never exceeds q·N; it approaches full as u → 1.
+  for (double q : {0.01, 0.05, 0.25, 0.75}) {
+    for (double u : {0.05, 0.25, 0.5, 0.9}) {
+      EXPECT_LE(ExpectedDifferentialMessages(P(q, u)),
+                ExpectedFullMessages(P(q, u)) + 1e-9)
+          << "q=" << q << " u=" << u;
+    }
+    EXPECT_NEAR(ExpectedDifferentialMessages(P(q, 1.0)),
+                ExpectedFullMessages(P(q, 1.0)), 1e-6);
+  }
+}
+
+TEST(AnalyticModelTest, DifferentialAtLeastIdealUpserts) {
+  // Differential transmits a superset of the necessary qualified upserts.
+  for (double q : {0.01, 0.05, 0.25, 0.75, 1.0}) {
+    for (double u : {0.01, 0.1, 0.5, 1.0}) {
+      EXPECT_GE(ExpectedDifferentialMessages(P(q, u)) + 1e-9,
+                10000.0 * u * q)
+          << "q=" << q << " u=" << u;
+    }
+  }
+}
+
+TEST(AnalyticModelTest, SuperfluousRateGrowsWithRestriction) {
+  // "As the snapshot qualification becomes more restrictive, the relative
+  // number of superfluous messages ... increases."
+  const double u = 0.1;
+  double prev = -1.0;
+  for (double q : {0.75, 0.25, 0.05, 0.01}) {
+    const double s = SuperfluousFraction(P(q, u));
+    EXPECT_GT(s, prev) << "q=" << q;
+    prev = s;
+  }
+}
+
+TEST(AnalyticModelTest, SuperfluousRateShrinksWithActivity) {
+  // "For a given restriction, the percentage of superfluous messages
+  // decreases as the number of base table modifications increases."
+  const double q = 0.05;
+  double prev = 2.0;
+  for (double u : {0.01, 0.05, 0.2, 0.6, 1.0}) {
+    const double s = SuperfluousFraction(P(q, u));
+    EXPECT_LT(s, prev) << "u=" << u;
+    prev = s;
+  }
+}
+
+TEST(AnalyticModelTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ExpectedDifferentialMessages(P(0.0, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedFullMessages(P(0.0, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedIdealMessages(P(0.0, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedDifferentialMessages(P(0.0, 0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(SuperfluousFraction(P(0.0, 0.0)), 0.0);
+}
+
+TEST(PlannerTest, QuietWorkloadPrefersDifferential) {
+  RefreshCostModel model;
+  EXPECT_EQ(ChooseRefreshMethod(P(0.25, 0.01), model,
+                                /*has_restriction_index=*/false),
+            RefreshMethod::kDifferential);
+}
+
+TEST(PlannerTest, HotWorkloadWithIndexPrefersFull) {
+  RefreshCostModel model;
+  // Nearly everything updated, tight restriction, index available: rebuild.
+  EXPECT_EQ(ChooseRefreshMethod(P(0.05, 1.0), model,
+                                /*has_restriction_index=*/true),
+            RefreshMethod::kFull);
+}
+
+TEST(PlannerTest, IndexOnlyMattersForFull) {
+  RefreshCostModel model;
+  const WorkloadPoint p = P(0.05, 0.5);
+  EXPECT_LT(EstimateFullCost(p, model, true),
+            EstimateFullCost(p, model, false));
+  EXPECT_DOUBLE_EQ(EstimateDifferentialCost(p, model),
+                   EstimateDifferentialCost(p, model));
+}
+
+TEST(PlannerTest, ExplainMentionsBothCosts) {
+  RefreshCostModel model;
+  std::string s = ExplainChoice(P(0.25, 0.1), model, false);
+  EXPECT_NE(s.find("differential="), std::string::npos);
+  EXPECT_NE(s.find("full="), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,243 @@
+#include "snapshot/base_table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+class BaseTableTest : public ::testing::Test {
+ protected:
+  BaseTableTest() : pool_(&disk_, 256), catalog_(&pool_) {}
+
+  Result<BaseTable*> MakeTable(const std::string& name, AnnotationMode mode,
+                               LogManager* wal = nullptr) {
+    Schema stored = EmpSchema();
+    if (mode != AnnotationMode::kNone) {
+      ASSIGN_OR_RETURN(stored, stored.WithAnnotations());
+    }
+    ASSIGN_OR_RETURN(TableInfo * info,
+                     catalog_.CreateTable(name, std::move(stored)));
+    tables_.push_back(
+        std::make_unique<BaseTable>(info, mode, &oracle_, wal));
+    return tables_.back().get();
+  }
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  TimestampOracle oracle_;
+  std::vector<std::unique_ptr<BaseTable>> tables_;
+};
+
+TEST_F(BaseTableTest, UserRowsHideAnnotations) {
+  auto t = MakeTable("emp", AnnotationMode::kLazy);
+  ASSERT_TRUE(t.ok());
+  auto addr = (*t)->Insert(Row("Bruce", 15));
+  ASSERT_TRUE(addr.ok());
+  auto row = (*t)->ReadUserRow(*addr);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 2u);
+  EXPECT_EQ(row->value(0).as_string(), "Bruce");
+  EXPECT_EQ((*t)->user_schema().column_count(), 2u);
+  EXPECT_EQ((*t)->stored_schema().column_count(), 4u);
+}
+
+TEST_F(BaseTableTest, LazyInsertStoresNullAnnotations) {
+  auto t = MakeTable("emp", AnnotationMode::kLazy);
+  ASSERT_TRUE(t.ok());
+  auto addr = (*t)->Insert(Row("Laura", 6));
+  ASSERT_TRUE(addr.ok());
+  auto row = (*t)->ReadAnnotated(*addr);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->prev_addr.IsNull());
+  EXPECT_EQ(row->timestamp, kNullTimestamp);
+}
+
+TEST_F(BaseTableTest, LazyUpdateNullsTimestampKeepsPrev) {
+  auto t = MakeTable("emp", AnnotationMode::kLazy);
+  ASSERT_TRUE(t.ok());
+  auto addr = (*t)->Insert(Row("Hamid", 9));
+  ASSERT_TRUE(addr.ok());
+  // Simulate a fix-up having run.
+  ASSERT_TRUE((*t)->WriteAnnotations(*addr, Address::Origin(), 77).ok());
+  ASSERT_TRUE((*t)->Update(*addr, Row("Hamid", 15)).ok());
+  auto row = (*t)->ReadAnnotated(*addr);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->prev_addr, Address::Origin());   // preserved
+  EXPECT_EQ(row->timestamp, kNullTimestamp);       // nulled
+  EXPECT_EQ(row->user.value(1).as_int64(), 15);
+}
+
+TEST_F(BaseTableTest, LazyDeleteTouchesNothingElse) {
+  auto t = MakeTable("emp", AnnotationMode::kLazy);
+  ASSERT_TRUE(t.ok());
+  auto a1 = (*t)->Insert(Row("A", 1));
+  auto a2 = (*t)->Insert(Row("B", 2));
+  auto a3 = (*t)->Insert(Row("C", 3));
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  ASSERT_TRUE((*t)->WriteAnnotations(*a3, *a2, 5).ok());
+  ASSERT_TRUE((*t)->Delete(*a2).ok());
+  // The successor's annotations are untouched (stale by design).
+  auto row = (*t)->ReadAnnotated(*a3);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->prev_addr, *a2);
+  EXPECT_EQ(row->timestamp, 5);
+  EXPECT_EQ((*t)->maintenance_stats().extra_entry_writes, 0u);
+}
+
+TEST_F(BaseTableTest, EagerInsertMaintainsChain) {
+  auto t = MakeTable("emp", AnnotationMode::kEager);
+  ASSERT_TRUE(t.ok());
+  auto a1 = (*t)->Insert(Row("A", 1));
+  auto a2 = (*t)->Insert(Row("B", 2));
+  auto a3 = (*t)->Insert(Row("C", 3));
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  auto r1 = (*t)->ReadAnnotated(*a1);
+  auto r2 = (*t)->ReadAnnotated(*a2);
+  auto r3 = (*t)->ReadAnnotated(*a3);
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(r1->prev_addr, Address::Origin());
+  EXPECT_EQ(r2->prev_addr, *a1);
+  EXPECT_EQ(r3->prev_addr, *a2);
+  EXPECT_NE(r1->timestamp, kNullTimestamp);
+  EXPECT_NE(r2->timestamp, kNullTimestamp);
+}
+
+TEST_F(BaseTableTest, EagerDeleteRepairsSuccessor) {
+  auto t = MakeTable("emp", AnnotationMode::kEager);
+  ASSERT_TRUE(t.ok());
+  auto a1 = (*t)->Insert(Row("A", 1));
+  auto a2 = (*t)->Insert(Row("B", 2));
+  auto a3 = (*t)->Insert(Row("C", 3));
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  auto before = (*t)->ReadAnnotated(*a3);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*t)->Delete(*a2).ok());
+  auto after = (*t)->ReadAnnotated(*a3);
+  ASSERT_TRUE(after.ok());
+  // "updated with the PrevAddr from the deleted entry and the current time"
+  EXPECT_EQ(after->prev_addr, *a1);
+  EXPECT_GT(after->timestamp, before->timestamp);
+  EXPECT_GE((*t)->maintenance_stats().extra_entry_writes, 1u);
+}
+
+TEST_F(BaseTableTest, EagerInsertIntoHoleRepairsSuccessor) {
+  auto t = MakeTable("emp", AnnotationMode::kEager);
+  ASSERT_TRUE(t.ok());
+  auto a1 = (*t)->Insert(Row("A", 1));
+  auto a2 = (*t)->Insert(Row("B", 2));
+  auto a3 = (*t)->Insert(Row("C", 3));
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  ASSERT_TRUE((*t)->Delete(*a2).ok());
+  auto ts3_before = (*t)->ReadAnnotated(*a3);
+  ASSERT_TRUE(ts3_before.ok());
+  // First-fit reuses a2's slot.
+  auto re = (*t)->Insert(Row("D", 4));
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, *a2);
+  auto rd = (*t)->ReadAnnotated(*re);
+  auto r3 = (*t)->ReadAnnotated(*a3);
+  ASSERT_TRUE(rd.ok() && r3.ok());
+  EXPECT_EQ(rd->prev_addr, *a1);
+  EXPECT_EQ(r3->prev_addr, *re);
+  // Successor's TimeStamp is NOT updated by an insert.
+  EXPECT_EQ(r3->timestamp, ts3_before->timestamp);
+}
+
+TEST_F(BaseTableTest, EagerTailDeleteNeedsNoRepair) {
+  auto t = MakeTable("emp", AnnotationMode::kEager);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->Insert(Row("A", 1)).ok());
+  auto a2 = (*t)->Insert(Row("B", 2));
+  ASSERT_TRUE(a2.ok());
+  const uint64_t writes_before = (*t)->maintenance_stats().extra_entry_writes;
+  ASSERT_TRUE((*t)->Delete(*a2).ok());
+  EXPECT_EQ((*t)->maintenance_stats().extra_entry_writes, writes_before);
+}
+
+TEST_F(BaseTableTest, WalLogsUserImages) {
+  LogManager wal;
+  auto t = MakeTable("emp", AnnotationMode::kLazy, &wal);
+  ASSERT_TRUE(t.ok());
+  auto addr = (*t)->Insert(Row("A", 1));
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE((*t)->Update(*addr, Row("A", 2)).ok());
+  ASSERT_TRUE((*t)->Delete(*addr).ok());
+  // 3 ops × (begin + data + commit).
+  EXPECT_EQ(wal.LastLsn(), 9u);
+  auto changes = wal.CollectCommittedChanges((*t)->info()->id, 0);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->empty());  // insert+delete nets to nothing
+
+  // Before/after images are user tuples (deserializable by user schema).
+  auto rec = wal.Get(5);  // the update record
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ((*rec)->type, LogRecordType::kUpdate);
+  auto before = Tuple::Deserialize((*t)->user_schema(), (*rec)->before);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->value(1).as_int64(), 1);
+}
+
+TEST_F(BaseTableTest, ObserversSeeAllOps) {
+  struct Recorder : TableObserver {
+    std::vector<std::string> events;
+    void OnInsert(Address, const Tuple& after) override {
+      events.push_back("I:" + after.value(0).as_string());
+    }
+    void OnUpdate(Address, const Tuple& before, const Tuple& after) override {
+      events.push_back("U:" + before.value(0).as_string() + ">" +
+                       after.value(0).as_string());
+    }
+    void OnDelete(Address, const Tuple& before) override {
+      events.push_back("D:" + before.value(0).as_string());
+    }
+  };
+  Recorder rec;
+  auto t = MakeTable("emp", AnnotationMode::kLazy);
+  ASSERT_TRUE(t.ok());
+  (*t)->AddObserver(&rec);
+  auto addr = (*t)->Insert(Row("A", 1));
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE((*t)->Update(*addr, Row("B", 2)).ok());
+  ASSERT_TRUE((*t)->Delete(*addr).ok());
+  ASSERT_EQ(rec.events.size(), 3u);
+  EXPECT_EQ(rec.events[0], "I:A");
+  EXPECT_EQ(rec.events[1], "U:A>B");
+  EXPECT_EQ(rec.events[2], "D:B");
+  (*t)->RemoveObserver(&rec);
+  ASSERT_TRUE((*t)->Insert(Row("C", 3)).ok());
+  EXPECT_EQ(rec.events.size(), 3u);
+}
+
+TEST_F(BaseTableTest, ArityMismatchRejected) {
+  auto t = MakeTable("emp", AnnotationMode::kLazy);
+  ASSERT_TRUE(t.ok());
+  Tuple bad({Value::String("x")});
+  EXPECT_TRUE((*t)->Insert(bad).status().IsInvalidArgument());
+}
+
+TEST_F(BaseTableTest, NoneModeHasNoAnnotations) {
+  auto t = MakeTable("plain", AnnotationMode::kNone);
+  ASSERT_TRUE(t.ok());
+  auto addr = (*t)->Insert(Row("A", 1));
+  ASSERT_TRUE(addr.ok());
+  auto row = (*t)->ReadAnnotated(*addr);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->prev_addr.IsNull());
+  EXPECT_EQ(row->timestamp, kNullTimestamp);
+  EXPECT_EQ((*t)->stored_schema().column_count(), 2u);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,204 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace snapdiff {
+namespace {
+
+using IntTree = BPlusTree<int, int, 8>;  // small fanout → deep trees
+
+TEST(BPlusTreeTest, EmptyTree) {
+  IntTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Begin().Valid());
+  EXPECT_FALSE(t.LowerBound(5).Valid());
+  EXPECT_TRUE(t.Find(5).status().IsNotFound());
+  EXPECT_TRUE(t.Delete(5).IsNotFound());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  IntTree t;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert(i * 3, i).ok());
+  }
+  EXPECT_EQ(t.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    auto v = t.Find(i * 3);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(t.Find(1).status().IsNotFound());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  IntTree t;
+  ASSERT_TRUE(t.Insert(1, 10).ok());
+  EXPECT_TRUE(t.Insert(1, 20).IsAlreadyExists());
+  auto v = t.Find(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 10);
+}
+
+TEST(BPlusTreeTest, InsertOrAssignOverwrites) {
+  IntTree t;
+  t.InsertOrAssign(1, 10);
+  t.InsertOrAssign(1, 20);
+  EXPECT_EQ(t.size(), 1u);
+  auto v = t.Find(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 20);
+}
+
+TEST(BPlusTreeTest, IterationInKeyOrder) {
+  IntTree t;
+  std::vector<int> keys;
+  Random rng(77);
+  for (int i = 0; i < 500; ++i) keys.push_back(i);
+  rng.Shuffle(&keys);
+  for (int k : keys) ASSERT_TRUE(t.Insert(k, k * 2).ok());
+
+  int expected = 0;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expected);
+    EXPECT_EQ(it.value(), expected * 2);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 500);
+}
+
+TEST(BPlusTreeTest, LowerBound) {
+  IntTree t;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(t.Insert(i * 10, i).ok());
+  auto it = t.LowerBound(25);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  it = t.LowerBound(30);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  it = t.LowerBound(0);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 0);
+  EXPECT_FALSE(t.LowerBound(491).Valid());
+}
+
+TEST(BPlusTreeTest, KeysInRange) {
+  IntTree t;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(t.Insert(i, i).ok());
+  auto keys = t.KeysInRange(10, 20);
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 19);
+  EXPECT_TRUE(t.KeysInRange(200, 300).empty());
+  EXPECT_TRUE(t.KeysInRange(20, 10).empty());
+}
+
+TEST(BPlusTreeTest, DeleteAscending) {
+  IntTree t;
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(t.Insert(i, i).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Delete(i).ok()) << i;
+    ASSERT_TRUE(t.Validate().ok()) << "after deleting " << i;
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTreeTest, DeleteDescending) {
+  IntTree t;
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(t.Insert(i, i).ok());
+  for (int i = 199; i >= 0; --i) {
+    ASSERT_TRUE(t.Delete(i).ok()) << i;
+    ASSERT_TRUE(t.Validate().ok()) << "after deleting " << i;
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTreeTest, DeleteInterleavedWithFinds) {
+  IntTree t;
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(t.Insert(i, i).ok());
+  // Delete every third key.
+  for (int i = 0; i < 300; i += 3) ASSERT_TRUE(t.Delete(i).ok());
+  ASSERT_TRUE(t.Validate().ok());
+  for (int i = 0; i < 300; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(t.Find(i).status().IsNotFound()) << i;
+    } else {
+      ASSERT_TRUE(t.Find(i).ok()) << i;
+    }
+  }
+}
+
+TEST(BPlusTreeTest, AddressKeys) {
+  BPlusTree<Address, Address, 16> t;
+  for (SlotId s = 0; s < 100; ++s) {
+    ASSERT_TRUE(t.Insert(Address::FromPageSlot(s % 7, s),
+                         Address::FromPageSlot(99, s))
+                    .ok());
+  }
+  // Range scan over one page's addresses.
+  auto keys = t.KeysInRange(Address::FromPageSlot(3, 0),
+                            Address::FromPageSlot(4, 0));
+  for (const Address& a : keys) EXPECT_EQ(a.page(), 3u);
+  EXPECT_FALSE(keys.empty());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+// Property sweep: random interleaving of inserts/deletes mirrored against
+// std::map, validating structure throughout.
+class BTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzzTest, MatchesReferenceMap) {
+  IntTree t;
+  std::map<int, int> ref;
+  Random rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    const int key = static_cast<int>(rng.Uniform(400));
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      const int val = static_cast<int>(rng.Uniform(1000));
+      t.InsertOrAssign(key, val);
+      ref[key] = val;
+    } else if (op == 1) {
+      const bool present = ref.erase(key) > 0;
+      EXPECT_EQ(t.Delete(key).ok(), present);
+    } else {
+      auto v = t.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_TRUE(v.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(t.Validate().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(t.Validate().ok());
+  ASSERT_EQ(t.size(), ref.size());
+  auto it = t.Begin();
+  for (const auto& [k, v] : ref) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace snapdiff

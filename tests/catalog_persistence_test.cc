@@ -1,0 +1,189 @@
+// Tests for durable catalog metadata (superblock + metadata page chain).
+
+#include "catalog/catalog_persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "catalog/catalog.h"
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+class CatalogPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("snapdiff_catp_" + std::to_string(::getpid()) + ".db");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(CatalogPersistenceTest, RoundTripAcrossRestart) {
+  std::vector<Address> addrs;
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AllocatePage().ok());  // page 0 = superblock
+    BufferPool pool(disk->get(), 32);
+    Catalog catalog(&pool);
+
+    auto annotated = EmpSchema().WithAnnotations();
+    ASSERT_TRUE(annotated.ok());
+    auto emp = catalog.CreateTable("emp", *annotated,
+                                   PlacementPolicy::kFirstFit);
+    auto dept = catalog.CreateTable("dept", EmpSchema(),
+                                    PlacementPolicy::kAppend);
+    ASSERT_TRUE(emp.ok() && dept.ok());
+    for (int i = 0; i < 30; ++i) {
+      Tuple stored({Value::String("e" + std::to_string(i)), Value::Int64(i),
+                    Value::Null(TypeId::kAddress),
+                    Value::Null(TypeId::kTimestamp)});
+      auto a = InsertRow(*emp, stored);
+      ASSERT_TRUE(a.ok());
+      addrs.push_back(*a);
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0).ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    BufferPool pool(disk->get(), 32);
+    Catalog catalog(&pool);
+    ASSERT_TRUE(LoadCatalog(&catalog, disk->get(), 0).ok());
+
+    auto emp = catalog.GetTable("emp");
+    auto dept = catalog.GetTable("dept");
+    ASSERT_TRUE(emp.ok() && dept.ok());
+    EXPECT_TRUE((*emp)->schema.HasAnnotations());
+    EXPECT_EQ((*emp)->heap->live_tuples(), 30u);
+    EXPECT_EQ((*emp)->heap->policy(), PlacementPolicy::kFirstFit);
+    EXPECT_EQ((*dept)->heap->policy(), PlacementPolicy::kAppend);
+
+    auto row = ReadRow(*emp, addrs[7]);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row->value(0).as_string(), "e7");
+
+    // Continued use: new rows land after the existing ones.
+    auto a = InsertRow(*emp, Tuple({Value::String("post"), Value::Int64(1),
+                                    Value::Null(TypeId::kAddress),
+                                    Value::Null(TypeId::kTimestamp)}));
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ((*emp)->heap->live_tuples(), 31u);
+  }
+}
+
+TEST_F(CatalogPersistenceTest, TableIdsSurvive) {
+  TableId emp_id = 0;
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AllocatePage().ok());
+    BufferPool pool(disk->get(), 16);
+    Catalog catalog(&pool);
+    ASSERT_TRUE(catalog.CreateTable("a", EmpSchema()).ok());
+    auto emp = catalog.CreateTable("emp", EmpSchema());
+    ASSERT_TRUE(emp.ok());
+    emp_id = (*emp)->id;
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0).ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    BufferPool pool(disk->get(), 16);
+    Catalog catalog(&pool);
+    ASSERT_TRUE(LoadCatalog(&catalog, disk->get(), 0).ok());
+    auto by_id = catalog.GetTableById(emp_id);
+    ASSERT_TRUE(by_id.ok());
+    EXPECT_EQ((*by_id)->name, "emp");
+    // Fresh ids never collide with restored ones.
+    auto fresh = catalog.CreateTable("new", EmpSchema());
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_GT((*fresh)->id, emp_id);
+  }
+}
+
+TEST_F(CatalogPersistenceTest, RepeatedSavesReuseMetadataPages) {
+  auto disk = FileDiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AllocatePage().ok());
+  BufferPool pool(disk->get(), 16);
+  Catalog catalog(&pool);
+  ASSERT_TRUE(catalog.CreateTable("t", EmpSchema()).ok());
+  ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0).ok());
+  const PageId pages_after_first = (*disk)->page_count();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0).ok());
+  }
+  EXPECT_EQ((*disk)->page_count(), pages_after_first);
+}
+
+TEST_F(CatalogPersistenceTest, MetadataSpanningMultiplePages) {
+  // Enough tables that the serialized catalog exceeds one 4 KiB page.
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AllocatePage().ok());
+    BufferPool pool(disk->get(), 16);
+    Catalog catalog(&pool);
+    for (int i = 0; i < 120; ++i) {
+      Schema wide({{"a_rather_long_column_name_one", TypeId::kString, true},
+                   {"a_rather_long_column_name_two", TypeId::kInt64, true},
+                   {"a_rather_long_column_name_three", TypeId::kDouble,
+                    true}});
+      ASSERT_TRUE(
+          catalog.CreateTable("table_with_long_name_" + std::to_string(i),
+                              wide)
+              .ok());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0).ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    BufferPool pool(disk->get(), 16);
+    Catalog catalog(&pool);
+    ASSERT_TRUE(LoadCatalog(&catalog, disk->get(), 0).ok());
+    EXPECT_EQ(catalog.TableNames().size(), 120u);
+    auto t = catalog.GetTable("table_with_long_name_77");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ((*t)->schema.column_count(), 3u);
+  }
+}
+
+TEST_F(CatalogPersistenceTest, EmptySuperblockFailsCleanly) {
+  auto disk = FileDiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AllocatePage().ok());
+  BufferPool pool(disk->get(), 16);
+  Catalog catalog(&pool);
+  EXPECT_TRUE(LoadCatalog(&catalog, disk->get(), 0).IsCorruption());
+}
+
+TEST_F(CatalogPersistenceTest, EmptyCatalogRoundTrips) {
+  auto disk = FileDiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AllocatePage().ok());
+  BufferPool pool(disk->get(), 16);
+  Catalog catalog(&pool);
+  ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0).ok());
+  Catalog loaded(&pool);
+  ASSERT_TRUE(LoadCatalog(&loaded, disk->get(), 0).ok());
+  EXPECT_TRUE(loaded.TableNames().empty());
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,117 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : pool_(&disk_, 64), catalog_(&pool_) {}
+
+  Schema EmpSchema() {
+    return Schema({{"Name", TypeId::kString, false},
+                   {"Salary", TypeId::kInt64, false}});
+  }
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndGet) {
+  auto t = catalog_.CreateTable("emp", EmpSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name, "emp");
+  auto got = catalog_.GetTable("emp");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *t);
+  auto by_id = catalog_.GetTableById((*t)->id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(*by_id, *t);
+}
+
+TEST_F(CatalogTest, DuplicateNameRejected) {
+  ASSERT_TRUE(catalog_.CreateTable("emp", EmpSchema()).ok());
+  EXPECT_TRUE(
+      catalog_.CreateTable("emp", EmpSchema()).status().IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, DropTable) {
+  ASSERT_TRUE(catalog_.CreateTable("emp", EmpSchema()).ok());
+  ASSERT_TRUE(catalog_.DropTable("emp").ok());
+  EXPECT_TRUE(catalog_.GetTable("emp").status().IsNotFound());
+  EXPECT_TRUE(catalog_.DropTable("emp").IsNotFound());
+}
+
+TEST_F(CatalogTest, RowRoundTrip) {
+  auto t = catalog_.CreateTable("emp", EmpSchema());
+  ASSERT_TRUE(t.ok());
+  Tuple bruce({Value::String("Bruce"), Value::Int64(15)});
+  auto addr = InsertRow(*t, bruce);
+  ASSERT_TRUE(addr.ok());
+  auto back = ReadRow(*t, *addr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Equals(bruce));
+
+  Tuple laura({Value::String("Laura"), Value::Int64(6)});
+  ASSERT_TRUE(UpdateRow(*t, *addr, laura).ok());
+  back = ReadRow(*t, *addr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Equals(laura));
+
+  ASSERT_TRUE(DeleteRow(*t, *addr).ok());
+  EXPECT_TRUE(ReadRow(*t, *addr).status().IsNotFound());
+}
+
+TEST_F(CatalogTest, AnnotationColumnsAddedWithoutTouchingRows) {
+  auto t = catalog_.CreateTable("emp", EmpSchema());
+  ASSERT_TRUE(t.ok());
+  Tuple bruce({Value::String("Bruce"), Value::Int64(15)});
+  auto addr = InsertRow(*t, bruce);
+  ASSERT_TRUE(addr.ok());
+
+  ASSERT_TRUE(catalog_.AddAnnotationColumns(*t).ok());
+  EXPECT_TRUE((*t)->schema.HasAnnotations());
+
+  // Pre-existing row reads back with NULL annotations.
+  auto back = ReadRow(*t, *addr);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 4u);
+  EXPECT_TRUE(back->value(2).is_null());
+  EXPECT_TRUE(back->value(3).is_null());
+
+  // Second attempt fails.
+  EXPECT_TRUE(catalog_.AddAnnotationColumns(*t).IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, ScanRowsVisitsInAddressOrder) {
+  auto t = catalog_.CreateTable("emp", EmpSchema());
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 50; ++i) {
+    Tuple row({Value::String("e" + std::to_string(i)), Value::Int64(i)});
+    ASSERT_TRUE(InsertRow(*t, row).ok());
+  }
+  Address prev = Address::Origin();
+  int count = 0;
+  ASSERT_TRUE(ScanRows(*t, [&](Address a, const Tuple& row) {
+                  EXPECT_GT(a, prev);
+                  prev = a;
+                  EXPECT_EQ(row.size(), 2u);
+                  ++count;
+                  return Status::OK();
+                }).ok());
+  EXPECT_EQ(count, 50);
+}
+
+TEST_F(CatalogTest, TableNamesListsAll) {
+  ASSERT_TRUE(catalog_.CreateTable("a", EmpSchema()).ok());
+  ASSERT_TRUE(catalog_.CreateTable("b", EmpSchema()).ok());
+  auto names = catalog_.TableNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace snapdiff

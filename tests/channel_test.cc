@@ -1,0 +1,165 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+
+namespace snapdiff {
+namespace {
+
+TEST(MessageTest, SerializationRoundTrip) {
+  const Message msgs[] = {
+      MakeRefreshRequest(3, 42, "Salary < 10"),
+      MakeClear(1),
+      MakeEntry(2, Address::FromPageSlot(1, 2), Address::FromPageSlot(0, 5),
+                "payload-bytes"),
+      MakeUpsert(2, Address::FromPageSlot(9, 9), "tuple"),
+      MakeDeleteMsg(4, Address::FromPageSlot(3, 3)),
+      MakeDeleteRange(4, Address::FromRaw(10), Address::FromRaw(20)),
+      MakeEndOfRefresh(5, Address::FromPageSlot(7, 7), 99),
+  };
+  for (const Message& m : msgs) {
+    std::string buf;
+    m.SerializeTo(&buf);
+    EXPECT_EQ(buf.size(), m.SerializedSize()) << m.ToString();
+    std::string_view in = buf;
+    auto back = Message::DeserializeFrom(&in);
+    ASSERT_TRUE(back.ok()) << m.ToString();
+    EXPECT_EQ(*back, m) << m.ToString();
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(MessageTest, CorruptInputRejected) {
+  std::string_view empty;
+  EXPECT_TRUE(Message::DeserializeFrom(&empty).status().IsCorruption());
+  std::string bad = "\x63rest-is-garbage";
+  std::string_view in = bad;
+  EXPECT_TRUE(Message::DeserializeFrom(&in).status().IsCorruption());
+}
+
+TEST(ChannelTest, FifoDelivery) {
+  Channel ch;
+  ASSERT_TRUE(ch.Send(MakeClear(1)).ok());
+  ASSERT_TRUE(ch.Send(MakeDeleteMsg(1, Address::FromRaw(5))).ok());
+  EXPECT_EQ(ch.pending(), 2u);
+  auto m1 = ch.Receive();
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->type, MessageType::kClear);
+  auto m2 = ch.Receive();
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->type, MessageType::kDelete);
+  EXPECT_TRUE(ch.Receive().status().IsNotFound());
+}
+
+TEST(ChannelTest, StatsClassifyMessages) {
+  Channel ch;
+  ASSERT_TRUE(ch.Send(MakeRefreshRequest(1, 0, "")).ok());
+  ASSERT_TRUE(ch.Send(MakeEntry(1, Address::FromRaw(2), Address::FromRaw(1),
+                                "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(3), "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeDeleteMsg(1, Address::FromRaw(4))).ok());
+  ASSERT_TRUE(
+      ch.Send(MakeDeleteRange(1, Address::FromRaw(5), Address::FromRaw(6)))
+          .ok());
+  ASSERT_TRUE(ch.Send(MakeEndOfRefresh(1, Address::Null(), 1)).ok());
+
+  const ChannelStats& s = ch.stats();
+  EXPECT_EQ(s.messages, 6u);
+  EXPECT_EQ(s.entry_messages, 2u);
+  EXPECT_EQ(s.delete_messages, 2u);
+  EXPECT_EQ(s.control_messages, 2u);
+  EXPECT_GT(s.payload_bytes, 0u);
+  EXPECT_GT(s.wire_bytes, s.payload_bytes);
+}
+
+TEST(ChannelTest, FrameBlocking) {
+  ChannelOptions opts;
+  opts.blocking_factor = 4;
+  Channel ch(opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  // 10 messages at 4 per frame → 3 frames.
+  EXPECT_EQ(ch.stats().frames, 3u);
+}
+
+TEST(ChannelTest, EndOfRefreshFlushesFrame) {
+  ChannelOptions opts;
+  opts.blocking_factor = 100;
+  Channel ch(opts);
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(1), "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeEndOfRefresh(1, Address::Null(), 1)).ok());
+  EXPECT_EQ(ch.stats().frames, 1u);
+  // Next burst opens a new frame even though the old one had room.
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
+  EXPECT_EQ(ch.stats().frames, 2u);
+}
+
+TEST(ChannelTest, PartitionRejectsSends) {
+  Channel ch;
+  ch.SetPartitioned(true);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+  EXPECT_EQ(ch.stats().send_failures, 1u);
+  EXPECT_EQ(ch.pending(), 0u);
+  ch.SetPartitioned(false);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+}
+
+TEST(ChannelTest, StatsDeltaSubtraction) {
+  Channel ch;
+  ASSERT_TRUE(ch.Send(MakeClear(1)).ok());
+  ChannelStats before = ch.stats();
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(1), "xy")).ok());
+  ASSERT_TRUE(ch.Send(MakeDeleteMsg(1, Address::FromRaw(2))).ok());
+  ChannelStats delta = ch.stats() - before;
+  EXPECT_EQ(delta.messages, 2u);
+  EXPECT_EQ(delta.entry_messages, 1u);
+  EXPECT_EQ(delta.delete_messages, 1u);
+  EXPECT_EQ(delta.control_messages, 0u);
+}
+
+TEST(ChannelTest, FailAfterSendsInjectsMidStreamLoss) {
+  Channel ch;
+  ch.FailAfterSends(2);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+  // The injected loss persists (behaves like a partition)...
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+  EXPECT_TRUE(ch.partitioned());
+  // ...until healed.
+  ch.SetPartitioned(false);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+  // Already-sent messages stayed queued.
+  EXPECT_EQ(ch.pending(), 3u);
+}
+
+TEST(ChannelTest, FailAfterZeroFailsImmediately) {
+  Channel ch;
+  ch.FailAfterSends(0);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+}
+
+TEST(ChannelTest, HealingClearsPendingInjection) {
+  Channel ch;
+  ch.FailAfterSends(1);
+  ch.SetPartitioned(false);  // cancels the injection before it fires
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+  }
+}
+
+TEST(ChannelTest, WireSurvivesRoundTrip) {
+  Channel ch;
+  Message original =
+      MakeEntry(7, Address::FromPageSlot(2, 4), Address::FromPageSlot(1, 1),
+                std::string("bin\0data", 8));
+  ASSERT_TRUE(ch.Send(original).ok());
+  auto received = ch.Receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(*received, original);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,95 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace snapdiff {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0);
+  PutFixed16(&buf, 12345);
+  PutFixed16(&buf, 65535);
+  std::string_view in = buf;
+  uint16_t v = 0;
+  ASSERT_TRUE(GetFixed16(&in, &v).ok());
+  EXPECT_EQ(v, 0);
+  ASSERT_TRUE(GetFixed16(&in, &v).ok());
+  EXPECT_EQ(v, 12345);
+  ASSERT_TRUE(GetFixed16(&in, &v).ok());
+  EXPECT_EQ(v, 65535);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  std::string_view in = buf;
+  uint32_t v = 0;
+  ASSERT_TRUE(GetFixed32(&in, &v).ok());
+  EXPECT_EQ(v, 0xDEADBEEFu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  std::string_view in = buf;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetFixed64(&in, &v).ok());
+  EXPECT_EQ(v, 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  std::string buf;
+  PutDouble(&buf, 3.25);
+  PutDouble(&buf, -0.0);
+  std::string_view in = buf;
+  double d = 0;
+  ASSERT_TRUE(GetDouble(&in, &d).ok());
+  EXPECT_EQ(d, 3.25);
+  ASSERT_TRUE(GetDouble(&in, &d).ok());
+  EXPECT_EQ(d, -0.0);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in = buf;
+  std::string s;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, std::string(1000, 'x'));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, UnderflowIsCorruption) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  std::string_view in(buf.data(), 2);  // truncated
+  uint32_t v;
+  EXPECT_TRUE(GetFixed32(&in, &v).IsCorruption());
+
+  std::string lp;
+  PutLengthPrefixed(&lp, "abcdef");
+  std::string_view in2(lp.data(), 6);  // header ok, body truncated
+  std::string s;
+  EXPECT_TRUE(GetLengthPrefixed(&in2, &s).IsCorruption());
+}
+
+TEST(CodingTest, EmbeddedNulBytesSurvive) {
+  std::string payload("a\0b\0c", 5);
+  std::string buf;
+  PutLengthPrefixed(&buf, payload);
+  std::string_view in = buf;
+  std::string s;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s).ok());
+  EXPECT_EQ(s, payload);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,199 @@
+#include "snapshot/dense_table.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "snapshot/snapshot_table.h"
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+TEST(DenseTableTest, BasicOperations) {
+  TimestampOracle oracle;
+  DenseTable t(EmpSchema(), 10, &oracle);
+  EXPECT_EQ(t.capacity(), 10u);
+  ASSERT_TRUE(t.InsertAt(3, Row("A", 1)).ok());
+  EXPECT_TRUE(t.IsOccupied(3));
+  EXPECT_FALSE(t.IsOccupied(4));
+  EXPECT_TRUE(t.InsertAt(3, Row("B", 2)).IsAlreadyExists());
+  auto first_free = t.Insert(Row("C", 3));
+  ASSERT_TRUE(first_free.ok());
+  EXPECT_EQ(*first_free, 1u);  // lowest empty address
+  ASSERT_TRUE(t.Update(3, Row("A", 9)).ok());
+  auto v = t.Get(3);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->value(1).as_int64(), 9);
+  ASSERT_TRUE(t.Delete(3).ok());
+  EXPECT_TRUE(t.Get(3).status().IsNotFound());
+  EXPECT_TRUE(t.Update(3, Row("X", 0)).IsNotFound());
+  EXPECT_TRUE(t.InsertAt(0, Row("X", 0)).IsOutOfRange());
+  EXPECT_TRUE(t.InsertAt(11, Row("X", 0)).IsOutOfRange());
+}
+
+TEST(DenseTableTest, TimestampsAdvanceOnEveryModification) {
+  TimestampOracle oracle;
+  DenseTable t(EmpSchema(), 4, &oracle);
+  ASSERT_TRUE(t.InsertAt(1, Row("A", 1)).ok());
+  const Timestamp t1 = t.TimestampOf(1);
+  ASSERT_TRUE(t.Update(1, Row("A", 2)).ok());
+  const Timestamp t2 = t.TimestampOf(1);
+  EXPECT_GT(t2, t1);
+  ASSERT_TRUE(t.Delete(1).ok());
+  // Emptiness is a timestamped state change (the dense model's key idea).
+  EXPECT_GT(t.TimestampOf(1), t2);
+}
+
+TEST(DenseTableTest, FullSpaceRejectsInsert) {
+  TimestampOracle oracle;
+  DenseTable t(EmpSchema(), 2, &oracle);
+  ASSERT_TRUE(t.Insert(Row("A", 1)).ok());
+  ASSERT_TRUE(t.Insert(Row("B", 2)).ok());
+  EXPECT_TRUE(t.Insert(Row("C", 3)).status().IsResourceExhausted());
+}
+
+/// Reproduces Figure 1 and Figure 2 of the paper verbatim: the simple base
+/// table, its refresh messages at SnapTime 3.30 / BaseTime 4.30 with
+/// SnapRestrict = Salary < 10, and the snapshot before/after images.
+/// Timestamps are the paper's values × 100.
+class PaperFigure12Test : public ::testing::Test {
+ protected:
+  PaperFigure12Test()
+      : table_(EmpSchema(), 7, &oracle_),
+        pool_(&disk_, 64),
+        catalog_(&pool_) {
+    auto snap = SnapshotTable::Create(&catalog_, "snap", EmpSchema(),
+                                      &snap_oracle_);
+    SNAPDIFF_CHECK(snap.ok());
+    snap_ = std::move(*snap);
+
+    // Figure 1's base table.
+    Set(1, "Bruce", 15, 300);
+    Set(2, "Laura", 6, 345);
+    Set(3, "Hamid", 15, 350);
+    SetEmpty(4, 400);
+    Set(5, "Mohan", 9, 230);
+    Set(6, "Paul", 8, 200);
+    SetEmpty(7, 410);
+
+    // Figure 2's snapshot before refresh.
+    RefreshStats ignored;
+    Put(3, "Hamid", 9, &ignored);
+    Put(4, "Jack", 6, &ignored);
+    Put(5, "Mohan", 9, &ignored);
+    Put(6, "Paul", 8, &ignored);
+    Put(7, "Bob", 7, &ignored);
+
+    auto restrict = ParsePredicate("Salary < 10");
+    SNAPDIFF_CHECK(restrict.ok());
+    restriction_ = std::move(*restrict);
+
+    oracle_.AdvanceTo(430);  // "BaseTime = 4.30"
+  }
+
+  void Set(size_t addr, std::string name, int64_t salary, Timestamp ts) {
+    SNAPDIFF_CHECK(table_.InsertAt(addr, Row(std::move(name), salary)).ok());
+    SNAPDIFF_CHECK(table_.SetTimestamp(addr, ts).ok());
+  }
+  void SetEmpty(size_t addr, Timestamp ts) {
+    SNAPDIFF_CHECK(table_.SetTimestamp(addr, ts).ok());
+  }
+  void Put(uint64_t addr, std::string name, int64_t salary,
+           RefreshStats* stats) {
+    SNAPDIFF_CHECK(snap_->Upsert(Address::FromRaw(addr),
+                                 Row(std::move(name), salary), stats)
+                       .ok());
+  }
+
+  TimestampOracle oracle_;
+  DenseTable table_;
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  TimestampOracle snap_oracle_;
+  std::unique_ptr<SnapshotTable> snap_;
+  ExprPtr restriction_;
+};
+
+TEST_F(PaperFigure12Test, RefreshMessagesMatchFigure1) {
+  Channel channel;
+  RefreshStats stats;
+  ASSERT_TRUE(table_.SimpleRefresh(/*snap_time=*/330, *restriction_,
+                                   /*snapshot_id=*/1, &channel, &stats)
+                  .ok());
+  // Figure 1's message table: (2, ok, Laura, 6), (3, empty), (4, empty),
+  // (7, empty), then the new SnapTime 4.30.
+  auto m = channel.Receive();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->type, MessageType::kUpsert);
+  EXPECT_EQ(m->base_addr, Address::FromRaw(2));
+  auto laura = Tuple::Deserialize(EmpSchema(), m->payload);
+  ASSERT_TRUE(laura.ok());
+  EXPECT_EQ(laura->value(0).as_string(), "Laura");
+  EXPECT_EQ(laura->value(1).as_int64(), 6);
+
+  for (uint64_t addr : {3, 4, 7}) {
+    m = channel.Receive();
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m->type, MessageType::kDelete) << addr;
+    EXPECT_EQ(m->base_addr, Address::FromRaw(addr));
+  }
+  m = channel.Receive();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->type, MessageType::kEndOfRefresh);
+  EXPECT_EQ(m->timestamp, 430);
+  EXPECT_FALSE(channel.HasPending());
+}
+
+TEST_F(PaperFigure12Test, SnapshotAfterRefreshMatchesFigure2) {
+  Channel channel;
+  RefreshStats stats;
+  ASSERT_TRUE(table_.SimpleRefresh(330, *restriction_, 1, &channel, &stats)
+                  .ok());
+  while (channel.HasPending()) {
+    auto m = channel.Receive();
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(snap_->ApplyMessage(*m, &stats).ok());
+  }
+  // Figure 2's "Snapshot Table after Refresh": {2: Laura 6, 5: Mohan 9,
+  // 6: Paul 8} with SnapTime 4.30.
+  EXPECT_EQ(snap_->snap_time(), 430);
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->size(), 3u);
+  EXPECT_EQ(contents->at(Address::FromRaw(2)).value(0).as_string(), "Laura");
+  EXPECT_EQ(contents->at(Address::FromRaw(5)).value(0).as_string(), "Mohan");
+  EXPECT_EQ(contents->at(Address::FromRaw(6)).value(0).as_string(), "Paul");
+}
+
+TEST_F(PaperFigure12Test, QuiescentSecondRefreshSendsNothing) {
+  Channel channel;
+  RefreshStats stats;
+  ASSERT_TRUE(table_.SimpleRefresh(330, *restriction_, 1, &channel, &stats)
+                  .ok());
+  while (channel.HasPending()) {
+    auto m = channel.Receive();
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(snap_->ApplyMessage(*m, &stats).ok());
+  }
+  // No base changes: the follow-up refresh carries only the end marker.
+  Channel channel2;
+  RefreshStats stats2;
+  ASSERT_TRUE(table_.SimpleRefresh(snap_->snap_time(), *restriction_, 1,
+                                   &channel2, &stats2)
+                  .ok());
+  EXPECT_EQ(channel2.stats().messages, 1u);
+  EXPECT_EQ(channel2.stats().control_messages, 1u);
+}
+
+}  // namespace
+}  // namespace snapdiff

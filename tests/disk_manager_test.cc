@@ -1,0 +1,107 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace snapdiff {
+namespace {
+
+void FillPage(char* buf, char fill) { std::memset(buf, fill, Page::kPageSize); }
+
+TEST(MemoryDiskManagerTest, AllocateReadWrite) {
+  MemoryDiskManager disk;
+  EXPECT_EQ(disk.page_count(), 0u);
+  auto p0 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  auto p1 = disk.AllocatePage();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(disk.page_count(), 2u);
+
+  char w[Page::kPageSize], r[Page::kPageSize];
+  FillPage(w, 'A');
+  ASSERT_TRUE(disk.WritePage(0, w).ok());
+  FillPage(w, 'B');
+  ASSERT_TRUE(disk.WritePage(1, w).ok());
+
+  ASSERT_TRUE(disk.ReadPage(0, r).ok());
+  EXPECT_EQ(r[0], 'A');
+  EXPECT_EQ(r[Page::kPageSize - 1], 'A');
+  ASSERT_TRUE(disk.ReadPage(1, r).ok());
+  EXPECT_EQ(r[100], 'B');
+}
+
+TEST(MemoryDiskManagerTest, FreshPageIsZeroed) {
+  MemoryDiskManager disk;
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  char r[Page::kPageSize];
+  FillPage(r, 'x');
+  ASSERT_TRUE(disk.ReadPage(0, r).ok());
+  for (size_t i = 0; i < Page::kPageSize; ++i) ASSERT_EQ(r[i], 0);
+}
+
+TEST(MemoryDiskManagerTest, OutOfRangeAccessFails) {
+  MemoryDiskManager disk;
+  char buf[Page::kPageSize];
+  EXPECT_TRUE(disk.ReadPage(0, buf).IsOutOfRange());
+  EXPECT_TRUE(disk.WritePage(5, buf).IsOutOfRange());
+}
+
+TEST(MemoryDiskManagerTest, StatsCount) {
+  MemoryDiskManager disk;
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  char buf[Page::kPageSize] = {};
+  ASSERT_TRUE(disk.WritePage(0, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  EXPECT_EQ(disk.stats().allocations, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().reads, 2u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().reads, 0u);
+}
+
+class FileDiskManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("snapdiff_fdm_" + std::to_string(::getpid()) + ".db");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(FileDiskManagerTest, PersistsAcrossReopen) {
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AllocatePage().ok());
+    char w[Page::kPageSize];
+    FillPage(w, 'Z');
+    ASSERT_TRUE((*disk)->WritePage(0, w).ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    EXPECT_EQ((*disk)->page_count(), 1u);
+    char r[Page::kPageSize];
+    ASSERT_TRUE((*disk)->ReadPage(0, r).ok());
+    EXPECT_EQ(r[17], 'Z');
+  }
+}
+
+TEST_F(FileDiskManagerTest, OutOfRangeAccessFails) {
+  auto disk = FileDiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  char buf[Page::kPageSize];
+  EXPECT_TRUE((*disk)->ReadPage(0, buf).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace snapdiff

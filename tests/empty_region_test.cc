@@ -1,0 +1,283 @@
+#include "snapshot/empty_region_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/parser.h"
+#include "snapshot/snapshot_table.h"
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+TEST(EmptyRegionTableTest, InitialStateOneRegion) {
+  TimestampOracle oracle;
+  EmptyRegionTable t(EmpSchema(), 100, &oracle);
+  EXPECT_EQ(t.region_count(), 1u);
+  EXPECT_EQ(t.entry_count(), 0u);
+  auto r = t.RegionContaining(50);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->lo, 1u);
+  EXPECT_EQ(r->hi, 100u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(EmptyRegionTableTest, InsertSplitsRegion) {
+  TimestampOracle oracle;
+  EmptyRegionTable t(EmpSchema(), 10, &oracle);
+  ASSERT_TRUE(t.InsertAt(5, Row("A", 1)).ok());
+  EXPECT_EQ(t.region_count(), 2u);
+  auto left = t.RegionContaining(4);
+  auto right = t.RegionContaining(6);
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_EQ(left->lo, 1u);
+  EXPECT_EQ(left->hi, 4u);
+  EXPECT_EQ(right->lo, 6u);
+  EXPECT_EQ(right->hi, 10u);
+  EXPECT_TRUE(t.RegionContaining(5).status().IsNotFound());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(EmptyRegionTableTest, InsertAtBoundariesKeepsTiling) {
+  TimestampOracle oracle;
+  EmptyRegionTable t(EmpSchema(), 10, &oracle);
+  ASSERT_TRUE(t.InsertAt(1, Row("A", 1)).ok());
+  ASSERT_TRUE(t.InsertAt(10, Row("B", 2)).ok());
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.region_count(), 1u);
+  auto mid = t.RegionContaining(5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->lo, 2u);
+  EXPECT_EQ(mid->hi, 9u);
+}
+
+TEST(EmptyRegionTableTest, DeleteCoalescesNeighbours) {
+  TimestampOracle oracle;
+  EmptyRegionTable t(EmpSchema(), 10, &oracle);
+  ASSERT_TRUE(t.InsertAt(4, Row("A", 1)).ok());
+  ASSERT_TRUE(t.InsertAt(5, Row("B", 2)).ok());
+  ASSERT_TRUE(t.InsertAt(6, Row("C", 3)).ok());
+  EXPECT_EQ(t.region_count(), 2u);
+  // Deleting the middle entry creates a 1-wide region…
+  ASSERT_TRUE(t.Delete(5).ok());
+  EXPECT_EQ(t.region_count(), 3u);
+  auto hole = t.RegionContaining(5);
+  ASSERT_TRUE(hole.ok());
+  EXPECT_EQ(hole->lo, 5u);
+  EXPECT_EQ(hole->hi, 5u);
+  // …and deleting a boundary entry coalesces across it.
+  ASSERT_TRUE(t.Delete(4).ok());
+  auto merged = t.RegionContaining(4);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->lo, 1u);
+  EXPECT_EQ(merged->hi, 5u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(EmptyRegionTableTest, RegionTimestampTracksBoundaryChanges) {
+  TimestampOracle oracle;
+  EmptyRegionTable t(EmpSchema(), 10, &oracle);
+  auto before = t.RegionContaining(5);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(t.InsertAt(5, Row("A", 1)).ok());
+  auto left = t.RegionContaining(3);
+  ASSERT_TRUE(left.ok());
+  EXPECT_GT(left->ts, before->ts);
+}
+
+TEST(EmptyRegionTableTest, FirstFitInsert) {
+  TimestampOracle oracle;
+  EmptyRegionTable t(EmpSchema(), 3, &oracle);
+  auto a1 = t.Insert(Row("A", 1));
+  auto a2 = t.Insert(Row("B", 2));
+  auto a3 = t.Insert(Row("C", 3));
+  ASSERT_TRUE(a1.ok() && a2.ok() && a3.ok());
+  EXPECT_EQ(*a1, 1u);
+  EXPECT_EQ(*a2, 2u);
+  EXPECT_EQ(*a3, 3u);
+  EXPECT_TRUE(t.Insert(Row("D", 4)).status().IsResourceExhausted());
+  ASSERT_TRUE(t.Delete(2).ok());
+  auto re = t.Insert(Row("E", 5));
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, 2u);
+}
+
+class EmptyRegionRefreshTest : public ::testing::Test {
+ protected:
+  EmptyRegionRefreshTest()
+      : table_(EmpSchema(), 20, &oracle_), pool_(&disk_, 64),
+        catalog_(&pool_) {
+    auto snap = SnapshotTable::Create(&catalog_, "snap", EmpSchema(),
+                                      &snap_oracle_);
+    SNAPDIFF_CHECK(snap.ok());
+    snap_ = std::move(*snap);
+    auto r = ParsePredicate("Salary < 10");
+    SNAPDIFF_CHECK(r.ok());
+    restriction_ = std::move(*r);
+  }
+
+  /// Runs a refresh and applies every message; returns data message count.
+  uint64_t RefreshAndApply(bool merge) {
+    Channel channel;
+    RefreshStats stats;
+    SNAPDIFF_CHECK(table_
+                       .Refresh(snap_->snap_time(), *restriction_, 1, merge,
+                                &channel, &stats)
+                       .ok());
+    uint64_t data = channel.stats().entry_messages +
+                    channel.stats().delete_messages;
+    while (channel.HasPending()) {
+      auto m = channel.Receive();
+      SNAPDIFF_CHECK(m.ok());
+      SNAPDIFF_CHECK(snap_->ApplyMessage(*m, &stats).ok());
+    }
+    return data;
+  }
+
+  /// Snapshot contents must equal the qualified entries of the table.
+  void ExpectFaithful() {
+    auto contents = snap_->Contents();
+    ASSERT_TRUE(contents.ok());
+    std::map<Address, Tuple> expected;
+    for (uint64_t a = 1; a <= table_.address_space(); ++a) {
+      if (!table_.IsOccupied(a)) continue;
+      auto row = table_.Get(a);
+      ASSERT_TRUE(row.ok());
+      auto q = EvaluatePredicate(*restriction_, *row, EmpSchema());
+      ASSERT_TRUE(q.ok());
+      if (*q) expected.emplace(Address::FromRaw(a), *row);
+    }
+    ASSERT_EQ(contents->size(), expected.size());
+    for (const auto& [addr, row] : expected) {
+      ASSERT_TRUE(contents->contains(addr)) << addr.ToString();
+      EXPECT_TRUE(contents->at(addr).Equals(row)) << addr.ToString();
+    }
+  }
+
+  TimestampOracle oracle_;
+  EmptyRegionTable table_;
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  TimestampOracle snap_oracle_;
+  std::unique_ptr<SnapshotTable> snap_;
+  ExprPtr restriction_;
+};
+
+TEST_F(EmptyRegionRefreshTest, InitialRefreshThenQuiescent) {
+  ASSERT_TRUE(table_.InsertAt(2, Row("Laura", 6)).ok());
+  ASSERT_TRUE(table_.InsertAt(5, Row("Bruce", 15)).ok());
+  ASSERT_TRUE(table_.InsertAt(9, Row("Mohan", 9)).ok());
+  RefreshAndApply(true);
+  ExpectFaithful();
+  EXPECT_EQ(snap_->row_count(), 2u);
+  // Quiescent refresh: nothing dirty.
+  const uint64_t data = RefreshAndApply(true);
+  EXPECT_EQ(data, 0u);
+  ExpectFaithful();
+}
+
+TEST_F(EmptyRegionRefreshTest, DeleteTransmitsRegion) {
+  ASSERT_TRUE(table_.InsertAt(2, Row("Laura", 6)).ok());
+  ASSERT_TRUE(table_.InsertAt(5, Row("Mohan", 9)).ok());
+  RefreshAndApply(true);
+  ASSERT_TRUE(table_.Delete(5).ok());
+  const uint64_t data = RefreshAndApply(true);
+  ExpectFaithful();
+  EXPECT_EQ(snap_->row_count(), 1u);
+  EXPECT_GE(data, 1u);
+}
+
+TEST_F(EmptyRegionRefreshTest, UnqualifiedUpdateReachesSnapshot) {
+  // Mohan qualifies, then a raise disqualifies him: the refresh must purge
+  // him even though his new value is never sent.
+  ASSERT_TRUE(table_.InsertAt(5, Row("Mohan", 9)).ok());
+  RefreshAndApply(true);
+  EXPECT_EQ(snap_->row_count(), 1u);
+  ASSERT_TRUE(table_.Update(5, Row("Mohan", 15)).ok());
+  RefreshAndApply(true);
+  ExpectFaithful();
+  EXPECT_EQ(snap_->row_count(), 0u);
+}
+
+TEST_F(EmptyRegionRefreshTest, MergingReducesMessages) {
+  // Layout: qualified at 1 and 20; unqualified entries at 5, 10, 15 with
+  // deletions around them. Merging should cover the whole middle with one
+  // DELETE_RANGE; unmerged needs one message per dirty item.
+  ASSERT_TRUE(table_.InsertAt(1, Row("Q1", 1)).ok());
+  for (uint64_t a = 4; a <= 16; ++a) {
+    ASSERT_TRUE(table_.InsertAt(a, Row("U", 50)).ok());
+  }
+  ASSERT_TRUE(table_.InsertAt(20, Row("Q2", 2)).ok());
+  RefreshAndApply(true);
+
+  // Touch the middle: delete some unqualified entries, update others.
+  for (uint64_t a : {5, 7, 9, 11, 13, 15}) {
+    ASSERT_TRUE(table_.Delete(a).ok());
+  }
+  for (uint64_t a : {6, 10, 14}) {
+    ASSERT_TRUE(table_.Update(a, Row("U", 60)).ok());
+  }
+
+  // Run the same state through both modes (two snapshots would be cleaner;
+  // here we just count messages on a scratch channel first).
+  Channel unmerged;
+  RefreshStats s1;
+  ASSERT_TRUE(table_
+                  .Refresh(snap_->snap_time(), *restriction_, 1,
+                           /*merge=*/false, &unmerged, &s1)
+                  .ok());
+  Channel merged;
+  RefreshStats s2;
+  ASSERT_TRUE(table_
+                  .Refresh(snap_->snap_time(), *restriction_, 1,
+                           /*merge=*/true, &merged, &s2)
+                  .ok());
+  const uint64_t unmerged_data =
+      unmerged.stats().entry_messages + unmerged.stats().delete_messages;
+  const uint64_t merged_data =
+      merged.stats().entry_messages + merged.stats().delete_messages;
+  EXPECT_LT(merged_data, unmerged_data);
+  EXPECT_EQ(merged_data, 1u);  // one covering DELETE_RANGE
+
+  // Apply the merged run; contents must still be exact.
+  while (merged.HasPending()) {
+    auto m = merged.Receive();
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(snap_->ApplyMessage(*m, &s2).ok());
+  }
+  ExpectFaithful();
+}
+
+TEST_F(EmptyRegionRefreshTest, RandomizedFaithfulness) {
+  Random rng(4242);
+  for (int round = 0; round < 15; ++round) {
+    for (int op = 0; op < 10; ++op) {
+      const uint64_t addr = 1 + rng.Uniform(table_.address_space());
+      const int kind = static_cast<int>(rng.Uniform(3));
+      const int64_t salary = static_cast<int64_t>(rng.Uniform(20));
+      if (kind == 0 && !table_.IsOccupied(addr)) {
+        ASSERT_TRUE(table_.InsertAt(addr, Row("r", salary)).ok());
+      } else if (kind == 1 && table_.IsOccupied(addr)) {
+        ASSERT_TRUE(table_.Update(addr, Row("r", salary)).ok());
+      } else if (kind == 2 && table_.IsOccupied(addr)) {
+        ASSERT_TRUE(table_.Delete(addr).ok());
+      }
+    }
+    ASSERT_TRUE(table_.Validate().ok());
+    RefreshAndApply(round % 2 == 0);  // alternate merge modes
+    ExpectFaithful();
+  }
+}
+
+}  // namespace
+}  // namespace snapdiff

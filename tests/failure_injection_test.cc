@@ -1,0 +1,146 @@
+// Failure injection: the WAN link dies mid-transmission. A refresh that
+// fails partway may leave a prefix of its messages applied at the snapshot
+// (they were already on the wire); because SnapTime only advances with the
+// closing message, retrying after the link heals must always reconverge —
+// for every refresh method. Also pins the recovery bugs this suite found:
+// ideal's shadow and log-based's LSN may only commit after the closing
+// message is sent.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/workload.h"
+
+namespace snapdiff {
+namespace {
+
+void ExpectFaithful(SnapshotSystem* sys, const std::string& name) {
+  auto snap = sys->GetSnapshot(name);
+  ASSERT_TRUE(snap.ok());
+  auto actual = (*snap)->Contents();
+  ASSERT_TRUE(actual.ok());
+  auto expected = sys->ExpectedContents(name);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(actual->size(), expected->size()) << name;
+  for (const auto& [addr, row] : *expected) {
+    ASSERT_TRUE(actual->contains(addr)) << addr.ToString();
+    EXPECT_TRUE(actual->at(addr).Equals(row));
+  }
+}
+
+using FailParam = std::tuple<RefreshMethod, uint64_t /*fail after*/>;
+
+class MidStreamFailureTest : public ::testing::TestWithParam<FailParam> {};
+
+TEST_P(MidStreamFailureTest, RetryAfterPartialTransmissionConverges) {
+  const auto [method, fail_after] = GetParam();
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 300;
+  wc.seed = 42;
+  auto workload = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(workload.ok());
+
+  SnapshotOptions opts;
+  opts.method = method;
+  ASSERT_TRUE(sys.CreateSnapshot("snap", "base",
+                                 (*workload)->RestrictionFor(0.3), opts)
+                  .ok());
+  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ExpectFaithful(&sys, "snap");
+
+  // A burst of changes, then the link dies after `fail_after` messages of
+  // the refresh transmission.
+  ASSERT_TRUE((*workload)->UpdateFraction(0.3).ok());
+  ASSERT_TRUE((*workload)->ApplyMixedOps(60, 0.3, 0.3).ok());
+  sys.data_channel()->FailAfterSends(fail_after);
+  auto failed = sys.Refresh("snap");
+  EXPECT_TRUE(failed.status().IsUnavailable())
+      << failed.status().ToString();
+
+  // Heal; the already-transmitted prefix gets delivered, then the retry
+  // must reconverge exactly.
+  sys.SetPartitioned(false);
+  auto retried = sys.Refresh("snap");
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  ExpectFaithful(&sys, "snap");
+
+  // And the state machine is healthy afterwards.
+  ASSERT_TRUE((*workload)->UpdateFraction(0.1).ok());
+  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ExpectFaithful(&sys, "snap");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndCutPoints, MidStreamFailureTest,
+    ::testing::Combine(::testing::Values(RefreshMethod::kFull,
+                                         RefreshMethod::kDifferential,
+                                         RefreshMethod::kIdeal,
+                                         RefreshMethod::kLogBased),
+                       ::testing::Values(0u, 1u, 5u, 40u)),
+    [](const ::testing::TestParamInfo<FailParam>& param_info) {
+      std::string name =
+          std::string(RefreshMethodToString(std::get<0>(param_info.param))) +
+          "_cut" + std::to_string(std::get<1>(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MidStreamFailureTest, IdealShadowSurvivesLostEndMessage) {
+  // Regression: the shadow must not commit when the closing message is the
+  // one that failed — otherwise the delta is lost forever.
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 100;
+  wc.seed = 9;
+  auto workload = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(workload.ok());
+  SnapshotOptions opts;
+  opts.method = RefreshMethod::kIdeal;
+  ASSERT_TRUE(sys.CreateSnapshot("snap", "base",
+                                 (*workload)->RestrictionFor(0.5), opts)
+                  .ok());
+  ASSERT_TRUE(sys.Refresh("snap").ok());
+
+  ASSERT_TRUE((*workload)->UpdateFraction(0.2).ok());
+  // Count the data messages the refresh *would* send, from a dry run
+  // against an identical sibling snapshot.
+  SnapshotOptions dry_opts;
+  dry_opts.method = RefreshMethod::kIdeal;
+  ASSERT_TRUE(sys.CreateSnapshot("dry", "base",
+                                 (*workload)->RestrictionFor(0.5), dry_opts)
+                  .ok());
+  ASSERT_TRUE(sys.Refresh("dry").ok());
+  auto dry2 = sys.Refresh("dry");
+  ASSERT_TRUE(dry2.ok());
+
+  // Fail exactly on the END_OF_REFRESH (after all data messages).
+  auto expected = sys.ExpectedContents("snap");
+  ASSERT_TRUE(expected.ok());
+  // Re-measure: how many data messages will "snap" send? Same base state,
+  // same restriction, same shadow age as "dry" had → use a generous cut:
+  // fail on the very last message by counting via a probe refresh is
+  // fragile; instead cut after N-1 where N is measured below.
+  sys.data_channel()->FailAfterSends(1000000);  // no-op, clear state
+  sys.SetPartitioned(false);
+
+  // Deterministic approach: run the refresh once against a fresh channel
+  // budget, observing the total, then replay the scenario on a second
+  // system. Simpler here: fail after a large-but-insufficient budget is
+  // impossible to compute statically, so directly exercise the boundary
+  // with budget = data messages of the dry sibling (its second refresh
+  // sent the same delta as "snap" will).
+  const uint64_t data = dry2->traffic.messages - 1;  // minus its end marker
+  sys.data_channel()->FailAfterSends(data);
+  auto failed = sys.Refresh("snap");
+  EXPECT_TRUE(failed.status().IsUnavailable());
+
+  sys.SetPartitioned(false);
+  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ExpectFaithful(&sys, "snap");
+}
+
+}  // namespace
+}  // namespace snapdiff

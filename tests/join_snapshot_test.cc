@@ -1,0 +1,218 @@
+// Tests for general (two-table equi-join) snapshots — the case the paper
+// relegates to full re-evaluation.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"DeptId", TypeId::kInt64, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Schema DeptSchema() {
+  return Schema({{"Id", TypeId::kInt64, false},
+                 {"DeptName", TypeId::kString, false},
+                 {"Budget", TypeId::kInt64, false}});
+}
+
+Tuple Emp(const char* name, int64_t dept, int64_t salary) {
+  return Tuple({Value::String(name), Value::Int64(dept),
+                Value::Int64(salary)});
+}
+
+Tuple Dept(int64_t id, const char* name, int64_t budget) {
+  return Tuple({Value::Int64(id), Value::String(name),
+                Value::Int64(budget)});
+}
+
+class JoinSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto emp = sys_.CreateBaseTable("emp", EmpSchema());
+    auto dept = sys_.CreateBaseTable("dept", DeptSchema());
+    ASSERT_TRUE(emp.ok() && dept.ok());
+    emp_ = *emp;
+    dept_ = *dept;
+
+    ASSERT_TRUE(dept_->Insert(Dept(1, "eng", 100)).ok());
+    ASSERT_TRUE(dept_->Insert(Dept(2, "ops", 50)).ok());
+    ASSERT_TRUE(dept_->Insert(Dept(3, "empty-dept", 10)).ok());
+
+    ASSERT_TRUE(emp_->Insert(Emp("Laura", 1, 6)).ok());
+    ASSERT_TRUE(emp_->Insert(Emp("Bruce", 1, 15)).ok());
+    ASSERT_TRUE(emp_->Insert(Emp("Mohan", 2, 9)).ok());
+    auto orphan = emp_->Insert(Emp("NoDept", 99, 7));  // dangling DeptId
+    ASSERT_TRUE(orphan.ok());
+  }
+
+  void ExpectFaithful(const std::string& name) {
+    auto snap = sys_.GetSnapshot(name);
+    ASSERT_TRUE(snap.ok());
+    auto actual = (*snap)->Contents();
+    ASSERT_TRUE(actual.ok());
+    auto expected = sys_.ExpectedContents(name);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(actual->size(), expected->size());
+    for (const auto& [addr, row] : *expected) {
+      ASSERT_TRUE(actual->contains(addr));
+      EXPECT_TRUE(actual->at(addr).Equals(row));
+    }
+  }
+
+  SnapshotSystem sys_;
+  BaseTable* emp_ = nullptr;
+  BaseTable* dept_ = nullptr;
+};
+
+TEST_F(JoinSnapshotTest, JoinRestrictProject) {
+  auto snap = sys_.CreateJoinSnapshot(
+      "low_paid_with_dept", "emp", "dept", "DeptId", "Id", "Salary < 10",
+      {"Name", "DeptName", "Salary"});
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  auto stats = sys_.Refresh("low_paid_with_dept");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  auto contents = (*snap)->Contents();
+  ASSERT_TRUE(contents.ok());
+  // Laura(eng) and Mohan(ops); Bruce over-paid; NoDept dangles.
+  ASSERT_EQ(contents->size(), 2u);
+  std::set<std::string> names;
+  for (const auto& [addr, row] : *contents) {
+    names.insert(row.value(0).as_string());
+    EXPECT_EQ(row.size(), 3u);
+  }
+  EXPECT_TRUE(names.contains("Laura"));
+  EXPECT_TRUE(names.contains("Mohan"));
+  ExpectFaithful("low_paid_with_dept");
+}
+
+TEST_F(JoinSnapshotTest, RestrictionMaySpanBothTables) {
+  auto snap = sys_.CreateJoinSnapshot("rich_depts", "emp", "dept", "DeptId",
+                                      "Id", "Salary < 10 AND Budget >= 50");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(sys_.Refresh("rich_depts").ok());
+  ExpectFaithful("rich_depts");
+  EXPECT_EQ((*snap)->row_count(), 2u);  // Laura (100), Mohan (50)
+}
+
+TEST_F(JoinSnapshotTest, RefreshReevaluatesAfterBothInputsChange) {
+  ASSERT_TRUE(sys_.CreateJoinSnapshot("j", "emp", "dept", "DeptId", "Id",
+                                      "Salary < 10")
+                  .ok());
+  ASSERT_TRUE(sys_.Refresh("j").ok());
+  ExpectFaithful("j");
+
+  // Left-side change: a new qualifying employee.
+  ASSERT_TRUE(emp_->Insert(Emp("Dale", 2, 3)).ok());
+  // Right-side change: the dangling DeptId gets a department.
+  ASSERT_TRUE(dept_->Insert(Dept(99, "found", 1)).ok());
+  ASSERT_TRUE(sys_.Refresh("j").ok());
+  ExpectFaithful("j");
+  auto snap = sys_.GetSnapshot("j");
+  EXPECT_EQ((*snap)->row_count(), 4u);  // Laura, Mohan, Dale, NoDept
+}
+
+TEST_F(JoinSnapshotTest, OneToManyFanout) {
+  // Two employees in dept 1 → the dept row fans out to both.
+  auto snap = sys_.CreateJoinSnapshot("all", "emp", "dept", "DeptId", "Id",
+                                      "TRUE");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(sys_.Refresh("all").ok());
+  EXPECT_EQ((*snap)->row_count(), 3u);  // Laura+eng, Bruce+eng, Mohan+ops
+  ExpectFaithful("all");
+}
+
+TEST_F(JoinSnapshotTest, ValidationErrors) {
+  // Unknown join column.
+  EXPECT_FALSE(sys_.CreateJoinSnapshot("a", "emp", "dept", "Nope", "Id",
+                                       "TRUE")
+                   .ok());
+  // Type mismatch: Name (string) vs Id (int).
+  EXPECT_FALSE(sys_.CreateJoinSnapshot("b", "emp", "dept", "Name", "Id",
+                                       "TRUE")
+                   .ok());
+  // Self-join unsupported.
+  EXPECT_TRUE(sys_.CreateJoinSnapshot("c", "emp", "emp", "DeptId", "DeptId",
+                                      "TRUE")
+                  .status()
+                  .IsNotSupported());
+  // Bad restriction caught at create time.
+  EXPECT_FALSE(sys_.CreateJoinSnapshot("d", "emp", "dept", "DeptId", "Id",
+                                       "Wage < 3")
+                   .ok());
+  // Column collisions are rejected.
+  auto emp2 = sys_.CreateBaseTable("emp2", EmpSchema());
+  ASSERT_TRUE(emp2.ok());
+  EXPECT_FALSE(sys_.CreateJoinSnapshot("e", "emp", "emp2", "DeptId",
+                                       "DeptId", "TRUE")
+                   .ok());
+}
+
+TEST_F(JoinSnapshotTest, JoinSnapshotsRejectedFromGroups) {
+  ASSERT_TRUE(sys_.CreateJoinSnapshot("j", "emp", "dept", "DeptId", "Id",
+                                      "TRUE")
+                  .ok());
+  ASSERT_TRUE(sys_.CreateSnapshot("plain", "emp", "Salary < 10").ok());
+  EXPECT_TRUE(
+      sys_.RefreshGroup({"plain", "j"}).status().IsInvalidArgument());
+}
+
+TEST_F(JoinSnapshotTest, NullJoinKeysNeverMatch) {
+  Schema left({{"K", TypeId::kInt64, true},
+               {"LVal", TypeId::kString, false}});
+  Schema right({{"RK", TypeId::kInt64, true},
+                {"RVal", TypeId::kString, false}});
+  auto l = sys_.CreateBaseTable("l", left);
+  auto r = sys_.CreateBaseTable("r", right);
+  ASSERT_TRUE(l.ok() && r.ok());
+  ASSERT_TRUE(
+      (*l)->Insert(Tuple({Value::Null(TypeId::kInt64),
+                          Value::String("lnull")}))
+          .ok());
+  ASSERT_TRUE(
+      (*l)->Insert(Tuple({Value::Int64(1), Value::String("l1")})).ok());
+  ASSERT_TRUE(
+      (*r)->Insert(Tuple({Value::Null(TypeId::kInt64),
+                          Value::String("rnull")}))
+          .ok());
+  ASSERT_TRUE(
+      (*r)->Insert(Tuple({Value::Int64(1), Value::String("r1")})).ok());
+  auto snap = sys_.CreateJoinSnapshot("nulls", "l", "r", "K", "RK", "TRUE");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(sys_.Refresh("nulls").ok());
+  EXPECT_EQ((*snap)->row_count(), 1u);  // only 1 = 1 matches
+}
+
+TEST_F(JoinSnapshotTest, LargerJoinFaithfulUnderChurn) {
+  Random rng(123);
+  std::vector<Address> emp_addrs;
+  for (int i = 0; i < 150; ++i) {
+    auto a = emp_->Insert(Emp("bulk", int64_t(rng.Uniform(4)),
+                              int64_t(rng.Uniform(20))));
+    ASSERT_TRUE(a.ok());
+    emp_addrs.push_back(*a);
+  }
+  ASSERT_TRUE(sys_.CreateJoinSnapshot("big", "emp", "dept", "DeptId", "Id",
+                                      "Salary < 10")
+                  .ok());
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(sys_.Refresh("big").ok());
+    ExpectFaithful("big");
+    for (int op = 0; op < 30; ++op) {
+      const size_t idx = rng.Uniform(emp_addrs.size());
+      ASSERT_TRUE(emp_->Update(emp_addrs[idx],
+                               Emp("upd", int64_t(rng.Uniform(4)),
+                                   int64_t(rng.Uniform(20))))
+                      .ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,106 @@
+#include "catalog/key_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace snapdiff {
+namespace {
+
+/// Core property: byte order ⇔ value order.
+void ExpectOrderPreserved(const std::vector<Value>& sorted_values) {
+  std::vector<std::string> keys;
+  for (const Value& v : sorted_values) {
+    auto k = OrderPreservingKey(v);
+    ASSERT_TRUE(k.ok()) << v.ToString();
+    keys.push_back(*k);
+  }
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i])
+        << sorted_values[i - 1].ToString() << " vs "
+        << sorted_values[i].ToString();
+  }
+}
+
+TEST(KeyEncodingTest, Int64Order) {
+  ExpectOrderPreserved({
+      Value::Int64(std::numeric_limits<int64_t>::min()),
+      Value::Int64(-1000000), Value::Int64(-1), Value::Int64(0),
+      Value::Int64(1), Value::Int64(42), Value::Int64(1000000),
+      Value::Int64(std::numeric_limits<int64_t>::max()),
+  });
+}
+
+TEST(KeyEncodingTest, DoubleOrder) {
+  ExpectOrderPreserved({
+      Value::Double(-1e300), Value::Double(-2.5), Value::Double(-1.0),
+      Value::Double(-1e-300), Value::Double(0.0), Value::Double(1e-300),
+      Value::Double(1.0), Value::Double(2.5), Value::Double(1e300),
+  });
+}
+
+TEST(KeyEncodingTest, NegativeZeroEqualsPositiveZero) {
+  auto a = OrderPreservingKey(Value::Double(-0.0));
+  auto b = OrderPreservingKey(Value::Double(0.0));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(KeyEncodingTest, StringOrder) {
+  ExpectOrderPreserved({
+      Value::String(""), Value::String("a"), Value::String("aa"),
+      Value::String("ab"), Value::String("b"), Value::String("ba"),
+  });
+}
+
+TEST(KeyEncodingTest, BoolTimestampAddressOrder) {
+  ExpectOrderPreserved({Value::Bool(false), Value::Bool(true)});
+  ExpectOrderPreserved({Value::Ts(0), Value::Ts(1), Value::Ts(1000)});
+  ExpectOrderPreserved({
+      Value::Addr(Address::FromPageSlot(0, 0)),
+      Value::Addr(Address::FromPageSlot(0, 1)),
+      Value::Addr(Address::FromPageSlot(1, 0)),
+  });
+}
+
+TEST(KeyEncodingTest, NullsAreNotEncodable) {
+  std::string out;
+  EXPECT_TRUE(EncodeOrderPreserving(Value::Null(TypeId::kInt64), &out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      OrderPreservingKey(Value::Null(TypeId::kString)).status()
+          .IsInvalidArgument());
+}
+
+TEST(KeyEncodingTest, RandomizedInt64Property) {
+  Random rng(1234);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextUint64()));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<Value> sorted;
+  for (int64_t v : values) sorted.push_back(Value::Int64(v));
+  ExpectOrderPreserved(sorted);
+}
+
+TEST(KeyEncodingTest, RandomizedDoubleProperty) {
+  Random rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back((rng.NextDouble() - 0.5) * 2e12);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<Value> sorted;
+  for (double v : values) sorted.push_back(Value::Double(v));
+  ExpectOrderPreserved(sorted);
+}
+
+}  // namespace
+}  // namespace snapdiff

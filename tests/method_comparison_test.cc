@@ -1,0 +1,130 @@
+// Cross-method properties on identical workloads — the ordering relations
+// behind Figures 8/9, asserted as invariants rather than point estimates:
+//   * differential never sends more entry messages than full refresh;
+//   * differential's entry messages form a superset of ideal's upserts;
+//   * all methods produce identical snapshot contents;
+//   * with no restriction, differential's data traffic equals ideal's.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/workload.h"
+
+namespace snapdiff {
+namespace {
+
+struct MethodRun {
+  RefreshStats stats;
+  std::map<Address, Tuple> contents;
+};
+
+class MethodComparisonTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// One system, one workload, one snapshot per method; returns the
+  /// post-burst refresh stats and contents per method.
+  Result<std::map<RefreshMethod, MethodRun>> Run(double selectivity,
+                                                 double update_fraction,
+                                                 uint64_t seed) {
+    SnapshotSystem sys;
+    WorkloadConfig wc;
+    wc.table_size = 800;
+    wc.seed = seed;
+    ASSIGN_OR_RETURN(auto workload, Workload::Create(&sys, "base", wc));
+    const std::string restriction =
+        workload->RestrictionFor(selectivity);
+    const RefreshMethod methods[] = {RefreshMethod::kFull,
+                                     RefreshMethod::kDifferential,
+                                     RefreshMethod::kIdeal,
+                                     RefreshMethod::kLogBased};
+    for (RefreshMethod m : methods) {
+      SnapshotOptions opts;
+      opts.method = m;
+      RETURN_IF_ERROR(
+          sys.CreateSnapshot(std::string(RefreshMethodToString(m)), "base",
+                             restriction, opts)
+              .status());
+      RETURN_IF_ERROR(
+          sys.Refresh(std::string(RefreshMethodToString(m))).status());
+    }
+    RETURN_IF_ERROR(workload->UpdateFraction(update_fraction));
+    std::map<RefreshMethod, MethodRun> out;
+    for (RefreshMethod m : methods) {
+      MethodRun run;
+      ASSIGN_OR_RETURN(run.stats,
+                       sys.Refresh(std::string(RefreshMethodToString(m))));
+      ASSIGN_OR_RETURN(
+          auto snap, sys.GetSnapshot(std::string(RefreshMethodToString(m))));
+      ASSIGN_OR_RETURN(run.contents, snap->Contents());
+      out.emplace(m, std::move(run));
+    }
+    return out;
+  }
+};
+
+TEST_P(MethodComparisonTest, OrderingRelationsHold) {
+  for (double q : {0.05, 0.5}) {
+    for (double u : {0.05, 0.4}) {
+      auto runs = Run(q, u, GetParam());
+      ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+      const MethodRun& full = runs->at(RefreshMethod::kFull);
+      const MethodRun& diff = runs->at(RefreshMethod::kDifferential);
+      const MethodRun& ideal = runs->at(RefreshMethod::kIdeal);
+      const MethodRun& log = runs->at(RefreshMethod::kLogBased);
+
+      // Identical contents across methods.
+      EXPECT_EQ(diff.contents.size(), full.contents.size());
+      for (const auto& [addr, row] : full.contents) {
+        ASSERT_TRUE(diff.contents.contains(addr));
+        EXPECT_TRUE(diff.contents.at(addr).Equals(row));
+        ASSERT_TRUE(ideal.contents.contains(addr));
+        ASSERT_TRUE(log.contents.contains(addr));
+      }
+      EXPECT_EQ(ideal.contents.size(), full.contents.size());
+      EXPECT_EQ(log.contents.size(), full.contents.size());
+
+      // Differential entry messages are bounded by full's and at least
+      // ideal's upserts (superfluous-but-conservative superset).
+      EXPECT_LE(diff.stats.traffic.entry_messages,
+                full.stats.traffic.entry_messages)
+          << "q=" << q << " u=" << u;
+      EXPECT_GE(diff.stats.traffic.entry_messages,
+                ideal.stats.traffic.entry_messages)
+          << "q=" << q << " u=" << u;
+      // Differential piggybacks deletions; it never sends delete messages.
+      EXPECT_EQ(diff.stats.traffic.delete_messages, 0u);
+      // Log-based coalesces to net changes, like ideal.
+      EXPECT_EQ(log.stats.traffic.entry_messages,
+                ideal.stats.traffic.entry_messages);
+      EXPECT_EQ(log.stats.traffic.delete_messages,
+                ideal.stats.traffic.delete_messages);
+    }
+  }
+}
+
+TEST_P(MethodComparisonTest, NoRestrictionDifferentialMatchesIdeal) {
+  auto runs = Run(1.0, 0.2, GetParam());
+  ASSERT_TRUE(runs.ok());
+  const MethodRun& diff = runs->at(RefreshMethod::kDifferential);
+  const MethodRun& ideal = runs->at(RefreshMethod::kIdeal);
+  // "When there is no restriction, the differential refresh algorithm
+  // performs as well as the ideal refresh": with update-only activity and
+  // q = 1, both transmit exactly the updated entries.
+  EXPECT_EQ(diff.stats.data_messages(), ideal.stats.data_messages());
+}
+
+TEST_P(MethodComparisonTest, QuiescentRefreshesSendNoData) {
+  auto runs = Run(0.25, 0.0, GetParam());
+  ASSERT_TRUE(runs.ok());
+  EXPECT_EQ(runs->at(RefreshMethod::kDifferential).stats.data_messages(),
+            0u);
+  EXPECT_EQ(runs->at(RefreshMethod::kIdeal).stats.data_messages(), 0u);
+  EXPECT_EQ(runs->at(RefreshMethod::kLogBased).stats.data_messages(), 0u);
+  // Full pays its flat q·N regardless.
+  EXPECT_GT(runs->at(RefreshMethod::kFull).stats.data_messages(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MethodComparisonTest,
+                         ::testing::Values(5u, 71u, 2024u));
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,178 @@
+// Tests for multiple snapshot sites — "local snapshots at several sites
+// can be periodically refreshed from remote base tables" — each with its
+// own storage and its own (independently partitionable) link.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+void ExpectFaithful(SnapshotSystem* sys, const std::string& name) {
+  auto snap = sys->GetSnapshot(name);
+  ASSERT_TRUE(snap.ok());
+  auto actual = (*snap)->Contents();
+  ASSERT_TRUE(actual.ok());
+  auto expected = sys->ExpectedContents(name);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(actual->size(), expected->size()) << name;
+  for (const auto& [addr, row] : *expected) {
+    ASSERT_TRUE(actual->contains(addr)) << name;
+    EXPECT_TRUE(actual->at(addr).Equals(row)) << name;
+  }
+}
+
+class MultiSiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto base = sys_.CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(base.ok());
+    base_ = *base;
+    Random rng(123);
+    for (int i = 0; i < 40; ++i) {
+      auto a = base_->Insert(
+          Row("e" + std::to_string(i), int64_t(rng.Uniform(20))));
+      ASSERT_TRUE(a.ok());
+      addrs_.push_back(*a);
+    }
+    ASSERT_TRUE(sys_.AddSnapshotSite("west").ok());
+    ASSERT_TRUE(sys_.AddSnapshotSite("east").ok());
+  }
+
+  SnapshotSystem sys_;
+  BaseTable* base_ = nullptr;
+  std::vector<Address> addrs_;
+};
+
+TEST_F(MultiSiteTest, SiteManagement) {
+  auto names = sys_.SnapshotSiteNames();
+  EXPECT_EQ(names.size(), 3u);  // main + west + east
+  EXPECT_TRUE(sys_.AddSnapshotSite("west").IsAlreadyExists());
+  EXPECT_TRUE(sys_.site_channel("nope").status().IsNotFound());
+  ASSERT_TRUE(sys_.site_channel("west").ok());
+}
+
+TEST_F(MultiSiteTest, SnapshotsLivePerSite) {
+  SnapshotOptions west;
+  west.site = "west";
+  SnapshotOptions east;
+  east.site = "east";
+  ASSERT_TRUE(sys_.CreateSnapshot("w_low", "emp", "Salary < 10", west).ok());
+  ASSERT_TRUE(
+      sys_.CreateSnapshot("e_high", "emp", "Salary >= 10", east).ok());
+  ASSERT_TRUE(sys_.Refresh("w_low").ok());
+  ASSERT_TRUE(sys_.Refresh("e_high").ok());
+  ExpectFaithful(&sys_, "w_low");
+  ExpectFaithful(&sys_, "e_high");
+
+  // The traffic went over the respective site links, not the main one.
+  EXPECT_EQ(sys_.data_channel()->stats().messages, 0u);
+  EXPECT_GT((*sys_.site_channel("west"))->stats().messages, 0u);
+  EXPECT_GT((*sys_.site_channel("east"))->stats().messages, 0u);
+}
+
+TEST_F(MultiSiteTest, UnknownSiteRejectedAtCreate) {
+  SnapshotOptions opts;
+  opts.site = "mars";
+  EXPECT_TRUE(sys_.CreateSnapshot("s", "emp", "TRUE", opts)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MultiSiteTest, PartitionIsPerSite) {
+  SnapshotOptions west;
+  west.site = "west";
+  SnapshotOptions east;
+  east.site = "east";
+  ASSERT_TRUE(sys_.CreateSnapshot("w", "emp", "Salary < 10", west).ok());
+  ASSERT_TRUE(sys_.CreateSnapshot("e", "emp", "Salary < 10", east).ok());
+  ASSERT_TRUE(sys_.Refresh("w").ok());
+  ASSERT_TRUE(sys_.Refresh("e").ok());
+
+  ASSERT_TRUE(base_->Update(addrs_[0], Row("moved", 5)).ok());
+  ASSERT_TRUE(sys_.SetSitePartitioned("west", true).ok());
+  // West is cut off; east refreshes fine.
+  EXPECT_TRUE(sys_.Refresh("w").status().IsUnavailable());
+  ASSERT_TRUE(sys_.Refresh("e").ok());
+  ExpectFaithful(&sys_, "e");
+
+  ASSERT_TRUE(sys_.SetSitePartitioned("west", false).ok());
+  ASSERT_TRUE(sys_.Refresh("w").ok());
+  ExpectFaithful(&sys_, "w");
+  EXPECT_TRUE(sys_.SetSitePartitioned("mars", true).IsNotFound());
+}
+
+TEST_F(MultiSiteTest, AsapStreamsToItsOwnSite) {
+  SnapshotOptions opts;
+  opts.site = "west";
+  opts.method = RefreshMethod::kAsap;
+  ASSERT_TRUE(sys_.CreateSnapshot("asap_w", "emp", "Salary < 10", opts).ok());
+  ASSERT_TRUE(sys_.Refresh("asap_w").ok());  // initializing copy
+
+  ASSERT_TRUE(base_->Insert(Row("fresh", 1)).ok());
+  EXPECT_GT((*sys_.site_channel("west"))->pending(), 0u);
+  EXPECT_EQ(sys_.data_channel()->pending(), 0u);
+  ASSERT_TRUE(sys_.DrainChannel().ok());
+  ASSERT_TRUE(sys_.Refresh("asap_w").ok());
+  ExpectFaithful(&sys_, "asap_w");
+}
+
+TEST_F(MultiSiteTest, GroupMembersMustShareOneSite) {
+  SnapshotOptions west;
+  west.site = "west";
+  ASSERT_TRUE(sys_.CreateSnapshot("a", "emp", "Salary < 10", west).ok());
+  ASSERT_TRUE(sys_.CreateSnapshot("b", "emp", "Salary >= 10").ok());
+  EXPECT_TRUE(sys_.RefreshGroup({"a", "b"}).status().IsInvalidArgument());
+
+  SnapshotOptions west2;
+  west2.site = "west";
+  ASSERT_TRUE(sys_.CreateSnapshot("c", "emp", "Salary >= 10", west2).ok());
+  auto group = sys_.RefreshGroup({"a", "c"});
+  ASSERT_TRUE(group.ok()) << group.status().ToString();
+  ExpectFaithful(&sys_, "a");
+  ExpectFaithful(&sys_, "c");
+}
+
+TEST_F(MultiSiteTest, ManySitesManySnapshotsChurn) {
+  Random rng(777);
+  std::vector<std::string> names;
+  for (int s = 0; s < 4; ++s) {
+    const std::string site = "site" + std::to_string(s);
+    ASSERT_TRUE(sys_.AddSnapshotSite(site).ok());
+    SnapshotOptions opts;
+    opts.site = site;
+    const std::string name = "snap" + std::to_string(s);
+    ASSERT_TRUE(sys_.CreateSnapshot(
+                        name, "emp",
+                        "Salary >= " + std::to_string(s * 5) +
+                            " AND Salary < " + std::to_string((s + 1) * 5),
+                        opts)
+                    .ok());
+    names.push_back(name);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (const std::string& name : names) {
+      ASSERT_TRUE(sys_.Refresh(name).ok());
+      ExpectFaithful(&sys_, name);
+    }
+    for (int op = 0; op < 20; ++op) {
+      ASSERT_TRUE(base_->Update(addrs_[rng.Uniform(addrs_.size())],
+                                Row("u", int64_t(rng.Uniform(20))))
+                      .ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snapdiff

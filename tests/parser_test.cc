@@ -1,0 +1,147 @@
+#include "expr/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false},
+                 {"Bonus", TypeId::kDouble, true},
+                 {"Retired", TypeId::kBool, false}});
+}
+
+Tuple Row(std::string name, int64_t salary, Value bonus, bool retired) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary),
+                std::move(bonus), Value::Bool(retired)});
+}
+
+Result<bool> Eval(std::string_view text, const Tuple& row) {
+  ASSIGN_OR_RETURN(ExprPtr e, ParsePredicate(text));
+  return EvaluatePredicate(*e, row, EmpSchema());
+}
+
+TEST(ParserTest, SimpleComparison) {
+  Tuple laura = Row("Laura", 6, Value::Double(0), false);
+  auto r = Eval("Salary < 10", laura);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  r = Eval("Salary >= 10", laura);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(ParserTest, AllComparisonSpellings) {
+  Tuple row = Row("x", 5, Value::Double(0), false);
+  EXPECT_TRUE(*Eval("Salary = 5", row));
+  EXPECT_TRUE(*Eval("Salary != 6", row));
+  EXPECT_TRUE(*Eval("Salary <> 6", row));
+  EXPECT_TRUE(*Eval("Salary <= 5", row));
+  EXPECT_TRUE(*Eval("Salary >= 5", row));
+  EXPECT_FALSE(*Eval("Salary > 5", row));
+  EXPECT_FALSE(*Eval("Salary < 5", row));
+}
+
+TEST(ParserTest, StringLiteralAndEscapes) {
+  Tuple row = Row("O'Brien", 5, Value::Double(0), false);
+  auto r = Eval("Name = 'O''Brien'", row);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(ParserTest, BooleanConnectivesAndPrecedence) {
+  Tuple row = Row("Laura", 6, Value::Double(0), false);
+  // AND binds tighter than OR.
+  EXPECT_TRUE(*Eval("Salary < 5 OR Salary < 10 AND Name = 'Laura'", row));
+  EXPECT_FALSE(*Eval("(Salary < 5 OR Salary < 10) AND Name = 'Bob'", row));
+  EXPECT_TRUE(*Eval("NOT Salary > 10", row));
+  EXPECT_TRUE(*Eval("NOT (Salary > 10 AND Name = 'Laura')", row));
+}
+
+TEST(ParserTest, BareBooleanColumn) {
+  EXPECT_TRUE(*Eval("Retired", Row("x", 1, Value::Double(0), true)));
+  EXPECT_FALSE(*Eval("Retired", Row("x", 1, Value::Double(0), false)));
+  EXPECT_TRUE(*Eval("NOT Retired", Row("x", 1, Value::Double(0), false)));
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  Tuple row = Row("x", 4, Value::Double(0), false);
+  EXPECT_TRUE(*Eval("Salary * 2 + 1 = 9", row));
+  EXPECT_TRUE(*Eval("Salary + 2 * 3 = 10", row));
+  EXPECT_TRUE(*Eval("(Salary + 2) * 3 = 18", row));
+  EXPECT_TRUE(*Eval("Salary / 2 = 2", row));
+}
+
+TEST(ParserTest, UnaryMinus) {
+  Tuple row = Row("x", -5, Value::Double(0), false);
+  EXPECT_TRUE(*Eval("Salary = -5", row));
+  EXPECT_TRUE(*Eval("Salary < -4", row));
+}
+
+TEST(ParserTest, DoubleLiterals) {
+  Tuple row = Row("x", 1, Value::Double(2.5), false);
+  EXPECT_TRUE(*Eval("Bonus = 2.5", row));
+  EXPECT_TRUE(*Eval("Bonus > 2.25", row));
+}
+
+TEST(ParserTest, IsNullForms) {
+  Tuple with = Row("x", 1, Value::Double(1), false);
+  Tuple without = Row("x", 1, Value::Null(TypeId::kDouble), false);
+  EXPECT_TRUE(*Eval("Bonus IS NULL", without));
+  EXPECT_FALSE(*Eval("Bonus IS NULL", with));
+  EXPECT_TRUE(*Eval("Bonus IS NOT NULL", with));
+  EXPECT_FALSE(*Eval("Bonus IS NOT NULL", without));
+}
+
+TEST(ParserTest, TrueFalseLiterals) {
+  Tuple row = Row("x", 1, Value::Double(0), false);
+  EXPECT_TRUE(*Eval("TRUE", row));
+  EXPECT_FALSE(*Eval("FALSE", row));
+  EXPECT_TRUE(*Eval("true OR FALSE", row));
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  Tuple row = Row("x", 1, Value::Double(0), false);
+  EXPECT_TRUE(*Eval("Salary < 10 and not false", row));
+  EXPECT_TRUE(*Eval("Salary < 10 Or FALSE", row));
+}
+
+TEST(ParserTest, FunnyColumnNamesParse) {
+  // Annotation columns are addressable in predicates (used internally).
+  auto e = ParsePredicate("$TIMESTAMP$ IS NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "($TIMESTAMP$ IS NULL)");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParsePredicate("").ok());
+  EXPECT_FALSE(ParsePredicate("Salary <").ok());
+  EXPECT_FALSE(ParsePredicate("Salary < 10 AND").ok());
+  EXPECT_FALSE(ParsePredicate("(Salary < 10").ok());
+  EXPECT_FALSE(ParsePredicate("Salary < 10)").ok());
+  EXPECT_FALSE(ParsePredicate("Salary ! 10").ok());
+  EXPECT_FALSE(ParsePredicate("'unterminated").ok());
+  EXPECT_FALSE(ParsePredicate("1.2.3 < 4").ok());
+  EXPECT_FALSE(ParsePredicate("Salary IS 10").ok());
+  EXPECT_FALSE(ParsePredicate("AND Salary").ok());
+  EXPECT_FALSE(ParsePredicate("Salary < 10 extra garbage").ok());
+}
+
+TEST(ParserTest, EvaluationTypeErrorsSurfaceAtEvalTime) {
+  Tuple row = Row("x", 1, Value::Double(0), false);
+  auto r = Eval("Name < 10", row);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  // Parsing the printed form of a parsed expression gives the same tree.
+  auto e1 = ParsePredicate("Salary < 10 AND (Name = 'Bob' OR NOT Retired)");
+  ASSERT_TRUE(e1.ok());
+  auto e2 = ParsePredicate((*e1)->ToString());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e1)->ToString(), (*e2)->ToString());
+}
+
+}  // namespace
+}  // namespace snapdiff

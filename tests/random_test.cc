@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace snapdiff {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7), c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextUint64();
+    EXPECT_EQ(va, b.NextUint64());
+    if (va != c.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Random r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) over 10k samples should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  Random r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random r(2);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator z(100, 0.9, 42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Next(), 100u);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesMass) {
+  ZipfianGenerator z(1000, 0.99, 7);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.Next()];
+  // With theta = 0.99 the head items dominate: item 0 alone should receive
+  // far more than the uniform share (20 draws).
+  EXPECT_GT(counts[0], 200);
+}
+
+TEST(ZipfianTest, Deterministic) {
+  ZipfianGenerator a(50, 0.8, 11), b(50, 0.8, 11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,108 @@
+#include "expr/range_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+
+namespace snapdiff {
+namespace {
+
+std::optional<ColumnRange> Analyze(std::string_view text) {
+  auto e = ParsePredicate(text);
+  EXPECT_TRUE(e.ok()) << text;
+  if (!e.ok()) return std::nullopt;
+  return AnalyzeRestrictionRange(*e);
+}
+
+TEST(RangeAnalysisTest, SingleComparisons) {
+  auto lt = Analyze("Salary < 10");
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_EQ(lt->column, "Salary");
+  EXPECT_FALSE(lt->lo.has_value());
+  ASSERT_TRUE(lt->hi.has_value());
+  EXPECT_EQ(lt->hi->as_int64(), 10);
+  EXPECT_FALSE(lt->hi_inclusive);
+  EXPECT_TRUE(lt->exact);
+
+  auto ge = Analyze("Salary >= 3");
+  ASSERT_TRUE(ge.has_value());
+  ASSERT_TRUE(ge->lo.has_value());
+  EXPECT_EQ(ge->lo->as_int64(), 3);
+  EXPECT_TRUE(ge->lo_inclusive);
+  EXPECT_FALSE(ge->hi.has_value());
+
+  auto eq = Analyze("Salary = 7");
+  ASSERT_TRUE(eq.has_value());
+  ASSERT_TRUE(eq->lo.has_value() && eq->hi.has_value());
+  EXPECT_EQ(eq->lo->as_int64(), 7);
+  EXPECT_EQ(eq->hi->as_int64(), 7);
+  EXPECT_TRUE(eq->lo_inclusive && eq->hi_inclusive);
+}
+
+TEST(RangeAnalysisTest, MirroredLiteralFirst) {
+  auto r = Analyze("10 > Salary");  // ≡ Salary < 10
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->hi.has_value());
+  EXPECT_EQ(r->hi->as_int64(), 10);
+  EXPECT_FALSE(r->hi_inclusive);
+
+  auto r2 = Analyze("3 <= Salary");  // ≡ Salary >= 3
+  ASSERT_TRUE(r2.has_value());
+  ASSERT_TRUE(r2->lo.has_value());
+  EXPECT_EQ(r2->lo->as_int64(), 3);
+  EXPECT_TRUE(r2->lo_inclusive);
+}
+
+TEST(RangeAnalysisTest, ConjunctionsIntersect) {
+  auto r = Analyze("Salary >= 3 AND Salary < 10");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo->as_int64(), 3);
+  EXPECT_TRUE(r->lo_inclusive);
+  EXPECT_EQ(r->hi->as_int64(), 10);
+  EXPECT_FALSE(r->hi_inclusive);
+
+  // Tightest bound wins; equal bound with strict op turns exclusive.
+  auto tight = Analyze("Salary > 2 AND Salary >= 5 AND Salary <= 8 AND Salary < 12");
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_EQ(tight->lo->as_int64(), 5);
+  EXPECT_TRUE(tight->lo_inclusive);
+  EXPECT_EQ(tight->hi->as_int64(), 8);
+  EXPECT_TRUE(tight->hi_inclusive);
+
+  auto excl = Analyze("Salary >= 5 AND Salary > 5");
+  ASSERT_TRUE(excl.has_value());
+  EXPECT_EQ(excl->lo->as_int64(), 5);
+  EXPECT_FALSE(excl->lo_inclusive);
+}
+
+TEST(RangeAnalysisTest, StringsAndDoublesWork) {
+  auto s = Analyze("Name >= 'Laura'");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->lo->as_string(), "Laura");
+  auto d = Analyze("Bonus < 2.5");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->hi->as_double(), 2.5);
+}
+
+TEST(RangeAnalysisTest, UnsupportedShapesYieldNothing) {
+  EXPECT_FALSE(Analyze("Salary != 10").has_value());
+  EXPECT_FALSE(Analyze("Salary < 10 OR Salary > 20").has_value());
+  EXPECT_FALSE(Analyze("NOT Salary < 10").has_value());
+  EXPECT_FALSE(Analyze("Salary * 2 < 10").has_value());
+  EXPECT_FALSE(Analyze("Salary < Bonus").has_value());
+  EXPECT_FALSE(Analyze("Salary < 10 AND Bonus > 1").has_value());
+  EXPECT_FALSE(Analyze("Salary IS NULL").has_value());
+  EXPECT_FALSE(Analyze("TRUE").has_value());
+  EXPECT_FALSE(Analyze("Salary = NULL").has_value());
+}
+
+TEST(RangeAnalysisTest, ContradictoryBoundsStillARange) {
+  // Callers get an empty range; retrieval simply finds nothing.
+  auto r = Analyze("Salary > 10 AND Salary < 5");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo->as_int64(), 10);
+  EXPECT_EQ(r->hi->as_int64(), 5);
+}
+
+}  // namespace
+}  // namespace snapdiff

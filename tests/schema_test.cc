@@ -1,0 +1,74 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+TEST(SchemaTest, IndexOfAndHasColumn) {
+  Schema s = EmpSchema();
+  EXPECT_EQ(s.column_count(), 2u);
+  auto idx = s.IndexOf("Salary");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(s.HasColumn("Name"));
+  EXPECT_FALSE(s.HasColumn("Dept"));
+  EXPECT_TRUE(s.IndexOf("Dept").status().IsNotFound());
+}
+
+TEST(SchemaTest, WithAnnotationsAppendsFunnyColumns) {
+  Schema s = EmpSchema();
+  EXPECT_FALSE(s.HasAnnotations());
+  auto annotated = s.WithAnnotations();
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_TRUE(annotated->HasAnnotations());
+  EXPECT_EQ(annotated->column_count(), 4u);
+  EXPECT_EQ(annotated->UserColumnCount(), 2u);
+  EXPECT_EQ(annotated->PrevAddrIndex(), 2u);
+  EXPECT_EQ(annotated->TimestampIndex(), 3u);
+  EXPECT_EQ(annotated->column(2).type, TypeId::kAddress);
+  EXPECT_TRUE(annotated->column(2).nullable);
+  EXPECT_EQ(annotated->column(3).type, TypeId::kTimestamp);
+}
+
+TEST(SchemaTest, DoubleAnnotationFails) {
+  auto annotated = EmpSchema().WithAnnotations();
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_TRUE(annotated->WithAnnotations().status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, ProjectPreservesOrder) {
+  auto annotated = EmpSchema().WithAnnotations();
+  ASSERT_TRUE(annotated.ok());
+  auto proj = annotated->Project({"Salary", "Name"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->column_count(), 2u);
+  EXPECT_EQ(proj->column(0).name, "Salary");
+  EXPECT_EQ(proj->column(1).name, "Name");
+  EXPECT_FALSE(proj->HasAnnotations());
+}
+
+TEST(SchemaTest, ProjectUnknownColumnFails) {
+  EXPECT_TRUE(EmpSchema().Project({"Nope"}).status().IsNotFound());
+}
+
+TEST(SchemaTest, EqualsComparesStructurally) {
+  EXPECT_TRUE(EmpSchema().Equals(EmpSchema()));
+  Schema other({{"Name", TypeId::kString, false},
+                {"Salary", TypeId::kDouble, false}});
+  EXPECT_FALSE(EmpSchema().Equals(other));
+}
+
+TEST(SchemaTest, ToStringMentionsColumns) {
+  std::string s = EmpSchema().ToString();
+  EXPECT_NE(s.find("Name STRING NOT NULL"), std::string::npos);
+  EXPECT_NE(s.find("Salary INT64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,220 @@
+// Tests for SecondaryIndex and the index-assisted full-refresh path.
+
+#include "snapshot/secondary_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, true}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+class SecondaryIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto base = sys_.CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(base.ok());
+    base_ = *base;
+  }
+
+  SnapshotSystem sys_;
+  BaseTable* base_ = nullptr;
+};
+
+TEST_F(SecondaryIndexTest, BuildIndexesExistingRows) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 20; ++i) {
+    auto a = base_->Insert(Row("e" + std::to_string(i), i % 5));
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  auto index = base_->CreateSecondaryIndex("Salary");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->size(), 20u);
+  auto hits = (*index)->SelectEquals(Value::Int64(3));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 4u);
+  ASSERT_TRUE((*index)->CheckConsistency(base_).ok());
+}
+
+TEST_F(SecondaryIndexTest, MaintainedAcrossMutations) {
+  auto index = base_->CreateSecondaryIndex("Salary");
+  ASSERT_TRUE(index.ok());
+  auto a = base_->Insert(Row("x", 5));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*index)->size(), 1u);
+
+  ASSERT_TRUE(base_->Update(*a, Row("x", 9)).ok());
+  auto old_hits = (*index)->SelectEquals(Value::Int64(5));
+  auto new_hits = (*index)->SelectEquals(Value::Int64(9));
+  ASSERT_TRUE(old_hits.ok() && new_hits.ok());
+  EXPECT_TRUE(old_hits->empty());
+  ASSERT_EQ(new_hits->size(), 1u);
+  EXPECT_EQ(new_hits->front(), *a);
+
+  ASSERT_TRUE(base_->Delete(*a).ok());
+  EXPECT_EQ((*index)->size(), 0u);
+  ASSERT_TRUE((*index)->CheckConsistency(base_).ok());
+}
+
+TEST_F(SecondaryIndexTest, NullKeysSkipped) {
+  auto index = base_->CreateSecondaryIndex("Salary");
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(base_
+                  ->Insert(Tuple({Value::String("nullsal"),
+                                  Value::Null(TypeId::kInt64)}))
+                  .ok());
+  ASSERT_TRUE(base_->Insert(Row("paid", 5)).ok());
+  EXPECT_EQ((*index)->size(), 1u);
+  ASSERT_TRUE((*index)->CheckConsistency(base_).ok());
+}
+
+TEST_F(SecondaryIndexTest, SelectRangeRespectsBounds) {
+  auto index = base_->CreateSecondaryIndex("Salary");
+  ASSERT_TRUE(index.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(base_->Insert(Row("e" + std::to_string(i), i)).ok());
+  }
+  ColumnRange range;
+  range.column = "Salary";
+  range.lo = Value::Int64(3);
+  range.lo_inclusive = true;
+  range.hi = Value::Int64(7);
+  range.hi_inclusive = false;
+  auto hits = (*index)->SelectRange(range);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 4u);  // 3,4,5,6
+
+  range.lo_inclusive = false;  // (3, 7)
+  hits = (*index)->SelectRange(range);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+
+  ColumnRange wrong;
+  wrong.column = "Name";
+  EXPECT_TRUE((*index)->SelectRange(wrong).status().IsInvalidArgument());
+}
+
+TEST_F(SecondaryIndexTest, DuplicateAndDropIndex) {
+  ASSERT_TRUE(base_->CreateSecondaryIndex("Salary").ok());
+  EXPECT_TRUE(
+      base_->CreateSecondaryIndex("Salary").status().IsAlreadyExists());
+  EXPECT_TRUE(base_->CreateSecondaryIndex("Nope").status().IsNotFound());
+  ASSERT_TRUE(base_->DropSecondaryIndex("Salary").ok());
+  EXPECT_TRUE(base_->DropSecondaryIndex("Salary").IsNotFound());
+  // After dropping, mutations no longer touch the (gone) index.
+  ASSERT_TRUE(base_->Insert(Row("x", 1)).ok());
+}
+
+TEST_F(SecondaryIndexTest, IndexAssistedFullRefresh) {
+  Random rng(7);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        base_->Insert(Row("e" + std::to_string(i),
+                          int64_t(rng.Uniform(100))))
+            .ok());
+  }
+  ASSERT_TRUE(base_->CreateSecondaryIndex("Salary").ok());
+
+  SnapshotOptions opts;
+  opts.method = RefreshMethod::kFull;
+  ASSERT_TRUE(sys_.CreateSnapshot("low", "emp", "Salary < 10", opts).ok());
+  auto stats = sys_.Refresh("low");
+  ASSERT_TRUE(stats.ok());
+
+  // The index path retrieves instead of scanning.
+  EXPECT_EQ(stats->entries_scanned, 0u);
+  EXPECT_GT(stats->base_reads, 0u);
+  EXPECT_LT(stats->base_reads, 100u);  // ~10% of 300 rows
+
+  auto actual = (*sys_.GetSnapshot("low"))->Contents();
+  auto expected = sys_.ExpectedContents("low");
+  ASSERT_TRUE(actual.ok() && expected.ok());
+  ASSERT_EQ(actual->size(), expected->size());
+  for (const auto& [addr, row] : *expected) {
+    ASSERT_TRUE(actual->contains(addr));
+    EXPECT_TRUE(actual->at(addr).Equals(row));
+  }
+}
+
+TEST_F(SecondaryIndexTest, NonRangeRestrictionFallsBackToScan) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(base_->Insert(Row("e", i)).ok());
+  }
+  ASSERT_TRUE(base_->CreateSecondaryIndex("Salary").ok());
+  SnapshotOptions opts;
+  opts.method = RefreshMethod::kFull;
+  ASSERT_TRUE(sys_.CreateSnapshot("odd", "emp",
+                                  "Salary < 10 OR Salary > 40", opts)
+                  .ok());
+  auto stats = sys_.Refresh("odd");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries_scanned, 50u);  // sequential scan
+  EXPECT_EQ(stats->base_reads, 0u);
+}
+
+TEST_F(SecondaryIndexTest, IndexOnSnapshotStorage) {
+  // "Indices can be defined on a snapshot to accelerate access to its
+  // contents": the snapshot's storage is an annotated table too.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(base_->Insert(Row("e" + std::to_string(i), i)).ok());
+  }
+  ASSERT_TRUE(sys_.CreateSnapshot("all", "emp", "TRUE").ok());
+  ASSERT_TRUE(sys_.Refresh("all").ok());
+  SnapshotTable* snap = *sys_.GetSnapshot("all");
+  auto index = snap->storage()->CreateSecondaryIndex("Salary");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->size(), 40u);
+  auto hits = (*index)->SelectEquals(Value::Int64(17));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  // The index stays maintained across the next refresh's applies.
+  ASSERT_TRUE(base_->Update(hits->front(), Row("e17", 99)).ok());
+  ASSERT_TRUE(sys_.Refresh("all").ok());
+  ASSERT_TRUE((*index)->CheckConsistency(snap->storage()).ok());
+}
+
+TEST_F(SecondaryIndexTest, RandomizedConsistency) {
+  auto index = base_->CreateSecondaryIndex("Salary");
+  ASSERT_TRUE(index.ok());
+  Random rng(31);
+  std::vector<Address> live;
+  for (int op = 0; op < 600; ++op) {
+    const int kind = static_cast<int>(rng.Uniform(3));
+    const int64_t salary = static_cast<int64_t>(rng.Uniform(50));
+    if (kind == 0 || live.empty()) {
+      const bool null_key = rng.Bernoulli(0.1);
+      auto a = base_->Insert(
+          Tuple({Value::String("r"),
+                 null_key ? Value::Null(TypeId::kInt64)
+                          : Value::Int64(salary)}));
+      ASSERT_TRUE(a.ok());
+      live.push_back(*a);
+    } else if (kind == 1) {
+      ASSERT_TRUE(
+          base_->Update(live[rng.Uniform(live.size())], Row("u", salary))
+              .ok());
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      ASSERT_TRUE(base_->Delete(live[idx]).ok());
+      live.erase(live.begin() + idx);
+    }
+    if (op % 100 == 99) {
+      ASSERT_TRUE((*index)->CheckConsistency(base_).ok()) << op;
+    }
+  }
+  ASSERT_TRUE((*index)->CheckConsistency(base_).ok());
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,143 @@
+// Tests for the workload generator and the figure-experiment harness.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/workload.h"
+
+namespace snapdiff {
+namespace {
+
+TEST(WorkloadTest, LoadsRequestedRows) {
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 500;
+  auto w = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ((*w)->table_size(), 500u);
+  EXPECT_EQ((*w)->table()->live_rows(), 500u);
+}
+
+TEST(WorkloadTest, RestrictionSelectivityIsAccurate) {
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 4000;
+  auto w = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(w.ok());
+  for (double q : {0.01, 0.25, 0.75}) {
+    ASSERT_TRUE(
+        sys.CreateSnapshot("s" + std::to_string(int(q * 100)), "base",
+                           (*w)->RestrictionFor(q))
+            .ok());
+    auto expected =
+        sys.ExpectedContents("s" + std::to_string(int(q * 100)));
+    ASSERT_TRUE(expected.ok());
+    const double actual = double(expected->size()) / 4000.0;
+    EXPECT_NEAR(actual, q, 0.03) << q;
+  }
+}
+
+TEST(WorkloadTest, UpdateFractionTouchesDistinctRows) {
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 1000;
+  auto w = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(w.ok());
+  // Ids are stable across updates; count rows whose annotations were nulled
+  // by an update (lazy maintenance: updated rows have NULL timestamps after
+  // a fix-up cycle).
+  ASSERT_TRUE(sys.CreateSnapshot("s", "base", "TRUE").ok());
+  ASSERT_TRUE(sys.Refresh("s").ok());  // fix-up: all stamps non-NULL
+  ASSERT_TRUE((*w)->UpdateFraction(0.2).ok());
+  uint64_t nulled = 0;
+  ASSERT_TRUE((*w)->table()
+                  ->ScanAnnotated([&](Address,
+                                      const BaseTable::AnnotatedRow& row)
+                                      -> Status {
+                    if (row.timestamp == kNullTimestamp) ++nulled;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(nulled, 200u);
+}
+
+TEST(WorkloadTest, ZipfianUpdatesAreSkewedButDistinct) {
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 500;
+  wc.zipf_theta = 0.9;
+  auto w = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(sys.CreateSnapshot("s", "base", "TRUE").ok());
+  ASSERT_TRUE(sys.Refresh("s").ok());
+  ASSERT_TRUE((*w)->UpdateFraction(0.1).ok());
+  uint64_t nulled = 0;
+  ASSERT_TRUE((*w)->table()
+                  ->ScanAnnotated([&](Address,
+                                      const BaseTable::AnnotatedRow& row)
+                                      -> Status {
+                    if (row.timestamp == kNullTimestamp) ++nulled;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(nulled, 50u);  // still distinct victims
+}
+
+TEST(WorkloadTest, MixedOpsKeepLiveListConsistent) {
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 300;
+  auto w = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->ApplyMixedOps(500, 0.3, 0.3).ok());
+  EXPECT_EQ((*w)->table()->live_rows(), (*w)->table_size());
+  for (const Address& a : (*w)->live_addresses()) {
+    EXPECT_TRUE((*w)->table()->ReadUserRow(a).ok());
+  }
+}
+
+TEST(ExperimentTest, SmokeRunMatchesInvariants) {
+  FigureExperimentConfig config;
+  config.table_size = 600;
+  config.selectivities = {0.25};
+  config.update_fractions = {0.0, 0.2};
+  config.trials = 1;
+  auto points = RunFigureExperiment(config);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_EQ(points->size(), 6u);  // 1 q × 2 u × 3 methods
+
+  for (const FigurePoint& p : *points) {
+    if (p.update_fraction == 0.0) {
+      if (p.method == RefreshMethod::kFull) {
+        EXPECT_NEAR(p.pct_sent, 25.0, 5.0);
+      } else {
+        // Quiescent: differential and ideal send nothing.
+        EXPECT_EQ(p.data_messages, 0.0) << RefreshMethodToString(p.method);
+      }
+    } else {
+      if (p.method != RefreshMethod::kFull) {
+        EXPECT_GT(p.data_messages, 0.0);
+        EXPECT_LT(p.pct_sent, 30.0);
+      }
+    }
+  }
+}
+
+TEST(ExperimentTest, RenderersIncludeEveryPoint) {
+  FigureExperimentConfig config;
+  config.table_size = 300;
+  config.selectivities = {0.5};
+  config.update_fractions = {0.1};
+  config.trials = 1;
+  auto points = RunFigureExperiment(config);
+  ASSERT_TRUE(points.ok());
+  const std::string table = RenderFigureTable(*points);
+  EXPECT_NE(table.find("selectivity q = 50%"), std::string::npos);
+  EXPECT_NE(table.find("differential"), std::string::npos);
+  const std::string csv = RenderFigureCsv(*points);
+  EXPECT_NE(csv.find("0.5,0.1,full,"), std::string::npos);
+  EXPECT_NE(csv.find("0.5,0.1,ideal,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapdiff

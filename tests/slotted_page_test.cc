@@ -1,0 +1,160 @@
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/page.h"
+
+namespace snapdiff {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : sp_(&page_) { sp_.Init(); }
+
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(sp_.slot_count(), 0);
+  EXPECT_EQ(sp_.live_count(), 0);
+  EXPECT_EQ(sp_.ContiguousFree(),
+            Page::kPageSize - SlottedPage::kHeaderSize);
+}
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  auto s = sp_.Insert("hello", true);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 0);
+  auto v = sp_.Get(*s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "hello");
+  EXPECT_EQ(sp_.live_count(), 1);
+}
+
+TEST_F(SlottedPageTest, GetEmptySlotFails) {
+  EXPECT_TRUE(sp_.Get(0).status().IsNotFound());
+  ASSERT_TRUE(sp_.Insert("x", true).ok());
+  EXPECT_TRUE(sp_.Get(1).status().IsNotFound());
+}
+
+TEST_F(SlottedPageTest, DeleteFreesSlot) {
+  auto s0 = sp_.Insert("aaa", true);
+  auto s1 = sp_.Insert("bbb", true);
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  ASSERT_TRUE(sp_.Delete(*s0).ok());
+  EXPECT_FALSE(sp_.IsOccupied(*s0));
+  EXPECT_TRUE(sp_.IsOccupied(*s1));
+  EXPECT_EQ(sp_.live_count(), 1);
+  EXPECT_TRUE(sp_.Delete(*s0).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, InsertWithReuseFillsHole) {
+  auto s0 = sp_.Insert("aaa", true);
+  ASSERT_TRUE(sp_.Insert("bbb", true).ok());
+  ASSERT_TRUE(sp_.Delete(*s0).ok());
+  auto s2 = sp_.Insert("ccc", /*reuse_slots=*/true);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *s0);  // hole reused
+  auto v = sp_.Get(*s2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "ccc");
+}
+
+TEST_F(SlottedPageTest, InsertWithoutReuseAppends) {
+  auto s0 = sp_.Insert("aaa", false);
+  ASSERT_TRUE(sp_.Insert("bbb", false).ok());
+  ASSERT_TRUE(sp_.Delete(*s0).ok());
+  auto s2 = sp_.Insert("ccc", /*reuse_slots=*/false);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, 2);  // fresh slot, hole untouched
+  EXPECT_FALSE(sp_.IsOccupied(*s0));
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceShrink) {
+  auto s = sp_.Insert("longvalue", true);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(sp_.Update(*s, "tiny").ok());
+  auto v = sp_.Get(*s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "tiny");
+  EXPECT_GT(sp_.garbage(), 0);
+}
+
+TEST_F(SlottedPageTest, UpdateGrowKeepsSlot) {
+  auto s = sp_.Insert("ab", true);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(sp_.Insert("other", true).ok());
+  std::string big(100, 'Q');
+  ASSERT_TRUE(sp_.Update(*s, big).ok());
+  auto v = sp_.Get(*s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, big);
+  EXPECT_EQ(sp_.live_count(), 2);
+}
+
+TEST_F(SlottedPageTest, UpdateEmptySlotFails) {
+  EXPECT_TRUE(sp_.Update(0, "x").IsNotFound());
+}
+
+TEST_F(SlottedPageTest, FillPageThenOverflow) {
+  const std::string tuple(100, 'T');
+  int inserted = 0;
+  while (true) {
+    auto s = sp_.Insert(tuple, true);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.status().IsResourceExhausted());
+      break;
+    }
+    ++inserted;
+  }
+  // 4096-byte page, 8-byte header, 104 bytes per tuple (100 + 4 slot).
+  EXPECT_EQ(inserted, (int)((Page::kPageSize - 8) / 104));
+  EXPECT_EQ(sp_.live_count(), inserted);
+}
+
+TEST_F(SlottedPageTest, CompactionReclaimsGarbage) {
+  // Fill the page, delete every other tuple, then insert tuples that only
+  // fit if the dead space is compacted.
+  const std::string tuple(100, 'T');
+  std::vector<SlotId> slots;
+  while (true) {
+    auto s = sp_.Insert(tuple, true);
+    if (!s.ok()) break;
+    slots.push_back(*s);
+  }
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(sp_.Delete(slots[i]).ok());
+  }
+  // The freed space is fragmented; a 150-byte tuple needs compaction.
+  auto s = sp_.Insert(std::string(150, 'N'), true);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto v = sp_.Get(*s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 150u);
+  // Survivors are intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    auto sv = sp_.Get(slots[i]);
+    ASSERT_TRUE(sv.ok());
+    EXPECT_EQ(*sv, tuple);
+  }
+}
+
+TEST_F(SlottedPageTest, OversizeTupleRejected) {
+  std::string huge(Page::kPageSize, 'H');
+  EXPECT_TRUE(sp_.Insert(huge, true).status().IsInvalidArgument());
+}
+
+TEST_F(SlottedPageTest, ZeroLengthTupleAllowed) {
+  auto s = sp_.Insert("", true);
+  ASSERT_TRUE(s.ok());
+  auto v = sp_.Get(*s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+  EXPECT_TRUE(sp_.IsOccupied(*s));
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,183 @@
+#include "snapshot/snapshot_table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema ValueSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+std::string Payload(const Tuple& row) {
+  auto bytes = row.Serialize(ValueSchema());
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+Address A(uint64_t raw) { return Address::FromRaw(raw); }
+
+class SnapshotTableTest : public ::testing::Test {
+ protected:
+  SnapshotTableTest() : pool_(&disk_, 256), catalog_(&pool_) {
+    auto t = SnapshotTable::Create(&catalog_, "snap", ValueSchema(),
+                                   &oracle_);
+    SNAPDIFF_CHECK(t.ok());
+    snap_ = std::move(*t);
+  }
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  TimestampOracle oracle_;
+  std::unique_ptr<SnapshotTable> snap_;
+  RefreshStats stats_;
+};
+
+TEST_F(SnapshotTableTest, UpsertInsertsThenUpdates) {
+  ASSERT_TRUE(snap_->Upsert(A(5), Row("Mohan", 9), &stats_).ok());
+  EXPECT_EQ(snap_->row_count(), 1u);
+  EXPECT_EQ(stats_.snap_inserts, 1u);
+  auto v = snap_->Lookup(A(5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->value(1).as_int64(), 9);
+
+  ASSERT_TRUE(snap_->Upsert(A(5), Row("Mohan", 10), &stats_).ok());
+  EXPECT_EQ(snap_->row_count(), 1u);
+  EXPECT_EQ(stats_.snap_upserts, 2u);
+  EXPECT_EQ(stats_.snap_inserts, 1u);
+  v = snap_->Lookup(A(5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->value(1).as_int64(), 10);
+  EXPECT_TRUE(snap_->ValidateIndex().ok());
+}
+
+TEST_F(SnapshotTableTest, DeleteByBaseAddrIsIdempotent) {
+  ASSERT_TRUE(snap_->Upsert(A(5), Row("X", 1), &stats_).ok());
+  ASSERT_TRUE(snap_->DeleteByBaseAddr(A(5), &stats_).ok());
+  EXPECT_EQ(snap_->row_count(), 0u);
+  EXPECT_EQ(stats_.snap_deletes, 1u);
+  // "(if such an element exists)" — absent is not an error.
+  ASSERT_TRUE(snap_->DeleteByBaseAddr(A(5), &stats_).ok());
+  ASSERT_TRUE(snap_->DeleteByBaseAddr(A(99), &stats_).ok());
+  EXPECT_EQ(stats_.snap_deletes, 1u);
+}
+
+TEST_F(SnapshotTableTest, DeleteRangeExclusiveSparesBounds) {
+  for (uint64_t i = 1; i <= 9; ++i) {
+    ASSERT_TRUE(snap_->Upsert(A(i), Row("r", int64_t(i)), &stats_).ok());
+  }
+  ASSERT_TRUE(snap_->DeleteRangeExclusive(A(3), A(7), &stats_).ok());
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->contains(A(3)));
+  EXPECT_TRUE(contents->contains(A(7)));
+  EXPECT_FALSE(contents->contains(A(4)));
+  EXPECT_FALSE(contents->contains(A(5)));
+  EXPECT_FALSE(contents->contains(A(6)));
+  EXPECT_EQ(contents->size(), 6u);
+  EXPECT_TRUE(snap_->ValidateIndex().ok());
+}
+
+TEST_F(SnapshotTableTest, DeleteRangeInclusiveTakesBounds) {
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(snap_->Upsert(A(i), Row("r", int64_t(i)), &stats_).ok());
+  }
+  ASSERT_TRUE(snap_->DeleteRangeInclusive(A(2), A(4), &stats_).ok());
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 2u);
+  EXPECT_TRUE(contents->contains(A(1)));
+  EXPECT_TRUE(contents->contains(A(5)));
+}
+
+TEST_F(SnapshotTableTest, DeleteAfterPurgesTail) {
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(snap_->Upsert(A(i), Row("r", int64_t(i)), &stats_).ok());
+  }
+  ASSERT_TRUE(snap_->DeleteAfter(A(3), &stats_).ok());
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 3u);
+  EXPECT_TRUE(contents->contains(A(3)));
+  EXPECT_FALSE(contents->contains(A(4)));
+}
+
+TEST_F(SnapshotTableTest, ApplyEntryPurgesGapThenUpserts) {
+  // Snapshot holds 3,4,5; an ENTRY(5, prev=2) means 3 and 4 are gone.
+  for (uint64_t i = 3; i <= 5; ++i) {
+    ASSERT_TRUE(snap_->Upsert(A(i), Row("old", int64_t(i)), &stats_).ok());
+  }
+  Message entry = MakeEntry(1, A(5), A(2), Payload(Row("new", 5)));
+  ASSERT_TRUE(snap_->ApplyMessage(entry, &stats_).ok());
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 1u);
+  ASSERT_TRUE(contents->contains(A(5)));
+  EXPECT_EQ(contents->at(A(5)).value(0).as_string(), "new");
+}
+
+TEST_F(SnapshotTableTest, ApplyEndOfRefreshPurgesTailAndStampsTime) {
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(snap_->Upsert(A(i), Row("r", int64_t(i)), &stats_).ok());
+  }
+  EXPECT_EQ(snap_->snap_time(), kNullTimestamp);
+  Message end = MakeEndOfRefresh(1, A(2), 430);
+  ASSERT_TRUE(snap_->ApplyMessage(end, &stats_).ok());
+  EXPECT_EQ(snap_->snap_time(), 430);
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 2u);
+}
+
+TEST_F(SnapshotTableTest, ApplyEndWithNullPrevKeepsRows) {
+  ASSERT_TRUE(snap_->Upsert(A(1), Row("r", 1), &stats_).ok());
+  Message end = MakeEndOfRefresh(1, Address::Null(), 7);
+  ASSERT_TRUE(snap_->ApplyMessage(end, &stats_).ok());
+  EXPECT_EQ(snap_->row_count(), 1u);
+  EXPECT_EQ(snap_->snap_time(), 7);
+}
+
+TEST_F(SnapshotTableTest, ApplyClear) {
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(snap_->Upsert(A(i), Row("r", int64_t(i)), &stats_).ok());
+  }
+  ASSERT_TRUE(snap_->ApplyMessage(MakeClear(1), &stats_).ok());
+  EXPECT_EQ(snap_->row_count(), 0u);
+  EXPECT_TRUE(snap_->ValidateIndex().ok());
+}
+
+TEST_F(SnapshotTableTest, RefreshRequestAtSnapshotIsError) {
+  Message req = MakeRefreshRequest(1, 0, "x");
+  EXPECT_TRUE(snap_->ApplyMessage(req, &stats_).IsInvalidArgument());
+}
+
+TEST_F(SnapshotTableTest, ValueSchemaMayNotContainBaseAddr) {
+  Schema bad({{"$BASEADDR$", TypeId::kAddress, false}});
+  auto r = SnapshotTable::Create(&catalog_, "bad", bad, &oracle_);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(SnapshotTableTest, ManyRowsIndexStaysConsistent) {
+  for (uint64_t i = 1; i <= 500; ++i) {
+    ASSERT_TRUE(
+        snap_->Upsert(A(i * 7), Row("bulk", int64_t(i)), &stats_).ok());
+  }
+  ASSERT_TRUE(snap_->DeleteRangeExclusive(A(700), A(2100), &stats_).ok());
+  ASSERT_TRUE(snap_->ValidateIndex().ok());
+  auto contents = snap_->Contents();
+  ASSERT_TRUE(contents.ok());
+  for (const auto& [addr, row] : *contents) {
+    EXPECT_TRUE(addr <= A(700) || addr >= A(2100));
+  }
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,150 @@
+// Property tests: slotted pages and table heaps mirrored against simple
+// reference models under long random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/disk_manager.h"
+#include "storage/slotted_page.h"
+#include "storage/table_heap.h"
+
+namespace snapdiff {
+namespace {
+
+class SlottedPageFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlottedPageFuzzTest, MatchesReferenceModel) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  Random rng(GetParam());
+  std::map<SlotId, std::string> ref;
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(4));
+    if (op == 0) {  // insert
+      std::string data(rng.Uniform(120) + 1, char('a' + rng.Uniform(26)));
+      auto slot = sp.Insert(data, /*reuse_slots=*/true);
+      if (slot.ok()) {
+        EXPECT_FALSE(ref.contains(*slot));
+        ref[*slot] = data;
+      } else {
+        EXPECT_TRUE(slot.status().IsResourceExhausted());
+      }
+    } else if (op == 1 && !ref.empty()) {  // delete
+      auto it = ref.begin();
+      std::advance(it, rng.Uniform(ref.size()));
+      ASSERT_TRUE(sp.Delete(it->first).ok());
+      ref.erase(it);
+    } else if (op == 2 && !ref.empty()) {  // update (shrink or grow)
+      auto it = ref.begin();
+      std::advance(it, rng.Uniform(ref.size()));
+      std::string data(rng.Uniform(200) + 1, char('A' + rng.Uniform(26)));
+      Status st = sp.Update(it->first, data);
+      if (st.ok()) {
+        it->second = data;
+      } else {
+        EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+      }
+    } else {  // verify a random slot
+      if (!ref.empty()) {
+        auto it = ref.begin();
+        std::advance(it, rng.Uniform(ref.size()));
+        auto got = sp.Get(it->first);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+    if (step % 500 == 499) {
+      // Full sweep.
+      ASSERT_EQ(sp.live_count(), ref.size());
+      for (const auto& [slot, data] : ref) {
+        auto got = sp.Get(slot);
+        ASSERT_TRUE(got.ok()) << slot;
+        EXPECT_EQ(*got, data);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlottedPageFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 77u));
+
+class TableHeapFuzzTest
+    : public ::testing::TestWithParam<std::tuple<PlacementPolicy, uint64_t>> {
+};
+
+TEST_P(TableHeapFuzzTest, MatchesReferenceModel) {
+  const auto [policy, seed] = GetParam();
+  MemoryDiskManager disk;
+  BufferPool pool(&disk, 16);  // small: exercises eviction
+  TableHeap heap(&pool, policy, seed);
+  Random rng(seed ^ 0xABCD);
+  std::map<Address, std::string> ref;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(4));
+    if (op == 0 || ref.empty()) {
+      std::string data(rng.Uniform(300) + 1, char('a' + rng.Uniform(26)));
+      auto addr = heap.Insert(data);
+      ASSERT_TRUE(addr.ok());
+      EXPECT_FALSE(ref.contains(*addr)) << "address reuse while live";
+      ref[*addr] = data;
+    } else if (op == 1) {
+      auto it = ref.begin();
+      std::advance(it, rng.Uniform(ref.size()));
+      ASSERT_TRUE(heap.Delete(it->first).ok());
+      ref.erase(it);
+    } else if (op == 2) {
+      auto it = ref.begin();
+      std::advance(it, rng.Uniform(ref.size()));
+      std::string data(rng.Uniform(300) + 1, char('A' + rng.Uniform(26)));
+      Status st = heap.Update(it->first, data);
+      if (st.ok()) it->second = data;
+    } else {
+      auto it = ref.begin();
+      std::advance(it, rng.Uniform(ref.size()));
+      auto got = heap.Get(it->first);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+  // Final sweep: iteration order, contents, live count.
+  EXPECT_EQ(heap.live_tuples(), ref.size());
+  auto it = ref.begin();
+  ASSERT_TRUE(heap.ForEach([&](Address addr, std::string_view bytes) {
+                    EXPECT_TRUE(it != ref.end());
+                    EXPECT_EQ(addr, it->first);
+                    EXPECT_EQ(bytes, it->second);
+                    ++it;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(it == ref.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, TableHeapFuzzTest,
+    ::testing::Combine(::testing::Values(PlacementPolicy::kFirstFit,
+                                         PlacementPolicy::kAppend,
+                                         PlacementPolicy::kRandom),
+                       ::testing::Values(11u, 42u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<PlacementPolicy, uint64_t>>& param_info) {
+      std::string name =
+          std::string(
+              PlacementPolicyToString(std::get<0>(param_info.param))) +
+          "_s" + std::to_string(std::get<1>(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,131 @@
+// Tests for TableHeap::NextLiveAfter / PrevLiveBefore — the successor and
+// predecessor scans eager annotation maintenance depends on.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/disk_manager.h"
+#include "storage/table_heap.h"
+
+namespace snapdiff {
+namespace {
+
+class NeighborsTest : public ::testing::Test {
+ protected:
+  NeighborsTest() : pool_(&disk_, 64), heap_(&pool_) {}
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+  TableHeap heap_;
+};
+
+TEST_F(NeighborsTest, EmptyHeap) {
+  auto next = heap_.NextLiveAfter(Address::Origin());
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->IsNull());
+  auto prev = heap_.PrevLiveBefore(Address::Null());
+  ASSERT_TRUE(prev.ok());
+  EXPECT_TRUE(prev->IsOrigin());
+}
+
+TEST_F(NeighborsTest, SentinelsShortCircuit) {
+  ASSERT_TRUE(heap_.Insert("x").ok());
+  auto next = heap_.NextLiveAfter(Address::Null());
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->IsNull());
+  auto prev = heap_.PrevLiveBefore(Address::Origin());
+  ASSERT_TRUE(prev.ok());
+  EXPECT_TRUE(prev->IsOrigin());
+}
+
+TEST_F(NeighborsTest, WalksAroundHoles) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 10; ++i) {
+    auto a = heap_.Insert("row" + std::to_string(i));
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  ASSERT_TRUE(heap_.Delete(addrs[4]).ok());
+  ASSERT_TRUE(heap_.Delete(addrs[5]).ok());
+
+  auto next = heap_.NextLiveAfter(addrs[3]);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, addrs[6]);
+  auto prev = heap_.PrevLiveBefore(addrs[6]);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(*prev, addrs[3]);
+}
+
+TEST_F(NeighborsTest, BoundariesOfTheTable) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < 5; ++i) {
+    auto a = heap_.Insert("r");
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  auto first = heap_.NextLiveAfter(Address::Origin());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, addrs.front());
+  auto after_last = heap_.NextLiveAfter(addrs.back());
+  ASSERT_TRUE(after_last.ok());
+  EXPECT_TRUE(after_last->IsNull());
+  auto before_first = heap_.PrevLiveBefore(addrs.front());
+  ASSERT_TRUE(before_first.ok());
+  EXPECT_TRUE(before_first->IsOrigin());
+  auto last = heap_.PrevLiveBefore(Address::Null());
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(*last, addrs.back());
+}
+
+TEST_F(NeighborsTest, CrossesPageBoundaries) {
+  // Large tuples force multiple pages.
+  const std::string big(1000, 'x');
+  std::vector<Address> addrs;
+  for (int i = 0; i < 12; ++i) {
+    auto a = heap_.Insert(big);
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  ASSERT_GT(heap_.pages().size(), 2u);
+  for (size_t i = 0; i + 1 < addrs.size(); ++i) {
+    auto next = heap_.NextLiveAfter(addrs[i]);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, addrs[i + 1]) << i;
+    auto prev = heap_.PrevLiveBefore(addrs[i + 1]);
+    ASSERT_TRUE(prev.ok());
+    EXPECT_EQ(*prev, addrs[i]) << i;
+  }
+}
+
+TEST_F(NeighborsTest, RandomizedAgainstSortedReference) {
+  Random rng(99);
+  std::set<Address> live;
+  for (int op = 0; op < 400; ++op) {
+    if (rng.Bernoulli(0.7) || live.empty()) {
+      auto a = heap_.Insert("t" + std::to_string(op));
+      ASSERT_TRUE(a.ok());
+      live.insert(*a);
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      ASSERT_TRUE(heap_.Delete(*it).ok());
+      live.erase(it);
+    }
+  }
+  // Probe neighbours of every live address and a few holes.
+  for (const Address& a : live) {
+    auto it = live.upper_bound(a);
+    auto next = heap_.NextLiveAfter(a);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, it == live.end() ? Address::Null() : *it);
+
+    auto lo = live.lower_bound(a);
+    auto prev = heap_.PrevLiveBefore(a);
+    ASSERT_TRUE(prev.ok());
+    EXPECT_EQ(*prev,
+              lo == live.begin() ? Address::Origin() : *std::prev(lo));
+  }
+}
+
+}  // namespace
+}  // namespace snapdiff

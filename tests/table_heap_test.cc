@@ -1,0 +1,212 @@
+#include "storage/table_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace snapdiff {
+namespace {
+
+class TableHeapTest : public ::testing::Test {
+ protected:
+  TableHeapTest() : pool_(&disk_, 64) {}
+
+  MemoryDiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(TableHeapTest, InsertGetRoundTrip) {
+  TableHeap heap(&pool_);
+  auto a = heap.Insert("row-one");
+  ASSERT_TRUE(a.ok());
+  auto v = heap.Get(*a);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "row-one");
+  EXPECT_EQ(heap.live_tuples(), 1u);
+}
+
+TEST_F(TableHeapTest, AddressesAreStableAcrossUpdates) {
+  TableHeap heap(&pool_);
+  auto a = heap.Insert("v1");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.Update(*a, "v2-much-longer-than-before").ok());
+  auto v = heap.Get(*a);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2-much-longer-than-before");
+}
+
+TEST_F(TableHeapTest, DeleteRemovesTuple) {
+  TableHeap heap(&pool_);
+  auto a = heap.Insert("gone");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.Delete(*a).ok());
+  EXPECT_TRUE(heap.Get(*a).status().IsNotFound());
+  auto ex = heap.Exists(*a);
+  ASSERT_TRUE(ex.ok());
+  EXPECT_FALSE(*ex);
+  EXPECT_EQ(heap.live_tuples(), 0u);
+}
+
+TEST_F(TableHeapTest, SentinelAddressesRejected) {
+  TableHeap heap(&pool_);
+  EXPECT_TRUE(heap.Get(Address::Origin()).status().IsInvalidArgument());
+  EXPECT_TRUE(heap.Delete(Address::Null()).IsInvalidArgument());
+  auto ex = heap.Exists(Address::Origin());
+  ASSERT_TRUE(ex.ok());
+  EXPECT_FALSE(*ex);
+}
+
+TEST_F(TableHeapTest, IterationIsInAddressOrder) {
+  TableHeap heap(&pool_);
+  const std::string tuple(200, 'x');
+  std::vector<Address> addrs;
+  for (int i = 0; i < 100; ++i) {
+    auto a = heap.Insert(tuple + std::to_string(i));
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  EXPECT_GT(heap.pages().size(), 1u);  // spans pages
+
+  std::vector<Address> seen;
+  ASSERT_TRUE(heap.ForEach([&](Address a, std::string_view) {
+                    seen.push_back(a);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), addrs.size());
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1], seen[i]);
+  }
+}
+
+TEST_F(TableHeapTest, IterationSkipsDeleted) {
+  TableHeap heap(&pool_);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 20; ++i) {
+    auto a = heap.Insert("t" + std::to_string(i));
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  std::set<Address> deleted;
+  for (size_t i = 0; i < addrs.size(); i += 3) {
+    ASSERT_TRUE(heap.Delete(addrs[i]).ok());
+    deleted.insert(addrs[i]);
+  }
+  size_t count = 0;
+  ASSERT_TRUE(heap.ForEach([&](Address a, std::string_view) {
+                    EXPECT_FALSE(deleted.contains(a));
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, addrs.size() - deleted.size());
+  EXPECT_EQ(heap.live_tuples(), count);
+}
+
+TEST_F(TableHeapTest, EmptyHeapIteration) {
+  TableHeap heap(&pool_);
+  auto it = heap.Begin();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+  size_t count = 0;
+  ASSERT_TRUE(heap.ForEach([&](Address, std::string_view) {
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(TableHeapTest, FirstFitReusesHoles) {
+  TableHeap heap(&pool_, PlacementPolicy::kFirstFit);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 10; ++i) {
+    auto a = heap.Insert("abcdefgh");
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  ASSERT_TRUE(heap.Delete(addrs[3]).ok());
+  auto re = heap.Insert("reused!!");
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re, addrs[3]);
+}
+
+TEST_F(TableHeapTest, AppendNeverReusesHoles) {
+  TableHeap heap(&pool_, PlacementPolicy::kAppend);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 10; ++i) {
+    auto a = heap.Insert("abcdefgh");
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  ASSERT_TRUE(heap.Delete(addrs[3]).ok());
+  auto re = heap.Insert("appended");
+  ASSERT_TRUE(re.ok());
+  EXPECT_GT(*re, addrs.back());
+}
+
+TEST_F(TableHeapTest, AppendAddressesAreMonotone) {
+  TableHeap heap(&pool_, PlacementPolicy::kAppend);
+  Address prev = Address::Origin();
+  for (int i = 0; i < 500; ++i) {
+    auto a = heap.Insert(std::string(50, char('a' + i % 26)));
+    ASSERT_TRUE(a.ok());
+    EXPECT_GT(*a, prev);
+    prev = *a;
+  }
+}
+
+TEST_F(TableHeapTest, RandomPolicyStillStoresEverything) {
+  TableHeap heap(&pool_, PlacementPolicy::kRandom, /*seed=*/99);
+  std::set<Address> addrs;
+  for (int i = 0; i < 300; ++i) {
+    auto a = heap.Insert("r" + std::to_string(i));
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(addrs.insert(*a).second) << "duplicate address";
+  }
+  size_t count = 0;
+  ASSERT_TRUE(heap.ForEach([&](Address a, std::string_view) {
+                    EXPECT_TRUE(addrs.contains(a));
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 300u);
+}
+
+TEST_F(TableHeapTest, ManyTuplesAcrossEvictions) {
+  // Pool of 8 frames, table far larger: exercises pin/unpin + eviction.
+  BufferPool small_pool(&disk_, 8);
+  TableHeap heap(&small_pool);
+  std::vector<Address> addrs;
+  for (int i = 0; i < 2000; ++i) {
+    auto a = heap.Insert("tuple-" + std::to_string(i));
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    addrs.push_back(*a);
+  }
+  for (int i = 0; i < 2000; i += 97) {
+    auto v = heap.Get(addrs[i]);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "tuple-" + std::to_string(i));
+  }
+  EXPECT_EQ(heap.live_tuples(), 2000u);
+}
+
+TEST_F(TableHeapTest, StatsTrackOperations) {
+  TableHeap heap(&pool_);
+  auto a = heap.Insert("x");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.Update(*a, "y").ok());
+  ASSERT_TRUE(heap.Delete(*a).ok());
+  EXPECT_EQ(heap.stats().inserts, 1u);
+  EXPECT_EQ(heap.stats().updates, 1u);
+  EXPECT_EQ(heap.stats().deletes, 1u);
+  EXPECT_GE(heap.stats().page_allocations, 1u);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,130 @@
+#include "catalog/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false},
+                 {"Bonus", TypeId::kDouble, true}});
+}
+
+Tuple Bruce() {
+  return Tuple(
+      {Value::String("Bruce"), Value::Int64(15), Value::Double(1.5)});
+}
+
+TEST(TupleTest, SerializeDeserializeRoundTrip) {
+  Schema s = EmpSchema();
+  Tuple t = Bruce();
+  auto bytes = t.Serialize(s);
+  ASSERT_TRUE(bytes.ok());
+  auto back = Tuple::Deserialize(s, *bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Equals(t));
+}
+
+TEST(TupleTest, NullFieldsRoundTrip) {
+  Schema s = EmpSchema();
+  Tuple t({Value::String("Ann"), Value::Int64(3),
+           Value::Null(TypeId::kDouble)});
+  auto bytes = t.Serialize(s);
+  ASSERT_TRUE(bytes.ok());
+  auto back = Tuple::Deserialize(s, *bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->value(2).is_null());
+}
+
+TEST(TupleTest, NotNullViolationRejected) {
+  Schema s = EmpSchema();
+  Tuple t({Value::Null(TypeId::kString), Value::Int64(3), Value::Double(0)});
+  EXPECT_TRUE(t.Serialize(s).status().IsInvalidArgument());
+}
+
+TEST(TupleTest, TypeMismatchRejected) {
+  Schema s = EmpSchema();
+  Tuple t({Value::Int64(1), Value::Int64(3), Value::Double(0)});
+  EXPECT_TRUE(t.Serialize(s).status().IsInvalidArgument());
+}
+
+TEST(TupleTest, ArityMismatchRejected) {
+  Schema s = EmpSchema();
+  Tuple t({Value::String("x"), Value::Int64(3)});
+  EXPECT_TRUE(t.Serialize(s).status().IsInvalidArgument());
+}
+
+TEST(TupleTest, SchemaEvolutionFillsTrailingNulls) {
+  // Serialize against the narrow schema, read with annotations appended —
+  // the funny columns come back NULL, exactly R*'s add-column trick.
+  Schema narrow = EmpSchema();
+  auto wide = narrow.WithAnnotations();
+  ASSERT_TRUE(wide.ok());
+
+  auto bytes = Bruce().Serialize(narrow);
+  ASSERT_TRUE(bytes.ok());
+  auto back = Tuple::Deserialize(*wide, *bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 5u);
+  EXPECT_EQ(back->value(0).as_string(), "Bruce");
+  EXPECT_TRUE(back->value(3).is_null());
+  EXPECT_TRUE(back->value(4).is_null());
+  EXPECT_EQ(back->value(3).type(), TypeId::kAddress);
+  EXPECT_EQ(back->value(4).type(), TypeId::kTimestamp);
+}
+
+TEST(TupleTest, WiderTupleThanSchemaIsCorruption) {
+  Schema s = EmpSchema();
+  auto bytes = Bruce().Serialize(s);
+  ASSERT_TRUE(bytes.ok());
+  Schema narrower({{"Name", TypeId::kString, false}});
+  EXPECT_TRUE(Tuple::Deserialize(narrower, *bytes).status().IsCorruption());
+}
+
+TEST(TupleTest, GetByName) {
+  Schema s = EmpSchema();
+  auto v = Bruce().Get(s, "Salary");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_int64(), 15);
+  EXPECT_TRUE(Bruce().Get(s, "Nope").status().IsNotFound());
+}
+
+TEST(TupleTest, ProjectReordersFields) {
+  Schema s = EmpSchema();
+  auto p = Bruce().Project(s, {"Salary", "Name"});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->size(), 2u);
+  EXPECT_EQ(p->value(0).as_int64(), 15);
+  EXPECT_EQ(p->value(1).as_string(), "Bruce");
+}
+
+TEST(TupleTest, TruncatedBytesAreCorruption) {
+  Schema s = EmpSchema();
+  auto bytes = Bruce().Serialize(s);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut : {size_t(1), bytes->size() / 2, bytes->size() - 1}) {
+    auto r = Tuple::Deserialize(s, std::string_view(bytes->data(), cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(TupleTest, ManyColumnsBitmapBoundary) {
+  // 9 columns crosses the one-byte bitmap boundary.
+  std::vector<Column> cols;
+  std::vector<Value> vals;
+  for (int i = 0; i < 9; ++i) {
+    cols.push_back({"c" + std::to_string(i), TypeId::kInt64, true});
+    vals.push_back(i % 2 == 0 ? Value::Int64(i) : Value::Null(TypeId::kInt64));
+  }
+  Schema s(std::move(cols));
+  Tuple t(std::move(vals));
+  auto bytes = t.Serialize(s);
+  ASSERT_TRUE(bytes.ok());
+  auto back = Tuple::Deserialize(s, *bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Equals(t));
+}
+
+}  // namespace
+}  // namespace snapdiff

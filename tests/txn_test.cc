@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "storage/disk_manager.h"
+#include "txn/lock_manager.h"
+#include "txn/timestamp_oracle.h"
+
+namespace snapdiff {
+namespace {
+
+TEST(TimestampOracleTest, MonotonicallyIncreasing) {
+  TimestampOracle oracle;
+  Timestamp prev = oracle.Next();
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp next = oracle.Next();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(TimestampOracleTest, CurrentAndPeek) {
+  TimestampOracle oracle(10);
+  EXPECT_EQ(oracle.PeekNext(), 10);
+  EXPECT_EQ(oracle.Next(), 10);
+  EXPECT_EQ(oracle.Current(), 10);
+  EXPECT_EQ(oracle.PeekNext(), 11);
+}
+
+TEST(TimestampOracleTest, CheckpointAndRecoverNeverRepeats) {
+  MemoryDiskManager disk;
+  auto page = disk.AllocatePage();
+  ASSERT_TRUE(page.ok());
+
+  TimestampOracle oracle;
+  for (int i = 0; i < 5; ++i) oracle.Next();
+  ASSERT_TRUE(oracle.Checkpoint(&disk, *page).ok());
+  // Issue more timestamps that are "lost" in the crash.
+  Timestamp last_issued = 0;
+  for (int i = 0; i < 100; ++i) last_issued = oracle.Next();
+
+  auto recovered = TimestampOracle::Recover(&disk, *page, /*skew=*/1000);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_GT(recovered->PeekNext(), last_issued);
+}
+
+TEST(TimestampOracleTest, RecoverWithoutCheckpointFails) {
+  MemoryDiskManager disk;
+  auto page = disk.AllocatePage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(
+      TimestampOracle::Recover(&disk, *page).status().IsCorruption());
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.HoldsLock(1, 10));
+  EXPECT_TRUE(lm.HoldsLock(2, 10));
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).IsAborted());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kExclusive).IsAborted());
+  EXPECT_EQ(lm.stats().conflicts, 2u);
+  // Different table is fine.
+  EXPECT_TRUE(lm.Acquire(2, 11, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, SharedBlocksExclusive) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  // Sole holder upgrades.
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.stats().upgrades, 1u);
+  // Exclusive is re-entrant for shared requests.
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeWithOtherHoldersAborts) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, ReleaseFreesLock) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Release(1, 10).ok());
+  EXPECT_FALSE(lm.IsLocked(10));
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Release(1, 10).IsNotFound());
+}
+
+TEST(LockManagerTest, ReleaseAll) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 11, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared).ok());
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.HoldsLock(1, 10));
+  EXPECT_FALSE(lm.HoldsLock(1, 11));
+  EXPECT_TRUE(lm.HoldsLock(2, 10));
+}
+
+}  // namespace
+}  // namespace snapdiff

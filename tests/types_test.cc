@@ -1,0 +1,71 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace snapdiff {
+namespace {
+
+TEST(AddressTest, OriginPrecedesEverything) {
+  Address origin = Address::Origin();
+  EXPECT_TRUE(origin.IsOrigin());
+  EXPECT_FALSE(origin.IsReal());
+  EXPECT_LT(origin, Address::FromPageSlot(0, 0));
+  EXPECT_LT(origin, Address::FromPageSlot(1000, 60000));
+}
+
+TEST(AddressTest, NullFollowsEverything) {
+  Address null = Address::Null();
+  EXPECT_TRUE(null.IsNull());
+  EXPECT_FALSE(null.IsReal());
+  EXPECT_GT(null, Address::FromPageSlot(1000000, 65000));
+}
+
+TEST(AddressTest, RoundTripsPageAndSlot) {
+  for (PageId page : {0u, 1u, 17u, 100000u}) {
+    for (SlotId slot : {0, 1, 255, 65000}) {
+      Address a = Address::FromPageSlot(page, static_cast<SlotId>(slot));
+      EXPECT_TRUE(a.IsReal());
+      EXPECT_EQ(a.page(), page);
+      EXPECT_EQ(a.slot(), slot);
+    }
+  }
+}
+
+TEST(AddressTest, OrdersByPageThenSlot) {
+  EXPECT_LT(Address::FromPageSlot(0, 5), Address::FromPageSlot(1, 0));
+  EXPECT_LT(Address::FromPageSlot(2, 3), Address::FromPageSlot(2, 4));
+  EXPECT_EQ(Address::FromPageSlot(2, 3), Address::FromPageSlot(2, 3));
+}
+
+TEST(AddressTest, DefaultConstructedIsOrigin) {
+  Address a;
+  EXPECT_TRUE(a.IsOrigin());
+}
+
+TEST(AddressTest, ToStringForms) {
+  EXPECT_EQ(Address::Origin().ToString(), "origin");
+  EXPECT_EQ(Address::Null().ToString(), "null");
+  EXPECT_EQ(Address::FromPageSlot(3, 7).ToString(), "p3.s7");
+}
+
+TEST(AddressTest, HashableDistinctValues) {
+  std::unordered_set<Address> set;
+  set.insert(Address::Origin());
+  set.insert(Address::Null());
+  for (SlotId s = 0; s < 100; ++s) set.insert(Address::FromPageSlot(1, s));
+  EXPECT_EQ(set.size(), 102u);
+}
+
+TEST(AddressTest, RawRoundTrip) {
+  Address a = Address::FromPageSlot(42, 17);
+  EXPECT_EQ(Address::FromRaw(a.raw()), a);
+}
+
+TEST(TimestampTest, NullSentinelBelowMin) {
+  EXPECT_LT(kNullTimestamp, kMinTimestamp);
+}
+
+}  // namespace
+}  // namespace snapdiff

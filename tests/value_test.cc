@@ -1,0 +1,111 @@
+#include "catalog/value.h"
+
+#include <gtest/gtest.h>
+
+namespace snapdiff {
+namespace {
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).as_bool(), true);
+  EXPECT_EQ(Value::Int64(-7).as_int64(), -7);
+  EXPECT_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("hi").as_string(), "hi");
+  EXPECT_EQ(Value::Ts(42).as_timestamp(), 42);
+  EXPECT_EQ(Value::Addr(Address::FromPageSlot(1, 2)).as_address(),
+            Address::FromPageSlot(1, 2));
+}
+
+TEST(ValueTest, NullSentinelsMapToSqlNull) {
+  EXPECT_TRUE(Value::Ts(kNullTimestamp).is_null());
+  EXPECT_TRUE(Value::Addr(Address::Null()).is_null());
+  // And back.
+  EXPECT_EQ(Value::Null(TypeId::kTimestamp).as_timestamp(), kNullTimestamp);
+  EXPECT_TRUE(Value::Null(TypeId::kAddress).as_address().IsNull());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  auto c1 = Value::Int64(3).Compare(Value::Double(3.5));
+  ASSERT_TRUE(c1.ok());
+  EXPECT_LT(*c1, 0);
+  auto c2 = Value::Double(4.0).Compare(Value::Int64(4));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, 0);
+}
+
+TEST(ValueTest, Int64ComparisonIsExact) {
+  const int64_t big = (1LL << 62) + 1;
+  auto c = Value::Int64(big).Compare(Value::Int64(big - 1));
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  auto c = Value::String("abc").Compare(Value::String("abd"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  auto eq = Value::String("x").Compare(Value::String("x"));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, 0);
+}
+
+TEST(ValueTest, IncomparableTypesError) {
+  EXPECT_TRUE(
+      Value::String("a").Compare(Value::Int64(1)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Value::Bool(true).Compare(Value::Ts(1)).status().IsInvalidArgument());
+}
+
+TEST(ValueTest, NullComparisonErrors) {
+  EXPECT_TRUE(Value::Null(TypeId::kInt64)
+                  .Compare(Value::Int64(1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ValueTest, EqualsTreatsSameTypeNullsEqual) {
+  EXPECT_TRUE(Value::Null(TypeId::kInt64).Equals(Value::Null(TypeId::kInt64)));
+  EXPECT_FALSE(
+      Value::Null(TypeId::kInt64).Equals(Value::Null(TypeId::kString)));
+  EXPECT_FALSE(Value::Null(TypeId::kInt64).Equals(Value::Int64(0)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null(TypeId::kString).ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int64(12).ToString(), "12");
+  EXPECT_EQ(Value::String("s").ToString(), "'s'");
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  const Value values[] = {
+      Value::Bool(true),
+      Value::Int64(-123456789),
+      Value::Double(3.14159),
+      Value::String("hello\0world"),
+      Value::Ts(999),
+      Value::Addr(Address::FromPageSlot(7, 9)),
+      Value::Null(TypeId::kBool),
+      Value::Null(TypeId::kString),
+      Value::Null(TypeId::kAddress),
+  };
+  std::string buf;
+  for (const Value& v : values) v.SerializeTo(&buf);
+  std::string_view in = buf;
+  for (const Value& v : values) {
+    auto got = Value::DeserializeFrom(&in);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->Equals(v)) << got->ToString() << " vs " << v.ToString();
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(ValueTest, DeserializeRejectsGarbage) {
+  std::string_view empty;
+  EXPECT_TRUE(Value::DeserializeFrom(&empty).status().IsCorruption());
+  std::string bad = "\x37\x00garbage";
+  std::string_view in = bad;
+  EXPECT_TRUE(Value::DeserializeFrom(&in).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace snapdiff
