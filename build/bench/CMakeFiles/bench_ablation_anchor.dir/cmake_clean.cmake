@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anchor.dir/bench_ablation_anchor.cc.o"
+  "CMakeFiles/bench_ablation_anchor.dir/bench_ablation_anchor.cc.o.d"
+  "bench_ablation_anchor"
+  "bench_ablation_anchor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anchor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_base_op_overhead.dir/bench_base_op_overhead.cc.o"
+  "CMakeFiles/bench_base_op_overhead.dir/bench_base_op_overhead.cc.o.d"
+  "bench_base_op_overhead"
+  "bench_base_op_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_base_op_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

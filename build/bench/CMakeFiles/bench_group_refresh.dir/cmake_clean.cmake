@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_refresh.dir/bench_group_refresh.cc.o"
+  "CMakeFiles/bench_group_refresh.dir/bench_group_refresh.cc.o.d"
+  "bench_group_refresh"
+  "bench_group_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

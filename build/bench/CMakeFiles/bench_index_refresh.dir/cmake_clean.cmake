@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_refresh.dir/bench_index_refresh.cc.o"
+  "CMakeFiles/bench_index_refresh.dir/bench_index_refresh.cc.o.d"
+  "bench_index_refresh"
+  "bench_index_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

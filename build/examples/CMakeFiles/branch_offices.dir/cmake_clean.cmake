@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_offices.dir/branch_offices.cpp.o"
+  "CMakeFiles/branch_offices.dir/branch_offices.cpp.o.d"
+  "branch_offices"
+  "branch_offices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_offices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

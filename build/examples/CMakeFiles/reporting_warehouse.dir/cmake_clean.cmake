@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporting_warehouse.dir/reporting_warehouse.cpp.o"
+  "CMakeFiles/reporting_warehouse.dir/reporting_warehouse.cpp.o.d"
+  "reporting_warehouse"
+  "reporting_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporting_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

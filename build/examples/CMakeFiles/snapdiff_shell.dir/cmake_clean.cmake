@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_shell.dir/snapdiff_shell.cpp.o"
+  "CMakeFiles/snapdiff_shell.dir/snapdiff_shell.cpp.o.d"
+  "snapdiff_shell"
+  "snapdiff_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("catalog")
+subdirs("expr")
+subdirs("txn")
+subdirs("wal")
+subdirs("index")
+subdirs("net")
+subdirs("analysis")
+subdirs("snapshot")
+subdirs("sim")

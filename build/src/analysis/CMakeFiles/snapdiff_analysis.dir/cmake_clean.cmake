@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_analysis.dir/analytic_model.cc.o"
+  "CMakeFiles/snapdiff_analysis.dir/analytic_model.cc.o.d"
+  "libsnapdiff_analysis.a"
+  "libsnapdiff_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

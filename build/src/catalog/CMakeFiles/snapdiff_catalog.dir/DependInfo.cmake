@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/catalog.cc.o" "gcc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/catalog.cc.o.d"
+  "/root/repo/src/catalog/catalog_persistence.cc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/catalog_persistence.cc.o" "gcc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/catalog_persistence.cc.o.d"
+  "/root/repo/src/catalog/key_encoding.cc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/key_encoding.cc.o" "gcc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/key_encoding.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/schema.cc.o" "gcc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/schema.cc.o.d"
+  "/root/repo/src/catalog/tuple.cc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/tuple.cc.o" "gcc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/tuple.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/value.cc.o" "gcc" "src/catalog/CMakeFiles/snapdiff_catalog.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snapdiff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/snapdiff_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

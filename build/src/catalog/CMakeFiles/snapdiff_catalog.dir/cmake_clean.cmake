@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_catalog.dir/catalog.cc.o"
+  "CMakeFiles/snapdiff_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/snapdiff_catalog.dir/catalog_persistence.cc.o"
+  "CMakeFiles/snapdiff_catalog.dir/catalog_persistence.cc.o.d"
+  "CMakeFiles/snapdiff_catalog.dir/key_encoding.cc.o"
+  "CMakeFiles/snapdiff_catalog.dir/key_encoding.cc.o.d"
+  "CMakeFiles/snapdiff_catalog.dir/schema.cc.o"
+  "CMakeFiles/snapdiff_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/snapdiff_catalog.dir/tuple.cc.o"
+  "CMakeFiles/snapdiff_catalog.dir/tuple.cc.o.d"
+  "CMakeFiles/snapdiff_catalog.dir/value.cc.o"
+  "CMakeFiles/snapdiff_catalog.dir/value.cc.o.d"
+  "libsnapdiff_catalog.a"
+  "libsnapdiff_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

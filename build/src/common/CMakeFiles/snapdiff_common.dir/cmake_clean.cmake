@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_common.dir/random.cc.o"
+  "CMakeFiles/snapdiff_common.dir/random.cc.o.d"
+  "CMakeFiles/snapdiff_common.dir/status.cc.o"
+  "CMakeFiles/snapdiff_common.dir/status.cc.o.d"
+  "CMakeFiles/snapdiff_common.dir/types.cc.o"
+  "CMakeFiles/snapdiff_common.dir/types.cc.o.d"
+  "libsnapdiff_common.a"
+  "libsnapdiff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

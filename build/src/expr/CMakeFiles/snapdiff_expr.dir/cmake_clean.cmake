@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_expr.dir/expr.cc.o"
+  "CMakeFiles/snapdiff_expr.dir/expr.cc.o.d"
+  "CMakeFiles/snapdiff_expr.dir/parser.cc.o"
+  "CMakeFiles/snapdiff_expr.dir/parser.cc.o.d"
+  "CMakeFiles/snapdiff_expr.dir/range_analysis.cc.o"
+  "CMakeFiles/snapdiff_expr.dir/range_analysis.cc.o.d"
+  "libsnapdiff_expr.a"
+  "libsnapdiff_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

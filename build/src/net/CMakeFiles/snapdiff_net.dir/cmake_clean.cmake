@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_net.dir/channel.cc.o"
+  "CMakeFiles/snapdiff_net.dir/channel.cc.o.d"
+  "CMakeFiles/snapdiff_net.dir/message.cc.o"
+  "CMakeFiles/snapdiff_net.dir/message.cc.o.d"
+  "libsnapdiff_net.a"
+  "libsnapdiff_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

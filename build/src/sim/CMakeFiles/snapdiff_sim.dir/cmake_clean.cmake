@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_sim.dir/experiment.cc.o"
+  "CMakeFiles/snapdiff_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/snapdiff_sim.dir/workload.cc.o"
+  "CMakeFiles/snapdiff_sim.dir/workload.cc.o.d"
+  "libsnapdiff_sim.a"
+  "libsnapdiff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snapshot/asap.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/asap.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/asap.cc.o.d"
+  "/root/repo/src/snapshot/base_table.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/base_table.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/base_table.cc.o.d"
+  "/root/repo/src/snapshot/dense_table.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/dense_table.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/dense_table.cc.o.d"
+  "/root/repo/src/snapshot/differential_refresh.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/differential_refresh.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/differential_refresh.cc.o.d"
+  "/root/repo/src/snapshot/empty_region_table.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/empty_region_table.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/empty_region_table.cc.o.d"
+  "/root/repo/src/snapshot/full_refresh.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/full_refresh.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/full_refresh.cc.o.d"
+  "/root/repo/src/snapshot/ideal_refresh.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/ideal_refresh.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/ideal_refresh.cc.o.d"
+  "/root/repo/src/snapshot/join_refresh.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/join_refresh.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/join_refresh.cc.o.d"
+  "/root/repo/src/snapshot/log_refresh.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/log_refresh.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/log_refresh.cc.o.d"
+  "/root/repo/src/snapshot/planner.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/planner.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/planner.cc.o.d"
+  "/root/repo/src/snapshot/refresh_types.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/refresh_types.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/refresh_types.cc.o.d"
+  "/root/repo/src/snapshot/secondary_index.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/secondary_index.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/secondary_index.cc.o.d"
+  "/root/repo/src/snapshot/snapshot_manager.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/snapshot_manager.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/snapshot_manager.cc.o.d"
+  "/root/repo/src/snapshot/snapshot_table.cc" "src/snapshot/CMakeFiles/snapdiff_core.dir/snapshot_table.cc.o" "gcc" "src/snapshot/CMakeFiles/snapdiff_core.dir/snapshot_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/snapdiff_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/snapdiff_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/snapdiff_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snapdiff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/snapdiff_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/snapdiff_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/snapdiff_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snapdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

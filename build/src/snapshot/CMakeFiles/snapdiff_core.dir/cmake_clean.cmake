@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_core.dir/asap.cc.o"
+  "CMakeFiles/snapdiff_core.dir/asap.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/base_table.cc.o"
+  "CMakeFiles/snapdiff_core.dir/base_table.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/dense_table.cc.o"
+  "CMakeFiles/snapdiff_core.dir/dense_table.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/differential_refresh.cc.o"
+  "CMakeFiles/snapdiff_core.dir/differential_refresh.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/empty_region_table.cc.o"
+  "CMakeFiles/snapdiff_core.dir/empty_region_table.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/full_refresh.cc.o"
+  "CMakeFiles/snapdiff_core.dir/full_refresh.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/ideal_refresh.cc.o"
+  "CMakeFiles/snapdiff_core.dir/ideal_refresh.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/join_refresh.cc.o"
+  "CMakeFiles/snapdiff_core.dir/join_refresh.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/log_refresh.cc.o"
+  "CMakeFiles/snapdiff_core.dir/log_refresh.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/planner.cc.o"
+  "CMakeFiles/snapdiff_core.dir/planner.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/refresh_types.cc.o"
+  "CMakeFiles/snapdiff_core.dir/refresh_types.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/secondary_index.cc.o"
+  "CMakeFiles/snapdiff_core.dir/secondary_index.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/snapshot_manager.cc.o"
+  "CMakeFiles/snapdiff_core.dir/snapshot_manager.cc.o.d"
+  "CMakeFiles/snapdiff_core.dir/snapshot_table.cc.o"
+  "CMakeFiles/snapdiff_core.dir/snapshot_table.cc.o.d"
+  "libsnapdiff_core.a"
+  "libsnapdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

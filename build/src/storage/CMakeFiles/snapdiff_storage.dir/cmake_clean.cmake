@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/snapdiff_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/snapdiff_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/snapdiff_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/snapdiff_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/snapdiff_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/snapdiff_storage.dir/table_heap.cc.o"
+  "CMakeFiles/snapdiff_storage.dir/table_heap.cc.o.d"
+  "libsnapdiff_storage.a"
+  "libsnapdiff_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/snapdiff_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/snapdiff_txn.dir/timestamp_oracle.cc.o"
+  "CMakeFiles/snapdiff_txn.dir/timestamp_oracle.cc.o.d"
+  "libsnapdiff_txn.a"
+  "libsnapdiff_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

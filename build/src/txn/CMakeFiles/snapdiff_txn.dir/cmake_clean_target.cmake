@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnapdiff_txn.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapdiff_wal.dir/log_manager.cc.o"
+  "CMakeFiles/snapdiff_wal.dir/log_manager.cc.o.d"
+  "CMakeFiles/snapdiff_wal.dir/log_record.cc.o"
+  "CMakeFiles/snapdiff_wal.dir/log_record.cc.o.d"
+  "libsnapdiff_wal.a"
+  "libsnapdiff_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapdiff_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

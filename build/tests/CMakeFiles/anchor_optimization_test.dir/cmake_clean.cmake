@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_optimization_test.dir/anchor_optimization_test.cc.o"
+  "CMakeFiles/anchor_optimization_test.dir/anchor_optimization_test.cc.o.d"
+  "anchor_optimization_test"
+  "anchor_optimization_test.pdb"
+  "anchor_optimization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_optimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_persistence_test.dir/catalog_persistence_test.cc.o"
+  "CMakeFiles/catalog_persistence_test.dir/catalog_persistence_test.cc.o.d"
+  "catalog_persistence_test"
+  "catalog_persistence_test.pdb"
+  "catalog_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

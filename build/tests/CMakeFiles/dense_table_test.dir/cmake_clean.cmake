@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_table_test.dir/dense_table_test.cc.o"
+  "CMakeFiles/dense_table_test.dir/dense_table_test.cc.o.d"
+  "dense_table_test"
+  "dense_table_test.pdb"
+  "dense_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

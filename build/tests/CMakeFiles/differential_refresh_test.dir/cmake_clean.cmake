@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_refresh_test.dir/differential_refresh_test.cc.o"
+  "CMakeFiles/differential_refresh_test.dir/differential_refresh_test.cc.o.d"
+  "differential_refresh_test"
+  "differential_refresh_test.pdb"
+  "differential_refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_system_test.dir/durable_system_test.cc.o"
+  "CMakeFiles/durable_system_test.dir/durable_system_test.cc.o.d"
+  "durable_system_test"
+  "durable_system_test.pdb"
+  "durable_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empty_region_test.dir/empty_region_test.cc.o"
+  "CMakeFiles/empty_region_test.dir/empty_region_test.cc.o.d"
+  "empty_region_test"
+  "empty_region_test.pdb"
+  "empty_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empty_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_refresh_test.dir/group_refresh_test.cc.o"
+  "CMakeFiles/group_refresh_test.dir/group_refresh_test.cc.o.d"
+  "group_refresh_test"
+  "group_refresh_test.pdb"
+  "group_refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_snapshot_test.dir/join_snapshot_test.cc.o"
+  "CMakeFiles/join_snapshot_test.dir/join_snapshot_test.cc.o.d"
+  "join_snapshot_test"
+  "join_snapshot_test.pdb"
+  "join_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_comparison_test.dir/method_comparison_test.cc.o"
+  "CMakeFiles/method_comparison_test.dir/method_comparison_test.cc.o.d"
+  "method_comparison_test"
+  "method_comparison_test.pdb"
+  "method_comparison_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_site_test.dir/multi_site_test.cc.o"
+  "CMakeFiles/multi_site_test.dir/multi_site_test.cc.o.d"
+  "multi_site_test"
+  "multi_site_test.pdb"
+  "multi_site_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

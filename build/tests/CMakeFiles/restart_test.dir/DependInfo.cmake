@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/restart_test.cc" "tests/CMakeFiles/restart_test.dir/restart_test.cc.o" "gcc" "tests/CMakeFiles/restart_test.dir/restart_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snapshot/CMakeFiles/snapdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/snapdiff_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/snapdiff_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/snapdiff_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snapdiff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/snapdiff_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/snapdiff_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/snapdiff_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snapdiff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

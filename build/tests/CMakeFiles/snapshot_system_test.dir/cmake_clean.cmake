@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_system_test.dir/snapshot_system_test.cc.o"
+  "CMakeFiles/snapshot_system_test.dir/snapshot_system_test.cc.o.d"
+  "snapshot_system_test"
+  "snapshot_system_test.pdb"
+  "snapshot_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_heap_neighbors_test.dir/table_heap_neighbors_test.cc.o"
+  "CMakeFiles/table_heap_neighbors_test.dir/table_heap_neighbors_test.cc.o.d"
+  "table_heap_neighbors_test"
+  "table_heap_neighbors_test.pdb"
+  "table_heap_neighbors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_heap_neighbors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
