@@ -33,5 +33,8 @@ int main(int argc, char** argv) {
   std::fputs(snapdiff::RenderFigureTable(*points).c_str(), stdout);
   std::fputs("\nCSV:\n", stdout);
   std::fputs(snapdiff::RenderFigureCsv(*points).c_str(), stdout);
+  std::fputs("\nMetrics (accumulated over the run):\n", stdout);
+  std::fputs(snapdiff::RenderMetricsDump().c_str(), stdout);
+  std::fputs("\n", stdout);
   return 0;
 }

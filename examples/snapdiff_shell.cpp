@@ -11,6 +11,9 @@
 //   delete emp p0.s1
 //   refresh low
 //   stats
+//   \metrics            (system-wide metrics, Prometheus text; add `json`)
+//   \trace              (phase timeline of the last refresh)
+//   \loglevel debug     (structured logging to stderr; `off` to silence)
 //   quit
 //
 // Try piping a script in:
@@ -23,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "snapshot/snapshot_manager.h"
 
 using namespace snapdiff;
@@ -146,6 +151,9 @@ class Shell {
     if (tok[0] == "refresh") return Refresh(tok);
     if (tok[0] == "show") return Show(tok);
     if (tok[0] == "stats") return Stats();
+    if (tok[0] == "\\metrics") return Metrics(tok);
+    if (tok[0] == "\\trace") return Trace();
+    if (tok[0] == "\\loglevel") return SetLogLevel(tok);
     return Status::InvalidArgument("unknown command: " + tok[0]);
   }
 
@@ -258,6 +266,37 @@ class Shell {
         static_cast<unsigned long long>(s.control_messages),
         static_cast<unsigned long long>(s.frames),
         static_cast<unsigned long long>(s.wire_bytes));
+    return Status::OK();
+  }
+
+  Status Metrics(const std::vector<std::string>& tok) {
+    // \metrics [json] — dump the process-wide registry.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const bool json = tok.size() > 1 && tok[1] == "json";
+    std::fputs((json ? reg.ExportJson() : reg.ExportPrometheus()).c_str(),
+               stdout);
+    return Status::OK();
+  }
+
+  Status Trace() {
+    const obs::Tracer& tracer = sys_.tracer();
+    if (tracer.spans().empty()) {
+      std::printf("no refresh traced yet\n");
+      return Status::OK();
+    }
+    std::fputs(tracer.Report().c_str(), stdout);
+    return Status::OK();
+  }
+
+  Status SetLogLevel(const std::vector<std::string>& tok) {
+    if (tok.size() != 2) {
+      return Status::InvalidArgument(
+          "usage: \\loglevel trace|debug|info|warn|error|off");
+    }
+    ASSIGN_OR_RETURN(obs::LogLevel level, obs::ParseLogLevel(tok[1]));
+    obs::Logger::Global().SetLevel(level);
+    std::printf("log level set to %s\n",
+                std::string(obs::LogLevelName(level)).c_str());
     return Status::OK();
   }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-merge check: configure with AddressSanitizer + UndefinedBehaviorSanitizer,
+# build everything, and run the full test suite. A separate build tree
+# (build-asan/) keeps the sanitized artifacts out of the regular build/.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNAPDIFF_SANITIZE=address,undefined
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

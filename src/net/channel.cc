@@ -1,5 +1,7 @@
 #include "net/channel.h"
 
+#include "obs/log.h"
+
 namespace snapdiff {
 
 ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
@@ -15,15 +17,47 @@ ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
   return d;
 }
 
-Channel::Channel(ChannelOptions options) : options_(options) {}
+ChannelStats& operator+=(ChannelStats& a, const ChannelStats& b) {
+  a.messages += b.messages;
+  a.entry_messages += b.entry_messages;
+  a.delete_messages += b.delete_messages;
+  a.control_messages += b.control_messages;
+  a.payload_bytes += b.payload_bytes;
+  a.wire_bytes += b.wire_bytes;
+  a.frames += b.frames;
+  a.send_failures += b.send_failures;
+  return a;
+}
+
+ChannelStats operator+(const ChannelStats& a, const ChannelStats& b) {
+  ChannelStats sum = a;
+  sum += b;
+  return sum;
+}
+
+Channel::Channel(ChannelOptions options) : options_(std::move(options)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const std::string& p = options_.metrics_prefix;
+  metrics_.messages = reg.GetCounter(p + ".messages");
+  metrics_.entry_messages = reg.GetCounter(p + ".entry_messages");
+  metrics_.delete_messages = reg.GetCounter(p + ".delete_messages");
+  metrics_.control_messages = reg.GetCounter(p + ".control_messages");
+  metrics_.payload_bytes = reg.GetCounter(p + ".payload_bytes");
+  metrics_.wire_bytes = reg.GetCounter(p + ".wire_bytes");
+  metrics_.frames = reg.GetCounter(p + ".frames");
+  metrics_.send_failures = reg.GetCounter(p + ".send_failures");
+}
 
 Status Channel::Send(const Message& msg) {
   if (fail_after_.has_value() && *fail_after_ == 0) {
     partitioned_ = true;  // the injected link loss persists until healed
     fail_after_.reset();
+    SNAPDIFF_LOG(Warn) << "injected link loss fired"
+                       << obs::kv("channel", options_.metrics_prefix);
   }
   if (partitioned_) {
     ++stats_.send_failures;
+    metrics_.send_failures->Inc();
     return Status::Unavailable("channel partitioned");
   }
   if (fail_after_.has_value()) --*fail_after_;
@@ -31,26 +65,35 @@ Status Channel::Send(const Message& msg) {
   msg.SerializeTo(&bytes);
 
   ++stats_.messages;
+  metrics_.messages->Inc();
   switch (msg.type) {
     case MessageType::kEntry:
     case MessageType::kUpsert:
       ++stats_.entry_messages;
+      metrics_.entry_messages->Inc();
       break;
     case MessageType::kDelete:
     case MessageType::kDeleteRange:
       ++stats_.delete_messages;
+      metrics_.delete_messages->Inc();
       break;
     default:
       ++stats_.control_messages;
+      metrics_.control_messages->Inc();
       break;
   }
   stats_.payload_bytes += bytes.size();
+  metrics_.payload_bytes->Inc(bytes.size());
   stats_.wire_bytes += bytes.size() + options_.per_message_overhead_bytes;
+  metrics_.wire_bytes->Inc(bytes.size() +
+                           options_.per_message_overhead_bytes);
 
   // Frame accounting: opening a fresh frame pays the header.
   if (open_frame_messages_ == 0) {
     ++stats_.frames;
+    metrics_.frames->Inc();
     stats_.wire_bytes += options_.frame_header_bytes;
+    metrics_.wire_bytes->Inc(options_.frame_header_bytes);
   }
   if (++open_frame_messages_ >= options_.blocking_factor) {
     open_frame_messages_ = 0;

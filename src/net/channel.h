@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 
 namespace snapdiff {
 
@@ -19,6 +20,11 @@ struct ChannelOptions {
   size_t blocking_factor = 32;
   size_t frame_header_bytes = 64;
   size_t per_message_overhead_bytes = 8;
+  /// Instrument family this link reports into (MetricsRegistry::Default()).
+  /// Channels sharing a prefix aggregate; SnapshotSystem separates its data
+  /// links ("net.channel.data") from the demand link
+  /// ("net.channel.request") so refresh traffic can be traced in isolation.
+  std::string metrics_prefix = "net.channel.data";
 };
 
 /// Traffic meters. `messages` counts logical protocol messages — the unit
@@ -37,6 +43,8 @@ struct ChannelStats {
 };
 
 ChannelStats operator-(const ChannelStats& a, const ChannelStats& b);
+ChannelStats operator+(const ChannelStats& a, const ChannelStats& b);
+ChannelStats& operator+=(ChannelStats& a, const ChannelStats& b);
 
 /// A simulated, metered, in-process unidirectional link between the base
 /// site and a snapshot site. Messages are serialized on Send and
@@ -75,11 +83,31 @@ class Channel {
   void FailAfterSends(uint64_t n) { fail_after_ = n; }
 
   const ChannelStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ChannelStats{}; }
+  /// Zeroes the meters AND closes the open frame, so the next send starts a
+  /// fresh frame: a reset is a clean measurement baseline (otherwise the
+  /// first messages after a mid-frame reset would ride a frame the meters
+  /// never saw, undercounting frames/wire bytes).
+  void ResetStats() {
+    stats_ = ChannelStats{};
+    FlushFrame();
+  }
   const ChannelOptions& options() const { return options_; }
 
  private:
+  /// Per-counter instruments mirrored into MetricsRegistry::Default().
+  struct Instruments {
+    obs::Counter* messages;
+    obs::Counter* entry_messages;
+    obs::Counter* delete_messages;
+    obs::Counter* control_messages;
+    obs::Counter* payload_bytes;
+    obs::Counter* wire_bytes;
+    obs::Counter* frames;
+    obs::Counter* send_failures;
+  };
+
   ChannelOptions options_;
+  Instruments metrics_;
   std::deque<std::string> queue_;
   size_t open_frame_messages_ = 0;
   bool partitioned_ = false;

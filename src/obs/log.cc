@@ -1,0 +1,110 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <iostream>
+
+namespace snapdiff {
+namespace obs {
+
+namespace {
+
+/// Strips the directory part so log lines stay short.
+std::string_view Basename(std::string_view path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+/// Values with spaces (or empty values) are quoted so the key=value stream
+/// stays splittable.
+void AppendFieldValue(std::string* out, const std::string& value) {
+  if (!value.empty() && value.find_first_of(" \t\"") == std::string::npos) {
+    *out += value;
+    return;
+  }
+  *out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Result<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return Status::InvalidArgument(
+      "unknown log level '" + std::string(text) +
+      "' (trace|debug|info|warn|error|off)");
+}
+
+std::string FormatLogEntry(const LogEntry& entry) {
+  std::string out;
+  out += LogLevelName(entry.level);
+  out += ' ';
+  out += Basename(entry.file);
+  out += ':';
+  out += std::to_string(entry.line);
+  if (!entry.message.empty()) {
+    out += ' ';
+    out += entry.message;
+  }
+  for (const auto& [key, value] : entry.fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    AppendFieldValue(&out, value);
+  }
+  return out;
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // never destroyed: logging must
+  return *logger;                        // outlive static destructors
+}
+
+void Logger::SetSink(LogSink sink) {
+  std::lock_guard<std::mutex> guard(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Emit(const LogEntry& entry) {
+  std::lock_guard<std::mutex> guard(sink_mu_);
+  if (sink_) {
+    sink_(entry);
+  } else {
+    std::cerr << FormatLogEntry(entry) << '\n';
+  }
+}
+
+}  // namespace obs
+}  // namespace snapdiff

@@ -1,0 +1,156 @@
+#ifndef SNAPDIFF_OBS_LOG_H_
+#define SNAPDIFF_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace snapdiff {
+namespace obs {
+
+/// Severity order matters: a message is emitted when its level is >= the
+/// logger's threshold. kOff silences everything (the default, so tests and
+/// benchmarks stay quiet unless observability is asked for).
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive).
+Result<LogLevel> ParseLogLevel(std::string_view text);
+
+/// One emitted log event: the free-text message plus the structured
+/// key=value fields attached with kv().
+struct LogEntry {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+using LogSink = std::function<void(const LogEntry&)>;
+
+/// Renders "LEVEL file:line message key=value ..." — the default sink's
+/// format, also usable by custom sinks.
+std::string FormatLogEntry(const LogEntry& entry);
+
+/// Process-wide leveled logger. Level checks are a single relaxed atomic
+/// load, so disabled log statements cost nothing but a branch; the sink is
+/// swapped under a mutex (Emit holds it too, keeping lines unscrambled when
+/// several threads log).
+class Logger {
+ public:
+  static Logger& Global();
+
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return level != LogLevel::kOff &&
+           static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces where entries go; a null sink restores the default (stderr).
+  void SetSink(LogSink sink);
+
+  void Emit(const LogEntry& entry);
+
+ private:
+  Logger() = default;
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kOff)};
+  std::mutex sink_mu_;
+  LogSink sink_;  // null = stderr
+};
+
+/// A structured field. Stream it into SNAPDIFF_LOG to attach `key=value`
+/// instead of growing the free-text message:
+///   SNAPDIFF_LOG(Info) << "refresh done" << kv("snapshot", name)
+///                      << kv("messages", n);
+struct Field {
+  std::string key;
+  std::string value;
+};
+
+template <typename T>
+Field kv(std::string key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  return Field{std::move(key), os.str()};
+}
+inline Field kv(std::string key, bool value) {
+  return Field{std::move(key), value ? "true" : "false"};
+}
+
+/// Accumulates one log statement and emits it on destruction (end of the
+/// full-expression), like the CHECK machinery in common/logging.h.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) {
+    entry_.level = level;
+    entry_.file = file;
+    entry_.line = line;
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    entry_.message = stream_.str();
+    Logger::Global().Emit(entry_);
+  }
+
+  LogMessage& operator<<(Field field) {
+    entry_.fields.push_back({std::move(field.key), std::move(field.value)});
+    return *this;
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogEntry entry_;
+  std::ostringstream stream_;
+};
+
+}  // namespace obs
+}  // namespace snapdiff
+
+/// Leveled structured logging. Usage:
+///   SNAPDIFF_LOG(Info) << "message" << snapdiff::obs::kv("key", value);
+/// The statement is skipped (arguments unevaluated) when the level is
+/// filtered out.
+#define SNAPDIFF_LOG(severity)                                            \
+  switch (0)                                                              \
+  case 0:                                                                 \
+  default:                                                                \
+    if (!::snapdiff::obs::Logger::Global().Enabled(                       \
+            ::snapdiff::obs::LogLevel::k##severity))                      \
+      ;                                                                   \
+    else                                                                  \
+      ::snapdiff::obs::LogMessage(::snapdiff::obs::LogLevel::k##severity, \
+                                  __FILE__, __LINE__)
+
+#endif  // SNAPDIFF_OBS_LOG_H_

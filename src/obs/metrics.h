@@ -1,0 +1,133 @@
+#ifndef SNAPDIFF_OBS_METRICS_H_
+#define SNAPDIFF_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snapdiff {
+namespace obs {
+
+/// A monotonically increasing counter. Updates are relaxed atomics — cheap
+/// enough for hot paths (buffer pool hits, channel sends) and safe to bump
+/// from several threads.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time signed value (queue depth, staleness, row count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket latency/size histogram, Prometheus-style: `bounds` are
+/// inclusive upper bounds, an implicit +Inf bucket catches the rest.
+/// Observations are atomic per bucket; bucket counts are NOT cumulative in
+/// memory (the Prometheus export cumulates them, as its format requires).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the +Inf bucket).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default buckets for microsecond latencies: 1us .. ~16s, powers of 4.
+std::vector<double> DefaultLatencyBucketsUs();
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  // bounds.size() + 1 entries, last = +Inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A consistent-enough copy of every instrument's value at one moment.
+/// Detached from the registry: later updates do not alter a snapshot.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Names instruments and owns them for the life of the registry. Lookup
+/// takes a mutex; the returned pointers are stable, so hot paths resolve
+/// their instruments once (typically in a constructor) and then touch only
+/// the atomics. Instrument names use dotted lowercase
+/// ("storage.buffer_pool.hits"); the Prometheus export mangles dots to
+/// underscores and prefixes "snapdiff_".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Default();
+
+  /// Finds or creates. A name denotes one instrument: several components
+  /// sharing a name aggregate into it (e.g. every Channel feeds the same
+  /// "net.channel.data.*" family).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first creation; later calls return the
+  /// existing histogram regardless of bounds.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string ExportJson() const;
+
+  /// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
+  /// series with cumulative le labels).
+  std::string ExportPrometheus() const;
+
+  /// Zeroes every instrument; registered pointers stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: values never move, so handed-out pointers survive
+  // later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_OBS_METRICS_H_

@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace snapdiff {
+namespace obs {
+
+uint64_t Tracer::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+void Tracer::Begin(std::string name) {
+  spans_.clear();
+  start_counters_.clear();
+  open_stack_.clear();
+  name_ = std::move(name);
+  duration_us_ = 0;
+  t0_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+void Tracer::End() {
+  if (!active_) return;
+  while (!open_stack_.empty()) CloseSpan(open_stack_.back());
+  duration_us_ = NowUs();
+  active_ = false;
+}
+
+int Tracer::OpenSpan(std::string name) {
+  if (!active_) return -1;
+  TraceSpan span;
+  span.name = std::move(name);
+  span.depth = static_cast<int>(open_stack_.size());
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.start_us = NowUs();
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  start_counters_.push_back(registry_->Snapshot().counters);
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Tracer::CloseSpan(int index) {
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+  // LIFO discipline: closing a span closes anything opened inside it that
+  // is still open (e.g. an error return unwound past a nested Span).
+  while (!open_stack_.empty()) {
+    const int top = open_stack_.back();
+    open_stack_.pop_back();
+    TraceSpan& span = spans_[top];
+    span.duration_us = NowUs() - span.start_us;
+    const std::map<std::string, uint64_t> now = registry_->Snapshot().counters;
+    const std::map<std::string, uint64_t>& before = start_counters_[top];
+    for (const auto& [name, value] : now) {
+      auto it = before.find(name);
+      const uint64_t delta = value - (it == before.end() ? 0 : it->second);
+      if (delta != 0) span.counter_deltas[name] = delta;
+    }
+    if (top == index) break;
+  }
+}
+
+uint64_t Tracer::SumTopLevelDelta(const std::string& counter) const {
+  uint64_t sum = 0;
+  for (const TraceSpan& span : spans_) {
+    if (span.depth != 0) continue;
+    auto it = span.counter_deltas.find(counter);
+    if (it != span.counter_deltas.end()) sum += it->second;
+  }
+  return sum;
+}
+
+std::string Tracer::Report() const {
+  std::string out = "trace: " + name_;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), " (%llu us, %zu spans)\n",
+                static_cast<unsigned long long>(duration_us_), spans_.size());
+  out += buf;
+  for (const TraceSpan& span : spans_) {
+    std::snprintf(buf, sizeof(buf), "  %*s%-24s %8llu us",
+                  2 * span.depth, "", span.name.c_str(),
+                  static_cast<unsigned long long>(span.duration_us));
+    out += buf;
+    for (const auto& [key, value] : span.notes) {
+      out += "  " + key + "=" + value;
+    }
+    out += '\n';
+    for (const auto& [name, delta] : span.counter_deltas) {
+      std::snprintf(buf, sizeof(buf), "  %*s  +%llu %s\n", 2 * span.depth,
+                    "", static_cast<unsigned long long>(delta), name.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace snapdiff

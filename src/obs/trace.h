@@ -1,0 +1,141 @@
+#ifndef SNAPDIFF_OBS_TRACE_H_
+#define SNAPDIFF_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace snapdiff {
+namespace obs {
+
+/// One phase of a traced operation. Spans nest (depth/parent); top-level
+/// spans (depth 0) partition the operation, so their counter deltas sum to
+/// the operation's total — that is the reconciliation property the refresh
+/// tests assert against RefreshStats.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;
+  int parent = -1;  // index into Tracer::spans(); -1 = top level
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  /// Registry counters that moved while the span was open (deltas, nonzero
+  /// only). Nested spans' movement is included in their ancestors.
+  std::map<std::string, uint64_t> counter_deltas;
+  /// Free-form annotations (row counts, decisions taken).
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// Records one operation (a refresh) as a timeline of named phases, each
+/// carrying wall-clock duration and the delta of every registry counter
+/// that moved. Single-threaded by design, like the simulation it measures:
+/// one trace is open at a time, spans close LIFO.
+///
+/// Usage:
+///   tracer.Begin("refresh emp_low");
+///   { Tracer::Span s(&tracer, "scan"); ... s.Note("rows", 120); }
+///   { Tracer::Span s(&tracer, "apply"); ... }
+///   tracer.End();
+///   std::string report = tracer.Report();
+///
+/// The finished trace stays readable (spans()/Report()) until the next
+/// Begin().
+class Tracer {
+ public:
+  explicit Tracer(MetricsRegistry* registry = &MetricsRegistry::Default())
+      : registry_(registry) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a new trace, discarding the previous one. Implicitly closes any
+  /// spans left open (error-path exits).
+  void Begin(std::string name);
+
+  /// Finishes the trace; open spans are closed first.
+  void End();
+
+  /// RAII phase marker. Closes on destruction (or explicitly via Close()).
+  /// A null tracer makes every operation a no-op, so code paths that are
+  /// only sometimes traced need no branching at the call site.
+  class Span {
+   public:
+    Span(Tracer* tracer, std::string name)
+        : tracer_(tracer),
+          index_(tracer != nullptr ? tracer->OpenSpan(std::move(name)) : -1) {
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    ~Span() { Close(); }
+
+    /// Attaches key=value to the span (stringified like obs::kv).
+    template <typename T>
+    void Note(std::string key, const T& value) {
+      if (index_ >= 0) tracer_->NoteSpan(index_, std::move(key), value);
+    }
+
+    void Close() {
+      if (index_ >= 0) tracer_->CloseSpan(index_);
+      index_ = -1;
+    }
+
+   private:
+    Tracer* tracer_;
+    int index_;
+  };
+
+  bool active() const { return active_; }
+  /// Name of the current (or last finished) trace.
+  const std::string& name() const { return name_; }
+  /// Spans of the current (or last finished) trace, in open order.
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// Total wall-clock of the last finished trace.
+  uint64_t duration_us() const { return duration_us_; }
+
+  /// Sum of `counter`'s deltas over top-level spans — the reconciliation
+  /// quantity (nested spans are excluded; their movement is already in
+  /// their top-level ancestor).
+  uint64_t SumTopLevelDelta(const std::string& counter) const;
+
+  /// Human-readable per-refresh timeline: indented phases with durations
+  /// and the counters each moved.
+  std::string Report() const;
+
+ private:
+  friend class Span;
+
+  int OpenSpan(std::string name);
+  void CloseSpan(int index);
+
+  template <typename T>
+  void NoteSpan(int index, std::string key, const T& value) {
+    if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+    std::ostringstream os;
+    os << value;
+    spans_[index].notes.push_back({std::move(key), os.str()});
+  }
+
+  uint64_t NowUs() const;
+
+  MetricsRegistry* registry_;
+  bool active_ = false;
+  std::string name_;
+  std::vector<TraceSpan> spans_;
+  std::vector<int> open_stack_;  // indexes of open spans, innermost last
+  // Counter snapshot taken when spans_[i] opened (parallel to spans_).
+  std::vector<std::map<std::string, uint64_t>> start_counters_;
+  std::chrono::steady_clock::time_point t0_;
+  uint64_t duration_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_OBS_TRACE_H_

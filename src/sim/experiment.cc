@@ -6,6 +6,7 @@
 #include <map>
 
 #include "analysis/analytic_model.h"
+#include "obs/metrics.h"
 
 namespace snapdiff {
 
@@ -153,6 +154,11 @@ std::string RenderFigureCsv(const std::vector<FigurePoint>& points) {
     out += buf;
   }
   return out;
+}
+
+std::string RenderMetricsDump(bool prometheus) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  return prometheus ? reg.ExportPrometheus() : reg.ExportJson();
 }
 
 }  // namespace snapdiff

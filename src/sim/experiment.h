@@ -49,6 +49,12 @@ std::string RenderFigureTable(const std::vector<FigurePoint>& points);
 /// Renders a CSV (for replotting).
 std::string RenderFigureCsv(const std::vector<FigurePoint>& points);
 
+/// The system-wide metrics accumulated over the experiment run (every
+/// refresh feeds obs::MetricsRegistry::Default()), as JSON or Prometheus
+/// text — appended to harness output so a run doubles as an
+/// observability dump.
+std::string RenderMetricsDump(bool prometheus = false);
+
 }  // namespace snapdiff
 
 #endif  // SNAPDIFF_SIM_EXPERIMENT_H_

@@ -1,6 +1,7 @@
 #include "snapshot/asap.h"
 
 #include "common/logging.h"
+#include "obs/log.h"
 
 namespace snapdiff {
 
@@ -13,6 +14,11 @@ AsapPropagator::AsapPropagator(SnapshotDescriptor* desc, BaseTable* base,
   auto projected = base->user_schema().Project(desc->projection);
   SNAPDIFF_CHECK(projected.ok()) << projected.status().ToString();
   projected_schema_ = std::move(projected).value();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_propagated_ = reg.GetCounter("snapshot.asap.propagated");
+  metric_buffered_ = reg.GetCounter("snapshot.asap.buffered");
+  metric_rejected_ = reg.GetCounter("snapshot.asap.rejected");
+  metric_buffer_depth_ = reg.GetGauge("snapshot.asap.buffer_depth");
 }
 
 Result<bool> AsapPropagator::Qualifies(const Tuple& user_row) const {
@@ -24,15 +30,21 @@ void AsapPropagator::Propagate(Message msg) {
   Status sent = channel_->Send(msg);
   if (sent.ok()) {
     ++stats_.propagated;
+    metric_propagated_->Inc();
     return;
   }
   if (buffer_on_partition_) {
     buffer_.push_back(std::move(msg));
     ++stats_.buffered;
+    metric_buffered_->Inc();
+    metric_buffer_depth_->Set(static_cast<int64_t>(buffer_.size()));
     stats_.buffered_high_water =
         std::max<uint64_t>(stats_.buffered_high_water, buffer_.size());
   } else {
     ++stats_.rejected;
+    metric_rejected_->Inc();
+    SNAPDIFF_LOG(Warn) << "asap change rejected while partitioned"
+                       << obs::kv("snapshot", desc_->name);
   }
 }
 
@@ -40,7 +52,9 @@ Status AsapPropagator::FlushBuffered() {
   while (!buffer_.empty()) {
     RETURN_IF_ERROR(channel_->Send(buffer_.front()));
     ++stats_.propagated;
+    metric_propagated_->Inc();
     buffer_.pop_front();
+    metric_buffer_depth_->Set(static_cast<int64_t>(buffer_.size()));
   }
   return Status::OK();
 }

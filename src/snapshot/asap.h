@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
 #include "snapshot/base_table.h"
 #include "snapshot/refresh_types.h"
 
@@ -36,7 +37,10 @@ class AsapPropagator : public TableObserver {
   Status FlushBuffered();
 
   /// Drops buffered changes (used when a full copy subsumes them).
-  void DiscardBuffered() { buffer_.clear(); }
+  void DiscardBuffered() {
+    buffer_.clear();
+    metric_buffer_depth_->Set(0);
+  }
 
   size_t buffered() const { return buffer_.size(); }
   const Stats& stats() const { return stats_; }
@@ -58,6 +62,10 @@ class AsapPropagator : public TableObserver {
   Schema projected_schema_;
   std::deque<Message> buffer_;
   Stats stats_;
+  obs::Counter* metric_propagated_;
+  obs::Counter* metric_buffered_;
+  obs::Counter* metric_rejected_;
+  obs::Gauge* metric_buffer_depth_;
 };
 
 }  // namespace snapdiff

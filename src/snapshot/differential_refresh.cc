@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
+
 namespace snapdiff {
 
 namespace {
@@ -19,7 +21,7 @@ struct MemberState {
 
 Status ExecuteGroupDifferentialRefresh(
     BaseTable* base, std::vector<GroupRefreshMember>* members,
-    Channel* channel) {
+    Channel* channel, obs::Tracer* tracer) {
   if (base->mode() == AnnotationMode::kNone) {
     return Status::InvalidArgument(
         "differential refresh requires annotation columns");
@@ -54,6 +56,7 @@ Status ExecuteGroupDifferentialRefresh(
   // observable result is identical because the scan reads each entry once.)
   std::vector<PendingWrite> repairs;
 
+  obs::Tracer::Span scan_span(tracer, "scan+transmit");
   Status scan_status = base->ScanAnnotated([&](Address addr,
                                                const BaseTable::AnnotatedRow&
                                                    row) -> Status {
@@ -156,26 +159,42 @@ Status ExecuteGroupDifferentialRefresh(
     return Status::OK();
   });
   RETURN_IF_ERROR(scan_status);
+  if (!states.empty()) {
+    scan_span.Note("entries", states[0].member.stats->entries_scanned);
+  }
+  scan_span.Note("repairs", repairs.size());
+  scan_span.Close();
 
+  obs::Tracer::Span fixup_span(tracer, "fixup-writes");
   for (const PendingWrite& w : repairs) {
     RETURN_IF_ERROR(base->WriteAnnotations(w.addr, w.prev, w.ts));
     for (MemberState& state : states) ++state.member.stats->base_writes;
   }
 
+  fixup_span.Close();
+
   // "Handle deletions at end of BaseTable" + transmit the new SnapTime,
   // once per member.
+  obs::Tracer::Span end_span(tracer, "end-of-refresh");
   for (MemberState& state : states) {
     RETURN_IF_ERROR(channel->Send(MakeEndOfRefresh(
         state.member.desc->id, state.last_qual, fixup_time)));
+    SNAPDIFF_LOG(Debug)
+        << "differential refresh transmitted"
+        << obs::kv("snapshot", state.member.desc->name)
+        << obs::kv("entries_scanned", state.member.stats->entries_scanned)
+        << obs::kv("fixups_inserted", state.member.stats->fixups_inserted)
+        << obs::kv("fixups_updated", state.member.stats->fixups_updated)
+        << obs::kv("fixups_deleted", state.member.stats->fixups_deleted);
   }
   return Status::OK();
 }
 
 Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                   Timestamp snap_time, Channel* channel,
-                                  RefreshStats* stats) {
+                                  RefreshStats* stats, obs::Tracer* tracer) {
   std::vector<GroupRefreshMember> members{{desc, snap_time, stats}};
-  return ExecuteGroupDifferentialRefresh(base, &members, channel);
+  return ExecuteGroupDifferentialRefresh(base, &members, channel, tracer);
 }
 
 }  // namespace snapdiff

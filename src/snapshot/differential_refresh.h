@@ -2,6 +2,7 @@
 #define SNAPDIFF_SNAPSHOT_DIFFERENTIAL_REFRESH_H_
 
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "snapshot/base_table.h"
 #include "snapshot/refresh_types.h"
 
@@ -28,9 +29,12 @@ namespace snapdiff {
 /// `snap_time` is the SnapTime from the refresh request. On success the new
 /// SnapTime (= the fix-up timestamp) has been transmitted in the closing
 /// message and recorded in stats->new_snap_time.
+/// `tracer`, when given, receives nested spans (scan+transmit,
+/// fixup-writes, end-of-refresh) under the caller's current phase.
 Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                   Timestamp snap_time, Channel* channel,
-                                  RefreshStats* stats);
+                                  RefreshStats* stats,
+                                  obs::Tracer* tracer = nullptr);
 
 /// One member of a group refresh: a snapshot being served, its SnapTime
 /// from the refresh request, and where to accumulate its meters.
@@ -49,7 +53,8 @@ struct GroupRefreshMember {
 Status ExecuteGroupDifferentialRefresh(BaseTable* base,
                                        std::vector<GroupRefreshMember>*
                                            members,
-                                       Channel* channel);
+                                       Channel* channel,
+                                       obs::Tracer* tracer = nullptr);
 
 }  // namespace snapdiff
 

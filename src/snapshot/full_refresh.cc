@@ -21,12 +21,16 @@ Status TransmitRow(BaseTable* base, SnapshotDescriptor* desc,
 }  // namespace
 
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                          Channel* channel, RefreshStats* stats) {
+                          Channel* channel, RefreshStats* stats,
+                          obs::Tracer* tracer) {
   ASSIGN_OR_RETURN(Schema projected_schema,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
 
-  RETURN_IF_ERROR(channel->Send(MakeClear(desc->id)));
+  {
+    obs::Tracer::Span clear_span(tracer, "clear");
+    RETURN_IF_ERROR(channel->Send(MakeClear(desc->id)));
+  }
 
   // "When an efficient method for applying the snapshot restriction is
   // available (e.g., an index), the base table sequential scan may be more
@@ -39,8 +43,10 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
       range.has_value() ? base->FindSecondaryIndex(range->column) : nullptr;
 
   if (index != nullptr) {
+    obs::Tracer::Span span(tracer, "index-select+transmit");
     ASSIGN_OR_RETURN(std::vector<Address> addresses,
                      index->SelectRange(*range));
+    span.Note("candidates", addresses.size());
     for (Address addr : addresses) {
       ++stats->base_reads;
       ASSIGN_OR_RETURN(Tuple user_row, base->ReadUserRow(addr));
@@ -54,6 +60,7 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                   user_row, channel));
     }
   } else {
+    obs::Tracer::Span span(tracer, "scan+transmit");
     RETURN_IF_ERROR(base->ScanAnnotated(
         [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
           ++stats->entries_scanned;
@@ -67,6 +74,7 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
   }
 
   // No positional tail semantics: the snapshot was cleared up front.
+  obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
       channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
   return Status::OK();

@@ -2,6 +2,7 @@
 #define SNAPDIFF_SNAPSHOT_FULL_REFRESH_H_
 
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "snapshot/base_table.h"
 #include "snapshot/refresh_types.h"
 
@@ -10,8 +11,11 @@ namespace snapdiff {
 /// The baseline "simplest method": clear the snapshot, then transmit every
 /// entry that satisfies the restriction. Costs q·N messages regardless of
 /// update activity, but leaves base-table operations completely untouched.
+/// `tracer`, when given, receives nested spans (clear, scan/index-select,
+/// end-of-refresh) under the caller's current phase.
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                          Channel* channel, RefreshStats* stats);
+                          Channel* channel, RefreshStats* stats,
+                          obs::Tracer* tracer = nullptr);
 
 }  // namespace snapdiff
 

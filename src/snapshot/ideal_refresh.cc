@@ -5,12 +5,14 @@
 namespace snapdiff {
 
 Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                           Channel* channel, RefreshStats* stats) {
+                           Channel* channel, RefreshStats* stats,
+                           obs::Tracer* tracer) {
   ASSIGN_OR_RETURN(Schema projected_schema,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
 
   // Current qualified projection.
+  obs::Tracer::Span scan_span(tracer, "scan");
   std::map<Address, std::string> current;
   RETURN_IF_ERROR(base->ScanAnnotated(
       [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
@@ -28,7 +30,11 @@ Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
         return Status::OK();
       }));
 
+  scan_span.Note("qualified", current.size());
+  scan_span.Close();
+
   // Ship the exact difference against the last-refresh shadow.
+  obs::Tracer::Span diff_span(tracer, "diff+transmit");
   for (const auto& [addr, payload] : current) {
     auto it = desc->ideal_shadow.find(addr);
     if (it == desc->ideal_shadow.end() || it->second != payload) {
@@ -40,8 +46,11 @@ Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
       RETURN_IF_ERROR(channel->Send(MakeDeleteMsg(desc->id, addr)));
     }
   }
+  diff_span.Close();
+  obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
       channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
+  end_span.Close();
   // Only now is the transmission complete; committing the shadow earlier
   // would silently lose the delta if a send failed mid-stream (the failed
   // refresh must remain retryable).

@@ -2,6 +2,7 @@
 #define SNAPDIFF_SNAPSHOT_IDEAL_REFRESH_H_
 
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "snapshot/base_table.h"
 #include "snapshot/refresh_types.h"
 
@@ -15,7 +16,8 @@ namespace snapdiff {
 /// per row that left the qualified set. The shadow's cost is deliberately
 /// *not* metered — no implementable method gets this information for free.
 Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                           Channel* channel, RefreshStats* stats);
+                           Channel* channel, RefreshStats* stats,
+                           obs::Tracer* tracer = nullptr);
 
 }  // namespace snapdiff
 

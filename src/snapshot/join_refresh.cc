@@ -96,12 +96,16 @@ Status EvaluateJoin(
 }  // namespace
 
 Status ExecuteJoinFullRefresh(JoinDescriptor* desc, Channel* channel,
-                              RefreshStats* stats) {
+                              RefreshStats* stats, obs::Tracer* tracer) {
   ASSIGN_OR_RETURN(Schema projected_schema,
                    desc->combined_schema.Project(desc->projection));
   const Timestamp now = desc->left->oracle()->Next();
 
-  RETURN_IF_ERROR(channel->Send(MakeClear(desc->id)));
+  {
+    obs::Tracer::Span clear_span(tracer, "clear");
+    RETURN_IF_ERROR(channel->Send(MakeClear(desc->id)));
+  }
+  obs::Tracer::Span join_span(tracer, "join+transmit");
   RETURN_IF_ERROR(EvaluateJoin(
       desc, stats,
       [&](uint64_t ordinal, const Tuple& projected) -> Status {
@@ -110,6 +114,8 @@ Status ExecuteJoinFullRefresh(JoinDescriptor* desc, Channel* channel,
         return channel->Send(MakeUpsert(desc->id, Address::FromRaw(ordinal),
                                         std::move(payload)));
       }));
+  join_span.Close();
+  obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
       channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
   return Status::OK();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "snapshot/base_table.h"
 #include "snapshot/refresh_types.h"
 
@@ -45,7 +46,8 @@ Result<Schema> BuildJoinSchema(BaseTable* left, BaseTable* right,
 /// result row + END_OF_REFRESH. Result rows are keyed by a dense synthetic
 /// ordinal (join results have no single base address).
 Status ExecuteJoinFullRefresh(JoinDescriptor* desc, Channel* channel,
-                              RefreshStats* stats);
+                              RefreshStats* stats,
+                              obs::Tracer* tracer = nullptr);
 
 /// Recomputes the expected join-snapshot contents (verification helper;
 /// keyed by the same synthetic ordinals ExecuteJoinFullRefresh assigns).

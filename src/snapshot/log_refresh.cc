@@ -1,11 +1,13 @@
 #include "snapshot/log_refresh.h"
 
+#include "obs/log.h"
 #include "snapshot/full_refresh.h"
 
 namespace snapdiff {
 
 Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                              Channel* channel, RefreshStats* stats) {
+                              Channel* channel, RefreshStats* stats,
+                              obs::Tracer* tracer) {
   if (base->wal() == nullptr) {
     return Status::InvalidArgument(
         "log-based refresh requires a recovery log");
@@ -14,16 +16,23 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
 
+  obs::Tracer::Span cull_span(tracer, "cull");
   CullStats cull;
   auto changes = base->wal()->CollectCommittedChanges(
       base->info()->id, desc->last_refresh_lsn, &cull);
   stats->log_records_culled += cull.records_scanned;
+  cull_span.Note("records_scanned", cull.records_scanned);
+  cull_span.Note("relevant", cull.relevant_records);
+  cull_span.Close();
   if (!changes.ok()) {
     if (!changes.status().IsOutOfRange()) return changes.status();
     // Log truncated past our last refresh: "one could bound the buffering
     // required and transmit the entire (restricted) base table".
     stats->fell_back_to_full = true;
-    RETURN_IF_ERROR(ExecuteFullRefresh(base, desc, channel, stats));
+    SNAPDIFF_LOG(Warn) << "log truncated past last refresh; falling back"
+                       << obs::kv("snapshot", desc->name)
+                       << obs::kv("last_refresh_lsn", desc->last_refresh_lsn);
+    RETURN_IF_ERROR(ExecuteFullRefresh(base, desc, channel, stats, tracer));
     desc->last_refresh_lsn = base->wal()->LastLsn();
     return Status::OK();
   }
@@ -35,6 +44,7 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
     return EvaluatePredicate(*desc->restriction, row, base->user_schema());
   };
 
+  obs::Tracer::Span transmit_span(tracer, "transmit");
   for (const auto& [addr, change] : *changes) {
     ASSIGN_OR_RETURN(bool before_q, qualifies(change.before));
     ASSIGN_OR_RETURN(bool after_q, qualifies(change.after));
@@ -51,8 +61,11 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
       RETURN_IF_ERROR(channel->Send(MakeDeleteMsg(desc->id, addr)));
     }
   }
+  transmit_span.Close();
+  obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
       channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
+  end_span.Close();
   // Advance the log position only once the transmission is complete, so a
   // mid-stream failure leaves the refresh retryable from the same point.
   desc->last_refresh_lsn = base->wal()->LastLsn();

@@ -2,6 +2,7 @@
 #define SNAPDIFF_SNAPSHOT_LOG_REFRESH_H_
 
 #include "net/channel.h"
+#include "obs/trace.h"
 #include "snapshot/base_table.h"
 #include "snapshot/refresh_types.h"
 
@@ -19,7 +20,8 @@ namespace snapdiff {
 ///     the entire (restricted) base table is retransmitted instead
 ///     (stats->fell_back_to_full).
 Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                              Channel* channel, RefreshStats* stats);
+                              Channel* channel, RefreshStats* stats,
+                              obs::Tracer* tracer = nullptr);
 
 }  // namespace snapdiff
 

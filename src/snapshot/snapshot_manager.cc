@@ -2,6 +2,7 @@
 
 #include "catalog/catalog_persistence.h"
 #include "common/logging.h"
+#include "obs/log.h"
 #include "expr/parser.h"
 #include "snapshot/differential_refresh.h"
 #include "snapshot/full_refresh.h"
@@ -28,6 +29,23 @@ std::unique_ptr<DiskManager> MakeBaseDisk(
   return std::move(*disk);
 }
 
+/// The base site's demand link and the per-site data links get distinct
+/// metric prefixes so a data link's counters reconcile exactly with
+/// RefreshStats::traffic (request traffic would otherwise pollute them).
+ChannelOptions WithMetricsPrefix(ChannelOptions options, const char* prefix) {
+  options.metrics_prefix = prefix;
+  return options;
+}
+
+/// Ends the trace on every exit path (error returns included) without
+/// clobbering an explicit End() on the success path.
+struct TraceEndGuard {
+  obs::Tracer* tracer;
+  ~TraceEndGuard() {
+    if (tracer->active()) tracer->End();
+  }
+};
+
 }  // namespace
 
 SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
@@ -35,9 +53,17 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
       base_disk_(MakeBaseDisk(options)),
       base_pool_(base_disk_.get(), options.base_pool_pages),
       base_catalog_(&base_pool_),
-      request_channel_(options.channel) {
-  sites_.emplace("main", std::make_unique<SnapshotSite>(
-                             options_.snap_pool_pages, options_.channel));
+      request_channel_(
+          WithMetricsPrefix(options.channel, "net.channel.request")) {
+  sites_.emplace("main",
+                 std::make_unique<SnapshotSite>(
+                     options_.snap_pool_pages,
+                     WithMetricsPrefix(options_.channel, "net.channel.data")));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_refreshes_ = reg.GetCounter("snapshot.refresh.count");
+  metric_refresh_duration_ = reg.GetHistogram(
+      "snapshot.refresh.duration_us", obs::DefaultLatencyBucketsUs());
+  metric_snapshot_count_ = reg.GetGauge("snapshot.count");
   if (options_.enable_wal) wal_ = std::make_unique<LogManager>();
   if (!options_.base_data_path.empty()) {
     if (base_disk_->page_count() == 0) {
@@ -114,8 +140,9 @@ Status SnapshotSystem::AddSnapshotSite(const std::string& site_name) {
     return Status::AlreadyExists("site " + site_name + " already exists");
   }
   sites_.emplace(site_name,
-                 std::make_unique<SnapshotSite>(options_.snap_pool_pages,
-                                                options_.channel));
+                 std::make_unique<SnapshotSite>(
+                     options_.snap_pool_pages,
+                     WithMetricsPrefix(options_.channel, "net.channel.data")));
   return Status::OK();
 }
 
@@ -236,6 +263,12 @@ Result<SnapshotTable*> SnapshotSystem::CreateSnapshot(
         options.asap_buffer_on_partition);
     source->AddObserver(it->second.asap.get());
   }
+  metric_snapshot_count_->Set(static_cast<int64_t>(snapshots_.size()));
+  SNAPDIFF_LOG(Info) << "snapshot created"
+                     << obs::kv("name", snapshot_name)
+                     << obs::kv("source", source_name)
+                     << obs::kv("method",
+                                RefreshMethodToString(options.method));
   return it->second.table.get();
 }
 
@@ -305,6 +338,7 @@ Result<SnapshotTable*> SnapshotSystem::CreateJoinSnapshot(
   auto [it, inserted] = snapshots_.emplace(snapshot_name, std::move(entry));
   SNAPDIFF_CHECK(inserted);
   snapshots_by_id_[it->second.descriptor.id] = &it->second;
+  metric_snapshot_count_->Set(static_cast<int64_t>(snapshots_.size()));
   return it->second.table.get();
 }
 
@@ -319,6 +353,7 @@ Status SnapshotSystem::DropSnapshot(const std::string& snapshot_name) {
   snapshots_by_id_.erase(it->second.descriptor.id);
   RETURN_IF_ERROR(it->second.site->catalog.DropTable(snapshot_name));
   snapshots_.erase(it);
+  metric_snapshot_count_->Set(static_cast<int64_t>(snapshots_.size()));
   return Status::OK();
 }
 
@@ -365,13 +400,21 @@ Result<RefreshStats> SnapshotSystem::Refresh(
   SnapshotTable* snap = entry->table.get();
   RefreshStats stats;
 
+  tracer_.Begin("refresh " + snapshot_name);
+  TraceEndGuard trace_guard{&tracer_};
+
   // Deliver anything still in flight (ASAP streams) before measuring.
-  RETURN_IF_ERROR(DrainChannel());
+  {
+    obs::Tracer::Span drain_span(&tracer_, "drain");
+    RETURN_IF_ERROR(DrainChannel());
+  }
 
   // The demand: snapshot → base, carrying SnapTime + restriction.
+  obs::Tracer::Span request_span(&tracer_, "request");
   RETURN_IF_ERROR(request_channel_.Send(MakeRefreshRequest(
       desc->id, snap->snap_time(), desc->restriction_text)));
   ASSIGN_OR_RETURN(Message request, request_channel_.Receive());
+  request_span.Close();
 
   if (entry->join != nullptr) {
     // General (join) snapshot: re-evaluate under shared locks on both
@@ -388,10 +431,13 @@ Result<RefreshStats> SnapshotSystem::Refresh(
     }
     Channel* jchannel = &entry->site->channel;
     const ChannelStats jbefore = jchannel->stats();
-    Status jexec = ExecuteJoinFullRefresh(join, jchannel, &stats);
+    obs::Tracer::Span jexec_span(&tracer_, "execute join-full");
+    Status jexec = ExecuteJoinFullRefresh(join, jchannel, &stats, &tracer_);
     locks_.ReleaseAll(jtxn);
     RETURN_IF_ERROR(jexec);
     stats.traffic = jchannel->stats() - jbefore;
+    jexec_span.Close();
+    obs::Tracer::Span japply_span(&tracer_, "apply");
     while (jchannel->HasPending()) {
       ASSIGN_OR_RETURN(Message msg, jchannel->Receive());
       auto it = snapshots_by_id_.find(msg.snapshot_id);
@@ -399,6 +445,8 @@ Result<RefreshStats> SnapshotSystem::Refresh(
       RefreshStats* apply_stats = it->second == entry ? &stats : nullptr;
       RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
     }
+    japply_span.Close();
+    FinishRefreshTrace(snapshot_name, *desc, *snap, stats);
     return stats;
   }
 
@@ -412,20 +460,23 @@ Result<RefreshStats> SnapshotSystem::Refresh(
 
   Channel* channel = &entry->site->channel;
   const ChannelStats before = channel->stats();
+  obs::Tracer::Span exec_span(
+      &tracer_,
+      std::string("execute ").append(RefreshMethodToString(desc->method)));
   Status exec = Status::OK();
   switch (desc->method) {
     case RefreshMethod::kFull:
-      exec = ExecuteFullRefresh(base, desc, channel, &stats);
+      exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_);
       break;
     case RefreshMethod::kDifferential:
       exec = ExecuteDifferentialRefresh(base, desc, request.timestamp,
-                                        channel, &stats);
+                                        channel, &stats, &tracer_);
       break;
     case RefreshMethod::kIdeal:
-      exec = ExecuteIdealRefresh(base, desc, channel, &stats);
+      exec = ExecuteIdealRefresh(base, desc, channel, &stats, &tracer_);
       break;
     case RefreshMethod::kLogBased:
-      exec = ExecuteLogBasedRefresh(base, desc, channel, &stats);
+      exec = ExecuteLogBasedRefresh(base, desc, channel, &stats, &tracer_);
       break;
     case RefreshMethod::kAsap: {
       if (snap->snap_time() == kNullTimestamp) {
@@ -433,7 +484,7 @@ Result<RefreshStats> SnapshotSystem::Refresh(
         // made before the snapshot existed were never streamed. Anything
         // the propagator buffered is subsumed by the copy.
         if (entry->asap != nullptr) entry->asap->DiscardBuffered();
-        exec = ExecuteFullRefresh(base, desc, channel, &stats);
+        exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_);
         break;
       }
       // Thereafter changes are already streamed; flush any partition
@@ -450,8 +501,11 @@ Result<RefreshStats> SnapshotSystem::Refresh(
   RETURN_IF_ERROR(exec);
   RETURN_IF_ERROR(unlock);
   stats.traffic = channel->stats() - before;
+  exec_span.Close();
 
   // Snapshot site: receive and apply.
+  obs::Tracer::Span apply_span(&tracer_, "apply");
+  uint64_t applied = 0;
   while (channel->HasPending()) {
     ASSIGN_OR_RETURN(Message msg, channel->Receive());
     auto it = snapshots_by_id_.find(msg.snapshot_id);
@@ -459,8 +513,33 @@ Result<RefreshStats> SnapshotSystem::Refresh(
     RefreshStats* apply_stats =
         it->second == entry ? &stats : nullptr;
     RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
+    ++applied;
   }
+  apply_span.Note("messages", applied);
+  apply_span.Close();
+  FinishRefreshTrace(snapshot_name, *desc, *snap, stats);
   return stats;
+}
+
+void SnapshotSystem::FinishRefreshTrace(const std::string& snapshot_name,
+                                        const SnapshotDescriptor& desc,
+                                        const SnapshotTable& snap,
+                                        const RefreshStats& stats) {
+  tracer_.End();
+  metric_refreshes_->Inc();
+  metric_refresh_duration_->Observe(
+      static_cast<double>(tracer_.duration_us()));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("snapshot." + snapshot_name + ".refreshes")->Inc();
+  const int64_t staleness = static_cast<int64_t>(base_oracle_.Current()) -
+                            static_cast<int64_t>(snap.snap_time());
+  reg.GetGauge("snapshot." + snapshot_name + ".staleness")->Set(staleness);
+  SNAPDIFF_LOG(Info) << "refresh complete"
+                     << obs::kv("snapshot", snapshot_name)
+                     << obs::kv("method", RefreshMethodToString(desc.method))
+                     << obs::kv("messages", stats.traffic.messages)
+                     << obs::kv("wire_bytes", stats.traffic.wire_bytes)
+                     << obs::kv("duration_us", tracer_.duration_us());
 }
 
 Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
@@ -494,11 +573,18 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
     entries.push_back(entry);
   }
 
-  RETURN_IF_ERROR(DrainChannel());
+  tracer_.Begin("refresh-group");
+  TraceEndGuard trace_guard{&tracer_};
+
+  {
+    obs::Tracer::Span drain_span(&tracer_, "drain");
+    RETURN_IF_ERROR(DrainChannel());
+  }
 
   std::map<std::string, RefreshStats> results;
   std::vector<GroupRefreshMember> members;
   members.reserve(entries.size());
+  obs::Tracer::Span request_span(&tracer_, "request");
   for (SnapshotEntry* entry : entries) {
     RETURN_IF_ERROR(request_channel_.Send(
         MakeRefreshRequest(entry->descriptor.id, entry->table->snap_time(),
@@ -508,19 +594,25 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
     members.push_back(
         {&entry->descriptor, request.timestamp, &stats});
   }
+  request_span.Note("members", members.size());
+  request_span.Close();
 
   const TxnId txn = refresh_txn_++;
   RETURN_IF_ERROR(locks_.Acquire(txn, base->info()->id,
                                  LockMode::kExclusive));
   Channel* channel = &group_site->channel;
   const ChannelStats before = channel->stats();
-  Status exec = ExecuteGroupDifferentialRefresh(base, &members, channel);
+  obs::Tracer::Span exec_span(&tracer_, "execute group-differential");
+  Status exec =
+      ExecuteGroupDifferentialRefresh(base, &members, channel, &tracer_);
   Status unlock = locks_.Release(txn, base->info()->id);
   RETURN_IF_ERROR(exec);
   RETURN_IF_ERROR(unlock);
   const ChannelStats total = channel->stats() - before;
+  exec_span.Close();
 
   // Receive and apply, attributing message counts per snapshot.
+  obs::Tracer::Span apply_span(&tracer_, "apply");
   while (channel->HasPending()) {
     ASSIGN_OR_RETURN(Message msg, channel->Receive());
     auto it = snapshots_by_id_.find(msg.snapshot_id);
@@ -550,6 +642,33 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
     }
     RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, stats));
   }
+  apply_span.Close();
+
+  tracer_.End();
+  metric_refresh_duration_->Observe(
+      static_cast<double>(tracer_.duration_us()));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  // The per-member traffic attributions sum (via ChannelStats::operator+=)
+  // to the burst's data-message totals; frames/wire_bytes are whole-burst
+  // figures repeated per member, so the burst total is reported separately.
+  ChannelStats attributed;
+  for (SnapshotEntry* entry : entries) {
+    metric_refreshes_->Inc();
+    const std::string& name = entry->descriptor.name;
+    reg.GetCounter("snapshot." + name + ".refreshes")->Inc();
+    const int64_t staleness =
+        static_cast<int64_t>(base_oracle_.Current()) -
+        static_cast<int64_t>(entry->table->snap_time());
+    reg.GetGauge("snapshot." + name + ".staleness")->Set(staleness);
+    attributed += results[name].traffic;
+  }
+  SNAPDIFF_LOG(Info) << "group refresh complete"
+                     << obs::kv("members", entries.size())
+                     << obs::kv("attributed_messages", attributed.messages)
+                     << obs::kv("attributed_payload_bytes",
+                                attributed.payload_bytes)
+                     << obs::kv("burst_wire_bytes", total.wire_bytes)
+                     << obs::kv("duration_us", tracer_.duration_us());
   return results;
 }
 

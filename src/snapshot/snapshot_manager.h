@@ -10,6 +10,8 @@
 
 #include "catalog/catalog.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "snapshot/asap.h"
 #include "snapshot/base_table.h"
 #include "snapshot/join_refresh.h"
@@ -161,6 +163,9 @@ class SnapshotSystem {
 
   /// The default site's base → snapshot channel (meters, injection).
   Channel* data_channel();
+  /// Trace of the most recent Refresh/RefreshGroup: named phases with
+  /// wall-clock and the registry counters each moved (see obs::Tracer).
+  const obs::Tracer& tracer() const { return tracer_; }
   /// A named site's channel.
   Result<Channel*> site_channel(const std::string& site_name);
   Channel* request_channel() { return &request_channel_; }
@@ -205,6 +210,14 @@ class SnapshotSystem {
   /// Restores base tables recorded in a checkpointed data file.
   Status RestoreBaseSite();
 
+  /// Ends the open trace and records the refresh in the metrics registry
+  /// (refresh counter + duration histogram, per-snapshot refresh counter
+  /// and staleness gauge).
+  void FinishRefreshTrace(const std::string& snapshot_name,
+                          const SnapshotDescriptor& desc,
+                          const SnapshotTable& snap,
+                          const RefreshStats& stats);
+
   SnapshotSystemOptions options_;
 
   // Base site. `base_disk_` may be memory- or file-backed.
@@ -221,6 +234,12 @@ class SnapshotSystem {
 
   // Demand link (snapshot → base), shared by all sites.
   Channel request_channel_;
+
+  // Per-refresh phase timeline; rewritten by every Refresh/RefreshGroup.
+  obs::Tracer tracer_;
+  obs::Counter* metric_refreshes_;
+  obs::Histogram* metric_refresh_duration_;
+  obs::Gauge* metric_snapshot_count_;
 
   std::map<std::string, SnapshotEntry> snapshots_;
   std::unordered_map<SnapshotId, SnapshotEntry*> snapshots_by_id_;

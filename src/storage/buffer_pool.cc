@@ -1,11 +1,17 @@
 #include "storage/buffer_pool.h"
 
 #include "common/logging.h"
+#include "obs/log.h"
 
 namespace snapdiff {
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
   SNAPDIFF_CHECK(pool_size > 0);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_hits_ = reg.GetCounter("storage.buffer_pool.hits");
+  metric_misses_ = reg.GetCounter("storage.buffer_pool.misses");
+  metric_evictions_ = reg.GetCounter("storage.buffer_pool.evictions");
+  metric_flushes_ = reg.GetCounter("storage.buffer_pool.flushes");
   frames_.reserve(pool_size);
   free_frames_.reserve(pool_size);
   for (size_t i = 0; i < pool_size; ++i) {
@@ -43,11 +49,15 @@ Result<size_t> BufferPool::GetVictimFrame() {
   if (victim->is_dirty_) {
     RETURN_IF_ERROR(disk_->WritePage(victim->page_id_, victim->data_));
     ++stats_.flushes;
+    metric_flushes_->Inc();
   }
+  SNAPDIFF_LOG(Trace) << "evicting page"
+                      << obs::kv("page", victim->page_id_);
   page_table_.erase(victim->page_id_);
   RemoveFromLru(idx);
   victim->Reset();
   ++stats_.evictions;
+  metric_evictions_->Inc();
   return idx;
 }
 
@@ -58,9 +68,11 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     if (page->pin_count_ == 0) RemoveFromLru(it->second);
     ++page->pin_count_;
     ++stats_.hits;
+    metric_hits_->Inc();
     return page;
   }
   ++stats_.misses;
+  metric_misses_->Inc();
   ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Page* page = frames_[idx].get();
   Status read = disk_->ReadPage(page_id, page->data_);
@@ -110,6 +122,7 @@ Status BufferPool::FlushPage(PageId page_id) {
   RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
   page->is_dirty_ = false;
   ++stats_.flushes;
+  metric_flushes_->Inc();
   return Status::OK();
 }
 
@@ -120,6 +133,7 @@ Status BufferPool::FlushAll() {
       RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
       page->is_dirty_ = false;
       ++stats_.flushes;
+      metric_flushes_->Inc();
     }
   }
   return Status::OK();

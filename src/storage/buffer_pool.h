@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -69,6 +70,12 @@ class BufferPool {
   std::list<size_t> lru_;
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   BufferPoolStats stats_;
+  // System-wide aggregates ("storage.buffer_pool.*"): every pool of the
+  // process feeds the same registry counters.
+  obs::Counter* metric_hits_;
+  obs::Counter* metric_misses_;
+  obs::Counter* metric_evictions_;
+  obs::Counter* metric_flushes_;
 };
 
 /// RAII pin guard. Unpins on destruction.

@@ -5,13 +5,39 @@
 
 namespace snapdiff {
 
+DiskManager::DiskManager() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_reads_ = reg.GetCounter("storage.disk.reads");
+  metric_writes_ = reg.GetCounter("storage.disk.writes");
+  metric_allocations_ = reg.GetCounter("storage.disk.allocations");
+  metric_bytes_read_ = reg.GetCounter("storage.disk.bytes_read");
+  metric_bytes_written_ = reg.GetCounter("storage.disk.bytes_written");
+}
+
+void DiskManager::RecordRead() {
+  ++stats_.reads;
+  metric_reads_->Inc();
+  metric_bytes_read_->Inc(Page::kPageSize);
+}
+
+void DiskManager::RecordWrite() {
+  ++stats_.writes;
+  metric_writes_->Inc();
+  metric_bytes_written_->Inc(Page::kPageSize);
+}
+
+void DiskManager::RecordAllocation() {
+  ++stats_.allocations;
+  metric_allocations_->Inc();
+}
+
 Status MemoryDiskManager::ReadPage(PageId page_id, char* out) {
   if (page_id >= pages_.size()) {
     return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
                               " not allocated");
   }
   std::memcpy(out, pages_[page_id].get(), Page::kPageSize);
-  ++stats_.reads;
+  RecordRead();
   return Status::OK();
 }
 
@@ -21,7 +47,7 @@ Status MemoryDiskManager::WritePage(PageId page_id, const char* data) {
                               " not allocated");
   }
   std::memcpy(pages_[page_id].get(), data, Page::kPageSize);
-  ++stats_.writes;
+  RecordWrite();
   return Status::OK();
 }
 
@@ -29,7 +55,7 @@ Result<PageId> MemoryDiskManager::AllocatePage() {
   auto buf = std::make_unique<char[]>(Page::kPageSize);
   std::memset(buf.get(), 0, Page::kPageSize);
   pages_.push_back(std::move(buf));
-  ++stats_.allocations;
+  RecordAllocation();
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -68,7 +94,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
   file_.seekg(static_cast<std::streamoff>(page_id) * Page::kPageSize);
   file_.read(out, Page::kPageSize);
   if (!file_) return Status::IOError("short read");
-  ++stats_.reads;
+  RecordRead();
   return Status::OK();
 }
 
@@ -81,7 +107,7 @@ Status FileDiskManager::WritePage(PageId page_id, const char* data) {
   file_.write(data, Page::kPageSize);
   if (!file_) return Status::IOError("short write");
   file_.flush();
-  ++stats_.writes;
+  RecordWrite();
   return Status::OK();
 }
 
@@ -94,7 +120,7 @@ Result<PageId> FileDiskManager::AllocatePage() {
   if (!file_) return Status::IOError("allocate write failed");
   file_.flush();
   ++page_count_;
-  ++stats_.allocations;
+  RecordAllocation();
   return id;
 }
 

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace snapdiff {
@@ -44,7 +45,24 @@ class DiskManager {
   void ResetStats() { stats_ = DiskStats{}; }
 
  protected:
+  DiskManager();
+
+  /// Subclasses record each successful operation through these so the
+  /// per-instance stats_ and the system-wide "storage.disk.*" registry
+  /// counters (reads/writes/allocations and page-sized byte totals) stay
+  /// in lockstep.
+  void RecordRead();
+  void RecordWrite();
+  void RecordAllocation();
+
   DiskStats stats_;
+
+ private:
+  obs::Counter* metric_reads_;
+  obs::Counter* metric_writes_;
+  obs::Counter* metric_allocations_;
+  obs::Counter* metric_bytes_read_;
+  obs::Counter* metric_bytes_written_;
 };
 
 /// Heap-backed page store; the default for simulations and tests.

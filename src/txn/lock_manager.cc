@@ -1,6 +1,15 @@
 #include "txn/lock_manager.h"
 
+#include "obs/log.h"
+
 namespace snapdiff {
+
+LockManager::LockManager() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_acquisitions_ = reg.GetCounter("txn.lock.acquisitions");
+  metric_conflicts_ = reg.GetCounter("txn.lock.conflicts");
+  metric_upgrades_ = reg.GetCounter("txn.lock.upgrades");
+}
 
 Status LockManager::Acquire(TxnId txn, TableId table, LockMode mode) {
   TableLock& lock = locks_[table];
@@ -8,6 +17,7 @@ Status LockManager::Acquire(TxnId txn, TableId table, LockMode mode) {
     lock.mode = mode;
     lock.holders.insert(txn);
     ++stats_.acquisitions;
+    metric_acquisitions_->Inc();
     return Status::OK();
   }
   const bool sole_holder =
@@ -20,18 +30,26 @@ Status LockManager::Acquire(TxnId txn, TableId table, LockMode mode) {
     if (sole_holder) {
       lock.mode = LockMode::kExclusive;
       ++stats_.upgrades;
+      metric_upgrades_->Inc();
       return Status::OK();
     }
     ++stats_.conflicts;
+    metric_conflicts_->Inc();
+    SNAPDIFF_LOG(Debug) << "lock upgrade conflict"
+                        << obs::kv("txn", txn) << obs::kv("table", table);
     return Status::Aborted("lock upgrade conflict on table " +
                            std::to_string(table));
   }
   if (mode == LockMode::kShared && lock.mode == LockMode::kShared) {
     lock.holders.insert(txn);
     ++stats_.acquisitions;
+    metric_acquisitions_->Inc();
     return Status::OK();
   }
   ++stats_.conflicts;
+  metric_conflicts_->Inc();
+  SNAPDIFF_LOG(Debug) << "lock conflict" << obs::kv("txn", txn)
+                      << obs::kv("table", table);
   return Status::Aborted("lock conflict on table " + std::to_string(table));
 }
 

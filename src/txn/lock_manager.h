@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace snapdiff {
 
@@ -21,6 +22,8 @@ enum class LockMode { kShared, kExclusive };
 /// re-entrant; upgrade from S to X succeeds only for a sole holder.
 class LockManager {
  public:
+  LockManager();
+
   Status Acquire(TxnId txn, TableId table, LockMode mode);
   Status Release(TxnId txn, TableId table);
 
@@ -45,6 +48,9 @@ class LockManager {
 
   std::unordered_map<TableId, TableLock> locks_;
   LockStats stats_;
+  obs::Counter* metric_acquisitions_;
+  obs::Counter* metric_conflicts_;
+  obs::Counter* metric_upgrades_;
 };
 
 }  // namespace snapdiff

@@ -2,11 +2,24 @@
 
 #include <unordered_set>
 
+#include "obs/log.h"
+
 namespace snapdiff {
+
+LogManager::LogManager() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_records_ = reg.GetCounter("wal.records");
+  metric_bytes_ = reg.GetCounter("wal.bytes");
+  metric_culls_ = reg.GetCounter("wal.culls");
+  metric_cull_records_scanned_ = reg.GetCounter("wal.cull.records_scanned");
+  metric_truncations_ = reg.GetCounter("wal.truncations");
+}
 
 Lsn LogManager::Append(LogRecord record) {
   record.lsn = records_.size() + 1;
   records_.push_back(std::move(record));
+  metric_records_->Inc();
+  metric_bytes_->Inc(records_.back().SerializedSize());
   return records_.back().lsn;
 }
 
@@ -91,6 +104,7 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
         "log truncated past requested start lsn " + std::to_string(from_lsn) +
         "; full refresh required");
   }
+  metric_culls_->Inc();
   // Pass 1: find transactions committed within or after the interval. A
   // transaction's changes count once its commit record exists anywhere in
   // the retained log.
@@ -109,6 +123,7 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
       ++stats->records_scanned;
       stats->bytes_scanned += rec.SerializedSize();
     }
+    metric_cull_records_scanned_->Inc();
     if (!rec.IsDataRecord() || rec.table_id != table) continue;
     if (!committed.contains(rec.txn_id)) continue;
     if (stats != nullptr) ++stats->relevant_records;
@@ -171,6 +186,8 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
 
 void LogManager::Truncate(Lsn up_to) {
   if (up_to <= truncated_) return;
+  metric_truncations_->Inc();
+  SNAPDIFF_LOG(Debug) << "wal truncate" << obs::kv("up_to", up_to);
   const size_t new_truncated = std::min<size_t>(up_to, records_.size());
   // Free the payloads but keep the slots so LSN arithmetic stays simple.
   for (size_t i = truncated_; i < new_truncated; ++i) {

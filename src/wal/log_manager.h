@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "wal/log_record.h"
 
 namespace snapdiff {
@@ -40,6 +41,8 @@ struct CullStats {
 /// same address into a net change.
 class LogManager {
  public:
+  LogManager();
+
   /// Appends a record, assigning its LSN (returned). LSNs start at 1.
   Lsn Append(LogRecord record);
 
@@ -87,6 +90,11 @@ class LogManager {
  private:
   std::vector<LogRecord> records_;  // index i holds lsn i+1
   size_t truncated_ = 0;            // leading records logically removed
+  obs::Counter* metric_records_;
+  obs::Counter* metric_bytes_;
+  obs::Counter* metric_culls_;
+  obs::Counter* metric_cull_records_scanned_;
+  obs::Counter* metric_truncations_;
 };
 
 }  // namespace snapdiff

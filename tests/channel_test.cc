@@ -150,6 +150,120 @@ TEST(ChannelTest, HealingClearsPendingInjection) {
   }
 }
 
+TEST(ChannelStatsTest, AdditionMirrorsSubtraction) {
+  ChannelStats a;
+  a.messages = 5;
+  a.entry_messages = 2;
+  a.delete_messages = 1;
+  a.control_messages = 2;
+  a.payload_bytes = 100;
+  a.wire_bytes = 180;
+  a.frames = 2;
+  a.send_failures = 1;
+  ChannelStats b;
+  b.messages = 3;
+  b.entry_messages = 3;
+  b.payload_bytes = 40;
+  b.wire_bytes = 64;
+  b.frames = 1;
+
+  const ChannelStats sum = a + b;
+  EXPECT_EQ(sum.messages, 8u);
+  EXPECT_EQ(sum.entry_messages, 5u);
+  EXPECT_EQ(sum.delete_messages, 1u);
+  EXPECT_EQ(sum.control_messages, 2u);
+  EXPECT_EQ(sum.payload_bytes, 140u);
+  EXPECT_EQ(sum.wire_bytes, 244u);
+  EXPECT_EQ(sum.frames, 3u);
+  EXPECT_EQ(sum.send_failures, 1u);
+
+  // (a + b) - b == a, field for field.
+  const ChannelStats back = sum - b;
+  EXPECT_EQ(back.messages, a.messages);
+  EXPECT_EQ(back.entry_messages, a.entry_messages);
+  EXPECT_EQ(back.delete_messages, a.delete_messages);
+  EXPECT_EQ(back.control_messages, a.control_messages);
+  EXPECT_EQ(back.payload_bytes, a.payload_bytes);
+  EXPECT_EQ(back.wire_bytes, a.wire_bytes);
+  EXPECT_EQ(back.frames, a.frames);
+  EXPECT_EQ(back.send_failures, a.send_failures);
+
+  ChannelStats acc;
+  acc += a;
+  acc += b;
+  EXPECT_EQ(acc.messages, sum.messages);
+  EXPECT_EQ(acc.wire_bytes, sum.wire_bytes);
+}
+
+TEST(ChannelTest, StatsAfterMidBurstPartition) {
+  ChannelOptions opts;
+  opts.blocking_factor = 8;
+  Channel ch(opts);
+  ch.FailAfterSends(3);
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(1), "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(3), "v")).ok());
+  EXPECT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(4), "v")).IsUnavailable());
+  EXPECT_TRUE(ch.Send(MakeDeleteMsg(1, Address::FromRaw(5))).IsUnavailable());
+
+  // Meters: only the delivered messages counted; every rejected send is a
+  // failure, not traffic.
+  const ChannelStats& s = ch.stats();
+  EXPECT_EQ(s.messages, 3u);
+  EXPECT_EQ(s.entry_messages, 3u);
+  EXPECT_EQ(s.delete_messages, 0u);
+  EXPECT_EQ(s.frames, 1u);  // burst died mid-frame
+  EXPECT_EQ(s.send_failures, 2u);
+  EXPECT_EQ(ch.pending(), 3u);
+}
+
+TEST(ChannelTest, ResetStatsAfterInjectedLossGivesCleanBaseline) {
+  ChannelOptions opts;
+  opts.blocking_factor = 4;
+  Channel ch(opts);
+  ch.FailAfterSends(2);
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(1), "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
+  EXPECT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(3), "v")).IsUnavailable());
+
+  ch.SetPartitioned(false);
+  ch.ResetStats();
+  const ChannelStats& zero = ch.stats();
+  EXPECT_EQ(zero.messages, 0u);
+  EXPECT_EQ(zero.send_failures, 0u);
+  EXPECT_EQ(zero.frames, 0u);
+
+  // ResetStats closed the half-open frame, so the next burst pays a fresh
+  // frame header and the meters account every frame they report.
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(4), "v")).ok());
+  EXPECT_EQ(ch.stats().frames, 1u);
+  std::string bytes;
+  MakeUpsert(1, Address::FromRaw(4), "v").SerializeTo(&bytes);
+  EXPECT_EQ(ch.stats().wire_bytes,
+            bytes.size() + ch.options().per_message_overhead_bytes +
+                ch.options().frame_header_bytes);
+  // Messages already queued before the reset are unaffected.
+  EXPECT_EQ(ch.pending(), 3u);
+}
+
+TEST(ChannelTest, ResetStatsMidFrameRestartsFrameAccounting) {
+  ChannelOptions opts;
+  opts.blocking_factor = 10;
+  Channel ch(opts);
+  // Three messages into a ten-message frame: frame 1 is half open.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  EXPECT_EQ(ch.stats().frames, 1u);
+  ch.ResetStats();
+  // Without the flush these two would ride the invisible half-open frame
+  // and the meters would claim zero frames for real traffic.
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(8), "v")).ok());
+  ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(9), "v")).ok());
+  EXPECT_EQ(ch.stats().frames, 1u);
+  EXPECT_EQ(ch.stats().messages, 2u);
+}
+
 TEST(ChannelTest, WireSurvivesRoundTrip) {
   Channel ch;
   Message original =

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace snapdiff {
+namespace obs {
+namespace {
+
+/// Restores the global logger to its quiet default when a test ends, so
+/// logging tests cannot leak configuration into later tests.
+class LoggerGuard {
+ public:
+  ~LoggerGuard() {
+    Logger::Global().SetSink(nullptr);
+    Logger::Global().SetLevel(LogLevel::kOff);
+  }
+};
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    auto parsed = ParseLogLevel(LogLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_TRUE(ParseLogLevel("warning").ok());
+  EXPECT_TRUE(ParseLogLevel("bogus").status().IsInvalidArgument());
+}
+
+TEST(LogTest, OffByDefaultAndThresholdFilters) {
+  LoggerGuard guard;
+  Logger& logger = Logger::Global();
+  EXPECT_EQ(logger.level(), LogLevel::kOff);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kError));
+
+  std::vector<LogEntry> seen;
+  logger.SetSink([&](const LogEntry& e) { seen.push_back(e); });
+  SNAPDIFF_LOG(Error) << "silenced";
+  EXPECT_TRUE(seen.empty());
+
+  logger.SetLevel(LogLevel::kWarn);
+  SNAPDIFF_LOG(Info) << "below threshold";
+  SNAPDIFF_LOG(Warn) << "at threshold";
+  SNAPDIFF_LOG(Error) << "above threshold";
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].level, LogLevel::kWarn);
+  EXPECT_EQ(seen[1].level, LogLevel::kError);
+}
+
+TEST(LogTest, DisabledStatementsDoNotEvaluateOperands) {
+  LoggerGuard guard;
+  Logger::Global().SetLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "value";
+  };
+  SNAPDIFF_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SNAPDIFF_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, StructuredFieldsAreCapturedSeparately) {
+  LoggerGuard guard;
+  Logger& logger = Logger::Global();
+  logger.SetLevel(LogLevel::kInfo);
+  std::vector<LogEntry> seen;
+  logger.SetSink([&](const LogEntry& e) { seen.push_back(e); });
+
+  SNAPDIFF_LOG(Info) << "refresh done" << kv("snapshot", "low")
+                     << kv("messages", 12) << kv("partitioned", false);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].message, "refresh done");
+  ASSERT_EQ(seen[0].fields.size(), 3u);
+  EXPECT_EQ(seen[0].fields[0].first, "snapshot");
+  EXPECT_EQ(seen[0].fields[0].second, "low");
+  EXPECT_EQ(seen[0].fields[1].second, "12");
+  EXPECT_EQ(seen[0].fields[2].second, "false");
+}
+
+TEST(LogTest, FormatQuotesValuesWithSpaces) {
+  LogEntry entry;
+  entry.level = LogLevel::kWarn;
+  entry.file = "/deep/path/file.cc";
+  entry.line = 42;
+  entry.message = "something odd";
+  entry.fields = {{"table", "emp"}, {"reason", "no such page"}};
+  EXPECT_EQ(FormatLogEntry(entry),
+            "WARN file.cc:42 something odd table=emp "
+            "reason=\"no such page\"");
+}
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("a.count");
+  c->Inc();
+  c->Inc(9);
+  EXPECT_EQ(c->value(), 10u);
+  // Same name → same instrument (components sharing a name aggregate).
+  EXPECT_EQ(reg.GetCounter("a.count"), c);
+  EXPECT_NE(reg.GetCounter("b.count"), c);
+
+  Gauge* g = reg.GetGauge("a.depth");
+  g->Set(5);
+  g->Add(-7);
+  EXPECT_EQ(g->value(), -2);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.0);    // → bucket le=1
+  h.Observe(1.0);    // boundary value → le=1, not le=10
+  h.Observe(1.5);    // → le=10
+  h.Observe(10.0);   // boundary value → le=10
+  h.Observe(100.0);  // boundary value → le=100
+  h.Observe(250.0);  // past the last bound → +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 362.5);
+}
+
+TEST(MetricsTest, SnapshotIsDetachedFromLaterUpdates) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  Gauge* g = reg.GetGauge("y");
+  Histogram* h = reg.GetHistogram("z", {1.0});
+  c->Inc(3);
+  g->Set(7);
+  h->Observe(0.5);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  c->Inc(100);
+  g->Set(-1);
+  h->Observe(2.0);
+
+  EXPECT_EQ(snap.counters.at("x"), 3u);
+  EXPECT_EQ(snap.gauges.at("y"), 7);
+  EXPECT_EQ(snap.histograms.at("z").count, 1u);
+  ASSERT_EQ(snap.histograms.at("z").buckets.size(), 2u);
+  EXPECT_EQ(snap.histograms.at("z").buckets[0], 1u);
+  EXPECT_EQ(snap.histograms.at("z").buckets[1], 0u);
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsPointersValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  c->Inc(5);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  c->Inc();
+  EXPECT_EQ(reg.GetCounter("x")->value(), 1u);
+}
+
+TEST(MetricsTest, ExportPrometheusGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("net.msgs")->Inc(3);
+  reg.GetGauge("queue.depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("lat.us", {1.0, 2.5});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Observe(9.0);
+
+  const std::string expected =
+      "# TYPE snapdiff_net_msgs counter\n"
+      "snapdiff_net_msgs 3\n"
+      "# TYPE snapdiff_queue_depth gauge\n"
+      "snapdiff_queue_depth -2\n"
+      "# TYPE snapdiff_lat_us histogram\n"
+      "snapdiff_lat_us_bucket{le=\"1\"} 1\n"
+      "snapdiff_lat_us_bucket{le=\"2.5\"} 2\n"
+      "snapdiff_lat_us_bucket{le=\"+Inf\"} 3\n"
+      "snapdiff_lat_us_sum 11.5\n"
+      "snapdiff_lat_us_count 3\n";
+  EXPECT_EQ(reg.ExportPrometheus(), expected);
+}
+
+TEST(MetricsTest, ExportJsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("c.one")->Inc(7);
+  reg.GetGauge("g.one")->Set(-4);
+  Histogram* h = reg.GetHistogram("h.one", {2.0});
+  h->Observe(1.0);
+  h->Observe(3.0);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"c.one\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g.one\": -4\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h.one\": {\"count\": 2, \"sum\": 4, \"buckets\": [1, 1]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(reg.ExportJson(), expected);
+}
+
+TEST(TraceTest, SpansNestAndDeltasRollUp) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("work");
+  Tracer tracer(&reg);
+  tracer.Begin("op");
+  {
+    Tracer::Span outer(&tracer, "outer");
+    c->Inc(2);
+    {
+      Tracer::Span inner(&tracer, "inner");
+      c->Inc(3);
+    }
+  }
+  {
+    Tracer::Span tail(&tracer, "tail");
+    c->Inc(5);
+  }
+  tracer.End();
+
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  const TraceSpan& outer = tracer.spans()[0];
+  const TraceSpan& inner = tracer.spans()[1];
+  const TraceSpan& tail = tracer.spans()[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.parent, 0);
+  EXPECT_EQ(tail.depth, 0);
+  // A parent's delta includes its children's movement…
+  EXPECT_EQ(outer.counter_deltas.at("work"), 5u);
+  EXPECT_EQ(inner.counter_deltas.at("work"), 3u);
+  EXPECT_EQ(tail.counter_deltas.at("work"), 5u);
+  // …so top-level spans partition the operation.
+  EXPECT_EQ(tracer.SumTopLevelDelta("work"), 10u);
+  EXPECT_EQ(tracer.SumTopLevelDelta("never.moved"), 0u);
+  EXPECT_FALSE(tracer.active());
+}
+
+TEST(TraceTest, ZeroDeltasAreOmitted) {
+  MetricsRegistry reg;
+  reg.GetCounter("idle")->Inc(4);  // moves before the trace, not during
+  Tracer tracer(&reg);
+  tracer.Begin("op");
+  { Tracer::Span s(&tracer, "quiet"); }
+  tracer.End();
+  EXPECT_TRUE(tracer.spans()[0].counter_deltas.empty());
+}
+
+TEST(TraceTest, EndClosesSpansLeftOpenByEarlyExit) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("work");
+  Tracer tracer(&reg);
+  tracer.Begin("op");
+  // Simulates an error path that returns without closing (no RAII here).
+  Tracer::Span* leaked = new Tracer::Span(&tracer, "interrupted");
+  c->Inc(1);
+  tracer.End();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].counter_deltas.at("work"), 1u);
+  delete leaked;  // closing after End is a harmless no-op
+  EXPECT_EQ(tracer.spans()[0].counter_deltas.at("work"), 1u);
+}
+
+TEST(TraceTest, NullTracerSpansAreNoOps) {
+  Tracer::Span span(nullptr, "ignored");
+  span.Note("key", 1);
+  span.Close();  // must not crash
+}
+
+TEST(TraceTest, SpansOutsideAnActiveTraceAreIgnored) {
+  MetricsRegistry reg;
+  Tracer tracer(&reg);
+  { Tracer::Span s(&tracer, "before begin"); }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TraceTest, NotesAndReportRenderSpans) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("rows");
+  Tracer tracer(&reg);
+  tracer.Begin("refresh demo");
+  {
+    Tracer::Span s(&tracer, "scan");
+    c->Inc(12);
+    s.Note("qualified", 12);
+  }
+  tracer.End();
+
+  ASSERT_EQ(tracer.spans()[0].notes.size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].notes[0].first, "qualified");
+  EXPECT_EQ(tracer.spans()[0].notes[0].second, "12");
+
+  const std::string report = tracer.Report();
+  EXPECT_NE(report.find("trace: refresh demo"), std::string::npos);
+  EXPECT_NE(report.find("scan"), std::string::npos);
+  EXPECT_NE(report.find("qualified=12"), std::string::npos);
+  EXPECT_NE(report.find("+12 rows"), std::string::npos);
+}
+
+TEST(TraceTest, BeginDiscardsThePreviousTrace) {
+  MetricsRegistry reg;
+  Tracer tracer(&reg);
+  tracer.Begin("first");
+  { Tracer::Span s(&tracer, "old"); }
+  tracer.End();
+  tracer.Begin("second");
+  { Tracer::Span s(&tracer, "new"); }
+  tracer.End();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].name, "new");
+  EXPECT_EQ(tracer.name(), "second");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace snapdiff

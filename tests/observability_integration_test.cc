@@ -1,0 +1,272 @@
+// End-to-end checks of the observability layer: a refresh driven through
+// SnapshotSystem::Refresh must leave a phase trace whose top-level counter
+// deltas reconcile EXACTLY with the RefreshStats the call returns, and the
+// instrumented subsystems must feed the process-wide metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+size_t TopLevelSpanCount(const obs::Tracer& tracer) {
+  size_t n = 0;
+  for (const obs::TraceSpan& span : tracer.spans()) {
+    if (span.depth == 0) ++n;
+  }
+  return n;
+}
+
+bool HasTopLevelSpan(const obs::Tracer& tracer, const std::string& name) {
+  for (const obs::TraceSpan& span : tracer.spans()) {
+    if (span.depth == 0 && span.name == name) return true;
+  }
+  return false;
+}
+
+/// The acceptance property: summed top-level deltas of the data-channel
+/// counters equal the traffic meters the refresh returned.
+void ExpectTraceReconciles(const obs::Tracer& tracer,
+                           const RefreshStats& stats) {
+  EXPECT_FALSE(tracer.active());
+  EXPECT_GE(TopLevelSpanCount(tracer), 4u) << tracer.Report();
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.messages"),
+            stats.traffic.messages)
+      << tracer.Report();
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.wire_bytes"),
+            stats.traffic.wire_bytes)
+      << tracer.Report();
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.payload_bytes"),
+            stats.traffic.payload_bytes)
+      << tracer.Report();
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.frames"),
+            stats.traffic.frames)
+      << tracer.Report();
+}
+
+TEST(ObservabilityIntegrationTest, DifferentialRefreshTraceReconciles) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs;
+  for (int i = 0; i < 30; ++i) {
+    auto addr = (*base)->Insert(Row("e" + std::to_string(i), i));
+    ASSERT_TRUE(addr.ok());
+    addrs.push_back(*addr);
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+  ASSERT_TRUE(sys.Refresh("low").ok());  // initial population
+
+  // A mixed change burst, then the measured refresh.
+  ASSERT_TRUE((*base)->Update(addrs[2], Row("e2", 3)).ok());
+  ASSERT_TRUE((*base)->Delete(addrs[5]).ok());
+  ASSERT_TRUE((*base)->Insert(Row("fresh", 1)).ok());
+  auto stats = sys.Refresh("low");
+  ASSERT_TRUE(stats.ok());
+
+  const obs::Tracer& tracer = sys.tracer();
+  EXPECT_EQ(tracer.name(), "refresh low");
+  EXPECT_TRUE(HasTopLevelSpan(tracer, "drain"));
+  EXPECT_TRUE(HasTopLevelSpan(tracer, "request"));
+  EXPECT_TRUE(HasTopLevelSpan(tracer, "execute differential"));
+  EXPECT_TRUE(HasTopLevelSpan(tracer, "apply"));
+  ExpectTraceReconciles(tracer, *stats);
+
+  // The executor's internal phases nest under the execute span.
+  bool saw_nested_scan = false;
+  for (const obs::TraceSpan& span : tracer.spans()) {
+    if (span.name == "scan+transmit" && span.depth == 1) {
+      saw_nested_scan = true;
+    }
+  }
+  EXPECT_TRUE(saw_nested_scan) << tracer.Report();
+}
+
+TEST(ObservabilityIntegrationTest, EveryMethodProducesAReconcilingTrace) {
+  const struct {
+    RefreshMethod method;
+    const char* span;
+  } cases[] = {
+      {RefreshMethod::kFull, "execute full"},
+      {RefreshMethod::kIdeal, "execute ideal"},
+      {RefreshMethod::kLogBased, "execute log-based"},
+      {RefreshMethod::kAsap, "execute asap"},
+  };
+  for (const auto& c : cases) {
+    SnapshotSystem sys;
+    auto base = sys.CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(base.ok());
+    std::vector<Address> addrs;
+    for (int i = 0; i < 12; ++i) {
+      auto addr = (*base)->Insert(Row("e" + std::to_string(i), i));
+      ASSERT_TRUE(addr.ok());
+      addrs.push_back(*addr);
+    }
+    SnapshotOptions opts;
+    opts.method = c.method;
+    ASSERT_TRUE(sys.CreateSnapshot("s", "emp", "Salary < 6", opts).ok());
+    ASSERT_TRUE(sys.Refresh("s").ok());
+    ASSERT_TRUE((*base)->Update(addrs[1], Row("e1", 2)).ok());
+    auto stats = sys.Refresh("s");
+    ASSERT_TRUE(stats.ok()) << RefreshMethodToString(c.method);
+    const obs::Tracer& tracer = sys.tracer();
+    EXPECT_TRUE(HasTopLevelSpan(tracer, c.span)) << tracer.Report();
+    ExpectTraceReconciles(tracer, *stats);
+  }
+}
+
+TEST(ObservabilityIntegrationTest, GroupRefreshTraceReconcilesWithBurst) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs;
+  for (int i = 0; i < 20; ++i) {
+    auto addr = (*base)->Insert(Row("e" + std::to_string(i), i));
+    ASSERT_TRUE(addr.ok());
+    addrs.push_back(*addr);
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+  ASSERT_TRUE(sys.CreateSnapshot("high", "emp", "Salary >= 10").ok());
+  ASSERT_TRUE(sys.RefreshGroup({"low", "high"}).ok());
+  ASSERT_TRUE((*base)->Update(addrs[3], Row("e3", 15)).ok());
+  auto results = sys.RefreshGroup({"low", "high"});
+  ASSERT_TRUE(results.ok());
+
+  const obs::Tracer& tracer = sys.tracer();
+  EXPECT_EQ(tracer.name(), "refresh-group");
+  EXPECT_GE(TopLevelSpanCount(tracer), 4u) << tracer.Report();
+  EXPECT_TRUE(HasTopLevelSpan(tracer, "execute group-differential"));
+
+  // Per-member attributions sum (ChannelStats::operator+=) to the burst's
+  // message and payload totals; frames/wire bytes are whole-burst figures.
+  ChannelStats attributed;
+  for (const auto& [name, stats] : *results) attributed += stats.traffic;
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.messages"),
+            attributed.messages);
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.payload_bytes"),
+            attributed.payload_bytes);
+  EXPECT_EQ(tracer.SumTopLevelDelta("net.channel.data.wire_bytes"),
+            results->at("low").traffic.wire_bytes);
+}
+
+TEST(ObservabilityIntegrationTest, RefreshFeedsRegistryAndStalenessGauge) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const uint64_t refreshes_before =
+      reg.GetCounter("snapshot.refresh.count")->value();
+  const uint64_t snap_refreshes_before =
+      reg.GetCounter("snapshot.obs_probe.refreshes")->value();
+  const uint64_t duration_count_before =
+      reg.GetHistogram("snapshot.refresh.duration_us",
+                       obs::DefaultLatencyBucketsUs())
+          ->count();
+
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*base)->Insert(Row("e" + std::to_string(i), i)).ok());
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("obs_probe", "emp", "Salary < 3").ok());
+  EXPECT_EQ(reg.GetGauge("snapshot.count")->value(), 1);
+  ASSERT_TRUE(sys.Refresh("obs_probe").ok());
+
+  EXPECT_EQ(reg.GetCounter("snapshot.refresh.count")->value(),
+            refreshes_before + 1);
+  EXPECT_EQ(reg.GetCounter("snapshot.obs_probe.refreshes")->value(),
+            snap_refreshes_before + 1);
+  EXPECT_GE(reg.GetHistogram("snapshot.refresh.duration_us",
+                             obs::DefaultLatencyBucketsUs())
+                ->count(),
+            duration_count_before + 1);
+  // Fresh right after a refresh; grows as the base clock advances.
+  const int64_t staleness_after =
+      reg.GetGauge("snapshot.obs_probe.staleness")->value();
+  EXPECT_EQ(staleness_after, 0);
+  ASSERT_TRUE((*base)->Insert(Row("late", 1)).ok());
+  ASSERT_TRUE(sys.Refresh("obs_probe").ok());
+  EXPECT_EQ(reg.GetGauge("snapshot.obs_probe.staleness")->value(), 0);
+
+  ASSERT_TRUE(sys.DropSnapshot("obs_probe").ok());
+  EXPECT_EQ(reg.GetGauge("snapshot.count")->value(), 0);
+
+  // The storage/channel layers reported through the same registry.
+  EXPECT_GT(reg.GetCounter("net.channel.data.messages")->value(), 0u);
+  EXPECT_GT(reg.GetCounter("storage.buffer_pool.hits")->value(), 0u);
+
+  const std::string prom = reg.ExportPrometheus();
+  EXPECT_NE(prom.find("# TYPE snapdiff_snapshot_refresh_count counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("snapdiff_snapshot_refresh_duration_us_bucket{le=\"1\"}"),
+            std::string::npos);
+}
+
+TEST(ObservabilityIntegrationTest, RefreshLogsArriveThroughTheSink) {
+  obs::Logger& logger = obs::Logger::Global();
+  std::vector<std::string> lines;
+  logger.SetSink([&](const obs::LogEntry& e) {
+    lines.push_back(obs::FormatLogEntry(e));
+  });
+  logger.SetLevel(obs::LogLevel::kInfo);
+
+  {
+    SnapshotSystem sys;
+    auto base = sys.CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE((*base)->Insert(Row("a", 1)).ok());
+    ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+    ASSERT_TRUE(sys.Refresh("low").ok());
+  }
+  logger.SetSink(nullptr);
+  logger.SetLevel(obs::LogLevel::kOff);
+
+  bool saw_create = false;
+  bool saw_refresh = false;
+  for (const std::string& line : lines) {
+    if (line.find("snapshot created") != std::string::npos &&
+        line.find("name=low") != std::string::npos) {
+      saw_create = true;
+    }
+    if (line.find("refresh complete") != std::string::npos &&
+        line.find("snapshot=low") != std::string::npos) {
+      saw_refresh = true;
+    }
+  }
+  EXPECT_TRUE(saw_create);
+  EXPECT_TRUE(saw_refresh);
+}
+
+TEST(ObservabilityIntegrationTest, FailedRefreshStillEndsTheTrace) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*base)->Insert(Row("a", 1)).ok());
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+  sys.SetPartitioned(true);
+  EXPECT_FALSE(sys.Refresh("low").ok());
+  // The guard closed the trace on the error path; the partial timeline is
+  // still inspectable and the next refresh starts a fresh trace.
+  EXPECT_FALSE(sys.tracer().active());
+  sys.SetPartitioned(false);
+  auto stats = sys.Refresh("low");
+  ASSERT_TRUE(stats.ok());
+  ExpectTraceReconciles(sys.tracer(), *stats);
+}
+
+}  // namespace
+}  // namespace snapdiff
