@@ -21,6 +21,7 @@
 //       ./build/examples/snapdiff_shell
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -125,6 +126,8 @@ Result<Tuple> ParseRow(const Schema& user_schema,
 
 class Shell {
  public:
+  explicit Shell(SnapshotSystemOptions options = {}) : sys_(options) {}
+
   /// Executes one command line; returns false on `quit`.
   bool Execute(const std::string& line) {
     if (line.empty() || line[0] == '#') return true;
@@ -305,9 +308,23 @@ class Shell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  snapdiff::SnapshotSystemOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--refresh-workers=", 0) == 0) {
+      options.refresh_workers = std::strtoull(arg.c_str() + 18, nullptr, 10);
+    } else if (arg.rfind("--refresh-batch=", 0) == 0) {
+      options.refresh_batch_size = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--refresh-workers=N] [--refresh-batch=N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
   std::printf("snapdiff shell — 'quit' to exit\n");
-  Shell shell;
+  Shell shell(options);
   std::string line;
   while (true) {
     std::printf("> ");

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Rebuilds in Release mode and refreshes the committed BENCH_*.json files at
+# the repo root: the paper's Figure 8/9 series plus the parallel-refresh
+# worker/batch sweep. A separate build tree (build-bench/) keeps the
+# optimized artifacts out of the regular build/.
+#
+# Usage: scripts/bench.sh [rows] [iters]
+#   rows   parallel-refresh base-table size  (default 20000)
+#   iters  measured refresh rounds           (default 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-bench
+ROWS="${1:-20000}"
+ITERS="${2:-3}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
+  bench_fig8 bench_fig9 bench_parallel_refresh
+
+# Figure reproductions: capture the printed series alongside the CSV the
+# binaries already embed in their stdout.
+"${BUILD_DIR}/bench/bench_fig8" | tee BENCH_fig8.txt
+"${BUILD_DIR}/bench/bench_fig9" | tee BENCH_fig9.txt
+
+# Parallel refresh sweep: workers x batch_size, JSON at the repo root.
+"${BUILD_DIR}/bench/bench_parallel_refresh" "${ROWS}" "${ITERS}" \
+  BENCH_refresh.json
+
+echo
+echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Pre-merge check: configure with AddressSanitizer + UndefinedBehaviorSanitizer,
-# build everything, and run the full test suite. A separate build tree
-# (build-asan/) keeps the sanitized artifacts out of the regular build/.
+# build everything, and run the full test suite, then rerun the concurrency
+# tests under ThreadSanitizer. Separate build trees (build-asan/, build-tsan/)
+# keep the sanitized artifacts out of the regular build/.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -20,3 +21,19 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+
+# ThreadSanitizer pass over the concurrency surface: the thread pool and the
+# parallel refresh pipeline (plus the observability integration tests that
+# drive a multi-worker refresh end to end).
+TSAN_BUILD_DIR=build-tsan
+
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNAPDIFF_TSAN=ON
+cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" --target \
+  thread_pool_test parallel_refresh_test observability_integration_test
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+  -R 'ThreadPool|ParallelRefresh|Observability'

@@ -1,0 +1,42 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace snapdiff {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  SNAPDIFF_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      // Drain before exiting: queued work submitted before shutdown still
+      // runs to completion.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task captures exceptions into the future; this call itself
+    // never throws.
+    task();
+  }
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,74 @@
+#ifndef SNAPDIFF_COMMON_THREAD_POOL_H_
+#define SNAPDIFF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snapdiff {
+
+/// A fixed-size pool of worker threads executing submitted tasks in FIFO
+/// order. Built for the parallel refresh pipeline but generic: tasks are
+/// arbitrary callables, and a task's exception is captured in the future
+/// returned by Submit (rethrown by future::get()), so worker threads never
+/// die from a throwing task.
+///
+/// Shutdown semantics: the destructor stops accepting new work, drains every
+/// task already queued, then joins the workers. Submitting after shutdown
+/// has begun throws std::runtime_error.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains all queued tasks, then joins.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn(args...)` and returns a future for its result. The future
+  /// rethrows any exception the task raised.
+  template <typename Fn, typename... Args>
+  auto Submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using R = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::bind(std::forward<Fn>(fn), std::forward<Args>(args)...));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Tasks currently waiting for a worker (diagnostics/tests).
+  size_t queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_COMMON_THREAD_POOL_H_

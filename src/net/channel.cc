@@ -10,6 +10,7 @@ ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
   d.entry_messages = a.entry_messages - b.entry_messages;
   d.delete_messages = a.delete_messages - b.delete_messages;
   d.control_messages = a.control_messages - b.control_messages;
+  d.batched_entries = a.batched_entries - b.batched_entries;
   d.payload_bytes = a.payload_bytes - b.payload_bytes;
   d.wire_bytes = a.wire_bytes - b.wire_bytes;
   d.frames = a.frames - b.frames;
@@ -22,6 +23,7 @@ ChannelStats& operator+=(ChannelStats& a, const ChannelStats& b) {
   a.entry_messages += b.entry_messages;
   a.delete_messages += b.delete_messages;
   a.control_messages += b.control_messages;
+  a.batched_entries += b.batched_entries;
   a.payload_bytes += b.payload_bytes;
   a.wire_bytes += b.wire_bytes;
   a.frames += b.frames;
@@ -42,6 +44,7 @@ Channel::Channel(ChannelOptions options) : options_(std::move(options)) {
   metrics_.entry_messages = reg.GetCounter(p + ".entry_messages");
   metrics_.delete_messages = reg.GetCounter(p + ".delete_messages");
   metrics_.control_messages = reg.GetCounter(p + ".control_messages");
+  metrics_.batched_entries = reg.GetCounter(p + ".batched_entries");
   metrics_.payload_bytes = reg.GetCounter(p + ".payload_bytes");
   metrics_.wire_bytes = reg.GetCounter(p + ".wire_bytes");
   metrics_.frames = reg.GetCounter(p + ".frames");
@@ -72,6 +75,15 @@ Status Channel::Send(const Message& msg) {
       ++stats_.entry_messages;
       metrics_.entry_messages->Inc();
       break;
+    case MessageType::kEntryBatch: {
+      ++stats_.entry_messages;
+      metrics_.entry_messages->Inc();
+      auto count = EntryBatchCount(msg);
+      const uint64_t n = count.ok() ? *count : 0;
+      stats_.batched_entries += n;
+      metrics_.batched_entries->Inc(n);
+      break;
+    }
     case MessageType::kDelete:
     case MessageType::kDeleteRange:
       ++stats_.delete_messages;
@@ -116,5 +128,47 @@ Result<Message> Channel::Receive() {
 }
 
 void Channel::FlushFrame() { open_frame_messages_ = 0; }
+
+BatchingSender::BatchingSender(Channel* channel, size_t batch_size)
+    : channel_(channel), batch_size_(batch_size) {}
+
+BatchingSender::~BatchingSender() { (void)Flush(); }
+
+Status BatchingSender::FlushSnapshot(SnapshotId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.empty()) return Status::OK();
+  std::vector<Message> run = std::move(it->second);
+  pending_.erase(it);
+  if (run.size() == 1) return channel_->Send(run.front());
+  ASSIGN_OR_RETURN(Message batch, MakeEntryBatch(run));
+  return channel_->Send(batch);
+}
+
+Status BatchingSender::Send(const Message& msg) {
+  const bool batchable = batch_size_ > 1 &&
+                         (msg.type == MessageType::kEntry ||
+                          msg.type == MessageType::kUpsert) &&
+                         msg.timestamp == kNullTimestamp;
+  if (!batchable) {
+    RETURN_IF_ERROR(FlushSnapshot(msg.snapshot_id));
+    return channel_->Send(msg);
+  }
+  std::vector<Message>& run = pending_[msg.snapshot_id];
+  if (!run.empty() && run.front().type != msg.type) {
+    RETURN_IF_ERROR(FlushSnapshot(msg.snapshot_id));
+  }
+  pending_[msg.snapshot_id].push_back(msg);
+  if (pending_[msg.snapshot_id].size() >= batch_size_) {
+    return FlushSnapshot(msg.snapshot_id);
+  }
+  return Status::OK();
+}
+
+Status BatchingSender::Flush() {
+  while (!pending_.empty()) {
+    RETURN_IF_ERROR(FlushSnapshot(pending_.begin()->first));
+  }
+  return Status::OK();
+}
 
 }  // namespace snapdiff

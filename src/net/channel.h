@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -33,9 +35,14 @@ struct ChannelOptions {
 /// frame headers.
 struct ChannelStats {
   uint64_t messages = 0;
-  uint64_t entry_messages = 0;    // kEntry + kUpsert
+  uint64_t entry_messages = 0;    // kEntry + kUpsert + kEntryBatch
   uint64_t delete_messages = 0;   // kDelete + kDeleteRange
   uint64_t control_messages = 0;  // request/clear/end
+  /// Logical entries carried inside kEntryBatch messages. A batch of k
+  /// entries counts as 1 message / 1 entry_message / k batched_entries, so
+  /// the pre-batching entry count is recoverable as
+  /// (entry_messages - batches) + batched_entries.
+  uint64_t batched_entries = 0;
   uint64_t payload_bytes = 0;
   uint64_t wire_bytes = 0;
   uint64_t frames = 0;
@@ -100,6 +107,7 @@ class Channel {
     obs::Counter* entry_messages;
     obs::Counter* delete_messages;
     obs::Counter* control_messages;
+    obs::Counter* batched_entries;
     obs::Counter* payload_bytes;
     obs::Counter* wire_bytes;
     obs::Counter* frames;
@@ -113,6 +121,41 @@ class Channel {
   bool partitioned_ = false;
   std::optional<uint64_t> fail_after_;
   ChannelStats stats_;
+};
+
+/// Coalesces kEntry/kUpsert messages into kEntryBatch frames of up to
+/// `batch_size` entries before handing them to the channel — the
+/// transmission-side half of the ENTRY_BATCH optimization. Ordering per
+/// snapshot is preserved exactly: a non-batchable message (delete, control,
+/// end-of-refresh) for a snapshot, or a sub-type switch, flushes that
+/// snapshot's pending entries first. A pending run of one entry is sent
+/// unwrapped, so `batch_size <= 1` degenerates to a transparent
+/// pass-through and the wire stream is byte-identical to unbatched sends.
+///
+/// Call Flush() before reading the channel or its meters; the destructor
+/// only best-effort-flushes (errors are dropped there).
+class BatchingSender {
+ public:
+  explicit BatchingSender(Channel* channel, size_t batch_size);
+  ~BatchingSender();
+
+  BatchingSender(const BatchingSender&) = delete;
+  BatchingSender& operator=(const BatchingSender&) = delete;
+
+  /// Buffers or forwards `msg`, preserving per-snapshot message order.
+  Status Send(const Message& msg);
+
+  /// Transmits every pending batch (in snapshot-id order).
+  Status Flush();
+
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  Status FlushSnapshot(SnapshotId id);
+
+  Channel* channel_;
+  size_t batch_size_;
+  std::map<SnapshotId, std::vector<Message>> pending_;
 };
 
 }  // namespace snapdiff

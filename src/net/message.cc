@@ -20,6 +20,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "DELETE_RANGE";
     case MessageType::kEndOfRefresh:
       return "END_OF_REFRESH";
+    case MessageType::kEntryBatch:
+      return "ENTRY_BATCH";
   }
   return "UNKNOWN";
 }
@@ -36,7 +38,7 @@ void Message::SerializeTo(std::string* dst) const {
 Result<Message> Message::DeserializeFrom(std::string_view* input) {
   if (input->empty()) return Status::Corruption("empty message");
   const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
-  if (type_raw > static_cast<uint8_t>(MessageType::kEndOfRefresh)) {
+  if (type_raw > static_cast<uint8_t>(MessageType::kEntryBatch)) {
     return Status::Corruption("bad message type");
   }
   input->remove_prefix(1);
@@ -143,6 +145,78 @@ Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
   m.prev_addr = last_qual;
   m.timestamp = new_snap_time;
   return m;
+}
+
+Result<Message> MakeEntryBatch(const std::vector<Message>& entries) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("cannot batch zero entries");
+  }
+  const MessageType sub_type = entries.front().type;
+  if (sub_type != MessageType::kEntry && sub_type != MessageType::kUpsert) {
+    return Status::InvalidArgument("only ENTRY/UPSERT messages batch");
+  }
+  const SnapshotId id = entries.front().snapshot_id;
+  Message batch;
+  batch.type = MessageType::kEntryBatch;
+  batch.snapshot_id = id;
+  batch.payload.push_back(static_cast<char>(sub_type));
+  PutFixed32(&batch.payload, static_cast<uint32_t>(entries.size()));
+  for (const Message& e : entries) {
+    if (e.type != sub_type || e.snapshot_id != id ||
+        e.timestamp != kNullTimestamp) {
+      return Status::InvalidArgument(
+          "batch entries must share type and snapshot id and carry no "
+          "timestamp");
+    }
+    PutFixed64(&batch.payload, e.base_addr.raw());
+    PutFixed64(&batch.payload, e.prev_addr.raw());
+    PutLengthPrefixed(&batch.payload, e.payload);
+  }
+  return batch;
+}
+
+Result<std::vector<Message>> UnpackEntryBatch(const Message& batch) {
+  if (batch.type != MessageType::kEntryBatch) {
+    return Status::InvalidArgument("not an ENTRY_BATCH message");
+  }
+  std::string_view in = batch.payload;
+  if (in.empty()) return Status::Corruption("empty batch payload");
+  const uint8_t sub_raw = static_cast<uint8_t>(in[0]);
+  if (sub_raw != static_cast<uint8_t>(MessageType::kEntry) &&
+      sub_raw != static_cast<uint8_t>(MessageType::kUpsert)) {
+    return Status::Corruption("bad batch sub-type");
+  }
+  in.remove_prefix(1);
+  uint32_t count = 0;
+  RETURN_IF_ERROR(GetFixed32(&in, &count));
+  std::vector<Message> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Message e;
+    e.type = static_cast<MessageType>(sub_raw);
+    e.snapshot_id = batch.snapshot_id;
+    uint64_t u64 = 0;
+    RETURN_IF_ERROR(GetFixed64(&in, &u64));
+    e.base_addr = Address::FromRaw(u64);
+    RETURN_IF_ERROR(GetFixed64(&in, &u64));
+    e.prev_addr = Address::FromRaw(u64);
+    RETURN_IF_ERROR(GetLengthPrefixed(&in, &e.payload));
+    entries.push_back(std::move(e));
+  }
+  if (!in.empty()) return Status::Corruption("trailing bytes in batch");
+  return entries;
+}
+
+Result<uint64_t> EntryBatchCount(const Message& batch) {
+  if (batch.type != MessageType::kEntryBatch) {
+    return Status::InvalidArgument("not an ENTRY_BATCH message");
+  }
+  std::string_view in = batch.payload;
+  if (in.empty()) return Status::Corruption("empty batch payload");
+  in.remove_prefix(1);
+  uint32_t count = 0;
+  RETURN_IF_ERROR(GetFixed32(&in, &count));
+  return static_cast<uint64_t>(count);
 }
 
 }  // namespace snapdiff

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -37,6 +38,14 @@ enum class MessageType : uint8_t {
   /// NULL sentinel (methods without positional semantics). `timestamp`
   /// carries the new SnapTime.
   kEndOfRefresh = 6,
+  /// base → snapshot: up to N coalesced kEntry or kUpsert messages sharing
+  /// one header + one per-message overhead (DBLog-style batched change
+  /// records). The header carries the common snapshot id; the payload is
+  /// [sub-type u8][count u32] then per entry
+  /// [base_addr u64][prev_addr u64][len-prefixed payload]. Apply unpacks
+  /// and processes the entries in order, so batched transmission is
+  /// semantically identical to the unbatched stream.
+  kEntryBatch = 7,
 };
 
 std::string_view MessageTypeToString(MessageType type);
@@ -51,7 +60,8 @@ struct Message {
 
   bool IsDataMessage() const {
     return type == MessageType::kEntry || type == MessageType::kUpsert ||
-           type == MessageType::kDelete || type == MessageType::kDeleteRange;
+           type == MessageType::kDelete || type == MessageType::kDeleteRange ||
+           type == MessageType::kEntryBatch;
   }
 
   void SerializeTo(std::string* dst) const;
@@ -74,6 +84,19 @@ Message MakeDeleteMsg(SnapshotId id, Address addr);
 Message MakeDeleteRange(SnapshotId id, Address lo, Address hi);
 Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
                          Timestamp new_snap_time);
+
+/// Coalesces `entries` into one kEntryBatch message. All entries must share
+/// one snapshot id and one type (kEntry or kUpsert) and carry no timestamp;
+/// `entries` must be non-empty.
+Result<Message> MakeEntryBatch(const std::vector<Message>& entries);
+
+/// Reconstructs the individual kEntry/kUpsert messages of a batch, in the
+/// order they were coalesced.
+Result<std::vector<Message>> UnpackEntryBatch(const Message& batch);
+
+/// The number of entries coalesced in a kEntryBatch (cheap header read;
+/// used by channel accounting).
+Result<uint64_t> EntryBatchCount(const Message& batch);
 
 }  // namespace snapdiff
 

@@ -226,6 +226,38 @@ Status BaseTable::ScanAnnotated(
   });
 }
 
+std::vector<BaseTable::ScanPartition> BaseTable::Partition(
+    size_t max_partitions) const {
+  std::vector<ScanPartition> parts;
+  const size_t pages = info_->heap->pages().size();
+  if (pages == 0 || max_partitions == 0) return parts;
+  const size_t n = std::min(max_partitions, pages);
+  parts.reserve(n);
+  // Distribute pages as evenly as possible; the first (pages % n) runs get
+  // one extra page.
+  const size_t base = pages / n;
+  const size_t extra = pages % n;
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t count = base + (i < extra ? 1 : 0);
+    parts.push_back({next, count});
+    next += count;
+  }
+  return parts;
+}
+
+Status BaseTable::ScanAnnotatedRange(
+    const ScanPartition& part,
+    const std::function<Status(Address, const AnnotatedRow&)>& fn) {
+  return info_->heap->ForEachInPageRange(
+      part.first_page, part.page_count,
+      [&](Address addr, std::string_view bytes) -> Status {
+        ASSIGN_OR_RETURN(Tuple stored,
+                         Tuple::Deserialize(info_->schema, bytes));
+        return fn(addr, SplitStored(stored));
+      });
+}
+
 Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
                                    Timestamp ts) {
   if (!info_->schema.HasAnnotations()) {

@@ -97,6 +97,25 @@ class BaseTable {
   Status ScanAnnotated(
       const std::function<Status(Address, const AnnotatedRow&)>& fn);
 
+  /// A contiguous run of the heap's pages, scanned by one refresh worker.
+  struct ScanPartition {
+    size_t first_page = 0;
+    size_t page_count = 0;
+  };
+
+  /// Splits the table into at most `max_partitions` contiguous page runs of
+  /// near-equal size. Addresses are (page, slot) pairs ordered by page, so
+  /// page boundaries are exact address-range boundaries: concatenating the
+  /// partitions' rows in order reproduces the ScanAnnotated order. Returns
+  /// fewer runs when the table has fewer pages than `max_partitions`.
+  std::vector<ScanPartition> Partition(size_t max_partitions) const;
+
+  /// ScanAnnotated restricted to one partition. Read-only; safe to call
+  /// concurrently from multiple threads (storage below is latched).
+  Status ScanAnnotatedRange(
+      const ScanPartition& part,
+      const std::function<Status(Address, const AnnotatedRow&)>& fn);
+
   /// Rewrites one row's annotations, keeping the user fields (fix-up
   /// primitive; also exercised by fault-injection tests).
   Status WriteAnnotations(Address addr, Address prev_addr, Timestamp ts);

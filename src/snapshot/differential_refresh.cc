@@ -1,9 +1,14 @@
 #include "snapshot/differential_refresh.h"
 
+#include <cstdint>
+#include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace snapdiff {
 
@@ -17,17 +22,286 @@ struct MemberState {
   bool deletion = false;
 };
 
+/// A buffered annotation repair. Repairs are applied after the scan so the
+/// scan iterator never observes its own writes. (R* interleaves them; the
+/// observable result is identical because the scan reads each entry once.)
+struct PendingWrite {
+  Address addr;
+  Address prev;
+  Timestamp ts;
+};
+
+/// Figure 7 chain state, shared across the whole table scan. This is the
+/// state that makes the transmit scan inherently sequential: every row's
+/// fix-up verdict depends on its predecessors.
+struct FixupState {
+  Timestamp fixup_time;
+  Address expect_prev = Address::Origin();
+  Address last_addr = Address::Origin();
+};
+
+/// What BaseFixup decided for one row: the fixed-up annotations plus which
+/// repair category (if any) fired.
+struct FixupResult {
+  Address prev;
+  Timestamp ts;
+  bool inserted = false;
+  bool updated = false;
+  bool deleted = false;
+  bool write_needed = false;
+};
+
+/// BaseFixup (Figure 7) for one row. Runs unconditionally: with eager
+/// maintenance the chain is already consistent and nothing fires, which is
+/// exactly the eager-vs-lazy cost difference the ablation measures. It also
+/// heals rows that predate the annotation columns (NULL everywhere).
+FixupResult FixupRow(FixupState* fx, Address addr, Address stored_prev,
+                     Timestamp stored_ts) {
+  FixupResult r;
+  r.prev = stored_prev;
+  r.ts = stored_ts;
+  if (stored_prev.IsNull()) {
+    // Inserted since the last fix-up.
+    r.prev = fx->last_addr;
+    r.ts = fx->fixup_time;
+    r.inserted = true;
+    r.write_needed = true;
+    // ExpectPrev deliberately not advanced: it tracks the last
+    // non-newly-inserted entry (Figure 7).
+  } else {
+    if (r.ts == kNullTimestamp) {
+      // Updated since the last fix-up.
+      r.ts = fx->fixup_time;
+      r.updated = true;
+      r.write_needed = true;
+    }
+    if (r.prev != fx->expect_prev) {
+      // One or more entries deleted between the current entry and the last
+      // non-inserted entry — the PrevAddr-anomaly at the heart of the
+      // algorithm.
+      r.prev = fx->last_addr;
+      r.ts = fx->fixup_time;
+      r.deleted = true;
+      r.write_needed = true;
+    } else if (r.prev != fx->last_addr) {
+      // Only newly inserted entries in between: fix the chain without
+      // touching the timestamp (no retransmission needed).
+      r.prev = fx->last_addr;
+      r.write_needed = true;
+    }
+    fx->expect_prev = addr;
+  }
+  fx->last_addr = addr;
+  return r;
+}
+
+/// One step of the combined Figure 7 + Figure 3 state machine. This is THE
+/// transmit rule — both the sequential scan and the parallel merge funnel
+/// every row through it, which is what makes the two paths emit identical
+/// message streams.
+///
+/// `qualified_for(i)` answers whether member i's restriction admits the
+/// row; `payload_for(i, state)` produces member i's serialized projection
+/// and is invoked only when a payload must actually be shipped (so the
+/// sequential path stays lazy).
+template <typename QualFn, typename PayloadFn>
+Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
+                  BatchingSender* sender, std::vector<PendingWrite>* repairs,
+                  Address addr, Address stored_prev, Timestamp stored_ts,
+                  QualFn&& qualified_for, PayloadFn&& payload_for) {
+  const FixupResult fix = FixupRow(fx, addr, stored_prev, stored_ts);
+  if (fix.write_needed) repairs->push_back({addr, fix.prev, fix.ts});
+
+  // Pre-repair annotations prove whether the *value* changed (see the
+  // anchor optimization): a non-NULL stamp with an intact PrevAddr means
+  // the repairs above only reacted to neighbourhood changes.
+  const bool annotations_intact =
+      !stored_prev.IsNull() && stored_ts != kNullTimestamp;
+
+  // --- BaseRefresh transmit rule (Figure 3), per member ---
+  for (size_t i = 0; i < states->size(); ++i) {
+    MemberState& state = (*states)[i];
+    RefreshStats* stats = state.member.stats;
+    ++stats->entries_scanned;
+    if (fix.inserted) ++stats->fixups_inserted;
+    if (fix.updated) ++stats->fixups_updated;
+    if (fix.deleted) ++stats->fixups_deleted;
+
+    const SnapshotDescriptor& desc = *state.member.desc;
+    const Timestamp snap_time = state.member.snap_time;
+    ASSIGN_OR_RETURN(const bool qualified, qualified_for(i));
+    if (qualified) {
+      if (fix.ts > snap_time || state.deletion) {
+        std::string payload;
+        const bool value_unchanged =
+            annotations_intact && stored_ts <= snap_time;
+        if (desc.anchor_optimization && value_unchanged) {
+          // Transmitted only to cover the preceding gap: the snapshot
+          // already holds this entry's current value, so ship the address
+          // alone (SnapshotDescriptor::anchor_optimization).
+          ++stats->anchor_messages;
+        } else {
+          ASSIGN_OR_RETURN(payload, payload_for(i, state));
+        }
+        RETURN_IF_ERROR(sender->Send(
+            MakeEntry(desc.id, addr, state.last_qual, std::move(payload))));
+      }
+      state.last_qual = addr;
+      state.deletion = false;
+    } else {
+      if (fix.ts > snap_time) {
+        // "Updated entry ==> may have qualified before update".
+        state.deletion = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// --- Parallel extraction -------------------------------------------------
+///
+/// Workers cannot run ProcessRow: the Figure 7 chain (ExpectPrev/LastAddr)
+/// and each member's Deletion flag thread through every row in address
+/// order. What workers CAN do is everything per-row and expensive: fetch
+/// the page, deserialize the tuple, evaluate each member's restriction, and
+/// project + serialize the payloads that the merge pass will (or might)
+/// ship. The merge then replays the exact state machine over the extracted
+/// runs in address order.
+///
+/// "Might": whether a row is sent depends on scan state that can cross a
+/// partition boundary. A worker simulates the state machine locally with
+/// three-valued logic — the chain and Deletion flags enter each partition
+/// Unknown and become exact after the first row that pins them — and
+/// serializes whenever the send verdict is True or Unknown. The Unknown
+/// region is a handful of rows at each partition's head, so the wasted
+/// serialization is negligible, and the over-approximation guarantees the
+/// merge never needs a payload the worker skipped.
+
+/// Parallel-path group-size ceiling: per-row member sets are packed into
+/// uint64_t bitmaps. Larger groups fall back to the sequential scan.
+constexpr size_t kMaxParallelMembers = 64;
+
+enum class Tri : uint8_t { kFalse, kTrue, kUnknown };
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+/// One base row as captured by a partition worker: the stored annotations
+/// (the merge re-derives the fixed-up ones) plus every per-member decision
+/// that is computable without cross-partition state.
+struct ExtractedRow {
+  Address addr;
+  Address stored_prev = Address::Origin();
+  Timestamp stored_ts = kNullTimestamp;
+  uint64_t qualified = 0;    // bit i: member i's restriction admits the row
+  uint64_t has_payload = 0;  // bit i: payloads[i] was pre-serialized
+  std::vector<std::string> payloads;  // indexed by member; sized lazily
+};
+
+/// Scans one partition and extracts its rows. Runs on a pool worker; reads
+/// only shared-immutable state (`states` is const here — transmit state is
+/// owned by the merge pass) and writes only `*out` and its own counter.
+Status ExtractPartition(BaseTable* base,
+                        const std::vector<MemberState>& states,
+                        const BaseTable::ScanPartition& part,
+                        obs::Counter* rows_counter,
+                        std::vector<ExtractedRow>* out) {
+  // Local three-valued mirror of the scan state. `chain_known` flips true
+  // at the first row whose PrevAddr is non-NULL: from then on ExpectPrev
+  // here equals ExpectPrev in the merge (both are set to that row's
+  // address unconditionally), so anomaly verdicts are exact.
+  bool chain_known = false;
+  Address expect_prev = Address::Origin();
+  std::vector<Tri> deletion(states.size(), Tri::kUnknown);
+
+  return base->ScanAnnotatedRange(
+      part, [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        ExtractedRow er;
+        er.addr = addr;
+        er.stored_prev = row.prev_addr;
+        er.stored_ts = row.timestamp;
+        const bool annotations_intact =
+            !row.prev_addr.IsNull() && row.timestamp != kNullTimestamp;
+
+        // Classify the post-fixup timestamp. Any repair stamps FixupTime,
+        // which the oracle drew after every member's SnapTime, so a row
+        // known to be repaired compares fresh for every member.
+        Tri ts_fresh_base;    // member-independent part of "ts > SnapTime"
+        bool ts_is_stored = false;
+        if (row.prev_addr.IsNull() || row.timestamp == kNullTimestamp) {
+          ts_fresh_base = Tri::kTrue;  // inserted/updated: ts := FixupTime
+        } else if (!chain_known) {
+          ts_fresh_base = Tri::kUnknown;  // anomaly undecidable at the head
+        } else if (row.prev_addr != expect_prev) {
+          ts_fresh_base = Tri::kTrue;  // deletion anomaly: ts := FixupTime
+        } else {
+          ts_fresh_base = Tri::kFalse;  // placeholder; compared per member
+          ts_is_stored = true;
+        }
+        if (!row.prev_addr.IsNull()) {
+          chain_known = true;
+          expect_prev = addr;
+        }
+
+        for (size_t i = 0; i < states.size(); ++i) {
+          const MemberState& st = states[i];
+          const SnapshotDescriptor& desc = *st.member.desc;
+          ASSIGN_OR_RETURN(const bool qualified,
+                           EvaluatePredicate(*desc.restriction, row.user,
+                                             base->user_schema()));
+          const Tri ts_fresh =
+              ts_is_stored ? (row.timestamp > st.member.snap_time
+                                  ? Tri::kTrue
+                                  : Tri::kFalse)
+                           : ts_fresh_base;
+          if (qualified) {
+            er.qualified |= uint64_t{1} << i;
+            if (TriOr(ts_fresh, deletion[i]) != Tri::kFalse) {
+              const bool value_unchanged =
+                  annotations_intact &&
+                  row.timestamp <= st.member.snap_time;
+              if (!(desc.anchor_optimization && value_unchanged)) {
+                ASSIGN_OR_RETURN(Tuple projected,
+                                 row.user.Project(base->user_schema(),
+                                                  desc.projection));
+                if (er.payloads.empty()) er.payloads.resize(states.size());
+                ASSIGN_OR_RETURN(er.payloads[i],
+                                 projected.Serialize(st.projected_schema));
+                er.has_payload |= uint64_t{1} << i;
+              }
+            }
+            deletion[i] = Tri::kFalse;
+          } else if (ts_fresh == Tri::kTrue) {
+            deletion[i] = Tri::kTrue;
+          } else if (ts_fresh == Tri::kUnknown &&
+                     deletion[i] != Tri::kTrue) {
+            deletion[i] = Tri::kUnknown;
+          }
+        }
+        rows_counter->Inc();
+        out->push_back(std::move(er));
+        return Status::OK();
+      });
+}
+
 }  // namespace
 
 Status ExecuteGroupDifferentialRefresh(
     BaseTable* base, std::vector<GroupRefreshMember>* members,
-    Channel* channel, obs::Tracer* tracer) {
+    Channel* channel, obs::Tracer* tracer, const RefreshExecution& exec) {
   if (base->mode() == AnnotationMode::kNone) {
     return Status::InvalidArgument(
         "differential refresh requires annotation columns");
   }
   if (members->empty()) {
     return Status::InvalidArgument("empty refresh group");
+  }
+  if (exec.workers > 1 && exec.pool == nullptr) {
+    return Status::InvalidArgument(
+        "parallel refresh requires a thread pool");
   }
   std::vector<MemberState> states;
   states.reserve(members->size());
@@ -42,142 +316,118 @@ Status ExecuteGroupDifferentialRefresh(
   // every repair in this pass and becomes the new SnapTime of every member.
   const Timestamp fixup_time = base->oracle()->Next();
 
-  // Figure 7 state (shared: the fix-up is what gets amortized).
-  Address expect_prev = Address::Origin();
-  Address last_addr = Address::Origin();
-
-  struct PendingWrite {
-    Address addr;
-    Address prev;
-    Timestamp ts;
-  };
-  // Annotation repairs are buffered and applied after the scan so the scan
-  // iterator never observes its own writes. (R* interleaves them; the
-  // observable result is identical because the scan reads each entry once.)
+  FixupState fx{fixup_time, Address::Origin(), Address::Origin()};
   std::vector<PendingWrite> repairs;
+  BatchingSender sender(channel, exec.batch_size);
 
-  obs::Tracer::Span scan_span(tracer, "scan+transmit");
-  Status scan_status = base->ScanAnnotated([&](Address addr,
-                                               const BaseTable::AnnotatedRow&
-                                                   row) -> Status {
-    Address prev = row.prev_addr;
-    Timestamp ts = row.timestamp;
-
-    // --- BaseFixup (Figure 7) ---
-    // Runs unconditionally: with eager maintenance the chain is already
-    // consistent and this block never fires, which is exactly the
-    // eager-vs-lazy cost difference the ablation measures. It also heals
-    // rows that predate the annotation columns (NULL everywhere).
-    bool fixup_inserted = false;
-    bool fixup_updated = false;
-    bool fixup_deleted = false;
-    {
-      if (prev.IsNull()) {
-        // Inserted since the last fix-up.
-        prev = last_addr;
-        ts = fixup_time;
-        repairs.push_back({addr, prev, ts});
-        fixup_inserted = true;
-        // ExpectPrev deliberately not advanced: it tracks the last
-        // non-newly-inserted entry (Figure 7).
-      } else {
-        bool write_needed = false;
-        if (ts == kNullTimestamp) {
-          // Updated since the last fix-up.
-          ts = fixup_time;
-          write_needed = true;
-          fixup_updated = true;
-        }
-        if (prev != expect_prev) {
-          // One or more entries deleted between the current entry and the
-          // last non-inserted entry — the PrevAddr-anomaly at the heart of
-          // the algorithm.
-          prev = last_addr;
-          ts = fixup_time;
-          write_needed = true;
-          fixup_deleted = true;
-        } else if (prev != last_addr) {
-          // Only newly inserted entries in between: fix the chain without
-          // touching the timestamp (no retransmission needed).
-          prev = last_addr;
-          write_needed = true;
-        }
-        if (write_needed) repairs.push_back({addr, prev, ts});
-        expect_prev = addr;
-      }
-    }
-    last_addr = addr;
-
-    // Pre-repair annotations prove whether the *value* changed (see the
-    // anchor optimization): a non-NULL stamp with an intact PrevAddr means
-    // repairs above only reacted to neighbourhood changes.
-    const bool annotations_intact =
-        !row.prev_addr.IsNull() && row.timestamp != kNullTimestamp;
-
-    // --- BaseRefresh transmit rule (Figure 3), per member ---
-    for (MemberState& state : states) {
-      RefreshStats* stats = state.member.stats;
-      ++stats->entries_scanned;
-      if (fixup_inserted) ++stats->fixups_inserted;
-      if (fixup_updated) ++stats->fixups_updated;
-      if (fixup_deleted) ++stats->fixups_deleted;
-
-      const SnapshotDescriptor& desc = *state.member.desc;
-      const Timestamp snap_time = state.member.snap_time;
-      ASSIGN_OR_RETURN(bool qualified,
-                       EvaluatePredicate(*desc.restriction, row.user,
-                                         base->user_schema()));
-      if (qualified) {
-        if (ts > snap_time || state.deletion) {
-          std::string payload;
-          const bool value_unchanged =
-              annotations_intact && row.timestamp <= snap_time;
-          if (desc.anchor_optimization && value_unchanged) {
-            // Transmitted only to cover the preceding gap: the snapshot
-            // already holds this entry's current value, so ship the
-            // address alone (SnapshotDescriptor::anchor_optimization).
-            ++stats->anchor_messages;
-          } else {
-            ASSIGN_OR_RETURN(Tuple projected,
-                             row.user.Project(base->user_schema(),
-                                              desc.projection));
-            ASSIGN_OR_RETURN(payload,
-                             projected.Serialize(state.projected_schema));
-          }
-          RETURN_IF_ERROR(channel->Send(MakeEntry(
-              desc.id, addr, state.last_qual, std::move(payload))));
-        }
-        state.last_qual = addr;
-        state.deletion = false;
-      } else {
-        if (ts > snap_time) {
-          // "Updated entry ==> may have qualified before update".
-          state.deletion = true;
-        }
-      }
-    }
-    return Status::OK();
-  });
-  RETURN_IF_ERROR(scan_status);
-  if (!states.empty()) {
-    scan_span.Note("entries", states[0].member.stats->entries_scanned);
+  std::vector<BaseTable::ScanPartition> partitions;
+  if (exec.workers > 1 && states.size() <= kMaxParallelMembers) {
+    partitions = base->Partition(exec.workers);
   }
-  scan_span.Note("repairs", repairs.size());
-  scan_span.Close();
+
+  if (partitions.size() > 1) {
+    // --- Parallel path: partition extraction, then sequential merge. ---
+    obs::Tracer::Span extract_span(tracer, "partition-extract");
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    std::vector<std::vector<ExtractedRow>> runs(partitions.size());
+    std::vector<std::future<Status>> pending;
+    pending.reserve(partitions.size());
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      // Shard worker-side meters by pool slot (partition p lands on slot
+      // p % workers) so concurrent workers never contend on one counter.
+      obs::Counter* rows_counter = reg.GetCounter(
+          "snapshot.refresh.parallel.worker." +
+          std::to_string(p % exec.workers) + ".rows");
+      pending.push_back(exec.pool->Submit(
+          [base, &states, part = partitions[p], rows_counter,
+           run = &runs[p]]() -> Status {
+            return ExtractPartition(base, states, part, rows_counter, run);
+          }));
+    }
+    // Join every partition before surfacing the first failure: the worker
+    // lambdas reference stack state, so no early return while they run.
+    Status extract_status = Status::OK();
+    for (std::future<Status>& f : pending) {
+      Status s = f.get();
+      if (extract_status.ok() && !s.ok()) extract_status = s;
+    }
+    RETURN_IF_ERROR(extract_status);
+    extract_span.Note("partitions", partitions.size());
+    extract_span.Note("workers", exec.workers);
+    extract_span.Close();
+
+    // The merge consumes the runs in address order, so ProcessRow sees
+    // exactly the row sequence the sequential scan would and the message
+    // stream is identical by construction.
+    obs::Tracer::Span merge_span(tracer, "merge+transmit");
+    for (std::vector<ExtractedRow>& run : runs) {
+      for (ExtractedRow& er : run) {
+        RETURN_IF_ERROR(ProcessRow(
+            &fx, &states, &sender, &repairs, er.addr, er.stored_prev,
+            er.stored_ts,
+            [&er](size_t i) -> Result<bool> {
+              return ((er.qualified >> i) & 1) != 0;
+            },
+            [&er](size_t i, const MemberState&) -> Result<std::string> {
+              if (((er.has_payload >> i) & 1) == 0) {
+                // Unreachable: the worker's three-valued send verdict
+                // over-approximates the merge's.
+                return Status::Internal(
+                    "parallel extraction missed a payload");
+              }
+              return std::move(er.payloads[i]);
+            }));
+      }
+    }
+    RETURN_IF_ERROR(sender.Flush());
+    if (!states.empty()) {
+      merge_span.Note("entries", states[0].member.stats->entries_scanned);
+    }
+    merge_span.Note("repairs", repairs.size());
+    merge_span.Close();
+  } else {
+    // --- Sequential path: the paper's single combined scan. ---
+    obs::Tracer::Span scan_span(tracer, "scan+transmit");
+    Status scan_status = base->ScanAnnotated(
+        [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+          return ProcessRow(
+              &fx, &states, &sender, &repairs, addr, row.prev_addr,
+              row.timestamp,
+              [&](size_t i) -> Result<bool> {
+                return EvaluatePredicate(*states[i].member.desc->restriction,
+                                         row.user, base->user_schema());
+              },
+              [&](size_t i, const MemberState& state) -> Result<std::string> {
+                (void)i;
+                ASSIGN_OR_RETURN(Tuple projected,
+                                 row.user.Project(base->user_schema(),
+                                                  state.member.desc->
+                                                      projection));
+                return projected.Serialize(state.projected_schema);
+              });
+        });
+    RETURN_IF_ERROR(scan_status);
+    RETURN_IF_ERROR(sender.Flush());
+    if (!states.empty()) {
+      scan_span.Note("entries", states[0].member.stats->entries_scanned);
+    }
+    scan_span.Note("repairs", repairs.size());
+    scan_span.Close();
+  }
 
   obs::Tracer::Span fixup_span(tracer, "fixup-writes");
   for (const PendingWrite& w : repairs) {
     RETURN_IF_ERROR(base->WriteAnnotations(w.addr, w.prev, w.ts));
     for (MemberState& state : states) ++state.member.stats->base_writes;
   }
-
   fixup_span.Close();
 
   // "Handle deletions at end of BaseTable" + transmit the new SnapTime,
-  // once per member.
+  // once per member. (The sender is already drained, so these pass through
+  // unbatched like every control message.)
   obs::Tracer::Span end_span(tracer, "end-of-refresh");
   for (MemberState& state : states) {
-    RETURN_IF_ERROR(channel->Send(MakeEndOfRefresh(
+    RETURN_IF_ERROR(sender.Send(MakeEndOfRefresh(
         state.member.desc->id, state.last_qual, fixup_time)));
     SNAPDIFF_LOG(Debug)
         << "differential refresh transmitted"
@@ -192,9 +442,11 @@ Status ExecuteGroupDifferentialRefresh(
 
 Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                   Timestamp snap_time, Channel* channel,
-                                  RefreshStats* stats, obs::Tracer* tracer) {
+                                  RefreshStats* stats, obs::Tracer* tracer,
+                                  const RefreshExecution& exec) {
   std::vector<GroupRefreshMember> members{{desc, snap_time, stats}};
-  return ExecuteGroupDifferentialRefresh(base, &members, channel, tracer);
+  return ExecuteGroupDifferentialRefresh(base, &members, channel, tracer,
+                                         exec);
 }
 
 }  // namespace snapdiff

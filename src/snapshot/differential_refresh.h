@@ -30,11 +30,23 @@ namespace snapdiff {
 /// SnapTime (= the fix-up timestamp) has been transmitted in the closing
 /// message and recorded in stats->new_snap_time.
 /// `tracer`, when given, receives nested spans (scan+transmit,
-/// fixup-writes, end-of-refresh) under the caller's current phase.
+/// fixup-writes, end-of-refresh; the parallel path replaces scan+transmit
+/// with partition-extract and merge+transmit) under the caller's current
+/// phase.
+///
+/// `exec` selects the execution strategy. With `workers > 1` (and a pool)
+/// the per-row extraction work — page reads, deserialization, predicate
+/// evaluation, projection + serialization — runs over address-range
+/// partitions in parallel, and the Figure 3/7 state machine then consumes
+/// the extracted runs in address order single-threaded, so the emitted
+/// message stream is byte-identical to the sequential scan. With
+/// `batch_size > 1` consecutive ENTRY messages per snapshot coalesce into
+/// ENTRY_BATCH wire messages (see BatchingSender).
 Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                   Timestamp snap_time, Channel* channel,
                                   RefreshStats* stats,
-                                  obs::Tracer* tracer = nullptr);
+                                  obs::Tracer* tracer = nullptr,
+                                  const RefreshExecution& exec = {});
 
 /// One member of a group refresh: a snapshot being served, its SnapTime
 /// from the refresh request, and where to accumulate its meters.
@@ -50,11 +62,16 @@ struct GroupRefreshMember {
 /// the base table"). The fix-up runs once; each member keeps its own
 /// Figure-3 transmit state (LastQual, Deletion flag) against its own
 /// SnapTime. All members receive the same new SnapTime.
+///
+/// The parallel path (`exec.workers > 1`) supports groups of up to 64
+/// members (per-row member sets are packed into 64-bit maps); larger
+/// groups silently fall back to the sequential scan.
 Status ExecuteGroupDifferentialRefresh(BaseTable* base,
                                        std::vector<GroupRefreshMember>*
                                            members,
                                        Channel* channel,
-                                       obs::Tracer* tracer = nullptr);
+                                       obs::Tracer* tracer = nullptr,
+                                       const RefreshExecution& exec = {});
 
 }  // namespace snapdiff
 

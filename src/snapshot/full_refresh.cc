@@ -10,26 +10,27 @@ namespace {
 /// Serializes and ships one qualified row.
 Status TransmitRow(BaseTable* base, SnapshotDescriptor* desc,
                    const Schema& projected_schema, Address addr,
-                   const Tuple& user_row, Channel* channel) {
+                   const Tuple& user_row, BatchingSender* sender) {
   ASSIGN_OR_RETURN(Tuple projected,
                    user_row.Project(base->user_schema(), desc->projection));
   ASSIGN_OR_RETURN(std::string payload,
                    projected.Serialize(projected_schema));
-  return channel->Send(MakeUpsert(desc->id, addr, std::move(payload)));
+  return sender->Send(MakeUpsert(desc->id, addr, std::move(payload)));
 }
 
 }  // namespace
 
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                           Channel* channel, RefreshStats* stats,
-                          obs::Tracer* tracer) {
+                          obs::Tracer* tracer, const RefreshExecution& exec) {
   ASSIGN_OR_RETURN(Schema projected_schema,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
+  BatchingSender sender(channel, exec.batch_size);
 
   {
     obs::Tracer::Span clear_span(tracer, "clear");
-    RETURN_IF_ERROR(channel->Send(MakeClear(desc->id)));
+    RETURN_IF_ERROR(sender.Send(MakeClear(desc->id)));
   }
 
   // "When an efficient method for applying the snapshot restriction is
@@ -57,8 +58,9 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
         if (!qualified) continue;
       }
       RETURN_IF_ERROR(TransmitRow(base, desc, projected_schema, addr,
-                                  user_row, channel));
+                                  user_row, &sender));
     }
+    RETURN_IF_ERROR(sender.Flush());
   } else {
     obs::Tracer::Span span(tracer, "scan+transmit");
     RETURN_IF_ERROR(base->ScanAnnotated(
@@ -69,14 +71,15 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                              base->user_schema()));
           if (!qualified) return Status::OK();
           return TransmitRow(base, desc, projected_schema, addr, row.user,
-                             channel);
+                             &sender);
         }));
+    RETURN_IF_ERROR(sender.Flush());
   }
 
   // No positional tail semantics: the snapshot was cleared up front.
   obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
-      channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
+      sender.Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
   return Status::OK();
 }
 

@@ -13,9 +13,13 @@ namespace snapdiff {
 /// update activity, but leaves base-table operations completely untouched.
 /// `tracer`, when given, receives nested spans (clear, scan/index-select,
 /// end-of-refresh) under the caller's current phase.
+/// `exec.batch_size > 1` coalesces the UPSERT stream into ENTRY_BATCH wire
+/// messages (the scan itself is cheap relative to re-transmission, so the
+/// full path does not parallelize; `exec.workers` is ignored).
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                           Channel* channel, RefreshStats* stats,
-                          obs::Tracer* tracer = nullptr);
+                          obs::Tracer* tracer = nullptr,
+                          const RefreshExecution& exec = {});
 
 }  // namespace snapdiff
 

@@ -2,6 +2,18 @@
 
 namespace snapdiff {
 
+namespace {
+
+/// Per-entry-message fixed cost under ENTRY_BATCH coalescing: a batch of k
+/// entries pays one message overhead.
+double EntryMessageCost(const RefreshCostModel& model) {
+  const double k = model.entry_batch_size < 1.0 ? 1.0
+                                                : model.entry_batch_size;
+  return model.message_cost / k;
+}
+
+}  // namespace
+
 double EstimateDifferentialCost(const WorkloadPoint& p,
                                 const RefreshCostModel& model) {
   const double n = static_cast<double>(p.table_size);
@@ -14,7 +26,7 @@ double EstimateDifferentialCost(const WorkloadPoint& p,
                           n * p.update_fraction * p.selectivity;
   return n * model.sequential_read_cost +
          fixups * model.annotation_write_cost +
-         messages * model.message_cost +
+         messages * EntryMessageCost(model) +
          snap_ops * model.snapshot_write_cost;
 }
 
@@ -30,7 +42,7 @@ double EstimateFullCost(const WorkloadPoint& p, const RefreshCostModel& model,
                                : n * model.sequential_read_cost;
   // The snapshot is cleared and rebuilt: delete + insert per row.
   const double snap_ops = 2.0 * qualified;
-  return retrieval + qualified * model.message_cost +
+  return retrieval + qualified * EntryMessageCost(model) +
          snap_ops * model.snapshot_write_cost;
 }
 

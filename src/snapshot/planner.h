@@ -18,6 +18,12 @@ struct RefreshCostModel {
   double message_cost = 20.0;          // per data message
   double snapshot_write_cost = 2.0;    // per snapshot upsert/delete
   double annotation_write_cost = 2.0;  // per fix-up write during refresh
+  /// ENTRY_BATCH coalescing factor the executor will run with
+  /// (RefreshExecution::batch_size): the fixed per-message cost of entry
+  /// traffic is amortized over this many entries. 1.0 models the unbatched
+  /// protocol; payload bytes are unaffected either way, so only the
+  /// message_cost term divides.
+  double entry_batch_size = 1.0;
 };
 
 /// Expected cost of one differential refresh at workload point `p`:

@@ -12,6 +12,26 @@
 
 namespace snapdiff {
 
+class ThreadPool;
+
+/// Execution knobs shared by the refresh executors. The defaults reproduce
+/// the paper's single-threaded, unbatched pipeline exactly; turning either
+/// knob changes how the work is performed and framed but never which
+/// entries are transmitted (see DESIGN.md "Parallel refresh & batching").
+struct RefreshExecution {
+  /// Base-table scan partitions processed concurrently. Values > 1 require
+  /// `pool` and parallelize the per-row extraction work; the transmit-state
+  /// machine always runs single-threaded over the merged runs so the
+  /// message stream is identical to a sequential scan.
+  size_t workers = 1;
+  /// Borrowed pool that runs the partition scans (required iff workers > 1).
+  ThreadPool* pool = nullptr;
+  /// Maximum entries coalesced into one ENTRY_BATCH message; <= 1 disables
+  /// batching and keeps the wire stream byte-identical to the unbatched
+  /// protocol.
+  size_t batch_size = 1;
+};
+
 /// How a snapshot's contents are brought up to date.
 enum class RefreshMethod {
   /// Re-transmit every qualified entry; snapshot is cleared first.

@@ -79,6 +79,20 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
   }
 }
 
+RefreshExecution SnapshotSystem::MakeRefreshExecution() {
+  RefreshExecution exec;
+  exec.workers = options_.refresh_workers == 0 ? 1 : options_.refresh_workers;
+  exec.batch_size =
+      options_.refresh_batch_size == 0 ? 1 : options_.refresh_batch_size;
+  if (exec.workers > 1) {
+    if (refresh_pool_ == nullptr) {
+      refresh_pool_ = std::make_unique<ThreadPool>(exec.workers);
+    }
+    exec.pool = refresh_pool_.get();
+  }
+  return exec;
+}
+
 Status SnapshotSystem::RestoreBaseSite() {
   RETURN_IF_ERROR(
       LoadCatalog(&base_catalog_, base_disk_.get(), kCatalogSuperblock));
@@ -463,14 +477,17 @@ Result<RefreshStats> SnapshotSystem::Refresh(
   obs::Tracer::Span exec_span(
       &tracer_,
       std::string("execute ").append(RefreshMethodToString(desc->method)));
+  const RefreshExecution refresh_exec = MakeRefreshExecution();
   Status exec = Status::OK();
   switch (desc->method) {
     case RefreshMethod::kFull:
-      exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_);
+      exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_,
+                                refresh_exec);
       break;
     case RefreshMethod::kDifferential:
       exec = ExecuteDifferentialRefresh(base, desc, request.timestamp,
-                                        channel, &stats, &tracer_);
+                                        channel, &stats, &tracer_,
+                                        refresh_exec);
       break;
     case RefreshMethod::kIdeal:
       exec = ExecuteIdealRefresh(base, desc, channel, &stats, &tracer_);
@@ -484,7 +501,8 @@ Result<RefreshStats> SnapshotSystem::Refresh(
         // made before the snapshot existed were never streamed. Anything
         // the propagator buffered is subsumed by the copy.
         if (entry->asap != nullptr) entry->asap->DiscardBuffered();
-        exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_);
+        exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_,
+                                  refresh_exec);
         break;
       }
       // Thereafter changes are already streamed; flush any partition
@@ -603,8 +621,9 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
   Channel* channel = &group_site->channel;
   const ChannelStats before = channel->stats();
   obs::Tracer::Span exec_span(&tracer_, "execute group-differential");
-  Status exec =
-      ExecuteGroupDifferentialRefresh(base, &members, channel, &tracer_);
+  Status exec = ExecuteGroupDifferentialRefresh(base, &members, channel,
+                                                &tracer_,
+                                                MakeRefreshExecution());
   Status unlock = locks_.Release(txn, base->info()->id);
   RETURN_IF_ERROR(exec);
   RETURN_IF_ERROR(unlock);
@@ -627,6 +646,12 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
         case MessageType::kUpsert:
           ++stats->traffic.entry_messages;
           break;
+        case MessageType::kEntryBatch: {
+          ++stats->traffic.entry_messages;
+          auto count = EntryBatchCount(msg);
+          stats->traffic.batched_entries += count.ok() ? *count : 0;
+          break;
+        }
         case MessageType::kDelete:
         case MessageType::kDeleteRange:
           ++stats->traffic.delete_messages;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "net/channel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -36,6 +37,15 @@ struct SnapshotSystemOptions {
   /// construction; snapshots are *not* persisted (they live at the remote
   /// snapshot site) and are re-created by the application.
   std::string base_data_path;
+  /// Scan partitions processed concurrently during full/differential
+  /// refresh (see RefreshExecution::workers). 1 (or 0) keeps the paper's
+  /// single-threaded pipeline; > 1 lazily spins up a shared ThreadPool of
+  /// this size, owned by the system for its lifetime.
+  size_t refresh_workers = 1;
+  /// Entries coalesced per ENTRY_BATCH wire message during refresh
+  /// transmission (see RefreshExecution::batch_size). <= 1 disables
+  /// batching.
+  size_t refresh_batch_size = 1;
 };
 
 /// Per-snapshot creation options.
@@ -210,6 +220,10 @@ class SnapshotSystem {
   /// Restores base tables recorded in a checkpointed data file.
   Status RestoreBaseSite();
 
+  /// Execution knobs for the refresh executors, derived from options_.
+  /// First call with refresh_workers > 1 constructs the shared pool.
+  RefreshExecution MakeRefreshExecution();
+
   /// Ends the open trace and records the refresh in the metrics registry
   /// (refresh counter + duration histogram, per-snapshot refresh counter
   /// and staleness gauge).
@@ -228,6 +242,9 @@ class SnapshotSystem {
   LockManager locks_;
   std::unique_ptr<LogManager> wal_;
   std::unordered_map<std::string, std::unique_ptr<BaseTable>> base_tables_;
+
+  // Shared refresh worker pool; constructed on first parallel refresh.
+  std::unique_ptr<ThreadPool> refresh_pool_;
 
   // Snapshot sites (at least "main"); node-based map keeps sites stable.
   std::map<std::string, std::unique_ptr<SnapshotSite>> sites_;

@@ -168,6 +168,15 @@ Status SnapshotTable::ApplyMessage(const Message& msg, RefreshStats* stats) {
                        Tuple::Deserialize(value_schema_, msg.payload));
       return Upsert(msg.base_addr, value_row, stats);
     }
+    case MessageType::kEntryBatch: {
+      // Batching is pure transport: applying the unpacked entries in order
+      // is exactly applying the unbatched stream.
+      ASSIGN_OR_RETURN(std::vector<Message> entries, UnpackEntryBatch(msg));
+      for (const Message& entry : entries) {
+        RETURN_IF_ERROR(ApplyMessage(entry, stats));
+      }
+      return Status::OK();
+    }
     case MessageType::kDelete:
       return DeleteByBaseAddr(msg.base_addr, stats);
     case MessageType::kDeleteRange:

@@ -62,6 +62,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     Page* page = frames_[it->second].get();
@@ -88,6 +89,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
 }
 
 Result<Page*> BufferPool::NewPage(PageId* page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
   ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Page* page = frames_[idx].get();
@@ -100,6 +102,7 @@ Result<Page*> BufferPool::NewPage(PageId* page_id) {
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound("UnpinPage: page not resident");
@@ -114,6 +117,7 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound("FlushPage: page not resident");
@@ -127,6 +131,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [page_id, idx] : page_table_) {
     Page* page = frames_[idx].get();
     if (page->is_dirty_) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,13 @@ struct BufferPoolStats {
 /// A classic pin-count buffer pool with LRU replacement over unpinned
 /// frames. Fetched pages stay resident while pinned; unpinning with
 /// `dirty = true` schedules a write-back on eviction or flush.
+///
+/// Fetch/New/Unpin/Flush are serialized by one coarse latch so parallel
+/// refresh workers can scan concurrently. A pinned page cannot be evicted,
+/// so reading a pinned page's data outside the latch is safe; writing page
+/// data still requires external coordination (the refresh executors only
+/// write single-threaded). stats()/ResetStats() remain unsynchronized —
+/// read them only while no worker is active.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t pool_size);
@@ -57,11 +65,13 @@ class BufferPool {
  private:
   /// Finds a frame for a new resident page: a free frame if any, else the
   /// least recently used unpinned frame (evicting its current page).
+  /// Requires mu_ held.
   Result<size_t> GetVictimFrame();
 
   void TouchLru(size_t frame_idx);
   void RemoveFromLru(size_t frame_idx);
 
+  mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;

@@ -32,6 +32,7 @@ void DiskManager::RecordAllocation() {
 }
 
 Status MemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
                               " not allocated");
@@ -42,6 +43,7 @@ Status MemoryDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status MemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
                               " not allocated");
@@ -52,6 +54,7 @@ Status MemoryDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 Result<PageId> MemoryDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   auto buf = std::make_unique<char[]>(Page::kPageSize);
   std::memset(buf.get(), 0, Page::kPageSize);
   pages_.push_back(std::move(buf));
@@ -60,6 +63,7 @@ Result<PageId> MemoryDiskManager::AllocatePage() {
 }
 
 PageId MemoryDiskManager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return static_cast<PageId>(pages_.size());
 }
 
@@ -87,6 +91,7 @@ Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= page_count_) {
     return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
                               " not allocated");
@@ -99,6 +104,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= page_count_) {
     return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
                               " not allocated");
@@ -112,6 +118,7 @@ Status FileDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   const PageId id = page_count_;
   char zeros[Page::kPageSize];
   std::memset(zeros, 0, Page::kPageSize);
@@ -124,6 +131,9 @@ Result<PageId> FileDiskManager::AllocatePage() {
   return id;
 }
 
-PageId FileDiskManager::page_count() const { return page_count_; }
+PageId FileDiskManager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
 
 }  // namespace snapdiff

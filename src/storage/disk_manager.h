@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,8 @@ class DiskManager {
 };
 
 /// Heap-backed page store; the default for simulations and tests.
+/// Thread-safe: one latch serializes page I/O and allocation so concurrent
+/// refresh workers can fault pages in through a shared BufferPool.
 class MemoryDiskManager : public DiskManager {
  public:
   MemoryDiskManager() = default;
@@ -76,11 +79,13 @@ class MemoryDiskManager : public DiskManager {
   PageId page_count() const override;
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
 };
 
 /// File-backed page store for durability demos. The file grows on demand;
-/// page N lives at byte offset N * kPageSize.
+/// page N lives at byte offset N * kPageSize. Thread-safe: a latch
+/// serializes the shared fstream's seek + read/write pairs.
 class FileDiskManager : public DiskManager {
  public:
   /// Creates or opens `path`. Existing pages are preserved and re-counted.
@@ -96,6 +101,7 @@ class FileDiskManager : public DiskManager {
   FileDiskManager(std::fstream file, PageId page_count)
       : file_(std::move(file)), page_count_(page_count) {}
 
+  mutable std::mutex mu_;
   std::fstream file_;
   PageId page_count_;
 };

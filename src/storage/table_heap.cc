@@ -244,4 +244,26 @@ Status TableHeap::ForEach(
   return Status::OK();
 }
 
+Status TableHeap::ForEachInPageRange(
+    size_t first_page_idx, size_t page_count,
+    const std::function<Status(Address, std::string_view)>& fn) {
+  if (first_page_idx > pages_.size() ||
+      page_count > pages_.size() - first_page_idx) {
+    return Status::InvalidArgument("ForEachInPageRange: range out of bounds");
+  }
+  for (size_t i = first_page_idx; i < first_page_idx + page_count; ++i) {
+    const PageId page_id = pages_[i];
+    ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+    PageGuard guard(pool_, page);
+    SlottedPage sp(page);
+    for (uint32_t slot = 0; slot < sp.slot_count(); ++slot) {
+      const SlotId s = static_cast<SlotId>(slot);
+      if (!sp.IsOccupied(s)) continue;
+      ASSIGN_OR_RETURN(std::string_view view, sp.Get(s));
+      RETURN_IF_ERROR(fn(Address::FromPageSlot(page_id, s), view));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace snapdiff

@@ -129,6 +129,17 @@ class TableHeap {
   Status ForEach(
       const std::function<Status(Address, std::string_view)>& fn);
 
+  /// Like ForEach, restricted to the heap's pages [first_page_idx,
+  /// first_page_idx + page_count) — indexes into pages(), i.e. address
+  /// order. Each page is pinned once and all its slots visited under that
+  /// single pin, so a partitioned scan takes one FetchPage per page
+  /// instead of one per row (the access pattern the parallel refresh
+  /// workers rely on). The tuple bytes passed to `fn` alias the pinned
+  /// frame and are invalidated when `fn` returns.
+  Status ForEachInPageRange(
+      size_t first_page_idx, size_t page_count,
+      const std::function<Status(Address, std::string_view)>& fn);
+
  private:
   /// Picks (or allocates) a page that can hold `len` bytes under the current
   /// placement policy.

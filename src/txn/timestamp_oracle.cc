@@ -12,7 +12,8 @@ Status TimestampOracle::Checkpoint(DiskManager* disk, PageId page_id) const {
   char buf[Page::kPageSize];
   std::memset(buf, 0, sizeof(buf));
   std::memcpy(buf, kMagic, sizeof(kMagic));
-  std::memcpy(buf + sizeof(kMagic), &next_, sizeof(next_));
+  const Timestamp next = PeekNext();
+  std::memcpy(buf + sizeof(kMagic), &next, sizeof(next));
   return disk->WritePage(page_id, buf);
 }
 

@@ -1,6 +1,8 @@
 #ifndef SNAPDIFF_TXN_TIMESTAMP_ORACLE_H_
 #define SNAPDIFF_TXN_TIMESTAMP_ORACLE_H_
 
+#include <atomic>
+
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -14,6 +16,9 @@ namespace snapdiff {
 /// mark to a reserved disk page so that timestamps never repeat after a
 /// crash (recovery rounds the counter up past the last checkpoint plus the
 /// reservation window).
+///
+/// The counter is atomic: refresh workers and base-table mutators on other
+/// threads may draw timestamps concurrently without a lock.
 class TimestampOracle {
  public:
   /// `reservation` is the number of timestamps that may be issued beyond the
@@ -21,18 +26,35 @@ class TimestampOracle {
   explicit TimestampOracle(Timestamp start = kMinTimestamp)
       : next_(start) {}
 
+  TimestampOracle(const TimestampOracle& other)
+      : next_(other.next_.load(std::memory_order_relaxed)) {}
+  TimestampOracle& operator=(const TimestampOracle& other) {
+    next_.store(other.next_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Returns a fresh timestamp, strictly greater than all previous ones.
-  Timestamp Next() { return next_++; }
+  Timestamp Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
 
   /// The most recently issued timestamp (kMinTimestamp - 1 if none).
-  Timestamp Current() const { return next_ - 1; }
+  Timestamp Current() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
 
   /// Peeks at the timestamp the next call to Next() will return.
-  Timestamp PeekNext() const { return next_; }
+  Timestamp PeekNext() const {
+    return next_.load(std::memory_order_relaxed);
+  }
 
   /// Fast-forwards so the next timestamp is at least `t` (never moves
   /// backwards). Mirrors a wall-clock time base catching up.
-  void AdvanceTo(Timestamp t) { next_ = next_ > t ? next_ : t; }
+  void AdvanceTo(Timestamp t) {
+    Timestamp cur = next_.load(std::memory_order_relaxed);
+    while (cur < t && !next_.compare_exchange_weak(
+                          cur, t, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Persists the counter to `page_id` of `disk` (which must be allocated).
   Status Checkpoint(DiskManager* disk, PageId page_id) const;
@@ -44,7 +66,7 @@ class TimestampOracle {
                                          Timestamp skew = 1000);
 
  private:
-  Timestamp next_;
+  std::atomic<Timestamp> next_;
 };
 
 }  // namespace snapdiff

@@ -98,6 +98,61 @@ TEST(ObservabilityIntegrationTest, DifferentialRefreshTraceReconciles) {
   EXPECT_TRUE(saw_nested_scan) << tracer.Report();
 }
 
+TEST(ObservabilityIntegrationTest,
+     ParallelBatchedRefreshTraceReconcilesExactly) {
+  // The acceptance property must survive both new execution knobs: with
+  // ENTRY_BATCH coalescing and parallel partition extraction the tracer's
+  // data-channel deltas still reconcile exactly with RefreshStats::traffic.
+  SnapshotSystemOptions options;
+  options.refresh_workers = 4;
+  options.refresh_batch_size = 8;
+  SnapshotSystem sys(options);
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs;
+  for (int i = 0; i < 600; ++i) {  // several pages, so Partition(4) > 1
+    auto addr = (*base)->Insert(Row("e" + std::to_string(i), i % 30));
+    ASSERT_TRUE(addr.ok());
+    addrs.push_back(*addr);
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 20").ok());
+
+  // Initial bulk population: many entries, so batches must appear.
+  auto initial = sys.Refresh("low");
+  ASSERT_TRUE(initial.ok());
+  EXPECT_GT(initial->traffic.batched_entries, 0u);
+  ExpectTraceReconciles(sys.tracer(), *initial);
+
+  // Incremental refresh after a change burst.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        (*base)->Update(addrs[i * 7 % addrs.size()], Row("u", i % 30)).ok());
+  }
+  ASSERT_TRUE((*base)->Delete(addrs[11]).ok());
+  auto stats = sys.Refresh("low");
+  ASSERT_TRUE(stats.ok());
+  ExpectTraceReconciles(sys.tracer(), *stats);
+
+  // The parallel executor's phases nest under the execute span in place of
+  // the sequential scan+transmit.
+  bool saw_extract = false;
+  bool saw_merge = false;
+  for (const obs::TraceSpan& span : sys.tracer().spans()) {
+    if (span.name == "partition-extract" && span.depth == 1) {
+      saw_extract = true;
+    }
+    if (span.name == "merge+transmit" && span.depth == 1) saw_merge = true;
+  }
+  EXPECT_TRUE(saw_extract) << sys.tracer().Report();
+  EXPECT_TRUE(saw_merge) << sys.tracer().Report();
+
+  // Worker-slot meters were sharded into the shared registry.
+  EXPECT_GT(obs::MetricsRegistry::Default()
+                .GetCounter("snapshot.refresh.parallel.worker.0.rows")
+                ->value(),
+            0u);
+}
+
 TEST(ObservabilityIntegrationTest, EveryMethodProducesAReconcilingTrace) {
   const struct {
     RefreshMethod method;

@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace snapdiff {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsFutureResults) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 32; ++i) {
+    results.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(results[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsTasksOnDistinctThreads) {
+  // All four tasks block until all four are running at once — only
+  // possible with four live worker threads.
+  constexpr int kTasks = 4;
+  ThreadPool pool(kTasks);
+  std::mutex mu;
+  std::condition_variable cv;
+  int running = 0;
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < kTasks; ++i) {
+    done.push_back(pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      if (++running == kTasks) cv.notify_all();
+      cv.wait(lock, [&] { return running == kTasks; });
+    }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(running, kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> completed{0};
+  constexpr int kQueued = 16;
+  {
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    // The single worker blocks on the gate; everything submitted behind it
+    // is still queued when the destructor runs.
+    auto head = pool.Submit([open] { open.wait(); });
+    for (int i = 0; i < kQueued; ++i) {
+      pool.Submit([&completed] { ++completed; });
+    }
+    EXPECT_EQ(completed.load(), 0);
+    gate.set_value();
+    // Destructor joins: queued tasks must finish, not be dropped.
+  }
+  EXPECT_EQ(completed.load(), kQueued);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto doomed = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(doomed.get(), std::runtime_error);
+  // The worker that ran the throwing task is still usable.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace snapdiff
