@@ -36,16 +36,19 @@ Result<Row> RunOne(uint64_t table_size, double q, double churn,
   on.anchor_optimization = true;
   RETURN_IF_ERROR(sys.CreateSnapshot("opt", "base", restriction, on).status());
   RETURN_IF_ERROR(sys.CreateSnapshot("plain", "base", restriction).status());
-  RETURN_IF_ERROR(sys.Refresh("opt").status());
-  RETURN_IF_ERROR(sys.Refresh("plain").status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("opt")).status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("plain")).status());
 
   // Delete-heavy churn creates gaps anchored by unchanged entries.
   RETURN_IF_ERROR(workload->ApplyMixedOps(
       static_cast<size_t>(churn * double(table_size)), 0.25, 0.5));
 
   Row out;
-  ASSIGN_OR_RETURN(RefreshStats opt, sys.Refresh("opt"));
-  ASSIGN_OR_RETURN(RefreshStats plain, sys.Refresh("plain"));
+  ASSIGN_OR_RETURN(RefreshReport opt_report, sys.Refresh(RefreshRequest::For("opt")));
+  ASSIGN_OR_RETURN(RefreshReport plain_report,
+                   sys.Refresh(RefreshRequest::For("plain")));
+  const RefreshStats& opt = opt_report.stats;
+  const RefreshStats& plain = plain_report.stats;
   out.msgs_opt = opt.data_messages();
   out.bytes_opt = opt.traffic.payload_bytes;
   out.anchors = opt.anchor_messages;

@@ -48,19 +48,23 @@ Result<Row> RunOne(uint64_t table_size, double u, uint64_t seed) {
   RETURN_IF_ERROR(
       sys.CreateSnapshot("asap", "base", restriction, asap_opts).status());
 
-  RETURN_IF_ERROR(sys.Refresh("diff").status());
-  RETURN_IF_ERROR(sys.Refresh("log").status());
-  RETURN_IF_ERROR(sys.Refresh("asap").status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("diff")).status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("log")).status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("asap")).status());
 
   const uint64_t sent_before = sys.data_channel()->stats().messages;
   RETURN_IF_ERROR(workload->UpdateFraction(u));
   // ASAP messages were sent during the burst itself.
   out.asap_msgs = sys.data_channel()->stats().messages - sent_before;
 
-  ASSIGN_OR_RETURN(RefreshStats diff_stats, sys.Refresh("diff"));
+  ASSIGN_OR_RETURN(RefreshReport diff_report,
+                   sys.Refresh(RefreshRequest::For("diff")));
+  const RefreshStats& diff_stats = diff_report.stats;
   out.diff_msgs = diff_stats.data_messages();
   out.log_bytes = sys.wal()->retained_bytes();
-  ASSIGN_OR_RETURN(RefreshStats log_stats, sys.Refresh("log"));
+  ASSIGN_OR_RETURN(RefreshReport log_report,
+                   sys.Refresh(RefreshRequest::For("log")));
+  const RefreshStats& log_stats = log_report.stats;
   out.log_msgs = log_stats.data_messages();
   out.log_culled = log_stats.log_records_culled;
   return out;

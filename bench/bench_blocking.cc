@@ -26,9 +26,10 @@ Result<ChannelStats> RunOne(uint64_t table_size, double u,
   RETURN_IF_ERROR(
       sys.CreateSnapshot("snap", "base", workload->RestrictionFor(0.25))
           .status());
-  RETURN_IF_ERROR(sys.Refresh("snap").status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("snap")).status());
   RETURN_IF_ERROR(workload->UpdateFraction(u));
-  ASSIGN_OR_RETURN(RefreshStats stats, sys.Refresh("snap"));
+  ASSIGN_OR_RETURN(RefreshReport report, sys.Refresh(RefreshRequest::For("snap")));
+  const RefreshStats& stats = report.stats;
   return stats.traffic;
 }
 

@@ -53,7 +53,7 @@ Result<Run> RunOne(uint64_t table_size, size_t k, bool grouped,
     RETURN_IF_ERROR(sys.RefreshGroup(names).status());
   } else {
     for (const std::string& name : names) {
-      RETURN_IF_ERROR(sys.Refresh(name).status());
+      RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For(name)).status());
     }
   }
   Run out;

@@ -38,9 +38,10 @@ Result<Row> RunOne(uint64_t table_size, double q, double u, bool indexed,
   RETURN_IF_ERROR(
       sys.CreateSnapshot("snap", "base", workload->RestrictionFor(q), opts)
           .status());
-  RETURN_IF_ERROR(sys.Refresh("snap").status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("snap")).status());
   RETURN_IF_ERROR(workload->UpdateFraction(u));
-  ASSIGN_OR_RETURN(RefreshStats stats, sys.Refresh("snap"));
+  ASSIGN_OR_RETURN(RefreshReport report, sys.Refresh(RefreshRequest::For("snap")));
+  const RefreshStats& stats = report.stats;
   Row out;
   out.touched = stats.entries_scanned + stats.base_reads;
   out.msgs = stats.data_messages();

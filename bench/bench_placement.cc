@@ -27,7 +27,7 @@ Result<std::pair<double, double>> Run(PlacementPolicy placement,
   RETURN_IF_ERROR(
       sys.CreateSnapshot("snap", "base", workload->RestrictionFor(0.25))
           .status());
-  RETURN_IF_ERROR(sys.Refresh("snap").status());
+  RETURN_IF_ERROR(sys.Refresh(RefreshRequest::For("snap")).status());
 
   double total_msgs = 0;
   double total_rows = 0;
@@ -35,7 +35,8 @@ Result<std::pair<double, double>> Run(PlacementPolicy placement,
     // Heavy insert/delete churn (40% inserts, 40% deletes, 20% updates).
     RETURN_IF_ERROR(workload->ApplyMixedOps(
         static_cast<size_t>(churn * double(table_size)), 0.4, 0.4));
-    ASSIGN_OR_RETURN(RefreshStats stats, sys.Refresh("snap"));
+    ASSIGN_OR_RETURN(RefreshReport report, sys.Refresh(RefreshRequest::For("snap")));
+    const RefreshStats& stats = report.stats;
     total_msgs += double(stats.data_messages());
     total_rows += double(workload->table_size());
   }

@@ -90,6 +90,19 @@ Result<Address> ParseAddr(const std::string& s) {
       static_cast<SlotId>(std::stoul(s.substr(dot + 2))));
 }
 
+Result<int64_t> ParseInt(const std::string& s) {
+  try {
+    size_t used = 0;
+    const int64_t v = std::stoll(s, &used);
+    if (used != s.size()) {
+      return Status::InvalidArgument("not an integer: " + s);
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("not an integer: " + s);
+  }
+}
+
 Result<Value> ParseValueFor(const Column& col, const std::string& token) {
   const bool is_string_literal = !token.empty() && token[0] == '\'';
   switch (col.type) {
@@ -226,10 +239,32 @@ class Shell {
   }
 
   Status Refresh(const std::vector<std::string>& tok) {
-    if (tok.size() != 2) return Status::InvalidArgument("usage: refresh <snapshot>");
-    ASSIGN_OR_RETURN(RefreshStats stats, sys_.Refresh(tok[1]));
+    if (tok.size() != 2 && tok.size() != 3) {
+      return Status::InvalidArgument(
+          "usage: refresh <snapshot> [max_retries]");
+    }
+    RefreshRequest req;
+    req.snapshot = tok[1];
+    if (tok.size() == 3) {
+      ASSIGN_OR_RETURN(int64_t retries, ParseInt(tok[2]));
+      if (retries < 0) {
+        return Status::InvalidArgument("max_retries must be >= 0");
+      }
+      req.retry.max_retries = static_cast<uint64_t>(retries);
+    }
+    ASSIGN_OR_RETURN(RefreshReport report, sys_.Refresh(req));
     std::printf("refreshed %s: %s\n", tok[1].c_str(),
-                stats.ToString().c_str());
+                report.stats.ToString().c_str());
+    if (report.attempts > 1) {
+      std::printf(
+          "  session %llu: %llu attempts, %llu resumed, %llu messages "
+          "suppressed, %llu backoff ticks\n",
+          static_cast<unsigned long long>(report.session_id),
+          static_cast<unsigned long long>(report.attempts),
+          static_cast<unsigned long long>(report.resumes),
+          static_cast<unsigned long long>(report.suppressed_messages),
+          static_cast<unsigned long long>(report.backoff_ticks));
+    }
     return Status::OK();
   }
 

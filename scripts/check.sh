@@ -22,6 +22,11 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 
+# Fault matrix: rerun the fault-injection surface (channel fault plans,
+# mid-stream failures, per-site partitions, resumable sessions) on its own
+# so a flake here is attributable immediately. Still under ASan/UBSan.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L fault
+
 # ThreadSanitizer pass over the concurrency surface: the thread pool and the
 # parallel refresh pipeline (plus the observability integration tests that
 # drive a multi-worker refresh end to end).

@@ -1,5 +1,7 @@
 #include "net/channel.h"
 
+#include <algorithm>
+
 #include "obs/log.h"
 
 namespace snapdiff {
@@ -15,6 +17,9 @@ ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
   d.wire_bytes = a.wire_bytes - b.wire_bytes;
   d.frames = a.frames - b.frames;
   d.send_failures = a.send_failures - b.send_failures;
+  d.dropped_messages = a.dropped_messages - b.dropped_messages;
+  d.duplicated_messages = a.duplicated_messages - b.duplicated_messages;
+  d.reordered_messages = a.reordered_messages - b.reordered_messages;
   return d;
 }
 
@@ -28,7 +33,24 @@ ChannelStats& operator+=(ChannelStats& a, const ChannelStats& b) {
   a.wire_bytes += b.wire_bytes;
   a.frames += b.frames;
   a.send_failures += b.send_failures;
+  a.dropped_messages += b.dropped_messages;
+  a.duplicated_messages += b.duplicated_messages;
+  a.reordered_messages += b.reordered_messages;
   return a;
+}
+
+std::string_view FaultPhaseToString(FaultPhase phase) {
+  switch (phase) {
+    case FaultPhase::kIdle:
+      return "idle";
+    case FaultPhase::kArmed:
+      return "armed";
+    case FaultPhase::kFired:
+      return "fired";
+    case FaultPhase::kHealed:
+      return "healed";
+  }
+  return "unknown";
 }
 
 ChannelStats operator+(const ChannelStats& a, const ChannelStats& b) {
@@ -49,21 +71,103 @@ Channel::Channel(ChannelOptions options) : options_(std::move(options)) {
   metrics_.wire_bytes = reg.GetCounter(p + ".wire_bytes");
   metrics_.frames = reg.GetCounter(p + ".frames");
   metrics_.send_failures = reg.GetCounter(p + ".send_failures");
+  metrics_.dropped = reg.GetCounter(p + ".dropped_messages");
+  metrics_.duplicated = reg.GetCounter(p + ".duplicated_messages");
+  metrics_.reordered = reg.GetCounter(p + ".reordered_messages");
+}
+
+void Channel::Arm(FaultPlan plan) {
+  fault_plan_ = plan;
+  fault_phase_ = plan.empty() ? FaultPhase::kIdle : FaultPhase::kArmed;
+  sends_since_arm_ = 0;
+  bytes_since_arm_ = 0;
+  armed_at_ticks_ = now_ticks_;
+  reorder_rng_ = Random(plan.reorder_seed);
+  if (plan.partition_after_sends.has_value() &&
+      *plan.partition_after_sends == 0) {
+    FirePartition();
+  }
+}
+
+void Channel::Heal() {
+  partitioned_ = false;
+  if (fault_phase_ != FaultPhase::kIdle) fault_phase_ = FaultPhase::kHealed;
+  fault_plan_ = FaultPlan{};
+}
+
+void Channel::AdvanceTime(uint64_t ticks) {
+  now_ticks_ += ticks;
+  if (!fault_plan_.heal_after_ticks.has_value()) return;
+  if (fault_phase_ == FaultPhase::kFired &&
+      now_ticks_ - fired_at_ticks_ >= *fault_plan_.heal_after_ticks) {
+    SNAPDIFF_LOG(Info) << "injected link loss healed"
+                       << obs::kv("channel", options_.metrics_prefix)
+                       << obs::kv("after_ticks",
+                                  now_ticks_ - fired_at_ticks_);
+    Heal();
+    return;
+  }
+  // Cadence faults (drop/duplicate/reorder) never "fire"; with no pending
+  // partition the heal deadline counts from arming, so the fault window
+  // simply expires.
+  const bool cadence_only = !fault_plan_.partition_after_sends.has_value() &&
+                            !fault_plan_.partition_after_bytes.has_value();
+  if (fault_phase_ == FaultPhase::kArmed && cadence_only &&
+      now_ticks_ - armed_at_ticks_ >= *fault_plan_.heal_after_ticks) {
+    SNAPDIFF_LOG(Info) << "injected fault window expired"
+                       << obs::kv("channel", options_.metrics_prefix);
+    Heal();
+  }
+}
+
+void Channel::ResetStats() {
+  stats_ = ChannelStats{};
+  FlushFrame();
+  if (fault_phase_ == FaultPhase::kArmed) {
+    fault_plan_ = FaultPlan{};
+    fault_phase_ = FaultPhase::kIdle;
+  }
+}
+
+void Channel::FirePartition() {
+  partitioned_ = true;  // the injected link loss persists until healed
+  fault_phase_ = FaultPhase::kFired;
+  fired_at_ticks_ = now_ticks_;
+  SNAPDIFF_LOG(Warn) << "injected link loss fired"
+                     << obs::kv("channel", options_.metrics_prefix);
+}
+
+void Channel::Enqueue(std::string bytes) {
+  if (fault_phase_ == FaultPhase::kArmed && fault_plan_.reorder_window > 0 &&
+      !queue_.empty()) {
+    const uint64_t bound =
+        std::min<uint64_t>(fault_plan_.reorder_window, queue_.size());
+    const uint64_t displacement = reorder_rng_.Uniform(bound + 1);
+    if (displacement > 0) {
+      queue_.insert(queue_.end() - static_cast<ptrdiff_t>(displacement),
+                    std::move(bytes));
+      ++stats_.reordered_messages;
+      metrics_.reordered->Inc();
+      return;
+    }
+  }
+  queue_.push_back(std::move(bytes));
 }
 
 Status Channel::Send(const Message& msg) {
-  if (fail_after_.has_value() && *fail_after_ == 0) {
-    partitioned_ = true;  // the injected link loss persists until healed
-    fail_after_.reset();
-    SNAPDIFF_LOG(Warn) << "injected link loss fired"
-                       << obs::kv("channel", options_.metrics_prefix);
+  if (fault_phase_ == FaultPhase::kArmed) {
+    if ((fault_plan_.partition_after_sends.has_value() &&
+         sends_since_arm_ >= *fault_plan_.partition_after_sends) ||
+        (fault_plan_.partition_after_bytes.has_value() &&
+         bytes_since_arm_ >= *fault_plan_.partition_after_bytes)) {
+      FirePartition();
+    }
   }
   if (partitioned_) {
     ++stats_.send_failures;
     metrics_.send_failures->Inc();
     return Status::Unavailable("channel partitioned");
   }
-  if (fail_after_.has_value()) --*fail_after_;
   std::string bytes;
   msg.SerializeTo(&bytes);
 
@@ -111,8 +215,28 @@ Status Channel::Send(const Message& msg) {
     open_frame_messages_ = 0;
   }
 
+  ++sends_since_arm_;
+  bytes_since_arm_ += bytes.size() + options_.per_message_overhead_bytes;
+
   const bool is_end = msg.type == MessageType::kEndOfRefresh;
-  queue_.push_back(std::move(bytes));
+  if (fault_phase_ == FaultPhase::kArmed && fault_plan_.drop_every_nth > 0 &&
+      sends_since_arm_ % fault_plan_.drop_every_nth == 0) {
+    // Silent loss: the sender paid for the wire but nothing arrives.
+    ++stats_.dropped_messages;
+    metrics_.dropped->Inc();
+  } else {
+    const bool duplicate = fault_phase_ == FaultPhase::kArmed &&
+                           fault_plan_.duplicate_every_nth > 0 &&
+                           sends_since_arm_ %
+                                   fault_plan_.duplicate_every_nth ==
+                               0;
+    if (duplicate) {
+      Enqueue(bytes);
+      ++stats_.duplicated_messages;
+      metrics_.duplicated->Inc();
+    }
+    Enqueue(std::move(bytes));
+  }
   if (is_end) FlushFrame();
   return Status::OK();
 }
@@ -129,8 +253,8 @@ Result<Message> Channel::Receive() {
 
 void Channel::FlushFrame() { open_frame_messages_ = 0; }
 
-BatchingSender::BatchingSender(Channel* channel, size_t batch_size)
-    : channel_(channel), batch_size_(batch_size) {}
+BatchingSender::BatchingSender(MessageSink* sink, size_t batch_size)
+    : sink_(sink), batch_size_(batch_size) {}
 
 BatchingSender::~BatchingSender() { (void)Flush(); }
 
@@ -139,9 +263,9 @@ Status BatchingSender::FlushSnapshot(SnapshotId id) {
   if (it == pending_.end() || it->second.empty()) return Status::OK();
   std::vector<Message> run = std::move(it->second);
   pending_.erase(it);
-  if (run.size() == 1) return channel_->Send(run.front());
+  if (run.size() == 1) return sink_->Send(run.front());
   ASSIGN_OR_RETURN(Message batch, MakeEntryBatch(run));
-  return channel_->Send(batch);
+  return sink_->Send(batch);
 }
 
 Status BatchingSender::Send(const Message& msg) {
@@ -151,7 +275,7 @@ Status BatchingSender::Send(const Message& msg) {
                          msg.timestamp == kNullTimestamp;
   if (!batchable) {
     RETURN_IF_ERROR(FlushSnapshot(msg.snapshot_id));
-    return channel_->Send(msg);
+    return sink_->Send(msg);
   }
   std::vector<Message>& run = pending_[msg.snapshot_id];
   if (!run.empty() && run.front().type != msg.type) {

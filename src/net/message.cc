@@ -22,6 +22,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "END_OF_REFRESH";
     case MessageType::kEntryBatch:
       return "ENTRY_BATCH";
+    case MessageType::kResumeRefresh:
+      return "RESUME_REFRESH";
   }
   return "UNKNOWN";
 }
@@ -32,13 +34,15 @@ void Message::SerializeTo(std::string* dst) const {
   PutFixed64(dst, base_addr.raw());
   PutFixed64(dst, prev_addr.raw());
   PutFixed64(dst, static_cast<uint64_t>(timestamp));
+  PutFixed64(dst, session_id);
+  PutFixed64(dst, seq);
   PutLengthPrefixed(dst, payload);
 }
 
 Result<Message> Message::DeserializeFrom(std::string_view* input) {
   if (input->empty()) return Status::Corruption("empty message");
   const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
-  if (type_raw > static_cast<uint8_t>(MessageType::kEntryBatch)) {
+  if (type_raw > static_cast<uint8_t>(MessageType::kResumeRefresh)) {
     return Status::Corruption("bad message type");
   }
   input->remove_prefix(1);
@@ -54,12 +58,14 @@ Result<Message> Message::DeserializeFrom(std::string_view* input) {
   msg.prev_addr = Address::FromRaw(u64);
   RETURN_IF_ERROR(GetFixed64(input, &u64));
   msg.timestamp = static_cast<Timestamp>(u64);
+  RETURN_IF_ERROR(GetFixed64(input, &msg.session_id));
+  RETURN_IF_ERROR(GetFixed64(input, &msg.seq));
   RETURN_IF_ERROR(GetLengthPrefixed(input, &msg.payload));
   return msg;
 }
 
 size_t Message::SerializedSize() const {
-  return 1 + 4 + 8 + 8 + 8 + 4 + payload.size();
+  return 1 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + payload.size();
 }
 
 std::string Message::ToString() const {
@@ -69,6 +75,10 @@ std::string Message::ToString() const {
   out += " prev=" + prev_addr.ToString();
   if (timestamp != kNullTimestamp) {
     out += " ts=" + std::to_string(timestamp);
+  }
+  if (session_id != 0) {
+    out += " session=" + std::to_string(session_id) +
+           " seq=" + std::to_string(seq);
   }
   if (!payload.empty()) {
     out += " payload=" + std::to_string(payload.size()) + "B";
@@ -80,7 +90,8 @@ std::string Message::ToString() const {
 bool operator==(const Message& a, const Message& b) {
   return a.type == b.type && a.snapshot_id == b.snapshot_id &&
          a.base_addr == b.base_addr && a.prev_addr == b.prev_addr &&
-         a.timestamp == b.timestamp && a.payload == b.payload;
+         a.timestamp == b.timestamp && a.session_id == b.session_id &&
+         a.seq == b.seq && a.payload == b.payload;
 }
 
 Message MakeRefreshRequest(SnapshotId id, Timestamp snap_time,
@@ -144,6 +155,16 @@ Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
   m.snapshot_id = id;
   m.prev_addr = last_qual;
   m.timestamp = new_snap_time;
+  return m;
+}
+
+Message MakeResumeRefresh(SnapshotId id, uint64_t session_id,
+                          uint64_t last_applied_seq) {
+  Message m;
+  m.type = MessageType::kResumeRefresh;
+  m.snapshot_id = id;
+  m.session_id = session_id;
+  m.seq = last_applied_seq;
   return m;
 }
 

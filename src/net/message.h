@@ -46,6 +46,11 @@ enum class MessageType : uint8_t {
   /// and processes the entries in order, so batched transmission is
   /// semantically identical to the unbatched stream.
   kEntryBatch = 7,
+  /// snapshot → base: resume an interrupted refresh session. `session_id`
+  /// names the session; `seq` carries the snapshot site's durably-applied
+  /// prefix (last_applied_seq). The base site replies by re-running the
+  /// refresh with every message whose seq <= last_applied_seq suppressed.
+  kResumeRefresh = 8,
 };
 
 std::string_view MessageTypeToString(MessageType type);
@@ -56,6 +61,15 @@ struct Message {
   Address base_addr = Address::Null();
   Address prev_addr = Address::Null();
   Timestamp timestamp = kNullTimestamp;
+  /// Refresh-session identity. 0 = sessionless (ASAP streams, group
+  /// refresh, direct executor use): such messages are applied on arrival
+  /// with no duplicate/reorder protection. Non-zero: the message belongs to
+  /// a resumable refresh session and `seq` is its 1-based position in the
+  /// session's stream; the snapshot-site applier admits session messages
+  /// strictly in seq order, dropping duplicates and holding early arrivals
+  /// (see SnapshotSystem::DeliverPending).
+  uint64_t session_id = 0;
+  uint64_t seq = 0;
   std::string payload;
 
   bool IsDataMessage() const {
@@ -73,6 +87,17 @@ struct Message {
 
 bool operator==(const Message& a, const Message& b);
 
+/// Anything that accepts protocol messages on the base side of a link:
+/// the Channel itself, a BatchingSender coalescing in front of it, or a
+/// RefreshSession stamping session ids and sequence numbers. Executors
+/// write to a sink so transmission-side concerns stack without the
+/// executors knowing.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual Status Send(const Message& msg) = 0;
+};
+
 /// Factories for the common shapes.
 Message MakeRefreshRequest(SnapshotId id, Timestamp snap_time,
                            std::string restriction_text);
@@ -84,6 +109,11 @@ Message MakeDeleteMsg(SnapshotId id, Address addr);
 Message MakeDeleteRange(SnapshotId id, Address lo, Address hi);
 Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
                          Timestamp new_snap_time);
+/// RESUME_REFRESH(session, last_applied_seq): snapshot → base, asking the
+/// base site to restart session `session_id` from the first unapplied
+/// message. The checkpoint travels in `seq`.
+Message MakeResumeRefresh(SnapshotId id, uint64_t session_id,
+                          uint64_t last_applied_seq);
 
 /// Coalesces `entries` into one kEntryBatch message. All entries must share
 /// one snapshot id and one type (kEntry or kUpsert) and carry no timestamp;

@@ -56,8 +56,8 @@ Result<std::vector<FigurePoint>> RunFigureExperiment(
         }
         for (RefreshMethod method : config.methods) {
           RETURN_IF_ERROR(
-              sys.Refresh("snap_" +
-                          std::string(RefreshMethodToString(method)))
+              sys.Refresh(RefreshRequest::For(
+                  "snap_" + std::string(RefreshMethodToString(method))))
                   .status());
         }
 
@@ -66,11 +66,11 @@ Result<std::vector<FigurePoint>> RunFigureExperiment(
 
         for (RefreshMethod method : config.methods) {
           ASSIGN_OR_RETURN(
-              RefreshStats stats,
-              sys.Refresh("snap_" +
-                          std::string(RefreshMethodToString(method))));
-          acc[method].first += double(stats.data_messages());
-          acc[method].second += double(stats.traffic.payload_bytes);
+              RefreshReport report,
+              sys.Refresh(RefreshRequest::For(
+                  "snap_" + std::string(RefreshMethodToString(method)))));
+          acc[method].first += double(report.stats.data_messages());
+          acc[method].second += double(report.stats.traffic.payload_bytes);
         }
       }
       for (RefreshMethod method : config.methods) {

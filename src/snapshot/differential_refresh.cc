@@ -107,7 +107,8 @@ FixupResult FixupRow(FixupState* fx, Address addr, Address stored_prev,
 template <typename QualFn, typename PayloadFn>
 Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
                   BatchingSender* sender, std::vector<PendingWrite>* repairs,
-                  Address addr, Address stored_prev, Timestamp stored_ts,
+                  const RefreshExecution& exec, Address addr,
+                  Address stored_prev, Timestamp stored_ts,
                   QualFn&& qualified_for, PayloadFn&& payload_for) {
   const FixupResult fix = FixupRow(fx, addr, stored_prev, stored_ts);
   if (fix.write_needed) repairs->push_back({addr, fix.prev, fix.ts});
@@ -140,7 +141,7 @@ Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
           // already holds this entry's current value, so ship the address
           // alone (SnapshotDescriptor::anchor_optimization).
           ++stats->anchor_messages;
-        } else {
+        } else if (!NextSendSuppressed(exec)) {
           ASSIGN_OR_RETURN(payload, payload_for(i, state));
         }
         RETURN_IF_ERROR(sender->Send(
@@ -318,7 +319,10 @@ Status ExecuteGroupDifferentialRefresh(
 
   FixupState fx{fixup_time, Address::Origin(), Address::Origin()};
   std::vector<PendingWrite> repairs;
-  BatchingSender sender(channel, exec.batch_size);
+  MessageSink* sink = exec.session != nullptr
+                          ? static_cast<MessageSink*>(exec.session)
+                          : channel;
+  BatchingSender sender(sink, exec.batch_size);
 
   std::vector<BaseTable::ScanPartition> partitions;
   if (exec.workers > 1 && states.size() <= kMaxParallelMembers) {
@@ -363,7 +367,7 @@ Status ExecuteGroupDifferentialRefresh(
     for (std::vector<ExtractedRow>& run : runs) {
       for (ExtractedRow& er : run) {
         RETURN_IF_ERROR(ProcessRow(
-            &fx, &states, &sender, &repairs, er.addr, er.stored_prev,
+            &fx, &states, &sender, &repairs, exec, er.addr, er.stored_prev,
             er.stored_ts,
             [&er](size_t i) -> Result<bool> {
               return ((er.qualified >> i) & 1) != 0;
@@ -391,7 +395,7 @@ Status ExecuteGroupDifferentialRefresh(
     Status scan_status = base->ScanAnnotated(
         [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
           return ProcessRow(
-              &fx, &states, &sender, &repairs, addr, row.prev_addr,
+              &fx, &states, &sender, &repairs, exec, addr, row.prev_addr,
               row.timestamp,
               [&](size_t i) -> Result<bool> {
                 return EvaluatePredicate(*states[i].member.desc->restriction,

@@ -7,14 +7,20 @@ namespace snapdiff {
 
 namespace {
 
-/// Serializes and ships one qualified row.
+/// Serializes and ships one qualified row. On a resumed session's
+/// fast-forward region, projection + serialization are skipped: the message
+/// only spends a sequence number.
 Status TransmitRow(BaseTable* base, SnapshotDescriptor* desc,
                    const Schema& projected_schema, Address addr,
-                   const Tuple& user_row, BatchingSender* sender) {
-  ASSIGN_OR_RETURN(Tuple projected,
-                   user_row.Project(base->user_schema(), desc->projection));
-  ASSIGN_OR_RETURN(std::string payload,
-                   projected.Serialize(projected_schema));
+                   const Tuple& user_row, BatchingSender* sender,
+                   const RefreshExecution& exec) {
+  std::string payload;
+  if (!NextSendSuppressed(exec)) {
+    ASSIGN_OR_RETURN(Tuple projected,
+                     user_row.Project(base->user_schema(),
+                                      desc->projection));
+    ASSIGN_OR_RETURN(payload, projected.Serialize(projected_schema));
+  }
   return sender->Send(MakeUpsert(desc->id, addr, std::move(payload)));
 }
 
@@ -26,7 +32,10 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
   ASSIGN_OR_RETURN(Schema projected_schema,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
-  BatchingSender sender(channel, exec.batch_size);
+  MessageSink* sink = exec.session != nullptr
+                          ? static_cast<MessageSink*>(exec.session)
+                          : channel;
+  BatchingSender sender(sink, exec.batch_size);
 
   {
     obs::Tracer::Span clear_span(tracer, "clear");
@@ -58,7 +67,7 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
         if (!qualified) continue;
       }
       RETURN_IF_ERROR(TransmitRow(base, desc, projected_schema, addr,
-                                  user_row, &sender));
+                                  user_row, &sender, exec));
     }
     RETURN_IF_ERROR(sender.Flush());
   } else {
@@ -71,7 +80,7 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                              base->user_schema()));
           if (!qualified) return Status::OK();
           return TransmitRow(base, desc, projected_schema, addr, row.user,
-                             &sender);
+                             &sender, exec);
         }));
     RETURN_IF_ERROR(sender.Flush());
   }

@@ -6,10 +6,14 @@ namespace snapdiff {
 
 Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
                            Channel* channel, RefreshStats* stats,
-                           obs::Tracer* tracer) {
+                           obs::Tracer* tracer,
+                           const RefreshExecution& exec) {
   ASSIGN_OR_RETURN(Schema projected_schema,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
+  MessageSink* sink = exec.session != nullptr
+                          ? static_cast<MessageSink*>(exec.session)
+                          : channel;
 
   // Current qualified projection.
   obs::Tracer::Span scan_span(tracer, "scan");
@@ -38,23 +42,24 @@ Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
   for (const auto& [addr, payload] : current) {
     auto it = desc->ideal_shadow.find(addr);
     if (it == desc->ideal_shadow.end() || it->second != payload) {
-      RETURN_IF_ERROR(channel->Send(MakeUpsert(desc->id, addr, payload)));
+      RETURN_IF_ERROR(sink->Send(MakeUpsert(desc->id, addr, payload)));
     }
   }
   for (const auto& [addr, payload] : desc->ideal_shadow) {
     if (!current.contains(addr)) {
-      RETURN_IF_ERROR(channel->Send(MakeDeleteMsg(desc->id, addr)));
+      RETURN_IF_ERROR(sink->Send(MakeDeleteMsg(desc->id, addr)));
     }
   }
   diff_span.Close();
   obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
-      channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
+      sink->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
   end_span.Close();
-  // Only now is the transmission complete; committing the shadow earlier
-  // would silently lose the delta if a send failed mid-stream (the failed
-  // refresh must remain retryable).
-  desc->ideal_shadow = std::move(current);
+  // Stage the shadow advance; the caller commits it only once the snapshot
+  // site confirms the refresh applied. Committing it here would silently
+  // lose the delta if a message were dropped in flight (the re-run would
+  // diff against the new shadow and emit a different — empty — stream).
+  desc->pending_ideal_shadow = std::move(current);
   return Status::OK();
 }
 

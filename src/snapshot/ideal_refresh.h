@@ -15,9 +15,16 @@ namespace snapdiff {
 /// exact set difference: an UPSERT per new/changed qualified row, a DELETE
 /// per row that left the qualified set. The shadow's cost is deliberately
 /// *not* metered — no implementable method gets this information for free.
+///
+/// The shadow advance is *staged* in desc->pending_ideal_shadow; the caller
+/// commits it once the snapshot site confirms the refresh applied (see
+/// SnapshotDescriptor). `exec.session` makes the transmission resumable
+/// (the delta iterates in deterministic address order); the batching and
+/// parallel knobs are ignored.
 Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
                            Channel* channel, RefreshStats* stats,
-                           obs::Tracer* tracer = nullptr);
+                           obs::Tracer* tracer = nullptr,
+                           const RefreshExecution& exec = {});
 
 }  // namespace snapdiff
 

@@ -7,7 +7,8 @@ namespace snapdiff {
 
 Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
                               Channel* channel, RefreshStats* stats,
-                              obs::Tracer* tracer) {
+                              obs::Tracer* tracer,
+                              const RefreshExecution& exec) {
   if (base->wal() == nullptr) {
     return Status::InvalidArgument(
         "log-based refresh requires a recovery log");
@@ -15,6 +16,9 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
   ASSIGN_OR_RETURN(Schema projected_schema,
                    base->user_schema().Project(desc->projection));
   const Timestamp now = base->oracle()->Next();
+  MessageSink* sink = exec.session != nullptr
+                          ? static_cast<MessageSink*>(exec.session)
+                          : channel;
 
   obs::Tracer::Span cull_span(tracer, "cull");
   CullStats cull;
@@ -32,8 +36,9 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
     SNAPDIFF_LOG(Warn) << "log truncated past last refresh; falling back"
                        << obs::kv("snapshot", desc->name)
                        << obs::kv("last_refresh_lsn", desc->last_refresh_lsn);
-    RETURN_IF_ERROR(ExecuteFullRefresh(base, desc, channel, stats, tracer));
-    desc->last_refresh_lsn = base->wal()->LastLsn();
+    RETURN_IF_ERROR(ExecuteFullRefresh(base, desc, channel, stats, tracer,
+                                       exec));
+    desc->pending_refresh_lsn = base->wal()->LastLsn();
     return Status::OK();
   }
 
@@ -49,26 +54,30 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
     ASSIGN_OR_RETURN(bool before_q, qualifies(change.before));
     ASSIGN_OR_RETURN(bool after_q, qualifies(change.after));
     if (after_q) {
-      ASSIGN_OR_RETURN(Tuple after,
-                       Tuple::Deserialize(base->user_schema(), change.after));
-      ASSIGN_OR_RETURN(Tuple projected,
-                       after.Project(base->user_schema(), desc->projection));
-      ASSIGN_OR_RETURN(std::string payload,
-                       projected.Serialize(projected_schema));
+      std::string payload;
+      if (!NextSendSuppressed(exec)) {
+        ASSIGN_OR_RETURN(Tuple after, Tuple::Deserialize(base->user_schema(),
+                                                         change.after));
+        ASSIGN_OR_RETURN(Tuple projected,
+                         after.Project(base->user_schema(),
+                                       desc->projection));
+        ASSIGN_OR_RETURN(payload, projected.Serialize(projected_schema));
+      }
       RETURN_IF_ERROR(
-          channel->Send(MakeUpsert(desc->id, addr, std::move(payload))));
+          sink->Send(MakeUpsert(desc->id, addr, std::move(payload))));
     } else if (before_q) {
-      RETURN_IF_ERROR(channel->Send(MakeDeleteMsg(desc->id, addr)));
+      RETURN_IF_ERROR(sink->Send(MakeDeleteMsg(desc->id, addr)));
     }
   }
   transmit_span.Close();
   obs::Tracer::Span end_span(tracer, "end-of-refresh");
   RETURN_IF_ERROR(
-      channel->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
+      sink->Send(MakeEndOfRefresh(desc->id, Address::Null(), now)));
   end_span.Close();
-  // Advance the log position only once the transmission is complete, so a
-  // mid-stream failure leaves the refresh retryable from the same point.
-  desc->last_refresh_lsn = base->wal()->LastLsn();
+  // Stage the log-position advance; the caller commits it only once the
+  // snapshot site confirms the refresh applied, so a lost message leaves
+  // the refresh resumable from the same point.
+  desc->pending_refresh_lsn = base->wal()->LastLsn();
   return Status::OK();
 }
 

@@ -19,9 +19,16 @@ namespace snapdiff {
 ///   * if the log was truncated past the snapshot's last refresh point,
 ///     the entire (restricted) base table is retransmitted instead
 ///     (stats->fell_back_to_full).
+///
+/// The advance of the log position is *staged* in
+/// desc->pending_refresh_lsn; the caller commits it once the snapshot site
+/// confirms the refresh applied (see SnapshotDescriptor). `exec.session`
+/// makes the transmission resumable; only the batching/parallel knobs are
+/// ignored (the change list is already minimal).
 Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
                               Channel* channel, RefreshStats* stats,
-                              obs::Tracer* tracer = nullptr);
+                              obs::Tracer* tracer = nullptr,
+                              const RefreshExecution& exec = {});
 
 }  // namespace snapdiff
 

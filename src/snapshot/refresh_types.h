@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "expr/expr.h"
 #include "net/channel.h"
+#include "net/refresh_session.h"
 
 namespace snapdiff {
 
@@ -30,6 +32,37 @@ struct RefreshExecution {
   /// batching and keeps the wire stream byte-identical to the unbatched
   /// protocol.
   size_t batch_size = 1;
+  /// Non-null: transmit through this resumable session (stamps session id +
+  /// sequence numbers, suppresses the already-applied prefix on a resumed
+  /// attempt). Null: send session-less, directly on the channel.
+  RefreshSession* session = nullptr;
+};
+
+/// True when the next message an executor sends is certain to be
+/// suppressed by a resumed session, so building its payload would be pure
+/// waste. Exact only on the unbatched single-stream path: batching and the
+/// parallel extract serialize ahead of the send order, so they stay
+/// conservative and never elide.
+inline bool NextSendSuppressed(const RefreshExecution& exec) {
+  return exec.session != nullptr && exec.batch_size <= 1 &&
+         exec.session->NextSuppressed();
+}
+
+/// Retry behaviour of SnapshotSystem::Refresh when the transmission fails
+/// (link partitioned) or completes with losses (messages dropped in
+/// flight). Backoff is simulated time: attempt k waits
+/// min(initial_backoff_ticks · 2^(k-1), max_backoff_ticks) virtual ticks,
+/// advanced on the site link via Channel::AdvanceTime — deterministic, no
+/// wall clock, and exactly what FaultPlan::WithHealAfter listens to.
+struct RetryPolicy {
+  /// Additional attempts after the first (0 = the paper's "simply retry
+  /// later": fail fast and let the caller re-demand).
+  uint64_t max_retries = 0;
+  uint64_t initial_backoff_ticks = 1;
+  uint64_t max_backoff_ticks = 64;
+  /// Resume from the applied prefix (true) or retransmit from scratch
+  /// (false; ablation + methods without deterministic streams).
+  bool resume = true;
 };
 
 /// How a snapshot's contents are brought up to date.
@@ -78,6 +111,16 @@ struct SnapshotDescriptor {
   std::map<Address, std::string> ideal_shadow;
   /// kLogBased: WAL position of the last refresh.
   Lsn last_refresh_lsn = 0;
+
+  /// --- in-flight refresh outcome, committed only on session completion ---
+  /// The executors stage their per-method state advance here instead of
+  /// committing it themselves: with lossy delivery an executor can finish
+  /// sending while the END message never arrives, and committing then would
+  /// make the retry's re-run emit a *different* (empty) stream, breaking
+  /// resume-by-sequence-number. SnapshotSystem::Refresh commits the staged
+  /// values once the snapshot site confirms the END applied.
+  std::optional<std::map<Address, std::string>> pending_ideal_shadow;
+  std::optional<Lsn> pending_refresh_lsn;
 };
 
 /// Counters for one refresh operation, merging base-site scan work, channel
@@ -110,6 +153,61 @@ struct RefreshStats {
   }
 
   std::string ToString() const;
+};
+
+/// Everything one refresh call needs, bundled: the snapshot, an optional
+/// per-call method override, execution-knob overrides, the retry policy,
+/// and an optional fault to inject on the site link (chaos testing). This
+/// is THE refresh entry point; Refresh(name) survives as a deprecated
+/// wrapper equivalent to RefreshRequest{name}.
+struct RefreshRequest {
+  /// The defaults-only request — what the deprecated string overload
+  /// forwards to.
+  static RefreshRequest For(std::string snapshot) {
+    RefreshRequest r;
+    r.snapshot = std::move(snapshot);
+    return r;
+  }
+
+  std::string snapshot;
+
+  /// Per-call method override. Must be the snapshot's own method or kFull
+  /// (every snapshot can be rebuilt by full re-transmission; switching
+  /// between incremental methods would desynchronize their per-method
+  /// base-site state). Join snapshots accept only kFull.
+  std::optional<RefreshMethod> method;
+
+  /// Override SnapshotSystemOptions::refresh_workers / refresh_batch_size
+  /// for this call (nullopt = system default).
+  std::optional<size_t> workers;
+  std::optional<size_t> batch_size;
+
+  RetryPolicy retry;
+
+  /// Armed on the snapshot site's link immediately before the first
+  /// transmission attempt and healed when the call returns — a scripted
+  /// per-request fault window.
+  std::optional<FaultPlan> fault;
+};
+
+/// What one refresh call did: the per-refresh meters plus the session's
+/// retry/resume story.
+struct RefreshReport {
+  RefreshStats stats;
+  /// Wire-level session identity (0 for join snapshots — their streams are
+  /// session-less).
+  uint64_t session_id = 0;
+  uint64_t attempts = 1;
+  uint64_t retries = 0;
+  /// Attempts that fast-forwarded past an already-applied prefix.
+  uint64_t resumes = 0;
+  /// Messages suppressed by resume across all attempts — work the protocol
+  /// saved versus from-scratch retries.
+  uint64_t suppressed_messages = 0;
+  /// Total simulated backoff (Channel::AdvanceTime ticks).
+  uint64_t backoff_ticks = 0;
+  /// Name of the obs::Tracer trace covering this call.
+  std::string trace_id;
 };
 
 }  // namespace snapdiff

@@ -1,5 +1,7 @@
 #include "snapshot/snapshot_manager.h"
 
+#include <algorithm>
+
 #include "catalog/catalog_persistence.h"
 #include "common/logging.h"
 #include "obs/log.h"
@@ -61,6 +63,8 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
                      WithMetricsPrefix(options_.channel, "net.channel.data")));
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   metric_refreshes_ = reg.GetCounter("snapshot.refresh.count");
+  metric_refresh_retries_ = reg.GetCounter("snapshot.refresh.retries");
+  metric_refresh_resumes_ = reg.GetCounter("snapshot.refresh.resumes");
   metric_refresh_duration_ = reg.GetHistogram(
       "snapshot.refresh.duration_us", obs::DefaultLatencyBucketsUs());
   metric_snapshot_count_ = reg.GetGauge("snapshot.count");
@@ -79,18 +83,25 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
   }
 }
 
-RefreshExecution SnapshotSystem::MakeRefreshExecution() {
+RefreshExecution SnapshotSystem::MakeRefreshExecution(
+    const RefreshRequest& request, RefreshSession* session) {
   RefreshExecution exec;
-  exec.workers = options_.refresh_workers == 0 ? 1 : options_.refresh_workers;
-  exec.batch_size =
-      options_.refresh_batch_size == 0 ? 1 : options_.refresh_batch_size;
+  exec.workers = request.workers.value_or(options_.refresh_workers);
+  if (exec.workers == 0) exec.workers = 1;
+  exec.batch_size = request.batch_size.value_or(options_.refresh_batch_size);
+  if (exec.batch_size == 0) exec.batch_size = 1;
   if (exec.workers > 1) {
     if (refresh_pool_ == nullptr) {
       refresh_pool_ = std::make_unique<ThreadPool>(exec.workers);
     }
     exec.pool = refresh_pool_.get();
   }
+  exec.session = session;
   return exec;
+}
+
+RefreshExecution SnapshotSystem::MakeRefreshExecution() {
+  return MakeRefreshExecution(RefreshRequest{}, nullptr);
 }
 
 Status SnapshotSystem::RestoreBaseSite() {
@@ -386,157 +397,370 @@ Result<SnapshotTable*> SnapshotSystem::GetSnapshot(
   return entry->table.get();
 }
 
-Status SnapshotSystem::DrainSite(SnapshotSite* site) {
-  while (site->channel.HasPending()) {
-    ASSIGN_OR_RETURN(Message msg, site->channel.Receive());
-    auto it = snapshots_by_id_.find(msg.snapshot_id);
-    if (it == snapshots_by_id_.end()) {
-      // Message for a dropped snapshot: discard.
-      continue;
+Status SnapshotSystem::ApplyDelivered(const Message& msg,
+                                      const SnapshotEntry* attributed,
+                                      RefreshStats* stats,
+                                      uint64_t* applied) {
+  auto it = snapshots_by_id_.find(msg.snapshot_id);
+  if (it == snapshots_by_id_.end()) {
+    // Message for a dropped snapshot: discard.
+    return Status::OK();
+  }
+  RefreshStats* apply_stats =
+      (attributed != nullptr && it->second == attributed) ? stats : nullptr;
+  RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
+  if (applied != nullptr) ++*applied;
+  return Status::OK();
+}
+
+Status SnapshotSystem::DeliverMessage(SnapshotSite* site, const Message& msg,
+                                      const SnapshotEntry* attributed,
+                                      RefreshStats* stats,
+                                      uint64_t* applied) {
+  if (msg.session_id == 0) {
+    // Session-less stream (ASAP propagation, group refresh, joins): apply
+    // on arrival, exactly the pre-session behavior.
+    return ApplyDelivered(msg, attributed, stats, applied);
+  }
+  ApplySessionState& sess = site->sessions[msg.session_id];
+  if (sess.snapshot_id == 0) sess.snapshot_id = msg.snapshot_id;
+  if (msg.seq <= sess.last_applied_seq) {
+    // Duplicate of the applied prefix (channel duplication or an overlap
+    // between a resumed attempt and late arrivals): drop.
+    ++sess.duplicates_dropped;
+    return Status::OK();
+  }
+  if (msg.seq > sess.last_applied_seq + 1) {
+    // Early arrival across a gap: hold until the prefix closes.
+    sess.held.emplace(msg.seq, msg);
+    return Status::OK();
+  }
+  RETURN_IF_ERROR(ApplyDelivered(msg, attributed, stats, applied));
+  sess.last_applied_seq = msg.seq;
+  if (msg.type == MessageType::kEndOfRefresh) sess.end_applied = true;
+  // The admitted message may close the gap in front of held arrivals.
+  auto held = sess.held.begin();
+  while (held != sess.held.end() &&
+         held->first == sess.last_applied_seq + 1) {
+    RETURN_IF_ERROR(ApplyDelivered(held->second, attributed, stats, applied));
+    sess.last_applied_seq = held->first;
+    if (held->second.type == MessageType::kEndOfRefresh) {
+      sess.end_applied = true;
     }
-    RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, nullptr));
+    held = sess.held.erase(held);
   }
   return Status::OK();
+}
+
+Status SnapshotSystem::DeliverPending(SnapshotSite* site,
+                                      const SnapshotEntry* attributed,
+                                      RefreshStats* stats,
+                                      uint64_t* applied) {
+  while (site->channel.HasPending()) {
+    ASSIGN_OR_RETURN(Message msg, site->channel.Receive());
+    RETURN_IF_ERROR(DeliverMessage(site, msg, attributed, stats, applied));
+  }
+  return Status::OK();
+}
+
+void SnapshotSystem::PruneSessions(SnapshotSite* site,
+                                   SnapshotId snapshot_id) {
+  for (auto it = site->sessions.begin(); it != site->sessions.end();) {
+    if (it->second.snapshot_id == snapshot_id) {
+      it = site->sessions.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t SnapshotSystem::SessionLastApplied(const SnapshotSite* site,
+                                            uint64_t session_id) const {
+  auto it = site->sessions.find(session_id);
+  return it == site->sessions.end() ? 0 : it->second.last_applied_seq;
+}
+
+bool SnapshotSystem::SessionComplete(const SnapshotSite* site,
+                                     uint64_t session_id) const {
+  auto it = site->sessions.find(session_id);
+  return it != site->sessions.end() && it->second.end_applied;
 }
 
 Status SnapshotSystem::DrainChannel() {
   for (auto& [name, site] : sites_) {
-    RETURN_IF_ERROR(DrainSite(site.get()));
+    RETURN_IF_ERROR(DeliverPending(site.get(), nullptr, nullptr));
   }
   return Status::OK();
 }
 
-Result<RefreshStats> SnapshotSystem::Refresh(
-    const std::string& snapshot_name) {
-  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(snapshot_name));
+Status SnapshotSystem::RunRefreshAttempt(SnapshotEntry* entry,
+                                         RefreshMethod method,
+                                         Timestamp request_time,
+                                         const RefreshRequest& request,
+                                         RefreshSession* session,
+                                         RefreshStats* stats) {
   SnapshotDescriptor* desc = &entry->descriptor;
   BaseTable* base = entry->source;
-  SnapshotTable* snap = entry->table.get();
-  RefreshStats stats;
+  Channel* channel = &entry->site->channel;
+  if (entry->join != nullptr) {
+    // General (join) snapshot: always a session-less full re-evaluation.
+    return ExecuteJoinFullRefresh(entry->join.get(), channel, stats,
+                                  &tracer_);
+  }
+  const RefreshExecution exec = MakeRefreshExecution(request, session);
+  switch (method) {
+    case RefreshMethod::kFull: {
+      RETURN_IF_ERROR(
+          ExecuteFullRefresh(base, desc, channel, stats, &tracer_, exec));
+      if (desc->method == RefreshMethod::kLogBased && base->wal() != nullptr) {
+        // A full override of a log-based snapshot subsumes the backlog,
+        // exactly like the executor's own truncation fallback.
+        desc->pending_refresh_lsn = base->wal()->LastLsn();
+      }
+      return Status::OK();
+    }
+    case RefreshMethod::kDifferential:
+      return ExecuteDifferentialRefresh(base, desc, request_time, channel,
+                                        stats, &tracer_, exec);
+    case RefreshMethod::kIdeal:
+      return ExecuteIdealRefresh(base, desc, channel, stats, &tracer_, exec);
+    case RefreshMethod::kLogBased:
+      return ExecuteLogBasedRefresh(base, desc, channel, stats, &tracer_,
+                                    exec);
+    case RefreshMethod::kAsap: {
+      if (entry->table->snap_time() == kNullTimestamp) {
+        // First refresh initializes the replica with a full copy; changes
+        // made before the snapshot existed were never streamed. Anything
+        // the propagator buffered is subsumed by the copy.
+        if (entry->asap != nullptr) entry->asap->DiscardBuffered();
+        return ExecuteFullRefresh(base, desc, channel, stats, &tracer_,
+                                  exec);
+      }
+      // Thereafter changes are already streamed; flush any partition
+      // backlog and stamp the snapshot with a fresh base time. The flush
+      // re-sends buffered (session-less) propagation messages; only the
+      // END rides the session.
+      if (entry->asap != nullptr) {
+        RETURN_IF_ERROR(entry->asap->FlushBuffered());
+      }
+      const Message end = MakeEndOfRefresh(desc->id, Address::Null(),
+                                           base->oracle()->Next());
+      return session != nullptr ? session->Send(end) : channel->Send(end);
+    }
+  }
+  return Status::Internal("bad refresh method");
+}
 
-  tracer_.Begin("refresh " + snapshot_name);
+void SnapshotSystem::CommitRefreshOutcome(SnapshotDescriptor* desc) {
+  if (desc->pending_ideal_shadow.has_value()) {
+    desc->ideal_shadow = std::move(*desc->pending_ideal_shadow);
+    desc->pending_ideal_shadow.reset();
+  }
+  if (desc->pending_refresh_lsn.has_value()) {
+    desc->last_refresh_lsn = *desc->pending_refresh_lsn;
+    desc->pending_refresh_lsn.reset();
+  }
+}
+
+Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
+  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(request.snapshot));
+  SnapshotDescriptor* desc = &entry->descriptor;
+  SnapshotTable* snap = entry->table.get();
+  SnapshotSite* site = entry->site;
+  Channel* channel = &site->channel;
+
+  // Per-call method override: a snapshot refreshes by its own method or by
+  // full re-transmission (always safe; switching between incremental
+  // methods would desynchronize their per-method base-site state).
+  RefreshMethod method = desc->method;
+  if (request.method.has_value() && *request.method != desc->method) {
+    if (entry->join != nullptr || *request.method != RefreshMethod::kFull) {
+      return Status::InvalidArgument(
+          "refresh method override for " + request.snapshot + " must be " +
+          std::string(RefreshMethodToString(desc->method)) +
+          (entry->join != nullptr ? "" : " or full"));
+    }
+    method = RefreshMethod::kFull;
+  }
+
+  // Stale staged outcomes of an earlier failed call must not survive into
+  // this one (the attempt below re-stages its own).
+  desc->pending_ideal_shadow.reset();
+  desc->pending_refresh_lsn.reset();
+
+  RefreshReport report;
+  const bool sessionless = entry->join != nullptr;
+  if (!sessionless) report.session_id = next_session_id_++;
+
+  tracer_.Begin("refresh " + request.snapshot);
   TraceEndGuard trace_guard{&tracer_};
 
-  // Deliver anything still in flight (ASAP streams) before measuring.
+  // Deliver anything still in flight — ASAP streams, and the applied
+  // prefix of an interrupted earlier session — before measuring.
   {
     obs::Tracer::Span drain_span(&tracer_, "drain");
     RETURN_IF_ERROR(DrainChannel());
+  }
+  // This session supersedes any earlier session for the snapshot; its
+  // prefix was just delivered, so the checkpoint state can go.
+  PruneSessions(site, desc->id);
+
+  // A scripted per-request fault window: armed before the first attempt,
+  // healed (at the latest) when the call returns.
+  struct FaultScope {
+    Channel* channel = nullptr;
+    ~FaultScope() {
+      if (channel != nullptr) channel->Heal();
+    }
+  } fault_scope;
+  if (request.fault.has_value() && !request.fault->empty()) {
+    channel->Arm(*request.fault);
+    fault_scope.channel = channel;
   }
 
   // The demand: snapshot → base, carrying SnapTime + restriction.
   obs::Tracer::Span request_span(&tracer_, "request");
   RETURN_IF_ERROR(request_channel_.Send(MakeRefreshRequest(
       desc->id, snap->snap_time(), desc->restriction_text)));
-  ASSIGN_OR_RETURN(Message request, request_channel_.Receive());
+  ASSIGN_OR_RETURN(Message demand, request_channel_.Receive());
   request_span.Close();
-
-  if (entry->join != nullptr) {
-    // General (join) snapshot: re-evaluate under shared locks on both
-    // inputs.
-    const TxnId jtxn = refresh_txn_++;
-    JoinDescriptor* join = entry->join.get();
-    RETURN_IF_ERROR(
-        locks_.Acquire(jtxn, join->left->info()->id, LockMode::kShared));
-    Status right_lock =
-        locks_.Acquire(jtxn, join->right->info()->id, LockMode::kShared);
-    if (!right_lock.ok()) {
-      locks_.ReleaseAll(jtxn);
-      return right_lock;
-    }
-    Channel* jchannel = &entry->site->channel;
-    const ChannelStats jbefore = jchannel->stats();
-    obs::Tracer::Span jexec_span(&tracer_, "execute join-full");
-    Status jexec = ExecuteJoinFullRefresh(join, jchannel, &stats, &tracer_);
-    locks_.ReleaseAll(jtxn);
-    RETURN_IF_ERROR(jexec);
-    stats.traffic = jchannel->stats() - jbefore;
-    jexec_span.Close();
-    obs::Tracer::Span japply_span(&tracer_, "apply");
-    while (jchannel->HasPending()) {
-      ASSIGN_OR_RETURN(Message msg, jchannel->Receive());
-      auto it = snapshots_by_id_.find(msg.snapshot_id);
-      if (it == snapshots_by_id_.end()) continue;
-      RefreshStats* apply_stats = it->second == entry ? &stats : nullptr;
-      RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
-    }
-    japply_span.Close();
-    FinishRefreshTrace(snapshot_name, *desc, *snap, stats);
-    return stats;
-  }
 
   // "we must obtain a table level lock on the base table during the fix up
   // (and refresh) procedures". Differential writes annotations → exclusive.
+  // Held across every attempt of this call: retries re-transmit the same
+  // frozen base state, which is what makes resume-by-sequence sound.
   const TxnId txn = refresh_txn_++;
-  const LockMode lock_mode = desc->method == RefreshMethod::kDifferential
-                                 ? LockMode::kExclusive
-                                 : LockMode::kShared;
-  RETURN_IF_ERROR(locks_.Acquire(txn, base->info()->id, lock_mode));
+  struct LockScope {
+    LockManager* locks;
+    TxnId txn;
+    ~LockScope() { locks->ReleaseAll(txn); }
+  } lock_scope{&locks_, txn};
+  if (entry->join != nullptr) {
+    JoinDescriptor* join = entry->join.get();
+    RETURN_IF_ERROR(
+        locks_.Acquire(txn, join->left->info()->id, LockMode::kShared));
+    RETURN_IF_ERROR(
+        locks_.Acquire(txn, join->right->info()->id, LockMode::kShared));
+  } else {
+    const LockMode lock_mode = method == RefreshMethod::kDifferential
+                                   ? LockMode::kExclusive
+                                   : LockMode::kShared;
+    RETURN_IF_ERROR(locks_.Acquire(txn, entry->source->info()->id,
+                                   lock_mode));
+  }
 
-  Channel* channel = &entry->site->channel;
+  RefreshStats stats;
   const ChannelStats before = channel->stats();
-  obs::Tracer::Span exec_span(
-      &tracer_,
-      std::string("execute ").append(RefreshMethodToString(desc->method)));
-  const RefreshExecution refresh_exec = MakeRefreshExecution();
-  Status exec = Status::OK();
-  switch (desc->method) {
-    case RefreshMethod::kFull:
-      exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_,
-                                refresh_exec);
-      break;
-    case RefreshMethod::kDifferential:
-      exec = ExecuteDifferentialRefresh(base, desc, request.timestamp,
-                                        channel, &stats, &tracer_,
-                                        refresh_exec);
-      break;
-    case RefreshMethod::kIdeal:
-      exec = ExecuteIdealRefresh(base, desc, channel, &stats, &tracer_);
-      break;
-    case RefreshMethod::kLogBased:
-      exec = ExecuteLogBasedRefresh(base, desc, channel, &stats, &tracer_);
-      break;
-    case RefreshMethod::kAsap: {
-      if (snap->snap_time() == kNullTimestamp) {
-        // First refresh initializes the replica with a full copy; changes
-        // made before the snapshot existed were never streamed. Anything
-        // the propagator buffered is subsumed by the copy.
-        if (entry->asap != nullptr) entry->asap->DiscardBuffered();
-        exec = ExecuteFullRefresh(base, desc, channel, &stats, &tracer_,
-                                  refresh_exec);
-        break;
-      }
-      // Thereafter changes are already streamed; flush any partition
-      // backlog and stamp the snapshot with a fresh base time.
-      if (entry->asap != nullptr) exec = entry->asap->FlushBuffered();
-      if (exec.ok()) {
-        exec = channel->Send(MakeEndOfRefresh(
-            desc->id, Address::Null(), base->oracle()->Next()));
-      }
-      break;
-    }
-  }
-  Status unlock = locks_.Release(txn, base->info()->id);
-  RETURN_IF_ERROR(exec);
-  RETURN_IF_ERROR(unlock);
-  stats.traffic = channel->stats() - before;
-  exec_span.Close();
+  const Timestamp initial_snap_time = snap->snap_time();
+  const std::string execute_label =
+      entry->join != nullptr
+          ? "execute join-full"
+          : std::string("execute ").append(RefreshMethodToString(method));
+  uint64_t resume_after = 0;
 
-  // Snapshot site: receive and apply.
-  obs::Tracer::Span apply_span(&tracer_, "apply");
-  uint64_t applied = 0;
-  while (channel->HasPending()) {
-    ASSIGN_OR_RETURN(Message msg, channel->Receive());
-    auto it = snapshots_by_id_.find(msg.snapshot_id);
-    if (it == snapshots_by_id_.end()) continue;
-    RefreshStats* apply_stats =
-        it->second == entry ? &stats : nullptr;
-    RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
-    ++applied;
+  for (;;) {
+    RefreshSession session(channel, report.session_id, resume_after);
+    RefreshSession* session_ptr = sessionless ? nullptr : &session;
+    obs::Tracer::Span exec_span(&tracer_, execute_label);
+    Status exec = RunRefreshAttempt(entry, method, demand.timestamp, request,
+                                    session_ptr, &stats);
+    exec_span.Close();
+    if (session_ptr != nullptr) {
+      report.suppressed_messages += session.suppressed();
+    }
+    if (!exec.ok() && !exec.IsUnavailable()) return exec;
+
+    Status failure = exec;
+    if (exec.ok()) {
+      // Snapshot site: receive and apply.
+      obs::Tracer::Span apply_span(&tracer_, "apply");
+      uint64_t applied = 0;
+      RETURN_IF_ERROR(DeliverPending(site, entry, &stats, &applied));
+      apply_span.Note("messages", applied);
+      apply_span.Close();
+      // The transmission succeeded end-to-end only if the stream's END
+      // actually applied — with lossy delivery, executor success alone
+      // proves nothing. Session-less joins settle for the SnapTime stamp.
+      const bool complete =
+          sessionless ? snap->snap_time() != initial_snap_time
+                      : SessionComplete(site, report.session_id);
+      if (complete) break;
+      failure = Status::Unavailable(
+          "refresh " + request.snapshot + " session " +
+          std::to_string(report.session_id) +
+          " incomplete: messages lost in transit");
+    }
+    if (report.retries >= request.retry.max_retries) {
+      // Out of attempts. With retries disabled this preserves the classic
+      // contract: the error surfaces and the partial prefix stays queued
+      // for the next call's drain.
+      return failure;
+    }
+
+    // --- retry ---
+    ++report.retries;
+    ++report.attempts;
+    metric_refresh_retries_->Inc();
+    obs::Tracer::Span retry_span(&tracer_, "retry");
+    if (!exec.ok()) {
+      // The attempt died mid-stream; deliver whatever arrived before the
+      // fault so the site's resume checkpoint is current.
+      RETURN_IF_ERROR(DeliverPending(site, entry, &stats, nullptr));
+    }
+    resume_after = 0;
+    if (!sessionless && request.retry.resume) {
+      // RESUME_REFRESH negotiation: the snapshot site reports its durably
+      // applied prefix over the demand link; the base re-runs the refresh
+      // with that prefix suppressed.
+      const uint64_t checkpoint =
+          SessionLastApplied(site, report.session_id);
+      RETURN_IF_ERROR(request_channel_.Send(
+          MakeResumeRefresh(desc->id, report.session_id, checkpoint)));
+      ASSIGN_OR_RETURN(Message resume, request_channel_.Receive());
+      resume_after = resume.seq;
+      if (resume_after > 0) {
+        ++report.resumes;
+        metric_refresh_resumes_->Inc();
+      }
+    }
+    // Capped exponential backoff in simulated ticks; advancing the link's
+    // clock is also what fires FaultPlan::WithHealAfter.
+    uint64_t backoff = request.retry.initial_backoff_ticks;
+    for (uint64_t step = 1;
+         step < report.retries && backoff < request.retry.max_backoff_ticks;
+         ++step) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, request.retry.max_backoff_ticks);
+    report.backoff_ticks += backoff;
+    if (backoff > 0) channel->AdvanceTime(backoff);
+    retry_span.Note("attempt", report.attempts);
+    retry_span.Note("backoff_ticks", backoff);
+    retry_span.Note("resume_after_seq", resume_after);
+    retry_span.Close();
+    SNAPDIFF_LOG(Warn) << "refresh retrying"
+                       << obs::kv("snapshot", request.snapshot)
+                       << obs::kv("session", report.session_id)
+                       << obs::kv("attempt", report.attempts)
+                       << obs::kv("resume_after_seq", resume_after)
+                       << obs::kv("backoff_ticks", backoff)
+                       << obs::kv("reason", failure.ToString());
   }
-  apply_span.Note("messages", applied);
-  apply_span.Close();
-  FinishRefreshTrace(snapshot_name, *desc, *snap, stats);
-  return stats;
+
+  stats.traffic = channel->stats() - before;
+  CommitRefreshOutcome(desc);
+  FinishRefreshTrace(request.snapshot, *desc, *snap, stats);
+  report.trace_id = tracer_.name();
+  report.stats = std::move(stats);
+  return report;
+}
+
+Result<RefreshStats> SnapshotSystem::Refresh(
+    const std::string& snapshot_name) {
+  RefreshRequest request;
+  request.snapshot = snapshot_name;
+  ASSIGN_OR_RETURN(RefreshReport report, Refresh(request));
+  return report.stats;
 }
 
 void SnapshotSystem::FinishRefreshTrace(const std::string& snapshot_name,

@@ -136,8 +136,18 @@ class SnapshotSystem {
 
   std::vector<std::string> SnapshotSiteNames() const;
 
-  /// Brings the snapshot to the current base state and returns the
-  /// per-refresh meters.
+  /// Brings the snapshot to the current base state. THE refresh entry
+  /// point: honors per-call method/execution overrides, injects the
+  /// requested fault on the site link for the duration of the call, and
+  /// retries per `request.retry` — re-demanding the refresh with capped
+  /// exponential backoff (simulated ticks, see Channel::AdvanceTime) and,
+  /// when possible, resuming the interrupted session so only the unapplied
+  /// suffix is retransmitted (RESUME_REFRESH negotiation on the demand
+  /// link).
+  Result<RefreshReport> Refresh(const RefreshRequest& request);
+
+  /// Deprecated single-attempt form, kept for source compatibility:
+  /// exactly `Refresh(RefreshRequest{.snapshot = snapshot_name}).stats`.
   Result<RefreshStats> Refresh(const std::string& snapshot_name);
 
   /// Refreshes several *differential* snapshots of the same base table in
@@ -187,6 +197,20 @@ class SnapshotSystem {
   std::vector<std::string> SnapshotNames() const;
 
  private:
+  /// Snapshot-site bookkeeping for one refresh session: the durably applied
+  /// prefix (the resume checkpoint), messages that arrived ahead of a gap,
+  /// and whether the stream's END has been applied. Admission is strictly
+  /// in sequence order, which makes the applier idempotent under duplicate,
+  /// reordered, and re-transmitted delivery.
+  struct ApplySessionState {
+    SnapshotId snapshot_id = 0;
+    uint64_t last_applied_seq = 0;
+    bool end_applied = false;
+    uint64_t duplicates_dropped = 0;
+    /// Early arrivals, keyed by seq (map insertion dedups re-arrivals).
+    std::map<uint64_t, Message> held;
+  };
+
   /// One remote snapshot site: its own storage, catalog, clock, and link.
   struct SnapshotSite {
     SnapshotSite(size_t pool_pages, const ChannelOptions& channel_options)
@@ -199,6 +223,9 @@ class SnapshotSystem {
     Catalog catalog;
     TimestampOracle oracle;
     Channel channel;  // base → this site
+    /// Live refresh sessions, keyed by wire session id. A session for a
+    /// snapshot is pruned when a new session for that snapshot starts.
+    std::map<uint64_t, ApplySessionState> sessions;
   };
 
   struct SnapshotEntry {
@@ -214,14 +241,49 @@ class SnapshotSystem {
   Result<SnapshotEntry*> GetEntry(const std::string& name);
   Result<BaseTable*> ResolveSource(const std::string& name);
   Result<SnapshotSite*> GetSite(const std::string& name);
-  /// Applies every pending message of one site's channel.
-  Status DrainSite(SnapshotSite* site);
+
+  /// --- snapshot-site applier (session-aware) ---
+
+  /// Receives and routes every pending message of one site's channel.
+  /// Messages applied for the `attributed` snapshot (when non-null) are
+  /// metered into `stats`; `applied` (when non-null) counts messages
+  /// actually applied (duplicates and held early arrivals excluded).
+  Status DeliverPending(SnapshotSite* site, const SnapshotEntry* attributed,
+                        RefreshStats* stats, uint64_t* applied = nullptr);
+  /// Routes one received message: session-less messages apply directly;
+  /// session messages are dedup'd, held, or admitted in sequence order.
+  Status DeliverMessage(SnapshotSite* site, const Message& msg,
+                        const SnapshotEntry* attributed, RefreshStats* stats,
+                        uint64_t* applied);
+  /// Applies one admitted message to its snapshot (dropped snapshots are
+  /// discarded silently, as before).
+  Status ApplyDelivered(const Message& msg, const SnapshotEntry* attributed,
+                        RefreshStats* stats, uint64_t* applied);
+  /// Forgets session state of superseded sessions for one snapshot.
+  void PruneSessions(SnapshotSite* site, SnapshotId snapshot_id);
+  uint64_t SessionLastApplied(const SnapshotSite* site,
+                              uint64_t session_id) const;
+  bool SessionComplete(const SnapshotSite* site, uint64_t session_id) const;
+
+  /// One transmission attempt of `method` for `entry`, sending through
+  /// `session` when non-null. Per-method state advances (ideal shadow, log
+  /// LSN) are staged on the descriptor, not committed.
+  Status RunRefreshAttempt(SnapshotEntry* entry, RefreshMethod method,
+                           Timestamp request_time,
+                           const RefreshRequest& request,
+                           RefreshSession* session, RefreshStats* stats);
+  /// Commits staged per-method refresh state once the snapshot site
+  /// confirmed the session applied (see SnapshotDescriptor).
+  void CommitRefreshOutcome(SnapshotDescriptor* desc);
 
   /// Restores base tables recorded in a checkpointed data file.
   Status RestoreBaseSite();
 
-  /// Execution knobs for the refresh executors, derived from options_.
-  /// First call with refresh_workers > 1 constructs the shared pool.
+  /// Execution knobs for the refresh executors, derived from options_ with
+  /// per-request overrides applied. First call resolving workers > 1
+  /// constructs the shared pool.
+  RefreshExecution MakeRefreshExecution(const RefreshRequest& request,
+                                        RefreshSession* session);
   RefreshExecution MakeRefreshExecution();
 
   /// Ends the open trace and records the refresh in the metrics registry
@@ -255,12 +317,15 @@ class SnapshotSystem {
   // Per-refresh phase timeline; rewritten by every Refresh/RefreshGroup.
   obs::Tracer tracer_;
   obs::Counter* metric_refreshes_;
+  obs::Counter* metric_refresh_retries_;
+  obs::Counter* metric_refresh_resumes_;
   obs::Histogram* metric_refresh_duration_;
   obs::Gauge* metric_snapshot_count_;
 
   std::map<std::string, SnapshotEntry> snapshots_;
   std::unordered_map<SnapshotId, SnapshotEntry*> snapshots_by_id_;
   SnapshotId next_snapshot_id_ = 1;
+  uint64_t next_session_id_ = 1;  // wire-level refresh session ids
   TxnId refresh_txn_ = 1u << 20;  // lock-owner ids for refresh operations
 };
 

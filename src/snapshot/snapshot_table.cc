@@ -193,6 +193,9 @@ Status SnapshotTable::ApplyMessage(const Message& msg, RefreshStats* stats) {
     case MessageType::kRefreshRequest:
       return Status::InvalidArgument(
           "refresh request arrived at snapshot site");
+    case MessageType::kResumeRefresh:
+      return Status::InvalidArgument(
+          "resume request arrived at snapshot site");
   }
   return Status::Internal("bad message type");
 }

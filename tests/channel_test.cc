@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "net/message.h"
+#include "net/refresh_session.h"
 
 namespace snapdiff {
 namespace {
@@ -17,6 +21,7 @@ TEST(MessageTest, SerializationRoundTrip) {
       MakeDeleteMsg(4, Address::FromPageSlot(3, 3)),
       MakeDeleteRange(4, Address::FromRaw(10), Address::FromRaw(20)),
       MakeEndOfRefresh(5, Address::FromPageSlot(7, 7), 99),
+      MakeResumeRefresh(6, /*session_id=*/12, /*last_applied_seq=*/40),
   };
   for (const Message& m : msgs) {
     std::string buf;
@@ -28,6 +33,26 @@ TEST(MessageTest, SerializationRoundTrip) {
     EXPECT_EQ(*back, m) << m.ToString();
     EXPECT_TRUE(in.empty());
   }
+}
+
+TEST(MessageTest, SessionStampSurvivesRoundTrip) {
+  Message m = MakeUpsert(2, Address::FromRaw(7), "tuple");
+  m.session_id = 31;
+  m.seq = 4;
+  std::string buf;
+  m.SerializeTo(&buf);
+  EXPECT_EQ(buf.size(), m.SerializedSize());
+  std::string_view in = buf;
+  auto back = Message::DeserializeFrom(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->session_id, 31u);
+  EXPECT_EQ(back->seq, 4u);
+  EXPECT_EQ(*back, m);
+  // Stamps participate in equality: the same payload in another session is
+  // a different wire message.
+  Message other = m;
+  other.seq = 5;
+  EXPECT_FALSE(other == m);
 }
 
 TEST(MessageTest, CorruptInputRejected) {
@@ -119,35 +144,171 @@ TEST(ChannelTest, StatsDeltaSubtraction) {
   EXPECT_EQ(delta.control_messages, 0u);
 }
 
-TEST(ChannelTest, FailAfterSendsInjectsMidStreamLoss) {
+TEST(ChannelTest, PartitionAfterInjectsMidStreamLoss) {
   Channel ch;
-  ch.FailAfterSends(2);
+  ch.Arm(FaultPlan::PartitionAfter(2));
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kArmed);
   EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
   EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
   EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
   // The injected loss persists (behaves like a partition)...
   EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
   EXPECT_TRUE(ch.partitioned());
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kFired);
   // ...until healed.
-  ch.SetPartitioned(false);
+  ch.Heal();
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kHealed);
   EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
   // Already-sent messages stayed queued.
   EXPECT_EQ(ch.pending(), 3u);
 }
 
-TEST(ChannelTest, FailAfterZeroFailsImmediately) {
+TEST(ChannelTest, PartitionNowFailsImmediately) {
   Channel ch;
-  ch.FailAfterSends(0);
+  ch.Arm(FaultPlan::PartitionNow());
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kFired);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+}
+
+TEST(ChannelTest, PartitionAfterBytesFiresOnWireVolume) {
+  Channel ch;
+  std::string bytes;
+  MakeClear(1).SerializeTo(&bytes);
+  const uint64_t per_send =
+      bytes.size() + ch.options().per_message_overhead_bytes;
+  ch.Arm(FaultPlan::PartitionAfterBytes(2 * per_send));
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
   EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
 }
 
 TEST(ChannelTest, HealingClearsPendingInjection) {
   Channel ch;
-  ch.FailAfterSends(1);
-  ch.SetPartitioned(false);  // cancels the injection before it fires
+  ch.Arm(FaultPlan::PartitionAfter(1));
+  ch.Heal();  // cancels the injection before it fires
   for (int i = 0; i < 5; ++i) {
     EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
   }
+}
+
+TEST(ChannelTest, SetPartitionedShimMapsOntoFaultPlan) {
+  Channel ch;
+  ch.SetPartitioned(true);
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kFired);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+  ch.SetPartitioned(false);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+}
+
+TEST(ChannelTest, FiredPartitionSelfHealsAfterVirtualTicks) {
+  Channel ch;
+  ch.Arm(FaultPlan::PartitionAfter(0).WithHealAfter(10));
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kFired);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).IsUnavailable());
+  ch.AdvanceTime(6);
+  EXPECT_TRUE(ch.partitioned());  // 6 < 10: still down
+  ch.AdvanceTime(6);
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kHealed);
+  EXPECT_TRUE(ch.Send(MakeClear(1)).ok());
+}
+
+TEST(ChannelTest, CadenceFaultWindowExpiresAfterVirtualTicks) {
+  // A drop plan never "fires"; its heal deadline counts from arming, so a
+  // bounded fault window over a lossy cadence is expressible directly.
+  Channel ch;
+  ch.Arm(FaultPlan::DropEvery(2).WithHealAfter(5));
+  ASSERT_TRUE(ch.Send(MakeClear(1)).ok());
+  ASSERT_TRUE(ch.Send(MakeClear(1)).ok());  // dropped (2nd send)
+  EXPECT_EQ(ch.stats().dropped_messages, 1u);
+  ch.AdvanceTime(3);
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kArmed);  // 3 < 5: still lossy
+  ch.AdvanceTime(3);
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kHealed);
+  ASSERT_TRUE(ch.Send(MakeClear(1)).ok());
+  ASSERT_TRUE(ch.Send(MakeClear(1)).ok());
+  EXPECT_EQ(ch.stats().dropped_messages, 1u);  // cadence no longer applies
+}
+
+TEST(ChannelTest, DropEveryNthLosesMessagesSilently) {
+  Channel ch;
+  ch.Arm(FaultPlan::DropEvery(3));
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  // Sends 3, 6, 9 vanished: metered as transmitted, never delivered.
+  EXPECT_EQ(ch.stats().messages, 9u);
+  EXPECT_EQ(ch.stats().dropped_messages, 3u);
+  EXPECT_EQ(ch.pending(), 6u);
+}
+
+TEST(ChannelTest, DuplicateEveryNthDeliversTwiceMetersOnce) {
+  Channel ch;
+  ch.Arm(FaultPlan::DuplicateEvery(2));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  EXPECT_EQ(ch.stats().messages, 4u);
+  EXPECT_EQ(ch.stats().duplicated_messages, 2u);
+  EXPECT_EQ(ch.pending(), 6u);
+  // The duplicate is byte-identical and adjacent to the original.
+  auto first = ch.Receive();
+  auto second = ch.Receive();
+  auto third = ch.Receive();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(second->base_addr, third->base_addr);
+}
+
+TEST(ChannelTest, ReorderWindowPermutesDeliveryWithinBound) {
+  Channel ch;
+  ch.Arm(FaultPlan::Reorder(/*window=*/3, /*seed=*/42));
+  constexpr int kSends = 32;
+  for (int i = 0; i < kSends; ++i) {
+    ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  EXPECT_GT(ch.stats().reordered_messages, 0u);
+  std::vector<uint64_t> order;
+  while (ch.HasPending()) {
+    auto msg = ch.Receive();
+    ASSERT_TRUE(msg.ok());
+    order.push_back(msg->base_addr.raw());
+  }
+  // Nothing lost or duplicated, but the order is genuinely permuted.
+  ASSERT_EQ(order.size(), static_cast<size_t>(kSends));
+  std::vector<uint64_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  bool displaced = false;
+  for (int i = 0; i < kSends; ++i) {
+    EXPECT_EQ(sorted[i], static_cast<uint64_t>(i + 1));
+    displaced = displaced || order[i] != static_cast<uint64_t>(i + 1);
+  }
+  EXPECT_TRUE(displaced);
+  // Identical seed, identical permutation: the fault is deterministic.
+  Channel replay;
+  replay.Arm(FaultPlan::Reorder(3, 42));
+  for (int i = 0; i < kSends; ++i) {
+    ASSERT_TRUE(
+        replay.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  for (int i = 0; i < kSends; ++i) {
+    auto msg = replay.Receive();
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->base_addr.raw(), order[i]) << "delivery " << i;
+  }
+}
+
+TEST(ChannelTest, ComposedPlanDropsAndDuplicates) {
+  Channel ch;
+  ch.Arm(FaultPlan::DropEvery(4).WithDuplicateEvery(3));
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(i + 1), "v")).ok());
+  }
+  // Sends 4, 8, 12 dropped; of the duplicate cadence 3, 6, 9, 12, send 12
+  // was already dropped (drop wins), so three duplicates materialize.
+  EXPECT_EQ(ch.stats().dropped_messages, 3u);
+  EXPECT_EQ(ch.stats().duplicated_messages, 3u);
+  EXPECT_EQ(ch.pending(), 12u - 3u + 3u);
 }
 
 TEST(ChannelStatsTest, AdditionMirrorsSubtraction) {
@@ -166,6 +327,9 @@ TEST(ChannelStatsTest, AdditionMirrorsSubtraction) {
   b.payload_bytes = 40;
   b.wire_bytes = 64;
   b.frames = 1;
+  b.dropped_messages = 2;
+  b.duplicated_messages = 1;
+  b.reordered_messages = 4;
 
   const ChannelStats sum = a + b;
   EXPECT_EQ(sum.messages, 8u);
@@ -176,6 +340,9 @@ TEST(ChannelStatsTest, AdditionMirrorsSubtraction) {
   EXPECT_EQ(sum.wire_bytes, 244u);
   EXPECT_EQ(sum.frames, 3u);
   EXPECT_EQ(sum.send_failures, 1u);
+  EXPECT_EQ(sum.dropped_messages, 2u);
+  EXPECT_EQ(sum.duplicated_messages, 1u);
+  EXPECT_EQ(sum.reordered_messages, 4u);
 
   // (a + b) - b == a, field for field.
   const ChannelStats back = sum - b;
@@ -187,6 +354,9 @@ TEST(ChannelStatsTest, AdditionMirrorsSubtraction) {
   EXPECT_EQ(back.wire_bytes, a.wire_bytes);
   EXPECT_EQ(back.frames, a.frames);
   EXPECT_EQ(back.send_failures, a.send_failures);
+  EXPECT_EQ(back.dropped_messages, a.dropped_messages);
+  EXPECT_EQ(back.duplicated_messages, a.duplicated_messages);
+  EXPECT_EQ(back.reordered_messages, a.reordered_messages);
 
   ChannelStats acc;
   acc += a;
@@ -199,7 +369,7 @@ TEST(ChannelTest, StatsAfterMidBurstPartition) {
   ChannelOptions opts;
   opts.blocking_factor = 8;
   Channel ch(opts);
-  ch.FailAfterSends(3);
+  ch.Arm(FaultPlan::PartitionAfter(3));
   ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(1), "v")).ok());
   ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
   ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(3), "v")).ok());
@@ -221,12 +391,12 @@ TEST(ChannelTest, ResetStatsAfterInjectedLossGivesCleanBaseline) {
   ChannelOptions opts;
   opts.blocking_factor = 4;
   Channel ch(opts);
-  ch.FailAfterSends(2);
+  ch.Arm(FaultPlan::PartitionAfter(2));
   ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(1), "v")).ok());
   ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
   EXPECT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(3), "v")).IsUnavailable());
 
-  ch.SetPartitioned(false);
+  ch.Heal();
   ch.ResetStats();
   const ChannelStats& zero = ch.stats();
   EXPECT_EQ(zero.messages, 0u);
@@ -262,6 +432,75 @@ TEST(ChannelTest, ResetStatsMidFrameRestartsFrameAccounting) {
   ASSERT_TRUE(ch.Send(MakeUpsert(1, Address::FromRaw(9), "v")).ok());
   EXPECT_EQ(ch.stats().frames, 1u);
   EXPECT_EQ(ch.stats().messages, 2u);
+}
+
+TEST(ChannelTest, ResetStatsDisarmsPendingPlanButKeepsFiredPartition) {
+  // The old FailAfterSends counter survived ResetStats invisibly, so a
+  // "clean baseline" channel could still blow up n sends later. The
+  // explicit lifecycle pins the contract both ways.
+  Channel armed;
+  armed.Arm(FaultPlan::PartitionAfter(2));
+  armed.ResetStats();
+  EXPECT_EQ(armed.fault_phase(), FaultPhase::kIdle);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(armed.Send(MakeClear(1)).ok()) << "send " << i;
+  }
+
+  Channel fired;
+  fired.Arm(FaultPlan::PartitionNow());
+  fired.ResetStats();
+  // A fired partition is a real outage, not a meter: it persists.
+  EXPECT_EQ(fired.fault_phase(), FaultPhase::kFired);
+  EXPECT_TRUE(fired.Send(MakeClear(1)).IsUnavailable());
+  fired.Heal();
+  EXPECT_TRUE(fired.Send(MakeClear(1)).ok());
+}
+
+TEST(ChannelTest, ArmReplacesPreviousPlan) {
+  Channel ch;
+  ch.Arm(FaultPlan::DropEvery(2));
+  ch.Arm(FaultPlan::None());
+  EXPECT_EQ(ch.fault_phase(), FaultPhase::kIdle);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ch.Send(MakeClear(1)).ok());
+  }
+  EXPECT_EQ(ch.stats().dropped_messages, 0u);
+  EXPECT_EQ(ch.pending(), 6u);
+}
+
+TEST(RefreshSessionTest, StampsSessionAndSequence) {
+  Channel ch;
+  RefreshSession session(&ch, /*session_id=*/9, /*resume_after_seq=*/0);
+  ASSERT_TRUE(session.Send(MakeClear(1)).ok());
+  ASSERT_TRUE(session.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
+  EXPECT_EQ(session.last_seq(), 2u);
+  auto first = ch.Receive();
+  auto second = ch.Receive();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->session_id, 9u);
+  EXPECT_EQ(first->seq, 1u);
+  EXPECT_EQ(second->session_id, 9u);
+  EXPECT_EQ(second->seq, 2u);
+}
+
+TEST(RefreshSessionTest, ResumeSuppressesAppliedPrefix) {
+  Channel ch;
+  RefreshSession session(&ch, 9, /*resume_after_seq=*/2);
+  EXPECT_TRUE(session.resumed());
+  EXPECT_TRUE(session.NextSuppressed());
+  // Seqs 1 and 2 are already applied at the site: consumed, not sent.
+  ASSERT_TRUE(session.Send(MakeClear(1)).ok());
+  EXPECT_TRUE(session.NextSuppressed());
+  ASSERT_TRUE(session.Send(MakeUpsert(1, Address::FromRaw(1), "v")).ok());
+  EXPECT_FALSE(session.NextSuppressed());
+  ASSERT_TRUE(session.Send(MakeUpsert(1, Address::FromRaw(2), "v")).ok());
+  EXPECT_EQ(session.suppressed(), 2u);
+  EXPECT_EQ(ch.stats().messages, 1u);
+  auto delivered = ch.Receive();
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(delivered->seq, 3u);
+  EXPECT_FALSE(ch.HasPending());
 }
 
 TEST(ChannelTest, WireSurvivesRoundTrip) {

@@ -53,7 +53,7 @@ TEST_P(MidStreamFailureTest, RetryAfterPartialTransmissionConverges) {
   // the refresh transmission.
   ASSERT_TRUE((*workload)->UpdateFraction(0.3).ok());
   ASSERT_TRUE((*workload)->ApplyMixedOps(60, 0.3, 0.3).ok());
-  sys.data_channel()->FailAfterSends(fail_after);
+  sys.data_channel()->Arm(FaultPlan::PartitionAfter(fail_after));
   auto failed = sys.Refresh("snap");
   EXPECT_TRUE(failed.status().IsUnavailable())
       << failed.status().ToString();
@@ -119,21 +119,10 @@ TEST(MidStreamFailureTest, IdealShadowSurvivesLostEndMessage) {
   // Fail exactly on the END_OF_REFRESH (after all data messages).
   auto expected = sys.ExpectedContents("snap");
   ASSERT_TRUE(expected.ok());
-  // Re-measure: how many data messages will "snap" send? Same base state,
-  // same restriction, same shadow age as "dry" had → use a generous cut:
-  // fail on the very last message by counting via a probe refresh is
-  // fragile; instead cut after N-1 where N is measured below.
-  sys.data_channel()->FailAfterSends(1000000);  // no-op, clear state
-  sys.SetPartitioned(false);
-
-  // Deterministic approach: run the refresh once against a fresh channel
-  // budget, observing the total, then replay the scenario on a second
-  // system. Simpler here: fail after a large-but-insufficient budget is
-  // impossible to compute statically, so directly exercise the boundary
-  // with budget = data messages of the dry sibling (its second refresh
-  // sent the same delta as "snap" will).
+  // The dry sibling's second refresh sent the same delta as "snap" is
+  // about to, so its message count locates the closing message exactly.
   const uint64_t data = dry2->traffic.messages - 1;  // minus its end marker
-  sys.data_channel()->FailAfterSends(data);
+  sys.data_channel()->Arm(FaultPlan::PartitionAfter(data));
   auto failed = sys.Refresh("snap");
   EXPECT_TRUE(failed.status().IsUnavailable());
 

@@ -101,7 +101,7 @@ TEST_F(MultiSiteTest, PartitionIsPerSite) {
   ASSERT_TRUE(sys_.Refresh("e").ok());
 
   ASSERT_TRUE(base_->Update(addrs_[0], Row("moved", 5)).ok());
-  ASSERT_TRUE(sys_.SetSitePartitioned("west", true).ok());
+  (*sys_.site_channel("west"))->Arm(FaultPlan::PartitionNow());
   // West is cut off; east refreshes fine.
   EXPECT_TRUE(sys_.Refresh("w").status().IsUnavailable());
   ASSERT_TRUE(sys_.Refresh("e").ok());
@@ -111,6 +111,35 @@ TEST_F(MultiSiteTest, PartitionIsPerSite) {
   ASSERT_TRUE(sys_.Refresh("w").ok());
   ExpectFaithful(&sys_, "w");
   EXPECT_TRUE(sys_.SetSitePartitioned("mars", true).IsNotFound());
+}
+
+TEST_F(MultiSiteTest, FaultedSiteRetriesWithoutDisturbingOthers) {
+  SnapshotOptions west;
+  west.site = "west";
+  SnapshotOptions east;
+  east.site = "east";
+  ASSERT_TRUE(sys_.CreateSnapshot("w", "emp", "Salary < 10", west).ok());
+  ASSERT_TRUE(sys_.CreateSnapshot("e", "emp", "Salary < 10", east).ok());
+  ASSERT_TRUE(sys_.Refresh("w").ok());
+  ASSERT_TRUE(sys_.Refresh("e").ok());
+  ASSERT_TRUE(base_->Update(addrs_[1], Row("shuffled", 3)).ok());
+
+  // West's link dies mid-stream but self-heals within the retry budget;
+  // the request-scoped fault never touches east's link.
+  RefreshRequest req;
+  req.snapshot = "w";
+  req.fault = FaultPlan::PartitionAfter(1).WithHealAfter(2);
+  req.retry.max_retries = 4;
+  auto report = sys_.Refresh(req);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->retries, 1u);
+  EXPECT_GE(report->resumes, 1u);
+  ExpectFaithful(&sys_, "w");
+
+  const ChannelStats east_before = (*sys_.site_channel("east"))->stats();
+  EXPECT_EQ(east_before.send_failures, 0u);
+  ASSERT_TRUE(sys_.Refresh("e").ok());
+  ExpectFaithful(&sys_, "e");
 }
 
 TEST_F(MultiSiteTest, AsapStreamsToItsOwnSite) {

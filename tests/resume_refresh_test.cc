@@ -1,0 +1,262 @@
+// Resumable refresh sessions: the RefreshRequest/RefreshReport API, the
+// retry/backoff loop, and resume-by-sequence-number under injected channel
+// faults. The property test throws randomized drop/duplicate/reorder plans
+// at every refresh method and demands ExpectedContents faithfulness; the
+// accounting test pins the headline guarantee — a refresh interrupted
+// after k messages resumes by transmitting exactly the unapplied suffix.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/workload.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+void ExpectFaithful(SnapshotSystem* sys, const std::string& name) {
+  auto snap = sys->GetSnapshot(name);
+  ASSERT_TRUE(snap.ok());
+  auto actual = (*snap)->Contents();
+  ASSERT_TRUE(actual.ok());
+  auto expected = sys->ExpectedContents(name);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(actual->size(), expected->size()) << name;
+  for (const auto& [addr, row] : *expected) {
+    ASSERT_TRUE(actual->contains(addr)) << name;
+    EXPECT_TRUE(actual->at(addr).Equals(row)) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: randomized composed faults across all five methods.
+
+class FaultedRefreshPropertyTest
+    : public ::testing::TestWithParam<RefreshMethod> {};
+
+TEST_P(FaultedRefreshPropertyTest, RandomizedFaultsAlwaysReconverge) {
+  const RefreshMethod method = GetParam();
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 200;
+  wc.seed = 17 + static_cast<uint64_t>(method);
+  auto workload = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(workload.ok());
+
+  SnapshotOptions opts;
+  opts.method = method;
+  ASSERT_TRUE(sys.CreateSnapshot("snap", "base",
+                                 (*workload)->RestrictionFor(0.4), opts)
+                  .ok());
+  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ExpectFaithful(&sys, "snap");
+
+  Random rng(0x5eed0000 + static_cast<uint64_t>(method));
+  for (int round = 0; round < 5; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    // Churn un-faulted: ASAP's update-time stream must reach the channel
+    // intact — only the refresh transmission runs inside the fault window.
+    ASSERT_TRUE((*workload)->UpdateFraction(0.15).ok());
+    ASSERT_TRUE((*workload)->ApplyMixedOps(25, 0.25, 0.25).ok());
+
+    // Compose a random plan. Duplicates and reorder are absorbed by the
+    // session (dedup + held-gap draining) without retries; drops force
+    // retry/resume, so a drop plan always self-heals within the backoff
+    // budget — otherwise a suffix whose length is a multiple of the drop
+    // cadence could lose its first message on every attempt.
+    const uint64_t drop = rng.Uniform(3) == 0 ? 0 : 2 + rng.Uniform(4);
+    uint64_t duplicate = rng.Uniform(3) == 0 ? 0 : 2 + rng.Uniform(4);
+    const uint64_t window = rng.Uniform(4);
+    if (drop == 0 && duplicate == 0 && window == 0) duplicate = 2;
+    FaultPlan plan = FaultPlan::None();
+    if (drop > 0) {
+      plan = std::move(plan).WithDropEvery(drop).WithHealAfter(
+          1 + rng.Uniform(4));
+    }
+    if (duplicate > 0) plan = std::move(plan).WithDuplicateEvery(duplicate);
+    if (window > 0) plan = std::move(plan).WithReorder(window, rng.Uniform(1u << 20));
+
+    RefreshRequest req;
+    req.snapshot = "snap";
+    req.fault = plan;
+    req.retry.max_retries = 8;
+    auto report = sys.Refresh(req);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->attempts, report->retries + 1);
+    if (drop == 0) {
+      // Duplicate/reorder-only plans never lose messages: first try wins.
+      EXPECT_EQ(report->retries, 0u);
+    }
+    ExpectFaithful(&sys, "snap");
+  }
+
+  // The fault window closed with the request: a plain refresh is clean.
+  ASSERT_TRUE((*workload)->UpdateFraction(0.1).ok());
+  auto clean = sys.Refresh("snap");
+  ASSERT_TRUE(clean.ok());
+  ExpectFaithful(&sys, "snap");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, FaultedRefreshPropertyTest,
+    ::testing::Values(RefreshMethod::kFull, RefreshMethod::kDifferential,
+                      RefreshMethod::kIdeal, RefreshMethod::kLogBased,
+                      RefreshMethod::kAsap),
+    [](const ::testing::TestParamInfo<RefreshMethod>& param_info) {
+      std::string name(RefreshMethodToString(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Exact suffix accounting: three identical kIdeal siblings (per-snapshot
+// shadows ⇒ byte-identical delta streams), one refreshed cleanly, one cut
+// after k messages and resumed, one cut and retried from scratch.
+
+TEST(ResumeRefreshTest, ResumedSessionTransmitsExactlyTheUnappliedSuffix) {
+  SnapshotSystem sys;
+  WorkloadConfig wc;
+  wc.table_size = 150;
+  wc.seed = 7;
+  auto workload = Workload::Create(&sys, "base", wc);
+  ASSERT_TRUE(workload.ok());
+
+  for (const char* name : {"clean", "resumed", "scratch"}) {
+    SnapshotOptions opts;
+    opts.method = RefreshMethod::kIdeal;
+    ASSERT_TRUE(sys.CreateSnapshot(name, "base",
+                                   (*workload)->RestrictionFor(0.4), opts)
+                    .ok());
+    ASSERT_TRUE(sys.Refresh(name).ok());
+  }
+  ASSERT_TRUE((*workload)->UpdateFraction(0.25).ok());
+  ASSERT_TRUE((*workload)->ApplyMixedOps(40, 0.3, 0.3).ok());
+
+  // The un-faulted sibling measures the stream every sibling is due to
+  // send: N messages, B payload bytes.
+  RefreshRequest clean_req;
+  clean_req.snapshot = "clean";
+  auto clean = sys.Refresh(clean_req);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  const ChannelStats full_stream = clean->stats.traffic;
+  ASSERT_GE(full_stream.messages, 4u) << "need a stream worth cutting";
+  const uint64_t k = full_stream.messages / 2;
+
+  // Cut after k messages; the link heals one backoff tick later.
+  RefreshRequest resumed_req;
+  resumed_req.snapshot = "resumed";
+  resumed_req.fault = FaultPlan::PartitionAfter(k).WithHealAfter(1);
+  resumed_req.retry.max_retries = 3;
+  auto resumed = sys.Refresh(resumed_req);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectFaithful(&sys, "resumed");
+  EXPECT_EQ(resumed->attempts, 2u);
+  EXPECT_EQ(resumed->retries, 1u);
+  EXPECT_EQ(resumed->resumes, 1u);
+  // The retry suppressed exactly the k-message applied prefix and put only
+  // the unapplied suffix on the wire: across both attempts the channel
+  // metered precisely the clean sibling's stream.
+  EXPECT_EQ(resumed->suppressed_messages, k);
+  EXPECT_EQ(resumed->stats.traffic.messages, full_stream.messages);
+  EXPECT_EQ(resumed->stats.traffic.entry_messages,
+            full_stream.entry_messages);
+  EXPECT_EQ(resumed->stats.traffic.delete_messages,
+            full_stream.delete_messages);
+  EXPECT_EQ(resumed->stats.traffic.payload_bytes,
+            full_stream.payload_bytes);
+
+  // The ablation sibling retries from scratch: k wasted messages.
+  RefreshRequest scratch_req;
+  scratch_req.snapshot = "scratch";
+  scratch_req.fault = FaultPlan::PartitionAfter(k).WithHealAfter(1);
+  scratch_req.retry.max_retries = 3;
+  scratch_req.retry.resume = false;
+  auto scratch = sys.Refresh(scratch_req);
+  ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+  ExpectFaithful(&sys, "scratch");
+  EXPECT_EQ(scratch->retries, 1u);
+  EXPECT_EQ(scratch->resumes, 0u);
+  EXPECT_EQ(scratch->suppressed_messages, 0u);
+  EXPECT_EQ(scratch->stats.traffic.messages, full_stream.messages + k);
+  EXPECT_LT(resumed->stats.traffic.wire_bytes,
+            scratch->stats.traffic.wire_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// API surface.
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+TEST(ResumeRefreshTest, DeprecatedStringWrapperStillRefreshes) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*base)->Insert(Row("ann", 5)).ok());
+  auto moved = (*base)->Insert(Row("bob", 15));
+  ASSERT_TRUE(moved.ok());
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+
+  auto stats = sys.Refresh("low");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->traffic.messages, 0u);
+  ExpectFaithful(&sys, "low");
+
+  ASSERT_TRUE((*base)->Update(*moved, Row("bob", 2)).ok());
+  auto again = sys.Refresh("low");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->snap_upserts, 1u);
+  ExpectFaithful(&sys, "low");
+}
+
+TEST(ResumeRefreshTest, FullMethodOverrideRebuildsIncrementalSnapshot) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*base)->Insert(Row("e" + std::to_string(i), i)).ok());
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 5").ok());
+  ASSERT_TRUE(sys.Refresh("low").ok());
+
+  RefreshRequest req;
+  req.snapshot = "low";
+  req.method = RefreshMethod::kFull;
+  auto report = sys.Refresh(req);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stats.traffic.entry_messages, 5u);  // full re-send
+  ExpectFaithful(&sys, "low");
+
+  // The override is per-call: the next plain refresh is differential again.
+  auto plain = sys.Refresh("low");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->traffic.entry_messages, 0u);
+}
+
+TEST(ResumeRefreshTest, CrossIncrementalMethodOverrideRejected) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*base)->Insert(Row("ann", 1)).ok());
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+
+  RefreshRequest req;
+  req.snapshot = "low";
+  req.method = RefreshMethod::kIdeal;  // would desync per-method state
+  EXPECT_TRUE(sys.Refresh(req).status().IsInvalidArgument());
+
+  RefreshRequest missing;
+  missing.snapshot = "nope";
+  EXPECT_TRUE(sys.Refresh(missing).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace snapdiff
