@@ -74,8 +74,8 @@ int main() {
       .value();
 
   std::printf("\ninitial population:\n");
-  Report("west_branch", sys.Refresh("west_branch").value());
-  Report("east_branch", sys.Refresh("east_branch").value());
+  Report("west_branch", sys.Refresh(RefreshRequest::For("west_branch"))->stats);
+  Report("east_branch", sys.Refresh(RefreshRequest::For("east_branch"))->stats);
 
   // 3. A quiet business day: 1% of accounts see balance changes.
   for (int i = 0; i < 30; ++i) {
@@ -87,8 +87,8 @@ int main() {
                         int64_t(rng.Uniform(100000))));
   }
   std::printf("\nafter a quiet day (~1%% updated), differential refresh:\n");
-  Report("west_branch", sys.Refresh("west_branch").value());
-  Report("east_branch", sys.Refresh("east_branch").value());
+  Report("west_branch", sys.Refresh(RefreshRequest::For("west_branch"))->stats);
+  Report("east_branch", sys.Refresh(RefreshRequest::For("east_branch"))->stats);
 
   // 4. The WAN link to the west branch drops (east is unaffected).
   //    Refresh-on-demand just waits; when the link heals, one refresh
@@ -102,12 +102,12 @@ int main() {
                         row.value(1).as_string().c_str(),
                         int64_t(rng.Uniform(100000))));
   }
-  auto blocked = sys.Refresh("west_branch");
+  auto blocked = sys.Refresh(RefreshRequest::For("west_branch"));
   std::printf("\nduring the partition, refresh fails cleanly: %s\n",
               blocked.status().ToString().c_str());
   (void)sys.SetSitePartitioned("west", false);
   std::printf("after the link heals, one refresh catches up:\n");
-  Report("west_branch", sys.Refresh("west_branch").value());
+  Report("west_branch", sys.Refresh(RefreshRequest::For("west_branch"))->stats);
 
   // 5. Branch analysts can layer further snapshots locally (cascade,
   //    hosted at the same branch site).
@@ -116,6 +116,6 @@ int main() {
   (void)sys.CreateSnapshot("west_vip", "west_branch", "Balance >= 90000",
                            vip)
       .value();
-  Report("west_vip (cascade)", sys.Refresh("west_vip").value());
+  Report("west_vip (cascade)", sys.Refresh(RefreshRequest::For("west_vip"))->stats);
   return 0;
 }

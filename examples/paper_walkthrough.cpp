@@ -190,7 +190,7 @@ void Figures5And6() {
 
   SnapshotTable* snap =
       sys.CreateSnapshot("emp_low", "emp", "Salary < 10").value();
-  (void)sys.Refresh("emp_low").value();
+  (void)sys.Refresh(RefreshRequest::For("emp_low")).value();
 
   (void)emp->Delete(addrs[1]);                       // Temp leaves addr 2
   (void)emp->Insert(Emp("Laura", 6));                // reuses addr 2
@@ -203,15 +203,17 @@ void Figures5And6() {
     std::printf("  %-8s %-9s %-6s %-8s %-8s\n", "Addr", "PrevAddr", "Time",
                 "Name", "Salary");
     (void)emp->ScanAnnotated(
-        [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
           const std::string prev = DenseAddr(row.prev_addr);
           const std::string ts = row.timestamp == kNullTimestamp
                                      ? "NULL"
                                      : std::to_string(row.timestamp);
+          ASSIGN_OR_RETURN(Value name, row.user.Field(0));
+          ASSIGN_OR_RETURN(Value salary, row.user.Field(1));
           std::printf("  %-8s %-9s %-6s %-8s %lld\n",
                       DenseAddr(addr).c_str(), prev.c_str(), ts.c_str(),
-                      row.user.value(0).as_string().c_str(),
-                      static_cast<long long>(row.user.value(1).as_int64()));
+                      std::string(name.as_string_view()).c_str(),
+                      static_cast<long long>(salary.as_int64()));
           return Status::OK();
         });
   };
@@ -220,14 +222,14 @@ void Figures5And6() {
   std::printf("\nSnapshot before refresh:\n");
   PrintSnapshot(snap, false);
 
-  auto stats = sys.Refresh("emp_low").value();
+  auto stats = sys.Refresh(RefreshRequest::For("emp_low")).value();
   std::printf(
       "\nRefresh: %llu entry messages, fix-ups: %llu inserted / %llu "
       "updated / %llu deletion-anomalies\n",
-      static_cast<unsigned long long>(stats.traffic.entry_messages),
-      static_cast<unsigned long long>(stats.fixups_inserted),
-      static_cast<unsigned long long>(stats.fixups_updated),
-      static_cast<unsigned long long>(stats.fixups_deleted));
+      static_cast<unsigned long long>(stats.stats.traffic.entry_messages),
+      static_cast<unsigned long long>(stats.stats.fixups_inserted),
+      static_cast<unsigned long long>(stats.stats.fixups_updated),
+      static_cast<unsigned long long>(stats.stats.fixups_deleted));
 
   std::printf("\n");
   dump_base("Base table after fix-up (chain repaired, stamps set):");

@@ -65,8 +65,8 @@ int main() {
       sys.CreateSnapshot("emp_low", "emp", "Salary < 10").value();
 
   // 3. First refresh populates the snapshot.
-  auto init = sys.Refresh("emp_low").value();
-  PrintStats("initial refresh", init);
+  auto init = sys.Refresh(RefreshRequest::For("emp_low")).value();
+  PrintStats("initial refresh", init.stats);
   PrintSnapshot(snap);
 
   // 4. Mutate the base: a raise, a hire, a departure.
@@ -75,12 +75,12 @@ int main() {
   (void)emp->Delete(addrs[4]);                    // Paul departs
 
   // 5. Differential refresh ships only what changed.
-  auto delta = sys.Refresh("emp_low").value();
-  PrintStats("differential refresh", delta);
+  auto delta = sys.Refresh(RefreshRequest::For("emp_low")).value();
+  PrintStats("differential refresh", delta.stats);
   PrintSnapshot(snap);
 
   // 6. Nothing changed? The refresh costs one control message.
-  auto idle = sys.Refresh("emp_low").value();
-  PrintStats("quiescent refresh", idle);
+  auto idle = sys.Refresh(RefreshRequest::For("emp_low")).value();
+  PrintStats("quiescent refresh", idle.stats);
   return 0;
 }

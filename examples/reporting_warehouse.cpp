@@ -70,13 +70,13 @@ int main() {
       sys.CreateSnapshot("june_ledger", "orders",
                          "Month = 6 AND Status = 'SETTLED'", ledger_opts)
           .value();
-  Show("june_ledger (freeze)", ledger, sys.Refresh("june_ledger").value());
+  Show("june_ledger (freeze)", ledger, sys.Refresh(RefreshRequest::For("june_ledger"))->stats);
 
   // A compact high-value cascade for the dashboard.
   SnapshotTable* big =
       sys.CreateSnapshot("june_big", "june_ledger", "Amount >= 4000")
           .value();
-  Show("june_big (cascade)", big, sys.Refresh("june_big").value());
+  Show("june_big (cascade)", big, sys.Refresh(RefreshRequest::For("june_big"))->stats);
 
   // July business keeps flowing — the frozen views are unaffected until
   // finance asks for a refresh.
@@ -89,11 +89,11 @@ int main() {
               static_cast<unsigned long long>(big->row_count()));
 
   // Finance re-runs the freeze: only late June settlements travel.
-  Show("june_ledger (re-run)", ledger, sys.Refresh("june_ledger").value());
-  Show("june_big (re-run)", big, sys.Refresh("june_big").value());
+  Show("june_ledger (re-run)", ledger, sys.Refresh(RefreshRequest::For("june_ledger"))->stats);
+  Show("june_big (re-run)", big, sys.Refresh(RefreshRequest::For("june_big"))->stats);
 
   // Nothing else changed in June: the next scheduled refresh is ~free.
-  auto idle = sys.Refresh("june_ledger").value();
+  auto idle = sys.Refresh(RefreshRequest::For("june_ledger"))->stats;
   std::printf(
       "\nquiescent nightly refresh: %llu data messages, %llu total "
       "(the END_OF_REFRESH control message)\n",

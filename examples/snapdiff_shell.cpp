@@ -286,9 +286,10 @@ class Shell {
     std::printf("%s (%llu rows)\n", tok[1].c_str(),
                 static_cast<unsigned long long>(table->live_rows()));
     return table->ScanAnnotated(
-        [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
+          ASSIGN_OR_RETURN(Tuple user, row.user.Materialize());
           std::printf("  %-10s %s\n", addr.ToString().c_str(),
-                      row.user.ToString(table->user_schema()).c_str());
+                      user.ToString(table->user_schema()).c_str());
           return Status::OK();
         });
   }

@@ -74,7 +74,7 @@ int main() {
   (void)sys.CreateSnapshot("bulk_orders", "orders", "Qty >= 450", full_opts)
       .value();
   std::printf("index-assisted full refresh (Qty >= 450, ~10%%):\n");
-  Report("bulk_orders", sys.Refresh("bulk_orders").value());
+  Report("bulk_orders", sys.Refresh(RefreshRequest::For("bulk_orders"))->stats);
 
   // 2. A differential snapshot group: one scan serves three priority bands.
   (void)sys.CreateSnapshot("p_low", "orders", "Priority < 3").value();
@@ -93,7 +93,7 @@ int main() {
                                {"OId", "SName", "Qty"})
       .value();
   std::printf("\njoin snapshot (orders x suppliers, re-evaluated):\n");
-  Report("emea_big", sys.Refresh("emea_big").value());
+  Report("emea_big", sys.Refresh(RefreshRequest::For("emea_big"))->stats);
 
   // 4. A day of churn, then everything refreshes.
   for (int i = 0; i < 200; ++i) {
@@ -107,8 +107,8 @@ int main() {
   std::printf("\nafter 5%% churn:\n");
   auto group2 = sys.RefreshGroup({"p_low", "p_mid", "p_high"}).value();
   for (const auto& [name, stats] : group2) Report(name.c_str(), stats);
-  Report("bulk_orders", sys.Refresh("bulk_orders").value());
-  Report("emea_big", sys.Refresh("emea_big").value());
+  Report("bulk_orders", sys.Refresh(RefreshRequest::For("bulk_orders"))->stats);
+  Report("emea_big", sys.Refresh(RefreshRequest::For("emea_big"))->stats);
 
   // 5. The planner's CREATE-time advice for this workload.
   RefreshCostModel model;

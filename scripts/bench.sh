@@ -17,7 +17,7 @@ ITERS="${2:-3}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
-  bench_fig8 bench_fig9 bench_parallel_refresh
+  bench_fig8 bench_fig9 bench_parallel_refresh bench_scan
 
 # Figure reproductions: capture the printed series alongside the CSV the
 # binaries already embed in their stdout.
@@ -28,5 +28,8 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
 "${BUILD_DIR}/bench/bench_parallel_refresh" "${ROWS}" "${ITERS}" \
   BENCH_refresh.json
 
+# Zero-copy scan pipeline: materialize vs view rows/sec.
+"${BUILD_DIR}/bench/bench_scan" "${ROWS}" "${ITERS}" BENCH_scan.json
+
 echo
-echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json"
+echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json BENCH_scan.json"

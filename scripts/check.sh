@@ -13,8 +13,23 @@ BUILD_DIR=build-asan
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
   -DSNAPDIFF_SANITIZE=address,undefined
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# Static analysis (.clang-tidy: performance-* + bugprone-dangling-handle,
+# guarding the string_view-based row pipeline). Skipped when clang-tidy is
+# not installed.
+if command -v clang-tidy >/dev/null 2>&1; then
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD_DIR}" -quiet "src/.*\.cc$"
+  else
+    find src -name '*.cc' -print0 |
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD_DIR}" --quiet
+  fi
+else
+  echo "clang-tidy not found; skipping static-analysis phase"
+fi
 
 # halt_on_error makes UBSan findings fail the run instead of just logging.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"

@@ -90,8 +90,9 @@ Result<Address> InsertRow(TableInfo* table, const Tuple& row) {
 }
 
 Result<Tuple> ReadRow(TableInfo* table, Address addr) {
-  ASSIGN_OR_RETURN(std::string bytes, table->heap->Get(addr));
-  return Tuple::Deserialize(table->schema, bytes);
+  // Decode straight off the pinned frame — no intermediate byte-string copy.
+  ASSIGN_OR_RETURN(TableHeap::TupleRef ref, table->heap->GetView(addr));
+  return Tuple::Deserialize(table->schema, ref.bytes);
 }
 
 Status UpdateRow(TableInfo* table, Address addr, const Tuple& row) {

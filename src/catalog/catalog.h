@@ -1,6 +1,7 @@
 #ifndef SNAPDIFF_CATALOG_CATALOG_H_
 #define SNAPDIFF_CATALOG_CATALOG_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>

@@ -39,7 +39,7 @@ Status EncodeOrderPreserving(const Value& v, std::string* dst) {
       return Status::OK();
     }
     case TypeId::kString:
-      dst->append(v.as_string());
+      dst->append(v.as_string_view());
       return Status::OK();
     case TypeId::kTimestamp: {
       const uint64_t bits =

@@ -16,7 +16,7 @@ Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
 }
 
 Result<size_t> Schema::IndexOf(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it == index_.end()) {
     return Status::NotFound("no column named " + std::string(name));
   }
@@ -24,7 +24,7 @@ Result<size_t> Schema::IndexOf(std::string_view name) const {
 }
 
 bool Schema::HasColumn(std::string_view name) const {
-  return index_.contains(std::string(name));
+  return index_.contains(name);
 }
 
 bool Schema::HasAnnotations() const {

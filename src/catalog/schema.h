@@ -66,8 +66,23 @@ class Schema {
   std::string ToString() const;
 
  private:
+  /// Transparent hash/eq so IndexOf(string_view) never builds a temporary
+  /// std::string — by-name column lookup sits on the predicate hot path.
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct NameEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
   std::vector<Column> columns_;
-  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<std::string, size_t, NameHash, NameEq> index_;
 };
 
 }  // namespace snapdiff

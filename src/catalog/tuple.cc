@@ -60,7 +60,7 @@ Result<std::string> Tuple::Serialize(const Schema& schema) const {
         break;
       case TypeId::kString:
         PutLengthPrefixed(&out, v.is_null() ? std::string_view()
-                                            : std::string_view(v.as_string()));
+                                            : v.as_string_view());
         break;
       case TypeId::kTimestamp:
         PutFixed64(&out, v.is_null()

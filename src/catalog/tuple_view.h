@@ -1,0 +1,125 @@
+#ifndef SNAPDIFF_CATALOG_TUPLE_VIEW_H_
+#define SNAPDIFF_CATALOG_TUPLE_VIEW_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace snapdiff {
+
+/// A non-owning, lazily decoded view over one serialized tuple (the wire
+/// format documented on Tuple). Field access walks the payload from the
+/// front each time — for the narrow schemas this system handles, the walk
+/// is a handful of adds and beats materializing a std::vector<Value> per
+/// row by a wide margin. String fields decode to Value::StringView, so no
+/// field access ever allocates.
+///
+/// Ownership rules (see DESIGN.md "Row representation"): a TupleView
+/// aliases bytes it does not own — typically a buffer-pool frame pinned by
+/// a TableHeap::Cursor or TupleRef guard. The view (and every Value /
+/// string_view obtained from it) dies with that pin. Tuple remains the
+/// owning representation and is required at mutation boundaries
+/// (Insert/Update payloads, join build sides, observer snapshots);
+/// Materialize() crosses from view to owner.
+///
+/// Schema tolerance, both directions:
+///   - stored < schema columns: trailing fields read as NULL (R*'s "add
+///     fields without touching entries" — how annotation columns appear).
+///   - stored > schema columns: the schema is treated as a prefix of the
+///     stored layout (reading an annotated row through the user schema —
+///     valid because annotations are always appended after user columns).
+class TupleView {
+ public:
+  TupleView() = default;
+
+  /// Binds `bytes` (which must stay alive and pinned) to `schema`.
+  /// Validates the header + null bitmap; payload bytes are validated
+  /// lazily as fields are accessed.
+  static Result<TupleView> Parse(const Schema& schema,
+                                 std::string_view bytes);
+
+  const Schema& schema() const { return *schema_; }
+  std::string_view bytes() const { return bytes_; }
+  /// Fields physically present in the serialized bytes.
+  size_t stored_field_count() const { return stored_; }
+  /// Fields visible through the schema (the logical width).
+  size_t field_count() const { return schema_->column_count(); }
+
+  /// NULL-ness of schema column `i` (missing trailing fields are NULL).
+  bool IsNull(size_t i) const;
+
+  /// Decodes schema column `i`. Strings come back as Value::StringView
+  /// aliasing the underlying bytes. Precondition: i < field_count().
+  Result<Value> Field(size_t i) const;
+
+  /// By-name field access (the view's bound schema does the lookup).
+  Result<Value> Get(std::string_view name) const;
+
+  /// The full encoded slot of schema column `i` — fixed-width payload or
+  /// length-prefix + bytes — as it sits in the serialized tuple. Empty
+  /// for fields beyond stored_field_count().
+  Result<std::string_view> FieldSlot(size_t i) const;
+
+  /// Serializes the projection onto schema columns `indices` (in that
+  /// order) into `*out`, byte-identical to
+  /// Tuple::Project(schema, names).Serialize(projected_schema) — the
+  /// zero-intermediate path from a stored row to a Message payload.
+  Status AppendProjectionTo(const std::vector<size_t>& indices,
+                            std::string* out) const;
+
+  /// Decodes every schema column into an owning Tuple (the view-to-owner
+  /// crossing used at mutation boundaries).
+  Result<Tuple> Materialize() const;
+
+ private:
+  TupleView(const Schema* schema, std::string_view bytes, uint16_t stored,
+            std::string_view bitmap, std::string_view payload)
+      : schema_(schema),
+        bytes_(bytes),
+        stored_(stored),
+        bitmap_(bitmap),
+        payload_(payload) {}
+
+  /// Payload bytes remaining at the start of field `i`'s slot.
+  Result<std::string_view> SeekField(size_t i) const;
+
+  const Schema* schema_ = nullptr;
+  std::string_view bytes_;
+  uint16_t stored_ = 0;
+  std::string_view bitmap_;
+  std::string_view payload_;  // bytes after the bitmap
+};
+
+/// A borrowed row handed to expression evaluation: either an owning Tuple
+/// or a zero-copy TupleView, behind one non-virtual dispatch. Implicitly
+/// constructible from both so every existing `expr->Evaluate(tuple,
+/// schema)` call site keeps compiling while scan loops pass views.
+class RowView {
+ public:
+  RowView(const Tuple& tuple)  // NOLINT(google-explicit-constructor)
+      : tuple_(&tuple) {}
+  RowView(const TupleView& view)  // NOLINT(google-explicit-constructor)
+      : view_(&view) {}
+
+  /// By-name field access through `schema`. For a TupleView the bound
+  /// schema must equal `schema` (both name the base table's user schema
+  /// on every evaluation path).
+  Result<Value> Get(const Schema& schema, std::string_view name) const {
+    if (tuple_ != nullptr) return tuple_->Get(schema, name);
+    return view_->Get(name);
+  }
+
+ private:
+  const Tuple* tuple_ = nullptr;
+  const TupleView* view_ = nullptr;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_CATALOG_TUPLE_VIEW_H_

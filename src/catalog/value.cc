@@ -45,6 +45,12 @@ const std::string& Value::as_string() const {
   return std::get<std::string>(data_);
 }
 
+std::string_view Value::as_string_view() const {
+  SNAPDIFF_CHECK(!is_null_ && type_ == TypeId::kString);
+  if (const auto* view = std::get_if<std::string_view>(&data_)) return *view;
+  return std::get<std::string>(data_);
+}
+
 Timestamp Value::as_timestamp() const {
   SNAPDIFF_CHECK(type_ == TypeId::kTimestamp);
   if (is_null_) return kNullTimestamp;
@@ -95,10 +101,10 @@ Result<int> Value::Compare(const Value& other) const {
       const int a = as_bool(), b = other.as_bool();
       return a - b;
     }
-    case TypeId::kString:
-      return as_string().compare(other.as_string()) < 0
-                 ? -1
-                 : (as_string() == other.as_string() ? 0 : 1);
+    case TypeId::kString: {
+      const int c = as_string_view().compare(other.as_string_view());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
     case TypeId::kTimestamp: {
       const Timestamp a = as_timestamp(), b = other.as_timestamp();
       return a < b ? -1 : (a > b ? 1 : 0);
@@ -116,6 +122,10 @@ bool Value::Equals(const Value& other) const {
   if (type_ != other.type_) return false;
   if (is_null_ != other.is_null_) return false;
   if (is_null_) return true;
+  // Owning and view strings with the same contents are the same value.
+  if (type_ == TypeId::kString) {
+    return as_string_view() == other.as_string_view();
+  }
   return data_ == other.data_;
 }
 
@@ -133,7 +143,7 @@ std::string Value::ToString() const {
       return s;
     }
     case TypeId::kString:
-      return "'" + as_string() + "'";
+      return "'" + std::string(as_string_view()) + "'";
     case TypeId::kTimestamp:
       return "ts:" + std::to_string(as_timestamp());
     case TypeId::kAddress:
@@ -157,7 +167,7 @@ void Value::SerializeTo(std::string* dst) const {
       PutDouble(dst, as_double());
       break;
     case TypeId::kString:
-      PutLengthPrefixed(dst, as_string());
+      PutLengthPrefixed(dst, as_string_view());
       break;
     case TypeId::kTimestamp:
       PutFixed64(dst, static_cast<uint64_t>(as_timestamp()));

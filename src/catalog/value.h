@@ -45,6 +45,12 @@ class Value {
   static Value String(std::string s) {
     return Value(TypeId::kString, std::move(s));
   }
+  /// A non-owning string value aliasing caller-owned bytes (row views,
+  /// literals). The caller guarantees the bytes outlive the Value — the
+  /// same contract as std::string_view itself. Never allocates.
+  static Value StringView(std::string_view s) {
+    return Value(TypeId::kString, s);
+  }
   /// A timestamp value; `kNullTimestamp` maps to SQL NULL.
   static Value Ts(Timestamp t) {
     if (t == kNullTimestamp) return Null(TypeId::kTimestamp);
@@ -65,6 +71,9 @@ class Value {
   int64_t as_int64() const;
   double as_double() const;
   const std::string& as_string() const;
+  /// String contents whether this Value owns them (String) or aliases
+  /// them (StringView). Prefer this accessor in read paths.
+  std::string_view as_string_view() const;
   Timestamp as_timestamp() const;
   Address as_address() const;
 
@@ -93,7 +102,8 @@ class Value {
 
   TypeId type_;
   bool is_null_;
-  std::variant<std::monostate, bool, int64_t, double, std::string, Address>
+  std::variant<std::monostate, bool, int64_t, double, std::string, Address,
+               std::string_view>
       data_;
 };
 

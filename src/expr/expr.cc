@@ -42,7 +42,7 @@ class ColumnRefExpr final : public Expression {
  public:
   explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
 
-  Result<Value> Evaluate(const Tuple& row,
+  Result<Value> Evaluate(const RowView& row,
                          const Schema& schema) const override {
     return row.Get(schema, name_);
   }
@@ -60,7 +60,12 @@ class LiteralExpr final : public Expression {
  public:
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
 
-  Result<Value> Evaluate(const Tuple&, const Schema&) const override {
+  Result<Value> Evaluate(const RowView&, const Schema&) const override {
+    // A string literal hands out a view of its own (tree-owned) bytes so
+    // per-row evaluation never copies the constant.
+    if (value_.type() == TypeId::kString && !value_.is_null()) {
+      return Value::StringView(value_.as_string_view());
+    }
     return value_;
   }
 
@@ -78,7 +83,7 @@ class ComparisonExpr final : public Expression {
   ComparisonExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
-  Result<Value> Evaluate(const Tuple& row,
+  Result<Value> Evaluate(const RowView& row,
                          const Schema& schema) const override {
     ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(row, schema));
     ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(row, schema));
@@ -123,7 +128,7 @@ class LogicalExpr final : public Expression {
   LogicalExpr(bool is_and, ExprPtr lhs, ExprPtr rhs)
       : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
-  Result<Value> Evaluate(const Tuple& row,
+  Result<Value> Evaluate(const RowView& row,
                          const Schema& schema) const override {
     ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(row, schema));
     if (l.type() != TypeId::kBool) return NotBool(l);
@@ -172,7 +177,7 @@ class NotExpr final : public Expression {
  public:
   explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
 
-  Result<Value> Evaluate(const Tuple& row,
+  Result<Value> Evaluate(const RowView& row,
                          const Schema& schema) const override {
     ASSIGN_OR_RETURN(Value v, operand_->Evaluate(row, schema));
     if (v.type() != TypeId::kBool) {
@@ -200,7 +205,7 @@ class ArithmeticExpr final : public Expression {
   ArithmeticExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
-  Result<Value> Evaluate(const Tuple& row,
+  Result<Value> Evaluate(const RowView& row,
                          const Schema& schema) const override {
     ASSIGN_OR_RETURN(Value l, lhs_->Evaluate(row, schema));
     ASSIGN_OR_RETURN(Value r, rhs_->Evaluate(row, schema));
@@ -268,7 +273,7 @@ class IsNullExpr final : public Expression {
   IsNullExpr(ExprPtr operand, bool negated)
       : operand_(std::move(operand)), negated_(negated) {}
 
-  Result<Value> Evaluate(const Tuple& row,
+  Result<Value> Evaluate(const RowView& row,
                          const Schema& schema) const override {
     ASSIGN_OR_RETURN(Value v, operand_->Evaluate(row, schema));
     return Value::Bool(v.is_null() != negated_);
@@ -325,7 +330,7 @@ ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
 
 ExprPtr MakeTrue() { return MakeLiteral(Value::Bool(true)); }
 
-Result<bool> EvaluatePredicate(const Expression& expr, const Tuple& row,
+Result<bool> EvaluatePredicate(const Expression& expr, const RowView& row,
                                const Schema& schema) {
   ASSIGN_OR_RETURN(Value v, expr.Evaluate(row, schema));
   if (v.type() != TypeId::kBool) {

@@ -7,6 +7,7 @@
 
 #include "catalog/schema.h"
 #include "catalog/tuple.h"
+#include "catalog/tuple_view.h"
 #include "catalog/value.h"
 #include "common/result.h"
 
@@ -47,7 +48,10 @@ class Expression {
  public:
   virtual ~Expression() = default;
 
-  virtual Result<Value> Evaluate(const Tuple& row,
+  /// RowView accepts both an owning Tuple and a zero-copy TupleView
+  /// (implicitly), so scan loops evaluate restrictions directly over
+  /// pinned page bytes with no materialization.
+  virtual Result<Value> Evaluate(const RowView& row,
                                  const Schema& schema) const = 0;
 
   virtual std::string ToString() const = 0;
@@ -87,8 +91,8 @@ ExprPtr MakeIsNull(ExprPtr operand, bool negated);
 ExprPtr MakeTrue();
 
 /// Evaluates a restriction: TRUE qualifies; FALSE or NULL does not.
-/// Non-boolean results are an error.
-Result<bool> EvaluatePredicate(const Expression& expr, const Tuple& row,
+/// Non-boolean results are an error. `row` binds to a Tuple or TupleView.
+Result<bool> EvaluatePredicate(const Expression& expr, const RowView& row,
                                const Schema& schema);
 
 /// Verifies that `expr` type-checks against `schema` by evaluating it on a

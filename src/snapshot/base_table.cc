@@ -122,9 +122,15 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
     Address my_prev;
     if (succ.IsReal()) {
       ++maintenance_stats_.extra_entry_reads;
-      ASSIGN_OR_RETURN(Tuple succ_stored, ReadRow(info_, succ));
-      AnnotatedRow succ_row = SplitStored(succ_stored);
-      my_prev = succ_row.prev_addr;
+      // Only the successor's annotations are needed — read them through a
+      // pinned view instead of copying and materializing the whole row.
+      Timestamp succ_ts = kNullTimestamp;
+      {
+        ASSIGN_OR_RETURN(TableHeap::TupleRef ref, info_->heap->GetView(succ));
+        ASSIGN_OR_RETURN(AnnotatedView succ_row, SplitStoredView(ref.bytes));
+        my_prev = succ_row.prev_addr;
+        succ_ts = succ_row.timestamp;
+      }
       if (my_prev.IsNull()) {
         // Successor predates annotation maintenance; derive from position.
         ++maintenance_stats_.successor_searches;
@@ -133,8 +139,7 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
       // "the PrevAddr in the next entry must be set to the address of the
       // new entry" — its TimeStamp is NOT touched.
       ++maintenance_stats_.extra_entry_writes;
-      RETURN_IF_ERROR(
-          WriteAnnotations(succ, addr, succ_row.timestamp));
+      RETURN_IF_ERROR(WriteAnnotations(succ, addr, succ_ts));
     } else {
       ++maintenance_stats_.successor_searches;
       ASSIGN_OR_RETURN(my_prev, info_->heap->PrevLiveBefore(addr));
@@ -219,11 +224,21 @@ Result<BaseTable::AnnotatedRow> BaseTable::ReadAnnotated(Address addr) {
   return SplitStored(stored);
 }
 
-Status BaseTable::ScanAnnotated(
-    const std::function<Status(Address, const AnnotatedRow&)>& fn) {
-  return ScanRows(info_, [&](Address addr, const Tuple& stored) -> Status {
-    return fn(addr, SplitStored(stored));
-  });
+Result<BaseTable::AnnotatedView> BaseTable::SplitStoredView(
+    std::string_view bytes) const {
+  AnnotatedView row;
+  ASSIGN_OR_RETURN(row.user, TupleView::Parse(user_schema_, bytes));
+  if (info_->schema.HasAnnotations()) {
+    ASSIGN_OR_RETURN(TupleView stored, TupleView::Parse(info_->schema, bytes));
+    ASSIGN_OR_RETURN(Value prev, stored.Field(info_->schema.PrevAddrIndex()));
+    ASSIGN_OR_RETURN(Value ts, stored.Field(info_->schema.TimestampIndex()));
+    row.prev_addr = prev.as_address();
+    row.timestamp = ts.as_timestamp();
+  } else {
+    row.prev_addr = Address::Null();
+    row.timestamp = kNullTimestamp;
+  }
+  return row;
 }
 
 std::vector<BaseTable::ScanPartition> BaseTable::Partition(
@@ -246,26 +261,72 @@ std::vector<BaseTable::ScanPartition> BaseTable::Partition(
   return parts;
 }
 
-Status BaseTable::ScanAnnotatedRange(
-    const ScanPartition& part,
-    const std::function<Status(Address, const AnnotatedRow&)>& fn) {
-  return info_->heap->ForEachInPageRange(
-      part.first_page, part.page_count,
-      [&](Address addr, std::string_view bytes) -> Status {
-        ASSIGN_OR_RETURN(Tuple stored,
-                         Tuple::Deserialize(info_->schema, bytes));
-        return fn(addr, SplitStored(stored));
-      });
+namespace {
+
+/// Little-endian store matching PutFixed64's wire byte order.
+void StoreFixed64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
 }
+
+/// Overwrites the fixed-8-byte slot of field `idx` and its null bit
+/// inside a serialized tuple, byte-identical to what Tuple::Serialize
+/// would have produced (NULL slots are zeroed).
+Status PatchFixed64Field(const TupleView& stored, char* row_data, size_t idx,
+                         bool null, uint64_t raw) {
+  ASSIGN_OR_RETURN(std::string_view slot, stored.FieldSlot(idx));
+  char* slot_data = row_data + (slot.data() - stored.bytes().data());
+  StoreFixed64(slot_data, null ? 0 : raw);
+  char& bitmap_byte = row_data[2 + idx / 8];
+  const char bit = static_cast<char>(1 << (idx % 8));
+  if (null) {
+    bitmap_byte |= bit;
+  } else {
+    bitmap_byte &= static_cast<char>(~bit);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
                                    Timestamp ts) {
   if (!info_->schema.HasAnnotations()) {
     return Status::InvalidArgument("table has no annotation columns");
   }
+  const size_t prev_idx = info_->schema.PrevAddrIndex();
+  const size_t ts_idx = info_->schema.TimestampIndex();
+  bool patchable = false;
+  {
+    ASSIGN_OR_RETURN(TableHeap::TupleRef ref, info_->heap->GetView(addr));
+    ASSIGN_OR_RETURN(TupleView stored,
+                     TupleView::Parse(info_->schema, ref.bytes));
+    patchable = stored.stored_field_count() == info_->schema.column_count();
+  }
+  if (patchable) {
+    // Annotation slots exist and NULL-ness never changes a slot's width,
+    // so the funny fields are rewritten directly in the pinned frame —
+    // the paper's in-place fix-up of a packed page, with no row copy.
+    ASSIGN_OR_RETURN(TableHeap::MutableTupleRef ref,
+                     info_->heap->GetMutable(addr));
+    ASSIGN_OR_RETURN(
+        TupleView stored,
+        TupleView::Parse(info_->schema,
+                         std::string_view(ref.data, ref.size)));
+    RETURN_IF_ERROR(PatchFixed64Field(stored, ref.data, prev_idx,
+                                      prev_addr.IsNull(), prev_addr.raw()));
+    RETURN_IF_ERROR(PatchFixed64Field(
+        stored, ref.data, ts_idx, ts == kNullTimestamp,
+        static_cast<uint64_t>(ts)));
+    return Status::OK();
+  }
+  // The row predates the annotation columns (narrower than the schema):
+  // its annotation slots don't physically exist, so grow it by
+  // re-serializing at full width.
   ASSIGN_OR_RETURN(Tuple stored, ReadRow(info_, addr));
-  stored.Set(info_->schema.PrevAddrIndex(), Value::Addr(prev_addr));
-  stored.Set(info_->schema.TimestampIndex(), Value::Ts(ts));
+  stored.Set(prev_idx, Value::Addr(prev_addr));
+  stored.Set(ts_idx, Value::Ts(ts));
   return UpdateRow(info_, addr, stored);
 }
 
@@ -309,7 +370,7 @@ Status ValidateAnnotationChain(BaseTable* table) {
   }
   Address expected_prev = Address::Origin();
   Status scan = table->ScanAnnotated(
-      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+      [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
         if (row.prev_addr.IsNull()) {
           return Status::Internal("NULL PrevAddr at " + addr.ToString());
         }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/tuple_view.h"
 #include "txn/timestamp_oracle.h"
 #include "wal/log_manager.h"
 
@@ -67,6 +68,17 @@ class BaseTable {
     Timestamp timestamp;  // kNullTimestamp encodes SQL NULL
   };
 
+  /// The zero-copy counterpart of AnnotatedRow: the user part is a
+  /// TupleView over the stored bytes (which alias a pinned buffer-pool
+  /// frame) and the funny columns are decoded in place. Valid only for
+  /// the lifetime of the underlying pin — inside a ScanAnnotated callback
+  /// or while a TupleRef guard is held.
+  struct AnnotatedView {
+    TupleView user;
+    Address prev_addr;    // Address::Null() encodes SQL NULL
+    Timestamp timestamp;  // kNullTimestamp encodes SQL NULL
+  };
+
   /// `info` must already carry the annotation columns when `mode` is not
   /// kNone. `wal` may be null (no logging).
   BaseTable(TableInfo* info, AnnotationMode mode, TimestampOracle* oracle,
@@ -93,9 +105,24 @@ class BaseTable {
   Result<Tuple> ReadUserRow(Address addr);
   Result<AnnotatedRow> ReadAnnotated(Address addr);
 
-  /// Visits live rows in address order with their annotations.
-  Status ScanAnnotated(
-      const std::function<Status(Address, const AnnotatedRow&)>& fn);
+  /// Splits stored tuple bytes (pinned by the caller) into a user-schema
+  /// TupleView plus decoded annotations — no materialization.
+  Result<AnnotatedView> SplitStoredView(std::string_view bytes) const;
+
+  /// Visits live rows in address order with their annotations, handing
+  /// each one to `fn(Address, const AnnotatedView&)`. The view (and
+  /// everything obtained from it) aliases a page pinned only for the
+  /// duration of the callback — materialize what must outlive it. Writing
+  /// to this table from inside `fn` is not allowed (the refresh executors
+  /// defer fix-up writes until after the scan).
+  template <typename Fn>
+  Status ScanAnnotated(Fn&& fn) {
+    return info_->heap->ForEach(
+        [&](Address addr, std::string_view bytes) -> Status {
+          ASSIGN_OR_RETURN(AnnotatedView row, SplitStoredView(bytes));
+          return fn(addr, row);
+        });
+  }
 
   /// A contiguous run of the heap's pages, scanned by one refresh worker.
   struct ScanPartition {
@@ -111,10 +138,17 @@ class BaseTable {
   std::vector<ScanPartition> Partition(size_t max_partitions) const;
 
   /// ScanAnnotated restricted to one partition. Read-only; safe to call
-  /// concurrently from multiple threads (storage below is latched).
-  Status ScanAnnotatedRange(
-      const ScanPartition& part,
-      const std::function<Status(Address, const AnnotatedRow&)>& fn);
+  /// concurrently from multiple threads (storage below is latched). Same
+  /// view-lifetime rules as ScanAnnotated.
+  template <typename Fn>
+  Status ScanAnnotatedRange(const ScanPartition& part, Fn&& fn) {
+    return info_->heap->ForEachInPageRange(
+        part.first_page, part.page_count,
+        [&](Address addr, std::string_view bytes) -> Status {
+          ASSIGN_OR_RETURN(AnnotatedView row, SplitStoredView(bytes));
+          return fn(addr, row);
+        });
+  }
 
   /// Rewrites one row's annotations, keeping the user fields (fix-up
   /// primitive; also exercised by fault-injection tests).

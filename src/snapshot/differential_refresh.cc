@@ -14,10 +14,12 @@ namespace snapdiff {
 
 namespace {
 
-/// Per-member transmit state (Figure 3) and bound projection.
+/// Per-member transmit state (Figure 3) and bound projection. The
+/// projection is resolved to user-schema column indices once, so per-row
+/// payload serialization never does a by-name lookup.
 struct MemberState {
   GroupRefreshMember member;
-  Schema projected_schema;
+  std::vector<size_t> projection_indices;
   Address last_qual = Address::Origin();
   bool deletion = false;
 };
@@ -219,7 +221,7 @@ Status ExtractPartition(BaseTable* base,
   std::vector<Tri> deletion(states.size(), Tri::kUnknown);
 
   return base->ScanAnnotatedRange(
-      part, [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+      part, [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
         ExtractedRow er;
         er.addr = addr;
         er.stored_prev = row.prev_addr;
@@ -265,12 +267,11 @@ Status ExtractPartition(BaseTable* base,
                   annotations_intact &&
                   row.timestamp <= st.member.snap_time;
               if (!(desc.anchor_optimization && value_unchanged)) {
-                ASSIGN_OR_RETURN(Tuple projected,
-                                 row.user.Project(base->user_schema(),
-                                                  desc.projection));
                 if (er.payloads.empty()) er.payloads.resize(states.size());
-                ASSIGN_OR_RETURN(er.payloads[i],
-                                 projected.Serialize(st.projected_schema));
+                // Straight from the pinned view into the payload buffer —
+                // no intermediate Tuple, no projected copy.
+                RETURN_IF_ERROR(row.user.AppendProjectionTo(
+                    st.projection_indices, &er.payloads[i]));
                 er.has_payload |= uint64_t{1} << i;
               }
             }
@@ -307,9 +308,12 @@ Status ExecuteGroupDifferentialRefresh(
   std::vector<MemberState> states;
   states.reserve(members->size());
   for (GroupRefreshMember& m : *members) {
-    MemberState state{m, Schema(), Address::Origin(), false};
-    ASSIGN_OR_RETURN(state.projected_schema,
-                     base->user_schema().Project(m.desc->projection));
+    MemberState state{m, {}, Address::Origin(), false};
+    state.projection_indices.reserve(m.desc->projection.size());
+    for (const std::string& name : m.desc->projection) {
+      ASSIGN_OR_RETURN(size_t idx, base->user_schema().IndexOf(name));
+      state.projection_indices.push_back(idx);
+    }
     states.push_back(std::move(state));
   }
 
@@ -393,7 +397,7 @@ Status ExecuteGroupDifferentialRefresh(
     // --- Sequential path: the paper's single combined scan. ---
     obs::Tracer::Span scan_span(tracer, "scan+transmit");
     Status scan_status = base->ScanAnnotated(
-        [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
           return ProcessRow(
               &fx, &states, &sender, &repairs, exec, addr, row.prev_addr,
               row.timestamp,
@@ -403,11 +407,11 @@ Status ExecuteGroupDifferentialRefresh(
               },
               [&](size_t i, const MemberState& state) -> Result<std::string> {
                 (void)i;
-                ASSIGN_OR_RETURN(Tuple projected,
-                                 row.user.Project(base->user_schema(),
-                                                  state.member.desc->
-                                                      projection));
-                return projected.Serialize(state.projected_schema);
+                // Serialize the projection straight off the pinned view.
+                std::string payload;
+                RETURN_IF_ERROR(row.user.AppendProjectionTo(
+                    state.projection_indices, &payload));
+                return payload;
               });
         });
     RETURN_IF_ERROR(scan_status);

@@ -7,19 +7,16 @@ namespace snapdiff {
 
 namespace {
 
-/// Serializes and ships one qualified row. On a resumed session's
-/// fast-forward region, projection + serialization are skipped: the message
-/// only spends a sequence number.
-Status TransmitRow(BaseTable* base, SnapshotDescriptor* desc,
-                   const Schema& projected_schema, Address addr,
-                   const Tuple& user_row, BatchingSender* sender,
-                   const RefreshExecution& exec) {
+/// Serializes and ships one qualified row straight from its pinned view.
+/// On a resumed session's fast-forward region, projection + serialization
+/// are skipped: the message only spends a sequence number.
+Status TransmitRow(SnapshotDescriptor* desc,
+                   const std::vector<size_t>& projection_indices,
+                   Address addr, const TupleView& user_row,
+                   BatchingSender* sender, const RefreshExecution& exec) {
   std::string payload;
   if (!NextSendSuppressed(exec)) {
-    ASSIGN_OR_RETURN(Tuple projected,
-                     user_row.Project(base->user_schema(),
-                                      desc->projection));
-    ASSIGN_OR_RETURN(payload, projected.Serialize(projected_schema));
+    RETURN_IF_ERROR(user_row.AppendProjectionTo(projection_indices, &payload));
   }
   return sender->Send(MakeUpsert(desc->id, addr, std::move(payload)));
 }
@@ -29,8 +26,12 @@ Status TransmitRow(BaseTable* base, SnapshotDescriptor* desc,
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                           Channel* channel, RefreshStats* stats,
                           obs::Tracer* tracer, const RefreshExecution& exec) {
-  ASSIGN_OR_RETURN(Schema projected_schema,
-                   base->user_schema().Project(desc->projection));
+  std::vector<size_t> projection_indices;
+  projection_indices.reserve(desc->projection.size());
+  for (const std::string& name : desc->projection) {
+    ASSIGN_OR_RETURN(size_t idx, base->user_schema().IndexOf(name));
+    projection_indices.push_back(idx);
+  }
   const Timestamp now = base->oracle()->Next();
   MessageSink* sink = exec.session != nullptr
                           ? static_cast<MessageSink*>(exec.session)
@@ -59,27 +60,32 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
     span.Note("candidates", addresses.size());
     for (Address addr : addresses) {
       ++stats->base_reads;
-      ASSIGN_OR_RETURN(Tuple user_row, base->ReadUserRow(addr));
+      // Point read through the pin guard: the view (and the payload
+      // serialization below) runs against the pinned frame directly.
+      ASSIGN_OR_RETURN(TableHeap::TupleRef ref,
+                       base->info()->heap->GetView(addr));
+      ASSIGN_OR_RETURN(BaseTable::AnnotatedView row,
+                       base->SplitStoredView(ref.bytes));
       if (!range->exact) {
         ASSIGN_OR_RETURN(bool qualified,
-                         EvaluatePredicate(*desc->restriction, user_row,
+                         EvaluatePredicate(*desc->restriction, row.user,
                                            base->user_schema()));
         if (!qualified) continue;
       }
-      RETURN_IF_ERROR(TransmitRow(base, desc, projected_schema, addr,
-                                  user_row, &sender, exec));
+      RETURN_IF_ERROR(TransmitRow(desc, projection_indices, addr, row.user,
+                                  &sender, exec));
     }
     RETURN_IF_ERROR(sender.Flush());
   } else {
     obs::Tracer::Span span(tracer, "scan+transmit");
     RETURN_IF_ERROR(base->ScanAnnotated(
-        [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+        [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
           ++stats->entries_scanned;
           ASSIGN_OR_RETURN(bool qualified,
                            EvaluatePredicate(*desc->restriction, row.user,
                                              base->user_schema()));
           if (!qualified) return Status::OK();
-          return TransmitRow(base, desc, projected_schema, addr, row.user,
+          return TransmitRow(desc, projection_indices, addr, row.user,
                              &sender, exec);
         }));
     RETURN_IF_ERROR(sender.Flush());

@@ -8,8 +8,12 @@ Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
                            Channel* channel, RefreshStats* stats,
                            obs::Tracer* tracer,
                            const RefreshExecution& exec) {
-  ASSIGN_OR_RETURN(Schema projected_schema,
-                   base->user_schema().Project(desc->projection));
+  std::vector<size_t> projection_indices;
+  projection_indices.reserve(desc->projection.size());
+  for (const std::string& name : desc->projection) {
+    ASSIGN_OR_RETURN(size_t idx, base->user_schema().IndexOf(name));
+    projection_indices.push_back(idx);
+  }
   const Timestamp now = base->oracle()->Next();
   MessageSink* sink = exec.session != nullptr
                           ? static_cast<MessageSink*>(exec.session)
@@ -19,17 +23,15 @@ Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
   obs::Tracer::Span scan_span(tracer, "scan");
   std::map<Address, std::string> current;
   RETURN_IF_ERROR(base->ScanAnnotated(
-      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+      [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
         ++stats->entries_scanned;
         ASSIGN_OR_RETURN(bool qualified,
                          EvaluatePredicate(*desc->restriction, row.user,
                                            base->user_schema()));
         if (!qualified) return Status::OK();
-        ASSIGN_OR_RETURN(Tuple projected,
-                         row.user.Project(base->user_schema(),
-                                          desc->projection));
-        ASSIGN_OR_RETURN(std::string payload,
-                         projected.Serialize(projected_schema));
+        std::string payload;
+        RETURN_IF_ERROR(
+            row.user.AppendProjectionTo(projection_indices, &payload));
         current.emplace(addr, std::move(payload));
         return Status::OK();
       }));

@@ -57,26 +57,31 @@ Status EvaluateJoin(
   // Build side: the right input.
   std::unordered_multimap<std::string, Tuple> build;
   RETURN_IF_ERROR(desc->right->ScanAnnotated(
-      [&](Address, const BaseTable::AnnotatedRow& row) -> Status {
+      [&](Address, const BaseTable::AnnotatedView& row) -> Status {
         if (stats != nullptr) ++stats->entries_scanned;
-        const Value& key = row.user.value(right_key_idx);
+        ASSIGN_OR_RETURN(Value key, row.user.Field(right_key_idx));
         if (key.is_null()) return Status::OK();
         ASSIGN_OR_RETURN(std::string k, JoinKey(key));
-        build.emplace(std::move(k), row.user);
+        // The build table outlives the scan's pins: cross from view to
+        // owning Tuple here.
+        ASSIGN_OR_RETURN(Tuple user, row.user.Materialize());
+        build.emplace(std::move(k), std::move(user));
         return Status::OK();
       }));
 
   // Probe side: the left input.
   uint64_t ordinal = 0;
   RETURN_IF_ERROR(desc->left->ScanAnnotated(
-      [&](Address, const BaseTable::AnnotatedRow& row) -> Status {
+      [&](Address, const BaseTable::AnnotatedView& row) -> Status {
         if (stats != nullptr) ++stats->entries_scanned;
-        const Value& key = row.user.value(left_key_idx);
+        ASSIGN_OR_RETURN(Value key, row.user.Field(left_key_idx));
         if (key.is_null()) return Status::OK();
         ASSIGN_OR_RETURN(std::string k, JoinKey(key));
         auto [lo, hi] = build.equal_range(k);
+        if (lo == hi) return Status::OK();
+        ASSIGN_OR_RETURN(Tuple probe, row.user.Materialize());
         for (auto it = lo; it != hi; ++it) {
-          std::vector<Value> combined = row.user.values();
+          std::vector<Value> combined = probe.values();
           for (const Value& v : it->second.values()) combined.push_back(v);
           Tuple joined(std::move(combined));
           ASSIGN_OR_RETURN(bool qualified,

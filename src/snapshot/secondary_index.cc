@@ -11,8 +11,9 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Build(
   auto index = std::unique_ptr<SecondaryIndex>(
       new SecondaryIndex(column, idx));
   RETURN_IF_ERROR(table->ScanAnnotated(
-      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
-        index->Add(addr, row.user.value(idx));
+      [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
+        ASSIGN_OR_RETURN(Value v, row.user.Field(idx));
+        index->Add(addr, v);
         return Status::OK();
       }));
   return index;
@@ -98,8 +99,8 @@ Result<std::vector<Address>> SecondaryIndex::SelectRange(
 Status SecondaryIndex::CheckConsistency(BaseTable* table) const {
   size_t expected = 0;
   Status scan = table->ScanAnnotated(
-      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
-        const Value& v = row.user.value(column_index_);
+      [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
+        ASSIGN_OR_RETURN(Value v, row.user.Field(column_index_));
         if (v.is_null()) return Status::OK();
         ++expected;
         ASSIGN_OR_RETURN(std::string key, OrderPreservingKey(v));

@@ -755,14 +755,6 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
   return report;
 }
 
-Result<RefreshStats> SnapshotSystem::Refresh(
-    const std::string& snapshot_name) {
-  RefreshRequest request;
-  request.snapshot = snapshot_name;
-  ASSIGN_OR_RETURN(RefreshReport report, Refresh(request));
-  return report.stats;
-}
-
 void SnapshotSystem::FinishRefreshTrace(const std::string& snapshot_name,
                                         const SnapshotDescriptor& desc,
                                         const SnapshotTable& snap,
@@ -940,14 +932,14 @@ Result<std::map<Address, Tuple>> SnapshotSystem::ExpectedContents(
   BaseTable* base = entry->source;
   std::map<Address, Tuple> out;
   RETURN_IF_ERROR(base->ScanAnnotated(
-      [&](Address addr, const BaseTable::AnnotatedRow& row) -> Status {
+      [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
         ASSIGN_OR_RETURN(bool qualified,
                          EvaluatePredicate(*desc.restriction, row.user,
                                            base->user_schema()));
         if (!qualified) return Status::OK();
+        ASSIGN_OR_RETURN(Tuple user, row.user.Materialize());
         ASSIGN_OR_RETURN(Tuple projected,
-                         row.user.Project(base->user_schema(),
-                                          desc.projection));
+                         user.Project(base->user_schema(), desc.projection));
         out.emplace(addr, std::move(projected));
         return Status::OK();
       }));

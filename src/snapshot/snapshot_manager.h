@@ -73,7 +73,7 @@ struct SnapshotOptions {
 ///   BaseTable* emp = *sys.CreateBaseTable("emp", schema);
 ///   ... load emp ...
 ///   sys.CreateSnapshot("emp_low_paid", "emp", "Salary < 10", {});
-///   RefreshStats st = *sys.Refresh("emp_low_paid");
+///   RefreshStats st = sys.Refresh(RefreshRequest::For("emp_low_paid"))->stats;
 ///
 /// Snapshots can be defined over base tables or over other snapshots
 /// (their storage is itself an annotated table), each with its own
@@ -145,10 +145,6 @@ class SnapshotSystem {
   /// suffix is retransmitted (RESUME_REFRESH negotiation on the demand
   /// link).
   Result<RefreshReport> Refresh(const RefreshRequest& request);
-
-  /// Deprecated single-attempt form, kept for source compatibility:
-  /// exactly `Refresh(RefreshRequest{.snapshot = snapshot_name}).stats`.
-  Result<RefreshStats> Refresh(const std::string& snapshot_name);
 
   /// Refreshes several *differential* snapshots of the same base table in
   /// one combined scan, amortizing the sequential read and the fix-up

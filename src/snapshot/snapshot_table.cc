@@ -122,8 +122,9 @@ Result<Tuple> SnapshotTable::Lookup(Address base_addr) {
 Result<std::map<Address, Tuple>> SnapshotTable::Contents() {
   std::map<Address, Tuple> out;
   RETURN_IF_ERROR(storage_->ScanAnnotated(
-      [&](Address, const BaseTable::AnnotatedRow& row) -> Status {
-        auto [base_addr, values] = SplitRow(row.user);
+      [&](Address, const BaseTable::AnnotatedView& row) -> Status {
+        ASSIGN_OR_RETURN(Tuple user, row.user.Materialize());
+        auto [base_addr, values] = SplitRow(user);
         out.emplace(base_addr, std::move(values));
         return Status::OK();
       }));

@@ -14,6 +14,9 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
   metric_flushes_ = reg.GetCounter("storage.buffer_pool.flushes");
   frames_.reserve(pool_size);
   free_frames_.reserve(pool_size);
+  lru_prev_.assign(pool_size, kLruNil);
+  lru_next_.assign(pool_size, kLruNil);
+  in_lru_.assign(pool_size, 0);
   for (size_t i = 0; i < pool_size; ++i) {
     frames_.push_back(std::make_unique<Page>());
     free_frames_.push_back(pool_size - 1 - i);
@@ -22,16 +25,35 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
 
 void BufferPool::TouchLru(size_t frame_idx) {
   RemoveFromLru(frame_idx);
-  lru_.push_back(frame_idx);
-  lru_pos_[frame_idx] = std::prev(lru_.end());
+  // Append at the tail (most recently used end).
+  lru_prev_[frame_idx] = lru_tail_;
+  lru_next_[frame_idx] = kLruNil;
+  if (lru_tail_ != kLruNil) {
+    lru_next_[lru_tail_] = frame_idx;
+  } else {
+    lru_head_ = frame_idx;
+  }
+  lru_tail_ = frame_idx;
+  in_lru_[frame_idx] = 1;
 }
 
 void BufferPool::RemoveFromLru(size_t frame_idx) {
-  auto it = lru_pos_.find(frame_idx);
-  if (it != lru_pos_.end()) {
-    lru_.erase(it->second);
-    lru_pos_.erase(it);
+  if (!in_lru_[frame_idx]) return;
+  const size_t prev = lru_prev_[frame_idx];
+  const size_t next = lru_next_[frame_idx];
+  if (prev != kLruNil) {
+    lru_next_[prev] = next;
+  } else {
+    lru_head_ = next;
   }
+  if (next != kLruNil) {
+    lru_prev_[next] = prev;
+  } else {
+    lru_tail_ = prev;
+  }
+  lru_prev_[frame_idx] = kLruNil;
+  lru_next_[frame_idx] = kLruNil;
+  in_lru_[frame_idx] = 0;
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
@@ -40,10 +62,10 @@ Result<size_t> BufferPool::GetVictimFrame() {
     free_frames_.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (lru_head_ == kLruNil) {
     return Status::ResourceExhausted("buffer pool: all frames pinned");
   }
-  const size_t idx = lru_.front();
+  const size_t idx = lru_head_;
   Page* victim = frames_[idx].get();
   SNAPDIFF_DCHECK(victim->pin_count_ == 0);
   if (victim->is_dirty_) {

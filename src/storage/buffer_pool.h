@@ -2,7 +2,6 @@
 #define SNAPDIFF_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -76,9 +75,16 @@ class BufferPool {
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::vector<size_t> free_frames_;
-  // LRU order of unpinned frames; front = least recently used.
-  std::list<size_t> lru_;
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  // LRU order of unpinned frames as an intrusive doubly linked list over
+  // frame indices (head = least recently used). Pin/unpin transitions are
+  // pointer swaps in preallocated arrays — no heap traffic on the scan hot
+  // path, unlike the std::list + iterator-map this replaces.
+  static constexpr size_t kLruNil = static_cast<size_t>(-1);
+  std::vector<size_t> lru_prev_;
+  std::vector<size_t> lru_next_;
+  std::vector<uint8_t> in_lru_;
+  size_t lru_head_ = kLruNil;
+  size_t lru_tail_ = kLruNil;
   BufferPoolStats stats_;
   // System-wide aggregates ("storage.buffer_pool.*"): every pool of the
   // process feeds the same registry counters.

@@ -132,6 +132,30 @@ Result<std::string> TableHeap::Get(Address addr) {
   return std::string(view);
 }
 
+Result<TableHeap::TupleRef> TableHeap::GetView(Address addr) {
+  if (!addr.IsReal()) return Status::InvalidArgument("get: bad address");
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page);
+  ASSIGN_OR_RETURN(std::string_view view, SlottedPage(page).Get(addr.slot()));
+  TupleRef ref;
+  ref.guard = std::move(guard);
+  ref.bytes = view;
+  return ref;
+}
+
+Result<TableHeap::MutableTupleRef> TableHeap::GetMutable(Address addr) {
+  if (!addr.IsReal()) return Status::InvalidArgument("get: bad address");
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page, /*dirty=*/true);
+  ASSIGN_OR_RETURN(std::string_view view, SlottedPage(page).Get(addr.slot()));
+  MutableTupleRef ref;
+  ref.guard = std::move(guard);
+  ref.data = page->data() + (view.data() - page->data());
+  ref.size = view.size();
+  ++stats_.updates;
+  return ref;
+}
+
 Result<bool> TableHeap::Exists(Address addr) {
   if (!addr.IsReal()) return false;
   // The address may name a page this table never allocated.
@@ -234,36 +258,51 @@ Result<TableHeap::Iterator> TableHeap::Begin() {
   return it;
 }
 
-Status TableHeap::ForEach(
-    const std::function<Status(Address, std::string_view)>& fn) {
-  ASSIGN_OR_RETURN(Iterator it, Begin());
-  while (it.Valid()) {
-    RETURN_IF_ERROR(fn(it.address(), it.tuple()));
-    RETURN_IF_ERROR(it.Next());
+Status TableHeap::Cursor::FindNext() {
+  valid_ = false;
+  while (page_idx_ < end_page_idx_) {
+    const PageId page_id = heap_->pages_[page_idx_];
+    if (!guard_) {
+      ASSIGN_OR_RETURN(Page * page, heap_->pool_->FetchPage(page_id));
+      guard_ = PageGuard(heap_->pool_, page);
+    }
+    SlottedPage sp(guard_.page());
+    while (slot_ < sp.slot_count()) {
+      const SlotId s = static_cast<SlotId>(slot_);
+      ++slot_;
+      if (sp.IsOccupied(s)) {
+        ASSIGN_OR_RETURN(tuple_, sp.Get(s));
+        address_ = Address::FromPageSlot(page_id, s);
+        valid_ = true;
+        return Status::OK();
+      }
+    }
+    guard_.Release();
+    ++page_idx_;
+    slot_ = 0;
   }
+  tuple_ = {};
   return Status::OK();
 }
 
-Status TableHeap::ForEachInPageRange(
-    size_t first_page_idx, size_t page_count,
-    const std::function<Status(Address, std::string_view)>& fn) {
+Status TableHeap::Cursor::Next() {
+  if (!valid_) return Status::Internal("Next() past end");
+  return FindNext();
+}
+
+Result<TableHeap::Cursor> TableHeap::OpenCursor() {
+  return OpenCursor(0, pages_.size());
+}
+
+Result<TableHeap::Cursor> TableHeap::OpenCursor(size_t first_page_idx,
+                                                size_t page_count) {
   if (first_page_idx > pages_.size() ||
       page_count > pages_.size() - first_page_idx) {
-    return Status::InvalidArgument("ForEachInPageRange: range out of bounds");
+    return Status::InvalidArgument("OpenCursor: page range out of bounds");
   }
-  for (size_t i = first_page_idx; i < first_page_idx + page_count; ++i) {
-    const PageId page_id = pages_[i];
-    ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
-    PageGuard guard(pool_, page);
-    SlottedPage sp(page);
-    for (uint32_t slot = 0; slot < sp.slot_count(); ++slot) {
-      const SlotId s = static_cast<SlotId>(slot);
-      if (!sp.IsOccupied(s)) continue;
-      ASSIGN_OR_RETURN(std::string_view view, sp.Get(s));
-      RETURN_IF_ERROR(fn(Address::FromPageSlot(page_id, s), view));
-    }
-  }
-  return Status::OK();
+  Cursor cur(this, first_page_idx, first_page_idx + page_count);
+  RETURN_IF_ERROR(cur.FindNext());
+  return cur;
 }
 
 }  // namespace snapdiff

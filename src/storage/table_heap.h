@@ -2,7 +2,7 @@
 #define SNAPDIFF_STORAGE_TABLE_HEAP_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,6 +72,31 @@ class TableHeap {
   /// Copies out the tuple at `addr`.
   Result<std::string> Get(Address addr);
 
+  /// A pinned, read-only view of one tuple. `bytes` aliases the
+  /// buffer-pool frame and stays valid exactly as long as `guard` holds
+  /// the pin (and the page is not mutated). The zero-copy replacement for
+  /// Get() on point-read paths.
+  struct TupleRef {
+    PageGuard guard;
+    std::string_view bytes;
+  };
+
+  /// Pins the tuple's page and returns a view of its bytes — no copy.
+  Result<TupleRef> GetView(Address addr);
+
+  /// A pinned, mutable window over one tuple's bytes, already marked
+  /// dirty. In-place patching only: the tuple's length cannot change.
+  struct MutableTupleRef {
+    PageGuard guard;
+    char* data = nullptr;
+    size_t size = 0;
+  };
+
+  /// Pins the tuple's page for an in-place overwrite (counts as an
+  /// update). Callers may rewrite bytes within [data, data + size) but
+  /// must not change the tuple length.
+  Result<MutableTupleRef> GetMutable(Address addr);
+
   /// Whether a live tuple exists at `addr`.
   Result<bool> Exists(Address addr);
 
@@ -124,21 +149,85 @@ class TableHeap {
   /// Positions an iterator at the first live tuple.
   Result<Iterator> Begin();
 
+  /// Pin-aware forward cursor over live tuples in address order: the
+  /// zero-copy counterpart of Iterator. The current page stays pinned
+  /// while the cursor is positioned on it, so `tuple()` is a view into
+  /// the buffer-pool frame — valid until the next `Next()` call or the
+  /// cursor's destruction, whichever comes first. Advancing across a page
+  /// boundary releases the old pin before taking the next, so a cursor
+  /// holds at most one pin at a time. Mutating the heap under an open
+  /// cursor invalidates it (the refresh executors defer all fix-up
+  /// writes until after the scan for exactly this reason).
+  class Cursor {
+   public:
+    Cursor() = default;
+    Cursor(Cursor&&) noexcept = default;
+    Cursor& operator=(Cursor&&) noexcept = default;
+
+    bool Valid() const { return valid_; }
+    Address address() const { return address_; }
+    /// Aliases the pinned frame; invalidated by Next() / destruction.
+    std::string_view tuple() const { return tuple_; }
+
+    /// Advances to the next live tuple; clears Valid() at the end.
+    Status Next();
+
+   private:
+    friend class TableHeap;
+    Cursor(TableHeap* heap, size_t first_page_idx, size_t end_page_idx)
+        : heap_(heap), page_idx_(first_page_idx), end_page_idx_(end_page_idx) {}
+
+    /// Advances from (page_idx_, slot_) to the next occupied slot,
+    /// repinning across page boundaries.
+    Status FindNext();
+
+    TableHeap* heap_ = nullptr;
+    size_t page_idx_ = 0;
+    size_t end_page_idx_ = 0;
+    uint32_t slot_ = 0;  // next slot to examine on the current page
+    PageGuard guard_;    // pin on the current page while positioned
+    bool valid_ = false;
+    Address address_;
+    std::string_view tuple_;
+  };
+
+  /// Opens a cursor over the whole table.
+  Result<Cursor> OpenCursor();
+
+  /// Opens a cursor over the heap's pages [first_page_idx, first_page_idx
+  /// + page_count) — indexes into pages(), i.e. address order (the
+  /// partitioned-scan shape the parallel refresh workers use).
+  Result<Cursor> OpenCursor(size_t first_page_idx, size_t page_count);
+
   /// Calls `fn(address, bytes)` for every live tuple in address order;
-  /// stops early on error.
-  Status ForEach(
-      const std::function<Status(Address, std::string_view)>& fn);
+  /// stops early on error. `bytes` aliases the pinned buffer-pool frame
+  /// and is invalidated when `fn` returns — copy it if it must outlive
+  /// the callback. Statically dispatched (no std::function) so the
+  /// per-row call is direct on the scan hot path.
+  template <typename Fn>
+  Status ForEach(Fn&& fn) {
+    ASSIGN_OR_RETURN(Cursor cur, OpenCursor());
+    while (cur.Valid()) {
+      RETURN_IF_ERROR(fn(cur.address(), cur.tuple()));
+      RETURN_IF_ERROR(cur.Next());
+    }
+    return Status::OK();
+  }
 
   /// Like ForEach, restricted to the heap's pages [first_page_idx,
-  /// first_page_idx + page_count) — indexes into pages(), i.e. address
-  /// order. Each page is pinned once and all its slots visited under that
-  /// single pin, so a partitioned scan takes one FetchPage per page
-  /// instead of one per row (the access pattern the parallel refresh
-  /// workers rely on). The tuple bytes passed to `fn` alias the pinned
-  /// frame and are invalidated when `fn` returns.
-  Status ForEachInPageRange(
-      size_t first_page_idx, size_t page_count,
-      const std::function<Status(Address, std::string_view)>& fn);
+  /// first_page_idx + page_count). Each page is pinned once and all its
+  /// slots visited under that single pin, so a partitioned scan takes one
+  /// FetchPage per page instead of one per row.
+  template <typename Fn>
+  Status ForEachInPageRange(size_t first_page_idx, size_t page_count,
+                            Fn&& fn) {
+    ASSIGN_OR_RETURN(Cursor cur, OpenCursor(first_page_idx, page_count));
+    while (cur.Valid()) {
+      RETURN_IF_ERROR(fn(cur.address(), cur.tuple()));
+      RETURN_IF_ERROR(cur.Next());
+    }
+    return Status::OK();
+  }
 
  private:
   /// Picks (or allocates) a page that can hold `len` bytes under the current

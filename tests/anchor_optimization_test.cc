@@ -47,15 +47,15 @@ TEST(AnchorOptimizationTest, GapOnlyTransmissionOmitsPayload) {
   SnapshotOptions opts;
   opts.anchor_optimization = true;
   ASSERT_TRUE(sys.CreateSnapshot("snap", "emp", "Salary < 10", opts).ok());
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
 
   // Delete an interior row: its successor is unchanged but must anchor the
   // gap deletion.
   ASSERT_TRUE((*base)->Delete(addrs[1]).ok());
-  auto stats = sys.Refresh("snap");
+  auto stats = sys.Refresh(RefreshRequest::For("snap"));
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->traffic.entry_messages, 1u);
-  EXPECT_EQ(stats->anchor_messages, 1u);
+  EXPECT_EQ(stats->stats.traffic.entry_messages, 1u);
+  EXPECT_EQ(stats->stats.anchor_messages, 1u);
   ExpectFaithful(&sys, "snap");
 }
 
@@ -69,12 +69,12 @@ TEST(AnchorOptimizationTest, ChangedEntriesStillCarryValues) {
   SnapshotOptions opts;
   opts.anchor_optimization = true;
   ASSERT_TRUE(sys.CreateSnapshot("snap", "emp", "Salary < 10", opts).ok());
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
 
   ASSERT_TRUE((*base)->Update(*a1, Row("b2", 6)).ok());
-  auto stats = sys.Refresh("snap");
+  auto stats = sys.Refresh(RefreshRequest::For("snap"));
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->anchor_messages, 0u);  // updated entry: full payload
+  EXPECT_EQ(stats->stats.anchor_messages, 0u);  // updated entry: full payload
   ExpectFaithful(&sys, "snap");
   auto snap = sys.GetSnapshot("snap");
   auto v = (*snap)->Lookup(*a1);
@@ -100,19 +100,19 @@ TEST(AnchorOptimizationTest, SavesPayloadBytesNotMessages) {
   on.anchor_optimization = true;
   ASSERT_TRUE(sys.CreateSnapshot("opt", "emp", "Salary < 10", on).ok());
   ASSERT_TRUE(sys.CreateSnapshot("plain", "emp", "Salary < 10").ok());
-  ASSERT_TRUE(sys.Refresh("opt").ok());
-  ASSERT_TRUE(sys.Refresh("plain").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("opt")).ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("plain")).ok());
 
   // Deletions create gaps whose anchors are unchanged entries.
   for (int i = 0; i < 200; i += 4) {
     ASSERT_TRUE((*base)->Delete(addrs[i]).ok());
   }
-  auto opt = sys.Refresh("opt");
-  auto plain = sys.Refresh("plain");
+  auto opt = sys.Refresh(RefreshRequest::For("opt"));
+  auto plain = sys.Refresh(RefreshRequest::For("plain"));
   ASSERT_TRUE(opt.ok() && plain.ok());
-  EXPECT_EQ(opt->traffic.entry_messages, plain->traffic.entry_messages);
-  EXPECT_GT(opt->anchor_messages, 0u);
-  EXPECT_LT(opt->traffic.payload_bytes, plain->traffic.payload_bytes);
+  EXPECT_EQ(opt->stats.traffic.entry_messages, plain->stats.traffic.entry_messages);
+  EXPECT_GT(opt->stats.anchor_messages, 0u);
+  EXPECT_LT(opt->stats.traffic.payload_bytes, plain->stats.traffic.payload_bytes);
   ExpectFaithful(&sys, "opt");
   ExpectFaithful(&sys, "plain");
 }
@@ -134,7 +134,7 @@ TEST_P(AnchorFaithfulnessTest, RandomWorkload) {
   opts.anchor_optimization = true;
   ASSERT_TRUE(sys.CreateSnapshot("snap", "emp", "Salary < 10", opts).ok());
   for (int round = 0; round < 6; ++round) {
-    ASSERT_TRUE(sys.Refresh("snap").ok());
+    ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
     ExpectFaithful(&sys, "snap");
     for (int op = 0; op < 20; ++op) {
       const int kind = static_cast<int>(rng.Uniform(3));
@@ -154,7 +154,7 @@ TEST_P(AnchorFaithfulnessTest, RandomWorkload) {
       }
     }
   }
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
   ExpectFaithful(&sys, "snap");
 }
 

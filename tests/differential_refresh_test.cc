@@ -51,7 +51,7 @@ class PaperFigure56Test : public ::testing::Test {
     ASSERT_EQ(addrs_[6], A(7));
 
     // Initialize the snapshot — Figure 6 "before": {3,4,5,6,7}.
-    auto init = sys_.Refresh("emp_lowpaid");
+    auto init = sys_.Refresh(RefreshRequest::For("emp_lowpaid"));
     ASSERT_TRUE(init.ok()) << init.status().ToString();
     auto contents = snap_->Contents();
     ASSERT_TRUE(contents.ok());
@@ -129,7 +129,7 @@ TEST_F(PaperFigure56Test, RefreshMessagesMatchFigure6) {
 }
 
 TEST_F(PaperFigure56Test, BaseTableAfterFixupMatchesFigure5) {
-  auto refreshed = sys_.Refresh("emp_lowpaid");
+  auto refreshed = sys_.Refresh(RefreshRequest::For("emp_lowpaid"));
   ASSERT_TRUE(refreshed.ok());
 
   // Figure 5 "Base Table after Refresh": PrevAddr chain 0,1,2,3,5 over
@@ -142,7 +142,7 @@ TEST_F(PaperFigure56Test, BaseTableAfterFixupMatchesFigure5) {
   };
   const Expect expects[] = {
       {1, 0, false}, {2, 1, true}, {3, 2, true}, {5, 3, true}, {6, 5, false}};
-  const Timestamp fixup_time = refreshed->new_snap_time;
+  const Timestamp fixup_time = refreshed->stats.new_snap_time;
   for (const Expect& e : expects) {
     auto row = base_->ReadAnnotated(A(e.addr));
     ASSERT_TRUE(row.ok()) << e.addr;
@@ -158,7 +158,7 @@ TEST_F(PaperFigure56Test, BaseTableAfterFixupMatchesFigure5) {
 }
 
 TEST_F(PaperFigure56Test, SnapshotAfterRefreshMatchesFigure6) {
-  auto refreshed = sys_.Refresh("emp_lowpaid");
+  auto refreshed = sys_.Refresh(RefreshRequest::For("emp_lowpaid"));
   ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
   auto contents = snap_->Contents();
   ASSERT_TRUE(contents.ok());
@@ -167,20 +167,20 @@ TEST_F(PaperFigure56Test, SnapshotAfterRefreshMatchesFigure6) {
   EXPECT_EQ(contents->at(A(2)).value(0).as_string(), "Laura");
   EXPECT_EQ(contents->at(A(5)).value(0).as_string(), "Mohan");
   EXPECT_EQ(contents->at(A(6)).value(0).as_string(), "Paul");
-  EXPECT_EQ(snap_->snap_time(), refreshed->new_snap_time);
+  EXPECT_EQ(snap_->snap_time(), refreshed->stats.new_snap_time);
 
   // Message accounting: 2 entries + request/end controls.
-  EXPECT_EQ(refreshed->traffic.entry_messages, 2u);
-  EXPECT_EQ(refreshed->traffic.delete_messages, 0u);
+  EXPECT_EQ(refreshed->stats.traffic.entry_messages, 2u);
+  EXPECT_EQ(refreshed->stats.traffic.delete_messages, 0u);
 }
 
 TEST_F(PaperFigure56Test, QuiescentRefreshSendsOnlyEndMarker) {
-  ASSERT_TRUE(sys_.Refresh("emp_lowpaid").ok());
-  auto again = sys_.Refresh("emp_lowpaid");
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("emp_lowpaid")).ok());
+  auto again = sys_.Refresh(RefreshRequest::For("emp_lowpaid"));
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again->data_messages(), 0u);
-  EXPECT_EQ(again->traffic.messages, 1u);  // just END_OF_REFRESH
-  EXPECT_EQ(again->base_writes, 0u);
+  EXPECT_EQ(again->stats.data_messages(), 0u);
+  EXPECT_EQ(again->stats.traffic.messages, 1u);  // just END_OF_REFRESH
+  EXPECT_EQ(again->stats.base_writes, 0u);
   auto contents = snap_->Contents();
   ASSERT_TRUE(contents.ok());
   EXPECT_EQ(contents->size(), 3u);

@@ -47,9 +47,9 @@ TEST_F(DurableSystemTest, CheckpointAndReopen) {
       addrs.push_back(*a);
     }
     ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
-    auto stats = sys.Refresh("low");
+    auto stats = sys.Refresh(RefreshRequest::For("low"));
     ASSERT_TRUE(stats.ok());
-    pre_restart_snap_time = stats->new_snap_time;
+    pre_restart_snap_time = stats->stats.new_snap_time;
 
     // Post-refresh changes that must survive: lazy NULL annotations.
     ASSERT_TRUE((*base)->Update(addrs[0], Row("e0", 5)).ok());
@@ -76,14 +76,14 @@ TEST_F(DurableSystemTest, CheckpointAndReopen) {
     // Snapshots live at the (independent) snapshot site; re-create and
     // refresh, then continue operating.
     ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
-    ASSERT_TRUE(sys.Refresh("low").ok());
+    ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
     auto actual = (*sys.GetSnapshot("low"))->Contents();
     auto expected = sys.ExpectedContents("low");
     ASSERT_TRUE(actual.ok() && expected.ok());
     ASSERT_EQ(actual->size(), expected->size());
 
     ASSERT_TRUE((*base)->Insert(Row("post-restart", 3)).ok());
-    ASSERT_TRUE(sys.Refresh("low").ok());
+    ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
     auto again = (*sys.GetSnapshot("low"))->Contents();
     ASSERT_TRUE(again.ok());
     EXPECT_EQ(again->size(), expected->size() + 1);

@@ -46,7 +46,7 @@ TEST_P(MidStreamFailureTest, RetryAfterPartialTransmissionConverges) {
   ASSERT_TRUE(sys.CreateSnapshot("snap", "base",
                                  (*workload)->RestrictionFor(0.3), opts)
                   .ok());
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
   ExpectFaithful(&sys, "snap");
 
   // A burst of changes, then the link dies after `fail_after` messages of
@@ -54,20 +54,20 @@ TEST_P(MidStreamFailureTest, RetryAfterPartialTransmissionConverges) {
   ASSERT_TRUE((*workload)->UpdateFraction(0.3).ok());
   ASSERT_TRUE((*workload)->ApplyMixedOps(60, 0.3, 0.3).ok());
   sys.data_channel()->Arm(FaultPlan::PartitionAfter(fail_after));
-  auto failed = sys.Refresh("snap");
+  auto failed = sys.Refresh(RefreshRequest::For("snap"));
   EXPECT_TRUE(failed.status().IsUnavailable())
       << failed.status().ToString();
 
   // Heal; the already-transmitted prefix gets delivered, then the retry
   // must reconverge exactly.
   sys.SetPartitioned(false);
-  auto retried = sys.Refresh("snap");
+  auto retried = sys.Refresh(RefreshRequest::For("snap"));
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
   ExpectFaithful(&sys, "snap");
 
   // And the state machine is healthy afterwards.
   ASSERT_TRUE((*workload)->UpdateFraction(0.1).ok());
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
   ExpectFaithful(&sys, "snap");
 }
 
@@ -102,7 +102,7 @@ TEST(MidStreamFailureTest, IdealShadowSurvivesLostEndMessage) {
   ASSERT_TRUE(sys.CreateSnapshot("snap", "base",
                                  (*workload)->RestrictionFor(0.5), opts)
                   .ok());
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
 
   ASSERT_TRUE((*workload)->UpdateFraction(0.2).ok());
   // Count the data messages the refresh *would* send, from a dry run
@@ -112,8 +112,8 @@ TEST(MidStreamFailureTest, IdealShadowSurvivesLostEndMessage) {
   ASSERT_TRUE(sys.CreateSnapshot("dry", "base",
                                  (*workload)->RestrictionFor(0.5), dry_opts)
                   .ok());
-  ASSERT_TRUE(sys.Refresh("dry").ok());
-  auto dry2 = sys.Refresh("dry");
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("dry")).ok());
+  auto dry2 = sys.Refresh(RefreshRequest::For("dry"));
   ASSERT_TRUE(dry2.ok());
 
   // Fail exactly on the END_OF_REFRESH (after all data messages).
@@ -121,13 +121,13 @@ TEST(MidStreamFailureTest, IdealShadowSurvivesLostEndMessage) {
   ASSERT_TRUE(expected.ok());
   // The dry sibling's second refresh sent the same delta as "snap" is
   // about to, so its message count locates the closing message exactly.
-  const uint64_t data = dry2->traffic.messages - 1;  // minus its end marker
+  const uint64_t data = dry2->stats.traffic.messages - 1;  // minus its end marker
   sys.data_channel()->Arm(FaultPlan::PartitionAfter(data));
-  auto failed = sys.Refresh("snap");
+  auto failed = sys.Refresh(RefreshRequest::For("snap"));
   EXPECT_TRUE(failed.status().IsUnavailable());
 
   sys.SetPartitioned(false);
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
   ExpectFaithful(&sys, "snap");
 }
 

@@ -147,7 +147,7 @@ TEST_F(GroupRefreshTest, GroupMixedWithSingleRefreshes) {
   // reconverge without missing changes.
   ASSERT_TRUE(sys_.RefreshGroup({"low", "mid", "high"}).ok());
   Mutate(99);
-  ASSERT_TRUE(sys_.Refresh("mid").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("mid")).ok());
   Mutate(100);
   auto results = sys_.RefreshGroup({"low", "mid", "high"});
   ASSERT_TRUE(results.ok());

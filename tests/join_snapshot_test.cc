@@ -75,7 +75,7 @@ TEST_F(JoinSnapshotTest, JoinRestrictProject) {
       "low_paid_with_dept", "emp", "dept", "DeptId", "Id", "Salary < 10",
       {"Name", "DeptName", "Salary"});
   ASSERT_TRUE(snap.ok()) << snap.status().ToString();
-  auto stats = sys_.Refresh("low_paid_with_dept");
+  auto stats = sys_.Refresh(RefreshRequest::For("low_paid_with_dept"));
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
 
   auto contents = (*snap)->Contents();
@@ -96,7 +96,7 @@ TEST_F(JoinSnapshotTest, RestrictionMaySpanBothTables) {
   auto snap = sys_.CreateJoinSnapshot("rich_depts", "emp", "dept", "DeptId",
                                       "Id", "Salary < 10 AND Budget >= 50");
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(sys_.Refresh("rich_depts").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("rich_depts")).ok());
   ExpectFaithful("rich_depts");
   EXPECT_EQ((*snap)->row_count(), 2u);  // Laura (100), Mohan (50)
 }
@@ -105,14 +105,14 @@ TEST_F(JoinSnapshotTest, RefreshReevaluatesAfterBothInputsChange) {
   ASSERT_TRUE(sys_.CreateJoinSnapshot("j", "emp", "dept", "DeptId", "Id",
                                       "Salary < 10")
                   .ok());
-  ASSERT_TRUE(sys_.Refresh("j").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("j")).ok());
   ExpectFaithful("j");
 
   // Left-side change: a new qualifying employee.
   ASSERT_TRUE(emp_->Insert(Emp("Dale", 2, 3)).ok());
   // Right-side change: the dangling DeptId gets a department.
   ASSERT_TRUE(dept_->Insert(Dept(99, "found", 1)).ok());
-  ASSERT_TRUE(sys_.Refresh("j").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("j")).ok());
   ExpectFaithful("j");
   auto snap = sys_.GetSnapshot("j");
   EXPECT_EQ((*snap)->row_count(), 4u);  // Laura, Mohan, Dale, NoDept
@@ -123,7 +123,7 @@ TEST_F(JoinSnapshotTest, OneToManyFanout) {
   auto snap = sys_.CreateJoinSnapshot("all", "emp", "dept", "DeptId", "Id",
                                       "TRUE");
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(sys_.Refresh("all").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("all")).ok());
   EXPECT_EQ((*snap)->row_count(), 3u);  // Laura+eng, Bruce+eng, Mohan+ops
   ExpectFaithful("all");
 }
@@ -185,7 +185,7 @@ TEST_F(JoinSnapshotTest, NullJoinKeysNeverMatch) {
       (*r)->Insert(Tuple({Value::Int64(1), Value::String("r1")})).ok());
   auto snap = sys_.CreateJoinSnapshot("nulls", "l", "r", "K", "RK", "TRUE");
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(sys_.Refresh("nulls").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("nulls")).ok());
   EXPECT_EQ((*snap)->row_count(), 1u);  // only 1 = 1 matches
 }
 
@@ -202,7 +202,7 @@ TEST_F(JoinSnapshotTest, LargerJoinFaithfulUnderChurn) {
                                       "Salary < 10")
                   .ok());
   for (int round = 0; round < 4; ++round) {
-    ASSERT_TRUE(sys_.Refresh("big").ok());
+    ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("big")).ok());
     ExpectFaithful("big");
     for (int op = 0; op < 30; ++op) {
       const size_t idx = rng.Uniform(emp_addrs.size());

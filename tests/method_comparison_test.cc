@@ -44,14 +44,18 @@ class MethodComparisonTest : public ::testing::TestWithParam<uint64_t> {
                              restriction, opts)
               .status());
       RETURN_IF_ERROR(
-          sys.Refresh(std::string(RefreshMethodToString(m))).status());
+          sys.Refresh(RefreshRequest::For(
+                          std::string(RefreshMethodToString(m))))
+              .status());
     }
     RETURN_IF_ERROR(workload->UpdateFraction(update_fraction));
     std::map<RefreshMethod, MethodRun> out;
     for (RefreshMethod m : methods) {
       MethodRun run;
-      ASSIGN_OR_RETURN(run.stats,
-                       sys.Refresh(std::string(RefreshMethodToString(m))));
+      ASSIGN_OR_RETURN(RefreshReport report,
+                       sys.Refresh(RefreshRequest::For(
+                           std::string(RefreshMethodToString(m)))));
+      run.stats = std::move(report.stats);
       ASSIGN_OR_RETURN(
           auto snap, sys.GetSnapshot(std::string(RefreshMethodToString(m))));
       ASSIGN_OR_RETURN(run.contents, snap->Contents());

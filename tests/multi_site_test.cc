@@ -71,8 +71,8 @@ TEST_F(MultiSiteTest, SnapshotsLivePerSite) {
   ASSERT_TRUE(sys_.CreateSnapshot("w_low", "emp", "Salary < 10", west).ok());
   ASSERT_TRUE(
       sys_.CreateSnapshot("e_high", "emp", "Salary >= 10", east).ok());
-  ASSERT_TRUE(sys_.Refresh("w_low").ok());
-  ASSERT_TRUE(sys_.Refresh("e_high").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("w_low")).ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("e_high")).ok());
   ExpectFaithful(&sys_, "w_low");
   ExpectFaithful(&sys_, "e_high");
 
@@ -97,18 +97,18 @@ TEST_F(MultiSiteTest, PartitionIsPerSite) {
   east.site = "east";
   ASSERT_TRUE(sys_.CreateSnapshot("w", "emp", "Salary < 10", west).ok());
   ASSERT_TRUE(sys_.CreateSnapshot("e", "emp", "Salary < 10", east).ok());
-  ASSERT_TRUE(sys_.Refresh("w").ok());
-  ASSERT_TRUE(sys_.Refresh("e").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("w")).ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("e")).ok());
 
   ASSERT_TRUE(base_->Update(addrs_[0], Row("moved", 5)).ok());
   (*sys_.site_channel("west"))->Arm(FaultPlan::PartitionNow());
   // West is cut off; east refreshes fine.
-  EXPECT_TRUE(sys_.Refresh("w").status().IsUnavailable());
-  ASSERT_TRUE(sys_.Refresh("e").ok());
+  EXPECT_TRUE(sys_.Refresh(RefreshRequest::For("w")).status().IsUnavailable());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("e")).ok());
   ExpectFaithful(&sys_, "e");
 
   ASSERT_TRUE(sys_.SetSitePartitioned("west", false).ok());
-  ASSERT_TRUE(sys_.Refresh("w").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("w")).ok());
   ExpectFaithful(&sys_, "w");
   EXPECT_TRUE(sys_.SetSitePartitioned("mars", true).IsNotFound());
 }
@@ -120,8 +120,8 @@ TEST_F(MultiSiteTest, FaultedSiteRetriesWithoutDisturbingOthers) {
   east.site = "east";
   ASSERT_TRUE(sys_.CreateSnapshot("w", "emp", "Salary < 10", west).ok());
   ASSERT_TRUE(sys_.CreateSnapshot("e", "emp", "Salary < 10", east).ok());
-  ASSERT_TRUE(sys_.Refresh("w").ok());
-  ASSERT_TRUE(sys_.Refresh("e").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("w")).ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("e")).ok());
   ASSERT_TRUE(base_->Update(addrs_[1], Row("shuffled", 3)).ok());
 
   // West's link dies mid-stream but self-heals within the retry budget;
@@ -138,7 +138,7 @@ TEST_F(MultiSiteTest, FaultedSiteRetriesWithoutDisturbingOthers) {
 
   const ChannelStats east_before = (*sys_.site_channel("east"))->stats();
   EXPECT_EQ(east_before.send_failures, 0u);
-  ASSERT_TRUE(sys_.Refresh("e").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("e")).ok());
   ExpectFaithful(&sys_, "e");
 }
 
@@ -147,13 +147,13 @@ TEST_F(MultiSiteTest, AsapStreamsToItsOwnSite) {
   opts.site = "west";
   opts.method = RefreshMethod::kAsap;
   ASSERT_TRUE(sys_.CreateSnapshot("asap_w", "emp", "Salary < 10", opts).ok());
-  ASSERT_TRUE(sys_.Refresh("asap_w").ok());  // initializing copy
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("asap_w")).ok());  // initializing copy
 
   ASSERT_TRUE(base_->Insert(Row("fresh", 1)).ok());
   EXPECT_GT((*sys_.site_channel("west"))->pending(), 0u);
   EXPECT_EQ(sys_.data_channel()->pending(), 0u);
   ASSERT_TRUE(sys_.DrainChannel().ok());
-  ASSERT_TRUE(sys_.Refresh("asap_w").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("asap_w")).ok());
   ExpectFaithful(&sys_, "asap_w");
 }
 
@@ -192,7 +192,7 @@ TEST_F(MultiSiteTest, ManySitesManySnapshotsChurn) {
   }
   for (int round = 0; round < 4; ++round) {
     for (const std::string& name : names) {
-      ASSERT_TRUE(sys_.Refresh(name).ok());
+      ASSERT_TRUE(sys_.Refresh(RefreshRequest::For(name)).ok());
       ExpectFaithful(&sys_, name);
     }
     for (int op = 0; op < 20; ++op) {

@@ -71,13 +71,13 @@ TEST(ObservabilityIntegrationTest, DifferentialRefreshTraceReconciles) {
     addrs.push_back(*addr);
   }
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
-  ASSERT_TRUE(sys.Refresh("low").ok());  // initial population
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());  // initial population
 
   // A mixed change burst, then the measured refresh.
   ASSERT_TRUE((*base)->Update(addrs[2], Row("e2", 3)).ok());
   ASSERT_TRUE((*base)->Delete(addrs[5]).ok());
   ASSERT_TRUE((*base)->Insert(Row("fresh", 1)).ok());
-  auto stats = sys.Refresh("low");
+  auto stats = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(stats.ok());
 
   const obs::Tracer& tracer = sys.tracer();
@@ -86,7 +86,7 @@ TEST(ObservabilityIntegrationTest, DifferentialRefreshTraceReconciles) {
   EXPECT_TRUE(HasTopLevelSpan(tracer, "request"));
   EXPECT_TRUE(HasTopLevelSpan(tracer, "execute differential"));
   EXPECT_TRUE(HasTopLevelSpan(tracer, "apply"));
-  ExpectTraceReconciles(tracer, *stats);
+  ExpectTraceReconciles(tracer, stats->stats);
 
   // The executor's internal phases nest under the execute span.
   bool saw_nested_scan = false;
@@ -118,10 +118,10 @@ TEST(ObservabilityIntegrationTest,
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 20").ok());
 
   // Initial bulk population: many entries, so batches must appear.
-  auto initial = sys.Refresh("low");
+  auto initial = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(initial.ok());
-  EXPECT_GT(initial->traffic.batched_entries, 0u);
-  ExpectTraceReconciles(sys.tracer(), *initial);
+  EXPECT_GT(initial->stats.traffic.batched_entries, 0u);
+  ExpectTraceReconciles(sys.tracer(), initial->stats);
 
   // Incremental refresh after a change burst.
   for (int i = 0; i < 40; ++i) {
@@ -129,9 +129,9 @@ TEST(ObservabilityIntegrationTest,
         (*base)->Update(addrs[i * 7 % addrs.size()], Row("u", i % 30)).ok());
   }
   ASSERT_TRUE((*base)->Delete(addrs[11]).ok());
-  auto stats = sys.Refresh("low");
+  auto stats = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(stats.ok());
-  ExpectTraceReconciles(sys.tracer(), *stats);
+  ExpectTraceReconciles(sys.tracer(), stats->stats);
 
   // The parallel executor's phases nest under the execute span in place of
   // the sequential scan+transmit.
@@ -176,13 +176,13 @@ TEST(ObservabilityIntegrationTest, EveryMethodProducesAReconcilingTrace) {
     SnapshotOptions opts;
     opts.method = c.method;
     ASSERT_TRUE(sys.CreateSnapshot("s", "emp", "Salary < 6", opts).ok());
-    ASSERT_TRUE(sys.Refresh("s").ok());
+    ASSERT_TRUE(sys.Refresh(RefreshRequest::For("s")).ok());
     ASSERT_TRUE((*base)->Update(addrs[1], Row("e1", 2)).ok());
-    auto stats = sys.Refresh("s");
+    auto stats = sys.Refresh(RefreshRequest::For("s"));
     ASSERT_TRUE(stats.ok()) << RefreshMethodToString(c.method);
     const obs::Tracer& tracer = sys.tracer();
     EXPECT_TRUE(HasTopLevelSpan(tracer, c.span)) << tracer.Report();
-    ExpectTraceReconciles(tracer, *stats);
+    ExpectTraceReconciles(tracer, stats->stats);
   }
 }
 
@@ -239,7 +239,7 @@ TEST(ObservabilityIntegrationTest, RefreshFeedsRegistryAndStalenessGauge) {
   }
   ASSERT_TRUE(sys.CreateSnapshot("obs_probe", "emp", "Salary < 3").ok());
   EXPECT_EQ(reg.GetGauge("snapshot.count")->value(), 1);
-  ASSERT_TRUE(sys.Refresh("obs_probe").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("obs_probe")).ok());
 
   EXPECT_EQ(reg.GetCounter("snapshot.refresh.count")->value(),
             refreshes_before + 1);
@@ -254,7 +254,7 @@ TEST(ObservabilityIntegrationTest, RefreshFeedsRegistryAndStalenessGauge) {
       reg.GetGauge("snapshot.obs_probe.staleness")->value();
   EXPECT_EQ(staleness_after, 0);
   ASSERT_TRUE((*base)->Insert(Row("late", 1)).ok());
-  ASSERT_TRUE(sys.Refresh("obs_probe").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("obs_probe")).ok());
   EXPECT_EQ(reg.GetGauge("snapshot.obs_probe.staleness")->value(), 0);
 
   ASSERT_TRUE(sys.DropSnapshot("obs_probe").ok());
@@ -285,7 +285,7 @@ TEST(ObservabilityIntegrationTest, RefreshLogsArriveThroughTheSink) {
     ASSERT_TRUE(base.ok());
     ASSERT_TRUE((*base)->Insert(Row("a", 1)).ok());
     ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
-    ASSERT_TRUE(sys.Refresh("low").ok());
+    ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
   }
   logger.SetSink(nullptr);
   logger.SetLevel(obs::LogLevel::kOff);
@@ -313,14 +313,14 @@ TEST(ObservabilityIntegrationTest, FailedRefreshStillEndsTheTrace) {
   ASSERT_TRUE((*base)->Insert(Row("a", 1)).ok());
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
   sys.SetPartitioned(true);
-  EXPECT_FALSE(sys.Refresh("low").ok());
+  EXPECT_FALSE(sys.Refresh(RefreshRequest::For("low")).ok());
   // The guard closed the trace on the error path; the partial timeline is
   // still inspectable and the next refresh starts a fresh trace.
   EXPECT_FALSE(sys.tracer().active());
   sys.SetPartitioned(false);
-  auto stats = sys.Refresh("low");
+  auto stats = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(stats.ok());
-  ExpectTraceReconciles(sys.tracer(), *stats);
+  ExpectTraceReconciles(sys.tracer(), stats->stats);
 }
 
 }  // namespace

@@ -66,12 +66,15 @@ class RestartTest : public ::testing::Test {
     ASSERT_TRUE(contents.ok());
     std::map<Address, Tuple> expected;
     ASSERT_TRUE(base->ScanAnnotated([&](Address addr,
-                                        const BaseTable::AnnotatedRow& row)
+                                        const BaseTable::AnnotatedView& row)
                                         -> Status {
                       ASSIGN_OR_RETURN(
                           bool q, EvaluatePredicate(*restriction_, row.user,
                                                     base->user_schema()));
-                      if (q) expected.emplace(addr, row.user);
+                      if (q) {
+                        ASSIGN_OR_RETURN(Tuple user, row.user.Materialize());
+                        expected.emplace(addr, std::move(user));
+                      }
                       return Status::OK();
                     }).ok());
     ASSERT_EQ(contents->size(), expected.size());

@@ -48,7 +48,7 @@ TEST_P(FaultedRefreshPropertyTest, RandomizedFaultsAlwaysReconverge) {
   ASSERT_TRUE(sys.CreateSnapshot("snap", "base",
                                  (*workload)->RestrictionFor(0.4), opts)
                   .ok());
-  ASSERT_TRUE(sys.Refresh("snap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("snap")).ok());
   ExpectFaithful(&sys, "snap");
 
   Random rng(0x5eed0000 + static_cast<uint64_t>(method));
@@ -92,7 +92,7 @@ TEST_P(FaultedRefreshPropertyTest, RandomizedFaultsAlwaysReconverge) {
 
   // The fault window closed with the request: a plain refresh is clean.
   ASSERT_TRUE((*workload)->UpdateFraction(0.1).ok());
-  auto clean = sys.Refresh("snap");
+  auto clean = sys.Refresh(RefreshRequest::For("snap"));
   ASSERT_TRUE(clean.ok());
   ExpectFaithful(&sys, "snap");
 }
@@ -129,7 +129,7 @@ TEST(ResumeRefreshTest, ResumedSessionTransmitsExactlyTheUnappliedSuffix) {
     ASSERT_TRUE(sys.CreateSnapshot(name, "base",
                                    (*workload)->RestrictionFor(0.4), opts)
                     .ok());
-    ASSERT_TRUE(sys.Refresh(name).ok());
+    ASSERT_TRUE(sys.Refresh(RefreshRequest::For(name)).ok());
   }
   ASSERT_TRUE((*workload)->UpdateFraction(0.25).ok());
   ASSERT_TRUE((*workload)->ApplyMixedOps(40, 0.3, 0.3).ok());
@@ -205,15 +205,15 @@ TEST(ResumeRefreshTest, DeprecatedStringWrapperStillRefreshes) {
   ASSERT_TRUE(moved.ok());
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
 
-  auto stats = sys.Refresh("low");
+  auto stats = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(stats.ok());
-  EXPECT_GT(stats->traffic.messages, 0u);
+  EXPECT_GT(stats->stats.traffic.messages, 0u);
   ExpectFaithful(&sys, "low");
 
   ASSERT_TRUE((*base)->Update(*moved, Row("bob", 2)).ok());
-  auto again = sys.Refresh("low");
+  auto again = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again->snap_upserts, 1u);
+  EXPECT_EQ(again->stats.snap_upserts, 1u);
   ExpectFaithful(&sys, "low");
 }
 
@@ -225,7 +225,7 @@ TEST(ResumeRefreshTest, FullMethodOverrideRebuildsIncrementalSnapshot) {
     ASSERT_TRUE((*base)->Insert(Row("e" + std::to_string(i), i)).ok());
   }
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 5").ok());
-  ASSERT_TRUE(sys.Refresh("low").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
 
   RefreshRequest req;
   req.snapshot = "low";
@@ -236,9 +236,9 @@ TEST(ResumeRefreshTest, FullMethodOverrideRebuildsIncrementalSnapshot) {
   ExpectFaithful(&sys, "low");
 
   // The override is per-call: the next plain refresh is differential again.
-  auto plain = sys.Refresh("low");
+  auto plain = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(plain.ok());
-  EXPECT_EQ(plain->traffic.entry_messages, 0u);
+  EXPECT_EQ(plain->stats.traffic.entry_messages, 0u);
 }
 
 TEST(ResumeRefreshTest, CrossIncrementalMethodOverrideRejected) {

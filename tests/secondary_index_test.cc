@@ -129,13 +129,13 @@ TEST_F(SecondaryIndexTest, IndexAssistedFullRefresh) {
   SnapshotOptions opts;
   opts.method = RefreshMethod::kFull;
   ASSERT_TRUE(sys_.CreateSnapshot("low", "emp", "Salary < 10", opts).ok());
-  auto stats = sys_.Refresh("low");
+  auto stats = sys_.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(stats.ok());
 
   // The index path retrieves instead of scanning.
-  EXPECT_EQ(stats->entries_scanned, 0u);
-  EXPECT_GT(stats->base_reads, 0u);
-  EXPECT_LT(stats->base_reads, 100u);  // ~10% of 300 rows
+  EXPECT_EQ(stats->stats.entries_scanned, 0u);
+  EXPECT_GT(stats->stats.base_reads, 0u);
+  EXPECT_LT(stats->stats.base_reads, 100u);  // ~10% of 300 rows
 
   auto actual = (*sys_.GetSnapshot("low"))->Contents();
   auto expected = sys_.ExpectedContents("low");
@@ -157,10 +157,10 @@ TEST_F(SecondaryIndexTest, NonRangeRestrictionFallsBackToScan) {
   ASSERT_TRUE(sys_.CreateSnapshot("odd", "emp",
                                   "Salary < 10 OR Salary > 40", opts)
                   .ok());
-  auto stats = sys_.Refresh("odd");
+  auto stats = sys_.Refresh(RefreshRequest::For("odd"));
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->entries_scanned, 50u);  // sequential scan
-  EXPECT_EQ(stats->base_reads, 0u);
+  EXPECT_EQ(stats->stats.entries_scanned, 50u);  // sequential scan
+  EXPECT_EQ(stats->stats.base_reads, 0u);
 }
 
 TEST_F(SecondaryIndexTest, IndexOnSnapshotStorage) {
@@ -170,7 +170,7 @@ TEST_F(SecondaryIndexTest, IndexOnSnapshotStorage) {
     ASSERT_TRUE(base_->Insert(Row("e" + std::to_string(i), i)).ok());
   }
   ASSERT_TRUE(sys_.CreateSnapshot("all", "emp", "TRUE").ok());
-  ASSERT_TRUE(sys_.Refresh("all").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("all")).ok());
   SnapshotTable* snap = *sys_.GetSnapshot("all");
   auto index = snap->storage()->CreateSecondaryIndex("Salary");
   ASSERT_TRUE(index.ok());
@@ -180,7 +180,7 @@ TEST_F(SecondaryIndexTest, IndexOnSnapshotStorage) {
   ASSERT_EQ(hits->size(), 1u);
   // The index stays maintained across the next refresh's applies.
   ASSERT_TRUE(base_->Update(hits->front(), Row("e17", 99)).ok());
-  ASSERT_TRUE(sys_.Refresh("all").ok());
+  ASSERT_TRUE(sys_.Refresh(RefreshRequest::For("all")).ok());
   ASSERT_TRUE((*index)->CheckConsistency(snap->storage()).ok());
 }
 

@@ -47,12 +47,12 @@ TEST(WorkloadTest, UpdateFractionTouchesDistinctRows) {
   // by an update (lazy maintenance: updated rows have NULL timestamps after
   // a fix-up cycle).
   ASSERT_TRUE(sys.CreateSnapshot("s", "base", "TRUE").ok());
-  ASSERT_TRUE(sys.Refresh("s").ok());  // fix-up: all stamps non-NULL
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("s")).ok());  // fix-up: all stamps non-NULL
   ASSERT_TRUE((*w)->UpdateFraction(0.2).ok());
   uint64_t nulled = 0;
   ASSERT_TRUE((*w)->table()
                   ->ScanAnnotated([&](Address,
-                                      const BaseTable::AnnotatedRow& row)
+                                      const BaseTable::AnnotatedView& row)
                                       -> Status {
                     if (row.timestamp == kNullTimestamp) ++nulled;
                     return Status::OK();
@@ -69,12 +69,12 @@ TEST(WorkloadTest, ZipfianUpdatesAreSkewedButDistinct) {
   auto w = Workload::Create(&sys, "base", wc);
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(sys.CreateSnapshot("s", "base", "TRUE").ok());
-  ASSERT_TRUE(sys.Refresh("s").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("s")).ok());
   ASSERT_TRUE((*w)->UpdateFraction(0.1).ok());
   uint64_t nulled = 0;
   ASSERT_TRUE((*w)->table()
                   ->ScanAnnotated([&](Address,
-                                      const BaseTable::AnnotatedRow& row)
+                                      const BaseTable::AnnotatedView& row)
                                       -> Status {
                     if (row.timestamp == kNullTimestamp) ++nulled;
                     return Status::OK();

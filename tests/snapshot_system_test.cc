@@ -49,17 +49,17 @@ TEST(SnapshotSystemTest, CreateRefreshBasics) {
   auto snap = sys.CreateSnapshot("low", "emp", "Salary < 10");
   ASSERT_TRUE(snap.ok());
   EXPECT_EQ((*snap)->row_count(), 0u);  // starts empty
-  auto stats = sys.Refresh("low");
+  auto stats = sys.Refresh(RefreshRequest::For("low"));
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ((*snap)->row_count(), 10u);
-  EXPECT_EQ(stats->traffic.entry_messages, 10u);
+  EXPECT_EQ(stats->stats.traffic.entry_messages, 10u);
   ExpectFaithful(&sys, "low");
 }
 
 TEST(SnapshotSystemTest, UnknownNamesFail) {
   SnapshotSystem sys;
   EXPECT_TRUE(sys.GetBaseTable("nope").status().IsNotFound());
-  EXPECT_TRUE(sys.Refresh("nope").status().IsNotFound());
+  EXPECT_TRUE(sys.Refresh(RefreshRequest::For("nope")).status().IsNotFound());
   EXPECT_TRUE(
       sys.CreateSnapshot("s", "nope", "TRUE").status().IsNotFound());
   auto base = sys.CreateBaseTable("emp", EmpSchema());
@@ -88,7 +88,7 @@ TEST(SnapshotSystemTest, FirstDifferentialSnapshotAnnotatesTable) {
   // R*: funny columns appear automatically; the pre-existing row is intact.
   EXPECT_TRUE((*base)->stored_schema().HasAnnotations());
   EXPECT_EQ((*base)->mode(), AnnotationMode::kLazy);
-  ASSERT_TRUE(sys.Refresh("low").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
   ExpectFaithful(&sys, "low");
 }
 
@@ -101,7 +101,7 @@ TEST(SnapshotSystemTest, ProjectionNarrowsColumns) {
   opts.projection = {"Salary"};
   auto snap = sys.CreateSnapshot("sal", "emp", "TRUE", opts);
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(sys.Refresh("sal").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("sal")).ok());
   auto contents = (*snap)->Contents();
   ASSERT_TRUE(contents.ok());
   ASSERT_EQ(contents->size(), 1u);
@@ -122,8 +122,8 @@ TEST(SnapshotSystemTest, MultipleSnapshotsIndependentRefresh) {
   }
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
   ASSERT_TRUE(sys.CreateSnapshot("high", "emp", "Salary >= 10").ok());
-  ASSERT_TRUE(sys.Refresh("low").ok());
-  ASSERT_TRUE(sys.Refresh("high").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("high")).ok());
   ExpectFaithful(&sys, "low");
   ExpectFaithful(&sys, "high");
 
@@ -132,14 +132,14 @@ TEST(SnapshotSystemTest, MultipleSnapshotsIndependentRefresh) {
   ASSERT_TRUE((*base)->Delete(addrs[1]).ok());
   auto high_before = (*sys.GetSnapshot("high"))->Contents();
   ASSERT_TRUE(high_before.ok());
-  ASSERT_TRUE(sys.Refresh("low").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
   ExpectFaithful(&sys, "low");
   auto high_after = (*sys.GetSnapshot("high"))->Contents();
   ASSERT_TRUE(high_after.ok());
   EXPECT_EQ(high_before->size(), high_after->size());
 
   // Now refresh "high" too; both converge.
-  ASSERT_TRUE(sys.Refresh("high").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("high")).ok());
   ExpectFaithful(&sys, "high");
   ExpectFaithful(&sys, "low");
 }
@@ -152,19 +152,19 @@ TEST(SnapshotSystemTest, SnapshotOnSnapshotCascade) {
     ASSERT_TRUE((*base)->Insert(Row("e" + std::to_string(i), i)).ok());
   }
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
-  ASSERT_TRUE(sys.Refresh("low").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
   // Second-level snapshot over the first one's storage.
   auto tiny = sys.CreateSnapshot("tiny", "low", "Salary < 3");
   ASSERT_TRUE(tiny.ok()) << tiny.status().ToString();
-  ASSERT_TRUE(sys.Refresh("tiny").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("tiny")).ok());
   auto contents = (*tiny)->Contents();
   ASSERT_TRUE(contents.ok());
   EXPECT_EQ(contents->size(), 3u);  // salaries 0,1,2
   ExpectFaithful(&sys, "tiny");
 
   // Propagate a base change through both levels.
-  ASSERT_TRUE(sys.Refresh("low").ok());
-  ASSERT_TRUE(sys.Refresh("tiny").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("tiny")).ok());
   ExpectFaithful(&sys, "tiny");
 }
 
@@ -181,20 +181,20 @@ TEST(SnapshotSystemTest, LogBasedRefreshMatchesBase) {
   SnapshotOptions opts;
   opts.method = RefreshMethod::kLogBased;
   ASSERT_TRUE(sys.CreateSnapshot("log", "emp", "Salary < 10", opts).ok());
-  auto init = sys.Refresh("log");
+  auto init = sys.Refresh(RefreshRequest::For("log"));
   ASSERT_TRUE(init.ok());
   ExpectFaithful(&sys, "log");
 
   ASSERT_TRUE((*base)->Update(addrs[3], Row("e3", 99)).ok());   // leaves
   ASSERT_TRUE((*base)->Update(addrs[15], Row("e15", 1)).ok());  // joins
   ASSERT_TRUE((*base)->Delete(addrs[5]).ok());                  // leaves
-  auto stats = sys.Refresh("log");
+  auto stats = sys.Refresh(RefreshRequest::For("log"));
   ASSERT_TRUE(stats.ok());
   ExpectFaithful(&sys, "log");
   // Exactly one upsert (e15) and two deletes (e3, e5).
-  EXPECT_EQ(stats->traffic.entry_messages, 1u);
-  EXPECT_EQ(stats->traffic.delete_messages, 2u);
-  EXPECT_GT(stats->log_records_culled, 0u);
+  EXPECT_EQ(stats->stats.traffic.entry_messages, 1u);
+  EXPECT_EQ(stats->stats.traffic.delete_messages, 2u);
+  EXPECT_GT(stats->stats.log_records_culled, 0u);
 }
 
 TEST(SnapshotSystemTest, LogBasedFallsBackToFullAfterTruncation) {
@@ -207,14 +207,14 @@ TEST(SnapshotSystemTest, LogBasedFallsBackToFullAfterTruncation) {
   SnapshotOptions opts;
   opts.method = RefreshMethod::kLogBased;
   ASSERT_TRUE(sys.CreateSnapshot("log", "emp", "Salary < 5", opts).ok());
-  ASSERT_TRUE(sys.Refresh("log").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("log")).ok());
 
   ASSERT_TRUE((*base)->Insert(Row("late", 0)).ok());
   // Reclaim the whole log: the snapshot's position is now unreachable.
   sys.wal()->Truncate(sys.wal()->LastLsn());
-  auto stats = sys.Refresh("log");
+  auto stats = sys.Refresh(RefreshRequest::For("log"));
   ASSERT_TRUE(stats.ok());
-  EXPECT_TRUE(stats->fell_back_to_full);
+  EXPECT_TRUE(stats->stats.fell_back_to_full);
   ExpectFaithful(&sys, "log");
 }
 
@@ -235,22 +235,22 @@ TEST(SnapshotSystemTest, LogTruncationAffectsOnlyLaggingSnapshots) {
   opts.method = RefreshMethod::kLogBased;
   ASSERT_TRUE(sys.CreateSnapshot("lag", "emp", "Salary < 5", opts).ok());
   ASSERT_TRUE(sys.CreateSnapshot("cur", "emp", "Salary < 5", opts).ok());
-  ASSERT_TRUE(sys.Refresh("lag").ok());
-  ASSERT_TRUE(sys.Refresh("cur").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("lag")).ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("cur")).ok());
 
   ASSERT_TRUE((*base)->Update(addrs[0], Row("e0", 1)).ok());
   // Only "cur" sees the change; its position advances.
-  ASSERT_TRUE(sys.Refresh("cur").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("cur")).ok());
   // Reclaim everything "cur" no longer needs — strands "lag".
   sys.wal()->Truncate(sys.wal()->LastLsn());
   ASSERT_TRUE((*base)->Update(addrs[1], Row("e1", 2)).ok());
 
-  auto lag_stats = sys.Refresh("lag");
+  auto lag_stats = sys.Refresh(RefreshRequest::For("lag"));
   ASSERT_TRUE(lag_stats.ok());
-  EXPECT_TRUE(lag_stats->fell_back_to_full);
-  auto cur_stats = sys.Refresh("cur");
+  EXPECT_TRUE(lag_stats->stats.fell_back_to_full);
+  auto cur_stats = sys.Refresh(RefreshRequest::For("cur"));
   ASSERT_TRUE(cur_stats.ok());
-  EXPECT_FALSE(cur_stats->fell_back_to_full);
+  EXPECT_FALSE(cur_stats->stats.fell_back_to_full);
   ExpectFaithful(&sys, "lag");
   ExpectFaithful(&sys, "cur");
 }
@@ -268,7 +268,7 @@ TEST(SnapshotSystemTest, IdealSendsExactNetChanges) {
   SnapshotOptions opts;
   opts.method = RefreshMethod::kIdeal;
   ASSERT_TRUE(sys.CreateSnapshot("ideal", "emp", "Salary < 10", opts).ok());
-  ASSERT_TRUE(sys.Refresh("ideal").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("ideal")).ok());
   ExpectFaithful(&sys, "ideal");
 
   // A value updated twice nets to ONE message; an update that leaves the
@@ -276,10 +276,10 @@ TEST(SnapshotSystemTest, IdealSendsExactNetChanges) {
   ASSERT_TRUE((*base)->Update(addrs[2], Row("e2", 3)).ok());
   ASSERT_TRUE((*base)->Update(addrs[2], Row("e2b", 4)).ok());
   ASSERT_TRUE((*base)->Update(addrs[4], Row("e4", 4)).ok());  // same values
-  auto stats = sys.Refresh("ideal");
+  auto stats = sys.Refresh(RefreshRequest::For("ideal"));
   ASSERT_TRUE(stats.ok());
   ExpectFaithful(&sys, "ideal");
-  EXPECT_EQ(stats->data_messages(), 1u);
+  EXPECT_EQ(stats->stats.data_messages(), 1u);
 }
 
 TEST(SnapshotSystemTest, AsapStreamsChangesImmediately) {
@@ -301,7 +301,7 @@ TEST(SnapshotSystemTest, AsapStreamsChangesImmediately) {
   auto st = sys.AsapStats("asap");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ((*st)->propagated, 1u);  // Bruce never qualified
-  ASSERT_TRUE(sys.Refresh("asap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("asap")).ok());
   ExpectFaithful(&sys, "asap");
 }
 
@@ -331,7 +331,7 @@ TEST(SnapshotSystemTest, AsapPartitionBuffersAndRecovers) {
   // Heal and flush: the snapshot catches up.
   sys.SetPartitioned(false);
   ASSERT_TRUE(sys.FlushAsapBuffers().ok());
-  ASSERT_TRUE(sys.Refresh("asap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("asap")).ok());
   ExpectFaithful(&sys, "asap");
 }
 
@@ -344,13 +344,13 @@ TEST(SnapshotSystemTest, AsapRejectModeLosesChanges) {
   opts.asap_buffer_on_partition = false;
   auto snap = sys.CreateSnapshot("asap", "emp", "Salary < 10", opts);
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE(sys.Refresh("asap").ok());  // initializing full copy
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("asap")).ok());  // initializing full copy
   EXPECT_EQ((*snap)->row_count(), 0u);
 
   sys.SetPartitioned(true);
   ASSERT_TRUE((*base)->Insert(Row("Laura", 6)).ok());
   sys.SetPartitioned(false);
-  ASSERT_TRUE(sys.Refresh("asap").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("asap")).ok());
   auto st = sys.AsapStats("asap");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ((*st)->rejected, 1u);
@@ -388,13 +388,13 @@ TEST(SnapshotSystemTest, DropThenRecreateSameName) {
   ASSERT_TRUE(base.ok());
   ASSERT_TRUE((*base)->Insert(Row("a", 5)).ok());
   ASSERT_TRUE(sys.CreateSnapshot("s", "emp", "Salary < 10").ok());
-  ASSERT_TRUE(sys.Refresh("s").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("s")).ok());
   ASSERT_TRUE(sys.DropSnapshot("s").ok());
   // Same name, different restriction: a fresh, empty snapshot.
   auto again = sys.CreateSnapshot("s", "emp", "Salary >= 10");
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ((*again)->row_count(), 0u);
-  ASSERT_TRUE(sys.Refresh("s").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("s")).ok());
   ExpectFaithful(&sys, "s");
 }
 
@@ -417,7 +417,7 @@ TEST(SnapshotSystemTest, TinyBufferPoolsStayFaithful) {
   }
   ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
   for (int round = 0; round < 4; ++round) {
-    auto stats = sys.Refresh("low");
+    auto stats = sys.Refresh(RefreshRequest::For("low"));
     ASSERT_TRUE(stats.ok()) << stats.status().ToString();
     ExpectFaithful(&sys, "low");
     for (int op = 0; op < 40; ++op) {
@@ -439,9 +439,9 @@ TEST(SnapshotSystemTest, RefreshLockConflictsWithHolder) {
   ASSERT_TRUE(
       sys.lock_manager()->Acquire(999, (*base)->info()->id,
                                   LockMode::kShared).ok());
-  EXPECT_TRUE(sys.Refresh("low").status().IsAborted());
+  EXPECT_TRUE(sys.Refresh(RefreshRequest::For("low")).status().IsAborted());
   ASSERT_TRUE(sys.lock_manager()->Release(999, (*base)->info()->id).ok());
-  ASSERT_TRUE(sys.Refresh("low").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
   ExpectFaithful(&sys, "low");
 }
 
@@ -478,7 +478,7 @@ TEST_P(FaithfulnessTest, RandomWorkloadStaysFaithful) {
   ASSERT_TRUE(sys.CreateSnapshot("snap", "emp", "Salary < 10", opts).ok());
 
   for (int round = 0; round < 8; ++round) {
-    auto stats = sys.Refresh("snap");
+    auto stats = sys.Refresh(RefreshRequest::For("snap"));
     ASSERT_TRUE(stats.ok()) << stats.status().ToString();
     ExpectFaithful(&sys, "snap");
     if (method == RefreshMethod::kDifferential) {
@@ -506,7 +506,7 @@ TEST_P(FaithfulnessTest, RandomWorkloadStaysFaithful) {
       }
     }
   }
-  auto final_stats = sys.Refresh("snap");
+  auto final_stats = sys.Refresh(RefreshRequest::For("snap"));
   ASSERT_TRUE(final_stats.ok());
   ExpectFaithful(&sys, "snap");
 }
@@ -552,11 +552,11 @@ TEST_P(EagerFaithfulnessTest, DifferentialOverEagerTable) {
   }
   ASSERT_TRUE(sys.CreateSnapshot("snap", "emp", "Salary < 10").ok());
   for (int round = 0; round < 6; ++round) {
-    auto stats = sys.Refresh("snap");
+    auto stats = sys.Refresh(RefreshRequest::For("snap"));
     ASSERT_TRUE(stats.ok());
     ExpectFaithful(&sys, "snap");
     // Eager mode: the refresh never needs fix-up writes.
-    EXPECT_EQ(stats->base_writes, 0u) << "round " << round;
+    EXPECT_EQ(stats->stats.base_writes, 0u) << "round " << round;
     for (int op = 0; op < 20; ++op) {
       const int kind = static_cast<int>(rng.Uniform(3));
       const int64_t salary = static_cast<int64_t>(rng.Uniform(20));

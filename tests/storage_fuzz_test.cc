@@ -126,6 +126,20 @@ TEST_P(TableHeapFuzzTest, MatchesReferenceModel) {
                   })
                   .ok());
   EXPECT_TRUE(it == ref.end());
+
+  // Oracle: the pin-aware Cursor and the copying Iterator must agree
+  // position-for-position — same addresses, same bytes, same end.
+  auto cur = heap.OpenCursor();
+  ASSERT_TRUE(cur.ok());
+  auto iter = heap.Begin();
+  ASSERT_TRUE(iter.ok());
+  while (cur->Valid() && iter->Valid()) {
+    EXPECT_EQ(cur->address(), iter->address());
+    EXPECT_EQ(cur->tuple(), iter->tuple());
+    ASSERT_TRUE(cur->Next().ok());
+    ASSERT_TRUE(iter->Next().ok());
+  }
+  EXPECT_EQ(cur->Valid(), iter->Valid());
 }
 
 INSTANTIATE_TEST_SUITE_P(
