@@ -14,6 +14,8 @@
 //   \metrics            (system-wide metrics, Prometheus text; add `json`)
 //   \trace              (phase timeline of the last refresh)
 //   \loglevel debug     (structured logging to stderr; `off` to silence)
+//   \checkpoint         (fuzzy checkpoint of a file-backed base site)
+//   \recover            (stats of the restart recovery that opened --data=)
 //   quit
 //
 // Try piping a script in:
@@ -170,6 +172,8 @@ class Shell {
     if (tok[0] == "\\metrics") return Metrics(tok);
     if (tok[0] == "\\trace") return Trace();
     if (tok[0] == "\\loglevel") return SetLogLevel(tok);
+    if (tok[0] == "\\checkpoint") return Checkpoint();
+    if (tok[0] == "\\recover") return RecoveryInfo();
     return Status::InvalidArgument("unknown command: " + tok[0]);
   }
 
@@ -327,6 +331,47 @@ class Shell {
     return Status::OK();
   }
 
+  Status Checkpoint() {
+    RETURN_IF_ERROR(sys_.CheckpointBaseSite());
+    if (LogManager* wal = sys_.wal()) {
+      std::printf("checkpointed; WAL retains %zu records (%zu bytes)\n",
+                  wal->retained_records(), wal->retained_bytes());
+    } else {
+      std::printf("checkpointed\n");
+    }
+    return Status::OK();
+  }
+
+  Status RecoveryInfo() {
+    // Recovery runs automatically when a --data= file is reopened; this
+    // reports what that run did.
+    const auto& recovery = sys_.last_recovery();
+    if (!recovery.has_value()) {
+      std::printf("no restart recovery ran (fresh or memory-backed site)\n");
+      return Status::OK();
+    }
+    std::printf(
+        "restart recovery: %llu records scanned, %llu replayed, %llu "
+        "skipped, %llu page images, %llu winners, %llu losers rolled back\n",
+        static_cast<unsigned long long>(recovery->records_scanned),
+        static_cast<unsigned long long>(recovery->records_replayed),
+        static_cast<unsigned long long>(recovery->records_skipped),
+        static_cast<unsigned long long>(recovery->page_images_applied),
+        static_cast<unsigned long long>(recovery->winner_txns),
+        static_cast<unsigned long long>(recovery->losers_rolled_back));
+    if (recovery->found_checkpoint) {
+      std::printf(
+          "  checkpoint at lsn %llu: oracle_next %lld, redo from lsn %llu, "
+          "%zu snapshot(s)\n",
+          static_cast<unsigned long long>(recovery->checkpoint_lsn),
+          static_cast<long long>(recovery->checkpoint.oracle_next),
+          static_cast<unsigned long long>(
+              recovery->checkpoint.redo_start_lsn),
+          recovery->checkpoint.snapshots.size());
+    }
+    return Status::OK();
+  }
+
   Status SetLogLevel(const std::vector<std::string>& tok) {
     if (tok.size() != 2) {
       return Status::InvalidArgument(
@@ -352,9 +397,12 @@ int main(int argc, char** argv) {
       options.refresh_workers = std::strtoull(arg.c_str() + 18, nullptr, 10);
     } else if (arg.rfind("--refresh-batch=", 0) == 0) {
       options.refresh_batch_size = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else if (arg.rfind("--data=", 0) == 0) {
+      options.base_data_path = arg.substr(7);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--refresh-workers=N] [--refresh-batch=N]\n",
+                   "usage: %s [--refresh-workers=N] [--refresh-batch=N] "
+                   "[--data=FILE]\n",
                    argv[0]);
       return 1;
     }

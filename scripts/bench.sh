@@ -11,7 +11,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-bench
+BUILD_DIR="${BUILD_DIR:-build-bench}"
 ROWS="${1:-20000}"
 ITERS="${2:-3}"
 

@@ -4,10 +4,18 @@
 # tests under ThreadSanitizer. Separate build trees (build-asan/, build-tsan/)
 # keep the sanitized artifacts out of the regular build/.
 #
-# Usage: scripts/check.sh [extra ctest args...]
+# Usage: scripts/check.sh [--quick] [extra ctest args...]
+#   --quick   sanitized build + full suite only: skips the clang-tidy gate,
+#             the fault-matrix rerun, and the ThreadSanitizer pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+  shift
+fi
 
 BUILD_DIR=build-asan
 
@@ -18,17 +26,22 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 # Static analysis (.clang-tidy: performance-* + bugprone-dangling-handle,
-# guarding the string_view-based row pipeline). Skipped when clang-tidy is
-# not installed.
-if command -v clang-tidy >/dev/null 2>&1; then
-  if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p "${BUILD_DIR}" -quiet "src/.*\.cc$"
+# guarding the string_view-based row pipeline). Warnings are promoted to
+# errors so a finding fails the check instead of scrolling by. Skipped when
+# clang-tidy is not installed.
+if [[ "${QUICK}" -eq 0 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p "${BUILD_DIR}" -quiet \
+        -warnings-as-errors='*' "src/.*\.cc$"
+    else
+      find src -name '*.cc' -print0 |
+        xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD_DIR}" --quiet \
+          --warnings-as-errors='*'
+    fi
   else
-    find src -name '*.cc' -print0 |
-      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p "${BUILD_DIR}" --quiet
+    echo "clang-tidy not found; skipping static-analysis phase"
   fi
-else
-  echo "clang-tidy not found; skipping static-analysis phase"
 fi
 
 # halt_on_error makes UBSan findings fail the run instead of just logging.
@@ -37,10 +50,19 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 
+if [[ "${QUICK}" -eq 1 ]]; then
+  echo "--quick: skipping fault-matrix rerun and TSan pass"
+  exit 0
+fi
+
 # Fault matrix: rerun the fault-injection surface (channel fault plans,
 # mid-stream failures, per-site partitions, resumable sessions) on its own
 # so a flake here is attributable immediately. Still under ASan/UBSan.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L fault
+
+# Crash-recovery matrix: the randomized crash-point fuzzer and deterministic
+# crash-point tests, under the same sanitizers.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L crash
 
 # ThreadSanitizer pass over the concurrency surface: the thread pool and the
 # parallel refresh pipeline (plus the observability integration tests that

@@ -2,18 +2,86 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/coding.h"
+#include "common/crc32.h"
 
 namespace snapdiff {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'D', 'C', 'A', 'T', 'L', 'G', '1'};
-// Superblock layout: magic(8) + blob_len(4) + page_count(4) + page ids.
-constexpr size_t kSuperblockHeader = 8 + 4 + 4;
+constexpr char kMagic[8] = {'S', 'D', 'C', 'A', 'T', 'L', 'G', '2'};
+// Superblock frame: magic(8) + generation(8) + blob_len(4) + blob_crc(4) +
+// page_count(4) + frame_crc(4) + page ids. frame_crc covers every frame
+// byte except itself, so a torn superblock write is detected and the other
+// slot's older generation survives.
+constexpr size_t kSuperblockHeader = 8 + 8 + 4 + 4 + 4 + 4;
+constexpr size_t kFrameCrcOffset = 8 + 8 + 4 + 4 + 4;
 constexpr size_t kMaxMetadataPages =
     (Page::kPageSize - kSuperblockHeader) / 4;
+
+struct SuperblockInfo {
+  bool valid = false;  // frame parsed and its CRC matched
+  PageId slot = kInvalidPageId;
+  uint64_t generation = 0;
+  uint32_t blob_len = 0;
+  uint32_t blob_crc = 0;
+  std::vector<PageId> meta_pages;
+};
+
+SuperblockInfo ReadSuperblock(DiskManager* disk, PageId page) {
+  SuperblockInfo info;
+  info.slot = page;
+  if (page == kInvalidPageId || page >= disk->page_count()) return info;
+  char sb[Page::kPageSize];
+  if (!disk->ReadPage(page, sb).ok()) return info;
+  if (std::memcmp(sb, kMagic, sizeof(kMagic)) != 0) return info;
+  std::memcpy(&info.generation, sb + 8, 8);
+  std::memcpy(&info.blob_len, sb + 16, 4);
+  std::memcpy(&info.blob_crc, sb + 20, 4);
+  uint32_t page_count = 0;
+  std::memcpy(&page_count, sb + 24, 4);
+  uint32_t frame_crc = 0;
+  std::memcpy(&frame_crc, sb + kFrameCrcOffset, 4);
+  if (page_count > kMaxMetadataPages ||
+      info.blob_len > page_count * Page::kPageSize) {
+    return info;
+  }
+  std::string covered(sb, kFrameCrcOffset);
+  covered.append(sb + kSuperblockHeader, 4 * page_count);
+  if (Crc32(covered) != frame_crc) return info;
+  info.meta_pages.reserve(page_count);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    uint32_t p = 0;
+    std::memcpy(&p, sb + kSuperblockHeader + 4 * i, 4);
+    info.meta_pages.push_back(p);
+  }
+  info.valid = true;
+  return info;
+}
+
+/// Reads and CRC-verifies the metadata blob a valid superblock points at.
+Result<std::string> ReadBlob(DiskManager* disk, const SuperblockInfo& info) {
+  std::string blob;
+  blob.reserve(info.blob_len);
+  for (size_t i = 0; i < info.meta_pages.size() && blob.size() < info.blob_len;
+       ++i) {
+    char buf[Page::kPageSize];
+    RETURN_IF_ERROR(disk->ReadPage(info.meta_pages[i], buf));
+    const size_t len =
+        std::min<size_t>(Page::kPageSize, info.blob_len - blob.size());
+    blob.append(buf, len);
+  }
+  if (blob.size() != info.blob_len) {
+    return Status::Corruption("catalog blob truncated");
+  }
+  if (Crc32(blob) != info.blob_crc) {
+    return Status::Corruption("catalog blob CRC mismatch");
+  }
+  return blob;
+}
 
 std::string SerializeCatalog(Catalog* catalog) {
   std::vector<std::string> names = catalog->TableNames();
@@ -82,22 +150,34 @@ Status DeserializeInto(Catalog* catalog, std::string_view blob) {
 
 }  // namespace
 
-Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock) {
+Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock,
+                   PageId superblock_alt) {
   const std::string blob = SerializeCatalog(catalog);
 
-  // Reuse the existing metadata pages when possible.
+  // Pick the target slot and the metadata pages to reuse. With two slots
+  // the write ping-pongs: the new generation goes to the slot NOT holding
+  // the live catalog, reusing that slot's old metadata pages — so neither
+  // a torn metadata write nor a torn superblock write can damage the
+  // published generation.
+  SuperblockInfo a = ReadSuperblock(disk, superblock);
+  SuperblockInfo b = superblock_alt != kInvalidPageId
+                         ? ReadSuperblock(disk, superblock_alt)
+                         : SuperblockInfo{};
+  PageId target = superblock;
   std::vector<PageId> meta_pages;
-  char sb[Page::kPageSize];
-  RETURN_IF_ERROR(disk->ReadPage(superblock, sb));
-  if (std::memcmp(sb, kMagic, sizeof(kMagic)) == 0) {
-    uint32_t old_count = 0;
-    std::memcpy(&old_count, sb + 12, 4);
-    for (uint32_t i = 0; i < old_count; ++i) {
-      uint32_t page = 0;
-      std::memcpy(&page, sb + kSuperblockHeader + 4 * i, 4);
-      meta_pages.push_back(page);
-    }
+  uint64_t next_gen = 1;
+  if (superblock_alt != kInvalidPageId && (a.valid || b.valid)) {
+    const SuperblockInfo& live =
+        (a.valid && (!b.valid || a.generation >= b.generation)) ? a : b;
+    const SuperblockInfo& stale = (&live == &a) ? b : a;
+    next_gen = live.generation + 1;
+    target = stale.slot;
+    meta_pages = stale.meta_pages;
+  } else if (a.valid) {
+    next_gen = a.generation + 1;
+    meta_pages = a.meta_pages;
   }
+
   const size_t needed = (blob.size() + Page::kPageSize - 1) / Page::kPageSize;
   if (needed > kMaxMetadataPages) {
     return Status::ResourceExhausted("catalog metadata too large");
@@ -117,50 +197,54 @@ Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock) {
     RETURN_IF_ERROR(disk->WritePage(meta_pages[i], buf));
   }
 
-  // Publish via the superblock (single page write = atomic switch-over in
-  // this model).
+  // Publish via the target slot's frame.
+  char sb[Page::kPageSize];
   std::memset(sb, 0, sizeof(sb));
   std::memcpy(sb, kMagic, sizeof(kMagic));
+  std::memcpy(sb + 8, &next_gen, 8);
   const uint32_t blob_len = static_cast<uint32_t>(blob.size());
-  std::memcpy(sb + 8, &blob_len, 4);
+  std::memcpy(sb + 16, &blob_len, 4);
+  const uint32_t blob_crc = Crc32(blob);
+  std::memcpy(sb + 20, &blob_crc, 4);
   const uint32_t page_count = static_cast<uint32_t>(meta_pages.size());
-  std::memcpy(sb + 12, &page_count, 4);
+  std::memcpy(sb + 24, &page_count, 4);
   for (size_t i = 0; i < meta_pages.size(); ++i) {
     const uint32_t page = meta_pages[i];
     std::memcpy(sb + kSuperblockHeader + 4 * i, &page, 4);
   }
-  return disk->WritePage(superblock, sb);
+  std::string covered(sb, kFrameCrcOffset);
+  covered.append(sb + kSuperblockHeader, 4 * page_count);
+  const uint32_t frame_crc = Crc32(covered);
+  std::memcpy(sb + kFrameCrcOffset, &frame_crc, 4);
+  return disk->WritePage(target, sb);
 }
 
-Status LoadCatalog(Catalog* catalog, DiskManager* disk, PageId superblock) {
-  char sb[Page::kPageSize];
-  RETURN_IF_ERROR(disk->ReadPage(superblock, sb));
-  if (std::memcmp(sb, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("superblock has no catalog");
+Status LoadCatalog(Catalog* catalog, DiskManager* disk, PageId superblock,
+                   PageId superblock_alt) {
+  SuperblockInfo slots[2] = {
+      ReadSuperblock(disk, superblock),
+      superblock_alt != kInvalidPageId ? ReadSuperblock(disk, superblock_alt)
+                                       : SuperblockInfo{}};
+  // Try valid slots newest-generation first; fall back to the older slot
+  // when the newer one's blob fails its CRC (torn metadata write caught
+  // mid-publish — the previous generation is intact by construction).
+  if (slots[0].valid && slots[1].valid &&
+      slots[1].generation > slots[0].generation) {
+    std::swap(slots[0], slots[1]);
   }
-  uint32_t blob_len = 0;
-  std::memcpy(&blob_len, sb + 8, 4);
-  uint32_t page_count = 0;
-  std::memcpy(&page_count, sb + 12, 4);
-  if (page_count > kMaxMetadataPages ||
-      blob_len > page_count * Page::kPageSize) {
-    return Status::Corruption("superblock metadata bounds are inconsistent");
+  // No valid slot at all reads as NotFound — a site that crashed before its
+  // first save (or a freshly reserved superblock) is not corruption.
+  Status last_error = Status::NotFound("superblock has no catalog");
+  for (const SuperblockInfo& info : slots) {
+    if (!info.valid) continue;
+    Result<std::string> blob = ReadBlob(disk, info);
+    if (!blob.ok()) {
+      last_error = blob.status();
+      continue;
+    }
+    return DeserializeInto(catalog, *blob);
   }
-  std::string blob;
-  blob.reserve(blob_len);
-  for (uint32_t i = 0; i < page_count && blob.size() < blob_len; ++i) {
-    uint32_t page = 0;
-    std::memcpy(&page, sb + kSuperblockHeader + 4 * i, 4);
-    char buf[Page::kPageSize];
-    RETURN_IF_ERROR(disk->ReadPage(page, buf));
-    const size_t len =
-        std::min<size_t>(Page::kPageSize, blob_len - blob.size());
-    blob.append(buf, len);
-  }
-  if (blob.size() != blob_len) {
-    return Status::Corruption("catalog blob truncated");
-  }
-  return DeserializeInto(catalog, blob);
+  return last_error;
 }
 
 }  // namespace snapdiff

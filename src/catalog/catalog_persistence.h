@@ -12,18 +12,28 @@ namespace snapdiff {
 /// a fixed *superblock* page so a restarted site can reattach every table
 /// from the disk file alone.
 ///
-/// Layout: the superblock (a caller-reserved page, conventionally page 0)
-/// holds a magic, the metadata byte length, and the ids of the metadata
-/// pages; the serialized metadata blob spans those pages. Each SaveCatalog
-/// call reuses previously allocated metadata pages when the blob still
-/// fits and allocates more when it grew (old pages are never reclaimed —
-/// catalog metadata is tiny relative to data).
-Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock);
+/// Layout: a superblock (a caller-reserved page) holds a magic, a
+/// generation counter, the metadata byte length and CRC, a frame CRC, and
+/// the ids of the metadata pages; the serialized metadata blob spans those
+/// pages. Each SaveCatalog call reuses previously allocated metadata pages
+/// when the blob still fits and allocates more when it grew (old pages are
+/// never reclaimed — catalog metadata is tiny relative to data).
+///
+/// Crash safety: pass a second reserved page as `superblock_alt` and the
+/// slots ping-pong — each save bumps the generation and writes the frame
+/// (and a disjoint metadata page set) into the slot NOT holding the live
+/// catalog, so a torn write mid-save can only damage the in-flight
+/// generation; LoadCatalog falls back to the surviving one. With the
+/// default (invalid) alt page, saves overwrite the single slot in place.
+Status SaveCatalog(Catalog* catalog, DiskManager* disk, PageId superblock,
+                   PageId superblock_alt = kInvalidPageId);
 
-/// Reads the superblock and reattaches every recorded table into `catalog`
-/// (which must not already contain any of them). Buffer-pool contents are
-/// untouched; table heaps recompute their live counts by scanning.
-Status LoadCatalog(Catalog* catalog, DiskManager* disk, PageId superblock);
+/// Reads the newest CRC-valid superblock generation and reattaches every
+/// recorded table into `catalog` (which must not already contain any of
+/// them). Buffer-pool contents are untouched; table heaps recompute their
+/// live counts by scanning.
+Status LoadCatalog(Catalog* catalog, DiskManager* disk, PageId superblock,
+                   PageId superblock_alt = kInvalidPageId);
 
 }  // namespace snapdiff
 

@@ -1,0 +1,16 @@
+#ifndef SNAPDIFF_COMMON_CRC32_H_
+#define SNAPDIFF_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace snapdiff {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to frame WAL records and
+/// to validate the catalog superblock so a torn write is detected instead of
+/// silently deserialized. `seed` lets callers chain partial buffers.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_COMMON_CRC32_H_

@@ -83,12 +83,19 @@ BaseTable::AnnotatedRow BaseTable::SplitStored(const Tuple& stored) const {
   return row;
 }
 
-Status BaseTable::LogAutocommit(LogRecordType type, Address addr,
-                                std::string before, std::string after) {
-  if (wal_ == nullptr) return Status::OK();
+TxnId BaseTable::BeginAutocommit() {
+  if (wal_ == nullptr) return 0;
   const TxnId txn = next_txn_++;
   wal_->LogBegin(txn);
-  switch (type) {
+  active_txn_ = txn;
+  return txn;
+}
+
+Status BaseTable::CommitAutocommit(TxnId txn, LogRecordType logical_type,
+                                   Address addr, std::string before,
+                                   std::string after) {
+  if (wal_ == nullptr) return Status::OK();
+  switch (logical_type) {
     case LogRecordType::kInsert:
       wal_->LogInsert(txn, info_->id, addr, std::move(after));
       break;
@@ -103,7 +110,15 @@ Status BaseTable::LogAutocommit(LogRecordType type, Address addr,
       return Status::Internal("bad autocommit record type");
   }
   wal_->LogCommit(txn);
-  return Status::OK();
+  active_txn_ = 0;
+  // Durable before the op is acknowledged: a crash after this point replays
+  // the bracket as a winner, before it rolls the bracket back as a loser.
+  return wal_->Sync();
+}
+
+Result<std::string> BaseTable::RawBytes(Address addr) {
+  ASSIGN_OR_RETURN(TableHeap::TupleRef ref, info_->heap->GetView(addr));
+  return std::string(ref.bytes);
 }
 
 Result<Address> BaseTable::Insert(const Tuple& user_row) {
@@ -113,7 +128,18 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
   // Lazy (and none): annotations are NULL — "insert operations will set the
   // PrevAddr and TimeStamp fields to NULL".
   Tuple stored = MakeStored(user_row, Address::Null(), kNullTimestamp);
+  const TxnId txn = BeginAutocommit();
+  const size_t pages_before = info_->heap->pages().size();
   ASSIGN_OR_RETURN(Address addr, InsertRow(info_, stored));
+  if (wal_ != nullptr) {
+    if (info_->heap->pages().size() > pages_before) {
+      wal_->LogAllocPage(txn, info_->id, info_->heap->pages().back());
+    }
+    ASSIGN_OR_RETURN(std::string after_raw, RawBytes(addr));
+    const Lsn lsn =
+        wal_->LogPageInsert(txn, info_->id, addr, std::move(after_raw));
+    RETURN_IF_ERROR(info_->heap->StampPageLsn(addr.page(), lsn));
+  }
 
   if (mode_ == AnnotationMode::kEager) {
     // Repair the chain around the new entry.
@@ -148,8 +174,8 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
   }
 
   ASSIGN_OR_RETURN(std::string after_bytes, user_row.Serialize(user_schema_));
-  RETURN_IF_ERROR(
-      LogAutocommit(LogRecordType::kInsert, addr, "", std::move(after_bytes)));
+  RETURN_IF_ERROR(CommitAutocommit(txn, LogRecordType::kInsert, addr, "",
+                                   std::move(after_bytes)));
   for (TableObserver* obs : observers_) obs->OnInsert(addr, user_row);
   return addr;
 }
@@ -160,23 +186,33 @@ Status BaseTable::Update(Address addr, const Tuple& user_row) {
   }
   ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
   AnnotatedRow old_row = SplitStored(old_stored);
+  std::string before_raw;
+  if (wal_ != nullptr) {
+    ASSIGN_OR_RETURN(before_raw, RawBytes(addr));
+  }
 
   const Timestamp new_ts = mode_ == AnnotationMode::kEager
                                ? oracle_->Next()
                                : kNullTimestamp;
+  const TxnId txn = BeginAutocommit();
   // "Update operations will simply set the TimeStamp field to NULL" (lazy);
   // PrevAddr is preserved in both modes.
   Tuple stored = MakeStored(user_row, old_row.prev_addr, new_ts);
   RETURN_IF_ERROR(UpdateRow(info_, addr, stored));
 
   if (wal_ != nullptr) {
+    ASSIGN_OR_RETURN(std::string after_raw, RawBytes(addr));
+    const Lsn lsn = wal_->LogPageUpdate(txn, info_->id, addr,
+                                        std::move(before_raw),
+                                        std::move(after_raw));
+    RETURN_IF_ERROR(info_->heap->StampPageLsn(addr.page(), lsn));
     ASSIGN_OR_RETURN(std::string before_bytes,
                      old_row.user.Serialize(user_schema_));
     ASSIGN_OR_RETURN(std::string after_bytes,
                      user_row.Serialize(user_schema_));
-    RETURN_IF_ERROR(LogAutocommit(LogRecordType::kUpdate, addr,
-                                  std::move(before_bytes),
-                                  std::move(after_bytes)));
+    RETURN_IF_ERROR(CommitAutocommit(txn, LogRecordType::kUpdate, addr,
+                                     std::move(before_bytes),
+                                     std::move(after_bytes)));
   }
   for (TableObserver* obs : observers_) {
     obs->OnUpdate(addr, old_row.user, user_row);
@@ -187,8 +223,18 @@ Status BaseTable::Update(Address addr, const Tuple& user_row) {
 Status BaseTable::Delete(Address addr) {
   ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
   AnnotatedRow old_row = SplitStored(old_stored);
+  std::string before_raw;
+  if (wal_ != nullptr) {
+    ASSIGN_OR_RETURN(before_raw, RawBytes(addr));
+  }
 
+  const TxnId txn = BeginAutocommit();
   RETURN_IF_ERROR(DeleteRow(info_, addr));
+  if (wal_ != nullptr) {
+    const Lsn lsn =
+        wal_->LogPageDelete(txn, info_->id, addr, std::move(before_raw));
+    RETURN_IF_ERROR(info_->heap->StampPageLsn(addr.page(), lsn));
+  }
 
   if (mode_ == AnnotationMode::kEager) {
     // "the PrevAddr and TimeStamp fields of the succeeding base table entry
@@ -207,8 +253,8 @@ Status BaseTable::Delete(Address addr) {
   if (wal_ != nullptr) {
     ASSIGN_OR_RETURN(std::string before_bytes,
                      old_row.user.Serialize(user_schema_));
-    RETURN_IF_ERROR(LogAutocommit(LogRecordType::kDelete, addr,
-                                  std::move(before_bytes), ""));
+    RETURN_IF_ERROR(CommitAutocommit(txn, LogRecordType::kDelete, addr,
+                                     std::move(before_bytes), ""));
   }
   for (TableObserver* obs : observers_) obs->OnDelete(addr, old_row.user);
   return Status::OK();
@@ -298,11 +344,13 @@ Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
   const size_t prev_idx = info_->schema.PrevAddrIndex();
   const size_t ts_idx = info_->schema.TimestampIndex();
   bool patchable = false;
+  std::string before_raw;
   {
     ASSIGN_OR_RETURN(TableHeap::TupleRef ref, info_->heap->GetView(addr));
     ASSIGN_OR_RETURN(TupleView stored,
                      TupleView::Parse(info_->schema, ref.bytes));
     patchable = stored.stored_field_count() == info_->schema.column_count();
+    if (wal_ != nullptr) before_raw.assign(ref.bytes.data(), ref.bytes.size());
   }
   if (patchable) {
     // Annotation slots exist and NULL-ness never changes a slot's width,
@@ -319,15 +367,33 @@ Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
     RETURN_IF_ERROR(PatchFixed64Field(
         stored, ref.data, ts_idx, ts == kNullTimestamp,
         static_cast<uint64_t>(ts)));
-    return Status::OK();
+  } else {
+    // The row predates the annotation columns (narrower than the schema):
+    // its annotation slots don't physically exist, so grow it by
+    // re-serializing at full width.
+    ASSIGN_OR_RETURN(Tuple stored, ReadRow(info_, addr));
+    stored.Set(prev_idx, Value::Addr(prev_addr));
+    stored.Set(ts_idx, Value::Ts(ts));
+    RETURN_IF_ERROR(UpdateRow(info_, addr, stored));
   }
-  // The row predates the annotation columns (narrower than the schema):
-  // its annotation slots don't physically exist, so grow it by
-  // re-serializing at full width.
-  ASSIGN_OR_RETURN(Tuple stored, ReadRow(info_, addr));
-  stored.Set(prev_idx, Value::Addr(prev_addr));
-  stored.Set(ts_idx, Value::Ts(ts));
-  return UpdateRow(info_, addr, stored);
+  if (wal_ != nullptr) {
+    // Inside a mutator's bracket the fix-up shares that transaction so it
+    // commits (or rolls back) atomically with the triggering op; a bare
+    // call gets its own durable bracket.
+    ASSIGN_OR_RETURN(std::string after_raw, RawBytes(addr));
+    const bool standalone = active_txn_ == 0;
+    const TxnId txn = standalone ? next_txn_++ : active_txn_;
+    if (standalone) wal_->LogBegin(txn);
+    const Lsn lsn = wal_->LogPageUpdate(txn, info_->id, addr,
+                                        std::move(before_raw),
+                                        std::move(after_raw));
+    RETURN_IF_ERROR(info_->heap->StampPageLsn(addr.page(), lsn));
+    if (standalone) {
+      wal_->LogCommit(txn);
+      RETURN_IF_ERROR(wal_->Sync());
+    }
+  }
+  return Status::OK();
 }
 
 // Out of line: ~unique_ptr<SecondaryIndex> needs the complete type.

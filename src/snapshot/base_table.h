@@ -175,6 +175,12 @@ class BaseTable {
   LogManager* wal() const { return wal_; }
   uint64_t live_rows() const { return info_->heap->live_tuples(); }
 
+  /// Transaction-id high-water mark. Restart recovery bumps it past every
+  /// id found in the recovered WAL so new autocommit brackets never collide
+  /// with (possibly rolled-back) pre-crash transactions.
+  TxnId next_txn() const { return next_txn_; }
+  void set_next_txn(TxnId txn) { next_txn_ = txn; }
+
   /// Switches maintenance mode. Used when the first differential snapshot
   /// is created on a previously annotation-free table (the schema must
   /// already have been extended via Catalog::AddAnnotationColumns).
@@ -197,8 +203,16 @@ class BaseTable {
   /// Splits a stored tuple into user part + annotations.
   AnnotatedRow SplitStored(const Tuple& stored) const;
 
-  Status LogAutocommit(LogRecordType type, Address addr, std::string before,
-                       std::string after);
+  /// Opens / closes the autocommit transaction bracket around one mutator.
+  /// While a bracket is open, WriteAnnotations logs its redo record under
+  /// the same transaction (eager successor repairs commit atomically with
+  /// the triggering op). Commit syncs the WAL before the op is acked.
+  TxnId BeginAutocommit();
+  Status CommitAutocommit(TxnId txn, LogRecordType logical_type, Address addr,
+                          std::string before, std::string after);
+
+  /// Copies the raw stored bytes at `addr` (redo/undo images).
+  Result<std::string> RawBytes(Address addr);
 
   TableInfo* info_;
   AnnotationMode mode_;
@@ -209,6 +223,7 @@ class BaseTable {
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   AnnotationMaintenanceStats maintenance_stats_;
   TxnId next_txn_ = 1;
+  TxnId active_txn_ = 0;  // open autocommit bracket (0 = none)
 };
 
 /// Verifies the repaired-annotation invariant: every live row's $PREVADDR$

@@ -15,9 +15,12 @@ namespace snapdiff {
 
 namespace {
 
-// Reserved pages of a file-backed base site.
+// Reserved pages of a file-backed base site. The catalog superblock is
+// dual-slot: saves ping-pong between the two pages so a torn write never
+// damages the live generation.
 constexpr PageId kOraclePage = 0;
 constexpr PageId kCatalogSuperblock = 1;
+constexpr PageId kCatalogSuperblockAlt = 2;
 
 std::unique_ptr<DiskManager> MakeBaseDisk(
     const SnapshotSystemOptions& options) {
@@ -70,15 +73,49 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
   metric_snapshot_count_ = reg.GetGauge("snapshot.count");
   if (options_.enable_wal) wal_ = std::make_unique<LogManager>();
   if (!options_.base_data_path.empty()) {
+    crash_switch_ = std::make_shared<CrashSwitch>();
+    if (auto* file_disk = dynamic_cast<FileDiskManager*>(base_disk_.get())) {
+      // An empty plan binds the crash switch without arming any fault.
+      file_disk->Arm(DiskFaultPlan{}, crash_switch_);
+    }
+    if (wal_ != nullptr) {
+      auto wal_file = WalFile::Open(options_.base_data_path + ".wal");
+      SNAPDIFF_CHECK(wal_file.ok())
+          << "cannot open WAL " << options_.base_data_path
+          << ".wal: " << wal_file.status().ToString();
+      wal_file_ = std::move(*wal_file);
+      wal_file_->BindCrashSwitch(crash_switch_);
+    }
     if (base_disk_->page_count() == 0) {
-      // Fresh file: reserve the oracle + catalog pages.
+      // Fresh file: reserve the oracle page and both catalog superblock
+      // slots.
       SNAPDIFF_CHECK(base_disk_->AllocatePage().ok());
       SNAPDIFF_CHECK(base_disk_->AllocatePage().ok());
+      SNAPDIFF_CHECK(base_disk_->AllocatePage().ok());
+      if (wal_ != nullptr) {
+        // A fresh data file invalidates whatever WAL a previous incarnation
+        // left at this path: discard its records and truncate the file so
+        // LSNs restart at 1 alongside the empty site.
+        wal_file_->TakeRecoveredRecords();
+        SNAPDIFF_CHECK(wal_file_->Rewrite({}).ok());
+        wal_->AttachSink(wal_file_.get());
+      }
     } else {
+      // RestoreBaseSite attaches the sink itself, after handing the WAL
+      // file's recovered records to the log manager.
       Status restored = RestoreBaseSite();
       SNAPDIFF_CHECK(restored.ok())
-          << "base data file is not a valid checkpoint: "
-          << restored.ToString();
+          << "base data file failed restart recovery: " << restored.ToString();
+    }
+    if (wal_ != nullptr) {
+      // WAL-before-data: capture a full image of every dirty page and make
+      // it durable before the (possibly torn) write reaches the data file.
+      // Installed after restore so recovery's own page traffic is not
+      // re-logged.
+      base_pool_.SetPreFlushHook([this](PageId page, const char* data) {
+        wal_->LogPageImage(page, std::string(data, Page::kPageSize));
+        return wal_->Sync();
+      });
     }
   }
 }
@@ -105,11 +142,25 @@ RefreshExecution SnapshotSystem::MakeRefreshExecution() {
 }
 
 Status SnapshotSystem::RestoreBaseSite() {
-  RETURN_IF_ERROR(
-      LoadCatalog(&base_catalog_, base_disk_.get(), kCatalogSuperblock));
-  ASSIGN_OR_RETURN(TimestampOracle recovered,
-                   TimestampOracle::Recover(base_disk_.get(), kOraclePage));
-  base_oracle_ = recovered;
+  const bool has_wal = wal_ != nullptr && wal_file_ != nullptr;
+  Status loaded = LoadCatalog(&base_catalog_, base_disk_.get(),
+                              kCatalogSuperblock, kCatalogSuperblockAlt);
+  if (loaded.IsNotFound()) {
+    // A logged site may crash before its first catalog save; the WAL tail
+    // then mentions no tables and replays onto an empty site. Without a WAL
+    // the file must hold a checkpointed catalog.
+    if (!has_wal) return loaded;
+  } else if (!loaded.ok()) {
+    return loaded;
+  }
+  Result<TimestampOracle> recovered =
+      TimestampOracle::Recover(base_disk_.get(), kOraclePage);
+  if (recovered.ok()) {
+    base_oracle_ = *recovered;
+  } else if (!has_wal) {
+    // Without a WAL the checkpointed oracle is the only timestamp source.
+    return recovered.status();
+  }
   for (const std::string& name : base_catalog_.TableNames()) {
     ASSIGN_OR_RETURN(TableInfo * info, base_catalog_.GetTable(name));
     const AnnotationMode mode = info->schema.HasAnnotations()
@@ -117,6 +168,20 @@ Status SnapshotSystem::RestoreBaseSite() {
                                     : AnnotationMode::kNone;
     base_tables_[name] =
         std::make_unique<BaseTable>(info, mode, &base_oracle_, wal_.get());
+  }
+  if (has_wal) {
+    RETURN_IF_ERROR(wal_->RestoreFrom(wal_file_->TakeRecoveredRecords()));
+    // The sink must be live before recovery: it appends and syncs kAbort
+    // records for the losers it rolls back.
+    wal_->AttachSink(wal_file_.get());
+    RecoveryManager recovery(wal_.get(), &base_catalog_);
+    ASSIGN_OR_RETURN(RecoveryStats stats, recovery.Recover());
+    base_oracle_.AdvanceTo(stats.max_timestamp + 1);
+    for (auto& [name, table] : base_tables_) {
+      table->set_next_txn(std::max(table->next_txn(), stats.max_txn + 1));
+    }
+    if (stats.found_checkpoint) restored_checkpoint_ = stats.checkpoint;
+    last_recovery_ = std::move(stats);
   }
   return Status::OK();
 }
@@ -126,10 +191,61 @@ Status SnapshotSystem::CheckpointBaseSite() {
     return Status::InvalidArgument(
         "base site is memory-backed; nothing durable to checkpoint");
   }
-  RETURN_IF_ERROR(base_pool_.FlushAll());
-  RETURN_IF_ERROR(
-      SaveCatalog(&base_catalog_, base_disk_.get(), kCatalogSuperblock));
-  return base_oracle_.Checkpoint(base_disk_.get(), kOraclePage);
+  RETURN_IF_ERROR(base_pool_.FlushDirty());
+  RETURN_IF_ERROR(SaveCatalog(&base_catalog_, base_disk_.get(),
+                              kCatalogSuperblock, kCatalogSuperblockAlt));
+  RETURN_IF_ERROR(base_oracle_.Checkpoint(base_disk_.get(), kOraclePage));
+  RETURN_IF_ERROR(base_disk_->Sync());
+  // Checkpoints are not concurrent with mutations, so once the flush and
+  // disk sync succeed every record logged so far — the flush's own page
+  // images included — has durable page effects: redo may skip the lot.
+  const Lsn redo_start = wal_ != nullptr ? wal_->LastLsn() : 0;
+  if (wal_ != nullptr && wal_->sink() != nullptr) {
+    CheckpointPayload payload;
+    payload.oracle_next = base_oracle_.PeekNext();
+    payload.redo_start_lsn = redo_start;
+    // Compaction is additionally bounded by the log positions the log-based
+    // refresh alternative still needs.
+    Lsn keep_after = redo_start;
+    for (const auto& [name, entry] : snapshots_) {
+      CheckpointPayload::SnapshotState s;
+      s.snapshot_id = entry.descriptor.id;
+      s.snap_time =
+          entry.table != nullptr ? entry.table->snap_time() : kNullTimestamp;
+      s.last_refresh_lsn = entry.descriptor.last_refresh_lsn;
+      payload.snapshots.push_back(s);
+      if (entry.descriptor.method == RefreshMethod::kLogBased) {
+        keep_after = std::min(keep_after, entry.descriptor.last_refresh_lsn);
+      }
+    }
+    std::string bytes;
+    payload.SerializeTo(&bytes);
+    wal_->LogCheckpoint(std::move(bytes));
+    RETURN_IF_ERROR(wal_->Sync());
+    RETURN_IF_ERROR(wal_file_->Rewrite(wal_->Scan(keep_after)));
+  }
+  return Status::OK();
+}
+
+Status SnapshotSystem::PersistCatalogIfDurable() {
+  if (options_.base_data_path.empty()) return Status::OK();
+  RETURN_IF_ERROR(SaveCatalog(&base_catalog_, base_disk_.get(),
+                              kCatalogSuperblock, kCatalogSuperblockAlt));
+  return base_disk_->Sync();
+}
+
+Status SnapshotSystem::ArmBaseDiskFault(DiskFaultPlan plan) {
+  auto* file_disk = dynamic_cast<FileDiskManager*>(base_disk_.get());
+  if (file_disk == nullptr) {
+    return Status::InvalidArgument(
+        "base site is memory-backed; no disk faults to arm");
+  }
+  file_disk->Arm(std::move(plan), crash_switch_);
+  return Status::OK();
+}
+
+bool SnapshotSystem::crashed() const {
+  return crash_switch_ != nullptr && crash_switch_->dead.load();
 }
 
 Result<BaseTable*> SnapshotSystem::CreateBaseTable(const std::string& name,
@@ -149,6 +265,9 @@ Result<BaseTable*> SnapshotSystem::CreateBaseTable(const std::string& name,
                                            wal_.get());
   BaseTable* ptr = table.get();
   base_tables_[name] = std::move(table);
+  // The WAL logs by table id, so the id→schema mapping must be durable
+  // before any logged mutation can reference it.
+  RETURN_IF_ERROR(PersistCatalogIfDurable());
   return ptr;
 }
 
@@ -235,6 +354,7 @@ Result<SnapshotTable*> SnapshotSystem::CreateSnapshot(
     // the first snapshot using differential refresh is created".
     RETURN_IF_ERROR(base_catalog_.AddAnnotationColumns(source->info()));
     RETURN_IF_ERROR(source->SetMode(AnnotationMode::kLazy));
+    RETURN_IF_ERROR(PersistCatalogIfDurable());
   }
   if (options.method == RefreshMethod::kLogBased && wal_ == nullptr) {
     return Status::InvalidArgument("log-based refresh requires the WAL");
@@ -273,7 +393,12 @@ Result<SnapshotTable*> SnapshotSystem::CreateSnapshot(
   entry.descriptor.restriction_text = restriction_text;
   entry.descriptor.projection = std::move(projection);
   entry.descriptor.anchor_optimization = options.anchor_optimization;
-  entry.descriptor.last_refresh_lsn = 0;  // first refresh replays the log
+  // First refresh replays the log (or transmits in full). Checkpointed
+  // per-snapshot positions (see restored_checkpoint()) are deliberately NOT
+  // spliced into a re-created descriptor: the snapshot site is volatile in
+  // this collapsed process, so the re-created snapshot starts empty and a
+  // differential continuation would leave it incomplete.
+  entry.descriptor.last_refresh_lsn = 0;
   entry.table = std::move(table);
   entry.source = source;
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,8 @@
 #include "txn/lock_manager.h"
 #include "txn/timestamp_oracle.h"
 #include "wal/log_manager.h"
+#include "wal/recovery.h"
+#include "wal/wal_file.h"
 
 namespace snapdiff {
 
@@ -190,6 +193,31 @@ class SnapshotSystem {
   LockManager* lock_manager() { return &locks_; }
   Catalog* base_catalog() { return &base_catalog_; }
 
+  /// --- durability & crash simulation (file-backed base sites) ---
+
+  /// The durable WAL behind the base site (null when memory-backed or
+  /// enable_wal is false).
+  WalFile* wal_file() { return wal_file_.get(); }
+  DiskManager* base_disk() { return base_disk_.get(); }
+  /// Installs a crash-injection plan on the base site's data file (torn
+  /// page writes, dropped fsyncs, kill-after-N-writes). InvalidArgument
+  /// when the base site is memory-backed.
+  Status ArmBaseDiskFault(DiskFaultPlan plan);
+  /// True once any injected fault has fired; every further base-site I/O
+  /// fails and the process under test should be torn down and reopened.
+  bool crashed() const;
+  /// Stats of the restart recovery that built this system (set only when a
+  /// file-backed site was reopened with the WAL enabled).
+  const std::optional<RecoveryStats>& last_recovery() const {
+    return last_recovery_;
+  }
+  /// The newest durable checkpoint's payload, when the reopen found one.
+  /// CreateSnapshot consults it to restore per-snapshot refresh positions
+  /// (snapshots are re-created by the application in creation order).
+  const std::optional<CheckpointPayload>& restored_checkpoint() const {
+    return restored_checkpoint_;
+  }
+
   std::vector<std::string> SnapshotNames() const;
 
  private:
@@ -272,8 +300,15 @@ class SnapshotSystem {
   /// confirmed the session applied (see SnapshotDescriptor).
   void CommitRefreshOutcome(SnapshotDescriptor* desc);
 
-  /// Restores base tables recorded in a checkpointed data file.
+  /// Restores base tables recorded in a checkpointed data file, then
+  /// replays the WAL tail (redo + loser undo) on top of them.
   Status RestoreBaseSite();
+
+  /// Durably saves the catalog metadata on a file-backed site (no-op for
+  /// memory-backed ones). Called on every catalog mutation — table creation
+  /// and annotation-column addition — so restart recovery can resolve every
+  /// table id the WAL mentions.
+  Status PersistCatalogIfDurable();
 
   /// Execution knobs for the refresh executors, derived from options_ with
   /// per-request overrides applied. First call resolving workers > 1
@@ -300,6 +335,12 @@ class SnapshotSystem {
   LockManager locks_;
   std::unique_ptr<LogManager> wal_;
   std::unordered_map<std::string, std::unique_ptr<BaseTable>> base_tables_;
+
+  // Durability plumbing (file-backed base sites only).
+  std::unique_ptr<WalFile> wal_file_;          // durable sink behind wal_
+  std::shared_ptr<CrashSwitch> crash_switch_;  // shared data-file/WAL kill
+  std::optional<RecoveryStats> last_recovery_;
+  std::optional<CheckpointPayload> restored_checkpoint_;
 
   // Shared refresh worker pool; constructed on first parallel refresh.
   std::unique_ptr<ThreadPool> refresh_pool_;

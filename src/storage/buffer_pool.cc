@@ -56,6 +56,18 @@ void BufferPool::RemoveFromLru(size_t frame_idx) {
   in_lru_[frame_idx] = 0;
 }
 
+void BufferPool::SetPreFlushHook(PreFlushHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pre_flush_hook_ = std::move(hook);
+}
+
+Status BufferPool::WriteDirtyPage(PageId page_id, const char* data) {
+  if (pre_flush_hook_) {
+    RETURN_IF_ERROR(pre_flush_hook_(page_id, data));
+  }
+  return disk_->WritePage(page_id, data);
+}
+
 Result<size_t> BufferPool::GetVictimFrame() {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
@@ -69,7 +81,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
   Page* victim = frames_[idx].get();
   SNAPDIFF_DCHECK(victim->pin_count_ == 0);
   if (victim->is_dirty_) {
-    RETURN_IF_ERROR(disk_->WritePage(victim->page_id_, victim->data_));
+    RETURN_IF_ERROR(WriteDirtyPage(victim->page_id_, victim->data_));
     ++stats_.flushes;
     metric_flushes_->Inc();
   }
@@ -145,19 +157,20 @@ Status BufferPool::FlushPage(PageId page_id) {
     return Status::NotFound("FlushPage: page not resident");
   }
   Page* page = frames_[it->second].get();
-  RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+  if (!page->is_dirty_) return Status::OK();
+  RETURN_IF_ERROR(WriteDirtyPage(page_id, page->data_));
   page->is_dirty_ = false;
   ++stats_.flushes;
   metric_flushes_->Inc();
   return Status::OK();
 }
 
-Status BufferPool::FlushAll() {
+Status BufferPool::FlushDirty() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [page_id, idx] : page_table_) {
     Page* page = frames_[idx].get();
     if (page->is_dirty_) {
-      RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+      RETURN_IF_ERROR(WriteDirtyPage(page_id, page->data_));
       page->is_dirty_ = false;
       ++stats_.flushes;
       metric_flushes_->Inc();

@@ -2,6 +2,7 @@
 #define SNAPDIFF_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -51,11 +52,28 @@ class BufferPool {
   /// Drops one pin; `dirty` marks the frame as needing write-back.
   Status UnpinPage(PageId page_id, bool dirty);
 
-  /// Writes the page back if resident (regardless of pin state).
+  /// Writes the page back if resident and dirty (regardless of pin state).
   Status FlushPage(PageId page_id);
 
-  /// Writes back every dirty resident page.
-  Status FlushAll();
+  /// Writes back every dirty resident page — the write phase of a fuzzy
+  /// checkpoint (pins are ignored; pages keep changing afterwards, which is
+  /// what makes the checkpoint fuzzy).
+  Status FlushDirty();
+
+  /// Alias of FlushDirty() kept for existing call sites.
+  Status FlushAll() { return FlushDirty(); }
+
+  /// Called with (page_id, page bytes) immediately before any dirty page is
+  /// written to disk — eviction, FlushPage, or FlushDirty. The snapshot
+  /// system uses it to log a full-page image and sync the WAL first, which
+  /// is what makes torn page writes and dropped fsyncs recoverable
+  /// (WAL-before-data). A failing hook aborts the write.
+  using PreFlushHook = std::function<Status(PageId, const char*)>;
+  void SetPreFlushHook(PreFlushHook hook);
+
+  /// The backing page store (restart recovery extends it when replaying
+  /// ALLOC_PAGE records for pages the crash left unallocated).
+  DiskManager* disk() const { return disk_; }
 
   size_t pool_size() const { return frames_.size(); }
   const BufferPoolStats& stats() const { return stats_; }
@@ -70,8 +88,12 @@ class BufferPool {
   void TouchLru(size_t frame_idx);
   void RemoveFromLru(size_t frame_idx);
 
+  /// Hook + write for one dirty page. Requires mu_ held.
+  Status WriteDirtyPage(PageId page_id, const char* data);
+
   mutable std::mutex mu_;
   DiskManager* disk_;
+  PreFlushHook pre_flush_hook_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::vector<size_t> free_frames_;

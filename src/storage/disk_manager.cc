@@ -1,5 +1,6 @@
 #include "storage/disk_manager.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 
@@ -12,6 +13,7 @@ DiskManager::DiskManager() {
   metric_allocations_ = reg.GetCounter("storage.disk.allocations");
   metric_bytes_read_ = reg.GetCounter("storage.disk.bytes_read");
   metric_bytes_written_ = reg.GetCounter("storage.disk.bytes_written");
+  metric_syncs_ = reg.GetCounter("storage.disk.syncs");
 }
 
 void DiskManager::RecordRead() {
@@ -29,6 +31,11 @@ void DiskManager::RecordWrite() {
 void DiskManager::RecordAllocation() {
   ++stats_.allocations;
   metric_allocations_->Inc();
+}
+
+void DiskManager::RecordSync() {
+  ++stats_.syncs;
+  metric_syncs_->Inc();
 }
 
 Status MemoryDiskManager::ReadPage(PageId page_id, char* out) {
@@ -67,6 +74,12 @@ PageId MemoryDiskManager::page_count() const {
   return static_cast<PageId>(pages_.size());
 }
 
+Status MemoryDiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordSync();  // heap pages are trivially durable for the process lifetime
+  return Status::OK();
+}
+
 Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
     const std::string& path) {
   // Open read/write, creating the file if needed.
@@ -86,15 +99,70 @@ Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
   const auto size = std::filesystem::file_size(path, ec);
   if (ec) return Status::IOError("cannot stat " + path);
   const PageId pages = static_cast<PageId>(size / Page::kPageSize);
-  return std::unique_ptr<FileDiskManager>(
+  auto dm = std::unique_ptr<FileDiskManager>(
       new FileDiskManager(std::move(file), pages));
+  dm->file_page_count_ = pages;
+  return dm;
+}
+
+Status FileDiskManager::CheckAlive() const {
+  if (crash_switch_ != nullptr && crash_switch_->dead.load()) {
+    return Status::IOError("disk crashed (injected fault)");
+  }
+  return Status::OK();
+}
+
+void FileDiskManager::Kill(const char* fatal_data) {
+  // The dying write persists an optional torn prefix straight to the file;
+  // everything else in the volatile overlay is lost with the "page cache".
+  if (plan_.has_torn_write() && fatal_data != nullptr &&
+      fatal_page_ != kInvalidPageId) {
+    const size_t torn =
+        std::min<size_t>(plan_.torn_write_bytes(), Page::kPageSize);
+    if (torn > 0 && fatal_page_ < file_page_count_) {
+      file_.seekp(static_cast<std::streamoff>(fatal_page_) * Page::kPageSize);
+      file_.write(fatal_data, static_cast<std::streamsize>(torn));
+      file_.flush();
+    }
+  }
+  overlay_.clear();
+  armed_ = false;
+  if (crash_switch_ != nullptr) crash_switch_->dead.store(true);
+}
+
+void FileDiskManager::Arm(DiskFaultPlan plan,
+                          std::shared_ptr<CrashSwitch> crash_switch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  armed_ = !plan.empty();
+  writes_since_arm_ = 0;
+  fatal_page_ = kInvalidPageId;
+  crash_switch_ = std::move(crash_switch);
+}
+
+bool FileDiskManager::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_switch_ != nullptr && crash_switch_->dead.load();
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(CheckAlive());
   if (page_id >= page_count_) {
     return Status::OutOfRange("ReadPage: page " + std::to_string(page_id) +
                               " not allocated");
+  }
+  const auto it = overlay_.find(page_id);
+  if (it != overlay_.end()) {
+    std::memcpy(out, it->second.data(), Page::kPageSize);
+    RecordRead();
+    return Status::OK();
+  }
+  if (page_id >= file_page_count_) {
+    // Allocated while armed, never written: still all zeros.
+    std::memset(out, 0, Page::kPageSize);
+    RecordRead();
+    return Status::OK();
   }
   file_.seekg(static_cast<std::streamoff>(page_id) * Page::kPageSize);
   file_.read(out, Page::kPageSize);
@@ -105,21 +173,41 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
   std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(CheckAlive());
   if (page_id >= page_count_) {
     return Status::OutOfRange("WritePage: page " + std::to_string(page_id) +
                               " not allocated");
+  }
+  if (armed_) {
+    ++writes_since_arm_;
+    if (writes_since_arm_ >= plan_.kill_after_writes()) {
+      fatal_page_ = page_id;
+      Kill(data);
+      return Status::IOError("disk crashed (injected fault)");
+    }
+    overlay_[page_id].assign(data, Page::kPageSize);
+    RecordWrite();
+    return Status::OK();
   }
   file_.seekp(static_cast<std::streamoff>(page_id) * Page::kPageSize);
   file_.write(data, Page::kPageSize);
   if (!file_) return Status::IOError("short write");
   file_.flush();
+  if (page_id >= file_page_count_) file_page_count_ = page_id + 1;
   RecordWrite();
   return Status::OK();
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(CheckAlive());
   const PageId id = page_count_;
+  if (armed_) {
+    // Volatile until the next honest Sync() extends the file.
+    ++page_count_;
+    RecordAllocation();
+    return id;
+  }
   char zeros[Page::kPageSize];
   std::memset(zeros, 0, Page::kPageSize);
   file_.seekp(static_cast<std::streamoff>(id) * Page::kPageSize);
@@ -127,6 +215,7 @@ Result<PageId> FileDiskManager::AllocatePage() {
   if (!file_) return Status::IOError("allocate write failed");
   file_.flush();
   ++page_count_;
+  file_page_count_ = page_count_;
   RecordAllocation();
   return id;
 }
@@ -134,6 +223,37 @@ Result<PageId> FileDiskManager::AllocatePage() {
 PageId FileDiskManager::page_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return page_count_;
+}
+
+Status FileDiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(CheckAlive());
+  if (armed_ && plan_.dropped_fsync()) {
+    // The device acknowledges the fsync and drops it on the floor.
+    RecordSync();
+    return Status::OK();
+  }
+  if (!overlay_.empty() || page_count_ > file_page_count_) {
+    char zeros[Page::kPageSize];
+    std::memset(zeros, 0, Page::kPageSize);
+    for (PageId id = 0; id < page_count_; ++id) {
+      const auto it = overlay_.find(id);
+      if (it != overlay_.end()) {
+        file_.seekp(static_cast<std::streamoff>(id) * Page::kPageSize);
+        file_.write(it->second.data(), Page::kPageSize);
+      } else if (id >= file_page_count_) {
+        file_.seekp(static_cast<std::streamoff>(id) * Page::kPageSize);
+        file_.write(zeros, Page::kPageSize);
+      }
+    }
+    if (!file_) return Status::IOError("sync write failed");
+    overlay_.clear();
+    file_page_count_ = page_count_;
+  }
+  file_.flush();
+  if (!file_) return Status::IOError("sync flush failed");
+  RecordSync();
+  return Status::OK();
 }
 
 }  // namespace snapdiff

@@ -1,8 +1,10 @@
 #ifndef SNAPDIFF_STORAGE_DISK_MANAGER_H_
 #define SNAPDIFF_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +23,67 @@ struct DiskStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
+  uint64_t syncs = 0;
+};
+
+/// Shared kill switch for crash simulation. Once any injected fault fires
+/// (a disk crash point or a WAL torn sync), every participant holding the
+/// switch fails all subsequent I/O with IOError until the harness "restarts"
+/// the site by reopening everything against the surviving file bytes.
+struct CrashSwitch {
+  std::atomic<bool> dead{false};
+};
+
+/// A crash-point plan for FileDiskManager, composable like the Channel's
+/// FaultPlan (PR 3): named constructor picks the kill point, rvalue
+/// modifiers refine what the dying write leaves behind.
+///
+///   DiskFaultPlan::KillAfterWrites(7)                  — 7th write lost, die
+///   DiskFaultPlan::KillAfterWrites(7).WithTornWrite(512)
+///                                — first 512 bytes of the 7th write persist
+///   DiskFaultPlan::KillAfterWrites(7).WithDroppedFsync()
+///                                — Sync() lies while armed; nothing since
+///                                  arming survives except the torn prefix
+///
+/// While armed, page writes go to a volatile overlay that only reaches the
+/// file on Sync() — exactly the OS page cache the plan's kill point then
+/// discards. Only WritePage calls advance the kill countdown; allocations
+/// and reads never trigger it.
+class DiskFaultPlan {
+ public:
+  DiskFaultPlan() = default;
+
+  /// Die on the `n`th WritePage after arming (1-based); that write is lost.
+  static DiskFaultPlan KillAfterWrites(uint64_t n) {
+    DiskFaultPlan plan;
+    plan.kill_after_writes_ = n;
+    return plan;
+  }
+
+  /// The fatal write persists only its first `bytes` bytes (a torn page).
+  DiskFaultPlan WithTornWrite(size_t bytes) && {
+    torn_write_bytes_ = bytes;
+    return std::move(*this);
+  }
+
+  /// Sync() while armed returns OK without persisting anything — a device
+  /// that acknowledges fsync and drops it. Recovery survives this for data
+  /// pages because every buffer-pool flush logs a full-page image first.
+  DiskFaultPlan WithDroppedFsync() && {
+    dropped_fsync_ = true;
+    return std::move(*this);
+  }
+
+  bool empty() const { return kill_after_writes_ == 0; }
+  uint64_t kill_after_writes() const { return kill_after_writes_; }
+  bool has_torn_write() const { return torn_write_bytes_ != SIZE_MAX; }
+  size_t torn_write_bytes() const { return torn_write_bytes_; }
+  bool dropped_fsync() const { return dropped_fsync_; }
+
+ private:
+  uint64_t kill_after_writes_ = 0;  // 0 = no kill point
+  size_t torn_write_bytes_ = SIZE_MAX;
+  bool dropped_fsync_ = false;
 };
 
 /// Abstract page store. Pages are `Page::kPageSize` bytes, identified by a
@@ -42,6 +105,10 @@ class DiskManager {
   /// Number of pages allocated so far.
   virtual PageId page_count() const = 0;
 
+  /// Makes every previously acknowledged write durable (fsync). The memory
+  /// store is trivially durable for its lifetime; the file store flushes.
+  virtual Status Sync() = 0;
+
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
 
@@ -50,11 +117,12 @@ class DiskManager {
 
   /// Subclasses record each successful operation through these so the
   /// per-instance stats_ and the system-wide "storage.disk.*" registry
-  /// counters (reads/writes/allocations and page-sized byte totals) stay
-  /// in lockstep.
+  /// counters (reads/writes/allocations/syncs and page-sized byte totals)
+  /// stay in lockstep.
   void RecordRead();
   void RecordWrite();
   void RecordAllocation();
+  void RecordSync();
 
   DiskStats stats_;
 
@@ -64,6 +132,7 @@ class DiskManager {
   obs::Counter* metric_allocations_;
   obs::Counter* metric_bytes_read_;
   obs::Counter* metric_bytes_written_;
+  obs::Counter* metric_syncs_;
 };
 
 /// Heap-backed page store; the default for simulations and tests.
@@ -77,6 +146,7 @@ class MemoryDiskManager : public DiskManager {
   Status WritePage(PageId page_id, const char* data) override;
   Result<PageId> AllocatePage() override;
   PageId page_count() const override;
+  Status Sync() override;
 
  private:
   mutable std::mutex mu_;
@@ -96,14 +166,36 @@ class FileDiskManager : public DiskManager {
   Status WritePage(PageId page_id, const char* data) override;
   Result<PageId> AllocatePage() override;
   PageId page_count() const override;
+  Status Sync() override;
+
+  /// Arms a crash-point plan. Writes start going to a volatile overlay that
+  /// Sync() persists; when the plan's kill point fires, the switch (shared
+  /// with the site's WAL) dies and every later call returns IOError.
+  void Arm(DiskFaultPlan plan, std::shared_ptr<CrashSwitch> crash_switch);
+
+  /// True once an injected fault has fired (or a peer on the shared switch
+  /// has crashed).
+  bool crashed() const;
 
  private:
   FileDiskManager(std::fstream file, PageId page_count)
       : file_(std::move(file)), page_count_(page_count) {}
 
+  Status CheckAlive() const;          // mu_ held
+  void Kill(const char* fatal_data);  // mu_ held; fatal write may tear
+
   mutable std::mutex mu_;
   std::fstream file_;
   PageId page_count_;
+
+  // Crash simulation state (inert until Arm()).
+  DiskFaultPlan plan_;
+  bool armed_ = false;
+  uint64_t writes_since_arm_ = 0;
+  PageId fatal_page_ = kInvalidPageId;   // target of the dying write
+  PageId file_page_count_ = 0;           // pages the file actually holds
+  std::map<PageId, std::string> overlay_;  // armed writes, volatile
+  std::shared_ptr<CrashSwitch> crash_switch_;
 };
 
 }  // namespace snapdiff

@@ -19,12 +19,27 @@ void SlottedPage::WriteU16(size_t off, uint16_t v) {
   std::memcpy(page_->data() + off, &v, 2);
 }
 
+uint64_t SlottedPage::ReadU64(size_t off) const {
+  uint64_t v;
+  std::memcpy(&v, page_->data() + off, 8);
+  return v;
+}
+
+void SlottedPage::WriteU64(size_t off, uint64_t v) {
+  std::memcpy(page_->data() + off, &v, 8);
+}
+
 void SlottedPage::Init() {
   WriteU16(0, 0);                                        // slot_count
   WriteU16(2, static_cast<uint16_t>(Page::kPageSize));   // free_end
   WriteU16(4, 0);                                        // garbage
   WriteU16(6, 0);                                        // live_count
+  WriteU64(8, kInvalidLsn);                              // page_lsn
 }
+
+Lsn SlottedPage::page_lsn() const { return ReadU64(8); }
+
+void SlottedPage::set_page_lsn(Lsn lsn) { WriteU64(8, lsn); }
 
 bool SlottedPage::IsOccupied(SlotId slot) const {
   return slot < slot_count() && SlotOffset(slot) != 0;
@@ -116,6 +131,36 @@ Result<SlotId> SlottedPage::Insert(std::string_view data, bool reuse_slots) {
   SetSlot(slot, offset, len);
   WriteU16(6, static_cast<uint16_t>(live_count() + 1));
   return slot;
+}
+
+Status SlottedPage::RedoInsertAt(SlotId slot, std::string_view data) {
+  if (data.size() > kMaxTupleSize) {
+    return Status::InvalidArgument("tuple larger than page");
+  }
+  if (IsOccupied(slot)) {
+    return Status::InvalidArgument("redo insert into occupied slot " +
+                                   std::to_string(slot));
+  }
+  const uint16_t len = static_cast<uint16_t>(data.size());
+  const size_t new_slots =
+      slot >= slot_count() ? static_cast<size_t>(slot) - slot_count() + 1 : 0;
+  if (ContiguousFree() + garbage() < len + kSlotSize * new_slots) {
+    return Status::ResourceExhausted("redo insert: page full");
+  }
+  if (new_slots > 0) {
+    WriteU16(0, static_cast<uint16_t>(slot + 1));
+    for (SlotId s = static_cast<SlotId>(slot_count() - new_slots); s <= slot;
+         ++s) {
+      SetSlot(s, 0, 0);
+    }
+  }
+  if (ContiguousFree() < len) Compact();
+  SNAPDIFF_DCHECK(ContiguousFree() >= len);
+  const uint16_t offset = AllocateSpace(len);
+  std::memcpy(page_->data() + offset, data.data(), len);
+  SetSlot(slot, offset, len);
+  WriteU16(6, static_cast<uint16_t>(live_count() + 1));
+  return Status::OK();
 }
 
 Status SlottedPage::Delete(SlotId slot) {

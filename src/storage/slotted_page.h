@@ -18,7 +18,10 @@ namespace snapdiff {
 ///   [2,4)   uint16 free_end      — tuple data occupies [free_end, kPageSize)
 ///   [4,6)   uint16 garbage       — dead tuple bytes reclaimable by Compact()
 ///   [6,8)   uint16 live_count    — occupied slots
-///   [8,8+4*slot_count) slot directory: {uint16 offset, uint16 length}
+///   [8,16)  uint64 page_lsn      — LSN of the last logged mutation; restart
+///                                  recovery replays a redo record only when
+///                                  its LSN exceeds this (idempotent redo)
+///   [16,16+4*slot_count) slot directory: {uint16 offset, uint16 length}
 ///   [free_end, kPageSize) tuple data, growing downward
 ///
 /// offset == 0 marks an empty slot (tuple data can never start at offset 0
@@ -28,7 +31,7 @@ namespace snapdiff {
 /// refresh algorithm must cope with.
 class SlottedPage {
  public:
-  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kHeaderSize = 16;
   static constexpr size_t kSlotSize = 4;
   /// Largest tuple that fits on an empty page with one slot.
   static constexpr size_t kMaxTupleSize =
@@ -43,6 +46,8 @@ class SlottedPage {
   uint16_t free_end() const { return ReadU16(2); }
   uint16_t garbage() const { return ReadU16(4); }
   uint16_t live_count() const { return ReadU16(6); }
+  Lsn page_lsn() const;
+  void set_page_lsn(Lsn lsn);
 
   bool IsOccupied(SlotId slot) const;
 
@@ -61,6 +66,13 @@ class SlottedPage {
   /// Replaces the tuple bytes, keeping the slot (and thus the address).
   Status Update(SlotId slot, std::string_view data);
 
+  /// Re-inserts a tuple at a *specific* slot: restart recovery replaying a
+  /// PAGE_INSERT record, or undoing a loser's PAGE_DELETE, must land at the
+  /// logged address, not whatever Insert() would pick. Grows the slot
+  /// directory through `slot` if needed (intermediate slots stay empty).
+  /// Fails if the slot is occupied or the tuple does not fit.
+  Status RedoInsertAt(SlotId slot, std::string_view data);
+
   /// Contiguous free bytes available right now (before compaction).
   size_t ContiguousFree() const;
 
@@ -71,6 +83,8 @@ class SlottedPage {
  private:
   uint16_t ReadU16(size_t off) const;
   void WriteU16(size_t off, uint16_t v);
+  uint64_t ReadU64(size_t off) const;
+  void WriteU64(size_t off, uint64_t v);
 
   uint16_t SlotOffset(SlotId slot) const { return ReadU16(kHeaderSize + 4 * slot); }
   uint16_t SlotLength(SlotId slot) const {

@@ -156,6 +156,36 @@ Result<TableHeap::MutableTupleRef> TableHeap::GetMutable(Address addr) {
   return ref;
 }
 
+Status TableHeap::StampPageLsn(PageId page_id, Lsn lsn) {
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  PageGuard guard(pool_, page, /*dirty=*/true);
+  SlottedPage(page).set_page_lsn(lsn);
+  return Status::OK();
+}
+
+Status TableHeap::AppendPage(PageId page_id) {
+  if (std::binary_search(pages_.begin(), pages_.end(), page_id)) {
+    return Status::OK();
+  }
+  if (!pages_.empty() && page_id < pages_.back()) {
+    return Status::InvalidArgument("AppendPage: page id out of order");
+  }
+  pages_.push_back(page_id);
+  ++stats_.page_allocations;
+  return Status::OK();
+}
+
+Status TableHeap::RecountLive() {
+  uint64_t live = 0;
+  for (PageId id : pages_) {
+    ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(id));
+    PageGuard guard(pool_, page);
+    live += SlottedPage(page).live_count();
+  }
+  live_tuples_ = live;
+  return Status::OK();
+}
+
 Result<bool> TableHeap::Exists(Address addr) {
   if (!addr.IsReal()) return false;
   // The address may name a page this table never allocated.

@@ -111,6 +111,21 @@ class TableHeap {
   /// none exists.
   Result<Address> PrevLiveBefore(Address addr);
 
+  /// Stamps the slotted page's LSN field (and marks the page dirty). Called
+  /// by BaseTable after each logged mutation so restart recovery can decide
+  /// idempotently whether a redo record is already reflected on the page.
+  Status StampPageLsn(PageId page_id, Lsn lsn);
+
+  /// Registers a page that already exists in the DiskManager as the new
+  /// last page of this heap (restart recovery replaying an ALLOC_PAGE
+  /// record for a page the persisted catalog predates). Idempotent: a page
+  /// already registered is left alone.
+  Status AppendPage(PageId page_id);
+
+  /// Recounts live_tuples() by scanning every page — recovery mutates pages
+  /// directly underneath the heap, so the cached count must be rebuilt.
+  Status RecountLive();
+
   uint64_t live_tuples() const { return live_tuples_; }
   const TableHeapStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TableHeapStats{}; }

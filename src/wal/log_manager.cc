@@ -16,11 +16,33 @@ LogManager::LogManager() {
 }
 
 Lsn LogManager::Append(LogRecord record) {
-  record.lsn = records_.size() + 1;
+  record.lsn = base_lsn_ + records_.size() + 1;
   records_.push_back(std::move(record));
   metric_records_->Inc();
   metric_bytes_->Inc(records_.back().SerializedSize());
+  if (sink_ != nullptr) sink_->Append(records_.back());
   return records_.back().lsn;
+}
+
+Status LogManager::Sync() {
+  if (sink_ == nullptr) return Status::OK();
+  return sink_->Sync();
+}
+
+Status LogManager::RestoreFrom(std::vector<LogRecord> records) {
+  if (!records_.empty() || base_lsn_ != 0) {
+    return Status::InvalidArgument("RestoreFrom on a non-empty log");
+  }
+  if (records.empty()) return Status::OK();
+  base_lsn_ = records.front().lsn - 1;
+  Lsn expect = records.front().lsn;
+  for (const LogRecord& rec : records) {
+    if (rec.lsn != expect++) {
+      return Status::Corruption("non-contiguous LSNs in recovered log");
+    }
+  }
+  records_ = std::move(records);
+  return Status::OK();
 }
 
 Lsn LogManager::LogBegin(TxnId txn) {
@@ -78,19 +100,78 @@ Lsn LogManager::LogDelete(TxnId txn, TableId table, Address addr,
   return Append(std::move(rec));
 }
 
+Lsn LogManager::LogPageInsert(TxnId txn, TableId table, Address addr,
+                              std::string after) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kPageInsert;
+  rec.table_id = table;
+  rec.addr = addr;
+  rec.after = std::move(after);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogPageUpdate(TxnId txn, TableId table, Address addr,
+                              std::string before, std::string after) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kPageUpdate;
+  rec.table_id = table;
+  rec.addr = addr;
+  rec.before = std::move(before);
+  rec.after = std::move(after);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogPageDelete(TxnId txn, TableId table, Address addr,
+                              std::string before) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kPageDelete;
+  rec.table_id = table;
+  rec.addr = addr;
+  rec.before = std::move(before);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogAllocPage(TxnId txn, TableId table, PageId page) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kAllocPage;
+  rec.table_id = table;
+  rec.addr = Address::FromPageSlot(page, 0);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogPageImage(PageId page, std::string image) {
+  LogRecord rec;
+  rec.type = LogRecordType::kPageImage;
+  rec.addr = Address::FromPageSlot(page, 0);
+  rec.after = std::move(image);
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::LogCheckpoint(std::string payload) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  rec.after = std::move(payload);
+  return Append(std::move(rec));
+}
+
 Result<const LogRecord*> LogManager::Get(Lsn lsn) const {
-  if (lsn == kInvalidLsn || lsn > records_.size()) {
+  if (lsn == kInvalidLsn || lsn > LastLsn()) {
     return Status::NotFound("no record with lsn " + std::to_string(lsn));
   }
-  if (lsn <= truncated_) {
+  if (lsn <= base_lsn_ + truncated_) {
     return Status::NotFound("lsn " + std::to_string(lsn) + " truncated");
   }
-  return &records_[lsn - 1];
+  return &records_[lsn - base_lsn_ - 1];
 }
 
 std::vector<const LogRecord*> LogManager::Scan(Lsn from_lsn) const {
   std::vector<const LogRecord*> out;
-  const size_t start = std::max<size_t>(from_lsn, truncated_);
+  const size_t local_from = from_lsn > base_lsn_ ? from_lsn - base_lsn_ : 0;
+  const size_t start = std::max<size_t>(local_from, truncated_);
   for (size_t i = start; i < records_.size(); ++i) {
     out.push_back(&records_[i]);
   }
@@ -99,11 +180,12 @@ std::vector<const LogRecord*> LogManager::Scan(Lsn from_lsn) const {
 
 Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
     TableId table, Lsn from_lsn, CullStats* stats) const {
-  if (from_lsn < truncated_) {
+  if (from_lsn < base_lsn_ + truncated_) {
     return Status::OutOfRange(
         "log truncated past requested start lsn " + std::to_string(from_lsn) +
         "; full refresh required");
   }
+  const size_t local_from = from_lsn - base_lsn_;
   metric_culls_->Inc();
   // Pass 1: find transactions committed within or after the interval. A
   // transaction's changes count once its commit record exists anywhere in
@@ -117,7 +199,7 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
 
   // Pass 2: fold data records of committed transactions, in LSN order.
   std::map<Address, NetChange> net;
-  for (size_t i = from_lsn; i < records_.size(); ++i) {
+  for (size_t i = local_from; i < records_.size(); ++i) {
     const LogRecord& rec = records_[i];
     if (stats != nullptr) {
       ++stats->records_scanned;
@@ -185,10 +267,11 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
 }
 
 void LogManager::Truncate(Lsn up_to) {
-  if (up_to <= truncated_) return;
+  const size_t local_up_to = up_to > base_lsn_ ? up_to - base_lsn_ : 0;
+  if (local_up_to <= truncated_) return;
   metric_truncations_->Inc();
   SNAPDIFF_LOG(Debug) << "wal truncate" << obs::kv("up_to", up_to);
-  const size_t new_truncated = std::min<size_t>(up_to, records_.size());
+  const size_t new_truncated = std::min<size_t>(local_up_to, records_.size());
   // Free the payloads but keep the slots so LSN arithmetic stays simple.
   for (size_t i = truncated_; i < new_truncated; ++i) {
     records_[i].before.clear();

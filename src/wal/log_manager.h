@@ -10,6 +10,7 @@
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "wal/log_record.h"
+#include "wal/wal_file.h"
 
 namespace snapdiff {
 
@@ -55,8 +56,37 @@ class LogManager {
                 std::string after);
   Lsn LogDelete(TxnId txn, TableId table, Address addr, std::string before);
 
+  /// Physiological redo wrappers (restart recovery; images are *stored*
+  /// bytes, annotations included).
+  Lsn LogPageInsert(TxnId txn, TableId table, Address addr, std::string after);
+  Lsn LogPageUpdate(TxnId txn, TableId table, Address addr, std::string before,
+                    std::string after);
+  Lsn LogPageDelete(TxnId txn, TableId table, Address addr,
+                    std::string before);
+  Lsn LogAllocPage(TxnId txn, TableId table, PageId page);
+  Lsn LogPageImage(PageId page, std::string image);
+  Lsn LogCheckpoint(std::string payload);
+
+  /// Attaches the durable sink: every Append is also framed into `sink`'s
+  /// pending buffer; Sync() makes the appended prefix durable. Pass nullptr
+  /// for a purely in-memory log (the default; memory-backed sites).
+  void AttachSink(WalFile* sink) { sink_ = sink; }
+  WalFile* sink() const { return sink_; }
+
+  /// Syncs the durable sink (no-op without one). Called after each
+  /// autocommit operation before it is acknowledged, and by checkpoints.
+  Status Sync();
+
+  /// Rebuilds the in-memory log from recovered records (restart). The
+  /// records must have contiguous LSNs; the first record's LSN becomes the
+  /// base, so a compacted WAL restores with its original numbering.
+  Status RestoreFrom(std::vector<LogRecord> records);
+
   /// The LSN of the most recent record (kInvalidLsn when empty).
-  Lsn LastLsn() const { return records_.size(); }
+  Lsn LastLsn() const { return base_lsn_ + records_.size(); }
+
+  /// LSNs at or below this are gone from the in-memory log (compaction).
+  Lsn base_lsn() const { return base_lsn_; }
 
   /// The record at `lsn` (1-based).
   Result<const LogRecord*> Get(Lsn lsn) const;
@@ -88,8 +118,10 @@ class LogManager {
   size_t retained_bytes() const;
 
  private:
-  std::vector<LogRecord> records_;  // index i holds lsn i+1
+  std::vector<LogRecord> records_;  // index i holds lsn base_lsn_ + i + 1
+  Lsn base_lsn_ = 0;                // lsns <= base_lsn_ compacted away
   size_t truncated_ = 0;            // leading records logically removed
+  WalFile* sink_ = nullptr;         // not owned; durable frame sink
   obs::Counter* metric_records_;
   obs::Counter* metric_bytes_;
   obs::Counter* metric_culls_;

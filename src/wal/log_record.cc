@@ -18,6 +18,18 @@ std::string_view LogRecordTypeToString(LogRecordType type) {
       return "UPDATE";
     case LogRecordType::kDelete:
       return "DELETE";
+    case LogRecordType::kPageInsert:
+      return "PAGE_INSERT";
+    case LogRecordType::kPageUpdate:
+      return "PAGE_UPDATE";
+    case LogRecordType::kPageDelete:
+      return "PAGE_DELETE";
+    case LogRecordType::kAllocPage:
+      return "ALLOC_PAGE";
+    case LogRecordType::kPageImage:
+      return "PAGE_IMAGE";
+    case LogRecordType::kCheckpoint:
+      return "CHECKPOINT";
   }
   return "UNKNOWN";
 }
@@ -42,7 +54,7 @@ Result<LogRecord> LogRecord::DeserializeFrom(std::string_view* input) {
   if (input->empty()) return Status::Corruption("log record underflow");
   const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
   input->remove_prefix(1);
-  if (type_raw > static_cast<uint8_t>(LogRecordType::kDelete)) {
+  if (type_raw > static_cast<uint8_t>(LogRecordType::kCheckpoint)) {
     return Status::Corruption("bad log record type");
   }
   rec.type = static_cast<LogRecordType>(type_raw);
@@ -64,7 +76,7 @@ std::string LogRecord::ToString() const {
   std::string out = "[lsn=" + std::to_string(lsn) +
                     " txn=" + std::to_string(txn_id) + " " +
                     std::string(LogRecordTypeToString(type));
-  if (IsDataRecord()) {
+  if (IsDataRecord() || IsRedoRecord()) {
     out += " table=" + std::to_string(table_id) + " addr=" + addr.ToString();
   }
   out += "]";

@@ -17,6 +17,16 @@ enum class LogRecordType : uint8_t {
   kInsert = 3,
   kUpdate = 4,
   kDelete = 5,
+  // Physiological redo records (restart recovery). They describe one slotted
+  // page mutation in terms of *stored* bytes (annotations included), unlike
+  // the logical kInsert/kUpdate/kDelete above which carry user-level images
+  // for the log-based refresh alternative.
+  kPageInsert = 6,   // addr identifies page+slot; after = stored bytes
+  kPageUpdate = 7,   // before/after = stored bytes (in-place fix-ups too)
+  kPageDelete = 8,   // before = stored bytes
+  kAllocPage = 9,    // addr.page() = page appended to table `table_id`
+  kPageImage = 10,   // full-page image; addr.page() = page, after = 4K bytes
+  kCheckpoint = 11,  // fuzzy checkpoint; after = serialized CheckpointPayload
 };
 
 std::string_view LogRecordTypeToString(LogRecordType type);
@@ -39,6 +49,15 @@ struct LogRecord {
   bool IsDataRecord() const {
     return type == LogRecordType::kInsert ||
            type == LogRecordType::kUpdate || type == LogRecordType::kDelete;
+  }
+
+  /// True for the physiological redo records the restart path replays.
+  bool IsRedoRecord() const {
+    return type == LogRecordType::kPageInsert ||
+           type == LogRecordType::kPageUpdate ||
+           type == LogRecordType::kPageDelete ||
+           type == LogRecordType::kAllocPage ||
+           type == LogRecordType::kPageImage;
   }
 
   /// Binary round trip (used by the durability tests and byte accounting).

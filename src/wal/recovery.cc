@@ -1,0 +1,312 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "catalog/tuple_view.h"
+#include "common/coding.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+
+namespace snapdiff {
+
+namespace {
+constexpr std::string_view kCheckpointMagic = "SDCKPT01";
+}  // namespace
+
+void CheckpointPayload::SerializeTo(std::string* dst) const {
+  dst->append(kCheckpointMagic);
+  PutFixed64(dst, static_cast<uint64_t>(oracle_next));
+  PutFixed64(dst, redo_start_lsn);
+  PutFixed32(dst, static_cast<uint32_t>(snapshots.size()));
+  for (const SnapshotState& s : snapshots) {
+    PutFixed64(dst, s.snapshot_id);
+    PutFixed64(dst, static_cast<uint64_t>(s.snap_time));
+    PutFixed64(dst, s.last_refresh_lsn);
+  }
+}
+
+Result<CheckpointPayload> CheckpointPayload::Parse(std::string_view input) {
+  if (input.size() < kCheckpointMagic.size() ||
+      input.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    return Status::Corruption("checkpoint payload: bad magic");
+  }
+  input.remove_prefix(kCheckpointMagic.size());
+  CheckpointPayload p;
+  uint64_t v = 0;
+  RETURN_IF_ERROR(GetFixed64(&input, &v));
+  p.oracle_next = static_cast<Timestamp>(v);
+  RETURN_IF_ERROR(GetFixed64(&input, &p.redo_start_lsn));
+  uint32_t n = 0;
+  RETURN_IF_ERROR(GetFixed32(&input, &n));
+  p.snapshots.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SnapshotState s;
+    RETURN_IF_ERROR(GetFixed64(&input, &s.snapshot_id));
+    RETURN_IF_ERROR(GetFixed64(&input, &v));
+    s.snap_time = static_cast<Timestamp>(v);
+    RETURN_IF_ERROR(GetFixed64(&input, &s.last_refresh_lsn));
+    p.snapshots.push_back(s);
+  }
+  if (!input.empty()) {
+    return Status::Corruption("checkpoint payload: trailing bytes");
+  }
+  return p;
+}
+
+RecoveryManager::RecoveryManager(LogManager* wal, Catalog* catalog)
+    : wal_(wal), catalog_(catalog) {}
+
+Status RecoveryManager::EnsurePage(TableId table, PageId page,
+                                   RecoveryStats* stats) {
+  DiskManager* disk = catalog_->buffer_pool()->disk();
+  while (disk->page_count() <= page) {
+    ASSIGN_OR_RETURN(PageId allocated, disk->AllocatePage());
+    (void)allocated;
+    ++stats->pages_allocated;
+  }
+  ASSIGN_OR_RETURN(TableInfo* info, catalog_->GetTableById(table));
+  return info->heap->AppendPage(page);
+}
+
+void RecoveryManager::ObserveImageTimestamp(TableId table,
+                                            std::string_view image,
+                                            RecoveryStats* stats) {
+  Result<TableInfo*> info = catalog_->GetTableById(table);
+  if (!info.ok()) return;
+  const Schema& schema = (*info)->schema;
+  if (!schema.HasAnnotations()) return;
+  Result<TupleView> view = TupleView::Parse(schema, image);
+  if (!view.ok()) return;
+  if (view->stored_field_count() != schema.column_count()) return;
+  Result<Value> ts = view->Field(schema.TimestampIndex());
+  if (!ts.ok()) return;
+  const Timestamp t = ts->as_timestamp();
+  if (t != kNullTimestamp) {
+    stats->max_timestamp = std::max(stats->max_timestamp, t);
+  }
+}
+
+Status RecoveryManager::ApplyRedo(const LogRecord& rec, RecoveryStats* stats) {
+  BufferPool* pool = catalog_->buffer_pool();
+
+  if (rec.type == LogRecordType::kAllocPage) {
+    RETURN_IF_ERROR(EnsurePage(rec.table_id, rec.addr.page(), stats));
+    ++stats->records_replayed;
+    return Status::OK();
+  }
+
+  const PageId page_id = rec.addr.page();
+  // The page may postdate the durable file (allocated, never synced).
+  DiskManager* disk = pool->disk();
+  while (disk->page_count() <= page_id) {
+    ASSIGN_OR_RETURN(PageId allocated, disk->AllocatePage());
+    (void)allocated;
+    ++stats->pages_allocated;
+  }
+
+  ASSIGN_OR_RETURN(Page * page, pool->FetchPage(page_id));
+  PageGuard guard(pool, page, /*dirty=*/true);
+
+  if (rec.type == LogRecordType::kPageImage) {
+    // Unconditional: a torn write may have left garbage where the page LSN
+    // lives, so the stamped LSN cannot be trusted until the image (captured
+    // immediately before the write that tore) is back.
+    if (rec.after.size() != Page::kPageSize) {
+      return Status::Corruption("page image record with wrong size");
+    }
+    std::memcpy(page->data(), rec.after.data(), Page::kPageSize);
+    ++stats->page_images_applied;
+    ++stats->records_replayed;
+    return Status::OK();
+  }
+
+  SlottedPage sp(page);
+  if (sp.free_end() == 0) sp.Init();  // zero page: allocated, never written
+  if (rec.lsn <= sp.page_lsn()) {
+    ++stats->records_skipped;
+    return Status::OK();
+  }
+  switch (rec.type) {
+    case LogRecordType::kPageInsert:
+      RETURN_IF_ERROR(sp.RedoInsertAt(rec.addr.slot(), rec.after));
+      break;
+    case LogRecordType::kPageUpdate:
+      RETURN_IF_ERROR(sp.Update(rec.addr.slot(), rec.after));
+      break;
+    case LogRecordType::kPageDelete:
+      RETURN_IF_ERROR(sp.Delete(rec.addr.slot()));
+      break;
+    default:
+      return Status::Internal("not a redo record");
+  }
+  sp.set_page_lsn(rec.lsn);
+  ++stats->records_replayed;
+  return Status::OK();
+}
+
+Status RecoveryManager::ApplyUndo(const LogRecord& rec, RecoveryStats* stats) {
+  (void)stats;
+  if (rec.type == LogRecordType::kAllocPage) {
+    return Status::OK();  // an extra page is harmless; never reclaimed
+  }
+  BufferPool* pool = catalog_->buffer_pool();
+  ASSIGN_OR_RETURN(Page * page, pool->FetchPage(rec.addr.page()));
+  PageGuard guard(pool, page, /*dirty=*/true);
+  SlottedPage sp(page);
+  if (sp.free_end() == 0) sp.Init();
+  const SlotId slot = rec.addr.slot();
+  // Undo is tolerant of already-undone state (a crash during a previous
+  // recovery may have flushed partially undone pages): page LSNs are left
+  // alone so the redo pass of the next recovery rebuilds the same
+  // crash-time state before undo runs again.
+  switch (rec.type) {
+    case LogRecordType::kPageInsert:
+      if (sp.IsOccupied(slot)) RETURN_IF_ERROR(sp.Delete(slot));
+      break;
+    case LogRecordType::kPageUpdate:
+      if (sp.IsOccupied(slot)) {
+        RETURN_IF_ERROR(sp.Update(slot, rec.before));
+      } else {
+        RETURN_IF_ERROR(sp.RedoInsertAt(slot, rec.before));
+      }
+      break;
+    case LogRecordType::kPageDelete:
+      if (!sp.IsOccupied(slot)) {
+        RETURN_IF_ERROR(sp.RedoInsertAt(slot, rec.before));
+      }
+      break;
+    default:
+      return Status::Internal("not an undoable record");
+  }
+  return Status::OK();
+}
+
+Result<RecoveryStats> RecoveryManager::Recover() {
+  RecoveryStats stats;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("wal.recovery.runs")->Inc();
+
+  // Copy the tail by value: the abort records appended below may reallocate
+  // the log's backing storage and dangle Scan()'s pointers.
+  std::vector<LogRecord> tail;
+  for (const LogRecord* rec : wal_->Scan(wal_->base_lsn())) {
+    tail.push_back(*rec);
+  }
+
+  // --- Analysis: winners, the last checkpoint, high-water marks. ---
+  std::set<TxnId> begun;
+  std::set<TxnId> committed;
+  std::set<TxnId> aborted;
+  Lsn redo_start = 0;
+  for (const LogRecord& rec : tail) {
+    ++stats.records_scanned;
+    stats.max_txn = std::max(stats.max_txn, rec.txn_id);
+    switch (rec.type) {
+      case LogRecordType::kBegin:
+        begun.insert(rec.txn_id);
+        break;
+      case LogRecordType::kCommit:
+        committed.insert(rec.txn_id);
+        break;
+      case LogRecordType::kAbort:
+        aborted.insert(rec.txn_id);
+        break;
+      case LogRecordType::kCheckpoint: {
+        ASSIGN_OR_RETURN(stats.checkpoint,
+                         CheckpointPayload::Parse(rec.after));
+        stats.found_checkpoint = true;
+        stats.checkpoint_lsn = rec.lsn;
+        redo_start = stats.checkpoint.redo_start_lsn;
+        if (stats.checkpoint.oracle_next > 0) {
+          stats.max_timestamp = std::max(stats.max_timestamp,
+                                         stats.checkpoint.oracle_next - 1);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  stats.winner_txns = committed.size();
+
+  // --- Redo: replay the tail onto the pages, LSN-idempotently. ---
+  for (const LogRecord& rec : tail) {
+    if (rec.type == LogRecordType::kPageInsert ||
+        rec.type == LogRecordType::kPageUpdate) {
+      ObserveImageTimestamp(rec.table_id, rec.after, &stats);
+    }
+    if (!rec.IsRedoRecord()) continue;
+    // Everything at or below the checkpoint's redo start was durably
+    // flushed by that checkpoint — except ALLOC_PAGE (replayed
+    // unconditionally, idempotent, so the heap's page list is whole) and
+    // full-page images: an FPI is the exact bytes of a flushed write, so
+    // re-applying it is free when the write survived and is the only repair
+    // when the device lied about the flush (dropped fsync).
+    if (rec.lsn <= redo_start && rec.type != LogRecordType::kAllocPage &&
+        rec.type != LogRecordType::kPageImage) {
+      ++stats.records_skipped;
+      continue;
+    }
+    RETURN_IF_ERROR(ApplyRedo(rec, &stats));
+  }
+
+  // --- Undo: roll back non-winners in reverse LSN order. ---
+  // Already-aborted transactions are re-undone, not skipped: redo repeated
+  // their history above (there are no CLRs to bound it), so without a fresh
+  // undo pass a crash *during* a previous recovery would resurrect them.
+  // ApplyUndo tolerates already-undone state, making the re-undo free.
+  std::set<TxnId> undone;
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+    const LogRecord& rec = *it;
+    if (!rec.IsRedoRecord() || rec.txn_id == 0) continue;
+    if (rec.type == LogRecordType::kPageImage) continue;
+    if (committed.count(rec.txn_id) != 0) continue;
+    RETURN_IF_ERROR(ApplyUndo(rec, &stats));
+    undone.insert(rec.txn_id);
+  }
+  // Only transactions without a durable abort record get one (and count as
+  // freshly rolled-back losers); re-undone aborted txns are silent repairs.
+  std::set<TxnId> losers;
+  for (TxnId txn : undone) {
+    if (aborted.count(txn) == 0) losers.insert(txn);
+  }
+  for (TxnId txn : begun) {
+    if (committed.count(txn) == 0 && aborted.count(txn) == 0) {
+      losers.insert(txn);
+    }
+  }
+  for (TxnId txn : losers) {
+    wal_->LogAbort(txn);
+    ++stats.losers_rolled_back;
+  }
+  if (!losers.empty()) {
+    RETURN_IF_ERROR(wal_->Sync());
+  }
+
+  // --- Repair heap metadata mutated beneath the table layer. ---
+  for (const std::string& name : catalog_->TableNames()) {
+    ASSIGN_OR_RETURN(TableInfo* info, catalog_->GetTable(name));
+    RETURN_IF_ERROR(info->heap->RecountLive());
+  }
+
+  reg.GetCounter("wal.recovery.records_replayed")->Inc(stats.records_replayed);
+  reg.GetCounter("wal.recovery.records_skipped")->Inc(stats.records_skipped);
+  reg.GetCounter("wal.recovery.page_images_applied")
+      ->Inc(stats.page_images_applied);
+  reg.GetCounter("wal.recovery.losers_rolled_back")
+      ->Inc(stats.losers_rolled_back);
+  SNAPDIFF_LOG(Info) << "restart recovery complete"
+                     << obs::kv("scanned", stats.records_scanned)
+                     << obs::kv("replayed", stats.records_replayed)
+                     << obs::kv("skipped", stats.records_skipped)
+                     << obs::kv("page_images", stats.page_images_applied)
+                     << obs::kv("losers", stats.losers_rolled_back);
+  return stats;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,109 @@
+#ifndef SNAPDIFF_WAL_RECOVERY_H_
+#define SNAPDIFF_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_manager.h"
+
+namespace snapdiff {
+
+/// What a fuzzy checkpoint record carries besides "all dirty pages as of
+/// redo_start_lsn are durable": the timestamp oracle's high-water mark and
+/// the per-snapshot catalog state a restarted site needs to keep serving
+/// differential refreshes without re-sending full snapshots.
+struct CheckpointPayload {
+  /// TimestampOracle::PeekNext() at checkpoint time.
+  Timestamp oracle_next = 0;
+
+  /// Redo replay may skip records at or below this LSN: every page effect
+  /// they describe was durably flushed by the checkpoint's FlushDirty +
+  /// Sync. Records below it may still be retained for the log-based
+  /// refresh alternative (snapshots lagging behind the checkpoint).
+  Lsn redo_start_lsn = 0;
+
+  struct SnapshotState {
+    uint64_t snapshot_id = 0;
+    Timestamp snap_time = 0;
+    Lsn last_refresh_lsn = 0;
+  };
+  std::vector<SnapshotState> snapshots;
+
+  void SerializeTo(std::string* dst) const;
+  static Result<CheckpointPayload> Parse(std::string_view input);
+};
+
+/// Counters reported by one restart-recovery run.
+struct RecoveryStats {
+  uint64_t records_scanned = 0;     // every retained WAL record examined
+  uint64_t records_replayed = 0;    // redo records applied to pages
+  uint64_t records_skipped = 0;     // redo records already on the page (LSN)
+  uint64_t page_images_applied = 0; // full-page images restored
+  uint64_t pages_allocated = 0;     // ALLOC_PAGE replays that grew the disk
+  uint64_t winner_txns = 0;         // transactions with a durable kCommit
+  uint64_t losers_rolled_back = 0;  // transactions undone + aborted
+
+  bool found_checkpoint = false;
+  Lsn checkpoint_lsn = kInvalidLsn;
+  CheckpointPayload checkpoint;  // valid when found_checkpoint
+
+  /// Largest annotation timestamp found in any redo after-image (and the
+  /// checkpoint's oracle_next). The caller must advance the oracle past
+  /// this before issuing new timestamps.
+  Timestamp max_timestamp = 0;
+
+  /// Largest transaction id seen anywhere in the log. The caller must bump
+  /// each table's autocommit counter past this so post-recovery brackets
+  /// never collide with pre-crash (possibly aborted) ones.
+  TxnId max_txn = 0;
+};
+
+/// ARIES-lite restart recovery over the retained WAL tail.
+///
+/// The LogManager must already hold the recovered records (RestoreFrom) and
+/// have its durable sink attached — recovery appends kAbort records for the
+/// losers it rolls back and syncs them. The catalog must be restored first
+/// (tables resolve by id); pages are mutated directly through the catalog's
+/// buffer pool, beneath the table heaps, which is why Recover() finishes by
+/// re-registering replayed ALLOC_PAGEs and recounting live tuples.
+///
+/// Redo is idempotent via page LSNs: a physiological record is applied only
+/// when its LSN exceeds the page's stamped LSN; full-page images (logged
+/// before every dirty-page disk write) are applied unconditionally, which is
+/// what makes torn page writes and lying fsyncs of data pages survivable.
+/// Undo applies loser before-images in reverse LSN order and tolerates
+/// already-undone state, so a crash during recovery just re-runs it.
+class RecoveryManager {
+ public:
+  RecoveryManager(LogManager* wal, Catalog* catalog);
+
+  /// Replays the tail, rolls back losers, repairs heap metadata. Safe to
+  /// call on a log with no redo records (fresh site): a no-op that reports
+  /// zero counters.
+  Result<RecoveryStats> Recover();
+
+ private:
+  Status ApplyRedo(const LogRecord& rec, RecoveryStats* stats);
+  Status ApplyUndo(const LogRecord& rec, RecoveryStats* stats);
+
+  /// Grows the backing disk until `page` exists (zero-filled), then
+  /// registers it with `table`'s heap.
+  Status EnsurePage(TableId table, PageId page, RecoveryStats* stats);
+
+  /// Collects the largest annotation timestamp in a stored after-image.
+  void ObserveImageTimestamp(TableId table, std::string_view image,
+                             RecoveryStats* stats);
+
+  LogManager* wal_;
+  Catalog* catalog_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_WAL_RECOVERY_H_

@@ -1,0 +1,184 @@
+#include "wal/wal_file.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "obs/log.h"
+
+namespace snapdiff {
+
+WalFile::WalFile(std::string path, std::fstream file)
+    : path_(std::move(path)), file_(std::move(file)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_syncs_ = reg.GetCounter("wal.file.syncs");
+  metric_synced_bytes_ = reg.GetCounter("wal.file.synced_bytes");
+  metric_torn_truncations_ = reg.GetCounter("wal.file.torn_tail_truncations");
+  metric_compactions_ = reg.GetCounter("wal.file.compactions");
+}
+
+Result<std::unique_ptr<WalFile>> WalFile::Open(const std::string& path) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!file.is_open()) {
+    std::ofstream create(path, std::ios::binary);
+    if (!create.is_open()) {
+      return Status::IOError("cannot create " + path);
+    }
+    create.close();
+    file.open(path, std::ios::in | std::ios::out | std::ios::binary);
+    if (!file.is_open()) {
+      return Status::IOError("cannot open " + path);
+    }
+  }
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+
+  std::string contents(size, '\0');
+  if (size > 0) {
+    file.seekg(0);
+    file.read(contents.data(), static_cast<std::streamsize>(size));
+    if (!file) return Status::IOError("short read of " + path);
+  }
+
+  auto wal = std::unique_ptr<WalFile>(new WalFile(path, std::move(file)));
+
+  // Scan intact frames; the first short or CRC-mismatched frame marks the
+  // torn tail left by a crash mid-sync.
+  std::string_view rest = contents;
+  uint64_t valid = 0;
+  while (!rest.empty()) {
+    std::string_view probe = rest;
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    if (!GetFixed32(&probe, &len).ok() || !GetFixed32(&probe, &crc).ok() ||
+        probe.size() < len) {
+      break;  // short frame
+    }
+    const std::string_view payload = probe.substr(0, len);
+    if (Crc32(payload) != crc) break;  // torn or corrupt frame
+    std::string_view record_input = payload;
+    Result<LogRecord> rec = LogRecord::DeserializeFrom(&record_input);
+    if (!rec.ok() || !record_input.empty()) break;
+    wal->recovered_.push_back(std::move(rec).value());
+    rest.remove_prefix(8 + len);
+    valid += 8 + len;
+  }
+
+  wal->durable_bytes_ = valid;
+  wal->torn_bytes_discarded_ = size - valid;
+  if (wal->torn_bytes_discarded_ > 0) {
+    SNAPDIFF_LOG(Info) << "wal torn tail truncated"
+                       << obs::kv("path", path)
+                       << obs::kv("bytes", wal->torn_bytes_discarded_);
+    wal->metric_torn_truncations_->Inc();
+    std::filesystem::resize_file(path, valid, ec);
+    if (ec) return Status::IOError("cannot truncate torn tail of " + path);
+    // Reopen so the stream's buffers agree with the truncated file.
+    wal->file_.close();
+    wal->file_.open(path, std::ios::in | std::ios::out | std::ios::binary);
+    if (!wal->file_.is_open()) {
+      return Status::IOError("cannot reopen " + path);
+    }
+  }
+  return wal;
+}
+
+void WalFile::FrameRecord(const LogRecord& record, std::string* dst) {
+  std::string payload;
+  record.SerializeTo(&payload);
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, Crc32(payload));
+  dst->append(payload);
+}
+
+void WalFile::Append(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FrameRecord(record, &pending_);
+}
+
+Status WalFile::CheckAlive() const {
+  if (crash_switch_ != nullptr && crash_switch_->dead.load()) {
+    return Status::IOError("wal crashed (injected fault)");
+  }
+  return Status::OK();
+}
+
+Status WalFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(CheckAlive());
+  if (syncs_until_torn_ > 0 && --syncs_until_torn_ == 0) {
+    // Crash mid-sync: a prefix of the pending buffer reaches the file, the
+    // rest is lost with the process. CRC framing detects the torn frame.
+    const size_t torn = std::min(torn_prefix_bytes_, pending_.size());
+    if (torn > 0) {
+      file_.seekp(static_cast<std::streamoff>(durable_bytes_));
+      file_.write(pending_.data(), static_cast<std::streamsize>(torn));
+      file_.flush();
+    }
+    if (crash_switch_ != nullptr) crash_switch_->dead.store(true);
+    return Status::IOError("wal crashed (injected fault)");
+  }
+  if (!pending_.empty()) {
+    file_.seekp(static_cast<std::streamoff>(durable_bytes_));
+    file_.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
+    if (!file_) return Status::IOError("wal append failed");
+    file_.flush();
+    if (!file_) return Status::IOError("wal flush failed");
+    durable_bytes_ += pending_.size();
+    metric_synced_bytes_->Inc(pending_.size());
+    pending_.clear();
+  }
+  metric_syncs_->Inc();
+  return Status::OK();
+}
+
+Status WalFile::Rewrite(const std::vector<const LogRecord*>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(CheckAlive());
+  std::string contents;
+  for (const LogRecord* rec : records) {
+    FrameRecord(*rec, &contents);
+  }
+  // In-place rewrite; a production system would switch to a new segment
+  // instead (DESIGN.md §11 notes the simplification). Crash points are never
+  // injected here — compaction runs only from explicit checkpoints.
+  file_.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IOError("cannot rewrite " + path_);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return Status::IOError("rewrite failed for " + path_);
+  }
+  file_.open(path_, std::ios::in | std::ios::out | std::ios::binary);
+  if (!file_.is_open()) return Status::IOError("cannot reopen " + path_);
+  durable_bytes_ = contents.size();
+  pending_.clear();
+  metric_compactions_->Inc();
+  return Status::OK();
+}
+
+std::vector<LogRecord> WalFile::TakeRecoveredRecords() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(recovered_);
+}
+
+size_t WalFile::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void WalFile::BindCrashSwitch(std::shared_ptr<CrashSwitch> crash_switch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_switch_ = std::move(crash_switch);
+}
+
+void WalFile::InjectTornSync(uint64_t nth_sync, size_t torn_prefix_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  syncs_until_torn_ = nth_sync;
+  torn_prefix_bytes_ = torn_prefix_bytes;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,94 @@
+#ifndef SNAPDIFF_WAL_WAL_FILE_H_
+#define SNAPDIFF_WAL_WAL_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/disk_manager.h"
+#include "wal/log_record.h"
+
+namespace snapdiff {
+
+/// The durable sink behind LogManager: an append-only file of CRC-framed
+/// log records. Frame layout:
+///
+///   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+///
+/// Appends buffer in memory; Sync() writes the pending frames and flushes,
+/// so the acknowledged prefix of the file always ends on a frame boundary
+/// except when a crash tears the final sync. Open() scans the file, keeps
+/// every intact frame, and truncates the first short or CRC-mismatched
+/// frame (the torn tail) so the next append lands after valid bytes.
+///
+/// Crash simulation mirrors FileDiskManager: a shared CrashSwitch fails all
+/// I/O once any injected fault fires, and InjectTornSync() makes the Nth
+/// sync persist only a byte prefix of its pending buffer before dying.
+class WalFile {
+ public:
+  /// Opens or creates `path`, recovering the intact frame prefix. The
+  /// records of that prefix are available once via TakeRecoveredRecords().
+  static Result<std::unique_ptr<WalFile>> Open(const std::string& path);
+
+  /// Buffers the serialized record; durable only after Sync().
+  void Append(const LogRecord& record);
+
+  /// Writes pending frames and flushes the file.
+  Status Sync();
+
+  /// Rewrites the file to exactly `records` (checkpoint compaction). Any
+  /// pending un-synced frames are dropped; callers sync before compacting.
+  Status Rewrite(const std::vector<const LogRecord*>& records);
+
+  /// The records recovered by Open(), in file order. Empties the store.
+  std::vector<LogRecord> TakeRecoveredRecords();
+
+  /// Bytes of torn tail discarded by Open() (0 for a clean file).
+  uint64_t torn_bytes_discarded() const { return torn_bytes_discarded_; }
+
+  /// Bytes buffered but not yet synced.
+  size_t pending_bytes() const;
+
+  /// Couples this WAL to the site's crash switch: once dead, all I/O fails.
+  void BindCrashSwitch(std::shared_ptr<CrashSwitch> crash_switch);
+
+  /// Crash injection: the `nth_sync` from now (1-based) persists only the
+  /// first `torn_prefix_bytes` of its pending buffer, then the switch dies.
+  void InjectTornSync(uint64_t nth_sync, size_t torn_prefix_bytes);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalFile(std::string path, std::fstream file);
+
+  Status CheckAlive() const;  // mu_ held
+  static void FrameRecord(const LogRecord& record, std::string* dst);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::fstream file_;
+  std::string pending_;
+  uint64_t durable_bytes_ = 0;
+  uint64_t torn_bytes_discarded_ = 0;
+  std::vector<LogRecord> recovered_;
+
+  // Crash simulation.
+  std::shared_ptr<CrashSwitch> crash_switch_;
+  uint64_t syncs_until_torn_ = 0;  // 0 = no injection pending
+  size_t torn_prefix_bytes_ = 0;
+
+  obs::Counter* metric_syncs_;
+  obs::Counter* metric_synced_bytes_;
+  obs::Counter* metric_torn_truncations_;
+  obs::Counter* metric_compactions_;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_WAL_WAL_FILE_H_

@@ -174,14 +174,15 @@ TEST_F(BaseTableTest, WalLogsUserImages) {
   ASSERT_TRUE(addr.ok());
   ASSERT_TRUE((*t)->Update(*addr, Row("A", 2)).ok());
   ASSERT_TRUE((*t)->Delete(*addr).ok());
-  // 3 ops × (begin + data + commit).
-  EXPECT_EQ(wal.LastLsn(), 9u);
+  // 3 ops × (begin + page redo + data + commit), plus the first insert's
+  // ALLOC_PAGE record.
+  EXPECT_EQ(wal.LastLsn(), 13u);
   auto changes = wal.CollectCommittedChanges((*t)->info()->id, 0);
   ASSERT_TRUE(changes.ok());
   EXPECT_TRUE(changes->empty());  // insert+delete nets to nothing
 
   // Before/after images are user tuples (deserializable by user schema).
-  auto rec = wal.Get(5);  // the update record
+  auto rec = wal.Get(8);  // the update's logical record
   ASSERT_TRUE(rec.ok());
   ASSERT_EQ((*rec)->type, LogRecordType::kUpdate);
   auto before = Tuple::Deserialize((*t)->user_schema(), (*rec)->before);

@@ -170,7 +170,75 @@ TEST_F(CatalogPersistenceTest, EmptySuperblockFailsCleanly) {
   ASSERT_TRUE((*disk)->AllocatePage().ok());
   BufferPool pool(disk->get(), 16);
   Catalog catalog(&pool);
-  EXPECT_TRUE(LoadCatalog(&catalog, disk->get(), 0).IsCorruption());
+  EXPECT_TRUE(LoadCatalog(&catalog, disk->get(), 0).IsNotFound());
+}
+
+// Dual-slot ping-pong: each save writes the next generation into the slot
+// NOT holding the live catalog, so one torn save can never take out the
+// only copy.
+TEST_F(CatalogPersistenceTest, PingPongSurvivesTornNewestSlot) {
+  auto disk = FileDiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AllocatePage().ok());  // page 0 = primary slot
+  ASSERT_TRUE((*disk)->AllocatePage().ok());  // page 1 = alternate slot
+  BufferPool pool(disk->get(), 16);
+  Catalog catalog(&pool);
+  ASSERT_TRUE(catalog.CreateTable("a", EmpSchema()).ok());
+  ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0, 1).ok());  // gen 1
+  ASSERT_TRUE(catalog.CreateTable("b", EmpSchema()).ok());
+  ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0, 1).ok());  // gen 2
+
+  // Intact: the newest generation wins and carries both tables.
+  {
+    Catalog loaded(&pool);
+    ASSERT_TRUE(LoadCatalog(&loaded, disk->get(), 0, 1).ok());
+    EXPECT_TRUE(loaded.GetTable("a").ok());
+    EXPECT_TRUE(loaded.GetTable("b").ok());
+  }
+
+  // Tear whichever slot holds generation 2 (saves alternate, so it is the
+  // one gen 1 did not use): the load falls back to generation 1.
+  char garbage[Page::kPageSize];
+  std::memset(garbage, 'X', Page::kPageSize);
+  ASSERT_TRUE((*disk)->WritePage(1, garbage).ok());
+  {
+    Catalog loaded(&pool);
+    ASSERT_TRUE(LoadCatalog(&loaded, disk->get(), 0, 1).ok());
+    EXPECT_TRUE(loaded.GetTable("a").ok());
+    EXPECT_FALSE(loaded.GetTable("b").ok());
+  }
+
+  // Both slots gone: nothing left to load.
+  ASSERT_TRUE((*disk)->WritePage(0, garbage).ok());
+  Catalog loaded(&pool);
+  EXPECT_FALSE(LoadCatalog(&loaded, disk->get(), 0, 1).ok());
+}
+
+// A valid frame whose metadata blob pages were torn is as dead as a torn
+// frame: the blob CRC rejects it and the older generation survives. The
+// two generations keep disjoint metadata page sets, so the fallback's blob
+// cannot have been touched by the in-flight save.
+TEST_F(CatalogPersistenceTest, TornBlobPageFallsBackToOlderGeneration) {
+  auto disk = FileDiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AllocatePage().ok());
+  ASSERT_TRUE((*disk)->AllocatePage().ok());
+  BufferPool pool(disk->get(), 16);
+  Catalog catalog(&pool);
+  ASSERT_TRUE(catalog.CreateTable("a", EmpSchema()).ok());
+  ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0, 1).ok());  // blob page 2
+  ASSERT_TRUE(catalog.CreateTable("b", EmpSchema()).ok());
+  ASSERT_TRUE(SaveCatalog(&catalog, disk->get(), 0, 1).ok());  // blob page 3
+  ASSERT_EQ((*disk)->page_count(), 4u);
+
+  char garbage[Page::kPageSize];
+  std::memset(garbage, 'X', Page::kPageSize);
+  ASSERT_TRUE((*disk)->WritePage(3, garbage).ok());
+
+  Catalog loaded(&pool);
+  ASSERT_TRUE(LoadCatalog(&loaded, disk->get(), 0, 1).ok());
+  EXPECT_TRUE(loaded.GetTable("a").ok());
+  EXPECT_FALSE(loaded.GetTable("b").ok());
 }
 
 TEST_F(CatalogPersistenceTest, EmptyCatalogRoundTrips) {

@@ -1,0 +1,575 @@
+// Crash-fuzz harness for restart recovery: run a randomized workload against
+// a file-backed base site, kill it at an injected fault point (lost writes,
+// torn page write, lying fsync, torn WAL sync), recover, and verify
+//
+//   1. the recovered base table matches a shadow oracle of acked operations
+//      exactly — modulo one op whose ack raced the crash, which may land on
+//      either side of the durability line (the WAL commit frame can be fully
+//      inside the torn prefix even though the ack never made it out), and
+//   2. the next differential refresh out of the recovered site produces a
+//      byte-identical message stream to an uncrashed comparator system that
+//      replayed exactly the acked history — same message counts, same wire
+//      bytes, same snapshot contents at the same addresses.
+//
+// Every iteration is required to crash: if the workload finishes with the
+// fault still cocked, checkpoints (which write and sync) or further synced
+// inserts force the countdown to zero. 200 iterations = 200+ distinct crash
+// points across four fault shapes.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "snapshot/snapshot_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "wal/wal_file.h"
+
+namespace snapdiff {
+namespace {
+
+// Rows are padded fat so a couple dozen inserts overflow the 4-frame pool
+// and evictions hit the disk mid-operation — where the kill countdown fires.
+constexpr size_t kRowPad = 500;
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(int id, int64_t salary) {
+  return Tuple({Value::String("e" + std::to_string(id) +
+                              std::string(kRowPad, 'x')),
+                Value::Int64(salary)});
+}
+
+struct Op {
+  enum Kind { kInsert, kUpdate, kDelete, kCheckpoint } kind = kInsert;
+  Address addr{};  // insert: address the original run assigned
+  Tuple row;       // new user row; unused for kDelete/kCheckpoint
+};
+
+using Shadow = std::map<Address, Tuple>;
+
+void ApplyToShadow(const Op& op, Shadow* shadow) {
+  switch (op.kind) {
+    case Op::kInsert:
+    case Op::kUpdate:
+      (*shadow)[op.addr] = op.row;
+      break;
+    case Op::kDelete:
+      shadow->erase(op.addr);
+      break;
+    case Op::kCheckpoint:
+      break;
+  }
+}
+
+// Executes `op` against a live system, recording the address an insert got.
+// Checkpoints are ops too: a SaveCatalog may allocate a fresh blob page, so
+// a replay must interleave checkpoints identically for data pages to land
+// at the same ids.
+Status ExecuteOp(SnapshotSystem* sys, BaseTable* base, Op* op) {
+  switch (op->kind) {
+    case Op::kInsert: {
+      ASSIGN_OR_RETURN(op->addr, base->Insert(op->row));
+      return Status::OK();
+    }
+    case Op::kUpdate:
+      return base->Update(op->addr, op->row);
+    case Op::kDelete:
+      return base->Delete(op->addr);
+    case Op::kCheckpoint:
+      return sys->CheckpointBaseSite();
+  }
+  return Status::Internal("unreachable");
+}
+
+Address PickAddr(const Shadow& shadow, Random* rng) {
+  auto it = shadow.begin();
+  std::advance(it, static_cast<long>(rng->Uniform(shadow.size())));
+  return it->first;
+}
+
+// Exact-match check of a recovered (or replayed) table against the shadow.
+bool Matches(BaseTable* base, const Shadow& shadow) {
+  if (base->live_rows() != shadow.size()) return false;
+  for (const auto& [addr, row] : shadow) {
+    Result<Tuple> got = base->ReadUserRow(addr);
+    if (!got.ok() || !(*got == row)) return false;
+  }
+  return true;
+}
+
+// Live addresses present in the table but absent from the shadow (used to
+// locate the unacked-but-durable insert after a torn WAL sync).
+std::vector<Address> ExtraAddresses(BaseTable* base, const Shadow& shadow) {
+  std::vector<Address> extra;
+  Status s = base->ScanAnnotated(
+      [&](Address addr, const BaseTable::AnnotatedView&) -> Status {
+        if (shadow.find(addr) == shadow.end()) extra.push_back(addr);
+        return Status::OK();
+      });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return extra;
+}
+
+// Refreshes "low" on both systems and demands indistinguishable streams:
+// identical channel traffic (message counts, payload and wire bytes, frames)
+// and identical snapshot contents at identical addresses.
+void ExpectIdenticalRefresh(SnapshotSystem* recovered,
+                            SnapshotSystem* comparator) {
+  Result<RefreshReport> ra = recovered->Refresh(RefreshRequest::For("low"));
+  Result<RefreshReport> rb = comparator->Refresh(RefreshRequest::For("low"));
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  const ChannelStats& ta = ra->stats.traffic;
+  const ChannelStats& tb = rb->stats.traffic;
+  EXPECT_EQ(ta.messages, tb.messages);
+  EXPECT_EQ(ta.entry_messages, tb.entry_messages);
+  EXPECT_EQ(ta.delete_messages, tb.delete_messages);
+  EXPECT_EQ(ta.control_messages, tb.control_messages);
+  EXPECT_EQ(ta.payload_bytes, tb.payload_bytes);
+  EXPECT_EQ(ta.wire_bytes, tb.wire_bytes);
+  EXPECT_EQ(ta.frames, tb.frames);
+
+  Result<std::map<Address, Tuple>> ca =
+      (*recovered->GetSnapshot("low"))->Contents();
+  Result<std::map<Address, Tuple>> cb =
+      (*comparator->GetSnapshot("low"))->Contents();
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  EXPECT_TRUE(*ca == *cb) << "snapshot contents diverged after recovery";
+
+  // Both must also be faithful to their own base predicate, not merely
+  // agree with each other.
+  Result<std::map<Address, Tuple>> expected =
+      recovered->ExpectedContents("low");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(*ca == *expected);
+}
+
+TEST(CrashRecoveryFuzzTest, RandomizedCrashPointsRecoverExactly) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path();
+  constexpr uint64_t kIterations = 200;
+  uint64_t crashes = 0;
+  uint64_t pending_survived_acks = 0;
+
+  for (uint64_t seed = 0; seed < kIterations; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const int variant = static_cast<int>(seed % 4);
+    Random rng(0xC0FFEE + seed * 7919);
+    const std::filesystem::path path =
+        dir / ("snapdiff_fuzz_" + std::to_string(::getpid()) + "_" +
+               std::to_string(seed) + ".db");
+    const std::filesystem::path cmp_path =
+        dir / ("snapdiff_fuzz_cmp_" + std::to_string(::getpid()) + "_" +
+               std::to_string(seed) + ".db");
+    for (const auto& p : {path, cmp_path}) {
+      std::filesystem::remove(p);
+      std::filesystem::remove(p.string() + ".wal");
+    }
+
+    SnapshotSystemOptions opts;
+    opts.base_data_path = path.string();
+    opts.base_pool_pages = 4;
+
+    Shadow shadow;
+    std::vector<Op> ops;      // acked history, in order
+    std::optional<Op> pending;  // the op whose ack raced the crash
+    int next_name = 0;
+
+    auto make_insert = [&] {
+      Op op;
+      op.kind = Op::kInsert;
+      op.row = Row(next_name++, rng.UniformInt(0, 19));
+      return op;
+    };
+
+    // --- Phase 1: warm up, arm a fault, run the workload into the wall. ---
+    {
+      SnapshotSystem sys(opts);
+      auto base_or =
+          sys.CreateBaseTable("emp", EmpSchema(), AnnotationMode::kLazy);
+      ASSERT_TRUE(base_or.ok()) << base_or.status().ToString();
+      BaseTable* base = *base_or;
+      for (int i = 0; i < 12; ++i) {
+        Op op = make_insert();
+        ASSERT_TRUE(ExecuteOp(&sys, base, &op).ok());
+        ApplyToShadow(op, &shadow);
+        ops.push_back(op);
+      }
+      if (rng.Bernoulli(0.5)) {
+        // Half the iterations recover across a checkpoint boundary (redo
+        // skip + WAL compaction), half replay the full log from scratch.
+        ASSERT_TRUE(sys.CheckpointBaseSite().ok());
+        ops.push_back(Op{Op::kCheckpoint, Address{}, Tuple{}});
+        EXPECT_GE(sys.base_disk()->stats().writes, 4u);
+        EXPECT_GE(sys.base_disk()->stats().syncs, 1u);
+      }
+
+      switch (variant) {
+        case 0:
+          ASSERT_TRUE(
+              sys.ArmBaseDiskFault(
+                     DiskFaultPlan::KillAfterWrites(1 + rng.Uniform(8)))
+                  .ok());
+          break;
+        case 1:
+          ASSERT_TRUE(sys.ArmBaseDiskFault(
+                             DiskFaultPlan::KillAfterWrites(1 + rng.Uniform(8))
+                                 .WithTornWrite(rng.Uniform(Page::kPageSize)))
+                          .ok());
+          break;
+        case 2:
+          // Lying fsync. The kill budget stays below the >= 4 writes any
+          // checkpoint issues before its sync, so the crash always fires
+          // before WAL compaction could discard the page images that are
+          // the only honest copy of the "flushed" pages (see DESIGN.md on
+          // the fsyncgate boundary).
+          ASSERT_TRUE(sys.ArmBaseDiskFault(
+                             DiskFaultPlan::KillAfterWrites(1 + rng.Uniform(4))
+                                 .WithDroppedFsync())
+                          .ok());
+          break;
+        case 3:
+          // A prefix up to ~2 frames' worth of bytes: small draws tear the
+          // op's commit frame apart (rolled back on recovery), large draws
+          // persist the whole batch before dying (the op is durable even
+          // though its ack never made it out).
+          sys.wal_file()->InjectTornSync(1 + rng.Uniform(8),
+                                         rng.Uniform(2048));
+          break;
+      }
+
+      for (int i = 0; i < 40 && !sys.crashed(); ++i) {
+        const double r = rng.NextDouble();
+        Op op;
+        if (r >= 0.9 && variant != 2) {
+          op.kind = Op::kCheckpoint;
+        } else if (r < 0.5 || shadow.empty()) {
+          op = make_insert();
+        } else if (r < 0.75) {
+          op.kind = Op::kUpdate;
+          op.addr = PickAddr(shadow, &rng);
+          op.row = Row(next_name++, rng.UniformInt(0, 19));
+        } else {
+          op.kind = Op::kDelete;
+          op.addr = PickAddr(shadow, &rng);
+        }
+        Status s = ExecuteOp(&sys, base, &op);
+        if (!s.ok()) {
+          EXPECT_TRUE(sys.crashed()) << s.ToString();
+          if (op.kind != Op::kCheckpoint) pending = op;
+          break;
+        }
+        ApplyToShadow(op, &shadow);
+        ops.push_back(op);
+      }
+
+      // The workload may finish with the fault still cocked; force the
+      // countdown to zero so every iteration contributes a crash point.
+      for (int i = 0; i < 32 && !sys.crashed(); ++i) {
+        Op op = make_insert();
+        Status s = ExecuteOp(&sys, base, &op);
+        if (!s.ok()) {
+          pending = op;
+          break;
+        }
+        ApplyToShadow(op, &shadow);
+        ops.push_back(op);
+        if (variant != 3) {
+          Op ckpt{Op::kCheckpoint, Address{}, Tuple{}};
+          if (!ExecuteOp(&sys, base, &ckpt).ok()) break;
+          ops.push_back(ckpt);
+        }
+      }
+      ASSERT_TRUE(sys.crashed()) << "fault plan never fired";
+      ++crashes;
+    }
+
+    // --- Phase 2: restart, recover, check against the shadow oracle. ---
+    SnapshotSystem re(opts);
+    auto base_or = re.GetBaseTable("emp");
+    ASSERT_TRUE(base_or.ok()) << base_or.status().ToString();
+    BaseTable* base = *base_or;
+    ASSERT_TRUE(re.last_recovery().has_value());
+    EXPECT_GE(re.base_disk()->stats().reads, 1u);  // recovery I/O is counted
+
+    // A failed ack leaves the op on either side of the durability line: in
+    // variants 0-2 the op died before its commit sync, so it must be rolled
+    // back; in variant 3 the commit frame may sit wholly inside the torn
+    // prefix, in which case the op is durable despite the failed ack.
+    bool pending_acked = false;
+    if (!Matches(base, shadow)) {
+      ASSERT_TRUE(pending.has_value())
+          << "recovered state diverged from the acked history";
+      if (pending->kind == Op::kInsert) {
+        std::vector<Address> extra = ExtraAddresses(base, shadow);
+        ASSERT_EQ(extra.size(), 1u);
+        pending->addr = extra[0];
+      }
+      ApplyToShadow(*pending, &shadow);
+      ASSERT_TRUE(Matches(base, shadow))
+          << "recovered state matches neither shadow nor shadow+pending";
+      ops.push_back(*pending);
+      pending_acked = true;
+      ++pending_survived_acks;
+    }
+
+    // --- Phase 3: byte-identical refresh vs an uncrashed comparator. ---
+    // A file-backed twin that replays exactly the acked history (including
+    // checkpoints, whose catalog saves allocate blob pages in between the
+    // data pages) and never crashes.
+    SnapshotSystemOptions cmp_opts = opts;
+    cmp_opts.base_data_path = cmp_path.string();
+    SnapshotSystem cmp(cmp_opts);
+    auto cmp_base_or =
+        cmp.CreateBaseTable("emp", EmpSchema(), AnnotationMode::kLazy);
+    ASSERT_TRUE(cmp_base_or.ok());
+    BaseTable* cmp_base = *cmp_base_or;
+    for (const Op& op : ops) {
+      Op replay = op;
+      ASSERT_TRUE(ExecuteOp(&cmp, cmp_base, &replay).ok());
+      // Placement is deterministic, so the replay must land every insert at
+      // the address the crashed run acked — the precondition for comparing
+      // refresh streams byte-for-byte.
+      ASSERT_EQ(replay.addr, op.addr);
+    }
+    ASSERT_TRUE(Matches(cmp_base, shadow));
+
+    // Timestamps are the one legitimate difference (the recovered oracle
+    // skews forward); align both before snapshotting.
+    const Timestamp hi = std::max(re.base_oracle()->PeekNext(),
+                                  cmp.base_oracle()->PeekNext());
+    re.base_oracle()->AdvanceTo(hi);
+    cmp.base_oracle()->AdvanceTo(hi);
+
+    ASSERT_TRUE(re.CreateSnapshot("low", "emp", "Salary < 10").ok());
+    ASSERT_TRUE(cmp.CreateSnapshot("low", "emp", "Salary < 10").ok());
+    ExpectIdenticalRefresh(&re, &cmp);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // A second round of identical mutations + differential refresh proves
+    // the recovered annotation chains keep evolving in lockstep. Only
+    // updates/deletes: a rolled-back loser insert leaves a reusable slot
+    // ghost that could steer a *new* insert to a different address.
+    for (int i = 0; i < 6 && !shadow.empty(); ++i) {
+      Op op;
+      if (rng.NextDouble() < 0.8) {
+        op.kind = Op::kUpdate;
+        op.addr = PickAddr(shadow, &rng);
+        op.row = Row(next_name++, rng.UniformInt(0, 19));
+      } else {
+        op.kind = Op::kDelete;
+        op.addr = PickAddr(shadow, &rng);
+      }
+      Op a = op, b = op;
+      ASSERT_TRUE(ExecuteOp(&re, base, &a).ok());
+      ASSERT_TRUE(ExecuteOp(&cmp, cmp_base, &b).ok());
+      ApplyToShadow(op, &shadow);
+    }
+    ExpectIdenticalRefresh(&re, &cmp);
+    if (::testing::Test::HasFatalFailure()) return;
+    (void)pending_acked;
+
+    for (const auto& p : {path, cmp_path}) {
+      std::filesystem::remove(p);
+      std::filesystem::remove(p.string() + ".wal");
+    }
+  }
+
+  EXPECT_EQ(crashes, kIterations);
+  // Sanity on the fuzzer itself: the torn-WAL variant should occasionally
+  // land a commit inside the kept prefix; if it never does, the
+  // "unacked-but-durable" branch is dead code. Logged, not asserted — the
+  // distribution is seed-dependent.
+  RecordProperty("pending_survived_acks",
+                 static_cast<int>(pending_survived_acks));
+}
+
+// Deterministic crash points: one test per fault shape, with the disk
+// counters asserted around the crash (the observability satellite).
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("snapdiff_crashpoint_" + std::to_string(::getpid()) + ".db");
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".wal");
+    opts_.base_data_path = path_.string();
+    opts_.base_pool_pages = 64;
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".wal");
+  }
+
+  std::filesystem::path path_;
+  SnapshotSystemOptions opts_;
+};
+
+TEST_F(CrashPointTest, KillAfterWritesDiesMidCheckpointAndRecovers) {
+  {
+    SnapshotSystem sys(opts_);
+    auto base = sys.CreateBaseTable("emp", EmpSchema(), AnnotationMode::kLazy);
+    ASSERT_TRUE(base.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*base)->Insert(Row(i, i)).ok());
+    }
+    const DiskStats before = sys.base_disk()->stats();
+    EXPECT_GE(before.allocations, 3u);  // oracle + both catalog slots
+    EXPECT_GE(before.writes, 2u);       // CreateBaseTable saved the catalog
+    EXPECT_GE(before.syncs, 1u);
+
+    ASSERT_TRUE(
+        sys.ArmBaseDiskFault(DiskFaultPlan::KillAfterWrites(2)).ok());
+    EXPECT_FALSE(sys.crashed());
+
+    Status s = sys.CheckpointBaseSite();
+    EXPECT_FALSE(s.ok());
+    EXPECT_TRUE(sys.crashed());
+    // Exactly one write landed in the overlay (and was counted) before the
+    // fatal second write, which never completed and so is not.
+    EXPECT_EQ(sys.base_disk()->stats().writes, before.writes + 1);
+    // The site is dead across the board now.
+    EXPECT_TRUE((*base)->Insert(Row(99, 1)).status().IsIOError());
+  }
+  SnapshotSystem re(opts_);
+  auto base = re.GetBaseTable("emp");
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_EQ((*base)->live_rows(), 20u);
+  ASSERT_TRUE(re.last_recovery().has_value());
+  EXPECT_GE(re.last_recovery()->records_replayed, 1u);
+}
+
+TEST_F(CrashPointTest, TornPageWriteIsRepairedByPageImage) {
+  std::vector<Address> addrs;
+  {
+    SnapshotSystem sys(opts_);
+    auto base = sys.CreateBaseTable("emp", EmpSchema(), AnnotationMode::kLazy);
+    ASSERT_TRUE(base.ok());
+    for (int i = 0; i < 20; ++i) {
+      auto a = (*base)->Insert(Row(i, i));
+      ASSERT_TRUE(a.ok());
+      addrs.push_back(*a);
+    }
+    ASSERT_TRUE(sys.CheckpointBaseSite().ok());
+    ASSERT_TRUE((*base)->Update(addrs[3], Row(3, 77)).ok());
+
+    // The dying write tears half a page straight into the file: the torn
+    // page's stamped LSN cannot be trusted, so recovery must fall back to
+    // the full-page image logged just before the write.
+    ASSERT_TRUE(sys.ArmBaseDiskFault(DiskFaultPlan::KillAfterWrites(1)
+                                         .WithTornWrite(Page::kPageSize / 2))
+                    .ok());
+    EXPECT_FALSE(sys.CheckpointBaseSite().ok());
+    EXPECT_TRUE(sys.crashed());
+  }
+  SnapshotSystem re(opts_);
+  auto base = re.GetBaseTable("emp");
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_EQ((*base)->live_rows(), 20u);
+  auto row = (*base)->ReadUserRow(addrs[3]);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->value(1).as_int64(), 77);
+  ASSERT_TRUE(re.last_recovery().has_value());
+  EXPECT_GE(re.last_recovery()->page_images_applied, 1u);
+}
+
+TEST_F(CrashPointTest, DroppedFsyncIsRepairedByPageImages) {
+  std::vector<Address> addrs;
+  {
+    SnapshotSystem sys(opts_);
+    auto base = sys.CreateBaseTable("emp", EmpSchema(), AnnotationMode::kLazy);
+    ASSERT_TRUE(base.ok());
+    for (int i = 0; i < 20; ++i) {
+      auto a = (*base)->Insert(Row(i, i));
+      ASSERT_TRUE(a.ok());
+      addrs.push_back(*a);
+    }
+    ASSERT_TRUE(sys.CheckpointBaseSite().ok());
+    ASSERT_TRUE((*base)->Update(addrs[5], Row(5, 88)).ok());
+    ASSERT_TRUE((*base)->Delete(addrs[6]).ok());
+
+    // The device acknowledges fsyncs and drops them on the floor; the kill
+    // budget is below one checkpoint's pre-sync writes, so the crash fires
+    // before any WAL compaction could discard the page images.
+    ASSERT_TRUE(sys.ArmBaseDiskFault(
+                       DiskFaultPlan::KillAfterWrites(4).WithDroppedFsync())
+                    .ok());
+    EXPECT_FALSE(sys.CheckpointBaseSite().ok());
+    EXPECT_TRUE(sys.crashed());
+  }
+  SnapshotSystem re(opts_);
+  auto base = re.GetBaseTable("emp");
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_EQ((*base)->live_rows(), 19u);
+  auto row = (*base)->ReadUserRow(addrs[5]);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->value(1).as_int64(), 88);
+  EXPECT_FALSE((*base)->ReadUserRow(addrs[6]).ok());
+}
+
+// The Channel::AdvanceTime × recovery interaction (PR 3's resumable refresh
+// riding on a durable base site): a refresh whose transmission partitions
+// mid-stream retries with backoff and *resumes* the session instead of
+// restarting, and the durable base survives a checkpoint + restart with the
+// same contents afterwards.
+TEST_F(CrashPointTest, PartitionedRefreshResumesOverDurableBase) {
+  SnapshotSystem sys(opts_);
+  auto base = sys.CreateBaseTable("emp", EmpSchema(), AnnotationMode::kLazy);
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs;
+  for (int i = 0; i < 40; ++i) {
+    auto a = (*base)->Insert(Row(i, i % 20));
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 10").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*base)->Update(addrs[i], Row(100 + i, (i * 7) % 20)).ok());
+  }
+
+  RefreshRequest req = RefreshRequest::For("low");
+  req.fault = FaultPlan::PartitionAfter(2).WithHealAfter(1);
+  req.retry.max_retries = 3;
+  auto report = sys.Refresh(req);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->attempts, 2u);
+  EXPECT_GE(report->resumes, 1u);
+  EXPECT_GT(report->backoff_ticks, 0u);
+
+  auto contents = (*sys.GetSnapshot("low"))->Contents();
+  auto expected = sys.ExpectedContents("low");
+  ASSERT_TRUE(contents.ok() && expected.ok());
+  EXPECT_TRUE(*contents == *expected);
+
+  // The retried refresh's annotation fix-ups are ordinary logged mutations:
+  // checkpoint, restart, and the recovered base agrees row-for-row.
+  ASSERT_TRUE(sys.CheckpointBaseSite().ok());
+  Shadow before;
+  for (Address a : addrs) {
+    auto row = (*base)->ReadUserRow(a);
+    ASSERT_TRUE(row.ok());
+    before[a] = *row;
+  }
+  SnapshotSystem re(opts_);
+  auto re_base = re.GetBaseTable("emp");
+  ASSERT_TRUE(re_base.ok()) << re_base.status().ToString();
+  EXPECT_TRUE(Matches(*re_base, before));
+  ASSERT_TRUE(re.CreateSnapshot("low", "emp", "Salary < 10").ok());
+  ASSERT_TRUE(re.Refresh(RefreshRequest::For("low")).ok());
+  auto re_contents = (*re.GetSnapshot("low"))->Contents();
+  auto re_expected = re.ExpectedContents("low");
+  ASSERT_TRUE(re_contents.ok() && re_expected.ok());
+  EXPECT_TRUE(*re_contents == *re_expected);
+}
+
+}  // namespace
+}  // namespace snapdiff

@@ -1,0 +1,314 @@
+// Unit tests for the restart-recovery machinery: checkpoint payload
+// round-trips, LSN-idempotent redo, loser undo, torn-tail WAL truncation,
+// compaction rewrites, and the buffer pool's WAL-before-data hook.
+
+#include "wal/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "catalog/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "wal/wal_file.h"
+
+namespace snapdiff {
+namespace {
+
+Schema PlainSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+std::string StoredRow(const Schema& schema, std::string name, int64_t salary) {
+  Tuple row({Value::String(std::move(name)), Value::Int64(salary)});
+  auto bytes = row.Serialize(schema);
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+TEST(CheckpointPayloadTest, RoundTrips) {
+  CheckpointPayload p;
+  p.oracle_next = 4711;
+  p.redo_start_lsn = 99;
+  p.snapshots.push_back({1, 4000, 80});
+  p.snapshots.push_back({2, kNullTimestamp, 0});
+  std::string bytes;
+  p.SerializeTo(&bytes);
+  auto parsed = CheckpointPayload::Parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->oracle_next, 4711);
+  EXPECT_EQ(parsed->redo_start_lsn, 99u);
+  ASSERT_EQ(parsed->snapshots.size(), 2u);
+  EXPECT_EQ(parsed->snapshots[0].snapshot_id, 1u);
+  EXPECT_EQ(parsed->snapshots[0].snap_time, 4000);
+  EXPECT_EQ(parsed->snapshots[0].last_refresh_lsn, 80u);
+  EXPECT_EQ(parsed->snapshots[1].snap_time, kNullTimestamp);
+}
+
+TEST(CheckpointPayloadTest, RejectsGarbage) {
+  EXPECT_TRUE(CheckpointPayload::Parse("bogus").status().IsCorruption());
+  CheckpointPayload p;
+  std::string bytes;
+  p.SerializeTo(&bytes);
+  bytes.push_back('x');  // trailing byte
+  EXPECT_TRUE(CheckpointPayload::Parse(bytes).status().IsCorruption());
+  EXPECT_TRUE(
+      CheckpointPayload::Parse(bytes.substr(0, bytes.size() - 5))
+          .status()
+          .IsCorruption());
+}
+
+/// A recovery target: fresh disk/pool/catalog with one table whose id
+/// matches what the log records reference.
+struct Site {
+  Site() : pool(&disk, 64), catalog(&pool) {
+    auto info = catalog.CreateTable("emp", PlainSchema());
+    EXPECT_TRUE(info.ok());
+    table = *info;
+  }
+  MemoryDiskManager disk;
+  BufferPool pool;
+  Catalog catalog;
+  TableInfo* table = nullptr;
+};
+
+TEST(RecoveryManagerTest, ReplaysCommittedWorkAndIsIdempotent) {
+  LogManager wal;
+  Site scratch;  // only to learn the serialized row format
+  const std::string row_a = StoredRow(scratch.table->schema, "A", 1);
+  const std::string row_b = StoredRow(scratch.table->schema, "B", 2);
+  const std::string row_b2 = StoredRow(scratch.table->schema, "B", 20);
+
+  const TableId tid = 1;
+  wal.LogBegin(1);
+  wal.LogAllocPage(1, tid, 0);
+  wal.LogPageInsert(1, tid, Address::FromPageSlot(0, 0), row_a);
+  wal.LogCommit(1);
+  wal.LogBegin(2);
+  wal.LogPageInsert(2, tid, Address::FromPageSlot(0, 1), row_b);
+  wal.LogPageUpdate(2, tid, Address::FromPageSlot(0, 1), row_b, row_b2);
+  wal.LogCommit(2);
+
+  Site site;
+  ASSERT_EQ(site.table->id, tid);
+  RecoveryManager recovery(&wal, &site.catalog);
+  auto stats = recovery.Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->winner_txns, 2u);
+  EXPECT_EQ(stats->losers_rolled_back, 0u);
+  EXPECT_GE(stats->records_replayed, 3u);
+  EXPECT_EQ(site.table->heap->live_tuples(), 2u);
+  auto view = site.table->heap->GetView(Address::FromPageSlot(0, 1));
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(std::string(view->bytes), row_b2);
+
+  // Second run: page LSNs make every redo record a no-op.
+  auto again = recovery.Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->records_replayed - again->pages_allocated, 1u)
+      << "only ALLOC_PAGE should re-apply";
+  EXPECT_GE(again->records_skipped, 3u);
+  EXPECT_EQ(site.table->heap->live_tuples(), 2u);
+}
+
+TEST(RecoveryManagerTest, RollsBackLosers) {
+  LogManager wal;
+  Site scratch;
+  const std::string row_a = StoredRow(scratch.table->schema, "A", 1);
+  const std::string row_l = StoredRow(scratch.table->schema, "loser", 13);
+
+  const TableId tid = 1;
+  wal.LogBegin(1);
+  wal.LogAllocPage(1, tid, 0);
+  wal.LogPageInsert(1, tid, Address::FromPageSlot(0, 0), row_a);
+  wal.LogCommit(1);
+  // Txn 2 crashed mid-flight: its insert has no durable commit.
+  wal.LogBegin(2);
+  wal.LogPageInsert(2, tid, Address::FromPageSlot(0, 1), row_l);
+
+  Site site;
+  RecoveryManager recovery(&wal, &site.catalog);
+  auto stats = recovery.Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->winner_txns, 1u);
+  EXPECT_EQ(stats->losers_rolled_back, 1u);
+  EXPECT_EQ(stats->max_txn, 2u);
+  EXPECT_EQ(site.table->heap->live_tuples(), 1u);
+  // The loser got a durable abort record, so the next recovery of the same
+  // log treats it as resolved.
+  auto rec = wal.Get(wal.LastLsn());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->type, LogRecordType::kAbort);
+  EXPECT_EQ((*rec)->txn_id, 2u);
+
+  Site site2;
+  auto stats2 = RecoveryManager(&wal, &site2.catalog).Recover();
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->losers_rolled_back, 0u);
+  EXPECT_EQ(site2.table->heap->live_tuples(), 1u);
+}
+
+TEST(RecoveryManagerTest, CheckpointBoundsRedoButNotPageImages) {
+  LogManager wal;
+  Site scratch;
+  const std::string row_a = StoredRow(scratch.table->schema, "A", 1);
+
+  const TableId tid = 1;
+  wal.LogBegin(1);
+  wal.LogAllocPage(1, tid, 0);
+  wal.LogPageInsert(1, tid, Address::FromPageSlot(0, 0), row_a);
+  wal.LogCommit(1);
+  // A full-page image of the flushed state, as the pre-flush hook logs it.
+  Site flushed;
+  {
+    RecoveryManager warm(&wal, &flushed.catalog);
+    ASSERT_TRUE(warm.Recover().ok());
+  }
+  ASSERT_TRUE(flushed.pool.FlushDirty().ok());
+  char img[Page::kPageSize];
+  ASSERT_TRUE(flushed.disk.ReadPage(0, img).ok());
+  wal.LogPageImage(0, std::string(img, Page::kPageSize));
+  CheckpointPayload payload;
+  payload.redo_start_lsn = wal.LastLsn();
+  std::string bytes;
+  payload.SerializeTo(&bytes);
+  wal.LogCheckpoint(std::move(bytes));
+
+  Site site;
+  auto stats = RecoveryManager(&wal, &site.catalog).Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->found_checkpoint);
+  // The physiological insert is skipped (covered by the checkpoint) but the
+  // page image still lands — it alone rebuilds the page when the device
+  // lied about the flush.
+  EXPECT_EQ(stats->page_images_applied, 1u);
+  EXPECT_GE(stats->records_skipped, 1u);
+  EXPECT_EQ(site.table->heap->live_tuples(), 1u);
+  auto view = site.table->heap->GetView(Address::FromPageSlot(0, 0));
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(std::string(view->bytes), row_a);
+}
+
+class WalFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("snapdiff_walfile_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(WalFileTest, TornSyncTruncatesToLastIntactFrame) {
+  {
+    auto wal_file = WalFile::Open(path_);
+    ASSERT_TRUE(wal_file.ok());
+    LogManager wal;
+    wal.AttachSink(wal_file->get());
+    wal.LogBegin(1);
+    wal.LogInsert(1, 1, Address::FromPageSlot(0, 0), "durable");
+    wal.LogCommit(1);
+    ASSERT_TRUE(wal.Sync().ok());
+    // The next sync persists only 5 bytes of its pending frames, then dies.
+    (*wal_file)->InjectTornSync(1, 5);
+    wal.LogBegin(2);
+    wal.LogInsert(2, 1, Address::FromPageSlot(0, 1), "torn away");
+    EXPECT_FALSE(wal.Sync().ok());
+  }
+  auto reopened = WalFile::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_GT((*reopened)->torn_bytes_discarded(), 0u);
+  std::vector<LogRecord> recovered = (*reopened)->TakeRecoveredRecords();
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(recovered.back().type, LogRecordType::kCommit);
+  LogManager restored;
+  ASSERT_TRUE(restored.RestoreFrom(std::move(recovered)).ok());
+  EXPECT_EQ(restored.LastLsn(), 3u);
+}
+
+TEST_F(WalFileTest, RewriteCompactsAndPreservesLsns) {
+  auto wal_file = WalFile::Open(path_);
+  ASSERT_TRUE(wal_file.ok());
+  LogManager wal;
+  wal.AttachSink(wal_file->get());
+  for (int i = 0; i < 6; ++i) {
+    wal.LogBegin(static_cast<TxnId>(i + 1));
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE((*wal_file)->Rewrite(wal.Scan(4)).ok());
+
+  auto reopened = WalFile::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<LogRecord> recovered = (*reopened)->TakeRecoveredRecords();
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.front().lsn, 5u);
+  LogManager restored;
+  ASSERT_TRUE(restored.RestoreFrom(std::move(recovered)).ok());
+  EXPECT_EQ(restored.base_lsn(), 4u);
+  EXPECT_EQ(restored.LastLsn(), 6u);
+  // Appends continue the original numbering.
+  EXPECT_EQ(restored.LogBegin(9), 7u);
+}
+
+TEST_F(WalFileTest, CrashSwitchFailsAllIo) {
+  auto wal_file = WalFile::Open(path_);
+  ASSERT_TRUE(wal_file.ok());
+  auto crash = std::make_shared<CrashSwitch>();
+  (*wal_file)->BindCrashSwitch(crash);
+  LogManager wal;
+  wal.AttachSink(wal_file->get());
+  wal.LogBegin(1);
+  ASSERT_TRUE(wal.Sync().ok());
+  crash->dead.store(true);
+  wal.LogBegin(2);
+  EXPECT_FALSE(wal.Sync().ok());
+}
+
+TEST(PreFlushHookTest, FiresOncePerDirtyPageBeforeTheWrite) {
+  MemoryDiskManager disk;
+  BufferPool pool(&disk, 8);
+  std::vector<PageId> hooked;
+  pool.SetPreFlushHook([&](PageId page, const char* data) {
+    EXPECT_NE(data, nullptr);
+    hooked.push_back(page);
+    return Status::OK();
+  });
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  auto dirty = pool.FetchPage(0);
+  ASSERT_TRUE(dirty.ok());
+  (*dirty)->data()[0] = 'x';
+  pool.UnpinPage(0, /*dirty=*/true);
+  auto clean = pool.FetchPage(1);
+  ASSERT_TRUE(clean.ok());
+  pool.UnpinPage(1, /*dirty=*/false);
+
+  ASSERT_TRUE(pool.FlushDirty().ok());
+  ASSERT_EQ(hooked.size(), 1u) << "clean pages must not reach the hook";
+  EXPECT_EQ(hooked[0], 0u);
+  // Nothing dirty remains, so another flush is hook-silent.
+  ASSERT_TRUE(pool.FlushDirty().ok());
+  EXPECT_EQ(hooked.size(), 1u);
+}
+
+TEST(PreFlushHookTest, HookFailureAbortsTheFlush) {
+  MemoryDiskManager disk;
+  BufferPool pool(&disk, 8);
+  pool.SetPreFlushHook([](PageId, const char*) {
+    return Status::IOError("wal sync failed");
+  });
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  auto page = pool.FetchPage(0);
+  ASSERT_TRUE(page.ok());
+  (*page)->data()[0] = 'x';
+  pool.UnpinPage(0, /*dirty=*/true);
+  EXPECT_FALSE(pool.FlushDirty().ok());
+}
+
+}  // namespace
+}  // namespace snapdiff

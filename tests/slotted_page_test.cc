@@ -111,7 +111,8 @@ TEST_F(SlottedPageTest, FillPageThenOverflow) {
     ++inserted;
   }
   // 4096-byte page, 8-byte header, 104 bytes per tuple (100 + 4 slot).
-  EXPECT_EQ(inserted, (int)((Page::kPageSize - 8) / 104));
+  EXPECT_EQ(inserted,
+            (int)((Page::kPageSize - SlottedPage::kHeaderSize) / 104));
   EXPECT_EQ(sp_.live_count(), inserted);
 }
 
