@@ -7,10 +7,11 @@
 // fresh base site, so the measured refreshes transmit identical logical
 // streams — only the execution strategy and framing differ.
 //
-// Usage: bench_parallel_refresh [rows] [iters] [json_path]
+// Usage: bench_parallel_refresh [rows] [iters] [json_path] [warmup]
 //   rows       base-table size                      (default 20000)
-//   iters      measured refresh rounds per config   (default 3)
+//   iters      measured refresh rounds per config   (default 5)
 //   json_path  output file                          (default BENCH_refresh.json)
+//   warmup     unmeasured mutate+refresh rounds     (default 2)
 
 #include <chrono>
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "expr/parser.h"
@@ -41,7 +43,7 @@ Tuple Row(std::string name, int64_t salary) {
 struct ConfigResult {
   size_t workers = 0;
   size_t batch_size = 0;
-  double scan_wall_us_mean = 0.0;   // mean executor wall time per round
+  bench::SampleStats scan_wall_us;  // executor wall time per measured round
   uint64_t messages = 0;            // totals over the measured rounds
   uint64_t entry_messages = 0;
   uint64_t batched_entries = 0;
@@ -73,8 +75,9 @@ void Mutate(BaseTable* base, std::vector<Address>* live, uint64_t seed) {
   }
 }
 
-Result<ConfigResult> RunConfig(size_t rows, int iters, size_t workers,
-                               size_t batch_size, ThreadPool* pool) {
+Result<ConfigResult> RunConfig(size_t rows, int iters, int warmup,
+                               size_t workers, size_t batch_size,
+                               ThreadPool* pool) {
   SnapshotSystem sys;
   ASSIGN_OR_RETURN(BaseTable * base, sys.CreateBaseTable("emp", EmpSchema()));
   Random rng(1234);
@@ -114,24 +117,31 @@ Result<ConfigResult> RunConfig(size_t rows, int iters, size_t workers,
     return std::chrono::duration<double, std::micro>(t1 - t0).count();
   };
 
-  // Unmeasured population refresh, then the measured incremental rounds.
-  RefreshStats warmup;
-  RETURN_IF_ERROR(refresh_once(&warmup).status());
+  // Unmeasured population refresh + warmup rounds (cache/allocator/branch
+  // state settles), then the measured incremental rounds.
+  RefreshStats population;
+  RETURN_IF_ERROR(refresh_once(&population).status());
+  for (int round = 0; round < warmup; ++round) {
+    Mutate(base, &live, 7700 + uint64_t(round));
+    RefreshStats stats;
+    RETURN_IF_ERROR(refresh_once(&stats).status());
+  }
 
   ConfigResult out;
   out.workers = workers;
   out.batch_size = batch_size;
-  double wall_total = 0.0;
+  std::vector<double> walls;
+  walls.reserve(size_t(iters));
   const ChannelStats before = channel.stats();
   for (int round = 0; round < iters; ++round) {
     Mutate(base, &live, 77 + uint64_t(round));
     RefreshStats stats;
     ASSIGN_OR_RETURN(double us, refresh_once(&stats));
-    wall_total += us;
+    walls.push_back(us);
     out.entries_scanned += stats.entries_scanned;
   }
   const ChannelStats traffic = channel.stats() - before;
-  out.scan_wall_us_mean = iters > 0 ? wall_total / iters : 0.0;
+  out.scan_wall_us = bench::Summarize(walls);
   out.messages = traffic.messages;
   out.entry_messages = traffic.entry_messages;
   out.batched_entries = traffic.batched_entries;
@@ -141,16 +151,15 @@ Result<ConfigResult> RunConfig(size_t rows, int iters, size_t workers,
   return out;
 }
 
-std::string RenderJson(size_t rows, int iters,
+std::string RenderJson(size_t rows, int iters, int warmup,
                        const std::vector<ConfigResult>& results) {
   std::string out = "{\n";
-  out += "  \"bench\": \"parallel_refresh\",\n";
+  out += bench::ReportHeaderFields("parallel_refresh");
   out += "  \"rows\": " + std::to_string(rows) + ",\n";
   out += "  \"iters\": " + std::to_string(iters) + ",\n";
+  out += "  \"warmup\": " + std::to_string(warmup) + ",\n";
   out += "  \"mutate_fraction\": 0.10,\n";
   out += "  \"selectivity\": \"Salary < 15 (~50%)\",\n";
-  out += "  \"hardware_concurrency\": " +
-         std::to_string(std::thread::hardware_concurrency()) + ",\n";
   out += "  \"note\": \"wall times are honest measurements on this host; "
          "with hardware_concurrency=1 no parallel speedup can manifest — "
          "identical traffic counters across worker counts corroborate the "
@@ -161,8 +170,9 @@ std::string RenderJson(size_t rows, int iters,
     const ConfigResult& r = results[i];
     out += "    {\"workers\": " + std::to_string(r.workers) +
            ", \"batch_size\": " + std::to_string(r.batch_size) +
+           ", \"scan_wall_us\": " + bench::RenderStats(r.scan_wall_us) +
            ", \"scan_wall_us_mean\": " +
-           std::to_string(r.scan_wall_us_mean) +
+           std::to_string(r.scan_wall_us.mean) +
            ", \"messages\": " + std::to_string(r.messages) +
            ", \"entry_messages\": " + std::to_string(r.entry_messages) +
            ", \"batched_entries\": " + std::to_string(r.batched_entries) +
@@ -182,40 +192,43 @@ std::string RenderJson(size_t rows, int iters,
 
 int main(int argc, char** argv) {
   const size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
-  const int iters = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 5;
   const std::string json_path = argc > 3 ? argv[3] : "BENCH_refresh.json";
+  const int warmup = argc > 4 ? std::atoi(argv[4]) : 2;
 
   std::printf(
       "=== Parallel partitioned refresh: workers x batch sweep "
-      "(N = %llu, %d rounds, 10%% updates/round)\n"
+      "(N = %llu, %d rounds + %d warmup, 10%% updates/round)\n"
       "=== hardware_concurrency = %u\n\n",
-      static_cast<unsigned long long>(rows), iters,
+      static_cast<unsigned long long>(rows), iters, warmup,
       std::thread::hardware_concurrency());
 
   snapdiff::ThreadPool pool(8);
   std::vector<snapdiff::ConfigResult> results;
-  std::printf("%8s %10s %16s %10s %10s %14s %12s\n", "workers", "batch",
-              "scan_us_mean", "messages", "frames", "batched_entr",
+  std::printf("%8s %10s %14s %14s %10s %10s %12s\n", "workers", "batch",
+              "scan_us_min", "scan_us_mean", "messages", "frames",
               "wire_bytes");
   for (const size_t workers : {1, 2, 4, 8}) {
     for (const size_t batch : {1, 32}) {
-      auto r = snapdiff::RunConfig(rows, iters, workers, batch, &pool);
+      auto r = snapdiff::RunConfig(rows, iters, warmup, workers, batch,
+                                   &pool);
       if (!r.ok()) {
         std::fprintf(stderr, "config (w=%zu, b=%zu) failed: %s\n", workers,
                      batch, r.status().ToString().c_str());
         return 1;
       }
       results.push_back(*r);
-      std::printf("%8zu %10zu %16.1f %10llu %10llu %14llu %12llu\n",
-                  r->workers, r->batch_size, r->scan_wall_us_mean,
+      std::printf("%8zu %10zu %14.1f %14.1f %10llu %10llu %12llu\n",
+                  r->workers, r->batch_size, r->scan_wall_us.min,
+                  r->scan_wall_us.mean,
                   static_cast<unsigned long long>(r->messages),
                   static_cast<unsigned long long>(r->frames),
-                  static_cast<unsigned long long>(r->batched_entries),
                   static_cast<unsigned long long>(r->wire_bytes));
     }
   }
 
-  const std::string json = snapdiff::RenderJson(rows, iters, results);
+  const std::string json =
+      snapdiff::RenderJson(rows, iters, warmup, results);
   std::ofstream f(json_path);
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -1,0 +1,118 @@
+// Shared reporting helpers for the bench binaries: every BENCH_*.json gets
+// the same provenance header (bench name, git SHA, ISO-8601 UTC timestamp,
+// hardware_concurrency) so series from different checkouts/hosts can be
+// compared, and the same sample summaries (min/mean/stddev, percentiles)
+// so no emitter reports a bare 2-iteration mean again.
+#ifndef SNAPDIFF_BENCH_BENCH_REPORT_H_
+#define SNAPDIFF_BENCH_BENCH_REPORT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace snapdiff {
+namespace bench {
+
+struct SampleStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev; 0 for n < 2
+  size_t n = 0;
+};
+
+inline SampleStats Summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples[0];
+  s.max = samples[0];
+  double sum = 0.0;
+  for (double v : samples) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / double(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / double(samples.size()));
+  return s;
+}
+
+/// Linear-interpolated percentile (p in [0, 100]) of a sample set.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * double(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - double(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+/// The current checkout's short SHA: $SNAPDIFF_GIT_SHA if set (CI exports
+/// it so benches need no .git), else `git rev-parse`, else "unknown".
+inline std::string GitSha() {
+  if (const char* env = std::getenv("SNAPDIFF_GIT_SHA")) {
+    if (*env != '\0') return env;
+  }
+  std::string sha;
+  if (std::FILE* pipe =
+          ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    ::pclose(pipe);
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+inline std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+/// The uniform provenance header, as JSON member lines (no surrounding
+/// braces) indented two spaces, ending with a trailing comma:
+///   "bench": "...", "git_sha": "...", "timestamp": "...",
+///   "hardware_concurrency": N
+inline std::string ReportHeaderFields(const std::string& bench_name) {
+  std::string out;
+  out += "  \"bench\": \"" + bench_name + "\",\n";
+  out += "  \"git_sha\": \"" + GitSha() + "\",\n";
+  out += "  \"timestamp\": \"" + IsoTimestampUtc() + "\",\n";
+  out += "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  return out;
+}
+
+/// Renders a SampleStats as an inline JSON object.
+inline std::string RenderStats(const SampleStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"min\": %.1f, \"max\": %.1f, \"mean\": %.1f, "
+                "\"stddev\": %.1f, \"n\": %zu}",
+                s.min, s.max, s.mean, s.stddev, s.n);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_BENCH_BENCH_REPORT_H_

@@ -11,10 +11,11 @@
 // Both paths compute the same qualified count and byte-identical payloads
 // (checksummed to keep the optimizer honest and prove stream equality).
 //
-// Usage: bench_scan [rows] [iters] [json_path]
-//   rows       base-table size        (default 100000)
-//   iters      measured scan rounds   (default 5)
-//   json_path  output file            (default BENCH_scan.json)
+// Usage: bench_scan [rows] [iters] [json_path] [warmup]
+//   rows       base-table size                 (default 100000)
+//   iters      measured scan rounds            (default 5)
+//   json_path  output file                     (default BENCH_scan.json)
+//   warmup     unmeasured rounds per path      (default 1)
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/random.h"
 #include "expr/parser.h"
 #include "snapshot/snapshot_manager.h"
@@ -36,8 +38,8 @@ Schema EmpSchema() {
 }
 
 struct PathResult {
-  double wall_us_mean = 0.0;
-  double rows_per_sec = 0.0;
+  bench::SampleStats wall_us;
+  double rows_per_sec = 0.0;  // from the mean wall time
   uint64_t qualified = 0;
   uint64_t checksum = 0;
 };
@@ -54,10 +56,10 @@ Result<PathResult> RunMaterializePath(BaseTable* base,
                                       const Expression& restriction,
                                       const std::vector<std::string>& names,
                                       const Schema& projected_schema,
-                                      int iters, size_t rows) {
+                                      int iters, int warmup, size_t rows) {
   PathResult out;
-  double wall_total = 0.0;
-  for (int round = 0; round < iters; ++round) {
+  std::vector<double> walls;
+  for (int round = -warmup; round < iters; ++round) {
     uint64_t qualified = 0;
     uint64_t checksum = 1469598103934665603ULL;
     const auto t0 = std::chrono::steady_clock::now();
@@ -84,23 +86,26 @@ Result<PathResult> RunMaterializePath(BaseTable* base,
           return Status::OK();
         }));
     const auto t1 = std::chrono::steady_clock::now();
-    wall_total += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (round >= 0) {
+      walls.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
     out.qualified = qualified;
     out.checksum = checksum;
   }
-  out.wall_us_mean = wall_total / iters;
-  out.rows_per_sec = double(rows) / (out.wall_us_mean / 1e6);
+  out.wall_us = bench::Summarize(walls);
+  out.rows_per_sec = double(rows) / (out.wall_us.mean / 1e6);
   return out;
 }
 
 Result<PathResult> RunViewPath(BaseTable* base, const Expression& restriction,
                                const std::vector<size_t>& indices, int iters,
-                               size_t rows) {
+                               int warmup, size_t rows) {
   PathResult out;
-  double wall_total = 0.0;
+  std::vector<double> walls;
   std::string payload;
   payload.reserve(256);
-  for (int round = 0; round < iters; ++round) {
+  for (int round = -warmup; round < iters; ++round) {
     uint64_t qualified = 0;
     uint64_t checksum = 1469598103934665603ULL;
     const auto t0 = std::chrono::steady_clock::now();
@@ -116,16 +121,20 @@ Result<PathResult> RunViewPath(BaseTable* base, const Expression& restriction,
           return Status::OK();
         }));
     const auto t1 = std::chrono::steady_clock::now();
-    wall_total += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (round >= 0) {
+      walls.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
     out.qualified = qualified;
     out.checksum = checksum;
   }
-  out.wall_us_mean = wall_total / iters;
-  out.rows_per_sec = double(rows) / (out.wall_us_mean / 1e6);
+  out.wall_us = bench::Summarize(walls);
+  out.rows_per_sec = double(rows) / (out.wall_us.mean / 1e6);
   return out;
 }
 
-Status Run(size_t rows, int iters, const std::string& json_path) {
+Status Run(size_t rows, int iters, int warmup,
+           const std::string& json_path) {
   SnapshotSystem sys;
   ASSIGN_OR_RETURN(BaseTable * base, sys.CreateBaseTable("emp", EmpSchema()));
   Random rng(4242);
@@ -156,9 +165,10 @@ Status Run(size_t rows, int iters, const std::string& json_path) {
 
   ASSIGN_OR_RETURN(PathResult mat,
                    RunMaterializePath(base, *restriction, names,
-                                      projected_schema, iters, rows));
-  ASSIGN_OR_RETURN(PathResult view,
-                   RunViewPath(base, *restriction, indices, iters, rows));
+                                      projected_schema, iters, warmup,
+                                      rows));
+  ASSIGN_OR_RETURN(PathResult view, RunViewPath(base, *restriction, indices,
+                                                iters, warmup, rows));
 
   if (mat.qualified != view.qualified || mat.checksum != view.checksum) {
     return Status::Internal("path divergence: materialize " +
@@ -168,30 +178,30 @@ Status Run(size_t rows, int iters, const std::string& json_path) {
                             std::to_string(view.checksum));
   }
 
-  const double speedup = mat.wall_us_mean / view.wall_us_mean;
-  std::printf("%-12s %14s %14s %12s\n", "path", "scan_us_mean", "rows_per_sec",
-              "qualified");
-  std::printf("%-12s %14.1f %14.0f %12llu\n", "materialize", mat.wall_us_mean,
-              mat.rows_per_sec,
+  const double speedup = mat.wall_us.mean / view.wall_us.mean;
+  std::printf("%-12s %14s %14s %14s %12s\n", "path", "scan_us_min",
+              "scan_us_mean", "rows_per_sec", "qualified");
+  std::printf("%-12s %14.1f %14.1f %14.0f %12llu\n", "materialize",
+              mat.wall_us.min, mat.wall_us.mean, mat.rows_per_sec,
               static_cast<unsigned long long>(mat.qualified));
-  std::printf("%-12s %14.1f %14.0f %12llu\n", "view", view.wall_us_mean,
-              view.rows_per_sec,
+  std::printf("%-12s %14.1f %14.1f %14.0f %12llu\n", "view",
+              view.wall_us.min, view.wall_us.mean, view.rows_per_sec,
               static_cast<unsigned long long>(view.qualified));
   std::printf("\nview-path speedup: %.2fx (byte-identical payload streams)\n",
               speedup);
 
   std::string json = "{\n";
-  json += "  \"bench\": \"scan\",\n";
+  json += bench::ReportHeaderFields("scan");
   json += "  \"rows\": " + std::to_string(rows) + ",\n";
   json += "  \"iters\": " + std::to_string(iters) + ",\n";
+  json += "  \"warmup\": " + std::to_string(warmup) + ",\n";
   json += "  \"selectivity\": \"Salary < 500 (~50%)\",\n";
   json += "  \"qualified\": " + std::to_string(view.qualified) + ",\n";
   json += "  \"payload_checksums_equal\": true,\n";
-  json += "  \"materialize\": {\"scan_us_mean\": " +
-          std::to_string(mat.wall_us_mean) +
+  json += "  \"materialize\": {\"scan_us\": " +
+          bench::RenderStats(mat.wall_us) +
           ", \"rows_per_sec\": " + std::to_string(mat.rows_per_sec) + "},\n";
-  json += "  \"view\": {\"scan_us_mean\": " +
-          std::to_string(view.wall_us_mean) +
+  json += "  \"view\": {\"scan_us\": " + bench::RenderStats(view.wall_us) +
           ", \"rows_per_sec\": " + std::to_string(view.rows_per_sec) + "},\n";
   json += "  \"speedup\": " + std::to_string(speedup) + "\n";
   json += "}\n";
@@ -209,11 +219,12 @@ int main(int argc, char** argv) {
   const size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
   const int iters = argc > 2 ? std::atoi(argv[2]) : 5;
   const std::string json_path = argc > 3 ? argv[3] : "BENCH_scan.json";
+  const int warmup = argc > 4 ? std::atoi(argv[4]) : 1;
   std::printf(
       "=== Zero-copy scan pipeline: materialize vs view (N = %llu, %d "
-      "rounds)\n\n",
-      static_cast<unsigned long long>(rows), iters);
-  snapdiff::Status st = snapdiff::Run(rows, iters, json_path);
+      "rounds + %d warmup)\n\n",
+      static_cast<unsigned long long>(rows), iters, warmup);
+  snapdiff::Status st = snapdiff::Run(rows, iters, warmup, json_path);
   if (!st.ok()) {
     std::fprintf(stderr, "bench_scan failed: %s\n", st.ToString().c_str());
     return 1;

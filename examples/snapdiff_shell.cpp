@@ -13,6 +13,8 @@
 //   stats
 //   \metrics            (system-wide metrics, Prometheus text; add `json`)
 //   \trace              (phase timeline of the last refresh)
+//   \flightrec out.json (dump the flight recorder as a Chrome trace —
+//                        open in Perfetto / chrome://tracing)
 //   \loglevel debug     (structured logging to stderr; `off` to silence)
 //   \checkpoint         (fuzzy checkpoint of a file-backed base site)
 //   \recover            (stats of the restart recovery that opened --data=)
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "snapshot/snapshot_manager.h"
@@ -171,6 +174,7 @@ class Shell {
     if (tok[0] == "stats") return Stats();
     if (tok[0] == "\\metrics") return Metrics(tok);
     if (tok[0] == "\\trace") return Trace();
+    if (tok[0] == "\\flightrec") return FlightRec(tok);
     if (tok[0] == "\\loglevel") return SetLogLevel(tok);
     if (tok[0] == "\\checkpoint") return Checkpoint();
     if (tok[0] == "\\recover") return RecoveryInfo();
@@ -318,7 +322,45 @@ class Shell {
     const bool json = tok.size() > 1 && tok[1] == "json";
     std::fputs((json ? reg.ExportJson() : reg.ExportPrometheus()).c_str(),
                stdout);
+    if (!json) {
+      // Quantile summaries ride along as comments so the Prometheus text
+      // above stays format-clean for scrapers.
+      const obs::MetricsSnapshot snap = reg.Snapshot();
+      for (const auto& [name, h] : snap.histograms) {
+        if (h.count == 0) continue;
+        std::printf("# quantiles %s: p50=%.1f p95=%.1f p99=%.1f (n=%llu)\n",
+                    name.c_str(), h.Quantile(0.50), h.Quantile(0.95),
+                    h.Quantile(0.99),
+                    static_cast<unsigned long long>(h.count));
+      }
+    }
     return Status::OK();
+  }
+
+  Status FlightRec(const std::vector<std::string>& tok) {
+    // \flightrec <file> — drain the flight recorder into a Chrome trace.
+    if (tok.size() != 2) {
+      return Status::InvalidArgument("usage: \\flightrec <file>");
+    }
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+    obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+    RETURN_IF_ERROR(rec.WriteChromeTrace(tok[1]));
+    uint64_t events = 0;
+    uint64_t dropped = 0;
+    for (const auto& track : rec.Drain()) {
+      events += track.events.size();
+      dropped += track.dropped_events;
+    }
+    std::printf(
+        "flight recorder: %llu events (%llu dropped) -> %s "
+        "(open in Perfetto or chrome://tracing)\n",
+        static_cast<unsigned long long>(events),
+        static_cast<unsigned long long>(dropped), tok[1].c_str());
+    return Status::OK();
+#else
+    return Status::NotSupported(
+        "flight recorder compiled out (SNAPDIFF_FLIGHT_RECORDER=OFF)");
+#endif
   }
 
   Status Trace() {

@@ -7,6 +7,10 @@
 # Usage: scripts/bench.sh [rows] [iters]
 #   rows   parallel-refresh base-table size  (default 20000)
 #   iters  measured refresh rounds           (default 3)
+#
+# The workload harness runs at WL_ROWS rows (default 50x the sweep size, so
+# the default invocation reaches the paper-scale million-row run) and dumps
+# a flight-recorder trace next to its JSON.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,10 +18,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 ROWS="${1:-20000}"
 ITERS="${2:-3}"
+WL_ROWS="${WL_ROWS:-$((ROWS * 50))}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
-  bench_fig8 bench_fig9 bench_parallel_refresh bench_scan
+  bench_fig8 bench_fig9 bench_parallel_refresh bench_scan bench_workload
 
 # Figure reproductions: capture the printed series alongside the CSV the
 # binaries already embed in their stdout.
@@ -31,5 +36,11 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
 # Zero-copy scan pipeline: materialize vs view rows/sec.
 "${BUILD_DIR}/bench/bench_scan" "${ROWS}" "${ITERS}" BENCH_scan.json
 
+# Workload harness: YCSB churn + differential refresh, file-backed, with a
+# flight-recorder trace for Perfetto. This is the series perf_gate.py gates.
+"${BUILD_DIR}/bench/bench_workload" "${WL_ROWS}" "${ITERS}" \
+  BENCH_workload.json 1 --trace=BENCH_workload.trace.json
+
 echo
-echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json BENCH_scan.json"
+echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json" \
+  "BENCH_scan.json BENCH_workload.json BENCH_workload.trace.json"

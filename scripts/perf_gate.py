@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Noise-aware perf-regression gate over BENCH_workload.json.
+
+Compares a freshly produced bench report against the checked-in baseline
+(bench/baselines/BENCH_workload.baseline.json) per workload profile:
+
+  wire_bytes_per_row   deterministic for a fixed config, so compared
+                       strictly (2% tolerance covers float rendering);
+                       any real change means the wire protocol changed
+                       and the baseline must be regenerated deliberately.
+  rows_per_sec         throughput, compared with a noise-aware threshold:
+                       max(15%, 3 * cv) where cv is the baseline's
+                       refresh-wall coefficient of variation. Violations
+                       hard-fail only when the current host fingerprint
+                       (hardware_concurrency) matches the baseline's;
+                       otherwise they warn, because cross-host wall-clock
+                       comparisons are not evidence of a regression.
+
+Reports whose shape differs from the baseline (rows, ops_per_round,
+selectivity, wal_enabled) are incomparable: the gate warns and passes
+rather than emitting a fake verdict.
+
+Usage:
+  perf_gate.py CURRENT.json [--baseline PATH]
+  perf_gate.py --write-baseline CURRENT.json [--baseline PATH]
+  perf_gate.py --self-test [--baseline PATH]
+
+--self-test proves the gate works: the baseline compared against itself
+must pass, and the baseline with a synthetic 20% throughput loss injected
+must fail. Exits nonzero if either direction misbehaves.
+"""
+
+import argparse
+import copy
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baselines", "BENCH_workload.baseline.json")
+
+WIRE_TOLERANCE = 0.02          # deterministic metric: effectively "equal"
+MIN_THROUGHPUT_TOLERANCE = 0.15  # floor under the noise-derived threshold
+CV_MULTIPLIER = 3.0
+
+SHAPE_KEYS = ("rows", "ops_per_round", "selectivity", "wal_enabled")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def configs_by_name(report):
+    return {c["name"]: c for c in report.get("configs", [])}
+
+
+def baseline_cv(config):
+    stats = config.get("refresh_wall_us", {})
+    mean = stats.get("mean", 0.0)
+    stddev = stats.get("stddev", 0.0)
+    return (stddev / mean) if mean > 0 else 0.0
+
+
+def compare(current, baseline):
+    """Returns (failures, warnings) as lists of strings."""
+    failures, warnings = [], []
+
+    for key in SHAPE_KEYS:
+        if current.get(key) != baseline.get(key):
+            warnings.append(
+                f"incomparable reports: {key} is {current.get(key)!r} now "
+                f"vs {baseline.get(key)!r} in the baseline — skipping gate")
+            return [], warnings
+
+    same_host = (current.get("hardware_concurrency")
+                 == baseline.get("hardware_concurrency"))
+    if not same_host:
+        warnings.append(
+            "host fingerprint differs from baseline "
+            f"(hardware_concurrency {current.get('hardware_concurrency')} vs "
+            f"{baseline.get('hardware_concurrency')}); throughput violations "
+            "reported as warnings only")
+
+    cur_cfgs = configs_by_name(current)
+    base_cfgs = configs_by_name(baseline)
+    for name, base in base_cfgs.items():
+        cur = cur_cfgs.get(name)
+        if cur is None:
+            failures.append(f"profile {name!r} missing from current report")
+            continue
+
+        # Deterministic wire cost: strict in both directions. A drop is an
+        # improvement, but a silently drifting baseline hides the next
+        # regression — regenerate it on purpose with --write-baseline.
+        bw, cw = base["wire_bytes_per_row"], cur["wire_bytes_per_row"]
+        if bw > 0:
+            drift = abs(cw - bw) / bw
+            if drift > WIRE_TOLERANCE:
+                failures.append(
+                    f"{name}: wire_bytes_per_row {cw:.4f} vs baseline "
+                    f"{bw:.4f} ({drift:+.1%}); deterministic metric changed "
+                    "— regenerate the baseline if intentional")
+
+        threshold = max(MIN_THROUGHPUT_TOLERANCE,
+                        CV_MULTIPLIER * baseline_cv(base))
+        bt, ct = base["rows_per_sec"], cur["rows_per_sec"]
+        if bt > 0 and ct < bt * (1.0 - threshold):
+            msg = (f"{name}: rows_per_sec {ct:.0f} vs baseline {bt:.0f} "
+                   f"({ct / bt - 1.0:+.1%}, threshold -{threshold:.0%})")
+            (failures if same_host else warnings).append(msg)
+
+    return failures, warnings
+
+
+def run_gate(current_path, baseline_path):
+    if not os.path.exists(baseline_path):
+        print(f"perf_gate: no baseline at {baseline_path}; "
+              "run --write-baseline first", file=sys.stderr)
+        return 1
+    current = load(current_path)
+    baseline = load(baseline_path)
+    failures, warnings = compare(current, baseline)
+    for w in warnings:
+        print(f"perf_gate: WARNING: {w}")
+    for f in failures:
+        print(f"perf_gate: FAIL: {f}")
+    if failures:
+        print(f"perf_gate: {len(failures)} regression(s) vs "
+              f"{os.path.basename(baseline_path)}")
+        return 1
+    print(f"perf_gate: PASS vs {os.path.basename(baseline_path)} "
+          f"(git {baseline.get('git_sha', '?')} -> "
+          f"{current.get('git_sha', '?')})")
+    return 0
+
+
+def self_test(baseline_path):
+    if not os.path.exists(baseline_path):
+        print(f"perf_gate: no baseline at {baseline_path}", file=sys.stderr)
+        return 1
+    baseline = load(baseline_path)
+
+    # Direction 1: the baseline against itself must pass cleanly.
+    failures, _ = compare(copy.deepcopy(baseline), baseline)
+    if failures:
+        print("perf_gate: SELF-TEST FAIL: baseline does not pass against "
+              "itself:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+
+    # Direction 2: a synthetic 20% throughput loss must be caught. 20% sits
+    # above the 15% floor; if the baseline's own noise pushed the threshold
+    # past 20%, the baseline is too noisy to gate with — also a failure.
+    slowed = copy.deepcopy(baseline)
+    for cfg in slowed.get("configs", []):
+        cfg["rows_per_sec"] *= 0.8
+    failures, warnings = compare(slowed, baseline)
+    if not failures:
+        print("perf_gate: SELF-TEST FAIL: injected 20% slowdown was not "
+              "detected", file=sys.stderr)
+        for w in warnings:
+            print(f"  warning was: {w}", file=sys.stderr)
+        return 1
+
+    print("perf_gate: self-test OK (baseline passes, 20% slowdown caught)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", nargs="?", help="freshly produced "
+                        "BENCH_workload.json to gate")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="install CURRENT as the new baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate passes its own baseline and "
+                        "catches an injected 20%% slowdown")
+    args = parser.parse_args()
+
+    if args.self_test:
+        # Self-testing ignores `current`: it perturbs the baseline itself, so
+        # it runs anywhere the baseline is checked out.
+        return self_test(args.baseline)
+
+    if not args.current:
+        parser.error("CURRENT.json required unless --self-test")
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"perf_gate: wrote baseline {args.baseline}")
+        return 0
+
+    return run_gate(args.current, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 
 namespace snapdiff {
@@ -74,6 +75,10 @@ Channel::Channel(ChannelOptions options) : options_(std::move(options)) {
   metrics_.dropped = reg.GetCounter(p + ".dropped_messages");
   metrics_.duplicated = reg.GetCounter(p + ".duplicated_messages");
   metrics_.reordered = reg.GetCounter(p + ".reordered_messages");
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+  fr_frame_name_ = obs::FlightRecorder::InternName(p + ".frame");
+  fr_wire_name_ = obs::FlightRecorder::InternName(p + ".wire_bytes");
+#endif
 }
 
 void Channel::Arm(FaultPlan plan) {
@@ -210,9 +215,13 @@ Status Channel::Send(const Message& msg) {
     metrics_.frames->Inc();
     stats_.wire_bytes += options_.frame_header_bytes;
     metrics_.wire_bytes->Inc(options_.frame_header_bytes);
+    open_frame_wire_bytes_ += options_.frame_header_bytes;
   }
+  open_frame_wire_bytes_ +=
+      bytes.size() + options_.per_message_overhead_bytes;
   if (++open_frame_messages_ >= options_.blocking_factor) {
     open_frame_messages_ = 0;
+    NoteFrameClosed();
   }
 
   ++sends_since_arm_;
@@ -251,7 +260,18 @@ Result<Message> Channel::Receive() {
   return msg;
 }
 
-void Channel::FlushFrame() { open_frame_messages_ = 0; }
+void Channel::FlushFrame() {
+  open_frame_messages_ = 0;
+  NoteFrameClosed();
+}
+
+void Channel::NoteFrameClosed() {
+  if (open_frame_wire_bytes_ > 0) {
+    SNAPDIFF_FR_INSTANT(fr_frame_name_, open_frame_wire_bytes_);
+    SNAPDIFF_FR_COUNTER(fr_wire_name_, stats_.wire_bytes);
+  }
+  open_frame_wire_bytes_ = 0;
+}
 
 BatchingSender::BatchingSender(MessageSink* sink, size_t batch_size)
     : sink_(sink), batch_size_(batch_size) {}

@@ -250,10 +250,20 @@ class Channel : public MessageSink {
   /// window.
   void Enqueue(std::string bytes);
 
+  /// Flight-recorder hook: emits one instant event per closed frame
+  /// carrying that frame's exact wire bytes (header + messages), plus a
+  /// cumulative wire-bytes counter sample. Summing the instants over a
+  /// refresh reproduces ChannelStats::wire_bytes exactly — the
+  /// reconciliation the observability integration test asserts.
+  void NoteFrameClosed();
+
   ChannelOptions options_;
   Instruments metrics_;
   std::deque<std::string> queue_;
   size_t open_frame_messages_ = 0;
+  uint64_t open_frame_wire_bytes_ = 0;
+  const char* fr_frame_name_ = nullptr;  // interned "<prefix>.frame"
+  const char* fr_wire_name_ = nullptr;   // interned "<prefix>.wire_bytes"
   bool partitioned_ = false;
   ChannelStats stats_;
 

@@ -1,0 +1,280 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace snapdiff {
+namespace obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Minimal JSON string escaping for event/thread names (identifiers we
+// control, but a stray quote must not corrupt the trace file).
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> FlightRecorder::enabled_{true};
+thread_local FlightRecorder::Ring* FlightRecorder::tls_ring_ = nullptr;
+
+uint64_t FlightRecorder::NowTicks() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t value;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(value));
+  return value;
+#else
+  return SteadyNowNs();
+#endif
+}
+
+FlightRecorder::Ring::Ring(uint64_t tid_in, size_t capacity_in)
+    : tid(tid_in),
+      capacity(capacity_in),
+      mask(capacity_in - 1),
+      slots(new Slot[capacity_in]) {}
+
+void FlightRecorder::Ring::Push(uint64_t ticks, const char* name,
+                                uint64_t arg, FrEventType type) {
+  const uint64_t h = head.load(std::memory_order_relaxed);
+  Slot& slot = slots[h & mask];
+  slot.ticks.store(ticks, std::memory_order_relaxed);
+  slot.name.store(reinterpret_cast<uintptr_t>(name),
+                  std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint64_t>(type), std::memory_order_relaxed);
+  // Publish: a drain that acquires this head value sees the slot stores.
+  head.store(h + 1, std::memory_order_release);
+}
+
+FlightRecorder::FlightRecorder() {
+  anchor_ticks0_ = NowTicks();
+  anchor_ns0_ = SteadyNowNs();
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Deliberately leaked: detached threads may record during process exit,
+  // after static destructors would have torn a Meyers singleton down.
+  static FlightRecorder* global = new FlightRecorder();
+  return *global;
+}
+
+const char* FlightRecorder::InternName(std::string_view name) {
+  // Node-based set: element addresses (and thus c_str()) are stable across
+  // rehashes, and entries live for the process lifetime.
+  static std::mutex* mu = new std::mutex();
+  static std::unordered_set<std::string>* interned =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(*mu);
+  return interned->emplace(name).first->c_str();
+}
+
+void FlightRecorder::Record(FrEventType type, const char* name,
+                            uint64_t arg) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = tls_ring_;
+  if (ring == nullptr) {
+    ring = Global().RegisterCurrentThread();
+    tls_ring_ = ring;
+  }
+  ring->Push(NowTicks(), name, arg, type);
+}
+
+FlightRecorder::Ring* FlightRecorder::RegisterCurrentThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(
+      std::make_unique<Ring>(rings_.size(), ring_capacity_));
+  return rings_.back().get();
+}
+
+void FlightRecorder::SetRingCapacity(size_t events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = RoundUpPow2(events);
+}
+
+void FlightRecorder::RefreshCalibration() {
+  const uint64_t ticks1 = NowTicks();
+  const uint64_t ns1 = SteadyNowNs();
+  if (ticks1 > anchor_ticks0_ && ns1 > anchor_ns0_) {
+    ns_per_tick_ = static_cast<double>(ns1 - anchor_ns0_) /
+                   static_cast<double>(ticks1 - anchor_ticks0_);
+  }
+}
+
+double FlightRecorder::TicksToMicros(uint64_t ticks) const {
+  if (ticks <= anchor_ticks0_) return 0.0;
+  return static_cast<double>(ticks - anchor_ticks0_) * ns_per_tick_ / 1000.0;
+}
+
+std::vector<FlightRecorder::ThreadTrack> FlightRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefreshCalibration();
+  std::vector<ThreadTrack> tracks;
+  tracks.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    ThreadTrack track;
+    track.tid = ring->tid;
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t base = ring->base.load(std::memory_order_relaxed);
+    const uint64_t cap = ring->capacity;
+    uint64_t start = head > cap ? head - cap : 0;
+    if (start < base) start = base;
+    std::vector<FrEvent> events;
+    events.reserve(head - start);
+    for (uint64_t i = start; i < head; ++i) {
+      const Slot& slot = ring->slots[i & ring->mask];
+      FrEvent event;
+      event.ticks = slot.ticks.load(std::memory_order_relaxed);
+      event.name = reinterpret_cast<const char*>(
+          slot.name.load(std::memory_order_relaxed));
+      event.arg = slot.arg.load(std::memory_order_relaxed);
+      event.type = static_cast<FrEventType>(
+          slot.type.load(std::memory_order_relaxed) & 3);
+      events.push_back(event);
+    }
+    // A producer racing with this drain may have wrapped past the oldest
+    // slots we read. Re-check the head and discard any prefix that could
+    // have been overwritten mid-read (best effort: the slot fields are
+    // whole atomics, so even a lost race yields valid field values, never
+    // torn memory).
+    const uint64_t head2 = ring->head.load(std::memory_order_acquire);
+    uint64_t valid_start = head2 > cap ? head2 - cap : 0;
+    if (valid_start < start) valid_start = start;
+    if (valid_start > head) valid_start = head;
+    track.events.assign(events.begin() + (valid_start - start),
+                        events.end());
+    track.dropped_events = valid_start > base ? valid_start - base : 0;
+    tracks.push_back(std::move(track));
+  }
+  return tracks;
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    ring->base.store(ring->head.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+  }
+}
+
+std::string FlightRecorder::ChromeTraceJson() {
+  const std::vector<ThreadTrack> tracks = Drain();
+  std::string out = "[\n";
+  char buf[160];
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const ThreadTrack& track : tracks) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":"
+                  "\"snapdiff-thread-%llu\"}}",
+                  static_cast<unsigned long long>(track.tid),
+                  static_cast<unsigned long long>(track.tid));
+    out += buf;
+    if (track.dropped_events > 0) {
+      comma();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%llu,"
+                    "\"ts\":0.000,\"name\":\"flight_recorder.dropped\","
+                    "\"args\":{\"count\":%llu}}",
+                    static_cast<unsigned long long>(track.tid),
+                    static_cast<unsigned long long>(track.dropped_events));
+      out += buf;
+    }
+    for (const FrEvent& event : track.events) {
+      if (event.name == nullptr) continue;
+      comma();
+      const double ts = TicksToMicros(event.ticks);
+      const char* ph = "i";
+      switch (event.type) {
+        case FrEventType::kSpanBegin:
+          ph = "B";
+          break;
+        case FrEventType::kSpanEnd:
+          ph = "E";
+          break;
+        case FrEventType::kInstant:
+          ph = "i";
+          break;
+        case FrEventType::kCounter:
+          ph = "C";
+          break;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"%s\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                    "\"name\":\"",
+                    ph, static_cast<unsigned long long>(track.tid), ts);
+      out += buf;
+      AppendJsonEscaped(&out, event.name);
+      out += "\"";
+      if (event.type == FrEventType::kCounter) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%llu}",
+                      static_cast<unsigned long long>(event.arg));
+        out += buf;
+      } else if (event.type == FrEventType::kInstant) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"s\":\"t\",\"args\":{\"arg\":%llu}",
+                      static_cast<unsigned long long>(event.arg));
+        out += buf;
+      }
+      out += "}";
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status FlightRecorder::WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("flight recorder: cannot open " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("flight recorder: short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace snapdiff

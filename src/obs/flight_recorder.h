@@ -1,0 +1,225 @@
+#ifndef SNAPDIFF_OBS_FLIGHT_RECORDER_H_
+#define SNAPDIFF_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace snapdiff {
+namespace obs {
+
+/// Event kinds recorded by the flight recorder. Span begin/end pairs nest
+/// per thread (LIFO); instants and counter samples are points in time.
+enum class FrEventType : uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kInstant = 2,
+  kCounter = 3,
+};
+
+/// One drained event. `name` is an interned (or static) NUL-terminated
+/// string that lives for the process lifetime; `ticks` is in the recorder's
+/// raw clock domain (convert via FlightRecorder::TicksToMicros).
+struct FrEvent {
+  uint64_t ticks = 0;
+  const char* name = nullptr;
+  uint64_t arg = 0;
+  FrEventType type = FrEventType::kInstant;
+};
+
+/// An always-on, low-overhead event recorder: per-thread lock-free ring
+/// buffers of fixed-size binary events stamped with a cheap monotonic clock
+/// (rdtsc where available). Recording is wait-free for the owning thread —
+/// a handful of relaxed stores plus one release store — so hot paths (page
+/// transitions, WAL appends, buffer-pool misses, frame flushes) can record
+/// unconditionally. Memory is bounded: each thread owns one fixed-capacity
+/// ring; when it wraps, the oldest events are overwritten and counted in
+/// `dropped_events`.
+///
+/// Draining is on-demand and may run concurrently with recording: events
+/// that could have been overwritten during the drain are discarded rather
+/// than returned torn. The drained timeline converts to Chrome trace-event
+/// JSON loadable in Perfetto / chrome://tracing.
+///
+/// The recorder compiles out entirely with -DSNAPDIFF_FLIGHT_RECORDER=OFF
+/// (the SNAPDIFF_FR_* macros below become no-ops); at runtime a process-wide
+/// kill switch (SetEnabled) turns recording into a single predictable
+/// branch.
+class FlightRecorder {
+ public:
+  /// Events drained from one thread's ring, oldest first.
+  struct ThreadTrack {
+    uint64_t tid = 0;  // registration index, stable for the thread's life
+    uint64_t dropped_events = 0;  // overwritten since the last Reset()
+    std::vector<FrEvent> events;
+  };
+
+  static FlightRecorder& Global();
+
+  /// Process-wide runtime kill switch (default on). Disabling makes every
+  /// record call a single relaxed load + branch.
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Interns `name`, returning a stable pointer valid for the process
+  /// lifetime. Hot paths should pass static string literals directly to the
+  /// record calls instead; interning is for dynamically built names (Tracer
+  /// span names, per-channel prefixes) and takes a mutex.
+  static const char* InternName(std::string_view name);
+
+  /// Record calls. `name` must outlive the process (static literal or
+  /// InternName result).
+  static void SpanBegin(const char* name) {
+    Record(FrEventType::kSpanBegin, name, 0);
+  }
+  static void SpanEnd(const char* name) {
+    Record(FrEventType::kSpanEnd, name, 0);
+  }
+  static void Instant(const char* name, uint64_t arg = 0) {
+    Record(FrEventType::kInstant, name, arg);
+  }
+  static void CounterSample(const char* name, uint64_t value) {
+    Record(FrEventType::kCounter, name, value);
+  }
+
+  /// The recorder's raw clock (rdtsc ticks where available, otherwise
+  /// steady_clock nanoseconds). Monotonic per thread; cheap enough for
+  /// latency bookkeeping at call sites (queue wait = NowTicks() - submit).
+  static uint64_t NowTicks();
+
+  /// Converts a raw tick stamp to microseconds since the recorder was
+  /// initialized, using the anchor calibration refreshed at each drain.
+  double TicksToMicros(uint64_t ticks) const;
+
+  /// Capacity (in events, rounded up to a power of two) for rings created
+  /// after this call. Existing rings keep their capacity. Default 16384.
+  void SetRingCapacity(size_t events);
+
+  /// Snapshots every thread's ring, oldest events first. Safe to call while
+  /// other threads record; events that wrapped mid-drain are dropped, never
+  /// returned torn.
+  std::vector<ThreadTrack> Drain();
+
+  /// Logically clears every ring (base = head) and the dropped counts, so
+  /// the next Drain() sees only events recorded after this call.
+  void Reset();
+
+  /// Drains and renders the Chrome trace-event JSON array format:
+  /// span begin/end -> ph "B"/"E", instant -> "i", counter -> "C", plus
+  /// thread-name metadata per track. Load in Perfetto or chrome://tracing.
+  std::string ChromeTraceJson();
+
+  /// ChromeTraceJson() to a file.
+  Status WriteChromeTrace(const std::string& path);
+
+ private:
+  // One ring slot. Fields are relaxed atomics (not plain values) so a
+  // concurrent drain racing with the owner's overwrite is a data race by
+  // construction, not by the memory model: the drain re-checks the head and
+  // discards anything that could have been overwritten.
+  struct Slot {
+    std::atomic<uint64_t> ticks{0};
+    std::atomic<uintptr_t> name{0};
+    std::atomic<uint64_t> arg{0};
+    std::atomic<uint64_t> type{0};
+  };
+
+  // Single-producer ring: only the owning thread pushes; head_ counts
+  // pushes forever (never wraps logically) and is published with release so
+  // a draining thread acquiring it sees the slots it covers.
+  struct Ring {
+    explicit Ring(uint64_t tid_in, size_t capacity);
+    void Push(uint64_t ticks, const char* name, uint64_t arg,
+              FrEventType type);
+
+    const uint64_t tid;
+    const size_t capacity;  // power of two
+    const size_t mask;
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<uint64_t> head{0};
+    std::atomic<uint64_t> base{0};  // events below this were Reset() away
+  };
+
+  FlightRecorder();
+
+  static void Record(FrEventType type, const char* name, uint64_t arg);
+  Ring* RegisterCurrentThread();
+  void RefreshCalibration();
+
+  static std::atomic<bool> enabled_;
+  // The owning thread's ring, cached after first use. Rings are owned by
+  // the (leaky) global registry and outlive every thread, so a raw pointer
+  // is safe.
+  static thread_local Ring* tls_ring_;
+
+  mutable std::mutex mu_;  // registry + interning + calibration
+  std::vector<std::unique_ptr<Ring>> rings_;  // live for the process
+  size_t ring_capacity_ = 16384;
+
+  // Anchor pair calibration: ticks/steady nanoseconds sampled together at
+  // init and refreshed at each drain; the ratio converts ticks to time.
+  uint64_t anchor_ticks0_ = 0;
+  uint64_t anchor_ns0_ = 0;
+  double ns_per_tick_ = 1.0;
+};
+
+}  // namespace obs
+}  // namespace snapdiff
+
+// Call-site macros: no-ops when the recorder is compiled out, so hot paths
+// carry zero code in SNAPDIFF_FLIGHT_RECORDER=OFF builds (the overhead
+// baseline the 3% bench gate compares against).
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+
+#define SNAPDIFF_FR_SPAN_BEGIN(name) \
+  ::snapdiff::obs::FlightRecorder::SpanBegin(name)
+#define SNAPDIFF_FR_SPAN_END(name) \
+  ::snapdiff::obs::FlightRecorder::SpanEnd(name)
+#define SNAPDIFF_FR_INSTANT(name, arg) \
+  ::snapdiff::obs::FlightRecorder::Instant(name, arg)
+#define SNAPDIFF_FR_COUNTER(name, value) \
+  ::snapdiff::obs::FlightRecorder::CounterSample(name, value)
+#define SNAPDIFF_FR_NOW() ::snapdiff::obs::FlightRecorder::NowTicks()
+
+namespace snapdiff {
+namespace obs {
+/// RAII span for the recorder only (hot paths too cheap for Tracer::Span).
+class FrScopedSpan {
+ public:
+  explicit FrScopedSpan(const char* name) : name_(name) {
+    FlightRecorder::SpanBegin(name_);
+  }
+  ~FrScopedSpan() { FlightRecorder::SpanEnd(name_); }
+  FrScopedSpan(const FrScopedSpan&) = delete;
+  FrScopedSpan& operator=(const FrScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+};
+}  // namespace obs
+}  // namespace snapdiff
+
+#define SNAPDIFF_FR_SCOPED_SPAN(var, name) \
+  ::snapdiff::obs::FrScopedSpan var(name)
+
+#else  // !SNAPDIFF_FLIGHT_RECORDER_ENABLED
+
+#define SNAPDIFF_FR_SPAN_BEGIN(name) ((void)0)
+#define SNAPDIFF_FR_SPAN_END(name) ((void)0)
+#define SNAPDIFF_FR_INSTANT(name, arg) ((void)0)
+#define SNAPDIFF_FR_COUNTER(name, value) ((void)0)
+#define SNAPDIFF_FR_NOW() (static_cast<uint64_t>(0))
+#define SNAPDIFF_FR_SCOPED_SPAN(var, name) ((void)0)
+
+#endif  // SNAPDIFF_FLIGHT_RECORDER_ENABLED
+
+#endif  // SNAPDIFF_OBS_FLIGHT_RECORDER_H_

@@ -79,6 +79,45 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot h;
+  h.bounds = bounds_;
+  h.buckets.reserve(h.bounds.size() + 1);
+  for (size_t i = 0; i <= h.bounds.size(); ++i) {
+    h.buckets.push_back(bucket_count(i));
+  }
+  h.count = count();
+  h.sum = sum();
+  return h;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // +Inf bucket: no upper bound to interpolate toward — saturate at
+      // the largest finite bound (or 0 for a bounds-less histogram).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction =
+        (rank - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::vector<double> DefaultLatencyBucketsUs() {
   std::vector<double> bounds;
   for (double b = 1.0; b <= 20e6; b *= 4.0) bounds.push_back(b);  // 1us..16s
@@ -122,15 +161,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.gauges[name] = gauge->value();
   }
   for (const auto& [name, hist] : histograms_) {
-    HistogramSnapshot h;
-    h.bounds = hist->bounds();
-    h.buckets.reserve(h.bounds.size() + 1);
-    for (size_t i = 0; i <= h.bounds.size(); ++i) {
-      h.buckets.push_back(hist->bucket_count(i));
-    }
-    h.count = hist->count();
-    h.sum = hist->sum();
-    snap.histograms[name] = std::move(h);
+    snap.histograms[name] = hist->Snapshot();
   }
   return snap;
 }
@@ -161,6 +192,9 @@ std::string MetricsRegistry::ExportJson() const {
     AppendJsonString(&out, name);
     out += ": {\"count\": " + std::to_string(h.count);
     out += ", \"sum\": " + RenderDouble(h.sum);
+    out += ", \"p50\": " + RenderDouble(h.Quantile(0.50));
+    out += ", \"p95\": " + RenderDouble(h.Quantile(0.95));
+    out += ", \"p99\": " + RenderDouble(h.Quantile(0.99));
     out += ", \"buckets\": [";
     for (size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) out += ", ";

@@ -41,6 +41,8 @@ class Gauge {
 /// inclusive upper bounds, an implicit +Inf bucket catches the rest.
 /// Observations are atomic per bucket; bucket counts are NOT cumulative in
 /// memory (the Prometheus export cumulates them, as its format requires).
+struct HistogramSnapshot;
+
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -54,6 +56,8 @@ class Histogram {
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
+  /// A detached copy of the current state (for Quantile etc.).
+  HistogramSnapshot Snapshot() const;
   void Reset();
 
  private:
@@ -71,6 +75,14 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;  // bounds.size() + 1 entries, last = +Inf
   uint64_t count = 0;
   double sum = 0.0;
+
+  /// Bucket-interpolated quantile estimate, Prometheus histogram_quantile
+  /// style: finds the bucket holding the q-th observation and interpolates
+  /// linearly inside it (the first bucket's lower bound is 0). An
+  /// observation landing in the +Inf bucket yields the last finite bound
+  /// (the estimate saturates there). Returns 0 for an empty histogram;
+  /// `q` is clamped to [0, 1].
+  double Quantile(double q) const;
 };
 
 /// A consistent-enough copy of every instrument's value at one moment.

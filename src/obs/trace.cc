@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
+
 namespace snapdiff {
 namespace obs {
 
@@ -16,10 +18,15 @@ void Tracer::Begin(std::string name) {
   spans_.clear();
   start_counters_.clear();
   open_stack_.clear();
+  fr_names_.clear();
   name_ = std::move(name);
   duration_us_ = 0;
   t0_ = std::chrono::steady_clock::now();
   active_ = true;
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+  fr_trace_name_ = FlightRecorder::InternName(name_);
+  SNAPDIFF_FR_SPAN_BEGIN(fr_trace_name_);
+#endif
 }
 
 void Tracer::End() {
@@ -27,6 +34,9 @@ void Tracer::End() {
   while (!open_stack_.empty()) CloseSpan(open_stack_.back());
   duration_us_ = NowUs();
   active_ = false;
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+  if (fr_trace_name_ != nullptr) SNAPDIFF_FR_SPAN_END(fr_trace_name_);
+#endif
 }
 
 int Tracer::OpenSpan(std::string name) {
@@ -40,6 +50,12 @@ int Tracer::OpenSpan(std::string name) {
   spans_.push_back(std::move(span));
   start_counters_.push_back(registry_->Snapshot().counters);
   open_stack_.push_back(index);
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+  fr_names_.push_back(FlightRecorder::InternName(spans_[index].name));
+  SNAPDIFF_FR_SPAN_BEGIN(fr_names_[index]);
+#else
+  fr_names_.push_back(nullptr);
+#endif
   return index;
 }
 
@@ -58,6 +74,10 @@ void Tracer::CloseSpan(int index) {
       auto it = before.find(name);
       const uint64_t delta = value - (it == before.end() ? 0 : it->second);
       if (delta != 0) span.counter_deltas[name] = delta;
+    }
+    if (static_cast<size_t>(top) < fr_names_.size() &&
+        fr_names_[top] != nullptr) {
+      SNAPDIFF_FR_SPAN_END(fr_names_[top]);
     }
     if (top == index) break;
   }

@@ -129,6 +129,11 @@ class Tracer {
   std::string name_;
   std::vector<TraceSpan> spans_;
   std::vector<int> open_stack_;  // indexes of open spans, innermost last
+  // Interned flight-recorder names, parallel to spans_ (plus one for the
+  // trace itself): every tracer span is mirrored as a recorder span, so the
+  // flight recorder's timeline reconciles 1:1 with spans().
+  std::vector<const char*> fr_names_;
+  const char* fr_trace_name_ = nullptr;
   // Counter snapshot taken when spans_[i] opened (parallel to spans_).
   std::vector<std::map<std::string, uint64_t>> start_counters_;
   std::chrono::steady_clock::time_point t0_;

@@ -1,0 +1,125 @@
+#include "sim/ycsb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/workload.h"
+
+namespace snapdiff {
+
+YcsbWorkload::YcsbWorkload(BaseTable* table, const YcsbConfig& config)
+    : table_(table), config_(config), rng_(config.seed) {
+  if (config_.zipf_theta > 0.0 && config_.rows > 0) {
+    // Fixed-n generator over the initial table size (Zeta is O(n), too
+    // expensive to rebuild as rows churn); ranks are folded onto the live
+    // row count at pick time.
+    zipf_ = std::make_unique<ZipfianGenerator>(
+        config_.rows, config_.zipf_theta, rng_.NextUint64());
+  }
+}
+
+Result<std::unique_ptr<YcsbWorkload>> YcsbWorkload::Create(
+    SnapshotSystem* sys, const std::string& table_name,
+    const YcsbConfig& config) {
+  const double mix = config.read_fraction + config.update_fraction +
+                     config.insert_fraction + config.delete_fraction;
+  if (mix > 1.0 + 1e-9) {
+    return Status::InvalidArgument("ycsb: operation mix sums past 1.0");
+  }
+  Schema schema({{"Id", TypeId::kInt64, false},
+                 {"Qual", TypeId::kInt64, false},
+                 {"Payload", TypeId::kString, false}});
+  ASSIGN_OR_RETURN(BaseTable * table,
+                   sys->CreateBaseTable(table_name, std::move(schema),
+                                        AnnotationMode::kLazy,
+                                        config.placement));
+  auto workload =
+      std::unique_ptr<YcsbWorkload>(new YcsbWorkload(table, config));
+  workload->live_.reserve(config.rows);
+  for (uint64_t i = 0; i < config.rows; ++i) {
+    ASSIGN_OR_RETURN(Address addr,
+                     table->Insert(workload->MakeRow(workload->next_id_++)));
+    workload->live_.push_back(addr);
+  }
+  return workload;
+}
+
+std::string YcsbWorkload::RestrictionFor(double q) const {
+  return Workload::RestrictionFor(q, config_.qual_domain);
+}
+
+Tuple YcsbWorkload::MakeRow(int64_t id) {
+  std::string payload(config_.payload_bytes, 'x');
+  for (char& c : payload) {
+    c = static_cast<char>('a' + rng_.Uniform(26));
+  }
+  return Tuple(
+      {Value::Int64(id),
+       Value::Int64(static_cast<int64_t>(
+           rng_.Uniform(static_cast<uint64_t>(config_.qual_domain)))),
+       Value::String(std::move(payload))});
+}
+
+size_t YcsbWorkload::PickVictim() {
+  // Hot-partition choice: the slice [0, hot) of the live rows takes
+  // hot_share of the picks, the rest share the remainder.
+  size_t lo = 0;
+  size_t size = live_.size();
+  if (config_.hot_fraction > 0.0 && config_.hot_fraction < 1.0 &&
+      live_.size() >= 2) {
+    const size_t hot = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(config_.hot_fraction *
+                                            double(live_.size()))));
+    if (hot < live_.size()) {
+      if (rng_.Bernoulli(config_.hot_share)) {
+        size = hot;
+      } else {
+        lo = hot;
+        size = live_.size() - hot;
+      }
+    }
+  }
+  // Rank within the slice: zipfian rank folded onto the slice size (the
+  // generator's n is the initial table size and may differ from `size`
+  // after churn), or uniform.
+  const uint64_t rank =
+      zipf_ != nullptr ? zipf_->Next() % size : rng_.Uniform(size);
+  return lo + static_cast<size_t>(rank);
+}
+
+Result<YcsbOpCounts> YcsbWorkload::Run(size_t count) {
+  YcsbOpCounts ops;
+  const double insert_cut = config_.insert_fraction;
+  const double delete_cut = insert_cut + config_.delete_fraction;
+  const double update_cut = delete_cut + config_.update_fraction;
+  for (size_t i = 0; i < count; ++i) {
+    const double dice = rng_.NextDouble();
+    if (dice < insert_cut || live_.empty()) {
+      ASSIGN_OR_RETURN(Address addr, table_->Insert(MakeRow(next_id_++)));
+      live_.push_back(addr);
+      ++ops.inserts;
+    } else if (dice < delete_cut) {
+      const size_t v = PickVictim();
+      RETURN_IF_ERROR(table_->Delete(live_[v]));
+      live_[v] = live_.back();
+      live_.pop_back();
+      ++ops.deletes;
+    } else if (dice < update_cut) {
+      const size_t v = PickVictim();
+      // Keep the row's identity, redraw Qual and Payload — an in-place
+      // update that can move the row in or out of any snapshot's predicate.
+      ASSIGN_OR_RETURN(Tuple row, table_->ReadUserRow(live_[v]));
+      Tuple fresh = MakeRow(row.value(0).as_int64());
+      RETURN_IF_ERROR(table_->Update(live_[v], fresh));
+      ++ops.updates;
+    } else {
+      const size_t v = PickVictim();
+      RETURN_IF_ERROR(table_->ReadUserRow(live_[v]).status());
+      ++ops.reads;
+    }
+  }
+  return ops;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,97 @@
+#ifndef SNAPDIFF_SIM_YCSB_H_
+#define SNAPDIFF_SIM_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+
+/// A YCSB-style operation generator over the experiment schema
+/// (Id INT64, Qual INT64, Payload STRING — see sim/workload.h): a stream of
+/// point reads, updates, inserts and deletes with configurable mix, row
+/// width, zipfian access skew, and a hot-partition concentration. This is
+/// the steady-state churn bench_workload drives between refreshes, standing
+/// in for YCSB workloads A-D at whatever scale the bench asks for.
+struct YcsbConfig {
+  /// Initial table size (rows loaded by Create).
+  uint64_t rows = 10000;
+  /// Payload column width — the row-width knob. Stored row size is this
+  /// plus the two INT64 columns and tuple framing.
+  size_t payload_bytes = 100;
+  int64_t qual_domain = 1 << 20;
+  uint64_t seed = 1;
+
+  /// Operation mix. Must sum to <= 1.0; the remainder falls to reads
+  /// (YCSB A = 0.5/0.5 read/update, B = 0.95/0.05, ...).
+  double read_fraction = 0.5;
+  double update_fraction = 0.5;
+  double insert_fraction = 0.0;
+  double delete_fraction = 0.0;
+
+  /// Access skew for read/update/delete victims: 0 = uniform, otherwise the
+  /// zipfian theta (0.8-0.99 typical; Gray et al. generator in common/).
+  double zipf_theta = 0.0;
+
+  /// Hot-partition concentration: the first `hot_fraction` of the live rows
+  /// receive `hot_share` of the victim picks (0 disables). Composes with
+  /// zipf_theta, which then skews access *within* the chosen partition.
+  double hot_fraction = 0.0;
+  double hot_share = 0.9;
+
+  PlacementPolicy placement = PlacementPolicy::kFirstFit;
+};
+
+struct YcsbOpCounts {
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+
+  uint64_t total() const { return reads + updates + inserts + deletes; }
+};
+
+class YcsbWorkload {
+ public:
+  /// Creates base table `table_name` in `sys` (lazy annotation mode, like
+  /// the paper's experiments) and loads `config.rows` rows.
+  static Result<std::unique_ptr<YcsbWorkload>> Create(
+      SnapshotSystem* sys, const std::string& table_name,
+      const YcsbConfig& config);
+
+  /// Applies `count` operations drawn from the configured mix and skew.
+  Result<YcsbOpCounts> Run(size_t count);
+
+  /// The restriction text selecting a fraction `q` of rows (rows qualify
+  /// independently: Qual is uniform in [0, qual_domain)).
+  std::string RestrictionFor(double q) const;
+
+  BaseTable* table() const { return table_; }
+  uint64_t live_rows() const { return live_.size(); }
+  const YcsbConfig& config() const { return config_; }
+
+  /// Picks a victim index into live_: hot-partition choice first, then
+  /// zipfian (or uniform) rank within the chosen slice. Public so tests and
+  /// custom drivers can sample the access distribution directly.
+  size_t PickVictim();
+
+ private:
+  YcsbWorkload(BaseTable* table, const YcsbConfig& config);
+
+  Tuple MakeRow(int64_t id);
+
+  BaseTable* table_;
+  YcsbConfig config_;
+  Random rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;  // fixed n = initial rows
+  std::vector<Address> live_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_SIM_YCSB_H_

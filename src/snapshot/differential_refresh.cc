@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -346,9 +347,17 @@ Status ExecuteGroupDifferentialRefresh(
       obs::Counter* rows_counter = reg.GetCounter(
           "snapshot.refresh.parallel.worker." +
           std::to_string(p % exec.workers) + ".rows");
+      // Flight-recorder task-latency probe: queue wait (submit -> start of
+      // execution) as an instant in ticks, then the extraction as a span on
+      // the worker's own track.
+      const uint64_t submitted_ticks = SNAPDIFF_FR_NOW();
       pending.push_back(exec.pool->Submit(
           [base, &states, part = partitions[p], rows_counter,
-           run = &runs[p]]() -> Status {
+           run = &runs[p], submitted_ticks]() -> Status {
+            SNAPDIFF_FR_INSTANT("thread_pool.task.queue_ticks",
+                                SNAPDIFF_FR_NOW() - submitted_ticks);
+            SNAPDIFF_FR_SCOPED_SPAN(fr_span, "refresh.extract_partition");
+            (void)submitted_ticks;
             return ExtractPartition(base, states, part, rows_counter, run);
           }));
     }

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 
 namespace snapdiff {
@@ -87,6 +88,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
   }
   SNAPDIFF_LOG(Trace) << "evicting page"
                       << obs::kv("page", victim->page_id_);
+  SNAPDIFF_FR_INSTANT("storage.buffer_pool.evict", victim->page_id_);
   page_table_.erase(victim->page_id_);
   RemoveFromLru(idx);
   victim->Reset();
@@ -108,6 +110,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   }
   ++stats_.misses;
   metric_misses_->Inc();
+  SNAPDIFF_FR_INSTANT("storage.buffer_pool.miss", page_id);
   ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Page* page = frames_[idx].get();
   Status read = disk_->ReadPage(page_id, page->data_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "storage/slotted_page.h"
 
 namespace snapdiff {
@@ -293,6 +294,9 @@ Status TableHeap::Cursor::FindNext() {
   while (page_idx_ < end_page_idx_) {
     const PageId page_id = heap_->pages_[page_idx_];
     if (!guard_) {
+      // Per-page (never per-row) flight-recorder event: the cursor crossed
+      // onto a new page and repins.
+      SNAPDIFF_FR_INSTANT("storage.cursor.page", page_id);
       ASSIGN_OR_RETURN(Page * page, heap_->pool_->FetchPage(page_id));
       guard_ = PageGuard(heap_->pool_, page);
     }

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 
 namespace snapdiff {
@@ -20,6 +21,7 @@ Lsn LogManager::Append(LogRecord record) {
   records_.push_back(std::move(record));
   metric_records_->Inc();
   metric_bytes_->Inc(records_.back().SerializedSize());
+  SNAPDIFF_FR_INSTANT("wal.append", records_.back().SerializedSize());
   if (sink_ != nullptr) sink_->Append(records_.back());
   return records_.back().lsn;
 }

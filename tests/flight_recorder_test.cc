@@ -1,0 +1,465 @@
+// Unit tests for the flight recorder: ring wraparound semantics (oldest
+// events drop first and are counted), concurrent multi-thread recording
+// producing well-formed per-thread tracks, and Chrome trace JSON that a
+// real parser accepts and that round-trips the drained events.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace snapdiff {
+namespace obs {
+namespace {
+
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+
+const FlightRecorder::ThreadTrack* FindTrackWithName(
+    const std::vector<FlightRecorder::ThreadTrack>& tracks,
+    const std::string& name) {
+  for (const auto& t : tracks) {
+    for (const FrEvent& e : t.events) {
+      if (e.name != nullptr && name == e.name) return &t;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON parser — enough to prove the emitted trace is valid
+// JSON and to pull the event objects back out for the round-trip check.
+// ---------------------------------------------------------------------------
+class MiniJson {
+ public:
+  struct Value {
+    enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+  };
+
+  static bool Parse(const std::string& text, Value* out) {
+    MiniJson p(text);
+    if (!p.ParseValue(out)) return false;
+    p.SkipWs();
+    return p.pos_ == text.size();
+  }
+
+ private:
+  explicit MiniJson(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = Value::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(Value* out) {
+    out->kind = Value::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    out->kind = Value::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            const unsigned long cp =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            if (cp >= 0x80) return false;  // emitter only escapes ASCII
+            out->push_back(static_cast<char>(cp));
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseBool(Value* out) {
+    out->kind = Value::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseNull(Value* out) {
+    out->kind = Value::kNull;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseNumber(Value* out) {
+    out->kind = Value::kNumber;
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(FlightRecorderTest, RecordsEventsInOrderWithMonotonicTicks) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Reset();
+  std::thread t([] {
+    FlightRecorder::SpanBegin("order_test.span");
+    FlightRecorder::Instant("order_test.instant", 7);
+    FlightRecorder::CounterSample("order_test.counter", 41);
+    FlightRecorder::SpanEnd("order_test.span");
+  });
+  t.join();
+
+  const auto tracks = fr.Drain();
+  const auto* track = FindTrackWithName(tracks, "order_test.span");
+  ASSERT_NE(track, nullptr);
+  EXPECT_EQ(track->dropped_events, 0u);
+  ASSERT_EQ(track->events.size(), 4u);
+  EXPECT_EQ(track->events[0].type, FrEventType::kSpanBegin);
+  EXPECT_EQ(track->events[1].type, FrEventType::kInstant);
+  EXPECT_EQ(track->events[1].arg, 7u);
+  EXPECT_EQ(track->events[2].type, FrEventType::kCounter);
+  EXPECT_EQ(track->events[2].arg, 41u);
+  EXPECT_EQ(track->events[3].type, FrEventType::kSpanEnd);
+  for (size_t i = 1; i < track->events.size(); ++i) {
+    EXPECT_GE(track->events[i].ticks, track->events[i - 1].ticks);
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundDropsOldestFirstAndCountsThem) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Reset();
+  fr.SetRingCapacity(64);  // applies to the ring the fresh thread creates
+  std::thread t([] {
+    for (uint64_t i = 0; i < 100; ++i) {
+      FlightRecorder::Instant("wrap_test", i);
+    }
+  });
+  t.join();
+  fr.SetRingCapacity(16384);  // restore for later tests' threads
+
+  const auto tracks = fr.Drain();
+  const auto* track = FindTrackWithName(tracks, "wrap_test");
+  ASSERT_NE(track, nullptr);
+  // 100 pushes into a 64-slot ring: the newest 64 survive, the oldest 36
+  // were overwritten and are accounted for — never silently lost.
+  ASSERT_EQ(track->events.size(), 64u);
+  EXPECT_EQ(track->dropped_events, 36u);
+  for (size_t i = 0; i < track->events.size(); ++i) {
+    EXPECT_EQ(track->events[i].arg, 36 + i) << "survivors must be the newest "
+                                               "events, oldest-first";
+  }
+}
+
+TEST(FlightRecorderTest, ResetClearsEventsAndDropCounts) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetRingCapacity(64);
+  std::thread t([] {
+    for (uint64_t i = 0; i < 100; ++i) {
+      FlightRecorder::Instant("reset_test", i);
+    }
+  });
+  t.join();
+  fr.SetRingCapacity(16384);
+
+  fr.Reset();
+  const auto tracks = fr.Drain();
+  EXPECT_EQ(FindTrackWithName(tracks, "reset_test"), nullptr);
+  for (const auto& track : tracks) {
+    EXPECT_EQ(track.dropped_events, 0u);
+    EXPECT_TRUE(track.events.empty());
+  }
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Reset();
+  FlightRecorder::SetEnabled(false);
+  std::thread t([] { FlightRecorder::Instant("disabled_test", 1); });
+  t.join();
+  FlightRecorder::SetEnabled(true);
+  EXPECT_EQ(FindTrackWithName(fr.Drain(), "disabled_test"), nullptr);
+}
+
+TEST(FlightRecorderTest, ConcurrentThreadsProduceWellFormedTracks) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kEvents = 5000;
+  static const char* kNames[kThreads] = {"mt_test.t0", "mt_test.t1",
+                                         "mt_test.t2", "mt_test.t3"};
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Reset();
+
+  // Drain concurrently with the recording threads: the contract is that a
+  // racing drain returns well-formed (possibly truncated) tracks, never
+  // torn events.
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& track : FlightRecorder::Global().Drain()) {
+        for (const FrEvent& e : track.events) {
+          ASSERT_NE(e.name, nullptr);
+          ASSERT_LE(static_cast<uint64_t>(e.type), 3u);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (uint64_t i = 0; i < kEvents; ++i) {
+        FlightRecorder::Instant(kNames[t], i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  drainer.join();
+
+  // After the writers quiesce, each thread's full sequence is intact, in
+  // order, on its own track.
+  const auto tracks = fr.Drain();
+  for (int t = 0; t < kThreads; ++t) {
+    const auto* track = FindTrackWithName(tracks, kNames[t]);
+    ASSERT_NE(track, nullptr) << kNames[t];
+    EXPECT_EQ(track->dropped_events, 0u);
+    ASSERT_EQ(track->events.size(), kEvents);
+    for (uint64_t i = 0; i < kEvents; ++i) {
+      ASSERT_STREQ(track->events[i].name, kNames[t]);
+      ASSERT_EQ(track->events[i].arg, i);
+    }
+  }
+  // Tracks are distinct per thread.
+  std::vector<uint64_t> tids;
+  for (int t = 0; t < kThreads; ++t) {
+    tids.push_back(FindTrackWithName(tracks, kNames[t])->tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST(FlightRecorderTest, ChromeTraceJsonParsesAndRoundTrips) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Reset();
+  std::thread t([] {
+    FlightRecorder::SpanBegin("json_test.\"quoted\"\nspan");
+    FlightRecorder::Instant("json_test.instant", 123);
+    FlightRecorder::CounterSample("json_test.counter", 456);
+    FlightRecorder::SpanEnd("json_test.\"quoted\"\nspan");
+  });
+  t.join();
+
+  const auto tracks = fr.Drain();
+  const auto* track = FindTrackWithName(tracks, "json_test.instant");
+  ASSERT_NE(track, nullptr);
+
+  const std::string json = fr.ChromeTraceJson();
+  MiniJson::Value root;
+  ASSERT_TRUE(MiniJson::Parse(json, &root)) << json;
+  ASSERT_EQ(root.kind, MiniJson::Value::kArray);
+
+  // Rebuild this thread's event sequence from the parsed JSON and compare
+  // against the drained track: same names, phases, args, and order.
+  struct Parsed {
+    std::string name;
+    std::string ph;
+    double arg = 0.0;
+  };
+  std::vector<Parsed> parsed;
+  double last_ts = -1.0;
+  bool saw_thread_name_meta = false;
+  for (const auto& obj : root.array) {
+    ASSERT_EQ(obj.kind, MiniJson::Value::kObject);
+    ASSERT_TRUE(obj.object.count("ph"));
+    const std::string& ph = obj.object.at("ph").str;
+    if (ph == "M") {
+      saw_thread_name_meta |= obj.object.at("name").str == "thread_name";
+      continue;
+    }
+    if (obj.object.at("tid").number != double(track->tid)) continue;
+    Parsed p;
+    p.name = obj.object.at("name").str;
+    p.ph = ph;
+    ASSERT_TRUE(obj.object.count("ts"));
+    EXPECT_GE(obj.object.at("ts").number, last_ts);
+    last_ts = obj.object.at("ts").number;
+    if (obj.object.count("args")) {
+      const auto& args = obj.object.at("args").object;
+      if (args.count("value")) p.arg = args.at("value").number;
+      if (args.count("arg")) p.arg = args.at("arg").number;
+    }
+    parsed.push_back(std::move(p));
+  }
+  EXPECT_TRUE(saw_thread_name_meta);
+  ASSERT_EQ(parsed.size(), track->events.size());
+  const char* expected_ph[] = {"B", "E", "i", "C"};
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    const FrEvent& e = track->events[i];
+    EXPECT_EQ(parsed[i].name, e.name);
+    EXPECT_EQ(parsed[i].ph,
+              expected_ph[static_cast<size_t>(e.type)]);
+    if (e.type == FrEventType::kInstant || e.type == FrEventType::kCounter) {
+      EXPECT_EQ(parsed[i].arg, double(e.arg));
+    }
+  }
+}
+
+TEST(FlightRecorderTest, WriteChromeTraceProducesAReadableFile) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Reset();
+  std::thread t([] { FlightRecorder::Instant("file_test", 9); });
+  t.join();
+
+  const std::string path = ::testing::TempDir() + "/flight_recorder_test.json";
+  ASSERT_TRUE(fr.WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  MiniJson::Value root;
+  ASSERT_TRUE(MiniJson::Parse(contents, &root));
+  EXPECT_NE(contents.find("file_test"), std::string::npos);
+}
+
+#else  // !SNAPDIFF_FLIGHT_RECORDER_ENABLED
+
+TEST(FlightRecorderTest, MacrosCompileToNoOpsWhenDisabled) {
+  SNAPDIFF_FR_SPAN_BEGIN("x");
+  SNAPDIFF_FR_INSTANT("x", 1);
+  SNAPDIFF_FR_COUNTER("x", 1);
+  SNAPDIFF_FR_SPAN_END("x");
+  EXPECT_EQ(SNAPDIFF_FR_NOW(), 0u);
+}
+
+#endif  // SNAPDIFF_FLIGHT_RECORDER_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace snapdiff

@@ -200,10 +200,58 @@ TEST(MetricsTest, ExportJsonGolden) {
       "    \"g.one\": -4\n"
       "  },\n"
       "  \"histograms\": {\n"
-      "    \"h.one\": {\"count\": 2, \"sum\": 4, \"buckets\": [1, 1]}\n"
+      "    \"h.one\": {\"count\": 2, \"sum\": 4, \"p50\": 2, \"p95\": 2, "
+      "\"p99\": 2, \"buckets\": [1, 1]}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(reg.ExportJson(), expected);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations in le=10, 10 in le=20: the histogram only knows bucket
+  // membership, so quantiles interpolate linearly within a bucket
+  // (Prometheus histogram_quantile semantics).
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  // p50: rank 10 lands exactly at the top of the first bucket → 10.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 10.0);
+  // p75: rank 15 is halfway through the second bucket → 15.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.75), 15.0);
+  // p25: rank 5 is halfway through the first bucket, whose lower bound is
+  // implicitly 0 → 5.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.25), 5.0);
+  // Extremes clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 20.0);
+}
+
+TEST(MetricsTest, QuantileSaturatesAtTheLastFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(100.0);  // +Inf bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  // The +Inf bucket has no upper edge to interpolate toward; report the
+  // largest finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 2.0);
+}
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, ExportJsonSurfacesQuantiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat.us", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h->Observe(5.0);
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Prometheus export stays format-clean: no quantile lines.
+  EXPECT_EQ(reg.ExportPrometheus().find("p50"), std::string::npos);
 }
 
 TEST(TraceTest, SpansNestAndDeltasRollUp) {

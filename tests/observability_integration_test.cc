@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -305,6 +306,97 @@ TEST(ObservabilityIntegrationTest, RefreshLogsArriveThroughTheSink) {
   EXPECT_TRUE(saw_create);
   EXPECT_TRUE(saw_refresh);
 }
+
+#ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
+TEST(ObservabilityIntegrationTest, FlightRecorderReconcilesWithTracerAndStats) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs;
+  for (int i = 0; i < 200; ++i) {
+    auto addr = (*base)->Insert(Row("e" + std::to_string(i), i % 100));
+    ASSERT_TRUE(addr.ok());
+    addrs.push_back(*addr);
+  }
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 50").ok());
+  ASSERT_TRUE(sys.Refresh(RefreshRequest::For("low")).ok());
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*base)->Update(addrs[i * 9], Row("u", (i * 13) % 100)).ok());
+  }
+  ASSERT_TRUE((*base)->Delete(addrs[7]).ok());
+  ASSERT_TRUE((*base)->Insert(Row("fresh", 3)).ok());
+
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.Reset();
+  auto report = sys.Refresh(RefreshRequest::For("low"));
+  ASSERT_TRUE(report.ok());
+  const obs::Tracer& tracer = sys.tracer();
+  const auto tracks = fr.Drain();
+
+  // Locate the refreshing thread's track via the mirrored trace-name span.
+  const obs::FlightRecorder::ThreadTrack* main_track = nullptr;
+  for (const auto& t : tracks) {
+    for (const obs::FrEvent& e : t.events) {
+      if (e.type == obs::FrEventType::kSpanBegin && e.name != nullptr &&
+          tracer.name() == e.name) {
+        main_track = &t;
+      }
+    }
+  }
+  ASSERT_NE(main_track, nullptr);
+  EXPECT_EQ(main_track->dropped_events, 0u)
+      << "the test workload must fit the ring or the comparison is invalid";
+
+  // 1:1 span reconciliation: the recorder's begin events on this thread are
+  // exactly the trace name followed by every tracer span in open order, the
+  // end events balance them, and the nesting is well-formed LIFO.
+  std::vector<std::string> begins;
+  std::vector<std::string> stack;
+  size_t ends = 0;
+  for (const obs::FrEvent& e : main_track->events) {
+    if (e.type == obs::FrEventType::kSpanBegin) {
+      begins.push_back(e.name);
+      stack.push_back(e.name);
+    } else if (e.type == obs::FrEventType::kSpanEnd) {
+      ++ends;
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  ASSERT_FALSE(begins.empty());
+  EXPECT_EQ(begins.front(), tracer.name());
+  ASSERT_EQ(begins.size(), tracer.spans().size() + 1) << tracer.Report();
+  for (size_t i = 0; i < tracer.spans().size(); ++i) {
+    EXPECT_EQ(begins[i + 1], tracer.spans()[i].name) << tracer.Report();
+  }
+  EXPECT_EQ(ends, begins.size());
+  EXPECT_TRUE(stack.empty());
+
+  // Exact traffic reconciliation: the per-frame instants the data channel
+  // emitted during this refresh partition its wire bytes, so their sum must
+  // equal RefreshStats::traffic.wire_bytes to the byte.
+  uint64_t framed_bytes = 0;
+  uint64_t frame_count = 0;
+  for (const auto& t : tracks) {
+    for (const obs::FrEvent& e : t.events) {
+      if (e.type == obs::FrEventType::kInstant && e.name != nullptr &&
+          std::string_view(e.name) == "net.channel.data.frame") {
+        framed_bytes += e.arg;
+        ++frame_count;
+      }
+    }
+  }
+  EXPECT_EQ(framed_bytes, report->stats.traffic.wire_bytes);
+  EXPECT_EQ(frame_count, report->stats.traffic.frames);
+
+  // The rendered trace carries the refresh timeline.
+  const std::string json = fr.ChromeTraceJson();
+  EXPECT_NE(json.find(tracer.name()), std::string::npos);
+  EXPECT_NE(json.find("net.channel.data.frame"), std::string::npos);
+}
+#endif  // SNAPDIFF_FLIGHT_RECORDER_ENABLED
 
 TEST(ObservabilityIntegrationTest, FailedRefreshStillEndsTheTrace) {
   SnapshotSystem sys;

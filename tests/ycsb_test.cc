@@ -1,0 +1,166 @@
+// Tests for the YCSB-style workload generator: deterministic replay by
+// seed, operation-mix proportions, live-row accounting under churn, and
+// the access-skew knobs (zipfian theta, hot partition) actually skewing
+// the victim distribution.
+
+#include "sim/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Result<std::unique_ptr<YcsbWorkload>> Make(SnapshotSystem* sys,
+                                           const YcsbConfig& config) {
+  return YcsbWorkload::Create(sys, "ycsb", config);
+}
+
+TEST(YcsbTest, LoadsConfiguredRowsWithConfiguredWidth) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.rows = 500;
+  config.payload_bytes = 32;
+  auto workload = Make(&sys, config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ((*workload)->live_rows(), 500u);
+  EXPECT_EQ((*workload)->table()->info()->heap->live_tuples(), 500u);
+}
+
+TEST(YcsbTest, RejectsOverfullOperationMix) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.read_fraction = 0.8;
+  config.update_fraction = 0.4;  // sums to 1.2
+  EXPECT_FALSE(Make(&sys, config).ok());
+}
+
+TEST(YcsbTest, SameSeedReplaysIdentically) {
+  YcsbConfig config;
+  config.rows = 300;
+  config.seed = 99;
+  config.insert_fraction = 0.1;
+  config.delete_fraction = 0.1;
+  config.update_fraction = 0.3;
+  config.read_fraction = 0.5;
+  config.zipf_theta = 0.9;
+
+  SnapshotSystem sys_a;
+  SnapshotSystem sys_b;
+  auto a = Make(&sys_a, config);
+  auto b = Make(&sys_b, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ops_a = (*a)->Run(2000);
+  auto ops_b = (*b)->Run(2000);
+  ASSERT_TRUE(ops_a.ok() && ops_b.ok());
+  EXPECT_EQ(ops_a->reads, ops_b->reads);
+  EXPECT_EQ(ops_a->updates, ops_b->updates);
+  EXPECT_EQ(ops_a->inserts, ops_b->inserts);
+  EXPECT_EQ(ops_a->deletes, ops_b->deletes);
+  EXPECT_EQ((*a)->live_rows(), (*b)->live_rows());
+}
+
+TEST(YcsbTest, OperationMixMatchesConfiguredFractions) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.rows = 2000;
+  config.read_fraction = 0.25;
+  config.update_fraction = 0.25;
+  config.insert_fraction = 0.25;
+  config.delete_fraction = 0.25;
+  auto workload = Make(&sys, config);
+  ASSERT_TRUE(workload.ok());
+  auto ops = (*workload)->Run(10000);
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->total(), 10000u);
+  // Each category is Binomial(10000, 0.25): mean 2500, stddev ~43. A ±300
+  // band is ~7 sigma — loose enough to never flake, tight enough to catch
+  // a broken mix.
+  for (const uint64_t count :
+       {ops->reads, ops->updates, ops->inserts, ops->deletes}) {
+    EXPECT_GT(count, 2200u);
+    EXPECT_LT(count, 2800u);
+  }
+  // Inserts and deletes were both applied to the table, not just counted.
+  EXPECT_EQ((*workload)->live_rows(),
+            2000u + ops->inserts - ops->deletes);
+  EXPECT_EQ((*workload)->table()->info()->heap->live_tuples(),
+            (*workload)->live_rows());
+}
+
+TEST(YcsbTest, ZipfianSkewConcentratesAccess) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.rows = 1000;
+  config.zipf_theta = 0.99;
+  auto workload = Make(&sys, config);
+  ASSERT_TRUE(workload.ok());
+  size_t in_first_decile = 0;
+  const size_t picks = 20000;
+  for (size_t i = 0; i < picks; ++i) {
+    if ((*workload)->PickVictim() < 100) ++in_first_decile;
+  }
+  // Uniform access would put ~10% of picks in the first decile; zipfian
+  // theta 0.99 concentrates well over half there.
+  EXPECT_GT(in_first_decile, picks / 2);
+}
+
+TEST(YcsbTest, HotPartitionTakesItsConfiguredShare) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.rows = 1000;
+  config.hot_fraction = 0.1;
+  config.hot_share = 0.9;
+  auto workload = Make(&sys, config);
+  ASSERT_TRUE(workload.ok());
+  size_t in_hot = 0;
+  const size_t picks = 20000;
+  for (size_t i = 0; i < picks; ++i) {
+    if ((*workload)->PickVictim() < 100) ++in_hot;  // hot = first 10%
+  }
+  // Binomial(20000, 0.9): mean 18000, stddev ~42. ±600 is generous.
+  EXPECT_GT(in_hot, size_t(picks * 0.87));
+  EXPECT_LT(in_hot, size_t(picks * 0.93));
+}
+
+TEST(YcsbTest, UniformPicksSpreadAcrossTheTable) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.rows = 1000;
+  auto workload = Make(&sys, config);
+  ASSERT_TRUE(workload.ok());
+  size_t in_first_decile = 0;
+  const size_t picks = 20000;
+  for (size_t i = 0; i < picks; ++i) {
+    if ((*workload)->PickVictim() < 100) ++in_first_decile;
+  }
+  EXPECT_GT(in_first_decile, size_t(picks * 0.07));
+  EXPECT_LT(in_first_decile, size_t(picks * 0.13));
+}
+
+TEST(YcsbTest, RestrictionSelectsTheRequestedFraction) {
+  SnapshotSystem sys;
+  YcsbConfig config;
+  config.rows = 4000;
+  auto workload = Make(&sys, config);
+  ASSERT_TRUE(workload.ok());
+  // The restriction predicate drives a real snapshot: a selectivity-0.5
+  // restriction should qualify about half the uniformly drawn Qual values.
+  ASSERT_TRUE(
+      sys.CreateSnapshot("half", "ycsb", (*workload)->RestrictionFor(0.5))
+          .ok());
+  auto report = sys.Refresh(RefreshRequest::For("half"));
+  ASSERT_TRUE(report.ok());
+  auto snap = sys.GetSnapshot("half");
+  ASSERT_TRUE(snap.ok());
+  const uint64_t qualified = (*snap)->row_count();
+  EXPECT_GT(qualified, 4000u * 45 / 100);
+  EXPECT_LT(qualified, 4000u * 55 / 100);
+}
+
+}  // namespace
+}  // namespace snapdiff
