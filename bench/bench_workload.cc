@@ -6,10 +6,14 @@
 //   wire_bytes/row      exact wire bytes per scanned entry (deterministic)
 //   p50/p99 refresh     latency percentiles over the measured rounds
 //
-// Two workload profiles run through an identical pipeline: `uniform`
-// (50/50 read/update, no skew) and `zipf_hot` (zipfian theta 0.99 picks
+// Four workload profiles run through an identical pipeline: `uniform`
+// (50/50 read/update, no skew), `zipf_hot` (zipfian theta 0.99 picks
 // inside a 10% hot partition taking 90% of the traffic, plus insert/delete
-// churn). Both refresh a selectivity-0.5 differential snapshot.
+// churn), `delete_heavy` (30% inserts + 30% deletes — the churn mix that
+// stresses the differential's Deletion-flag path and fix-up repairs), and
+// `wide_row` (1 KiB payloads — the row-width knob that shifts cost from
+// scan qualification to payload transmission). All refresh a
+// selectivity-0.5 differential snapshot.
 //
 // The binary doubles as the flight-recorder overhead harness:
 // `--overhead-gate=PCT` interleaves recorder-enabled and recorder-disabled
@@ -108,6 +112,31 @@ Profile ZipfHotProfile(const Args& a) {
   p.ycsb.zipf_theta = 0.99;  // classic YCSB skew
   p.ycsb.hot_fraction = 0.10;
   p.ycsb.hot_share = 0.90;
+  p.ycsb.placement = PlacementPolicy::kAppend;
+  return p;
+}
+
+Profile DeleteHeavyProfile(const Args& a) {
+  Profile p;
+  p.name = "delete_heavy";
+  p.ycsb.rows = a.rows;
+  p.ycsb.seed = 44;
+  p.ycsb.read_fraction = 0.2;
+  p.ycsb.update_fraction = 0.2;
+  p.ycsb.insert_fraction = 0.3;
+  p.ycsb.delete_fraction = 0.3;
+  p.ycsb.placement = PlacementPolicy::kAppend;
+  return p;
+}
+
+Profile WideRowProfile(const Args& a) {
+  Profile p;
+  p.name = "wide_row";
+  p.ycsb.rows = a.rows;
+  p.ycsb.seed = 45;
+  p.ycsb.payload_bytes = 1024;
+  p.ycsb.read_fraction = 0.5;
+  p.ycsb.update_fraction = 0.5;
   p.ycsb.placement = PlacementPolicy::kAppend;
   return p;
 }
@@ -246,10 +275,11 @@ std::string RenderConfig(const Profile& p, const ProfileResult& r) {
                 "     \"read_fraction\": %.2f, \"update_fraction\": %.2f, "
                 "\"insert_fraction\": %.2f, \"delete_fraction\": %.2f,\n"
                 "     \"zipf_theta\": %.2f, \"hot_fraction\": %.2f, "
-                "\"hot_share\": %.2f,\n",
+                "\"hot_share\": %.2f, \"payload_bytes\": %zu,\n",
                 p.ycsb.read_fraction, p.ycsb.update_fraction,
                 p.ycsb.insert_fraction, p.ycsb.delete_fraction,
-                p.ycsb.zipf_theta, p.ycsb.hot_fraction, p.ycsb.hot_share);
+                p.ycsb.zipf_theta, p.ycsb.hot_fraction, p.ycsb.hot_share,
+                p.ycsb.payload_bytes);
   out += buf;
   out += "     \"refresh_wall_us\": " + bench::RenderStats(r.refresh_wall_us) +
          ",\n";
@@ -269,7 +299,9 @@ std::string RenderConfig(const Profile& p, const ProfileResult& r) {
 }
 
 Status Run(const Args& a) {
-  const std::vector<Profile> profiles = {UniformProfile(a), ZipfHotProfile(a)};
+  const std::vector<Profile> profiles = {UniformProfile(a), ZipfHotProfile(a),
+                                         DeleteHeavyProfile(a),
+                                         WideRowProfile(a)};
   std::vector<ProfileResult> results;
 
   std::printf("%-10s %16s %16s %14s %16s %14s\n", "profile", "refresh_us_min",

@@ -12,6 +12,8 @@
 //   refresh low
 //   stats
 //   \metrics            (system-wide metrics, Prometheus text; add `json`)
+//   \cachestats         (epoch delta cache: hit/fill/eviction counters —
+//                        start with --delta-cache to enable the cache)
 //   \trace              (phase timeline of the last refresh)
 //   \flightrec out.json (dump the flight recorder as a Chrome trace —
 //                        open in Perfetto / chrome://tracing)
@@ -173,6 +175,7 @@ class Shell {
     if (tok[0] == "show") return Show(tok);
     if (tok[0] == "stats") return Stats();
     if (tok[0] == "\\metrics") return Metrics(tok);
+    if (tok[0] == "\\cachestats") return CacheStats();
     if (tok[0] == "\\trace") return Trace();
     if (tok[0] == "\\flightrec") return FlightRec(tok);
     if (tok[0] == "\\loglevel") return SetLogLevel(tok);
@@ -337,6 +340,20 @@ class Shell {
     return Status::OK();
   }
 
+  Status CacheStats() {
+    // \cachestats — dump the epoch delta cache's counters and resident
+    // class images. Only live when the shell started with --delta-cache.
+    DeltaCache* cache = sys_.delta_cache();
+    if (cache == nullptr) {
+      std::printf(
+          "delta cache disabled (start with --delta-cache "
+          "[--delta-cache-bytes=N])\n");
+      return Status::OK();
+    }
+    std::fputs(cache->DebugString().c_str(), stdout);
+    return Status::OK();
+  }
+
   Status FlightRec(const std::vector<std::string>& tok) {
     // \flightrec <file> — drain the flight recorder into a Chrome trace.
     if (tok.size() != 2) {
@@ -441,10 +458,15 @@ int main(int argc, char** argv) {
       options.refresh_batch_size = std::strtoull(arg.c_str() + 16, nullptr, 10);
     } else if (arg.rfind("--data=", 0) == 0) {
       options.base_data_path = arg.substr(7);
+    } else if (arg == "--delta-cache") {
+      options.delta_cache_enabled = true;
+    } else if (arg.rfind("--delta-cache-bytes=", 0) == 0) {
+      options.delta_cache_enabled = true;
+      options.delta_cache_bytes = std::strtoull(arg.c_str() + 20, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--refresh-workers=N] [--refresh-batch=N] "
-                   "[--data=FILE]\n",
+                   "[--data=FILE] [--delta-cache] [--delta-cache-bytes=N]\n",
                    argv[0]);
       return 1;
     }

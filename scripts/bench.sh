@@ -22,7 +22,8 @@ WL_ROWS="${WL_ROWS:-$((ROWS * 50))}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
-  bench_fig8 bench_fig9 bench_parallel_refresh bench_scan bench_workload
+  bench_fig8 bench_fig9 bench_parallel_refresh bench_scan bench_workload \
+  bench_group_refresh
 
 # Figure reproductions: capture the printed series alongside the CSV the
 # binaries already embed in their stdout.
@@ -41,6 +42,13 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
 "${BUILD_DIR}/bench/bench_workload" "${WL_ROWS}" "${ITERS}" \
   BENCH_workload.json 1 --trace=BENCH_workload.trace.json
 
+# Epoch delta cache: N-subscriber amortization sweep against a mirrored
+# cache-off system. Exits nonzero on any byte-identity / zero-page-read /
+# sublinearity violation; perf_gate.py gates the JSON in CI.
+"${BUILD_DIR}/bench/bench_group_refresh" "${ROWS}" "${ITERS}" \
+  BENCH_group.json
+
 echo
 echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json" \
-  "BENCH_scan.json BENCH_workload.json BENCH_workload.trace.json"
+  "BENCH_scan.json BENCH_workload.json BENCH_workload.trace.json" \
+  "BENCH_group.json"

@@ -33,6 +33,7 @@ BaseTable::BaseTable(TableInfo* info, AnnotationMode mode,
 }
 
 Status BaseTable::SetMode(AnnotationMode mode) {
+  ++mutation_tick_;  // conservative: mode changes alter scan semantics
   if (mode != AnnotationMode::kNone && !info_->schema.HasAnnotations()) {
     return Status::InvalidArgument(
         "annotation columns missing; call Catalog::AddAnnotationColumns "
@@ -125,6 +126,7 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
   if (user_row.size() != user_schema_.column_count()) {
     return Status::InvalidArgument("row arity does not match user schema");
   }
+  ++mutation_tick_;
   // Lazy (and none): annotations are NULL — "insert operations will set the
   // PrevAddr and TimeStamp fields to NULL".
   Tuple stored = MakeStored(user_row, Address::Null(), kNullTimestamp);
@@ -184,6 +186,7 @@ Status BaseTable::Update(Address addr, const Tuple& user_row) {
   if (user_row.size() != user_schema_.column_count()) {
     return Status::InvalidArgument("row arity does not match user schema");
   }
+  ++mutation_tick_;
   ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
   AnnotatedRow old_row = SplitStored(old_stored);
   std::string before_raw;
@@ -221,6 +224,7 @@ Status BaseTable::Update(Address addr, const Tuple& user_row) {
 }
 
 Status BaseTable::Delete(Address addr) {
+  ++mutation_tick_;
   ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
   AnnotatedRow old_row = SplitStored(old_stored);
   std::string before_raw;
@@ -341,6 +345,7 @@ Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
   if (!info_->schema.HasAnnotations()) {
     return Status::InvalidArgument("table has no annotation columns");
   }
+  ++mutation_tick_;
   const size_t prev_idx = info_->schema.PrevAddrIndex();
   const size_t ts_idx = info_->schema.TimestampIndex();
   bool patchable = false;

@@ -175,6 +175,13 @@ class BaseTable {
   LogManager* wal() const { return wal_; }
   uint64_t live_rows() const { return info_->heap->live_tuples(); }
 
+  /// Bumped by every mutation of this table — user writes (Insert, Update,
+  /// Delete) and annotation repairs alike. The delta cache stamps each
+  /// class image with the tick current when its fill committed and serves
+  /// from it only while the tick is unchanged, so any intervening write
+  /// invalidates cached streams without a registration mechanism.
+  uint64_t mutation_tick() const { return mutation_tick_; }
+
   /// Transaction-id high-water mark. Restart recovery bumps it past every
   /// id found in the recovered WAL so new autocommit brackets never collide
   /// with (possibly rolled-back) pre-crash transactions.
@@ -224,6 +231,7 @@ class BaseTable {
   AnnotationMaintenanceStats maintenance_stats_;
   TxnId next_txn_ = 1;
   TxnId active_txn_ = 0;  // open autocommit bracket (0 = none)
+  uint64_t mutation_tick_ = 0;
 };
 
 /// Verifies the repaired-annotation invariant: every live row's $PREVADDR$

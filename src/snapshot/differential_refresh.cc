@@ -1,7 +1,9 @@
 #include "snapshot/differential_refresh.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "snapshot/delta_cache.h"
 
 namespace snapdiff {
 
@@ -98,27 +101,26 @@ FixupResult FixupRow(FixupState* fx, Address addr, Address stored_prev,
   return r;
 }
 
-/// One step of the combined Figure 7 + Figure 3 state machine. This is THE
-/// transmit rule — both the sequential scan and the parallel merge funnel
-/// every row through it, which is what makes the two paths emit identical
-/// message streams.
+/// One step of the Figure 3 transmit state machine, applied to an
+/// already-fixed-up row. This is THE transmit rule — the sequential scan,
+/// the parallel merge, and (via its image replay) the delta cache all
+/// funnel every row through these semantics, which is what makes every
+/// path emit identical message streams.
 ///
 /// `qualified_for(i)` answers whether member i's restriction admits the
 /// row; `payload_for(i, state)` produces member i's serialized projection
 /// and is invoked only when a payload must actually be shipped (so the
-/// sequential path stays lazy).
+/// sequential path stays lazy). Member i's messages go to `senders[i]` —
+/// the shared stream unless the member brought its own sink.
 template <typename QualFn, typename PayloadFn>
-Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
-                  BatchingSender* sender, std::vector<PendingWrite>* repairs,
+Status ProcessRow(const FixupResult& fix, std::vector<MemberState>* states,
+                  const std::vector<BatchingSender*>& senders,
                   const RefreshExecution& exec, Address addr,
                   Address stored_prev, Timestamp stored_ts,
                   QualFn&& qualified_for, PayloadFn&& payload_for) {
-  const FixupResult fix = FixupRow(fx, addr, stored_prev, stored_ts);
-  if (fix.write_needed) repairs->push_back({addr, fix.prev, fix.ts});
-
   // Pre-repair annotations prove whether the *value* changed (see the
   // anchor optimization): a non-NULL stamp with an intact PrevAddr means
-  // the repairs above only reacted to neighbourhood changes.
+  // any repairs only reacted to neighbourhood changes.
   const bool annotations_intact =
       !stored_prev.IsNull() && stored_ts != kNullTimestamp;
 
@@ -147,7 +149,7 @@ Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
         } else if (!NextSendSuppressed(exec)) {
           ASSIGN_OR_RETURN(payload, payload_for(i, state));
         }
-        RETURN_IF_ERROR(sender->Send(
+        RETURN_IF_ERROR(senders[i]->Send(
             MakeEntry(desc.id, addr, state.last_qual, std::move(payload))));
       }
       state.last_qual = addr;
@@ -160,6 +162,26 @@ Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
     }
   }
   return Status::OK();
+}
+
+/// A delta-cache fill riding this scan: the filler accumulating one class
+/// image plus the index of the member representing the class (its
+/// restriction/projection are the class's).
+struct FillTarget {
+  std::unique_ptr<DeltaCache::Filler> filler;
+  size_t rep;
+};
+
+/// A row is reusable from the previous image iff its stored annotations
+/// were intact (no repair fired, so fix.ts == stored_ts) and its stamp is
+/// not newer than the previous image's epoch bound — then its value, and
+/// therefore its payload and predicate verdict, cannot have changed since
+/// that image recorded it.
+bool FillRowUnchanged(const FixupResult& fix, Address stored_prev,
+                      Timestamp stored_ts, Timestamp reuse_floor) {
+  const bool annotations_intact =
+      !stored_prev.IsNull() && stored_ts != kNullTimestamp;
+  return annotations_intact && fix.ts == stored_ts && fix.ts <= reuse_floor;
 }
 
 /// --- Parallel extraction -------------------------------------------------
@@ -181,9 +203,10 @@ Status ProcessRow(FixupState* fx, std::vector<MemberState>* states,
 /// serialization is negligible, and the over-approximation guarantees the
 /// merge never needs a payload the worker skipped.
 
-/// Parallel-path group-size ceiling: per-row member sets are packed into
-/// uint64_t bitmaps. Larger groups fall back to the sequential scan.
-constexpr size_t kMaxParallelMembers = 64;
+/// Hard ceiling of the parallel-path group size: per-row member sets are
+/// packed into uint64_t bitmaps. RefreshExecution::max_parallel_members is
+/// clamped to this; larger groups fall back to the sequential scan.
+constexpr size_t kMemberBitmapWidth = 64;
 
 enum class Tri : uint8_t { kFalse, kTrue, kUnknown };
 
@@ -200,9 +223,18 @@ struct ExtractedRow {
   Address addr;
   Address stored_prev = Address::Origin();
   Timestamp stored_ts = kNullTimestamp;
-  uint64_t qualified = 0;    // bit i: member i's restriction admits the row
-  uint64_t has_payload = 0;  // bit i: payloads[i] was pre-serialized
+  uint64_t qualified = 0;     // bit i: member i's restriction admits the row
+  uint64_t has_payload = 0;   // bit i: payloads[i] was pre-serialized
+  uint64_t fill_payload = 0;  // bit i: payloads[i] serialized for a fill
   std::vector<std::string> payloads;  // indexed by member; sized lazily
+};
+
+/// A cache fill as the workers see it: which member represents the class
+/// and the reuse floor deciding which rows need their payload serialized
+/// even when the transmit verdict alone would not.
+struct FillSpec {
+  size_t rep;
+  Timestamp floor;
 };
 
 /// Scans one partition and extracts its rows. Runs on a pool worker; reads
@@ -210,6 +242,7 @@ struct ExtractedRow {
 /// owned by the merge pass) and writes only `*out` and its own counter.
 Status ExtractPartition(BaseTable* base,
                         const std::vector<MemberState>& states,
+                        const std::vector<FillSpec>& fill_specs,
                         const BaseTable::ScanPartition& part,
                         obs::Counter* rows_counter,
                         std::vector<ExtractedRow>* out) {
@@ -284,10 +317,49 @@ Status ExtractPartition(BaseTable* base,
             deletion[i] = Tri::kUnknown;
           }
         }
+
+        // Delta-cache fills: a qualified row's payload is also needed when
+        // the row changed since the class's previous image. `ts_is_stored`
+        // certainty mirrors the merge's reuse test exactly when known; the
+        // Unknown partition head serializes conservatively, so the merge
+        // never misses a fill payload either.
+        for (const FillSpec& fs : fill_specs) {
+          if (((er.qualified >> fs.rep) & 1) == 0) continue;
+          if (ts_is_stored && row.timestamp <= fs.floor) continue;
+          const uint64_t bit = uint64_t{1} << fs.rep;
+          if ((er.has_payload & bit) != 0 || (er.fill_payload & bit) != 0) {
+            continue;
+          }
+          if (er.payloads.empty()) er.payloads.resize(states.size());
+          RETURN_IF_ERROR(row.user.AppendProjectionTo(
+              states[fs.rep].projection_indices, &er.payloads[fs.rep]));
+          er.fill_payload |= bit;
+        }
         rows_counter->Inc();
         out->push_back(std::move(er));
         return Status::OK();
       });
+}
+
+/// Feeds one fixed-up row into every pending cache fill. `payload_of(rep)`
+/// yields the serialized projection for the class representative (called
+/// only when the row changed and qualifies).
+template <typename PayloadOf>
+Status ObserveFills(std::vector<FillTarget>* fills, const FixupResult& fix,
+                    Address addr, Address stored_prev, Timestamp stored_ts,
+                    uint64_t qualified_bits, PayloadOf&& payload_of) {
+  for (FillTarget& f : *fills) {
+    const bool qualified = ((qualified_bits >> f.rep) & 1) != 0;
+    const bool unchanged =
+        FillRowUnchanged(fix, stored_prev, stored_ts, f.filler->reuse_floor());
+    std::string payload;
+    if (!unchanged && qualified) {
+      ASSIGN_OR_RETURN(payload, payload_of(f.rep));
+    }
+    f.filler->Observe(addr, fix.ts, qualified, unchanged,
+                      std::move(payload));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -318,19 +390,107 @@ Status ExecuteGroupDifferentialRefresh(
     states.push_back(std::move(state));
   }
 
+  // Per-member output streams. A member that brought its own sink (a
+  // per-session stamped stream) batches independently; everyone else
+  // shares one sender over exec.session/channel, so the single-stream wire
+  // framing stays byte-identical to a session-less group.
+  MessageSink* default_sink = exec.session != nullptr
+                                  ? static_cast<MessageSink*>(exec.session)
+                                  : channel;
+  BatchingSender shared_sender(default_sink, exec.batch_size);
+  std::vector<std::unique_ptr<BatchingSender>> owned_senders;
+  std::vector<BatchingSender*> senders(states.size(), &shared_sender);
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i].member.sink != nullptr) {
+      owned_senders.push_back(std::make_unique<BatchingSender>(
+          states[i].member.sink, exec.batch_size));
+      senders[i] = owned_senders.back().get();
+    }
+  }
+
+  DeltaCache* cache = exec.delta_cache;
+  if (cache != nullptr) {
+    bool all_current = true;
+    for (const MemberState& st : states) {
+      if (!cache->CanServe(*base, *st.member.desc)) {
+        all_current = false;
+        break;
+      }
+    }
+    if (all_current) {
+      // --- Cache-served path: every member's class image is current, so
+      // the whole group replays from memory. No base pages are touched; a
+      // single oracle draw closes the epoch exactly as a scan's FixupTime
+      // would, so cached and scanning systems stay in timestamp lockstep.
+      const Timestamp end_time = base->oracle()->Next();
+      obs::Tracer::Span serve_span(tracer, "cache-serve");
+      std::vector<DeltaCache::ServeTarget> targets;
+      targets.reserve(states.size());
+      for (size_t i = 0; i < states.size(); ++i) {
+        targets.push_back(DeltaCache::ServeTarget{
+            states[i].member.desc, states[i].member.snap_time, senders[i],
+            states[i].member.stats, &states[i].last_qual});
+      }
+      RETURN_IF_ERROR(cache->ServeGroup(*base, exec, &targets));
+      // Flush-then-END mirrors the scan path exactly: one flush boundary
+      // after the whole group's entries, then each member's closing marker.
+      RETURN_IF_ERROR(shared_sender.Flush());
+      for (const auto& owned : owned_senders) RETURN_IF_ERROR(owned->Flush());
+      for (size_t i = 0; i < states.size(); ++i) {
+        MemberState& state = states[i];
+        RETURN_IF_ERROR(senders[i]->Send(MakeEndOfRefresh(
+            state.member.desc->id, state.last_qual, end_time)));
+        SNAPDIFF_LOG(Debug)
+            << "differential refresh served from delta cache"
+            << obs::kv("snapshot", state.member.desc->name)
+            << obs::kv("snap_time", state.member.snap_time);
+      }
+      serve_span.Note("members", states.size());
+      serve_span.Close();
+      return Status::OK();
+    }
+  }
+
   // Only refresh events need distinct times, so a single FixupTime stamps
   // every repair in this pass and becomes the new SnapTime of every member.
   const Timestamp fixup_time = base->oracle()->Next();
 
+  // Cache fills ride the scan: one per distinct class whose image is
+  // missing or stale. A class that is still current (but dragged into the
+  // scan by a stale co-member) is left untouched — the scan will repair
+  // nothing, so its image stays valid.
+  std::vector<FillTarget> fills;
+  if (cache != nullptr) {
+    for (size_t i = 0; i < states.size(); ++i) {
+      const SnapshotDescriptor& desc = *states[i].member.desc;
+      if (cache->CanServe(*base, desc)) continue;
+      cache->CountMiss();
+      bool duplicate = false;
+      for (const FillTarget& f : fills) {
+        if (DeltaCache::SameClass(*states[f.rep].member.desc, desc)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        fills.push_back(
+            FillTarget{cache->BeginFill(*base, desc, fixup_time), i});
+      }
+    }
+  }
+  std::vector<FillSpec> fill_specs;
+  fill_specs.reserve(fills.size());
+  for (const FillTarget& f : fills) {
+    fill_specs.push_back(FillSpec{f.rep, f.filler->reuse_floor()});
+  }
+
   FixupState fx{fixup_time, Address::Origin(), Address::Origin()};
   std::vector<PendingWrite> repairs;
-  MessageSink* sink = exec.session != nullptr
-                          ? static_cast<MessageSink*>(exec.session)
-                          : channel;
-  BatchingSender sender(sink, exec.batch_size);
 
+  const size_t max_parallel =
+      std::min<size_t>(exec.max_parallel_members, kMemberBitmapWidth);
   std::vector<BaseTable::ScanPartition> partitions;
-  if (exec.workers > 1 && states.size() <= kMaxParallelMembers) {
+  if (exec.workers > 1 && states.size() <= max_parallel) {
     partitions = base->Partition(exec.workers);
   }
 
@@ -352,13 +512,14 @@ Status ExecuteGroupDifferentialRefresh(
       // the worker's own track.
       const uint64_t submitted_ticks = SNAPDIFF_FR_NOW();
       pending.push_back(exec.pool->Submit(
-          [base, &states, part = partitions[p], rows_counter,
+          [base, &states, &fill_specs, part = partitions[p], rows_counter,
            run = &runs[p], submitted_ticks]() -> Status {
             SNAPDIFF_FR_INSTANT("thread_pool.task.queue_ticks",
                                 SNAPDIFF_FR_NOW() - submitted_ticks);
             SNAPDIFF_FR_SCOPED_SPAN(fr_span, "refresh.extract_partition");
             (void)submitted_ticks;
-            return ExtractPartition(base, states, part, rows_counter, run);
+            return ExtractPartition(base, states, fill_specs, part,
+                                    rows_counter, run);
           }));
     }
     // Join every partition before surfacing the first failure: the worker
@@ -379,8 +540,23 @@ Status ExecuteGroupDifferentialRefresh(
     obs::Tracer::Span merge_span(tracer, "merge+transmit");
     for (std::vector<ExtractedRow>& run : runs) {
       for (ExtractedRow& er : run) {
+        const FixupResult fix =
+            FixupRow(&fx, er.addr, er.stored_prev, er.stored_ts);
+        if (fix.write_needed) repairs.push_back({er.addr, fix.prev, fix.ts});
+        // Fills first: ProcessRow may move the payload the fill copies.
+        RETURN_IF_ERROR(ObserveFills(
+            &fills, fix, er.addr, er.stored_prev, er.stored_ts,
+            er.qualified, [&er](size_t rep) -> Result<std::string> {
+              if (((er.has_payload | er.fill_payload) >> rep & 1) == 0) {
+                // Unreachable: the worker's reuse test only skips rows the
+                // merge also classifies unchanged.
+                return Status::Internal(
+                    "parallel extraction missed a fill payload");
+              }
+              return er.payloads[rep];  // copy: the transmit may move it
+            }));
         RETURN_IF_ERROR(ProcessRow(
-            &fx, &states, &sender, &repairs, exec, er.addr, er.stored_prev,
+            fix, &states, senders, exec, er.addr, er.stored_prev,
             er.stored_ts,
             [&er](size_t i) -> Result<bool> {
               return ((er.qualified >> i) & 1) != 0;
@@ -396,7 +572,10 @@ Status ExecuteGroupDifferentialRefresh(
             }));
       }
     }
-    RETURN_IF_ERROR(sender.Flush());
+    RETURN_IF_ERROR(shared_sender.Flush());
+    for (const std::unique_ptr<BatchingSender>& s : owned_senders) {
+      RETURN_IF_ERROR(s->Flush());
+    }
     if (!states.empty()) {
       merge_span.Note("entries", states[0].member.stats->entries_scanned);
     }
@@ -407,8 +586,32 @@ Status ExecuteGroupDifferentialRefresh(
     obs::Tracer::Span scan_span(tracer, "scan+transmit");
     Status scan_status = base->ScanAnnotated(
         [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
+          const FixupResult fix =
+              FixupRow(&fx, addr, row.prev_addr, row.timestamp);
+          if (fix.write_needed) repairs.push_back({addr, fix.prev, fix.ts});
+          if (!fills.empty()) {
+            // The fill needs each class representative's verdict even for
+            // rows the transmit rule skips; re-evaluating here keeps the
+            // fill-free scan untouched.
+            uint64_t qualified_bits = 0;
+            for (const FillTarget& f : fills) {
+              ASSIGN_OR_RETURN(
+                  const bool qualified,
+                  EvaluatePredicate(*states[f.rep].member.desc->restriction,
+                                    row.user, base->user_schema()));
+              if (qualified) qualified_bits |= uint64_t{1} << f.rep;
+            }
+            RETURN_IF_ERROR(ObserveFills(
+                &fills, fix, addr, row.prev_addr, row.timestamp,
+                qualified_bits, [&](size_t rep) -> Result<std::string> {
+                  std::string payload;
+                  RETURN_IF_ERROR(row.user.AppendProjectionTo(
+                      states[rep].projection_indices, &payload));
+                  return payload;
+                }));
+          }
           return ProcessRow(
-              &fx, &states, &sender, &repairs, exec, addr, row.prev_addr,
+              fix, &states, senders, exec, addr, row.prev_addr,
               row.timestamp,
               [&](size_t i) -> Result<bool> {
                 return EvaluatePredicate(*states[i].member.desc->restriction,
@@ -424,7 +627,10 @@ Status ExecuteGroupDifferentialRefresh(
               });
         });
     RETURN_IF_ERROR(scan_status);
-    RETURN_IF_ERROR(sender.Flush());
+    RETURN_IF_ERROR(shared_sender.Flush());
+    for (const std::unique_ptr<BatchingSender>& s : owned_senders) {
+      RETURN_IF_ERROR(s->Flush());
+    }
     if (!states.empty()) {
       scan_span.Note("entries", states[0].member.stats->entries_scanned);
     }
@@ -439,12 +645,22 @@ Status ExecuteGroupDifferentialRefresh(
   }
   fixup_span.Close();
 
+  // Commit the cache fills only now: the images must be stamped with the
+  // mutation tick as of *after* the fix-up repairs, the state a future
+  // unchanged-base rescan would observe.
+  if (cache != nullptr) {
+    for (FillTarget& f : fills) {
+      cache->CommitFill(std::move(f.filler), base->mutation_tick());
+    }
+  }
+
   // "Handle deletions at end of BaseTable" + transmit the new SnapTime,
-  // once per member. (The sender is already drained, so these pass through
-  // unbatched like every control message.)
+  // once per member. (The senders are already drained, so these pass
+  // through unbatched like every control message.)
   obs::Tracer::Span end_span(tracer, "end-of-refresh");
-  for (MemberState& state : states) {
-    RETURN_IF_ERROR(sender.Send(MakeEndOfRefresh(
+  for (size_t i = 0; i < states.size(); ++i) {
+    MemberState& state = states[i];
+    RETURN_IF_ERROR(senders[i]->Send(MakeEndOfRefresh(
         state.member.desc->id, state.last_qual, fixup_time)));
     SNAPDIFF_LOG(Debug)
         << "differential refresh transmitted"

@@ -54,6 +54,11 @@ struct GroupRefreshMember {
   SnapshotDescriptor* desc;
   Timestamp snap_time;
   RefreshStats* stats;
+  /// Non-null: this member's messages go through this sink (typically a
+  /// RefreshSession stamping session id + per-message seq) instead of the
+  /// shared exec.session/channel stream, each member batching
+  /// independently. Null keeps the legacy shared single-stream framing.
+  MessageSink* sink = nullptr;
 };
 
 /// Refreshes several snapshots of the same base table in ONE combined
@@ -63,9 +68,17 @@ struct GroupRefreshMember {
 /// Figure-3 transmit state (LastQual, Deletion flag) against its own
 /// SnapTime. All members receive the same new SnapTime.
 ///
-/// The parallel path (`exec.workers > 1`) supports groups of up to 64
-/// members (per-row member sets are packed into 64-bit maps); larger
-/// groups silently fall back to the sequential scan.
+/// The parallel path (`exec.workers > 1`) supports groups of up to
+/// `exec.max_parallel_members` members (default and ceiling 64: per-row
+/// member sets are packed into 64-bit maps); larger groups silently fall
+/// back to the sequential scan.
+///
+/// With `exec.delta_cache` set, the executor first asks the cache whether
+/// *every* member's class image is current; if so the whole group is
+/// served from memory — zero base-table reads, one oracle draw, the same
+/// byte streams a scan would emit (see snapshot/delta_cache.h). Otherwise
+/// the scan runs and re-fills one image per distinct stale class as a side
+/// effect, on both the sequential and the parallel path.
 Status ExecuteGroupDifferentialRefresh(BaseTable* base,
                                        std::vector<GroupRefreshMember>*
                                            members,

@@ -30,6 +30,7 @@ std::string RefreshStats::ToString() const {
   out += " deletes=" + std::to_string(snap_deletes);
   out += " snaptime=" + std::to_string(new_snap_time);
   if (fell_back_to_full) out += " FELL_BACK_TO_FULL";
+  if (served_from_cache) out += " SERVED_FROM_CACHE";
   out += "}";
   return out;
 }

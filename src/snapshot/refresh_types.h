@@ -15,6 +15,7 @@
 namespace snapdiff {
 
 class ThreadPool;
+class DeltaCache;  // snapshot/delta_cache.h
 
 /// Execution knobs shared by the refresh executors. The defaults reproduce
 /// the paper's single-threaded, unbatched pipeline exactly; turning either
@@ -36,6 +37,17 @@ struct RefreshExecution {
   /// sequence numbers, suppresses the already-applied prefix on a resumed
   /// attempt). Null: send session-less, directly on the channel.
   RefreshSession* session = nullptr;
+  /// Parallel-path group-size ceiling. Per-row member sets are packed into
+  /// 64-bit maps, so values above 64 are clamped to 64 (the compiled-in
+  /// bitmap width and the default); groups larger than this fall back to
+  /// the sequential scan. Exposed so benches and tests can force the
+  /// sequential path for large groups or shrink the cutover for A/B runs.
+  size_t max_parallel_members = 64;
+  /// Non-null: the epoch delta cache consulted before the differential scan
+  /// (a refresh whose class image is current is served from memory, zero
+  /// base reads) and filled as a side effect of every scan that does run.
+  /// See snapshot/delta_cache.h. Null disables caching entirely.
+  DeltaCache* delta_cache = nullptr;
 };
 
 /// True when the next message an executor sends is certain to be
@@ -136,6 +148,7 @@ struct RefreshStats {
   uint64_t log_records_culled = 0;  // kLogBased: records scanned in the WAL
   bool fell_back_to_full = false;   // kLogBased after log truncation
   uint64_t anchor_messages = 0;     // payload-free ENTRY messages sent
+  bool served_from_cache = false;   // delta-cache hit: no base scan at all
 
   // Channel traffic (delta over this refresh).
   ChannelStats traffic;

@@ -71,6 +71,9 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
   metric_refresh_duration_ = reg.GetHistogram(
       "snapshot.refresh.duration_us", obs::DefaultLatencyBucketsUs());
   metric_snapshot_count_ = reg.GetGauge("snapshot.count");
+  if (options_.delta_cache_enabled) {
+    delta_cache_ = std::make_unique<DeltaCache>(options_.delta_cache_bytes);
+  }
   if (options_.enable_wal) wal_ = std::make_unique<LogManager>();
   if (!options_.base_data_path.empty()) {
     crash_switch_ = std::make_shared<CrashSwitch>();
@@ -134,6 +137,7 @@ RefreshExecution SnapshotSystem::MakeRefreshExecution(
     exec.pool = refresh_pool_.get();
   }
   exec.session = session;
+  exec.delta_cache = delta_cache_.get();
   return exec;
 }
 
@@ -943,6 +947,11 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
   std::map<std::string, RefreshStats> results;
   std::vector<GroupRefreshMember> members;
   members.reserve(entries.size());
+  // Every member transmits through its own wire session, so the shared
+  // scan's fan-out keeps per-session identity and sequence stamping intact
+  // on the wire — exactly what a real multi-subscriber server needs.
+  std::vector<std::unique_ptr<RefreshSession>> sessions;
+  sessions.reserve(entries.size());
   obs::Tracer::Span request_span(&tracer_, "request");
   for (SnapshotEntry* entry : entries) {
     RETURN_IF_ERROR(request_channel_.Send(
@@ -950,8 +959,11 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
                            entry->descriptor.restriction_text)));
     ASSIGN_OR_RETURN(Message request, request_channel_.Receive());
     RefreshStats& stats = results[entry->descriptor.name];
-    members.push_back(
-        {&entry->descriptor, request.timestamp, &stats});
+    PruneSessions(group_site, entry->descriptor.id);
+    sessions.push_back(std::make_unique<RefreshSession>(
+        &group_site->channel, next_session_id_++, /*resume_after=*/0));
+    members.push_back({&entry->descriptor, request.timestamp, &stats,
+                       sessions.back().get()});
   }
   request_span.Note("members", members.size());
   request_span.Close();
@@ -1005,6 +1017,15 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
       // Frames are a property of the whole burst; report the total.
       stats->traffic.frames = total.frames;
       stats->traffic.wire_bytes = total.wire_bytes;
+    }
+    if (msg.session_id != 0) {
+      // The group link is fault-free, so messages arrive in sequence order
+      // and apply directly; record the session's applied prefix so a later
+      // single-snapshot Refresh sees consistent session bookkeeping.
+      ApplySessionState& sess = group_site->sessions[msg.session_id];
+      sess.snapshot_id = msg.snapshot_id;
+      sess.last_applied_seq = msg.seq;
+      if (msg.type == MessageType::kEndOfRefresh) sess.end_applied = true;
     }
     RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, stats));
   }

@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "snapshot/asap.h"
 #include "snapshot/base_table.h"
+#include "snapshot/delta_cache.h"
 #include "snapshot/join_refresh.h"
 #include "snapshot/refresh_types.h"
 #include "snapshot/snapshot_table.h"
@@ -49,6 +50,16 @@ struct SnapshotSystemOptions {
   /// transmission (see RefreshExecution::batch_size). <= 1 disables
   /// batching.
   size_t refresh_batch_size = 1;
+  /// Enable the epoch delta cache (snapshot/delta_cache.h): a differential
+  /// refresh whose class image is still current is served straight from
+  /// memory — zero base-table reads — instead of rescanning; scans re-fill
+  /// the image as a side effect. Off by default: the cache trades memory
+  /// for scans and only pays off with several subscribers per base table.
+  bool delta_cache_enabled = false;
+  /// Byte budget for cached class images (0 = unbounded). Past the budget
+  /// the least-recently-used class is evicted; evicted classes fall back
+  /// to the rescan path (metered) and are re-filled by it.
+  size_t delta_cache_bytes = 64ull << 20;
 };
 
 /// Per-snapshot creation options.
@@ -188,6 +199,8 @@ class SnapshotSystem {
   /// A named site's channel.
   Result<Channel*> site_channel(const std::string& site_name);
   Channel* request_channel() { return &request_channel_; }
+  /// The epoch delta cache (null unless delta_cache_enabled).
+  DeltaCache* delta_cache() { return delta_cache_.get(); }
   LogManager* wal() { return wal_.get(); }
   TimestampOracle* base_oracle() { return &base_oracle_; }
   LockManager* lock_manager() { return &locks_; }
@@ -344,6 +357,10 @@ class SnapshotSystem {
 
   // Shared refresh worker pool; constructed on first parallel refresh.
   std::unique_ptr<ThreadPool> refresh_pool_;
+
+  // Epoch delta cache (enabled by options). One per system: class images
+  // are keyed by base-table id, so every site's refreshes share it.
+  std::unique_ptr<DeltaCache> delta_cache_;
 
   // Snapshot sites (at least "main"); node-based map keeps sites stable.
   std::map<std::string, std::unique_ptr<SnapshotSite>> sites_;

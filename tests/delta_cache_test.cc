@@ -1,0 +1,671 @@
+// Property tests for the epoch delta cache: a refresh served from the
+// cached class image must be *byte-identical* to the rescan a cache-less
+// system would run — entries, batching, anchor messages, END timestamps,
+// every wire byte — across randomized mutate/refresh/evict interleavings,
+// on the sequential and the parallel executor, and through faults with
+// resume. The mirrored-harness technique keeps a cache-on and a cache-off
+// system in oracle lockstep (a serve draws exactly one timestamp, same as
+// a scan), so the comparison is exact, not modulo clocks.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "expr/parser.h"
+#include "net/refresh_session.h"
+#include "obs/metrics.h"
+#include "snapshot/delta_cache.h"
+#include "snapshot/differential_refresh.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+/// One independent base site plus (optionally) its own delta cache. Two
+/// harnesses driven with the same seeds stay in perfect lockstep (storage,
+/// addresses, oracle), so refreshing one from its cache and rescanning the
+/// other must produce identical wires.
+struct Harness {
+  SnapshotSystem sys;
+  BaseTable* base = nullptr;
+  std::vector<Address> live;
+
+  void Create() {
+    auto b = sys.CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(b.ok());
+    base = *b;
+  }
+
+  void Populate(uint64_t seed, int rows) {
+    Random rng(seed);
+    for (int i = 0; i < rows; ++i) {
+      auto a = base->Insert(
+          Row("e" + std::to_string(i), int64_t(rng.Uniform(30))));
+      ASSERT_TRUE(a.ok());
+      live.push_back(*a);
+    }
+  }
+
+  void Mutate(uint64_t seed, int ops) {
+    Random rng(seed);
+    for (int op = 0; op < ops; ++op) {
+      const int kind = static_cast<int>(rng.Uniform(3));
+      const int64_t salary = static_cast<int64_t>(rng.Uniform(30));
+      if (kind == 0 || live.empty()) {
+        auto a = base->Insert(Row("n" + std::to_string(op), salary));
+        ASSERT_TRUE(a.ok());
+        live.push_back(*a);
+      } else if (kind == 1) {
+        ASSERT_TRUE(base->Update(live[rng.Uniform(live.size())],
+                                 Row("u" + std::to_string(op), salary))
+                        .ok());
+      } else {
+        const size_t idx = rng.Uniform(live.size());
+        ASSERT_TRUE(base->Delete(live[idx]).ok());
+        live.erase(live.begin() + idx);
+      }
+    }
+  }
+};
+
+SnapshotDescriptor MakeDesc(SnapshotId id, const std::string& predicate,
+                            bool anchor = false) {
+  SnapshotDescriptor desc;
+  desc.id = id;
+  desc.name = "snap" + std::to_string(id);
+  auto restriction = ParsePredicate(predicate);
+  EXPECT_TRUE(restriction.ok()) << predicate;
+  if (restriction.ok()) desc.restriction = *restriction;
+  desc.restriction_text = predicate;
+  desc.projection = {"Name", "Salary"};
+  desc.anchor_optimization = anchor;
+  return desc;
+}
+
+RefreshExecution Exec(DeltaCache* cache, size_t workers = 1,
+                      ThreadPool* pool = nullptr, size_t batch = 1) {
+  RefreshExecution e;
+  e.workers = workers;
+  e.pool = pool;
+  e.batch_size = batch;
+  e.delta_cache = cache;
+  return e;
+}
+
+struct RunResult {
+  Status status = Status::OK();
+  std::vector<Message> messages;
+  std::vector<RefreshStats> stats;
+  ChannelStats traffic;
+};
+
+/// Runs one group refresh over the members selected by `which`, draining
+/// the wire and advancing each member's SnapTime from its END marker so
+/// rounds chain like facade refreshes.
+RunResult RunGroup(Harness* h, std::vector<SnapshotDescriptor>* descs,
+                   std::vector<Timestamp>* snap_times,
+                   const std::vector<size_t>& which,
+                   const RefreshExecution& exec) {
+  RunResult out;
+  Channel channel;
+  out.stats.resize(which.size());
+  std::vector<GroupRefreshMember> members;
+  members.reserve(which.size());
+  for (size_t i = 0; i < which.size(); ++i) {
+    members.push_back(
+        {&(*descs)[which[i]], (*snap_times)[which[i]], &out.stats[i]});
+  }
+  out.status = ExecuteGroupDifferentialRefresh(h->base, &members, &channel,
+                                               nullptr, exec);
+  while (channel.HasPending()) {
+    auto m = channel.Receive();
+    if (!m.ok()) {
+      out.status = m.status();
+      break;
+    }
+    if (m->type == MessageType::kEndOfRefresh) {
+      for (size_t idx : which) {
+        if ((*descs)[idx].id == m->snapshot_id) {
+          (*snap_times)[idx] = m->timestamp;
+        }
+      }
+    }
+    out.messages.push_back(std::move(*m));
+  }
+  out.traffic = channel.stats();
+  return out;
+}
+
+/// Wire equality only: messages and channel meters. Scan-side stats are
+/// deliberately excluded — a cache hit scans zero entries and writes zero
+/// fix-ups, which is the entire point.
+void ExpectSameWire(const RunResult& rescan, const RunResult& cached) {
+  ASSERT_TRUE(rescan.status.ok()) << rescan.status.ToString();
+  ASSERT_TRUE(cached.status.ok()) << cached.status.ToString();
+  ASSERT_EQ(rescan.messages.size(), cached.messages.size());
+  for (size_t i = 0; i < rescan.messages.size(); ++i) {
+    ASSERT_TRUE(rescan.messages[i] == cached.messages[i])
+        << "message " << i << ": " << rescan.messages[i].ToString() << " vs "
+        << cached.messages[i].ToString();
+  }
+  EXPECT_EQ(rescan.traffic.messages, cached.traffic.messages);
+  EXPECT_EQ(rescan.traffic.entry_messages, cached.traffic.entry_messages);
+  EXPECT_EQ(rescan.traffic.delete_messages, cached.traffic.delete_messages);
+  EXPECT_EQ(rescan.traffic.batched_entries, cached.traffic.batched_entries);
+  EXPECT_EQ(rescan.traffic.payload_bytes, cached.traffic.payload_bytes);
+  EXPECT_EQ(rescan.traffic.wire_bytes, cached.traffic.wire_bytes);
+  EXPECT_EQ(rescan.traffic.frames, cached.traffic.frames);
+}
+
+/// The core amortization scenario: N subscribers of one class at spread-out
+/// SnapTimes. Member 0's refresh scans (and fills); the laggards must then
+/// be served from memory with byte-identical streams, including the anchor
+/// variant of the class.
+TEST(DeltaCacheTest, LaggardsServedByteIdenticalToRescan) {
+  Harness plain, cached;
+  plain.Create();
+  cached.Create();
+  plain.Populate(11, 1500);
+  cached.Populate(11, 1500);
+  DeltaCache cache(/*byte_budget=*/0);
+
+  auto mk = [] {
+    std::vector<SnapshotDescriptor> d;
+    d.push_back(MakeDesc(1, "Salary < 20"));
+    d.push_back(MakeDesc(2, "Salary < 20"));
+    d.push_back(MakeDesc(3, "Salary < 20", /*anchor=*/true));
+    return d;
+  };
+  auto pd = mk();
+  auto cd = mk();
+  std::vector<Timestamp> pt(3, kNullTimestamp), ct(3, kNullTimestamp);
+
+  // Initial population: one group scan on both sides; the cached side
+  // fills the (single, shared) class image as a side effect.
+  ExpectSameWire(RunGroup(&plain, &pd, &pt, {0, 1, 2}, Exec(nullptr)),
+                 RunGroup(&cached, &cd, &ct, {0, 1, 2}, Exec(&cache)));
+
+  uint64_t hits = 0;
+  for (uint64_t round = 0; round < 4; ++round) {
+    plain.Mutate(round * 31 + 5, 200);
+    cached.Mutate(round * 31 + 5, 200);
+
+    // The leader rescans (cache stale after the churn) and re-fills.
+    ExpectSameWire(RunGroup(&plain, &pd, &pt, {0}, Exec(nullptr)),
+                   RunGroup(&cached, &cd, &ct, {0}, Exec(&cache)));
+
+    // Each laggard refreshes alone at its older SnapTime: the cache-less
+    // side re-runs the whole scan, the cached side must answer from the
+    // image — same bytes, zero scanning.
+    for (size_t member : {size_t{1}, size_t{2}}) {
+      RunResult rescan = RunGroup(&plain, &pd, &pt, {member}, Exec(nullptr));
+      RunResult served = RunGroup(&cached, &cd, &ct, {member}, Exec(&cache));
+      ExpectSameWire(rescan, served);
+      ASSERT_EQ(served.stats.size(), 1u);
+      EXPECT_TRUE(served.stats[0].served_from_cache);
+      EXPECT_EQ(served.stats[0].entries_scanned, 0u);
+      EXPECT_EQ(served.stats[0].base_writes, 0u);
+      EXPECT_GT(served.traffic.entry_messages, 0u);
+      ++hits;
+    }
+    ASSERT_EQ(pt, ct) << "oracle lockstep lost in round " << round;
+  }
+  EXPECT_EQ(cache.Stats().hits, hits);
+  EXPECT_GE(cache.Stats().fills, 5u);  // initial + one per round
+}
+
+/// Same property with the parallel partitioned scan and ENTRY_BATCH
+/// framing on both sides: worker-side fill serialization and the batched
+/// serve path must not change a single wire byte.
+TEST(DeltaCacheTest, ParallelFillAndBatchedServeStayByteIdentical) {
+  Harness plain, cached;
+  plain.Create();
+  cached.Create();
+  plain.Populate(23, 2000);
+  cached.Populate(23, 2000);
+  DeltaCache cache(/*byte_budget=*/0);
+  ThreadPool pool(4);
+
+  auto mk = [] {
+    std::vector<SnapshotDescriptor> d;
+    d.push_back(MakeDesc(1, "Salary < 12"));
+    d.push_back(MakeDesc(2, "Salary < 12"));
+    d.push_back(MakeDesc(3, "Salary >= 12", /*anchor=*/true));
+    d.push_back(MakeDesc(4, "Salary >= 12"));
+    return d;
+  };
+  auto pd = mk();
+  auto cd = mk();
+  std::vector<Timestamp> pt(4, kNullTimestamp), ct(4, kNullTimestamp);
+
+  const RefreshExecution plain_exec = Exec(nullptr, 4, &pool, 8);
+  const RefreshExecution cached_exec = Exec(&cache, 4, &pool, 8);
+
+  ExpectSameWire(RunGroup(&plain, &pd, &pt, {0, 1, 2, 3}, plain_exec),
+                 RunGroup(&cached, &cd, &ct, {0, 1, 2, 3}, cached_exec));
+  for (uint64_t round = 0; round < 3; ++round) {
+    plain.Mutate(round * 17 + 3, 250);
+    cached.Mutate(round * 17 + 3, 250);
+    // Leaders of both classes rescan together (parallel scan, two fills).
+    ExpectSameWire(RunGroup(&plain, &pd, &pt, {0, 2}, plain_exec),
+                   RunGroup(&cached, &cd, &ct, {0, 2}, cached_exec));
+    // Laggards of both classes are served (batched) from the two images.
+    RunResult rescan = RunGroup(&plain, &pd, &pt, {1, 3}, plain_exec);
+    RunResult served = RunGroup(&cached, &cd, &ct, {1, 3}, cached_exec);
+    ExpectSameWire(rescan, served);
+    for (const RefreshStats& st : served.stats) {
+      EXPECT_TRUE(st.served_from_cache);
+      EXPECT_EQ(st.entries_scanned, 0u);
+    }
+    ASSERT_EQ(pt, ct);
+  }
+  EXPECT_GT(cache.Stats().hits, 0u);
+}
+
+/// Randomized interleavings under a byte budget that cannot hold both
+/// classes: fills evict each other, every eviction falls back to the
+/// rescan, and no interleaving of mutate / subset-refresh / evict may
+/// produce a stream that differs from the cache-less mirror.
+TEST(DeltaCacheTest, EvictionInterleavingsNeverChangeTheWire) {
+  Harness plain, cached;
+  plain.Create();
+  cached.Create();
+  plain.Populate(47, 400);
+  cached.Populate(47, 400);
+  // ~400 rows * (64 overhead + ~20 payload) ≈ 34 KB per class image: one
+  // class fits, two never do.
+  DeltaCache cache(/*byte_budget=*/48 * 1024);
+
+  auto mk = [] {
+    std::vector<SnapshotDescriptor> d;
+    d.push_back(MakeDesc(1, "Salary < 15"));
+    d.push_back(MakeDesc(2, "Salary < 15"));
+    d.push_back(MakeDesc(3, "Salary >= 15"));
+    d.push_back(MakeDesc(4, "Salary >= 15", /*anchor=*/true));
+    return d;
+  };
+  auto pd = mk();
+  auto cd = mk();
+  std::vector<Timestamp> pt(4, kNullTimestamp), ct(4, kNullTimestamp);
+
+  Random rng(1234);
+  const std::vector<std::vector<size_t>> subsets = {
+      {0}, {1}, {2}, {3}, {0, 1}, {2, 3}, {0, 2}, {1, 3}, {0, 1, 2, 3}};
+  for (int step = 0; step < 40; ++step) {
+    if (rng.Uniform(3) == 0) {
+      const int ops = static_cast<int>(rng.Uniform(60));
+      plain.Mutate(step * 7 + 1, ops);
+      cached.Mutate(step * 7 + 1, ops);
+    }
+    const auto& which = subsets[rng.Uniform(subsets.size())];
+    ExpectSameWire(RunGroup(&plain, &pd, &pt, which, Exec(nullptr)),
+                   RunGroup(&cached, &cd, &ct, which, Exec(&cache)));
+    ASSERT_EQ(pt, ct) << "step " << step;
+  }
+  EXPECT_GT(cache.Stats().evictions, 0u);
+  EXPECT_LE(cache.Stats().bytes, 48u * 1024u);
+
+  // Deterministic hit at the end: refresh class 0 twice with no churn in
+  // between — the second round must come from memory even under the tight
+  // budget (one class fits).
+  ExpectSameWire(RunGroup(&plain, &pd, &pt, {0}, Exec(nullptr)),
+                 RunGroup(&cached, &cd, &ct, {0}, Exec(&cache)));
+  RunResult rescan = RunGroup(&plain, &pd, &pt, {1}, Exec(nullptr));
+  RunResult served = RunGroup(&cached, &cd, &ct, {1}, Exec(&cache));
+  ExpectSameWire(rescan, served);
+  EXPECT_TRUE(served.stats[0].served_from_cache);
+  EXPECT_GT(cache.Stats().hits, 0u);
+}
+
+/// THE perf claim, asserted: a cache hit performs zero buffer-pool page
+/// fetches. A never-refreshed subscriber at SnapTime NULL receives its
+/// entire initial population from the image without one base-table read.
+TEST(DeltaCacheTest, CacheHitTouchesZeroBasePages) {
+  Harness h;
+  h.Create();
+  h.Populate(3, 3000);  // dozens of 4 KiB pages
+  DeltaCache cache(/*byte_budget=*/0);
+
+  std::vector<SnapshotDescriptor> descs;
+  descs.push_back(MakeDesc(1, "Salary < 25"));
+  descs.push_back(MakeDesc(2, "Salary < 25"));
+  std::vector<Timestamp> times(2, kNullTimestamp);
+
+  // Member 0 scans and fills.
+  RunResult fill = RunGroup(&h, &descs, &times, {0}, Exec(&cache));
+  ASSERT_TRUE(fill.status.ok()) << fill.status.ToString();
+  ASSERT_TRUE(cache.CanServe(*h.base, descs[1]));
+
+  BufferPool* pool = h.sys.base_catalog()->buffer_pool();
+  const uint64_t fetches_before = pool->stats().hits + pool->stats().misses;
+  RunResult served = RunGroup(&h, &descs, &times, {1}, Exec(&cache));
+  const uint64_t fetches_after = pool->stats().hits + pool->stats().misses;
+
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  EXPECT_EQ(fetches_after - fetches_before, 0u);
+  EXPECT_TRUE(served.stats[0].served_from_cache);
+  EXPECT_EQ(served.stats[0].entries_scanned, 0u);
+  // And it was no trivial stream: the full initial population came out of
+  // memory.
+  EXPECT_EQ(served.traffic.entry_messages, fill.traffic.entry_messages);
+  EXPECT_GT(served.traffic.entry_messages, 1000u);
+}
+
+/// Shared-scan fan-out into per-member sessions: when members carry their
+/// own sinks, both the scan path and the serve path must stamp each
+/// member's stream with its session id and contiguous 1-based sequence
+/// numbers, END last.
+TEST(DeltaCacheTest, FanOutStampsPerMemberSessions) {
+  Harness h;
+  h.Create();
+  h.Populate(9, 600);
+  DeltaCache cache(/*byte_budget=*/0);
+
+  std::vector<SnapshotDescriptor> descs;
+  descs.push_back(MakeDesc(1, "Salary < 10"));
+  descs.push_back(MakeDesc(2, "Salary < 10"));
+  descs.push_back(MakeDesc(3, "Salary >= 10"));
+
+  auto run = [&](Timestamp* times, bool expect_cached) {
+    Channel channel;
+    std::vector<RefreshStats> stats(3);
+    RefreshSession s1(&channel, 101, 0);
+    RefreshSession s2(&channel, 102, 0);
+    RefreshSession s3(&channel, 103, 0);
+    RefreshSession* sessions[3] = {&s1, &s2, &s3};
+    std::vector<GroupRefreshMember> members;
+    for (size_t i = 0; i < 3; ++i) {
+      members.push_back({&descs[i], times[i], &stats[i], sessions[i]});
+    }
+    ASSERT_TRUE(ExecuteGroupDifferentialRefresh(h.base, &members, &channel,
+                                                nullptr, Exec(&cache))
+                    .ok());
+    uint64_t last_seq[3] = {0, 0, 0};
+    bool ended[3] = {false, false, false};
+    while (channel.HasPending()) {
+      auto m = channel.Receive();
+      ASSERT_TRUE(m.ok());
+      ASSERT_GE(m->session_id, 101u);
+      ASSERT_LE(m->session_id, 103u);
+      const size_t i = m->session_id - 101;
+      EXPECT_EQ(descs[i].id, m->snapshot_id);
+      EXPECT_FALSE(ended[i]) << "message after END on session " << i;
+      EXPECT_EQ(m->seq, last_seq[i] + 1) << "gap on session " << i;
+      last_seq[i] = m->seq;
+      if (m->type == MessageType::kEndOfRefresh) {
+        ended[i] = true;
+        times[i] = m->timestamp;
+      }
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(ended[i]) << "session " << i << " never ended";
+      EXPECT_EQ(stats[i].served_from_cache, expect_cached) << i;
+    }
+  };
+
+  Timestamp times[3] = {kNullTimestamp, kNullTimestamp, kNullTimestamp};
+  run(times, /*expect_cached=*/false);  // scan fills both classes
+  run(times, /*expect_cached=*/true);   // whole group served from memory
+}
+
+/// The exposed parallel-group ceiling: shrinking max_parallel_members below
+/// the group size must fall back to the sequential scan (observable via the
+/// worker meters) without changing the stream.
+TEST(DeltaCacheTest, MaxParallelMembersForcesSequentialFallback) {
+  Harness a, b;
+  a.Create();
+  b.Create();
+  a.Populate(31, 1200);
+  b.Populate(31, 1200);
+  ThreadPool pool(4);
+
+  auto mk = [] {
+    std::vector<SnapshotDescriptor> d;
+    d.push_back(MakeDesc(1, "Salary < 10"));
+    d.push_back(MakeDesc(2, "Salary >= 10 AND Salary < 20"));
+    d.push_back(MakeDesc(3, "Salary >= 20"));
+    return d;
+  };
+  auto ad = mk();
+  auto bd = mk();
+  std::vector<Timestamp> at(3, kNullTimestamp), bt(3, kNullTimestamp);
+
+  RefreshExecution capped = Exec(nullptr, 4, &pool, 1);
+  capped.max_parallel_members = 2;  // 3 members > 2: sequential fallback
+
+  obs::Counter* worker0 = obs::MetricsRegistry::Default().GetCounter(
+      "snapshot.refresh.parallel.worker.0.rows");
+  const uint64_t worker_rows_before = worker0->value();
+  RunResult capped_run = RunGroup(&a, &ad, &at, {0, 1, 2}, capped);
+  EXPECT_EQ(worker0->value(), worker_rows_before)
+      << "capped group still ran partition workers";
+
+  RunResult sequential = RunGroup(&b, &bd, &bt, {0, 1, 2}, Exec(nullptr));
+  ExpectSameWire(sequential, capped_run);
+
+  // At or under the ceiling the workers do run.
+  a.Mutate(5, 50);
+  b.Mutate(5, 50);
+  RefreshExecution under = Exec(nullptr, 4, &pool, 1);
+  under.max_parallel_members = 2;
+  RunResult parallel_run = RunGroup(&a, &ad, &at, {0, 1}, under);
+  EXPECT_GT(worker0->value(), worker_rows_before);
+  std::vector<size_t> first_two = {0, 1};
+  ExpectSameWire(RunGroup(&b, &bd, &bt, first_two, Exec(nullptr)),
+                 parallel_run);
+}
+
+/// Facade-level mirror under faults: two SnapshotSystems (cache on / off)
+/// driven identically through partitions, drops, and resumed retries must
+/// converge to identical snapshot contents, and the cached system must
+/// actually have served refreshes from memory along the way.
+TEST(DeltaCacheTest, SystemMirrorConvergesThroughFaultsAndResume) {
+  SnapshotSystemOptions cached_opts;
+  cached_opts.delta_cache_enabled = true;
+  SnapshotSystem plain_sys;
+  SnapshotSystem cached_sys(cached_opts);
+
+  struct Site {
+    SnapshotSystem* sys;
+    BaseTable* base = nullptr;
+    std::vector<Address> live;
+  };
+  Site sites[2] = {{&plain_sys, nullptr, {}}, {&cached_sys, nullptr, {}}};
+  for (Site& s : sites) {
+    auto b = s.sys->CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(b.ok());
+    s.base = *b;
+    Random rng(77);
+    for (int i = 0; i < 600; ++i) {
+      auto a = s.base->Insert(
+          Row("e" + std::to_string(i), int64_t(rng.Uniform(30))));
+      ASSERT_TRUE(a.ok());
+      s.live.push_back(*a);
+    }
+    ASSERT_TRUE(s.sys->CreateSnapshot("lead", "emp", "Salary < 15").ok());
+    ASSERT_TRUE(s.sys->CreateSnapshot("lag", "emp", "Salary < 15").ok());
+    ASSERT_TRUE(s.sys->CreateSnapshot("rest", "emp", "Salary >= 15").ok());
+  }
+
+  auto mutate = [](Site* s, uint64_t seed, int ops) {
+    Random rng(seed);
+    for (int op = 0; op < ops; ++op) {
+      const int kind = static_cast<int>(rng.Uniform(3));
+      const int64_t salary = static_cast<int64_t>(rng.Uniform(30));
+      if (kind == 0 || s->live.empty()) {
+        auto a = s->base->Insert(Row("n" + std::to_string(op), salary));
+        ASSERT_TRUE(a.ok());
+        s->live.push_back(*a);
+      } else if (kind == 1) {
+        ASSERT_TRUE(s->base->Update(s->live[rng.Uniform(s->live.size())],
+                                    Row("u" + std::to_string(op), salary))
+                        .ok());
+      } else {
+        const size_t idx = rng.Uniform(s->live.size());
+        ASSERT_TRUE(s->base->Delete(s->live[idx]).ok());
+        s->live.erase(s->live.begin() + idx);
+      }
+    }
+  };
+
+  auto verify = [](Site* s, const char* name) {
+    auto snap = s->sys->GetSnapshot(name);
+    ASSERT_TRUE(snap.ok());
+    auto actual = (*snap)->Contents();
+    ASSERT_TRUE(actual.ok());
+    auto expected = s->sys->ExpectedContents(name);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(actual->size(), expected->size()) << name;
+    for (const auto& [addr, row] : *expected) {
+      ASSERT_TRUE(actual->contains(addr)) << name;
+      EXPECT_TRUE(actual->at(addr).Equals(row)) << name;
+    }
+    ASSERT_TRUE((*snap)->ValidateIndex().ok());
+  };
+
+  uint64_t cached_serves = 0;
+  for (uint64_t round = 0; round < 4; ++round) {
+    for (Site& s : sites) mutate(&s, round * 13 + 2, 80);
+
+    // The leader refreshes through a faulty link: the scan's stream is cut
+    // or lossy, the retry resumes the session. On the cached side attempt
+    // 2 may be answered from the image the failed attempt committed — the
+    // resume suppression must still line up message-for-message.
+    RefreshRequest lead = RefreshRequest::For("lead");
+    if (round % 2 == 0) {
+      lead.fault = FaultPlan::PartitionAfter(25).WithHealAfter(2);
+      lead.retry.max_retries = 4;
+    } else {
+      lead.fault = FaultPlan::DropEvery(7);
+      lead.retry.max_retries = 4;
+    }
+    for (Site& s : sites) {
+      auto report = s.sys->Refresh(lead);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+
+    // The laggards refresh on a clean link; the cached side must hit.
+    for (const char* name : {"lag", "rest"}) {
+      for (Site& s : sites) {
+        auto report = s.sys->Refresh(RefreshRequest::For(name));
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+        if (s.sys == &cached_sys && report->stats.served_from_cache) {
+          ++cached_serves;
+        }
+      }
+    }
+
+    for (Site& s : sites) {
+      verify(&s, "lead");
+      verify(&s, "lag");
+      verify(&s, "rest");
+    }
+    // Cross-system equality: cache on vs off ends in the same state.
+    for (const char* name : {"lead", "lag", "rest"}) {
+      auto p = plain_sys.GetSnapshot(name);
+      auto c = cached_sys.GetSnapshot(name);
+      ASSERT_TRUE(p.ok() && c.ok());
+      auto pc = (*p)->Contents();
+      auto cc = (*c)->Contents();
+      ASSERT_TRUE(pc.ok() && cc.ok());
+      ASSERT_EQ(pc->size(), cc->size()) << name;
+      for (const auto& [addr, row] : *pc) {
+        ASSERT_TRUE(cc->contains(addr)) << name;
+        EXPECT_TRUE(cc->at(addr).Equals(row)) << name;
+      }
+    }
+  }
+  ASSERT_NE(cached_sys.delta_cache(), nullptr);
+  EXPECT_EQ(plain_sys.delta_cache(), nullptr);
+  EXPECT_GT(cached_serves, 0u);
+  EXPECT_GT(cached_sys.delta_cache()->Stats().hits, 0u);
+}
+
+/// Every base mutation — including annotation repairs and mode flips —
+/// must advance the validity tick the cache compares against.
+TEST(DeltaCacheTest, MutationTickAdvancesOnEveryMutation) {
+  Harness h;
+  h.Create();
+  uint64_t tick = h.base->mutation_tick();
+
+  auto a1 = h.base->Insert(Row("a", 1));
+  ASSERT_TRUE(a1.ok());
+  EXPECT_GT(h.base->mutation_tick(), tick);
+  tick = h.base->mutation_tick();
+
+  ASSERT_TRUE(h.base->Update(*a1, Row("a2", 2)).ok());
+  EXPECT_GT(h.base->mutation_tick(), tick);
+  tick = h.base->mutation_tick();
+
+  auto a2 = h.base->Insert(Row("b", 3));
+  ASSERT_TRUE(a2.ok());
+  tick = h.base->mutation_tick();
+  ASSERT_TRUE(h.base->Delete(*a1).ok());
+  EXPECT_GT(h.base->mutation_tick(), tick);
+  tick = h.base->mutation_tick();
+
+  // A differential refresh's lazy fix-up writes annotations: the repairs
+  // themselves bump the tick, and the committed fill must still be valid
+  // afterwards (the tick is captured post-repair).
+  DeltaCache cache(0);
+  std::vector<SnapshotDescriptor> descs{MakeDesc(1, "Salary < 100")};
+  std::vector<Timestamp> times(1, kNullTimestamp);
+  RunResult r = RunGroup(&h, &descs, &times, {0}, Exec(&cache));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(h.base->mutation_tick(), tick) << "fix-up repairs left no tick";
+  EXPECT_TRUE(cache.CanServe(*h.base, descs[0]));
+
+  tick = h.base->mutation_tick();
+  ASSERT_TRUE(h.base->SetMode(AnnotationMode::kEager).ok());
+  EXPECT_GT(h.base->mutation_tick(), tick) << "mode flip must invalidate";
+  EXPECT_FALSE(cache.CanServe(*h.base, descs[0]));
+}
+
+/// Introspection surface: stats, per-class debug lines, and Clear().
+TEST(DeltaCacheTest, StatsDebugStringAndClear) {
+  Harness h;
+  h.Create();
+  h.Populate(1, 200);
+  DeltaCache cache(/*byte_budget=*/1 << 20);
+
+  std::vector<SnapshotDescriptor> descs{MakeDesc(1, "Salary < 10"),
+                                        MakeDesc(2, "Salary >= 10")};
+  std::vector<Timestamp> times(2, kNullTimestamp);
+  ASSERT_TRUE(RunGroup(&h, &descs, &times, {0, 1}, Exec(&cache)).status.ok());
+
+  DeltaCache::StatsSnapshot st = cache.Stats();
+  EXPECT_EQ(st.classes, 2u);
+  EXPECT_EQ(st.fills, 2u);
+  EXPECT_GT(st.bytes, 0u);
+  EXPECT_EQ(st.byte_budget, uint64_t{1 << 20});
+
+  const std::string debug = cache.DebugString();
+  EXPECT_NE(debug.find("Salary < 10"), std::string::npos) << debug;
+  EXPECT_NE(debug.find("Salary >= 10"), std::string::npos) << debug;
+
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().classes, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+  EXPECT_EQ(cache.Stats().fills, 2u);  // cumulative meters survive
+  EXPECT_FALSE(cache.CanServe(*h.base, descs[0]));
+
+  // After Clear the next refresh is a miss that re-fills.
+  ASSERT_TRUE(RunGroup(&h, &descs, &times, {0}, Exec(&cache)).status.ok());
+  EXPECT_GT(cache.Stats().misses, 0u);
+  EXPECT_EQ(cache.Stats().classes, 1u);
+}
+
+}  // namespace
+}  // namespace snapdiff
