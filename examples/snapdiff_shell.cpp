@@ -20,6 +20,11 @@
 //   \loglevel debug     (structured logging to stderr; `off` to silence)
 //   \checkpoint         (fuzzy checkpoint of a file-backed base site)
 //   \recover            (stats of the restart recovery that opened --data=)
+//   \serve 127.0.0.1:0  (serve this shell's snapshots to remote clients;
+//                        `\serve stop` shuts the server down)
+//   \connect unix:/tmp/s.sock low
+//                       (attach to a snapshot on a remote shell; `refresh
+//                        low` and `show low` then work against the replica)
 //   quit
 //
 // Try piping a script in:
@@ -29,10 +34,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "net/refresh_server.h"
+#include "net/remote_site.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -181,7 +191,18 @@ class Shell {
     if (tok[0] == "\\loglevel") return SetLogLevel(tok);
     if (tok[0] == "\\checkpoint") return Checkpoint();
     if (tok[0] == "\\recover") return RecoveryInfo();
+    if (tok[0] == "\\serve") return Serve(tok);
+    if (tok[0] == "\\connect") return ConnectRemote(tok);
     return Status::InvalidArgument("unknown command: " + tok[0]);
+  }
+
+  /// While \serve is live, server threads execute refreshes against sys_
+  /// concurrently with shell commands; local mutations and refreshes must
+  /// serialize on the serve mutex. Costs nothing when not serving.
+  std::unique_lock<std::mutex> ServeGuard() {
+    return server_ != nullptr
+               ? std::unique_lock<std::mutex>(sys_.serve_mutex())
+               : std::unique_lock<std::mutex>();
   }
 
   Status CreateTable(const std::vector<std::string>& tok) {
@@ -221,6 +242,7 @@ class Shell {
     if (tok.size() < 2) return Status::InvalidArgument("usage: insert <table> <values...>");
     ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
     ASSIGN_OR_RETURN(Tuple row, ParseRow(table->user_schema(), tok, 2));
+    const auto guard = ServeGuard();
     ASSIGN_OR_RETURN(Address addr, table->Insert(row));
     std::printf("inserted at %s\n", addr.ToString().c_str());
     return Status::OK();
@@ -233,6 +255,7 @@ class Shell {
     ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
     ASSIGN_OR_RETURN(Address addr, ParseAddr(tok[2]));
     ASSIGN_OR_RETURN(Tuple row, ParseRow(table->user_schema(), tok, 3));
+    const auto guard = ServeGuard();
     RETURN_IF_ERROR(table->Update(addr, row));
     std::printf("updated %s\n", addr.ToString().c_str());
     return Status::OK();
@@ -244,6 +267,7 @@ class Shell {
     }
     ASSIGN_OR_RETURN(BaseTable * table, sys_.GetBaseTable(tok[1]));
     ASSIGN_OR_RETURN(Address addr, ParseAddr(tok[2]));
+    const auto guard = ServeGuard();
     RETURN_IF_ERROR(table->Delete(addr));
     std::printf("deleted %s\n", addr.ToString().c_str());
     return Status::OK();
@@ -254,6 +278,23 @@ class Shell {
       return Status::InvalidArgument(
           "usage: refresh <snapshot> [max_retries]");
     }
+    // Snapshots attached with \connect refresh over the wire; the rest of
+    // the refresh path is unchanged.
+    if (auto it = remotes_.find(tok[1]); it != remotes_.end()) {
+      ASSIGN_OR_RETURN(RemoteRefreshReport report, it->second->Refresh());
+      std::printf("refreshed %s over %s: %s\n", tok[1].c_str(),
+                  it->second->snapshot_name().c_str(),
+                  report.stats.ToString().c_str());
+      std::printf(
+          "  session %llu: %llu applied, %llu reconnects, %llu resumes, "
+          "%llu duplicates dropped\n",
+          static_cast<unsigned long long>(report.session_id),
+          static_cast<unsigned long long>(report.messages_applied),
+          static_cast<unsigned long long>(report.reconnects),
+          static_cast<unsigned long long>(report.resumes),
+          static_cast<unsigned long long>(report.duplicates_dropped));
+      return Status::OK();
+    }
     RefreshRequest req;
     req.snapshot = tok[1];
     if (tok.size() == 3) {
@@ -263,6 +304,7 @@ class Shell {
       }
       req.retry.max_retries = static_cast<uint64_t>(retries);
     }
+    const auto guard = ServeGuard();
     ASSIGN_OR_RETURN(RefreshReport report, sys_.Refresh(req));
     std::printf("refreshed %s: %s\n", tok[1].c_str(),
                 report.stats.ToString().c_str());
@@ -281,6 +323,19 @@ class Shell {
 
   Status Show(const std::vector<std::string>& tok) {
     if (tok.size() != 2) return Status::InvalidArgument("usage: show <snapshot|table>");
+    if (auto it = remotes_.find(tok[1]); it != remotes_.end()) {
+      SnapshotTable* replica = it->second->table();
+      ASSIGN_OR_RETURN(auto contents, replica->Contents());
+      std::printf("%s (remote replica, SnapTime %lld, %zu rows)\n",
+                  tok[1].c_str(),
+                  static_cast<long long>(replica->snap_time()),
+                  contents.size());
+      for (const auto& [addr, row] : contents) {
+        std::printf("  %-10s %s\n", addr.ToString().c_str(),
+                    row.ToString(replica->value_schema()).c_str());
+      }
+      return Status::OK();
+    }
     auto snap = sys_.GetSnapshot(tok[1]);
     if (snap.ok()) {
       ASSIGN_OR_RETURN(auto contents, (*snap)->Contents());
@@ -391,6 +446,7 @@ class Shell {
   }
 
   Status Checkpoint() {
+    const auto guard = ServeGuard();
     RETURN_IF_ERROR(sys_.CheckpointBaseSite());
     if (LogManager* wal = sys_.wal()) {
       std::printf("checkpointed; WAL retains %zu records (%zu bytes)\n",
@@ -443,7 +499,60 @@ class Shell {
     return Status::OK();
   }
 
+  Status Serve(const std::vector<std::string>& tok) {
+    // \serve <addr> — stand up a refresh server over this shell's system.
+    // \serve stop — shut it down.
+    if (tok.size() != 2) {
+      return Status::InvalidArgument(
+          "usage: \\serve <host:port|unix:/path>  (or \\serve stop)");
+    }
+    if (tok[1] == "stop") {
+      if (server_ == nullptr) return Status::InvalidArgument("not serving");
+      const ServerStats stats = server_->stats();
+      server_->Stop();
+      server_.reset();
+      std::printf(
+          "server stopped: %llu connections, %llu sessions served, "
+          "%llu resumes\n",
+          static_cast<unsigned long long>(stats.connections_accepted),
+          static_cast<unsigned long long>(stats.sessions_served),
+          static_cast<unsigned long long>(stats.resumes));
+      return Status::OK();
+    }
+    if (server_ != nullptr) {
+      return Status::InvalidArgument("already serving at " +
+                                     server_->bound_addr());
+    }
+    ServerOptions options;
+    options.listen_addr = tok[1];
+    auto server = std::make_unique<RefreshServer>(&sys_, options);
+    RETURN_IF_ERROR(server->Start());
+    server_ = std::move(server);
+    std::printf("serving at %s\n", server_->bound_addr().c_str());
+    return Status::OK();
+  }
+
+  Status ConnectRemote(const std::vector<std::string>& tok) {
+    // \connect <addr> <snapshot> — attach a local replica of a snapshot
+    // served by a remote shell; refresh/show then accept its name.
+    if (tok.size() != 3) {
+      return Status::InvalidArgument("usage: \\connect <addr> <snapshot>");
+    }
+    if (remotes_.count(tok[2]) != 0 || sys_.GetSnapshot(tok[2]).ok()) {
+      return Status::InvalidArgument("name already in use: " + tok[2]);
+    }
+    ASSIGN_OR_RETURN(auto site, RemoteSnapshotSite::Connect(tok[1], tok[2]));
+    std::printf("attached %s from %s (snapshot id %llu)\n", tok[2].c_str(),
+                tok[1].c_str(),
+                static_cast<unsigned long long>(site->snapshot_id()));
+    remotes_.emplace(tok[2], std::move(site));
+    return Status::OK();
+  }
+
   SnapshotSystem sys_;
+  std::unique_ptr<RefreshServer> server_;
+  /// Remote replicas attached with \connect, by local snapshot name.
+  std::map<std::string, std::unique_ptr<RemoteSnapshotSite>> remotes_;
 };
 
 }  // namespace

@@ -23,7 +23,7 @@ WL_ROWS="${WL_ROWS:-$((ROWS * 50))}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
   bench_fig8 bench_fig9 bench_parallel_refresh bench_scan bench_workload \
-  bench_group_refresh
+  bench_group_refresh bench_server
 
 # Figure reproductions: capture the printed series alongside the CSV the
 # binaries already embed in their stdout.
@@ -48,7 +48,15 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
 "${BUILD_DIR}/bench/bench_group_refresh" "${ROWS}" "${ITERS}" \
   BENCH_group.json
 
+# Refresh-server load driver: SRV_CLIENTS concurrent socket clients over
+# three selectivity classes against one in-process server. Emits aggregate
+# throughput, p50/p99, and the Jain fairness index; perf_gate.py gates the
+# JSON against bench/baselines/BENCH_server.baseline.json in CI.
+SRV_CLIENTS="${SRV_CLIENTS:-512}"
+"${BUILD_DIR}/bench/bench_server" "$((ROWS / 4))" "${SRV_CLIENTS}" \
+  BENCH_server.json 3
+
 echo
 echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json" \
   "BENCH_scan.json BENCH_workload.json BENCH_workload.trace.json" \
-  "BENCH_group.json"
+  "BENCH_group.json BENCH_server.json"

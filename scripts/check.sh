@@ -73,9 +73,16 @@ cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSNAPDIFF_TSAN=ON
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" --target \
-  thread_pool_test parallel_refresh_test observability_integration_test
+  thread_pool_test parallel_refresh_test observability_integration_test \
+  transport_test refresh_server_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|ParallelRefresh|Observability'
+
+# Socket server surface: accept loop, per-connection handler threads, and
+# the client's reconnect/RESUME path all race-checked over real loopback
+# sockets.
+ctest --test-dir "${TSAN_BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+  -L server

@@ -4,161 +4,15 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "net/message.h"
-#include "obs/metrics.h"
+#include "net/transport.h"
 
 namespace snapdiff {
-
-/// Framing/overhead model for the simulated link. R* "blocks the entries to
-/// be transmitted" — up to `blocking_factor` messages share one network
-/// frame, whose fixed header is paid once.
-struct ChannelOptions {
-  size_t blocking_factor = 32;
-  size_t frame_header_bytes = 64;
-  size_t per_message_overhead_bytes = 8;
-  /// Instrument family this link reports into (MetricsRegistry::Default()).
-  /// Channels sharing a prefix aggregate; SnapshotSystem separates its data
-  /// links ("net.channel.data") from the demand link
-  /// ("net.channel.request") so refresh traffic can be traced in isolation.
-  std::string metrics_prefix = "net.channel.data";
-};
-
-/// Traffic meters. `messages` counts logical protocol messages — the unit
-/// of Figures 8/9 — split by category; `frames` counts network frames under
-/// the blocking model; `wire_bytes` = payloads + per-message overhead +
-/// frame headers.
-struct ChannelStats {
-  uint64_t messages = 0;
-  uint64_t entry_messages = 0;    // kEntry + kUpsert + kEntryBatch
-  uint64_t delete_messages = 0;   // kDelete + kDeleteRange
-  uint64_t control_messages = 0;  // request/clear/end
-  /// Logical entries carried inside kEntryBatch messages. A batch of k
-  /// entries counts as 1 message / 1 entry_message / k batched_entries, so
-  /// the pre-batching entry count is recoverable as
-  /// (entry_messages - batches) + batched_entries.
-  uint64_t batched_entries = 0;
-  uint64_t payload_bytes = 0;
-  uint64_t wire_bytes = 0;
-  uint64_t frames = 0;
-  uint64_t send_failures = 0;  // rejected while partitioned
-  // Fault-injection effects (see FaultPlan). A dropped message consumed
-  // wire (it is metered above) but was never delivered; a duplicated
-  // message is metered once and delivered twice.
-  uint64_t dropped_messages = 0;
-  uint64_t duplicated_messages = 0;
-  uint64_t reordered_messages = 0;  // deliveries displaced from FIFO order
-};
-
-ChannelStats operator-(const ChannelStats& a, const ChannelStats& b);
-ChannelStats operator+(const ChannelStats& a, const ChannelStats& b);
-ChannelStats& operator+=(ChannelStats& a, const ChannelStats& b);
-
-/// A composable description of how the link misbehaves, armed on a Channel
-/// with Arm(). Replaces the old ad-hoc SetPartitioned/FailAfterSends
-/// setters. Build with the named constructors and chain With* to compose:
-///
-///   channel->Arm(FaultPlan::PartitionAfter(40).WithHealAfter(8));
-///   channel->Arm(FaultPlan::DropEvery(7).WithDuplicateEvery(5));
-///
-/// Counters (sends, bytes, cadences) count from the moment the plan is
-/// armed. All faults are deterministic; reordering draws from a Random
-/// seeded by `reorder_seed`. Time is virtual: HealAfter ticks elapse only
-/// through Channel::AdvanceTime (the retry loop's backoff), never the wall
-/// clock.
-struct FaultPlan {
-  /// Link dies after this many further successful sends (0 = immediately,
-  /// before the next send). The partition persists until healed.
-  std::optional<uint64_t> partition_after_sends;
-  /// Link dies once this many further wire bytes have been transmitted.
-  std::optional<uint64_t> partition_after_bytes;
-  /// Every nth sent message is silently lost: metered as transmitted (the
-  /// wire was consumed) but never delivered.
-  uint64_t drop_every_nth = 0;
-  /// Every nth sent message is delivered twice (delivery-layer duplication;
-  /// metered once).
-  uint64_t duplicate_every_nth = 0;
-  /// Each delivery may be displaced up to this many positions earlier in
-  /// the queue than FIFO order (bounded reorder window).
-  uint64_t reorder_window = 0;
-  uint64_t reorder_seed = 0;
-  /// A fired partition self-heals after this many virtual ticks past the
-  /// firing; a plan with no partition component (pure drop/duplicate/
-  /// reorder cadence) instead expires this many ticks after arming. Either
-  /// way, virtual time only advances via Channel::AdvanceTime.
-  std::optional<uint64_t> heal_after_ticks;
-
-  static FaultPlan None() { return FaultPlan{}; }
-  static FaultPlan PartitionNow() { return PartitionAfter(0); }
-  static FaultPlan PartitionAfter(uint64_t sends) {
-    FaultPlan p;
-    p.partition_after_sends = sends;
-    return p;
-  }
-  static FaultPlan PartitionAfterBytes(uint64_t bytes) {
-    FaultPlan p;
-    p.partition_after_bytes = bytes;
-    return p;
-  }
-  static FaultPlan DropEvery(uint64_t nth) {
-    FaultPlan p;
-    p.drop_every_nth = nth;
-    return p;
-  }
-  static FaultPlan DuplicateEvery(uint64_t nth) {
-    FaultPlan p;
-    p.duplicate_every_nth = nth;
-    return p;
-  }
-  static FaultPlan Reorder(uint64_t window, uint64_t seed) {
-    FaultPlan p;
-    p.reorder_window = window;
-    p.reorder_seed = seed;
-    return p;
-  }
-
-  FaultPlan WithHealAfter(uint64_t ticks) && {
-    heal_after_ticks = ticks;
-    return std::move(*this);
-  }
-  FaultPlan WithDropEvery(uint64_t nth) && {
-    drop_every_nth = nth;
-    return std::move(*this);
-  }
-  FaultPlan WithDuplicateEvery(uint64_t nth) && {
-    duplicate_every_nth = nth;
-    return std::move(*this);
-  }
-  FaultPlan WithReorder(uint64_t window, uint64_t seed) && {
-    reorder_window = window;
-    reorder_seed = seed;
-    return std::move(*this);
-  }
-
-  bool empty() const {
-    return !partition_after_sends.has_value() &&
-           !partition_after_bytes.has_value() && drop_every_nth == 0 &&
-           duplicate_every_nth == 0 && reorder_window == 0;
-  }
-};
-
-/// Explicit fault lifecycle (the old FailAfterSends counter leaked across
-/// ResetStats because the states were implicit):
-///   kIdle  — no plan armed; the link is honest.
-///   kArmed — a plan is armed; drop/duplicate/reorder are live, a pending
-///            partition has not yet fired.
-///   kFired — the partition condition fired; Send fails until healed.
-///   kHealed — a fired partition was healed (by Heal() or heal_after); the
-///            plan is disarmed.
-enum class FaultPhase : uint8_t { kIdle, kArmed, kFired, kHealed };
-
-std::string_view FaultPhaseToString(FaultPhase phase);
 
 /// A simulated, metered, in-process unidirectional link between the base
 /// site and a snapshot site. Messages are serialized on Send and
@@ -169,8 +23,10 @@ std::string_view FaultPhaseToString(FaultPhase phase);
 /// the failure modes the paper holds against ASAP propagation (a
 /// refresh-on-demand method simply retries later; an ASAP propagator must
 /// buffer or reject) plus the lossy-delivery modes a resumable session
-/// protocol must survive.
-class Channel : public MessageSink {
+/// protocol must survive. The accounting and the fault lifecycle live in
+/// the shared TransportMeter, so a SocketTransport metering the same
+/// message stream reports bit-identical ChannelStats.
+class Channel : public Transport {
  public:
   explicit Channel(ChannelOptions options = {});
 
@@ -179,103 +35,34 @@ class Channel : public MessageSink {
   Status Send(const Message& msg) override;
 
   /// Dequeues the oldest message. NotFound when empty.
-  Result<Message> Receive();
+  Result<Message> Receive() override;
 
-  bool HasPending() const { return !queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  bool HasPending() const override { return !queue_.empty(); }
+  size_t pending() const override { return queue_.size(); }
 
-  /// Closes the current partially filled frame (end of a transmission
-  /// burst; called automatically when an END_OF_REFRESH is sent).
-  void FlushFrame();
+  void FlushFrame() override { meter_.FlushFrame(); }
 
-  /// --- fault lifecycle: Arm → (fire) → Heal -------------------------------
+  /// --- fault lifecycle: Arm → (fire) → Heal (see Transport contract) ----
 
-  /// Arms `plan`, replacing any previous plan and resetting the armed-side
-  /// counters. A plan with partition_after_sends == 0 fires immediately.
-  /// Arming FaultPlan::None() is equivalent to disarming.
-  void Arm(FaultPlan plan);
+  void Arm(FaultPlan plan) override { meter_.Arm(plan); }
+  void Heal() override { meter_.Heal(); }
+  void AdvanceTime(uint64_t ticks) override { meter_.AdvanceTime(ticks); }
+  FaultPhase fault_phase() const override { return meter_.fault_phase(); }
+  const FaultPlan& fault_plan() const override { return meter_.fault_plan(); }
+  bool partitioned() const override { return meter_.partitioned(); }
+  uint64_t now() const override { return meter_.now(); }
 
-  /// Clears a partition (fired or not) and disarms the plan.
-  void Heal();
-
-  /// Advances the link's virtual clock; a fired partition whose plan has
-  /// heal_after_ticks heals once enough ticks have elapsed. (The retry
-  /// loop's simulated backoff drives this — no wall clock anywhere.)
-  void AdvanceTime(uint64_t ticks);
-
-  FaultPhase fault_phase() const { return fault_phase_; }
-  const FaultPlan& fault_plan() const { return fault_plan_; }
-  uint64_t now() const { return now_ticks_; }
-
-  /// Compatibility shims for the pre-FaultPlan API: partition immediately /
-  /// heal.
-  void SetPartitioned(bool partitioned) {
-    if (partitioned) {
-      Arm(FaultPlan::PartitionNow());
-    } else {
-      Heal();
-    }
-  }
-  bool partitioned() const { return partitioned_; }
-
-  const ChannelStats& stats() const { return stats_; }
-  /// Zeroes the meters AND closes the open frame, so the next send starts a
-  /// fresh frame: a reset is a clean measurement baseline (otherwise the
-  /// first messages after a mid-frame reset would ride a frame the meters
-  /// never saw, undercounting frames/wire bytes). An armed-but-unfired
-  /// fault plan is disarmed too — a fresh baseline implies an honest link —
-  /// but a *fired* partition is a real outage and persists until healed.
-  void ResetStats();
-  const ChannelOptions& options() const { return options_; }
+  const ChannelStats& stats() const override { return meter_.stats(); }
+  void ResetStats() override { meter_.ResetStats(); }
+  const ChannelOptions& options() const override { return meter_.options(); }
 
  private:
-  /// Per-counter instruments mirrored into MetricsRegistry::Default().
-  struct Instruments {
-    obs::Counter* messages;
-    obs::Counter* entry_messages;
-    obs::Counter* delete_messages;
-    obs::Counter* control_messages;
-    obs::Counter* batched_entries;
-    obs::Counter* payload_bytes;
-    obs::Counter* wire_bytes;
-    obs::Counter* frames;
-    obs::Counter* send_failures;
-    obs::Counter* dropped;
-    obs::Counter* duplicated;
-    obs::Counter* reordered;
-  };
-
-  void FirePartition();
   /// Inserts serialized bytes into the queue, applying the armed reorder
   /// window.
   void Enqueue(std::string bytes);
 
-  /// Flight-recorder hook: emits one instant event per closed frame
-  /// carrying that frame's exact wire bytes (header + messages), plus a
-  /// cumulative wire-bytes counter sample. Summing the instants over a
-  /// refresh reproduces ChannelStats::wire_bytes exactly — the
-  /// reconciliation the observability integration test asserts.
-  void NoteFrameClosed();
-
-  ChannelOptions options_;
-  Instruments metrics_;
+  TransportMeter meter_;
   std::deque<std::string> queue_;
-  size_t open_frame_messages_ = 0;
-  uint64_t open_frame_wire_bytes_ = 0;
-  const char* fr_frame_name_ = nullptr;  // interned "<prefix>.frame"
-  const char* fr_wire_name_ = nullptr;   // interned "<prefix>.wire_bytes"
-  bool partitioned_ = false;
-  ChannelStats stats_;
-
-  // Fault state (see FaultPhase).
-  FaultPlan fault_plan_;
-  FaultPhase fault_phase_ = FaultPhase::kIdle;
-  uint64_t sends_since_arm_ = 0;
-  uint64_t bytes_since_arm_ = 0;
-  uint64_t now_ticks_ = 0;
-  uint64_t armed_at_ticks_ = 0;
-  uint64_t fired_at_ticks_ = 0;
-  Random reorder_rng_{0};
 };
 
 /// Coalesces kEntry/kUpsert messages into kEntryBatch frames of up to
@@ -291,7 +78,7 @@ class Channel : public MessageSink {
 /// only best-effort-flushes (errors are dropped there).
 class BatchingSender : public MessageSink {
  public:
-  /// `sink` is usually the Channel itself, or a RefreshSession stamping
+  /// `sink` is usually the transport itself, or a RefreshSession stamping
   /// session ids downstream of the batching.
   explicit BatchingSender(MessageSink* sink, size_t batch_size);
   ~BatchingSender() override;

@@ -24,6 +24,14 @@ std::string_view MessageTypeToString(MessageType type) {
       return "ENTRY_BATCH";
     case MessageType::kResumeRefresh:
       return "RESUME_REFRESH";
+    case MessageType::kHello:
+      return "HELLO";
+    case MessageType::kHelloAck:
+      return "HELLO_ACK";
+    case MessageType::kSessionAck:
+      return "SESSION_ACK";
+    case MessageType::kServerError:
+      return "SERVER_ERROR";
   }
   return "UNKNOWN";
 }
@@ -42,7 +50,7 @@ void Message::SerializeTo(std::string* dst) const {
 Result<Message> Message::DeserializeFrom(std::string_view* input) {
   if (input->empty()) return Status::Corruption("empty message");
   const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
-  if (type_raw > static_cast<uint8_t>(MessageType::kResumeRefresh)) {
+  if (type_raw > static_cast<uint8_t>(MessageType::kServerError)) {
     return Status::Corruption("bad message type");
   }
   input->remove_prefix(1);
@@ -165,6 +173,38 @@ Message MakeResumeRefresh(SnapshotId id, uint64_t session_id,
   m.snapshot_id = id;
   m.session_id = session_id;
   m.seq = last_applied_seq;
+  return m;
+}
+
+Message MakeHello(std::string snapshot_name) {
+  Message m;
+  m.type = MessageType::kHello;
+  m.payload = std::move(snapshot_name);
+  return m;
+}
+
+Message MakeHelloAck(SnapshotId id, std::string schema_payload) {
+  Message m;
+  m.type = MessageType::kHelloAck;
+  m.snapshot_id = id;
+  m.payload = std::move(schema_payload);
+  return m;
+}
+
+Message MakeSessionAck(SnapshotId id, uint64_t session_id,
+                       uint64_t last_applied_seq) {
+  Message m;
+  m.type = MessageType::kSessionAck;
+  m.snapshot_id = id;
+  m.session_id = session_id;
+  m.seq = last_applied_seq;
+  return m;
+}
+
+Message MakeServerError(std::string error_text) {
+  Message m;
+  m.type = MessageType::kServerError;
+  m.payload = std::move(error_text);
   return m;
 }
 

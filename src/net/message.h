@@ -51,6 +51,22 @@ enum class MessageType : uint8_t {
   /// prefix (last_applied_seq). The base site replies by re-running the
   /// refresh with every message whose seq <= last_applied_seq suppressed.
   kResumeRefresh = 8,
+  /// client → server: attach to the snapshot named in `payload`. The
+  /// refresh server replies with kHelloAck (or kServerError).
+  kHello = 9,
+  /// server → client: attachment accepted. `snapshot_id` is the wire id the
+  /// client uses in subsequent demands; `payload` carries the snapshot's
+  /// projected value schema (see wire::SerializeSchema) so the client can
+  /// build its local replica.
+  kHelloAck = 10,
+  /// client → server: the session's END_OF_REFRESH applied durably.
+  /// `session_id` names the session, `seq` the applied prefix. The server
+  /// commits the refresh outcome (staged ideal shadow / log position) and
+  /// releases the session's base-table lock.
+  kSessionAck = 11,
+  /// server → client: a demand failed at the base site; `payload` carries
+  /// the error text. The connection stays usable.
+  kServerError = 12,
 };
 
 std::string_view MessageTypeToString(MessageType type);
@@ -114,6 +130,15 @@ Message MakeEndOfRefresh(SnapshotId id, Address last_qual,
 /// message. The checkpoint travels in `seq`.
 Message MakeResumeRefresh(SnapshotId id, uint64_t session_id,
                           uint64_t last_applied_seq);
+/// HELLO(snapshot_name): client → server attachment demand.
+Message MakeHello(std::string snapshot_name);
+/// HELLO_ACK(id, serialized value schema): server → client.
+Message MakeHelloAck(SnapshotId id, std::string schema_payload);
+/// SESSION_ACK(session, last_applied_seq): client → server commit demand.
+Message MakeSessionAck(SnapshotId id, uint64_t session_id,
+                       uint64_t last_applied_seq);
+/// SERVER_ERROR(text): server → client demand failure.
+Message MakeServerError(std::string error_text);
 
 /// Coalesces `entries` into one kEntryBatch message. All entries must share
 /// one snapshot id and one type (kEntry or kUpsert) and carry no timestamp;

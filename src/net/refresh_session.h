@@ -3,7 +3,6 @@
 
 #include <cstdint>
 
-#include "net/channel.h"
 #include "net/message.h"
 
 namespace snapdiff {
@@ -26,9 +25,9 @@ namespace snapdiff {
 /// content never matters, only its sequence number.
 class RefreshSession : public MessageSink {
  public:
-  RefreshSession(Channel* channel, uint64_t session_id,
+  RefreshSession(MessageSink* wire, uint64_t session_id,
                  uint64_t resume_after_seq)
-      : channel_(channel),
+      : wire_(wire),
         session_id_(session_id),
         resume_after_(resume_after_seq) {}
 
@@ -41,7 +40,7 @@ class RefreshSession : public MessageSink {
     Message stamped = msg;
     stamped.session_id = session_id_;
     stamped.seq = seq;
-    return channel_->Send(stamped);
+    return wire_->Send(stamped);
   }
 
   /// True when the next message sent through this session is certain to be
@@ -55,7 +54,7 @@ class RefreshSession : public MessageSink {
   bool resumed() const { return resume_after_ > 0; }
 
  private:
-  Channel* channel_;
+  MessageSink* wire_;
   uint64_t session_id_;
   uint64_t resume_after_;
   uint64_t next_seq_ = 0;

@@ -1,0 +1,195 @@
+#include "net/remote_site.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace snapdiff {
+
+RemoteSnapshotSite::RemoteSnapshotSite(std::string addr,
+                                       std::string snapshot_name,
+                                       RemoteSiteOptions options)
+    : addr_(std::move(addr)),
+      snapshot_name_(std::move(snapshot_name)),
+      options_(options) {}
+
+RemoteSnapshotSite::~RemoteSnapshotSite() { DropConnection(); }
+
+void RemoteSnapshotSite::DropConnection() {
+  if (fd_ < 0) return;
+  wire::ShutdownAndClose(fd_);
+  fd_ = -1;
+}
+
+Result<std::unique_ptr<RemoteSnapshotSite>> RemoteSnapshotSite::Connect(
+    const std::string& addr, const std::string& snapshot_name,
+    RemoteSiteOptions options) {
+  std::unique_ptr<RemoteSnapshotSite> site(
+      new RemoteSnapshotSite(addr, snapshot_name, options));
+  ASSIGN_OR_RETURN(site->fd_, wire::Connect(addr));
+  RETURN_IF_ERROR(wire::WriteMessage(site->fd_, MakeHello(snapshot_name)));
+  ASSIGN_OR_RETURN(Message reply, wire::ReadMessage(site->fd_));
+  if (reply.type == MessageType::kServerError) {
+    return Status::InvalidArgument("attach rejected: " + reply.payload);
+  }
+  if (reply.type != MessageType::kHelloAck) {
+    return Status::Corruption("expected HELLO_ACK, got " + reply.ToString());
+  }
+  site->snapshot_id_ = reply.snapshot_id;
+  std::string_view schema_bytes = reply.payload;
+  ASSIGN_OR_RETURN(Schema value_schema,
+                   wire::DeserializeSchema(&schema_bytes));
+  site->disk_ = std::make_unique<MemoryDiskManager>();
+  site->pool_ =
+      std::make_unique<BufferPool>(site->disk_.get(), options.pool_pages);
+  site->catalog_ = std::make_unique<Catalog>(site->pool_.get());
+  site->oracle_ = std::make_unique<TimestampOracle>();
+  ASSIGN_OR_RETURN(
+      site->table_,
+      SnapshotTable::Create(site->catalog_.get(), snapshot_name,
+                            std::move(value_schema), site->oracle_.get()));
+  return site;
+}
+
+Status RemoteSnapshotSite::Reconnect(RemoteRefreshReport* report) {
+  int backoff_ms = std::max(options_.reconnect_backoff_ms, 1);
+  for (int attempt = 0; attempt < options_.reconnect_attempts; ++attempt) {
+    if (fd_ >= 0) {
+      wire::CloseFd(fd_);
+      fd_ = -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 1000);
+    Result<int> connected = wire::Connect(addr_);
+    if (!connected.ok()) continue;
+    fd_ = *connected;
+    Message demand;
+    if (session_id_ != 0) {
+      demand = MakeResumeRefresh(snapshot_id_, session_id_,
+                                 last_applied_seq_);
+      // If the server no longer has the session it falls back to a fresh
+      // serve; carry our SnapTime so that serve is a correct differential
+      // demand, not an initial copy.
+      demand.timestamp = table_->snap_time();
+      pending_resume_target_ = session_id_;
+    } else {
+      demand = MakeRefreshRequest(snapshot_id_, table_->snap_time(), "");
+    }
+    if (wire::WriteMessage(fd_, demand).ok()) {
+      ++report->reconnects;
+      return Status::OK();
+    }
+  }
+  return Status::Unavailable("reconnect attempts exhausted to " + addr_);
+}
+
+Status RemoteSnapshotSite::Admit(const Message& msg,
+                                 RemoteRefreshReport* report) {
+  if (options_.record_stream) {
+    std::string bytes;
+    msg.SerializeTo(&bytes);
+    recorded_.push_back(std::move(bytes));
+  }
+  RETURN_IF_ERROR(table_->ApplyMessage(msg, &report->stats));
+  ++report->messages_applied;
+  return Status::OK();
+}
+
+Result<RemoteRefreshReport> RemoteSnapshotSite::Refresh() {
+  RemoteRefreshReport report;
+  pending_resume_target_ = 0;
+  if (fd_ < 0) {
+    // Dropped connection (crash simulation / earlier failure): reconnect
+    // sends the right demand — RESUME when a session is in flight.
+    RETURN_IF_ERROR(Reconnect(&report));
+  } else {
+    Message demand;
+    if (session_id_ != 0) {
+      demand = MakeResumeRefresh(snapshot_id_, session_id_,
+                                 last_applied_seq_);
+      demand.timestamp = table_->snap_time();
+      pending_resume_target_ = session_id_;
+    } else {
+      demand = MakeRefreshRequest(snapshot_id_, table_->snap_time(), "");
+    }
+    if (!wire::WriteMessage(fd_, demand).ok()) {
+      RETURN_IF_ERROR(Reconnect(&report));
+    }
+  }
+
+  bool ended = false;
+  while (!ended) {
+    Result<Message> arrived = wire::ReadMessage(fd_);
+    if (!arrived.ok()) {
+      RETURN_IF_ERROR(Reconnect(&report));
+      continue;
+    }
+    const Message& msg = *arrived;
+    if (msg.type == MessageType::kServerError) {
+      return Status::Internal("server error: " + msg.payload);
+    }
+    if (msg.type == MessageType::kHelloAck ||
+        msg.type == MessageType::kSessionAck ||
+        msg.type == MessageType::kHello ||
+        msg.type == MessageType::kRefreshRequest ||
+        msg.type == MessageType::kResumeRefresh) {
+      continue;  // not part of a refresh stream; ignore
+    }
+    if (msg.session_id == 0) {
+      // Sessionless stream (join serves): apply on arrival, no resume
+      // protection, no ack.
+      RETURN_IF_ERROR(Admit(msg, &report));
+      ended = msg.type == MessageType::kEndOfRefresh;
+      continue;
+    }
+    if (pending_resume_target_ != 0) {
+      if (msg.session_id == pending_resume_target_) ++report.resumes;
+      pending_resume_target_ = 0;
+    }
+    if (msg.session_id != session_id_) {
+      // A fresh session superseded ours (server fell back instead of
+      // resuming, or a stale session's stragglers). Adopt the stream's
+      // identity and restart the applied-prefix accounting.
+      session_id_ = msg.session_id;
+      last_applied_seq_ = 0;
+      held_.clear();
+    }
+    if (msg.seq <= last_applied_seq_) {
+      ++report.duplicates_dropped;
+      continue;
+    }
+    if (msg.seq > last_applied_seq_ + 1) {
+      held_.emplace(msg.seq, msg);
+      ++report.held_for_reorder;
+      continue;
+    }
+    RETURN_IF_ERROR(Admit(msg, &report));
+    last_applied_seq_ = msg.seq;
+    ended = msg.type == MessageType::kEndOfRefresh;
+    while (!held_.empty() &&
+           held_.begin()->first == last_applied_seq_ + 1) {
+      const Message& next = held_.begin()->second;
+      RETURN_IF_ERROR(Admit(next, &report));
+      last_applied_seq_ = next.seq;
+      ended = ended || next.type == MessageType::kEndOfRefresh;
+      held_.erase(held_.begin());
+    }
+  }
+
+  if (session_id_ != 0) {
+    report.session_id = session_id_;
+    // Best effort: if the ack is lost the session lingers at the base
+    // until the next serve for this snapshot supersedes it.
+    (void)wire::WriteMessage(
+        fd_, MakeSessionAck(snapshot_id_, session_id_, last_applied_seq_));
+    session_id_ = 0;
+    last_applied_seq_ = 0;
+    held_.clear();
+  }
+  return report;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,117 @@
+#include "net/socket_transport.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace snapdiff {
+
+SocketTransport::SocketTransport(int fd, TransportOptions options)
+    : fd_(fd), meter_(options) {}
+
+SocketTransport::~SocketTransport() { Close(); }
+
+void SocketTransport::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void SocketTransport::Close() {
+  if (fd_ < 0) return;
+  wire::ShutdownAndClose(fd_);
+  fd_ = -1;
+}
+
+void SocketTransport::EnqueueDelivery(std::string bytes) {
+  const uint64_t displacement = meter_.NextDisplacement(outbuf_.size());
+  if (displacement > 0 && displacement <= outbuf_.size()) {
+    outbuf_.insert(outbuf_.end() - static_cast<ptrdiff_t>(displacement),
+                   std::move(bytes));
+  } else {
+    outbuf_.push_back(std::move(bytes));
+  }
+}
+
+Status SocketTransport::DrainOutbuf(size_t keep) {
+  while (outbuf_.size() > keep) {
+    if (fd_ < 0) {
+      meter_.NoteSendFailure();
+      return Status::Unavailable("socket transport closed");
+    }
+    Status written = wire::WriteFrame(fd_, outbuf_.front());
+    if (!written.ok()) {
+      meter_.NoteSendFailure();
+      return written;
+    }
+    outbuf_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::Send(const Message& msg) {
+  std::string bytes;
+  msg.SerializeTo(&bytes);
+  const TransportMeter::SendVerdict verdict = meter_.OnSend(msg, bytes);
+  if (verdict.rejected) {
+    return Status::Unavailable("transport partitioned");
+  }
+  for (int i = 1; i < verdict.deliveries; ++i) EnqueueDelivery(bytes);
+  if (verdict.deliveries > 0) EnqueueDelivery(std::move(bytes));
+  // While a reorder plan is armed, hold back up to `reorder_window` frames
+  // so later sends can still be displaced ahead of them; otherwise write
+  // through immediately.
+  const size_t keep = (meter_.fault_phase() == FaultPhase::kArmed)
+                          ? meter_.fault_plan().reorder_window
+                          : 0;
+  RETURN_IF_ERROR(DrainOutbuf(verdict.end_of_burst ? 0 : keep));
+  if (verdict.end_of_burst) meter_.FlushFrame();
+  return Status::OK();
+}
+
+Result<Message> SocketTransport::Receive() {
+  if (fd_ < 0) return Status::Unavailable("socket transport closed");
+  return wire::ReadMessage(fd_);
+}
+
+bool SocketTransport::HasPending() const {
+  return fd_ >= 0 && wire::Readable(fd_);
+}
+
+void SocketTransport::FlushFrame() {
+  // Closing the accounting frame ends the burst: nothing left to reorder.
+  (void)DrainOutbuf(0);
+  meter_.FlushFrame();
+}
+
+void SocketTransport::Arm(FaultPlan plan) {
+  // A new plan supersedes the old reorder window; release held frames
+  // under the old plan's ordering first.
+  (void)DrainOutbuf(0);
+  meter_.Arm(plan);
+}
+
+void SocketTransport::Heal() {
+  (void)DrainOutbuf(0);
+  meter_.Heal();
+}
+
+void SocketTransport::ResetStats() {
+  (void)DrainOutbuf(0);
+  meter_.ResetStats();
+}
+
+Result<LoopbackPair> MakeLoopbackPair(TransportOptions options) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(std::string("socketpair: ") +
+                            std::strerror(errno));
+  }
+  LoopbackPair pair;
+  pair.first = std::make_unique<SocketTransport>(fds[0], options);
+  pair.second = std::make_unique<SocketTransport>(fds[1], options);
+  return pair;
+}
+
+}  // namespace snapdiff

@@ -1,0 +1,111 @@
+#ifndef SNAPDIFF_NET_SOCKET_TRANSPORT_H_
+#define SNAPDIFF_NET_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace snapdiff {
+
+/// A Transport over a connected stream socket (TCP or Unix domain). Each
+/// protocol message travels as one [u32 len][Message bytes] frame; framing
+/// *accounting* (blocking_factor, header bytes) still follows the shared
+/// TransportOptions model via TransportMeter, so a SocketTransport metering
+/// a message stream reports ChannelStats bit-comparable with an in-process
+/// Channel carrying the same stream.
+///
+/// The full fault lifecycle applies (Transport contract): a fired partition
+/// rejects sends with Unavailable before any byte reaches the socket, drop
+/// consumes wire without writing, duplicate writes the frame twice, and a
+/// reorder plan buffers up to `reorder_window` outbound frames so
+/// deliveries can be displaced. Real socket write failures are metered as
+/// send_failures and surface as Unavailable too — the caller cannot tell an
+/// injected partition from a dead peer, which is the point.
+///
+/// Send/Receive are each single-caller (one writer thread, one reader
+/// thread); the two directions are independent.
+class SocketTransport : public Transport {
+ public:
+  /// Takes ownership of a connected fd; closes it on destruction.
+  explicit SocketTransport(int fd, TransportOptions options = {});
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Status Send(const Message& msg) override;
+
+  /// Blocking read of the next framed message. Unavailable when the peer
+  /// closed or the connection died.
+  Result<Message> Receive() override;
+
+  /// True when a read would make progress without blocking (data buffered
+  /// or bytes waiting in the kernel).
+  bool HasPending() const override;
+  size_t pending() const override { return HasPending() ? 1 : 0; }
+
+  void FlushFrame() override;
+
+  void Arm(FaultPlan plan) override;
+  void Heal() override;
+  void AdvanceTime(uint64_t ticks) override { meter_.AdvanceTime(ticks); }
+  FaultPhase fault_phase() const override { return meter_.fault_phase(); }
+  const FaultPlan& fault_plan() const override { return meter_.fault_plan(); }
+  bool partitioned() const override { return meter_.partitioned(); }
+  uint64_t now() const override { return meter_.now(); }
+
+  const ChannelStats& stats() const override { return meter_.stats(); }
+  void ResetStats() override;
+  const TransportOptions& options() const override {
+    return meter_.options();
+  }
+
+  /// Shuts down both directions without releasing the fd: the peer sees
+  /// EOF and a thread blocked in Receive on THIS transport wakes with
+  /// Unavailable. Safe to call from another thread while Receive blocks —
+  /// that is its purpose; Close is not.
+  void Shutdown();
+
+  /// Shutdown + close. Single-threaded contexts only (destructor,
+  /// teardown); subsequent sends fail Unavailable. Idempotent.
+  void Close();
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Applies the armed reorder displacement while inserting one delivery
+  /// into the outbound buffer.
+  void EnqueueDelivery(std::string bytes);
+  /// Writes buffered deliveries to the socket, oldest first, keeping at
+  /// most `keep` buffered (the reorder window while a reorder plan is
+  /// armed; 0 otherwise).
+  Status DrainOutbuf(size_t keep);
+
+  int fd_;
+  TransportMeter meter_;
+  /// Outbound frames not yet written — non-empty only while a reorder plan
+  /// holds them back for displacement.
+  std::deque<std::string> outbuf_;
+};
+
+/// A connected pair of duplex socket transports over socketpair(AF_UNIX) —
+/// the "loopback pipe": real file descriptors and real framed I/O, no
+/// listener. Messages sent on `first` are received on `second` and vice
+/// versa.
+struct LoopbackPair {
+  std::unique_ptr<SocketTransport> first;
+  std::unique_ptr<SocketTransport> second;
+};
+
+Result<LoopbackPair> MakeLoopbackPair(TransportOptions options = {});
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_NET_SOCKET_TRANSPORT_H_

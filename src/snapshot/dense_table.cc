@@ -90,7 +90,7 @@ Status DenseTable::SetTimestamp(size_t index, Timestamp ts) {
 
 Status DenseTable::SimpleRefresh(Timestamp snap_time,
                                  const Expression& restriction,
-                                 SnapshotId snapshot_id, Channel* channel,
+                                 SnapshotId snapshot_id, MessageSink* channel,
                                  RefreshStats* stats) {
   const Timestamp now = oracle_->Next();
   for (size_t i = 1; i <= elements_.size(); ++i) {

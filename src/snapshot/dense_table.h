@@ -51,7 +51,7 @@ class DenseTable {
   /// the restriction, address + "empty" status (a DELETE message)
   /// otherwise. Ends with END_OF_REFRESH carrying the new SnapTime.
   Status SimpleRefresh(Timestamp snap_time, const Expression& restriction,
-                       SnapshotId snapshot_id, Channel* channel,
+                       SnapshotId snapshot_id, MessageSink* channel,
                        RefreshStats* stats);
 
  private:

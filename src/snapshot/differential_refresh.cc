@@ -366,7 +366,7 @@ Status ObserveFills(std::vector<FillTarget>* fills, const FixupResult& fix,
 
 Status ExecuteGroupDifferentialRefresh(
     BaseTable* base, std::vector<GroupRefreshMember>* members,
-    Channel* channel, obs::Tracer* tracer, const RefreshExecution& exec) {
+    MessageSink* channel, obs::Tracer* tracer, const RefreshExecution& exec) {
   if (base->mode() == AnnotationMode::kNone) {
     return Status::InvalidArgument(
         "differential refresh requires annotation columns");
@@ -674,7 +674,7 @@ Status ExecuteGroupDifferentialRefresh(
 }
 
 Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                                  Timestamp snap_time, Channel* channel,
+                                  Timestamp snap_time, MessageSink* channel,
                                   RefreshStats* stats, obs::Tracer* tracer,
                                   const RefreshExecution& exec) {
   std::vector<GroupRefreshMember> members{{desc, snap_time, stats}};

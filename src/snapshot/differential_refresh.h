@@ -43,7 +43,7 @@ namespace snapdiff {
 /// `batch_size > 1` consecutive ENTRY messages per snapshot coalesce into
 /// ENTRY_BATCH wire messages (see BatchingSender).
 Status ExecuteDifferentialRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                                  Timestamp snap_time, Channel* channel,
+                                  Timestamp snap_time, MessageSink* channel,
                                   RefreshStats* stats,
                                   obs::Tracer* tracer = nullptr,
                                   const RefreshExecution& exec = {});
@@ -82,7 +82,7 @@ struct GroupRefreshMember {
 Status ExecuteGroupDifferentialRefresh(BaseTable* base,
                                        std::vector<GroupRefreshMember>*
                                            members,
-                                       Channel* channel,
+                                       MessageSink* channel,
                                        obs::Tracer* tracer = nullptr,
                                        const RefreshExecution& exec = {});
 

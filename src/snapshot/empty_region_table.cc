@@ -163,7 +163,7 @@ Status EmptyRegionTable::Refresh(Timestamp snap_time,
                                  const Expression& restriction,
                                  SnapshotId snapshot_id,
                                  bool merge_across_unqualified,
-                                 Channel* channel, RefreshStats* stats) {
+                                 MessageSink* channel, RefreshStats* stats) {
   const Timestamp now = oracle_->Next();
 
   struct Pending {

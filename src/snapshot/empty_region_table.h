@@ -64,7 +64,7 @@ class EmptyRegionTable {
 
   Status Refresh(Timestamp snap_time, const Expression& restriction,
                  SnapshotId snapshot_id, bool merge_across_unqualified,
-                 Channel* channel, RefreshStats* stats);
+                 MessageSink* channel, RefreshStats* stats);
 
  private:
   struct Entry {

@@ -24,7 +24,7 @@ Status TransmitRow(SnapshotDescriptor* desc,
 }  // namespace
 
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                          Channel* channel, RefreshStats* stats,
+                          MessageSink* channel, RefreshStats* stats,
                           obs::Tracer* tracer, const RefreshExecution& exec) {
   std::vector<size_t> projection_indices;
   projection_indices.reserve(desc->projection.size());

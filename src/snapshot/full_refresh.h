@@ -17,7 +17,7 @@ namespace snapdiff {
 /// messages (the scan itself is cheap relative to re-transmission, so the
 /// full path does not parallelize; `exec.workers` is ignored).
 Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                          Channel* channel, RefreshStats* stats,
+                          MessageSink* channel, RefreshStats* stats,
                           obs::Tracer* tracer = nullptr,
                           const RefreshExecution& exec = {});
 

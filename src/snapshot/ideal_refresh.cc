@@ -5,7 +5,7 @@
 namespace snapdiff {
 
 Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                           Channel* channel, RefreshStats* stats,
+                           MessageSink* channel, RefreshStats* stats,
                            obs::Tracer* tracer,
                            const RefreshExecution& exec) {
   std::vector<size_t> projection_indices;

@@ -22,7 +22,7 @@ namespace snapdiff {
 /// (the delta iterates in deterministic address order); the batching and
 /// parallel knobs are ignored.
 Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                           Channel* channel, RefreshStats* stats,
+                           MessageSink* channel, RefreshStats* stats,
                            obs::Tracer* tracer = nullptr,
                            const RefreshExecution& exec = {});
 

@@ -100,7 +100,7 @@ Status EvaluateJoin(
 
 }  // namespace
 
-Status ExecuteJoinFullRefresh(JoinDescriptor* desc, Channel* channel,
+Status ExecuteJoinFullRefresh(JoinDescriptor* desc, MessageSink* channel,
                               RefreshStats* stats, obs::Tracer* tracer) {
   ASSIGN_OR_RETURN(Schema projected_schema,
                    desc->combined_schema.Project(desc->projection));

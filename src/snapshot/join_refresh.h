@@ -45,7 +45,7 @@ Result<Schema> BuildJoinSchema(BaseTable* left, BaseTable* right,
 /// the left), restricts, projects, and transmits a CLEAR + one UPSERT per
 /// result row + END_OF_REFRESH. Result rows are keyed by a dense synthetic
 /// ordinal (join results have no single base address).
-Status ExecuteJoinFullRefresh(JoinDescriptor* desc, Channel* channel,
+Status ExecuteJoinFullRefresh(JoinDescriptor* desc, MessageSink* channel,
                               RefreshStats* stats,
                               obs::Tracer* tracer = nullptr);
 

@@ -6,7 +6,7 @@
 namespace snapdiff {
 
 Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                              Channel* channel, RefreshStats* stats,
+                              MessageSink* channel, RefreshStats* stats,
                               obs::Tracer* tracer,
                               const RefreshExecution& exec) {
   if (base->wal() == nullptr) {

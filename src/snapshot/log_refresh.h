@@ -26,7 +26,7 @@ namespace snapdiff {
 /// makes the transmission resumable; only the batching/parallel knobs are
 /// ignored (the change list is already minimal).
 Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
-                              Channel* channel, RefreshStats* stats,
+                              MessageSink* channel, RefreshStats* stats,
                               obs::Tracer* tracer = nullptr,
                               const RefreshExecution& exec = {});
 

@@ -504,6 +504,17 @@ Status SnapshotSystem::DropSnapshot(const std::string& snapshot_name) {
   if (it->second.asap != nullptr) {
     it->second.source->RemoveObserver(it->second.asap.get());
   }
+  // Any live served session of this snapshot loses its meaning (and must
+  // not leak its base-table lock).
+  {
+    std::vector<uint64_t> stale;
+    for (const auto& [sid, session] : serve_sessions_) {
+      if (session.snapshot_id == it->second.descriptor.id) {
+        stale.push_back(sid);
+      }
+    }
+    for (uint64_t sid : stale) EvictServeSession(sid);
+  }
   snapshots_by_id_.erase(it->second.descriptor.id);
   RETURN_IF_ERROR(it->second.site->catalog.DropTable(snapshot_name));
   snapshots_.erase(it);
@@ -627,20 +638,21 @@ Status SnapshotSystem::RunRefreshAttempt(SnapshotEntry* entry,
                                          Timestamp request_time,
                                          const RefreshRequest& request,
                                          RefreshSession* session,
+                                         MessageSink* wire,
+                                         obs::Tracer* tracer,
                                          RefreshStats* stats) {
   SnapshotDescriptor* desc = &entry->descriptor;
   BaseTable* base = entry->source;
-  Channel* channel = &entry->site->channel;
+  MessageSink* channel = wire;
   if (entry->join != nullptr) {
     // General (join) snapshot: always a session-less full re-evaluation.
-    return ExecuteJoinFullRefresh(entry->join.get(), channel, stats,
-                                  &tracer_);
+    return ExecuteJoinFullRefresh(entry->join.get(), channel, stats, tracer);
   }
   const RefreshExecution exec = MakeRefreshExecution(request, session);
   switch (method) {
     case RefreshMethod::kFull: {
       RETURN_IF_ERROR(
-          ExecuteFullRefresh(base, desc, channel, stats, &tracer_, exec));
+          ExecuteFullRefresh(base, desc, channel, stats, tracer, exec));
       if (desc->method == RefreshMethod::kLogBased && base->wal() != nullptr) {
         // A full override of a log-based snapshot subsumes the backlog,
         // exactly like the executor's own truncation fallback.
@@ -650,20 +662,22 @@ Status SnapshotSystem::RunRefreshAttempt(SnapshotEntry* entry,
     }
     case RefreshMethod::kDifferential:
       return ExecuteDifferentialRefresh(base, desc, request_time, channel,
-                                        stats, &tracer_, exec);
+                                        stats, tracer, exec);
     case RefreshMethod::kIdeal:
-      return ExecuteIdealRefresh(base, desc, channel, stats, &tracer_, exec);
+      return ExecuteIdealRefresh(base, desc, channel, stats, tracer, exec);
     case RefreshMethod::kLogBased:
-      return ExecuteLogBasedRefresh(base, desc, channel, stats, &tracer_,
+      return ExecuteLogBasedRefresh(base, desc, channel, stats, tracer,
                                     exec);
     case RefreshMethod::kAsap: {
-      if (entry->table->snap_time() == kNullTimestamp) {
+      // The demand's SnapTime, not the local replica's: a remote client
+      // reports its own SnapTime, and for the in-process site the two are
+      // identical (the request echoes entry->table->snap_time()).
+      if (request_time == kNullTimestamp) {
         // First refresh initializes the replica with a full copy; changes
         // made before the snapshot existed were never streamed. Anything
         // the propagator buffered is subsumed by the copy.
         if (entry->asap != nullptr) entry->asap->DiscardBuffered();
-        return ExecuteFullRefresh(base, desc, channel, stats, &tracer_,
-                                  exec);
+        return ExecuteFullRefresh(base, desc, channel, stats, tracer, exec);
       }
       // Thereafter changes are already streamed; flush any partition
       // backlog and stamp the snapshot with a fresh base time. The flush
@@ -792,7 +806,7 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
     RefreshSession* session_ptr = sessionless ? nullptr : &session;
     obs::Tracer::Span exec_span(&tracer_, execute_label);
     Status exec = RunRefreshAttempt(entry, method, demand.timestamp, request,
-                                    session_ptr, &stats);
+                                    session_ptr, channel, &tracer_, &stats);
     exec_span.Close();
     if (session_ptr != nullptr) {
       report.suppressed_messages += session.suppressed();
@@ -903,6 +917,181 @@ void SnapshotSystem::FinishRefreshTrace(const std::string& snapshot_name,
                      << obs::kv("messages", stats.traffic.messages)
                      << obs::kv("wire_bytes", stats.traffic.wire_bytes)
                      << obs::kv("duration_us", tracer_.duration_us());
+}
+
+Result<SnapshotSystem::SnapshotWireInfo> SnapshotSystem::DescribeSnapshot(
+    const std::string& name) {
+  std::lock_guard<std::mutex> guard(serve_mu_);
+  ASSIGN_OR_RETURN(SnapshotEntry * entry, GetEntry(name));
+  SnapshotWireInfo info;
+  info.id = entry->descriptor.id;
+  info.value_schema = entry->table->value_schema();
+  info.method = entry->join != nullptr ? RefreshMethod::kFull
+                                       : entry->descriptor.method;
+  return info;
+}
+
+void SnapshotSystem::EvictServeSession(uint64_t session_id) {
+  auto it = serve_sessions_.find(session_id);
+  if (it == serve_sessions_.end()) return;
+  auto by_id = snapshots_by_id_.find(it->second.snapshot_id);
+  if (by_id != snapshots_by_id_.end()) {
+    by_id->second->descriptor.pending_ideal_shadow.reset();
+    by_id->second->descriptor.pending_refresh_lsn.reset();
+  }
+  locks_.ReleaseAll(it->second.txn);
+  serve_sessions_.erase(it);
+}
+
+void SnapshotSystem::EvictServeSessionsForSource(const BaseTable* source) {
+  std::vector<uint64_t> stale;
+  for (const auto& [sid, session] : serve_sessions_) {
+    auto by_id = snapshots_by_id_.find(session.snapshot_id);
+    if (by_id != snapshots_by_id_.end() && by_id->second->source == source) {
+      stale.push_back(sid);
+    }
+  }
+  for (uint64_t sid : stale) EvictServeSession(sid);
+}
+
+Result<SnapshotSystem::ServeOutcome> SnapshotSystem::ServeRefresh(
+    const ServeRequest& request, MessageSink* wire) {
+  std::lock_guard<std::mutex> guard(serve_mu_);
+  auto by_id = snapshots_by_id_.find(request.snapshot_id);
+  if (by_id == snapshots_by_id_.end()) {
+    return Status::NotFound("no snapshot with wire id " +
+                            std::to_string(request.snapshot_id));
+  }
+  SnapshotEntry* entry = by_id->second;
+  SnapshotDescriptor* desc = &entry->descriptor;
+
+  RefreshRequest exec_request;
+  exec_request.snapshot = entry->table->name();
+  exec_request.workers = request.workers;
+  exec_request.batch_size = request.batch_size;
+
+  ServeOutcome outcome;
+  RefreshStats stats;
+
+  if (entry->join != nullptr) {
+    // Sessionless join serve: a full re-evaluation under shared locks held
+    // only for the call — there is no resumable stream to keep frozen.
+    const TxnId txn = refresh_txn_++;
+    Status locked = locks_.Acquire(txn, entry->join->left->info()->id,
+                                   LockMode::kShared);
+    if (locked.ok()) {
+      locked = locks_.Acquire(txn, entry->join->right->info()->id,
+                              LockMode::kShared);
+    }
+    if (!locked.ok()) {
+      locks_.ReleaseAll(txn);
+      return locked;
+    }
+    Status exec =
+        RunRefreshAttempt(entry, RefreshMethod::kFull,
+                          request.client_snap_time, exec_request,
+                          /*session=*/nullptr, wire, /*tracer=*/nullptr,
+                          &stats);
+    locks_.ReleaseAll(txn);
+    RETURN_IF_ERROR(exec);
+    outcome.stats = std::move(stats);
+    return outcome;
+  }
+
+  uint64_t session_id = 0;
+  uint64_t resume_after = 0;
+  RefreshMethod method = desc->method;
+  Timestamp request_time = request.client_snap_time;
+
+  auto live = request.resume_session_id != 0
+                  ? serve_sessions_.find(request.resume_session_id)
+                  : serve_sessions_.end();
+  if (live != serve_sessions_.end() &&
+      live->second.snapshot_id == desc->id) {
+    // RESUME of a live session: its lock is still held, the base is still
+    // frozen, so the deterministic re-run emits the byte-identical stream
+    // and suppress-by-sequence names exactly the applied prefix.
+    session_id = request.resume_session_id;
+    resume_after = request.resume_after_seq;
+    method = live->second.method;
+    request_time = live->second.request_time;
+    outcome.resumed = resume_after > 0;
+  } else {
+    // Fresh session; supersede any dangling session for this snapshot.
+    std::vector<uint64_t> stale;
+    for (const auto& [sid, session] : serve_sessions_) {
+      if (session.snapshot_id == desc->id) stale.push_back(sid);
+    }
+    for (uint64_t sid : stale) EvictServeSession(sid);
+
+    // Stale staged outcomes of an earlier unacknowledged serve must not
+    // survive into this one.
+    desc->pending_ideal_shadow.reset();
+    desc->pending_refresh_lsn.reset();
+
+    if (method == RefreshMethod::kAsap && request_time != kNullTimestamp) {
+      return Status::InvalidArgument(
+          "ASAP propagation is in-process only; a remote site receives the "
+          "initial full copy and must re-attach for a fresh copy");
+    }
+
+    const TxnId txn = refresh_txn_++;
+    const LockMode lock_mode = method == RefreshMethod::kDifferential
+                                   ? LockMode::kExclusive
+                                   : LockMode::kShared;
+    Status locked =
+        locks_.Acquire(txn, entry->source->info()->id, lock_mode);
+    if (!locked.ok()) {
+      // Likely a dangling served session of another snapshot over the same
+      // base table whose client never acknowledged. Steal the lock: evict
+      // them (their clients restart fresh when they resume) and retry once.
+      EvictServeSessionsForSource(entry->source);
+      locked = locks_.Acquire(txn, entry->source->info()->id, lock_mode);
+      if (!locked.ok()) {
+        locks_.ReleaseAll(txn);
+        return locked;
+      }
+    }
+    session_id = next_session_id_++;
+    serve_sessions_[session_id] =
+        ServeSession{desc->id, txn, method, request_time};
+  }
+
+  RefreshSession session(wire, session_id, resume_after);
+  Status exec = RunRefreshAttempt(entry, method, request_time, exec_request,
+                                  &session, wire, /*tracer=*/nullptr,
+                                  &stats);
+  outcome.session_id = session_id;
+  outcome.last_seq = session.last_seq();
+  outcome.suppressed = session.suppressed();
+  if (!exec.ok()) {
+    if (!exec.IsUnavailable()) {
+      // A real executor failure: this session cannot be resumed soundly.
+      EvictServeSession(session_id);
+    }
+    // Unavailable = the transport died mid-stream. The session (and its
+    // lock) stays live for the client's RESUME.
+    return exec;
+  }
+  outcome.stats = std::move(stats);
+  return outcome;
+}
+
+Status SnapshotSystem::AcknowledgeServe(SnapshotId snapshot_id,
+                                        uint64_t session_id) {
+  std::lock_guard<std::mutex> guard(serve_mu_);
+  auto it = serve_sessions_.find(session_id);
+  if (it == serve_sessions_.end() || it->second.snapshot_id != snapshot_id) {
+    return Status::NotFound("serve session " + std::to_string(session_id) +
+                            " is no longer live");
+  }
+  auto by_id = snapshots_by_id_.find(snapshot_id);
+  if (by_id != snapshots_by_id_.end()) {
+    CommitRefreshOutcome(&by_id->second->descriptor);
+  }
+  locks_.ReleaseAll(it->second.txn);
+  serve_sessions_.erase(it);
+  return Status::OK();
 }
 
 Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(

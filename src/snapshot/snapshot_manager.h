@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -160,6 +161,72 @@ class SnapshotSystem {
   /// link).
   Result<RefreshReport> Refresh(const RefreshRequest& request);
 
+  /// --- serving remote snapshot sites (see net/refresh_server.h) ---
+  ///
+  /// The serve API is the base-site half of a refresh demanded over a real
+  /// transport instead of the in-process site link: one transmission
+  /// attempt streamed into an arbitrary MessageSink (a SocketTransport, a
+  /// recording sink, a plain Channel), with the apply half living at the
+  /// remote client. Serve calls serialize on serve_mutex(): connection I/O
+  /// is concurrent across sessions, refresh *execution* at the base is
+  /// serialized — the paper's table-level lock forces that for any one
+  /// table, and the LockManager is deliberately non-blocking.
+
+  /// What a remote client needs to attach to a snapshot.
+  struct SnapshotWireInfo {
+    SnapshotId id = 0;
+    Schema value_schema;
+    RefreshMethod method = RefreshMethod::kDifferential;
+  };
+  Result<SnapshotWireInfo> DescribeSnapshot(const std::string& name);
+
+  struct ServeRequest {
+    SnapshotId snapshot_id = 0;
+    /// The client's SnapTime (kNullTimestamp before its first refresh).
+    Timestamp client_snap_time = kNullTimestamp;
+    /// Non-zero: RESUME of an interrupted serve session. If the session is
+    /// no longer live (superseded, lock stolen) the serve silently falls
+    /// back to a fresh session — the client adopts the new session id from
+    /// the arriving stream.
+    uint64_t resume_session_id = 0;
+    /// The client's durably applied prefix; messages with
+    /// seq <= resume_after_seq are suppressed (resume path only).
+    uint64_t resume_after_seq = 0;
+    /// Server-side execution overrides (default: system options).
+    std::optional<size_t> workers;
+    std::optional<size_t> batch_size;
+  };
+  struct ServeOutcome {
+    uint64_t session_id = 0;   // 0 for sessionless (join) serves
+    uint64_t last_seq = 0;     // sequence number of the final message
+    uint64_t suppressed = 0;   // prefix messages elided on a resume
+    bool resumed = false;
+    RefreshStats stats;
+  };
+
+  /// One transmission attempt into `wire`. On success the session stays
+  /// live — its staged outcome uncommitted, its base-table lock held — until
+  /// AcknowledgeServe (the client's SESSION_ACK) commits and releases, or a
+  /// later serve supersedes it. On Unavailable (the transport died
+  /// mid-stream) the session likewise stays live so the client can RESUME
+  /// against the same frozen base state — that is what makes
+  /// suppress-by-sequence sound over a real network.
+  Result<ServeOutcome> ServeRefresh(const ServeRequest& request,
+                                    MessageSink* wire);
+
+  /// Commits the staged outcome of a served session (ideal shadow, log
+  /// position) and releases its base-table lock. NotFound if the session
+  /// is no longer live (already superseded); that is harmless — the
+  /// superseding serve restaged from the uncommitted state.
+  Status AcknowledgeServe(SnapshotId snapshot_id, uint64_t session_id);
+
+  /// Serializes serve-path execution. Exposed so an embedding process (the
+  /// shell's \serve) can mutate the system safely while a server thread
+  /// pool is serving from it. Local calls (Refresh, base-table writes) do
+  /// NOT take this mutex themselves — single-threaded embedders pay
+  /// nothing; concurrent embedders hold it around local mutations.
+  std::mutex& serve_mutex() { return serve_mu_; }
+
   /// Refreshes several *differential* snapshots of the same base table in
   /// one combined scan, amortizing the sequential read and the fix-up
   /// writes over the group. Returns per-snapshot meters; message counts are
@@ -303,12 +370,15 @@ class SnapshotSystem {
   bool SessionComplete(const SnapshotSite* site, uint64_t session_id) const;
 
   /// One transmission attempt of `method` for `entry`, sending through
-  /// `session` when non-null. Per-method state advances (ideal shadow, log
-  /// LSN) are staged on the descriptor, not committed.
+  /// `session` when non-null, else directly into `wire` (the site channel
+  /// for in-process refreshes, the socket transport for served ones).
+  /// `tracer` may be null (serve path). Per-method state advances (ideal
+  /// shadow, log LSN) are staged on the descriptor, not committed.
   Status RunRefreshAttempt(SnapshotEntry* entry, RefreshMethod method,
                            Timestamp request_time,
                            const RefreshRequest& request,
-                           RefreshSession* session, RefreshStats* stats);
+                           RefreshSession* session, MessageSink* wire,
+                           obs::Tracer* tracer, RefreshStats* stats);
   /// Commits staged per-method refresh state once the snapshot site
   /// confirmed the session applied (see SnapshotDescriptor).
   void CommitRefreshOutcome(SnapshotDescriptor* desc);
@@ -381,6 +451,25 @@ class SnapshotSystem {
   SnapshotId next_snapshot_id_ = 1;
   uint64_t next_session_id_ = 1;  // wire-level refresh session ids
   TxnId refresh_txn_ = 1u << 20;  // lock-owner ids for refresh operations
+
+  /// One live served refresh session: the lock owner keeping the base
+  /// frozen between the stream and the client's ack (or resume), and the
+  /// request parameters a byte-identical re-run needs.
+  struct ServeSession {
+    SnapshotId snapshot_id = 0;
+    TxnId txn = 0;
+    RefreshMethod method = RefreshMethod::kDifferential;
+    Timestamp request_time = kNullTimestamp;
+  };
+  /// Releases the session's lock and discards its staged outcome.
+  void EvictServeSession(uint64_t session_id);
+  /// Evicts every live serve session reading from `source` (lock-steal on
+  /// conflict: a dangling session's client re-demands a fresh full stream
+  /// when it eventually resumes).
+  void EvictServeSessionsForSource(const BaseTable* source);
+
+  std::mutex serve_mu_;
+  std::map<uint64_t, ServeSession> serve_sessions_;
 };
 
 }  // namespace snapdiff

@@ -197,6 +197,13 @@ Status SnapshotTable::ApplyMessage(const Message& msg, RefreshStats* stats) {
     case MessageType::kResumeRefresh:
       return Status::InvalidArgument(
           "resume request arrived at snapshot site");
+    case MessageType::kHello:
+    case MessageType::kHelloAck:
+    case MessageType::kSessionAck:
+    case MessageType::kServerError:
+      // Connection-management traffic; the client strips these before
+      // applying the refresh stream to its replica.
+      return Status::InvalidArgument("control message is not applicable");
   }
   return Status::Internal("bad message type");
 }
