@@ -5,6 +5,7 @@
 //
 //   bench_server <rows_per_table> <clients> <out.json> [rounds]
 //                [--tables=N] [--addr=host:port|unix:/path]
+//                [--connect=host:port|unix:/path]
 //
 // Clients split evenly across three selectivity classes (100% / 50% / 10%
 // of the base), attach to per-client snapshots, and run `rounds` refresh
@@ -12,6 +13,15 @@
 // demands at its own replica's time. BENCH_server.json follows the
 // perf_gate shape: top-level shape keys plus one config per selectivity
 // class carrying rows_per_sec and wire_bytes_per_row.
+//
+// By default the driver hosts everything in one process: base tables, the
+// mutator, and an in-process RefreshServer. With --connect=ADDR it becomes
+// a pure load generator against an externally hosted server (e.g. the
+// shell's \serve): no tables, no mutator, no listener — the target must
+// already serve snapshots named snap0..snap{clients-1}, and <rows_per_table>
+// should match the remote base so reports stay shape-comparable.
+// Connect-mode reports omit the "server" section, so perf_gate skips the
+// aggregate wire-byte gate.
 
 #include <sys/resource.h>
 
@@ -85,7 +95,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <rows_per_table> <clients> <out.json> [rounds] "
-                 "[--tables=N] [--addr=ADDR]\n",
+                 "[--tables=N] [--addr=ADDR] [--connect=ADDR]\n",
                  argv[0]);
     return 1;
   }
@@ -95,12 +105,15 @@ int main(int argc, char** argv) {
   size_t rounds = 4;
   size_t tables = 8;
   std::string addr;
+  std::string connect;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tables=", 0) == 0) {
       tables = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--addr=", 0) == 0) {
       addr = arg.substr(7);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(10);
     } else if (arg[0] != '-') {
       rounds = std::strtoull(arg.c_str(), nullptr, 10);
     } else {
@@ -110,7 +123,8 @@ int main(int argc, char** argv) {
   }
   if (rows == 0 || clients == 0 || rounds == 0 || tables == 0) return 1;
   tables = std::min(tables, clients);
-  if (addr.empty()) {
+  const bool hosting = connect.empty();
+  if (hosting && addr.empty()) {
     const char* tmp = std::getenv("TMPDIR");
     addr = std::string("unix:") + (tmp != nullptr ? tmp : "/tmp") +
            "/snapdiff_bench_server_" + std::to_string(::getpid()) + ".sock";
@@ -118,65 +132,74 @@ int main(int argc, char** argv) {
   RaiseFdLimit(clients);
 
   // --- base process: tables, per-client snapshots, the server ---
+  // In connect mode all of this is skipped: the external server owns the
+  // tables and its own churn, and this process is clients only.
   SnapshotSystemOptions sys_options;
   sys_options.enable_wal = false;  // serving cost, not durability, is timed
   sys_options.base_pool_pages = 8192;
   sys_options.snap_pool_pages = 8192;
-  SnapshotSystem sys(sys_options);
-  const Schema schema({{"Name", TypeId::kString, false},
-                       {"Salary", TypeId::kInt64, false}});
+  std::unique_ptr<SnapshotSystem> sys;
+  std::unique_ptr<RefreshServer> server;
   std::vector<BaseTable*> bases;
   std::vector<std::vector<Address>> addrs(tables);
-  for (size_t t = 0; t < tables; ++t) {
-    auto base = sys.CreateBaseTable("t" + std::to_string(t), schema);
-    if (!base.ok()) {
-      std::fprintf(stderr, "create table: %s\n",
-                   base.status().ToString().c_str());
-      return 1;
+  std::string bound = connect;
+  if (hosting) {
+    sys = std::make_unique<SnapshotSystem>(sys_options);
+    const Schema schema({{"Name", TypeId::kString, false},
+                         {"Salary", TypeId::kInt64, false}});
+    for (size_t t = 0; t < tables; ++t) {
+      auto base = sys->CreateBaseTable("t" + std::to_string(t), schema);
+      if (!base.ok()) {
+        std::fprintf(stderr, "create table: %s\n",
+                     base.status().ToString().c_str());
+        return 1;
+      }
+      bases.push_back(*base);
+      char name[24];
+      for (size_t i = 0; i < rows; ++i) {
+        std::snprintf(name, sizeof(name), "r%07zu", i);
+        auto a = (*base)->Insert(Tuple({Value::String(name),
+                                        Value::Int64(int64_t(i % 100))}));
+        if (!a.ok()) return 1;
+        addrs[t].push_back(*a);
+      }
     }
-    bases.push_back(*base);
-    char name[24];
-    for (size_t i = 0; i < rows; ++i) {
-      std::snprintf(name, sizeof(name), "r%07zu", i);
-      auto a = (*base)->Insert(Tuple({Value::String(name),
-                                      Value::Int64(int64_t(i % 100))}));
-      if (!a.ok()) return 1;
-      addrs[t].push_back(*a);
+    for (size_t i = 0; i < clients; ++i) {
+      const int cls = int(i % 3);
+      auto made = sys->CreateSnapshot("snap" + std::to_string(i),
+                                      "t" + std::to_string(i % tables),
+                                      kClassPredicates[cls]);
+      if (!made.ok()) {
+        std::fprintf(stderr, "create snapshot: %s\n",
+                     made.status().ToString().c_str());
+        return 1;
+      }
     }
-  }
-  for (size_t i = 0; i < clients; ++i) {
-    const int cls = int(i % 3);
-    auto made = sys.CreateSnapshot("snap" + std::to_string(i),
-                                   "t" + std::to_string(i % tables),
-                                   kClassPredicates[cls]);
-    if (!made.ok()) {
-      std::fprintf(stderr, "create snapshot: %s\n",
-                   made.status().ToString().c_str());
-      return 1;
-    }
-  }
 
-  ServerOptions server_options;
-  server_options.listen_addr = addr;
-  server_options.backlog = 1024;
-  RefreshServer server(&sys, server_options);
-  if (Status st = server.Start(); !st.ok()) {
-    std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
-    return 1;
+    ServerOptions server_options;
+    server_options.listen_addr = addr;
+    server_options.backlog = 1024;
+    server = std::make_unique<RefreshServer>(sys.get(), server_options);
+    if (Status st = server->Start(); !st.ok()) {
+      std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    bound = server->bound_addr();
   }
-  const std::string bound = server.bound_addr();
   std::printf("bench_server: %zu clients x %zu rounds, %zu tables x %zu "
-              "rows, serving at %s\n",
-              clients, rounds, tables, rows, bound.c_str());
+              "rows, %s %s\n",
+              clients, rounds, tables, rows,
+              hosting ? "serving at" : "connecting to", bound.c_str());
 
   // --- mutator: deterministic churn under the serve mutex ---
   const size_t ops_per_round = std::max<size_t>(rows / 10, 1);
-  std::atomic<bool> churn_on{true};
+  std::atomic<bool> churn_on{hosting};
   std::thread mutator([&] {
+    if (!hosting) return;
     std::mt19937_64 rng(0xC0FFEE);
     while (churn_on.load(std::memory_order_acquire)) {
       {
-        std::lock_guard<std::mutex> lock(sys.serve_mutex());
+        std::lock_guard<std::mutex> lock(sys->serve_mutex());
         for (size_t op = 0; op < ops_per_round; ++op) {
           const size_t t = rng() % tables;
           const size_t i = rng() % addrs[t].size();
@@ -262,9 +285,13 @@ int main(int argc, char** argv) {
   const double bench_wall_us = NowUs() - bench_start_us;
   churn_on.store(false, std::memory_order_release);
   mutator.join();
-  const ServerStats server_stats = server.stats();
-  const ChannelStats wire = server.AggregateTransportStats();
-  server.Stop();
+  ServerStats server_stats;
+  ChannelStats wire;
+  if (hosting) {
+    server_stats = server->stats();
+    wire = server->AggregateTransportStats();
+    server->Stop();
+  }
 
   // --- aggregate ---
   size_t failed = 0;
@@ -324,6 +351,10 @@ int main(int argc, char** argv) {
               p50 / 1e3, p99 / 1e3, fairness,
               (unsigned long long)server_stats.resumes,
               (unsigned long long)reconnects_total);
+  if (hosting) {
+    std::printf("  server high-water: %llu concurrent refreshes\n",
+                (unsigned long long)server_stats.refreshes_concurrent);
+  }
 
   // --- BENCH_server.json (perf_gate-compatible shape) ---
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -333,6 +364,8 @@ int main(int argc, char** argv) {
   }
   std::string json = "{\n";
   json += bench::ReportHeaderFields("server");
+  json += std::string("  \"mode\": \"") +
+          (hosting ? "hosted" : "connect") + "\",\n";
   json += "  \"rows\": " + std::to_string(rows) + ",\n";
   json += "  \"tables\": " + std::to_string(tables) + ",\n";
   json += "  \"clients\": " + std::to_string(clients) + ",\n";
@@ -356,17 +389,23 @@ int main(int argc, char** argv) {
   json += buf;
   json += "  \"refresh_wall_us\": " +
           bench::RenderStats(bench::Summarize(all_latencies)) + ",\n";
-  std::snprintf(buf, sizeof(buf),
-                "  \"server\": {\"sessions_served\": %llu, \"resumes\": "
-                "%llu, \"acks\": %llu, \"errors\": %llu, \"wire_bytes\": "
-                "%llu, \"frames\": %llu},\n",
-                (unsigned long long)server_stats.sessions_served,
-                (unsigned long long)server_stats.resumes,
-                (unsigned long long)server_stats.acks,
-                (unsigned long long)server_stats.errors,
-                (unsigned long long)wire.wire_bytes,
-                (unsigned long long)wire.frames);
-  json += buf;
+  if (hosting) {
+    // Connect mode has no server-side accounting, so the section (and with
+    // it perf_gate's aggregate wire-byte comparison) is omitted entirely.
+    std::snprintf(buf, sizeof(buf),
+                  "  \"server\": {\"sessions_served\": %llu, \"resumes\": "
+                  "%llu, \"acks\": %llu, \"errors\": %llu, "
+                  "\"refreshes_concurrent\": %llu, \"wire_bytes\": "
+                  "%llu, \"frames\": %llu},\n",
+                  (unsigned long long)server_stats.sessions_served,
+                  (unsigned long long)server_stats.resumes,
+                  (unsigned long long)server_stats.acks,
+                  (unsigned long long)server_stats.errors,
+                  (unsigned long long)server_stats.refreshes_concurrent,
+                  (unsigned long long)wire.wire_bytes,
+                  (unsigned long long)wire.frames);
+    json += buf;
+  }
   json += "  \"configs\": [\n";
   for (int c = 0; c < 3; ++c) {
     const ClassAgg& agg = cls_agg[c];

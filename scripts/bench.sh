@@ -23,7 +23,7 @@ WL_ROWS="${WL_ROWS:-$((ROWS * 50))}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
   bench_fig8 bench_fig9 bench_parallel_refresh bench_scan bench_workload \
-  bench_group_refresh bench_server
+  bench_group_refresh bench_server bench_mvcc
 
 # Figure reproductions: capture the printed series alongside the CSV the
 # binaries already embed in their stdout.
@@ -56,7 +56,13 @@ SRV_CLIENTS="${SRV_CLIENTS:-512}"
 "${BUILD_DIR}/bench/bench_server" "$((ROWS / 4))" "${SRV_CLIENTS}" \
   BENCH_server.json 3
 
+# Writer stall under refresh: copy-on-write epochs vs the emulated
+# exclusive-table-lock baseline, byte-identity + convergence oracles armed.
+# Exits nonzero if the locked/mvcc p99 stall ratio falls below 10x;
+# perf_gate.py additionally gates the JSON against its baseline in CI.
+"${BUILD_DIR}/bench/bench_mvcc" "${ROWS}" "${ITERS}" BENCH_mvcc.json
+
 echo
 echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json" \
   "BENCH_scan.json BENCH_workload.json BENCH_workload.trace.json" \
-  "BENCH_group.json BENCH_server.json"
+  "BENCH_group.json BENCH_server.json BENCH_mvcc.json"

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Noise-aware perf-regression gate over BENCH_workload.json.
+"""Noise-aware perf-regression gate over the BENCH_*.json reports.
 
 Compares a freshly produced bench report against the checked-in baseline
-(bench/baselines/BENCH_workload.baseline.json) per workload profile:
+(bench/baselines/*.baseline.json) per profile:
 
   wire_bytes_per_row   deterministic for a fixed config, so compared
                        strictly (2% tolerance covers float rendering);
@@ -16,6 +16,19 @@ Compares a freshly produced bench report against the checked-in baseline
                        otherwise they warn, because cross-host wall-clock
                        comparisons are not evidence of a regression.
 
+Some reports carry extra gated metrics, detected by their presence:
+
+  server.wire_bytes    (bench_server) the aggregate bytes all client
+                       sessions pulled — dispersion-tolerant where the
+                       per-client latency percentiles are not, since the
+                       sum is insensitive to scheduling: compared with 5%
+                       tolerance on any host.
+  p99_stall_ratio      (bench_mvcc) locked/mvcc p99 writer-stall ratio —
+                       dimensionless, so it hard-fails on any host when it
+                       drops below the 10x acceptance floor; the absolute
+                       writer_p99_us gates noise-aware on the baseline
+                       host only.
+
 Reports whose shape differs from the baseline (rows, ops_per_round,
 selectivity, wal_enabled) are incomparable: the gate warns and passes
 rather than emitting a fake verdict.
@@ -26,8 +39,11 @@ Usage:
   perf_gate.py --self-test [--baseline PATH]
 
 --self-test proves the gate works: the baseline compared against itself
-must pass, and the baseline with a synthetic 20% throughput loss injected
-must fail. Exits nonzero if either direction misbehaves.
+must pass, and the baseline with a synthetic regression injected must
+fail. The injected metric is chosen per report: server reports inflate
+aggregate wire bytes 20%, mvcc reports collapse the stall ratio below its
+floor, workload-style reports lose 20% throughput. Exits nonzero if
+either direction misbehaves.
 """
 
 import argparse
@@ -44,6 +60,9 @@ DEFAULT_BASELINE = os.path.join(
 WIRE_TOLERANCE = 0.02          # deterministic metric: effectively "equal"
 MIN_THROUGHPUT_TOLERANCE = 0.15  # floor under the noise-derived threshold
 CV_MULTIPLIER = 3.0
+SERVER_WIRE_TOLERANCE = 0.05   # aggregate server bytes: sum absorbs jitter
+STALL_RATIO_FLOOR = 10.0       # bench_mvcc acceptance bar, any host
+MIN_STALL_TOLERANCE = 0.50     # writer p99 is latency-tail noisy
 
 SHAPE_KEYS = ("rows", "ops_per_round", "selectivity", "wal_enabled")
 
@@ -57,8 +76,8 @@ def configs_by_name(report):
     return {c["name"]: c for c in report.get("configs", [])}
 
 
-def baseline_cv(config):
-    stats = config.get("refresh_wall_us", {})
+def baseline_cv(config, stats_key="refresh_wall_us"):
+    stats = config.get(stats_key, {})
     mean = stats.get("mean", 0.0)
     stddev = stats.get("stddev", 0.0)
     return (stddev / mean) if mean > 0 else 0.0
@@ -84,6 +103,29 @@ def compare(current, baseline):
             f"{baseline.get('hardware_concurrency')}); throughput violations "
             "reported as warnings only")
 
+    # Aggregate server wire bytes: the one server-load metric that is
+    # dispersion-tolerant under 512-way scheduling, so it gates on any host.
+    if "server" in baseline and "server" in current:
+        bw = baseline["server"].get("wire_bytes", 0)
+        cw = current["server"].get("wire_bytes", 0)
+        if bw > 0:
+            drift = abs(cw - bw) / bw
+            if drift > SERVER_WIRE_TOLERANCE:
+                failures.append(
+                    f"server.wire_bytes {cw} vs baseline {bw} "
+                    f"({drift:+.1%}); aggregate wire traffic changed — "
+                    "regenerate the baseline if intentional")
+
+    # bench_mvcc's headline: locked/mvcc p99 writer-stall ratio. It is
+    # dimensionless, so the acceptance floor applies on every host.
+    if "p99_stall_ratio" in baseline and "p99_stall_ratio" in current:
+        ratio = current["p99_stall_ratio"]
+        if ratio < STALL_RATIO_FLOOR:
+            failures.append(
+                f"p99_stall_ratio {ratio:.1f}x below the "
+                f"{STALL_RATIO_FLOOR:.0f}x acceptance floor (baseline ran "
+                f"{baseline['p99_stall_ratio']:.1f}x)")
+
     cur_cfgs = configs_by_name(current)
     base_cfgs = configs_by_name(baseline)
     for name, base in base_cfgs.items():
@@ -95,7 +137,8 @@ def compare(current, baseline):
         # Deterministic wire cost: strict in both directions. A drop is an
         # improvement, but a silently drifting baseline hides the next
         # regression — regenerate it on purpose with --write-baseline.
-        bw, cw = base["wire_bytes_per_row"], cur["wire_bytes_per_row"]
+        bw, cw = base.get("wire_bytes_per_row", 0), \
+            cur.get("wire_bytes_per_row", 0)
         if bw > 0:
             drift = abs(cw - bw) / bw
             if drift > WIRE_TOLERANCE:
@@ -106,11 +149,24 @@ def compare(current, baseline):
 
         threshold = max(MIN_THROUGHPUT_TOLERANCE,
                         CV_MULTIPLIER * baseline_cv(base))
-        bt, ct = base["rows_per_sec"], cur["rows_per_sec"]
+        bt, ct = base.get("rows_per_sec", 0), cur.get("rows_per_sec", 0)
         if bt > 0 and ct < bt * (1.0 - threshold):
             msg = (f"{name}: rows_per_sec {ct:.0f} vs baseline {bt:.0f} "
                    f"({ct / bt - 1.0:+.1%}, threshold -{threshold:.0%})")
             (failures if same_host else warnings).append(msg)
+
+        # bench_mvcc per-config writer stall: latency tails are noisy, so
+        # the threshold floor is generous and violations hard-fail only on
+        # the baseline host.
+        bp, cp = base.get("writer_p99_us", 0), cur.get("writer_p99_us", 0)
+        if bp > 0 and cp > 0:
+            threshold = max(MIN_STALL_TOLERANCE,
+                            CV_MULTIPLIER * baseline_cv(base, "writer_op_us"))
+            if cp > bp * (1.0 + threshold):
+                msg = (f"{name}: writer_p99_us {cp:.1f} vs baseline "
+                       f"{bp:.1f} ({cp / bp - 1.0:+.1%}, threshold "
+                       f"+{threshold:.0%})")
+                (failures if same_host else warnings).append(msg)
 
     return failures, warnings
 
@@ -152,21 +208,35 @@ def self_test(baseline_path):
             print(f"  {f}", file=sys.stderr)
         return 1
 
-    # Direction 2: a synthetic 20% throughput loss must be caught. 20% sits
-    # above the 15% floor; if the baseline's own noise pushed the threshold
-    # past 20%, the baseline is too noisy to gate with — also a failure.
+    # Direction 2: a synthetic regression on the report's gated metric must
+    # be caught. The metric is chosen to be one this report actually gates
+    # on any host: aggregate wire bytes for server reports (per-client
+    # latency under 512-way contention is too dispersed to self-test), the
+    # stall-ratio floor for mvcc reports, and a 20% throughput loss for
+    # workload-style reports (above the 15% floor; a baseline whose own
+    # noise pushes the threshold past 20% is too noisy to gate with —
+    # also a failure).
     slowed = copy.deepcopy(baseline)
-    for cfg in slowed.get("configs", []):
-        cfg["rows_per_sec"] *= 0.8
+    if "server" in slowed:
+        slowed["server"]["wire_bytes"] = int(
+            slowed["server"]["wire_bytes"] * 1.2)
+        injected = "20% aggregate wire-byte inflation"
+    elif "p99_stall_ratio" in slowed:
+        slowed["p99_stall_ratio"] = STALL_RATIO_FLOOR * 0.5
+        injected = "stall-ratio collapse below the floor"
+    else:
+        for cfg in slowed.get("configs", []):
+            cfg["rows_per_sec"] *= 0.8
+        injected = "20% throughput loss"
     failures, warnings = compare(slowed, baseline)
     if not failures:
-        print("perf_gate: SELF-TEST FAIL: injected 20% slowdown was not "
+        print(f"perf_gate: SELF-TEST FAIL: injected {injected} was not "
               "detected", file=sys.stderr)
         for w in warnings:
             print(f"  warning was: {w}", file=sys.stderr)
         return 1
 
-    print("perf_gate: self-test OK (baseline passes, 20% slowdown caught)")
+    print(f"perf_gate: self-test OK (baseline passes, {injected} caught)")
     return 0
 
 

@@ -57,7 +57,14 @@ void RefreshServer::Stop() {
 
 ServerStats RefreshServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServerStats stats = stats_;
+  stats.refreshes_concurrent = system_->refreshes_concurrent_high_water();
+  // Mirror the high-water into the registry so \metrics surfaces it next
+  // to the other net.server.* series.
+  obs::MetricsRegistry::Default()
+      .GetGauge("net.server.refreshes_concurrent")
+      ->Set(static_cast<int64_t>(stats.refreshes_concurrent));
+  return stats;
 }
 
 size_t RefreshServer::live_connections() const {
@@ -203,6 +210,10 @@ bool RefreshServer::Dispatch(Connection* conn, const Message& msg) {
         stats_.suppressed_messages += outcome->suppressed;
         ServerCounter("net.server.sessions")->Inc();
         if (outcome->resumed) ServerCounter("net.server.resumes")->Inc();
+        obs::MetricsRegistry::Default()
+            .GetGauge("net.server.refreshes_concurrent")
+            ->Set(static_cast<int64_t>(
+                system_->refreshes_concurrent_high_water()));
         return true;
       }
       if (outcome.status().IsUnavailable()) {

@@ -34,9 +34,10 @@ struct ServerOptions {
   size_t max_connections = 0;
   /// Reserved for an epoll event-loop mode; 0 (the default and currently
   /// only implemented mode) dedicates one handler thread per connection —
-  /// honest under the paper's model, where refresh *execution* serializes
-  /// on the base table lock anyway and threads spend their lives blocked
-  /// in framed reads.
+  /// still a reasonable fit now that refresh execution admits per base
+  /// table: handler threads for the same table queue in admission, and
+  /// threads for different tables stream concurrently while the rest
+  /// spend their lives blocked in framed reads.
   size_t io_threads = 0;
   /// Framing/metering model applied to every accepted connection.
   TransportOptions transport;
@@ -53,15 +54,21 @@ struct ServerStats {
   uint64_t acks = 0;
   uint64_t suppressed_messages = 0;  // prefix elided across all resumes
   uint64_t errors = 0;               // kServerError replies sent
+  /// High-water mark of concurrently executing refreshes on the backing
+  /// SnapshotSystem (local + served) — the observable proof that serves of
+  /// different tables actually overlap. Sourced from
+  /// SnapshotSystem::refreshes_concurrent_high_water() at stats() time.
+  uint64_t refreshes_concurrent = 0;
 };
 
 /// The refresh server: accepts framed-protocol connections at the base
 /// site and answers HELLO / REFRESH_REQUEST / RESUME_REFRESH / SESSION_ACK
 /// by driving SnapshotSystem's serve API. Thread-per-connection: each
 /// accepted socket gets a SocketTransport and a handler thread running the
-/// dispatch loop; base-side refresh execution is serialized on
-/// SnapshotSystem::serve_mutex() (the table-level lock model), connection
-/// I/O is concurrent.
+/// dispatch loop. Connection I/O is concurrent, and so is refresh
+/// execution: serves admit per base table (copy-on-write scan epochs keep
+/// writers un-blocked throughout), with SnapshotSystem::serve_mutex()
+/// guarding only the short registry critical sections.
 ///
 /// Lifecycle: construct → Start() → (clients connect) → Stop(). Stop wakes
 /// the accept loop, shuts down every live connection, and joins all

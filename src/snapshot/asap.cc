@@ -27,13 +27,15 @@ Result<bool> AsapPropagator::Qualifies(const Tuple& user_row) const {
 }
 
 void AsapPropagator::Propagate(Message msg) {
-  Status sent = channel_->Send(msg);
+  std::lock_guard<std::mutex> lock(mu_);
+  Status sent = Status::Unavailable("propagation paused for initial copy");
+  if (!paused_) sent = channel_->Send(msg);
   if (sent.ok()) {
     ++stats_.propagated;
     metric_propagated_->Inc();
     return;
   }
-  if (buffer_on_partition_) {
+  if (paused_ || buffer_on_partition_) {
     buffer_.push_back(std::move(msg));
     ++stats_.buffered;
     metric_buffered_->Inc();
@@ -49,6 +51,7 @@ void AsapPropagator::Propagate(Message msg) {
 }
 
 Status AsapPropagator::FlushBuffered() {
+  std::lock_guard<std::mutex> lock(mu_);
   while (!buffer_.empty()) {
     RETURN_IF_ERROR(channel_->Send(buffer_.front()));
     ++stats_.propagated;

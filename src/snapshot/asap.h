@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 
 #include "net/channel.h"
 #include "obs/metrics.h"
@@ -36,13 +37,38 @@ class AsapPropagator : public TableObserver {
   /// Re-sends buffered changes after the partition heals, in order.
   Status FlushBuffered();
 
+  /// While paused, Propagate buffers unconditionally (even in reject mode,
+  /// even on a healthy channel). Taken around an epoch-based initial full
+  /// copy: the copy streams the cut, and changes after the cut must land
+  /// at the site *after* it — a concurrently propagated change would be
+  /// overwritten by the copy's older image of the same row.
+  void PauseToBuffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+
+  /// Ends a PauseToBuffer window and re-sends what it held, in order.
+  Status ResumeAndFlush() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      paused_ = false;
+    }
+    return FlushBuffered();
+  }
+
   /// Drops buffered changes (used when a full copy subsumes them).
   void DiscardBuffered() {
+    std::lock_guard<std::mutex> lock(mu_);
     buffer_.clear();
     metric_buffer_depth_->Set(0);
   }
 
-  size_t buffered() const { return buffer_.size(); }
+  size_t buffered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_.size();
+  }
+  /// Meters. Read quiesced (no writer mid-operation): the returned
+  /// reference is unguarded.
   const Stats& stats() const { return stats_; }
 
   // TableObserver:
@@ -60,6 +86,11 @@ class AsapPropagator : public TableObserver {
   Channel* channel_;
   bool buffer_on_partition_;
   Schema projected_schema_;
+  /// Guards buffer_ + stats_ against a refresh draining (FlushBuffered)
+  /// while writer threads propagate. Observer callbacks already run under
+  /// the table's mutation lock; this latch only bridges to the drain side.
+  mutable std::mutex mu_;
+  bool paused_ = false;  // PauseToBuffer window open (initial copy in flight)
   std::deque<Message> buffer_;
   Stats stats_;
   obs::Counter* metric_propagated_;

@@ -33,6 +33,7 @@ BaseTable::BaseTable(TableInfo* info, AnnotationMode mode,
 }
 
 Status BaseTable::SetMode(AnnotationMode mode) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
   ++mutation_tick_;  // conservative: mode changes alter scan semantics
   if (mode != AnnotationMode::kNone && !info_->schema.HasAnnotations()) {
     return Status::InvalidArgument(
@@ -126,6 +127,7 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
   if (user_row.size() != user_schema_.column_count()) {
     return Status::InvalidArgument("row arity does not match user schema");
   }
+  std::lock_guard<std::mutex> lock(mutate_mu_);
   ++mutation_tick_;
   // Lazy (and none): annotations are NULL — "insert operations will set the
   // PrevAddr and TimeStamp fields to NULL".
@@ -167,12 +169,12 @@ Result<Address> BaseTable::Insert(const Tuple& user_row) {
       // "the PrevAddr in the next entry must be set to the address of the
       // new entry" — its TimeStamp is NOT touched.
       ++maintenance_stats_.extra_entry_writes;
-      RETURN_IF_ERROR(WriteAnnotations(succ, addr, succ_ts));
+      RETURN_IF_ERROR(WriteAnnotationsLocked(succ, addr, succ_ts));
     } else {
       ++maintenance_stats_.successor_searches;
       ASSIGN_OR_RETURN(my_prev, info_->heap->PrevLiveBefore(addr));
     }
-    RETURN_IF_ERROR(WriteAnnotations(addr, my_prev, oracle_->Next()));
+    RETURN_IF_ERROR(WriteAnnotationsLocked(addr, my_prev, oracle_->Next()));
   }
 
   ASSIGN_OR_RETURN(std::string after_bytes, user_row.Serialize(user_schema_));
@@ -186,6 +188,7 @@ Status BaseTable::Update(Address addr, const Tuple& user_row) {
   if (user_row.size() != user_schema_.column_count()) {
     return Status::InvalidArgument("row arity does not match user schema");
   }
+  std::lock_guard<std::mutex> lock(mutate_mu_);
   ++mutation_tick_;
   ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
   AnnotatedRow old_row = SplitStored(old_stored);
@@ -224,6 +227,7 @@ Status BaseTable::Update(Address addr, const Tuple& user_row) {
 }
 
 Status BaseTable::Delete(Address addr) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
   ++mutation_tick_;
   ASSIGN_OR_RETURN(Tuple old_stored, ReadRow(info_, addr));
   AnnotatedRow old_row = SplitStored(old_stored);
@@ -249,7 +253,7 @@ Status BaseTable::Delete(Address addr) {
     ASSIGN_OR_RETURN(Address succ, info_->heap->NextLiveAfter(addr));
     if (succ.IsReal()) {
       ++maintenance_stats_.extra_entry_writes;
-      RETURN_IF_ERROR(WriteAnnotations(succ, old_row.prev_addr,
+      RETURN_IF_ERROR(WriteAnnotationsLocked(succ, old_row.prev_addr,
                                        oracle_->Next()));
     }
   }
@@ -277,6 +281,7 @@ Result<BaseTable::AnnotatedRow> BaseTable::ReadAnnotated(Address addr) {
 Result<BaseTable::AnnotatedView> BaseTable::SplitStoredView(
     std::string_view bytes) const {
   AnnotatedView row;
+  row.raw = bytes;
   ASSIGN_OR_RETURN(row.user, TupleView::Parse(user_schema_, bytes));
   if (info_->schema.HasAnnotations()) {
     ASSIGN_OR_RETURN(TupleView stored, TupleView::Parse(info_->schema, bytes));
@@ -342,6 +347,69 @@ Status PatchFixed64Field(const TupleView& stored, char* row_data, size_t idx,
 
 Status BaseTable::WriteAnnotations(Address addr, Address prev_addr,
                                    Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return WriteAnnotationsLocked(addr, prev_addr, ts);
+}
+
+Status BaseTable::WriteAnnotationsIf(Address addr, Address expect_prev,
+                                     Timestamp expect_ts,
+                                     std::string_view expect_bytes,
+                                     Address prev_addr, Timestamp ts,
+                                     bool* applied) {
+  *applied = false;
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Re-read the live row under the mutation lock: if any writer touched it
+  // since the refresh's epoch cut, the stored values no longer match what
+  // the scan saw and the fix-up must be dropped (the writer either NULLed
+  // the timestamp — lazy — or repaired the chain itself — eager; both
+  // re-converge on the next refresh). NULL-timestamp expectations also
+  // compare the full stored image: (NULL, NULL) and (prev, NULL) are
+  // reproducible by a post-cut reinsert/update, so only byte identity
+  // proves the row is still the one the scan saw.
+  {
+    auto view = info_->heap->GetView(addr);
+    if (!view.ok()) return Status::OK();  // row deleted since the cut
+    ASSIGN_OR_RETURN(AnnotatedView row, SplitStoredView(view.value().bytes));
+    if (row.prev_addr != expect_prev || row.timestamp != expect_ts) {
+      return Status::OK();
+    }
+    if (!expect_bytes.empty() && view.value().bytes != expect_bytes) {
+      return Status::OK();
+    }
+  }
+  RETURN_IF_ERROR(WriteAnnotationsLocked(addr, prev_addr, ts));
+  *applied = true;
+  return Status::OK();
+}
+
+std::shared_ptr<TableEpoch> BaseTable::OpenEpoch() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  std::shared_ptr<TableEpoch> epoch = info_->heap->OpenEpoch();
+  epoch->cut_tick = mutation_tick_.load(std::memory_order_relaxed);
+  epoch->cut_lsn = wal_ != nullptr ? wal_->LastLsn() : kInvalidLsn;
+  return epoch;
+}
+
+std::vector<BaseTable::ScanPartition> BaseTable::PartitionEpoch(
+    const TableEpoch& epoch, size_t max_partitions) const {
+  std::vector<ScanPartition> parts;
+  const size_t pages = epoch.page_count();
+  if (pages == 0 || max_partitions == 0) return parts;
+  const size_t n = std::min(max_partitions, pages);
+  parts.reserve(n);
+  const size_t base = pages / n;
+  const size_t extra = pages % n;
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t count = base + (i < extra ? 1 : 0);
+    parts.push_back({next, count});
+    next += count;
+  }
+  return parts;
+}
+
+Status BaseTable::WriteAnnotationsLocked(Address addr, Address prev_addr,
+                                         Timestamp ts) {
   if (!info_->schema.HasAnnotations()) {
     return Status::InvalidArgument("table has no annotation columns");
   }

@@ -1,10 +1,13 @@
 #ifndef SNAPDIFF_SNAPSHOT_BASE_TABLE_H_
 #define SNAPDIFF_SNAPSHOT_BASE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -59,6 +62,13 @@ class TableObserver {
 ///
 /// A row read through `ReadUserRow` never exposes the funny columns, just
 /// as R* hides them from user queries.
+///
+/// Thread safety: mutators (Insert, Update, Delete, WriteAnnotations*) are
+/// serialized by an internal mutation lock, so concurrent writer threads
+/// are safe against each other. Refresh scans do NOT take that lock — they
+/// read a copy-on-write epoch (OpenEpoch + ScanAnnotatedAtEpoch) and apply
+/// fix-ups through the conditional WriteAnnotationsIf, so writers never
+/// block on a refresh for longer than one page latch.
 class BaseTable {
  public:
   /// A stored row split into its user part and its annotations.
@@ -77,6 +87,11 @@ class BaseTable {
     TupleView user;
     Address prev_addr;    // Address::Null() encodes SQL NULL
     Timestamp timestamp;  // kNullTimestamp encodes SQL NULL
+    /// The full stored-row bytes the view was split from (user columns +
+    /// annotations). Same lifetime as `user`. Epoch refreshes capture it
+    /// for rows whose fix-up needs an identity check (see
+    /// WriteAnnotationsIf).
+    std::string_view raw;
   };
 
   /// `info` must already carry the annotation columns when `mode` is not
@@ -150,9 +165,68 @@ class BaseTable {
         });
   }
 
+  /// Opens a consistent copy-on-write scan epoch over this table: the page
+  /// list, mutation tick, and WAL position are captured atomically with
+  /// respect to the mutation lock, so the epoch describes one instant.
+  /// Writers proceed concurrently; the first touch of a frozen page clones
+  /// its pre-image into the epoch (see TableEpoch).
+  std::shared_ptr<TableEpoch> OpenEpoch();
+
+  /// ScanAnnotated against an epoch's cut instead of the live heap: visits
+  /// exactly the rows (and bytes) that were live when the epoch opened,
+  /// while writers keep mutating. Same view-lifetime rules as ScanAnnotated.
+  template <typename Fn>
+  Status ScanAnnotatedAtEpoch(const TableEpoch& epoch, Fn&& fn) {
+    return epoch.ForEach(
+        [&](Address addr, std::string_view bytes) -> Status {
+          ASSIGN_OR_RETURN(AnnotatedView row, SplitStoredView(bytes));
+          return fn(addr, row);
+        });
+  }
+
+  /// ScanAnnotatedRange against an epoch's cut (the parallel extract
+  /// workers' shape; partitions must come from PartitionEpoch).
+  template <typename Fn>
+  Status ScanAnnotatedRangeAtEpoch(const TableEpoch& epoch,
+                                   const ScanPartition& part, Fn&& fn) {
+    return epoch.ForEachInPageRange(
+        part.first_page, part.page_count,
+        [&](Address addr, std::string_view bytes) -> Status {
+          ASSIGN_OR_RETURN(AnnotatedView row, SplitStoredView(bytes));
+          return fn(addr, row);
+        });
+  }
+
+  /// Partition() over an epoch's frozen page list (pages allocated after
+  /// the cut are excluded, matching what ScanAnnotatedAtEpoch visits).
+  std::vector<ScanPartition> PartitionEpoch(const TableEpoch& epoch,
+                                            size_t max_partitions) const;
+
   /// Rewrites one row's annotations, keeping the user fields (fix-up
   /// primitive; also exercised by fault-injection tests).
   Status WriteAnnotations(Address addr, Address prev_addr, Timestamp ts);
+
+  /// Conditional fix-up for lock-free refresh: writes (prev_addr, ts) only
+  /// if the row still exists and its stored annotations equal
+  /// (expect_prev, expect_ts) — i.e. no writer touched the row since the
+  /// refresh's epoch cut. Otherwise the fix-up is skipped (`*applied` =
+  /// false) and deliberately *lost*: a lazy-mode writer NULLed the
+  /// timestamp when it touched the row, so the next refresh re-repairs it;
+  /// an eager-mode writer repaired the chain itself. Runs under the
+  /// mutation lock plus the page latch, so it is atomic against writers.
+  ///
+  /// When expect_ts is NULL the annotations alone cannot identify the row:
+  /// a post-cut delete + slot reuse reproduces (NULL, NULL), and a post-cut
+  /// lazy update reproduces (prev, NULL) — stamping either would hide a
+  /// changed row from the next refresh behind a pre-SnapTime timestamp.
+  /// `expect_bytes`, when non-empty, must then equal the live stored-row
+  /// bytes exactly (the image the scan saw at the cut) for the fix-up to
+  /// apply. Rows with a non-NULL stored timestamp need no byte check:
+  /// timestamps are unique oracle draws, so no post-cut writer can
+  /// reproduce them.
+  Status WriteAnnotationsIf(Address addr, Address expect_prev,
+                            Timestamp expect_ts, std::string_view expect_bytes,
+                            Address prev_addr, Timestamp ts, bool* applied);
 
   void AddObserver(TableObserver* observer);
   void RemoveObserver(TableObserver* observer);
@@ -177,10 +251,12 @@ class BaseTable {
 
   /// Bumped by every mutation of this table — user writes (Insert, Update,
   /// Delete) and annotation repairs alike. The delta cache stamps each
-  /// class image with the tick current when its fill committed and serves
-  /// from it only while the tick is unchanged, so any intervening write
-  /// invalidates cached streams without a registration mechanism.
-  uint64_t mutation_tick() const { return mutation_tick_; }
+  /// class image with the tick of the epoch cut its fill scanned and
+  /// serves from it only while the tick is unchanged, so any intervening
+  /// write invalidates cached streams without a registration mechanism.
+  uint64_t mutation_tick() const {
+    return mutation_tick_.load(std::memory_order_acquire);
+  }
 
   /// Transaction-id high-water mark. Restart recovery bumps it past every
   /// id found in the recovered WAL so new autocommit brackets never collide
@@ -221,6 +297,10 @@ class BaseTable {
   /// Copies the raw stored bytes at `addr` (redo/undo images).
   Result<std::string> RawBytes(Address addr);
 
+  /// WriteAnnotations body; requires mutate_mu_ held (mutators repairing
+  /// successors already hold it).
+  Status WriteAnnotationsLocked(Address addr, Address prev_addr, Timestamp ts);
+
   TableInfo* info_;
   AnnotationMode mode_;
   TimestampOracle* oracle_;
@@ -229,9 +309,14 @@ class BaseTable {
   std::vector<TableObserver*> observers_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
   AnnotationMaintenanceStats maintenance_stats_;
+  // Serializes all mutators (heap write, WAL bracket, index/observer
+  // updates form one atomic unit against other writers). Refresh scans do
+  // not take it — they read epochs; only the conditional fix-up does.
+  // Lock order: mutate_mu_ -> page latch -> LogManager::mu_.
+  mutable std::mutex mutate_mu_;
   TxnId next_txn_ = 1;
   TxnId active_txn_ = 0;  // open autocommit bracket (0 = none)
-  uint64_t mutation_tick_ = 0;
+  std::atomic<uint64_t> mutation_tick_{0};
 };
 
 /// Verifies the repaired-annotation invariant: every live row's $PREVADDR$

@@ -40,6 +40,7 @@ size_t DeltaCache::KeyBytes(const DeltaCacheKey& key) {
 
 bool DeltaCache::CanServe(const BaseTable& base,
                           const SnapshotDescriptor& desc) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = classes_.find(KeyFor(base, desc));
   return it != classes_.end() && it->second.valid_tick == base.mutation_tick();
 }
@@ -48,6 +49,7 @@ Status DeltaCache::ServeGroup(const BaseTable& base,
                               const RefreshExecution& exec,
                               std::vector<ServeTarget>* targets) {
   SNAPDIFF_FR_SCOPED_SPAN(fr_span, "delta_cache.serve");
+  std::lock_guard<std::mutex> lock(mu_);
 
   // Per-target replay state: the image cursor plus Figure 3's transmit
   // state (LastQual, Deletion flag).
@@ -127,8 +129,13 @@ Status DeltaCache::ServeGroup(const BaseTable& base,
 }
 
 void DeltaCache::CountMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
   metric_misses_->Inc();
+}
+
+DeltaCache::Filler::~Filler() {
+  if (cache_ != nullptr && pinned_) cache_->Unpin(key_);
 }
 
 void DeltaCache::Filler::Observe(Address addr, Timestamp ts, bool qualified,
@@ -166,13 +173,19 @@ void DeltaCache::Filler::Observe(Address addr, Timestamp ts, bool qualified,
 std::unique_ptr<DeltaCache::Filler> DeltaCache::BeginFill(
     const BaseTable& base, const SnapshotDescriptor& desc,
     Timestamp fixup_time) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Filler> f(new Filler());
   f->key_ = KeyFor(base, desc);
+  f->cache_ = this;
   f->upper_ = fixup_time;
   auto it = classes_.find(f->key_);
   if (it != classes_.end() && !it->second.epochs.empty()) {
     f->prior_ = &it->second.image;
     f->floor_ = it->second.epochs.back().upper;
+    // Pin the borrowed image: a concurrent fill of another table must not
+    // evict it while this scan reads reuse payloads from it.
+    ++it->second.fill_pins;
+    f->pinned_ = true;
   }
   return f;
 }
@@ -181,7 +194,12 @@ void DeltaCache::CommitFill(std::unique_ptr<Filler> filler,
                             uint64_t base_tick) {
   if (filler == nullptr) return;
   SNAPDIFF_FR_SCOPED_SPAN(fr_span, "delta_cache.fill");
+  std::lock_guard<std::mutex> lock(mu_);
   auto prior = classes_.find(filler->key_);
+  if (filler->pinned_ && prior != classes_.end()) {
+    --prior->second.fill_pins;
+  }
+  filler->pinned_ = false;
   if (filler->failed_) {
     ++stats_.aborted_fills;
     metric_aborted_fills_->Inc();
@@ -214,10 +232,15 @@ void DeltaCache::CommitFill(std::unique_ptr<Filler> filler,
 
 void DeltaCache::EvictOverBudget() {
   while (budget_ > 0 && total_bytes_ > budget_ && !classes_.empty()) {
-    auto victim = classes_.begin();
+    auto victim = classes_.end();
     for (auto it = classes_.begin(); it != classes_.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
+      if (it->second.fill_pins > 0) continue;  // image borrowed by a fill
+      if (victim == classes_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
     }
+    if (victim == classes_.end()) break;  // everything pinned; over budget
     ++stats_.evictions;
     metric_evictions_->Inc();
     SNAPDIFF_LOG(Debug) << "delta cache eviction"
@@ -235,12 +258,25 @@ void DeltaCache::RemoveClass(
   UpdateGauges();
 }
 
+void DeltaCache::Unpin(const DeltaCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(key);
+  if (it != classes_.end() && it->second.fill_pins > 0) {
+    --it->second.fill_pins;
+  }
+}
+
 void DeltaCache::UpdateGauges() {
   metric_bytes_->Set(static_cast<int64_t>(total_bytes_));
   metric_classes_->Set(static_cast<int64_t>(classes_.size()));
 }
 
 DeltaCache::StatsSnapshot DeltaCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
+DeltaCache::StatsSnapshot DeltaCache::StatsLocked() const {
   StatsSnapshot s = stats_;
   s.classes = classes_.size();
   s.bytes = total_bytes_;
@@ -250,7 +286,8 @@ DeltaCache::StatsSnapshot DeltaCache::Stats() const {
 }
 
 std::string DeltaCache::DebugString() const {
-  const StatsSnapshot s = Stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  const StatsSnapshot s = StatsLocked();
   std::string out = "delta cache: " + std::to_string(s.classes) +
                     " classes, " + std::to_string(s.bytes) + " bytes";
   if (budget_ > 0) {
@@ -277,6 +314,7 @@ std::string DeltaCache::DebugString() const {
 }
 
 void DeltaCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   classes_.clear();
   total_bytes_ = 0;
   UpdateGauges();

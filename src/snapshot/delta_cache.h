@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,8 +68,13 @@ struct DeltaCacheKey {
 /// classes fall back to rescan, metered ("snapshot.delta_cache.*" counters,
 /// flight-recorder spans around serve and fill).
 ///
-/// Thread safety: none. The cache is called by the refresh executors under
-/// the base table's exclusive refresh lock, single-threaded.
+/// Thread safety: public methods are serialized by an internal mutex, so
+/// refreshes of *different* tables (each under its own per-table admission
+/// token) may share one cache. A fill borrows the previous image across the
+/// whole scan; the class is pinned against eviction until the filler
+/// commits or dies. Refreshes of the *same* table remain externally
+/// serialized (SnapshotSystem's per-table admission), so a borrowed image
+/// is never replaced mid-fill.
 class DeltaCache {
  public:
   /// `byte_budget` caps the summed image bytes (0 = unbounded).
@@ -139,6 +145,10 @@ class DeltaCache {
   /// them).
   class Filler {
    public:
+    /// Unpins the class if the fill was abandoned without CommitFill (an
+    /// error path, or an epoch fill judged inexact and dropped).
+    ~Filler();
+
     /// Rows whose post-fixup timestamp is <= this (and whose stored
     /// annotations were intact, so no repair fired) are value-unchanged
     /// since the previous image and may be observed with `unchanged=true`,
@@ -158,6 +168,8 @@ class DeltaCache {
     Filler() = default;
 
     DeltaCacheKey key_;
+    DeltaCache* cache_ = nullptr;       // for the abandon-unpin path
+    bool pinned_ = false;               // prior class pinned against eviction
     Timestamp floor_ = kNullTimestamp;  // previous image's epoch upper bound
     Timestamp upper_ = kNullTimestamp;  // this scan's FixupTime
     const Image* prior_ = nullptr;      // previous image, borrowed; may be 0
@@ -202,6 +214,7 @@ class DeltaCache {
     uint64_t valid_tick = 0;
     size_t bytes = 0;
     uint64_t last_used = 0;
+    uint64_t fill_pins = 0;  // open fills borrowing this image; not evictable
   };
 
   // Accounting constants: map-node + RowState bookkeeping per row, string
@@ -213,7 +226,11 @@ class DeltaCache {
   void EvictOverBudget();
   void RemoveClass(std::map<DeltaCacheKey, ClassEntry>::iterator it);
   void UpdateGauges();
+  /// Releases an abandoned filler's eviction pin (~Filler).
+  void Unpin(const DeltaCacheKey& key);
+  StatsSnapshot StatsLocked() const;
 
+  mutable std::mutex mu_;
   size_t budget_;
   uint64_t use_clock_ = 0;
   size_t total_bytes_ = 0;

@@ -31,11 +31,28 @@ struct MemberState {
 /// A buffered annotation repair. Repairs are applied after the scan so the
 /// scan iterator never observes its own writes. (R* interleaves them; the
 /// observable result is identical because the scan reads each entry once.)
+/// On the epoch path, `expect_prev`/`expect_ts` carry the annotations the
+/// scan observed at the cut: the repair applies only while they still hold
+/// on the live row (WriteAnnotationsIf), so a concurrent writer's change is
+/// never clobbered and a skipped repair is re-derived by the next refresh.
 struct PendingWrite {
   Address addr;
   Address prev;
   Timestamp ts;
+  Address expect_prev;
+  Timestamp expect_ts;
+  /// Epoch path, NULL-timestamp rows only: the full stored image at the
+  /// cut. Annotations alone cannot identify such a row (a post-cut
+  /// reinsert or update reproduces them), so the conditional repair also
+  /// demands byte identity. Empty otherwise — no copy on the common path.
+  std::string expect_bytes;
 };
+
+/// Whether a repair of a row whose scan-time annotations were
+/// (stored_prev, stored_ts) needs the byte-identity guard.
+inline bool RepairNeedsImage(Timestamp stored_ts) {
+  return stored_ts == kNullTimestamp;
+}
 
 /// Figure 7 chain state, shared across the whole table scan. This is the
 /// state that makes the transmit scan inherently sequential: every row's
@@ -227,6 +244,10 @@ struct ExtractedRow {
   uint64_t has_payload = 0;   // bit i: payloads[i] was pre-serialized
   uint64_t fill_payload = 0;  // bit i: payloads[i] serialized for a fill
   std::vector<std::string> payloads;  // indexed by member; sized lazily
+  /// Epoch path: stored image of NULL-timestamp rows (the only rows whose
+  /// repair needs the byte-identity guard — see PendingWrite). Rows with
+  /// intact annotations stay copy-free.
+  std::string raw;
 };
 
 /// A cache fill as the workers see it: which member represents the class
@@ -240,7 +261,7 @@ struct FillSpec {
 /// Scans one partition and extracts its rows. Runs on a pool worker; reads
 /// only shared-immutable state (`states` is const here — transmit state is
 /// owned by the merge pass) and writes only `*out` and its own counter.
-Status ExtractPartition(BaseTable* base,
+Status ExtractPartition(BaseTable* base, const TableEpoch* epoch,
                         const std::vector<MemberState>& states,
                         const std::vector<FillSpec>& fill_specs,
                         const BaseTable::ScanPartition& part,
@@ -254,12 +275,14 @@ Status ExtractPartition(BaseTable* base,
   Address expect_prev = Address::Origin();
   std::vector<Tri> deletion(states.size(), Tri::kUnknown);
 
-  return base->ScanAnnotatedRange(
-      part, [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
+  auto visit = [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
         ExtractedRow er;
         er.addr = addr;
         er.stored_prev = row.prev_addr;
         er.stored_ts = row.timestamp;
+        if (epoch != nullptr && RepairNeedsImage(row.timestamp)) {
+          er.raw = std::string(row.raw);
+        }
         const bool annotations_intact =
             !row.prev_addr.IsNull() && row.timestamp != kNullTimestamp;
 
@@ -338,7 +361,11 @@ Status ExtractPartition(BaseTable* base,
         rows_counter->Inc();
         out->push_back(std::move(er));
         return Status::OK();
-      });
+  };
+  if (epoch != nullptr) {
+    return base->ScanAnnotatedRangeAtEpoch(*epoch, part, visit);
+  }
+  return base->ScanAnnotatedRange(part, visit);
 }
 
 /// Feeds one fixed-up row into every pending cache fill. `payload_of(rep)`
@@ -487,11 +514,14 @@ Status ExecuteGroupDifferentialRefresh(
   FixupState fx{fixup_time, Address::Origin(), Address::Origin()};
   std::vector<PendingWrite> repairs;
 
+  const TableEpoch* epoch = exec.epoch.get();
   const size_t max_parallel =
       std::min<size_t>(exec.max_parallel_members, kMemberBitmapWidth);
   std::vector<BaseTable::ScanPartition> partitions;
   if (exec.workers > 1 && states.size() <= max_parallel) {
-    partitions = base->Partition(exec.workers);
+    partitions = epoch != nullptr
+                     ? base->PartitionEpoch(*epoch, exec.workers)
+                     : base->Partition(exec.workers);
   }
 
   if (partitions.size() > 1) {
@@ -512,13 +542,13 @@ Status ExecuteGroupDifferentialRefresh(
       // the worker's own track.
       const uint64_t submitted_ticks = SNAPDIFF_FR_NOW();
       pending.push_back(exec.pool->Submit(
-          [base, &states, &fill_specs, part = partitions[p], rows_counter,
-           run = &runs[p], submitted_ticks]() -> Status {
+          [base, epoch, &states, &fill_specs, part = partitions[p],
+           rows_counter, run = &runs[p], submitted_ticks]() -> Status {
             SNAPDIFF_FR_INSTANT("thread_pool.task.queue_ticks",
                                 SNAPDIFF_FR_NOW() - submitted_ticks);
             SNAPDIFF_FR_SCOPED_SPAN(fr_span, "refresh.extract_partition");
             (void)submitted_ticks;
-            return ExtractPartition(base, states, fill_specs, part,
+            return ExtractPartition(base, epoch, states, fill_specs, part,
                                     rows_counter, run);
           }));
     }
@@ -542,7 +572,10 @@ Status ExecuteGroupDifferentialRefresh(
       for (ExtractedRow& er : run) {
         const FixupResult fix =
             FixupRow(&fx, er.addr, er.stored_prev, er.stored_ts);
-        if (fix.write_needed) repairs.push_back({er.addr, fix.prev, fix.ts});
+        if (fix.write_needed) {
+          repairs.push_back({er.addr, fix.prev, fix.ts, er.stored_prev,
+                             er.stored_ts, std::move(er.raw)});
+        }
         // Fills first: ProcessRow may move the payload the fill copies.
         RETURN_IF_ERROR(ObserveFills(
             &fills, fix, er.addr, er.stored_prev, er.stored_ts,
@@ -584,11 +617,17 @@ Status ExecuteGroupDifferentialRefresh(
   } else {
     // --- Sequential path: the paper's single combined scan. ---
     obs::Tracer::Span scan_span(tracer, "scan+transmit");
-    Status scan_status = base->ScanAnnotated(
+    auto visit_row =
         [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
           const FixupResult fix =
               FixupRow(&fx, addr, row.prev_addr, row.timestamp);
-          if (fix.write_needed) repairs.push_back({addr, fix.prev, fix.ts});
+          if (fix.write_needed) {
+            repairs.push_back(
+                {addr, fix.prev, fix.ts, row.prev_addr, row.timestamp,
+                 epoch != nullptr && RepairNeedsImage(row.timestamp)
+                     ? std::string(row.raw)
+                     : std::string()});
+          }
           if (!fills.empty()) {
             // The fill needs each class representative's verdict even for
             // rows the transmit rule skips; re-evaluating here keeps the
@@ -625,7 +664,10 @@ Status ExecuteGroupDifferentialRefresh(
                     state.projection_indices, &payload));
                 return payload;
               });
-        });
+        };
+    Status scan_status = epoch != nullptr
+                             ? base->ScanAnnotatedAtEpoch(*epoch, visit_row)
+                             : base->ScanAnnotated(visit_row);
     RETURN_IF_ERROR(scan_status);
     RETURN_IF_ERROR(shared_sender.Flush());
     for (const std::unique_ptr<BatchingSender>& s : owned_senders) {
@@ -639,18 +681,50 @@ Status ExecuteGroupDifferentialRefresh(
   }
 
   obs::Tracer::Span fixup_span(tracer, "fixup-writes");
+  uint64_t applied_repairs = 0;
+  uint64_t skipped_repairs = 0;
   for (const PendingWrite& w : repairs) {
-    RETURN_IF_ERROR(base->WriteAnnotations(w.addr, w.prev, w.ts));
-    for (MemberState& state : states) ++state.member.stats->base_writes;
+    if (epoch != nullptr) {
+      // Conditional: the repair holds only while the live row still carries
+      // the annotations this scan observed at the cut. A writer that has
+      // since touched the row wins; the dropped repair is re-derived by the
+      // next refresh (the writer NULLed the stamp or repaired the chain).
+      bool applied = false;
+      RETURN_IF_ERROR(base->WriteAnnotationsIf(w.addr, w.expect_prev,
+                                               w.expect_ts, w.expect_bytes,
+                                               w.prev, w.ts, &applied));
+      if (applied) {
+        ++applied_repairs;
+        for (MemberState& state : states) ++state.member.stats->base_writes;
+      } else {
+        ++skipped_repairs;
+        for (MemberState& state : states) {
+          ++state.member.stats->fixups_skipped;
+        }
+      }
+    } else {
+      RETURN_IF_ERROR(base->WriteAnnotations(w.addr, w.prev, w.ts));
+      for (MemberState& state : states) ++state.member.stats->base_writes;
+    }
   }
   fixup_span.Close();
 
   // Commit the cache fills only now: the images must be stamped with the
   // mutation tick as of *after* the fix-up repairs, the state a future
-  // unchanged-base rescan would observe.
+  // unchanged-base rescan would observe. On the epoch path the image is
+  // only exact when no concurrent writer interleaved — every repair landed
+  // and the tick advanced by exactly the repairs we applied; otherwise the
+  // fill is dropped (the next refresh re-fills from its own scan).
   if (cache != nullptr) {
+    const uint64_t commit_tick = base->mutation_tick();
+    const bool image_exact =
+        epoch == nullptr ||
+        (skipped_repairs == 0 &&
+         commit_tick == epoch->cut_tick + applied_repairs);
     for (FillTarget& f : fills) {
-      cache->CommitFill(std::move(f.filler), base->mutation_tick());
+      if (image_exact) {
+        cache->CommitFill(std::move(f.filler), commit_tick);
+      }
     }
   }
 

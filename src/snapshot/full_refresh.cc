@@ -1,5 +1,8 @@
 #include "snapshot/full_refresh.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "expr/range_analysis.h"
 #include "snapshot/secondary_index.h"
 
@@ -53,7 +56,7 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
   SecondaryIndex* index =
       range.has_value() ? base->FindSecondaryIndex(range->column) : nullptr;
 
-  if (index != nullptr) {
+  if (index != nullptr && exec.epoch == nullptr) {
     obs::Tracer::Span span(tracer, "index-select+transmit");
     ASSIGN_OR_RETURN(std::vector<Address> addresses,
                      index->SelectRange(*range));
@@ -76,18 +79,103 @@ Status ExecuteFullRefresh(BaseTable* base, SnapshotDescriptor* desc,
                                   &sender, exec));
     }
     RETURN_IF_ERROR(sender.Flush());
+  } else if (index != nullptr) {
+    // Epoch-aware index path. The live index may already reflect post-cut
+    // writes, so candidates are buffered through epoch point reads and the
+    // result only trusted when the mutation tick proves nothing interleaved
+    // between the cut and the index read; otherwise the rows are rebuilt
+    // from the epoch scan and re-sorted into index order (order-preserving
+    // key, then address), so the stream matches a quiesced index select
+    // byte for byte either way.
+    obs::Tracer::Span span(tracer, "index-select+transmit");
+    const TableEpoch& epoch = *exec.epoch;
+    ASSIGN_OR_RETURN(std::vector<Address> addresses,
+                     index->SelectRange(*range));
+    span.Note("candidates", addresses.size());
+    std::vector<std::pair<Address, std::string>> rows;
+    rows.reserve(addresses.size());
+    bool exact = true;
+    for (Address addr : addresses) {
+      ++stats->base_reads;
+      ASSIGN_OR_RETURN(std::optional<std::string> bytes, epoch.Read(addr));
+      if (!bytes.has_value()) {
+        // The index lists a row the cut never saw (post-cut insert).
+        exact = false;
+        break;
+      }
+      ASSIGN_OR_RETURN(BaseTable::AnnotatedView row,
+                       base->SplitStoredView(*bytes));
+      if (!range->exact) {
+        ASSIGN_OR_RETURN(bool qualified,
+                         EvaluatePredicate(*desc->restriction, row.user,
+                                           base->user_schema()));
+        if (!qualified) continue;
+      }
+      std::string payload;
+      RETURN_IF_ERROR(
+          row.user.AppendProjectionTo(projection_indices, &payload));
+      rows.emplace_back(addr, std::move(payload));
+    }
+    // Post-cut deletes silently drop index entries the cut's stream must
+    // still carry, so any tick movement at all voids the candidate list.
+    if (exact && base->mutation_tick() != epoch.cut_tick) exact = false;
+    if (!exact) {
+      rows.clear();
+      ASSIGN_OR_RETURN(size_t col_idx,
+                       base->user_schema().IndexOf(range->column));
+      // (order-preserving key, raw address, payload) — the index's own sort.
+      std::vector<std::tuple<std::string, uint64_t, std::string>> sorted;
+      RETURN_IF_ERROR(base->ScanAnnotatedAtEpoch(
+          epoch,
+          [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
+            ++stats->entries_scanned;
+            ASSIGN_OR_RETURN(bool qualified,
+                             EvaluatePredicate(*desc->restriction, row.user,
+                                               base->user_schema()));
+            if (!qualified) return Status::OK();
+            ASSIGN_OR_RETURN(Value v, row.user.Field(col_idx));
+            if (v.is_null()) return Status::OK();  // never indexed
+            ASSIGN_OR_RETURN(std::string key, OrderPreservingKey(v));
+            std::string payload;
+            RETURN_IF_ERROR(
+                row.user.AppendProjectionTo(projection_indices, &payload));
+            sorted.emplace_back(std::move(key), addr.raw(),
+                                std::move(payload));
+            return Status::OK();
+          }));
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) {
+                  if (std::get<0>(a) != std::get<0>(b)) {
+                    return std::get<0>(a) < std::get<0>(b);
+                  }
+                  return std::get<1>(a) < std::get<1>(b);
+                });
+      for (auto& [key, raw, payload] : sorted) {
+        rows.emplace_back(Address::FromRaw(raw), std::move(payload));
+      }
+    }
+    for (auto& [addr, payload] : rows) {
+      RETURN_IF_ERROR(
+          sender.Send(MakeUpsert(desc->id, addr, std::move(payload))));
+    }
+    RETURN_IF_ERROR(sender.Flush());
   } else {
     obs::Tracer::Span span(tracer, "scan+transmit");
-    RETURN_IF_ERROR(base->ScanAnnotated(
+    auto visit =
         [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
-          ++stats->entries_scanned;
-          ASSIGN_OR_RETURN(bool qualified,
-                           EvaluatePredicate(*desc->restriction, row.user,
-                                             base->user_schema()));
-          if (!qualified) return Status::OK();
-          return TransmitRow(desc, projection_indices, addr, row.user,
-                             &sender, exec);
-        }));
+      ++stats->entries_scanned;
+      ASSIGN_OR_RETURN(bool qualified,
+                       EvaluatePredicate(*desc->restriction, row.user,
+                                         base->user_schema()));
+      if (!qualified) return Status::OK();
+      return TransmitRow(desc, projection_indices, addr, row.user, &sender,
+                         exec);
+    };
+    Status scan_status =
+        exec.epoch != nullptr
+            ? base->ScanAnnotatedAtEpoch(*exec.epoch, visit)
+            : base->ScanAnnotated(visit);
+    RETURN_IF_ERROR(scan_status);
     RETURN_IF_ERROR(sender.Flush());
   }
 

@@ -19,22 +19,25 @@ Status ExecuteIdealRefresh(BaseTable* base, SnapshotDescriptor* desc,
                           ? static_cast<MessageSink*>(exec.session)
                           : channel;
 
-  // Current qualified projection.
+  // Current qualified projection (as of the epoch's cut when one is set).
   obs::Tracer::Span scan_span(tracer, "scan");
   std::map<Address, std::string> current;
-  RETURN_IF_ERROR(base->ScanAnnotated(
+  auto visit =
       [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {
-        ++stats->entries_scanned;
-        ASSIGN_OR_RETURN(bool qualified,
-                         EvaluatePredicate(*desc->restriction, row.user,
-                                           base->user_schema()));
-        if (!qualified) return Status::OK();
-        std::string payload;
-        RETURN_IF_ERROR(
-            row.user.AppendProjectionTo(projection_indices, &payload));
-        current.emplace(addr, std::move(payload));
-        return Status::OK();
-      }));
+    ++stats->entries_scanned;
+    ASSIGN_OR_RETURN(bool qualified,
+                     EvaluatePredicate(*desc->restriction, row.user,
+                                       base->user_schema()));
+    if (!qualified) return Status::OK();
+    std::string payload;
+    RETURN_IF_ERROR(
+        row.user.AppendProjectionTo(projection_indices, &payload));
+    current.emplace(addr, std::move(payload));
+    return Status::OK();
+  };
+  RETURN_IF_ERROR(exec.epoch != nullptr
+                      ? base->ScanAnnotatedAtEpoch(*exec.epoch, visit)
+                      : base->ScanAnnotated(visit));
 
   scan_span.Note("qualified", current.size());
   scan_span.Close();

@@ -20,10 +20,16 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
                           ? static_cast<MessageSink*>(exec.session)
                           : channel;
 
+  // With a scan epoch, the cull (and the staged log-position advance) stop
+  // at the cut's LSN: writers committing past the cut are invisible to this
+  // refresh and picked up by the next one.
+  const Lsn cut_lsn =
+      exec.epoch != nullptr ? exec.epoch->cut_lsn : kInvalidLsn;
+
   obs::Tracer::Span cull_span(tracer, "cull");
   CullStats cull;
   auto changes = base->wal()->CollectCommittedChanges(
-      base->info()->id, desc->last_refresh_lsn, &cull);
+      base->info()->id, desc->last_refresh_lsn, &cull, cut_lsn);
   stats->log_records_culled += cull.records_scanned;
   cull_span.Note("records_scanned", cull.records_scanned);
   cull_span.Note("relevant", cull.relevant_records);
@@ -38,7 +44,8 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
                        << obs::kv("last_refresh_lsn", desc->last_refresh_lsn);
     RETURN_IF_ERROR(ExecuteFullRefresh(base, desc, channel, stats, tracer,
                                        exec));
-    desc->pending_refresh_lsn = base->wal()->LastLsn();
+    desc->pending_refresh_lsn =
+        cut_lsn != kInvalidLsn ? cut_lsn : base->wal()->LastLsn();
     return Status::OK();
   }
 
@@ -77,7 +84,8 @@ Status ExecuteLogBasedRefresh(BaseTable* base, SnapshotDescriptor* desc,
   // Stage the log-position advance; the caller commits it only once the
   // snapshot site confirms the refresh applied, so a lost message leaves
   // the refresh resumable from the same point.
-  desc->pending_refresh_lsn = base->wal()->LastLsn();
+  desc->pending_refresh_lsn =
+      cut_lsn != kInvalidLsn ? cut_lsn : base->wal()->LastLsn();
   return Status::OK();
 }
 

@@ -2,7 +2,9 @@
 #define SNAPDIFF_SNAPSHOT_REFRESH_TYPES_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,7 +17,8 @@
 namespace snapdiff {
 
 class ThreadPool;
-class DeltaCache;  // snapshot/delta_cache.h
+class DeltaCache;   // snapshot/delta_cache.h
+class TableEpoch;   // storage/table_heap.h
 
 /// Execution knobs shared by the refresh executors. The defaults reproduce
 /// the paper's single-threaded, unbatched pipeline exactly; turning either
@@ -48,6 +51,13 @@ struct RefreshExecution {
   /// base reads) and filled as a side effect of every scan that does run.
   /// See snapshot/delta_cache.h. Null disables caching entirely.
   DeltaCache* delta_cache = nullptr;
+  /// Non-null: the copy-on-write scan epoch this refresh reads. The scan
+  /// visits exactly the rows live at the epoch's cut (writers proceed
+  /// concurrently, cloning touched pages into the epoch), and fix-ups go
+  /// through BaseTable::WriteAnnotationsIf so repairs race-condition-free
+  /// skip rows a writer has since touched. Null: scan the live heap
+  /// directly (legacy quiesced path; identical when no writers run).
+  std::shared_ptr<TableEpoch> epoch;
 };
 
 /// True when the next message an executor sends is certain to be
@@ -145,6 +155,7 @@ struct RefreshStats {
   uint64_t fixups_inserted = 0;  // entries repaired as "inserted"
   uint64_t fixups_updated = 0;   // entries repaired as "updated"
   uint64_t fixups_deleted = 0;   // PrevAddr anomalies (deletion detected)
+  uint64_t fixups_skipped = 0;   // epoch fix-ups dropped (writer won the row)
   uint64_t log_records_culled = 0;  // kLogBased: records scanned in the WAL
   bool fell_back_to_full = false;   // kLogBased after log truncation
   uint64_t anchor_messages = 0;     // payload-free ENTRY messages sent
@@ -201,6 +212,12 @@ struct RefreshRequest {
   /// transmission attempt and healed when the call returns — a scripted
   /// per-request fault window.
   std::optional<FaultPlan> fault;
+
+  /// Test hook: invoked once, immediately after the refresh's scan epoch is
+  /// opened (the cut is fixed) and before the first base page is read. The
+  /// concurrency property tests use it to unleash writer threads whose
+  /// mutations must then be invisible to this refresh's stream.
+  std::function<void()> on_epoch_open;
 };
 
 /// What one refresh call did: the per-refresh meters plus the session's

@@ -34,11 +34,13 @@ void SecondaryIndex::Remove(Address addr, const Value& v) {
 }
 
 void SecondaryIndex::OnInsert(Address addr, const Tuple& after) {
+  std::lock_guard<std::mutex> lock(mu_);
   Add(addr, after.value(column_index_));
 }
 
 void SecondaryIndex::OnUpdate(Address addr, const Tuple& before,
                               const Tuple& after) {
+  std::lock_guard<std::mutex> lock(mu_);
   const Value& old_v = before.value(column_index_);
   const Value& new_v = after.value(column_index_);
   if (old_v.Equals(new_v)) return;
@@ -47,6 +49,7 @@ void SecondaryIndex::OnUpdate(Address addr, const Tuple& before,
 }
 
 void SecondaryIndex::OnDelete(Address addr, const Tuple& before) {
+  std::lock_guard<std::mutex> lock(mu_);
   Remove(addr, before.value(column_index_));
 }
 
@@ -54,6 +57,7 @@ Result<std::vector<Address>> SecondaryIndex::SelectEquals(
     const Value& v) const {
   if (v.is_null()) return std::vector<Address>{};
   ASSIGN_OR_RETURN(std::string key, OrderPreservingKey(v));
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Address> out;
   for (auto it = tree_.LowerBound({key, 0}); it.Valid(); it.Next()) {
     if (it.key().first != key) break;
@@ -68,6 +72,7 @@ Result<std::vector<Address>> SecondaryIndex::SelectRange(
     return Status::InvalidArgument("range is over column " + range.column +
                                    ", index is over " + column_);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   // Lower starting point.
   BPlusTree<std::pair<std::string, uint64_t>, bool, 32>::Iterator it =
       tree_.Begin();
@@ -97,6 +102,7 @@ Result<std::vector<Address>> SecondaryIndex::SelectRange(
 }
 
 Status SecondaryIndex::CheckConsistency(BaseTable* table) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t expected = 0;
   Status scan = table->ScanAnnotated(
       [&](Address addr, const BaseTable::AnnotatedView& row) -> Status {

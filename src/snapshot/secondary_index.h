@@ -2,6 +2,7 @@
 #define SNAPDIFF_SNAPSHOT_SECONDARY_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,11 @@ namespace snapdiff {
 /// B+-tree range scan retrieves exactly the addresses a ColumnRange
 /// selects, in value order — "an efficient method for applying the
 /// snapshot restriction". NULL column values are not indexed.
+///
+/// Thread safety: maintenance and lookups are serialized by an internal
+/// latch, so a lock-free refresh may SelectRange while writer threads keep
+/// mutating the table (the refresh then reconciles the live index against
+/// its epoch cut; see full_refresh.cc).
 class SecondaryIndex : public TableObserver {
  public:
   /// Builds the index over `table`'s current rows. The caller (BaseTable)
@@ -26,7 +32,10 @@ class SecondaryIndex : public TableObserver {
       BaseTable* table, const std::string& column);
 
   const std::string& column() const { return column_; }
-  size_t size() const { return tree_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_.size();
+  }
 
   /// Addresses of rows whose column equals `v`, in address order.
   Result<std::vector<Address>> SelectEquals(const Value& v) const;
@@ -49,11 +58,14 @@ class SecondaryIndex : public TableObserver {
   SecondaryIndex(std::string column, size_t column_index)
       : column_(std::move(column)), column_index_(column_index) {}
 
+  /// Unlatched primitives; callers hold mu_ (or own the index exclusively,
+  /// as Build does before publication).
   void Add(Address addr, const Value& v);
   void Remove(Address addr, const Value& v);
 
   std::string column_;
   size_t column_index_;
+  mutable std::mutex mu_;
   /// (encoded value, address raw) → unused. Encoded-first ordering makes
   /// value ranges contiguous; the address disambiguates duplicates.
   BPlusTree<std::pair<std::string, uint64_t>, bool, 32> tree_;

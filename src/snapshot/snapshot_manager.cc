@@ -71,6 +71,7 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
   metric_refresh_duration_ = reg.GetHistogram(
       "snapshot.refresh.duration_us", obs::DefaultLatencyBucketsUs());
   metric_snapshot_count_ = reg.GetGauge("snapshot.count");
+  metric_refreshes_concurrent_ = reg.GetGauge("snapshot.refreshes_concurrent");
   if (options_.delta_cache_enabled) {
     delta_cache_ = std::make_unique<DeltaCache>(options_.delta_cache_bytes);
   }
@@ -143,6 +144,47 @@ RefreshExecution SnapshotSystem::MakeRefreshExecution(
 
 RefreshExecution SnapshotSystem::MakeRefreshExecution() {
   return MakeRefreshExecution(RefreshRequest{}, nullptr);
+}
+
+SnapshotSystem::AdmissionGuard::~AdmissionGuard() {
+  if (sys_ != nullptr && !tables_.empty()) sys_->ReleaseAdmission(tables_);
+}
+
+SnapshotSystem::AdmissionGuard SnapshotSystem::AdmitRefresh(
+    std::vector<TableId> tables) {
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  // All-or-nothing admission over the sorted set: a joint wait cannot
+  // deadlock against another admission because no waiter holds any table
+  // while waiting.
+  admission_cv_.wait(lock, [&] {
+    for (TableId t : tables) {
+      if (admitted_tables_.contains(t)) return false;
+    }
+    return true;
+  });
+  admitted_tables_.insert(tables.begin(), tables.end());
+  ++admitted_refreshes_;
+  uint64_t hw = admission_high_water_.load(std::memory_order_relaxed);
+  while (admitted_refreshes_ > hw &&
+         !admission_high_water_.compare_exchange_weak(
+             hw, admitted_refreshes_, std::memory_order_acq_rel)) {
+  }
+  metric_refreshes_concurrent_->Set(
+      static_cast<int64_t>(admitted_refreshes_));
+  return AdmissionGuard(this, std::move(tables));
+}
+
+void SnapshotSystem::ReleaseAdmission(const std::vector<TableId>& tables) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    for (TableId t : tables) admitted_tables_.erase(t);
+    --admitted_refreshes_;
+    metric_refreshes_concurrent_->Set(
+        static_cast<int64_t>(admitted_refreshes_));
+  }
+  admission_cv_.notify_all();
 }
 
 Status SnapshotSystem::RestoreBaseSite() {
@@ -633,14 +675,11 @@ Status SnapshotSystem::DrainChannel() {
   return Status::OK();
 }
 
-Status SnapshotSystem::RunRefreshAttempt(SnapshotEntry* entry,
-                                         RefreshMethod method,
-                                         Timestamp request_time,
-                                         const RefreshRequest& request,
-                                         RefreshSession* session,
-                                         MessageSink* wire,
-                                         obs::Tracer* tracer,
-                                         RefreshStats* stats) {
+Status SnapshotSystem::RunRefreshAttempt(
+    SnapshotEntry* entry, RefreshMethod method, Timestamp request_time,
+    const RefreshRequest& request, RefreshSession* session, MessageSink* wire,
+    obs::Tracer* tracer, RefreshStats* stats,
+    const std::shared_ptr<TableEpoch>& epoch) {
   SnapshotDescriptor* desc = &entry->descriptor;
   BaseTable* base = entry->source;
   MessageSink* channel = wire;
@@ -648,7 +687,8 @@ Status SnapshotSystem::RunRefreshAttempt(SnapshotEntry* entry,
     // General (join) snapshot: always a session-less full re-evaluation.
     return ExecuteJoinFullRefresh(entry->join.get(), channel, stats, tracer);
   }
-  const RefreshExecution exec = MakeRefreshExecution(request, session);
+  RefreshExecution exec = MakeRefreshExecution(request, session);
+  exec.epoch = epoch;
   switch (method) {
     case RefreshMethod::kFull: {
       RETURN_IF_ERROR(
@@ -674,9 +714,14 @@ Status SnapshotSystem::RunRefreshAttempt(SnapshotEntry* entry,
       // identical (the request echoes entry->table->snap_time()).
       if (request_time == kNullTimestamp) {
         // First refresh initializes the replica with a full copy; changes
-        // made before the snapshot existed were never streamed. Anything
-        // the propagator buffered is subsumed by the copy.
-        if (entry->asap != nullptr) entry->asap->DiscardBuffered();
+        // made before the snapshot existed were never streamed. Without an
+        // epoch the copy reads the live table, so anything the propagator
+        // buffered is subsumed by it. With an epoch, buffered changes may
+        // postdate the cut — the caller paused propagation and flushes
+        // them after the copy instead (idempotent for the pre-cut ones).
+        if (entry->asap != nullptr && epoch == nullptr) {
+          entry->asap->DiscardBuffered();
+        }
         return ExecuteFullRefresh(base, desc, channel, stats, tracer, exec);
       }
       // Thereafter changes are already streamed; flush any partition
@@ -768,28 +813,54 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
   ASSIGN_OR_RETURN(Message demand, request_channel_.Receive());
   request_span.Close();
 
-  // "we must obtain a table level lock on the base table during the fix up
-  // (and refresh) procedures". Differential writes annotations → exclusive.
-  // Held across every attempt of this call: retries re-transmit the same
-  // frozen base state, which is what makes resume-by-sequence sound.
+  // The paper obtains "a table level lock on the base table during the fix
+  // up (and refresh) procedures"; this implementation deviates: the refresh
+  // reads a copy-on-write scan epoch under a *shared* lock, so writers run
+  // concurrently and fix-ups go through the conditional WriteAnnotationsIf.
+  // Per-table admission serializes against other refreshes of the same
+  // table (which would race on fix-ups and staged outcomes). The epoch is
+  // held across every attempt of this call: retries re-transmit the same
+  // frozen cut, which is what makes resume-by-sequence sound even while
+  // the live table keeps changing.
   const TxnId txn = refresh_txn_++;
   struct LockScope {
     LockManager* locks;
     TxnId txn;
     ~LockScope() { locks->ReleaseAll(txn); }
   } lock_scope{&locks_, txn};
+  AdmissionGuard admission;
+  std::shared_ptr<TableEpoch> epoch;
   if (entry->join != nullptr) {
     JoinDescriptor* join = entry->join.get();
+    admission = AdmitRefresh(
+        {join->left->info()->id, join->right->info()->id});
     RETURN_IF_ERROR(
         locks_.Acquire(txn, join->left->info()->id, LockMode::kShared));
     RETURN_IF_ERROR(
         locks_.Acquire(txn, join->right->info()->id, LockMode::kShared));
-  } else {
-    const LockMode lock_mode = method == RefreshMethod::kDifferential
-                                   ? LockMode::kExclusive
-                                   : LockMode::kShared;
+  }
+  // ASAP delivery order vs. the cut: changes propagated after the epoch
+  // opens must not land at the site before the copy's (older) image of the
+  // same row. Pause propagation into the buffer across the stream and
+  // flush once the call ends; re-sent pre-cut changes are idempotent.
+  struct AsapPause {
+    AsapPropagator* asap = nullptr;
+    ~AsapPause() {
+      // A failed flush (still-partitioned channel) leaves the messages
+      // buffered for the next flush; nothing to do with the status here.
+      if (asap != nullptr) (void)asap->ResumeAndFlush();
+    }
+  } asap_pause;
+  if (entry->join == nullptr) {
+    if (method == RefreshMethod::kAsap && entry->asap != nullptr) {
+      entry->asap->PauseToBuffer();
+      asap_pause.asap = entry->asap.get();
+    }
+    admission = AdmitRefresh({entry->source->info()->id});
     RETURN_IF_ERROR(locks_.Acquire(txn, entry->source->info()->id,
-                                   lock_mode));
+                                   LockMode::kShared));
+    epoch = entry->source->OpenEpoch();
+    if (request.on_epoch_open) request.on_epoch_open();
   }
 
   RefreshStats stats;
@@ -806,7 +877,8 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
     RefreshSession* session_ptr = sessionless ? nullptr : &session;
     obs::Tracer::Span exec_span(&tracer_, execute_label);
     Status exec = RunRefreshAttempt(entry, method, demand.timestamp, request,
-                                    session_ptr, channel, &tracer_, &stats);
+                                    session_ptr, channel, &tracer_, &stats,
+                                    epoch);
     exec_span.Close();
     if (session_ptr != nullptr) {
       report.suppressed_messages += session.suppressed();
@@ -956,13 +1028,18 @@ void SnapshotSystem::EvictServeSessionsForSource(const BaseTable* source) {
 
 Result<SnapshotSystem::ServeOutcome> SnapshotSystem::ServeRefresh(
     const ServeRequest& request, MessageSink* wire) {
-  std::lock_guard<std::mutex> guard(serve_mu_);
-  auto by_id = snapshots_by_id_.find(request.snapshot_id);
-  if (by_id == snapshots_by_id_.end()) {
-    return Status::NotFound("no snapshot with wire id " +
-                            std::to_string(request.snapshot_id));
+  SnapshotEntry* entry = nullptr;
+  {
+    // Registry lookup only; execution is NOT under serve_mu_ anymore, so
+    // server threads refreshing different tables stream concurrently.
+    std::lock_guard<std::mutex> guard(serve_mu_);
+    auto by_id = snapshots_by_id_.find(request.snapshot_id);
+    if (by_id == snapshots_by_id_.end()) {
+      return Status::NotFound("no snapshot with wire id " +
+                              std::to_string(request.snapshot_id));
+    }
+    entry = by_id->second;
   }
-  SnapshotEntry* entry = by_id->second;
   SnapshotDescriptor* desc = &entry->descriptor;
 
   RefreshRequest exec_request;
@@ -976,6 +1053,8 @@ Result<SnapshotSystem::ServeOutcome> SnapshotSystem::ServeRefresh(
   if (entry->join != nullptr) {
     // Sessionless join serve: a full re-evaluation under shared locks held
     // only for the call — there is no resumable stream to keep frozen.
+    AdmissionGuard admission = AdmitRefresh(
+        {entry->join->left->info()->id, entry->join->right->info()->id});
     const TxnId txn = refresh_txn_++;
     Status locked = locks_.Acquire(txn, entry->join->left->info()->id,
                                    LockMode::kShared);
@@ -991,86 +1070,99 @@ Result<SnapshotSystem::ServeOutcome> SnapshotSystem::ServeRefresh(
         RunRefreshAttempt(entry, RefreshMethod::kFull,
                           request.client_snap_time, exec_request,
                           /*session=*/nullptr, wire, /*tracer=*/nullptr,
-                          &stats);
+                          &stats, /*epoch=*/nullptr);
     locks_.ReleaseAll(txn);
     RETURN_IF_ERROR(exec);
     outcome.stats = std::move(stats);
     return outcome;
   }
 
+  // Admission is held only while this attempt streams — not until the ack.
+  // The session's epoch (not a table lock) is what keeps a later RESUME
+  // byte-identical, so other snapshots of this table refresh freely
+  // between a stream and its ack.
+  AdmissionGuard admission = AdmitRefresh({entry->source->info()->id});
+
   uint64_t session_id = 0;
   uint64_t resume_after = 0;
   RefreshMethod method = desc->method;
   Timestamp request_time = request.client_snap_time;
+  std::shared_ptr<TableEpoch> epoch;
 
-  auto live = request.resume_session_id != 0
-                  ? serve_sessions_.find(request.resume_session_id)
-                  : serve_sessions_.end();
-  if (live != serve_sessions_.end() &&
-      live->second.snapshot_id == desc->id) {
-    // RESUME of a live session: its lock is still held, the base is still
-    // frozen, so the deterministic re-run emits the byte-identical stream
-    // and suppress-by-sequence names exactly the applied prefix.
-    session_id = request.resume_session_id;
-    resume_after = request.resume_after_seq;
-    method = live->second.method;
-    request_time = live->second.request_time;
-    outcome.resumed = resume_after > 0;
-  } else {
-    // Fresh session; supersede any dangling session for this snapshot.
-    std::vector<uint64_t> stale;
-    for (const auto& [sid, session] : serve_sessions_) {
-      if (session.snapshot_id == desc->id) stale.push_back(sid);
-    }
-    for (uint64_t sid : stale) EvictServeSession(sid);
-
-    // Stale staged outcomes of an earlier unacknowledged serve must not
-    // survive into this one.
-    desc->pending_ideal_shadow.reset();
-    desc->pending_refresh_lsn.reset();
-
-    if (method == RefreshMethod::kAsap && request_time != kNullTimestamp) {
-      return Status::InvalidArgument(
-          "ASAP propagation is in-process only; a remote site receives the "
-          "initial full copy and must re-attach for a fresh copy");
-    }
-
-    const TxnId txn = refresh_txn_++;
-    const LockMode lock_mode = method == RefreshMethod::kDifferential
-                                   ? LockMode::kExclusive
-                                   : LockMode::kShared;
-    Status locked =
-        locks_.Acquire(txn, entry->source->info()->id, lock_mode);
-    if (!locked.ok()) {
-      // Likely a dangling served session of another snapshot over the same
-      // base table whose client never acknowledged. Steal the lock: evict
-      // them (their clients restart fresh when they resume) and retry once.
-      EvictServeSessionsForSource(entry->source);
-      locked = locks_.Acquire(txn, entry->source->info()->id, lock_mode);
-      if (!locked.ok()) {
-        locks_.ReleaseAll(txn);
-        return locked;
+  {
+    std::lock_guard<std::mutex> guard(serve_mu_);
+    auto live = request.resume_session_id != 0
+                    ? serve_sessions_.find(request.resume_session_id)
+                    : serve_sessions_.end();
+    if (live != serve_sessions_.end() &&
+        live->second.snapshot_id == desc->id) {
+      // RESUME of a live session: its scan epoch still pins the cut, so
+      // the deterministic re-run emits the byte-identical stream (writers
+      // mutated the live table freely in between) and suppress-by-sequence
+      // names exactly the applied prefix.
+      session_id = request.resume_session_id;
+      resume_after = request.resume_after_seq;
+      method = live->second.method;
+      request_time = live->second.request_time;
+      epoch = live->second.epoch;
+      outcome.resumed = resume_after > 0;
+    } else {
+      // Fresh session; supersede any dangling session for this snapshot.
+      std::vector<uint64_t> stale;
+      for (const auto& [sid, session] : serve_sessions_) {
+        if (session.snapshot_id == desc->id) stale.push_back(sid);
       }
+      for (uint64_t sid : stale) EvictServeSession(sid);
+
+      // Stale staged outcomes of an earlier unacknowledged serve must not
+      // survive into this one.
+      desc->pending_ideal_shadow.reset();
+      desc->pending_refresh_lsn.reset();
+
+      if (method == RefreshMethod::kAsap &&
+          request_time != kNullTimestamp) {
+        return Status::InvalidArgument(
+            "ASAP propagation is in-process only; a remote site receives "
+            "the initial full copy and must re-attach for a fresh copy");
+      }
+
+      const TxnId txn = refresh_txn_++;
+      Status locked = locks_.Acquire(txn, entry->source->info()->id,
+                                     LockMode::kShared);
+      if (!locked.ok()) {
+        // An exclusive holder (an admin operation, or a dangling legacy
+        // session). Steal: evict served sessions of this table (their
+        // clients restart fresh when they resume) and retry once.
+        EvictServeSessionsForSource(entry->source);
+        locked = locks_.Acquire(txn, entry->source->info()->id,
+                                LockMode::kShared);
+        if (!locked.ok()) {
+          locks_.ReleaseAll(txn);
+          return locked;
+        }
+      }
+      epoch = entry->source->OpenEpoch();
+      session_id = next_session_id_++;
+      serve_sessions_[session_id] =
+          ServeSession{desc->id, txn, method, request_time, epoch};
     }
-    session_id = next_session_id_++;
-    serve_sessions_[session_id] =
-        ServeSession{desc->id, txn, method, request_time};
   }
 
   RefreshSession session(wire, session_id, resume_after);
   Status exec = RunRefreshAttempt(entry, method, request_time, exec_request,
                                   &session, wire, /*tracer=*/nullptr,
-                                  &stats);
+                                  &stats, epoch);
   outcome.session_id = session_id;
   outcome.last_seq = session.last_seq();
   outcome.suppressed = session.suppressed();
   if (!exec.ok()) {
     if (!exec.IsUnavailable()) {
       // A real executor failure: this session cannot be resumed soundly.
+      std::lock_guard<std::mutex> guard(serve_mu_);
       EvictServeSession(session_id);
     }
     // Unavailable = the transport died mid-stream. The session (and its
-    // lock) stays live for the client's RESUME.
+    // epoch) stays live for the client's RESUME.
     return exec;
   }
   outcome.stats = std::move(stats);
@@ -1157,15 +1249,18 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
   request_span.Note("members", members.size());
   request_span.Close();
 
+  // Shared scan epoch in place of the old exclusive table lock: the group
+  // scan reads the cut while writers mutate the live table concurrently.
+  AdmissionGuard admission = AdmitRefresh({base->info()->id});
   const TxnId txn = refresh_txn_++;
-  RETURN_IF_ERROR(locks_.Acquire(txn, base->info()->id,
-                                 LockMode::kExclusive));
+  RETURN_IF_ERROR(locks_.Acquire(txn, base->info()->id, LockMode::kShared));
   Channel* channel = &group_site->channel;
   const ChannelStats before = channel->stats();
   obs::Tracer::Span exec_span(&tracer_, "execute group-differential");
+  RefreshExecution group_exec = MakeRefreshExecution();
+  group_exec.epoch = base->OpenEpoch();
   Status exec = ExecuteGroupDifferentialRefresh(base, &members, channel,
-                                                &tracer_,
-                                                MakeRefreshExecution());
+                                                &tracer_, group_exec);
   Status unlock = locks_.Release(txn, base->info()->id);
   RETURN_IF_ERROR(exec);
   RETURN_IF_ERROR(unlock);

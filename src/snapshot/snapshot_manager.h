@@ -1,6 +1,8 @@
 #ifndef SNAPDIFF_SNAPSHOT_SNAPSHOT_MANAGER_H_
 #define SNAPDIFF_SNAPSHOT_SNAPSHOT_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -167,10 +169,14 @@ class SnapshotSystem {
   /// transport instead of the in-process site link: one transmission
   /// attempt streamed into an arbitrary MessageSink (a SocketTransport, a
   /// recording sink, a plain Channel), with the apply half living at the
-  /// remote client. Serve calls serialize on serve_mutex(): connection I/O
-  /// is concurrent across sessions, refresh *execution* at the base is
-  /// serialized — the paper's table-level lock forces that for any one
-  /// table, and the LockManager is deliberately non-blocking.
+  /// remote client. Serve calls no longer serialize on one global mutex:
+  /// refresh execution admits *per base table* (two refreshes of different
+  /// tables stream concurrently; two of the same table queue, since they
+  /// would race on fix-up writes and delta-cache fills). Writers never wait
+  /// at all — each refresh reads a copy-on-write scan epoch
+  /// (BaseTable::OpenEpoch) under a shared table lock instead of holding
+  /// the exclusive one. serve_mutex() still guards the session and
+  /// snapshot registries themselves.
 
   /// What a remote client needs to attach to a snapshot.
   struct SnapshotWireInfo {
@@ -205,27 +211,40 @@ class SnapshotSystem {
   };
 
   /// One transmission attempt into `wire`. On success the session stays
-  /// live — its staged outcome uncommitted, its base-table lock held — until
+  /// live — its staged outcome uncommitted, its scan epoch pinned — until
   /// AcknowledgeServe (the client's SESSION_ACK) commits and releases, or a
   /// later serve supersedes it. On Unavailable (the transport died
   /// mid-stream) the session likewise stays live so the client can RESUME
-  /// against the same frozen base state — that is what makes
-  /// suppress-by-sequence sound over a real network.
+  /// against the same frozen epoch cut — that is what makes
+  /// suppress-by-sequence sound over a real network, and the epoch (not a
+  /// table lock) is what keeps the re-run byte-identical while writers
+  /// keep mutating the live table.
   Result<ServeOutcome> ServeRefresh(const ServeRequest& request,
                                     MessageSink* wire);
 
   /// Commits the staged outcome of a served session (ideal shadow, log
-  /// position) and releases its base-table lock. NotFound if the session
-  /// is no longer live (already superseded); that is harmless — the
-  /// superseding serve restaged from the uncommitted state.
+  /// position) and releases its scan epoch and shared lock. NotFound if
+  /// the session is no longer live (already superseded); that is harmless
+  /// — the superseding serve restaged from the uncommitted state.
   Status AcknowledgeServe(SnapshotId snapshot_id, uint64_t session_id);
 
-  /// Serializes serve-path execution. Exposed so an embedding process (the
-  /// shell's \serve) can mutate the system safely while a server thread
-  /// pool is serving from it. Local calls (Refresh, base-table writes) do
-  /// NOT take this mutex themselves — single-threaded embedders pay
-  /// nothing; concurrent embedders hold it around local mutations.
+  /// Guards the session and snapshot registries on the serve path. Exposed
+  /// so an embedding process (the shell's \serve) can mutate the system
+  /// safely while a server thread pool is serving from it. Local calls
+  /// (Refresh, base-table writes) do NOT take this mutex themselves —
+  /// single-threaded embedders pay nothing; concurrent embedders hold it
+  /// around local catalog/snapshot mutations. Refresh *execution* is no
+  /// longer under this mutex; it serializes per base table (see the serve
+  /// API comment above).
   std::mutex& serve_mutex() { return serve_mu_; }
+
+  /// High-water mark of concurrently executing refreshes (local + served)
+  /// since construction — the observable proof that per-table admission
+  /// actually overlaps refreshes of different tables. Also mirrored to the
+  /// "snapshot.refreshes_concurrent" gauge.
+  uint64_t refreshes_concurrent_high_water() const {
+    return admission_high_water_.load(std::memory_order_acquire);
+  }
 
   /// Refreshes several *differential* snapshots of the same base table in
   /// one combined scan, amortizing the sequential read and the fix-up
@@ -374,11 +393,15 @@ class SnapshotSystem {
   /// for in-process refreshes, the socket transport for served ones).
   /// `tracer` may be null (serve path). Per-method state advances (ideal
   /// shadow, log LSN) are staged on the descriptor, not committed.
+  /// `epoch` (may be null for joins/ASAP-flush) is the copy-on-write cut
+  /// the executors scan; the same epoch across attempts is what makes
+  /// retries re-transmit the byte-identical stream while writers mutate.
   Status RunRefreshAttempt(SnapshotEntry* entry, RefreshMethod method,
                            Timestamp request_time,
                            const RefreshRequest& request,
                            RefreshSession* session, MessageSink* wire,
-                           obs::Tracer* tracer, RefreshStats* stats);
+                           obs::Tracer* tracer, RefreshStats* stats,
+                           const std::shared_ptr<TableEpoch>& epoch);
   /// Commits staged per-method refresh state once the snapshot site
   /// confirmed the session applied (see SnapshotDescriptor).
   void CommitRefreshOutcome(SnapshotDescriptor* desc);
@@ -449,24 +472,82 @@ class SnapshotSystem {
   std::map<std::string, SnapshotEntry> snapshots_;
   std::unordered_map<SnapshotId, SnapshotEntry*> snapshots_by_id_;
   SnapshotId next_snapshot_id_ = 1;
-  uint64_t next_session_id_ = 1;  // wire-level refresh session ids
-  TxnId refresh_txn_ = 1u << 20;  // lock-owner ids for refresh operations
+  // Wire-level session ids / lock-owner ids. Atomic: with per-table
+  // admission, serve threads for different tables mint them concurrently.
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<TxnId> refresh_txn_{1u << 20};
 
-  /// One live served refresh session: the lock owner keeping the base
-  /// frozen between the stream and the client's ack (or resume), and the
-  /// request parameters a byte-identical re-run needs.
+  /// One live served refresh session: the scan epoch keeping the cut
+  /// frozen between the stream and the client's ack (or resume), the
+  /// shared-lock owner, and the request parameters a byte-identical re-run
+  /// needs. Writers mutate the live table freely the whole time; the epoch
+  /// alone pins the pages a RESUME re-reads.
   struct ServeSession {
     SnapshotId snapshot_id = 0;
     TxnId txn = 0;
     RefreshMethod method = RefreshMethod::kDifferential;
     Timestamp request_time = kNullTimestamp;
+    std::shared_ptr<TableEpoch> epoch;
   };
-  /// Releases the session's lock and discards its staged outcome.
+  /// Releases the session's lock + epoch and discards its staged outcome.
+  /// Caller holds serve_mu_.
   void EvictServeSession(uint64_t session_id);
-  /// Evicts every live serve session reading from `source` (lock-steal on
-  /// conflict: a dangling session's client re-demands a fresh full stream
-  /// when it eventually resumes).
+  /// Evicts every live serve session reading from `source` (steal on
+  /// conflict with an exclusive holder: a dangling session's client
+  /// re-demands a fresh full stream when it eventually resumes). Caller
+  /// holds serve_mu_.
   void EvictServeSessionsForSource(const BaseTable* source);
+
+  /// --- per-table refresh admission ---
+  ///
+  /// At most one refresh executes against any one base table at a time:
+  /// scan epochs make *writers* concurrent with a refresh, but two
+  /// refreshes of the same table would race on fix-up writes, staged
+  /// descriptor outcomes, and delta-cache fills. Blocks until the table is
+  /// free; different tables admit independently. Lock order: admission
+  /// BEFORE serve_mu_ is never taken (admission is only acquired while
+  /// serve_mu_ is NOT held), so the short serve_mu_ critical sections can
+  /// never deadlock against a queued admission.
+  class AdmissionGuard {
+   public:
+    AdmissionGuard() = default;
+    AdmissionGuard(SnapshotSystem* sys, std::vector<TableId> tables)
+        : sys_(sys), tables_(std::move(tables)) {}
+    AdmissionGuard(AdmissionGuard&& o) noexcept
+        : sys_(o.sys_), tables_(std::move(o.tables_)) {
+      o.sys_ = nullptr;
+    }
+    /// Move-assign releases the current admission (only ever assigned into
+    /// an empty guard in practice).
+    AdmissionGuard& operator=(AdmissionGuard&& o) noexcept {
+      if (this != &o) {
+        if (sys_ != nullptr && !tables_.empty()) {
+          sys_->ReleaseAdmission(tables_);
+        }
+        sys_ = o.sys_;
+        tables_ = std::move(o.tables_);
+        o.sys_ = nullptr;
+      }
+      return *this;
+    }
+    ~AdmissionGuard();
+
+   private:
+    SnapshotSystem* sys_ = nullptr;
+    std::vector<TableId> tables_;
+  };
+  /// Admits a refresh over `tables` (sorted + deduped internally so
+  /// multi-table joins admit in a deadlock-free global order), updating the
+  /// concurrency high-water mark.
+  AdmissionGuard AdmitRefresh(std::vector<TableId> tables);
+  void ReleaseAdmission(const std::vector<TableId>& tables);
+
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  std::set<TableId> admitted_tables_;
+  uint64_t admitted_refreshes_ = 0;  // guarded by admission_mu_
+  std::atomic<uint64_t> admission_high_water_{0};
+  obs::Gauge* metric_refreshes_concurrent_;
 
   std::mutex serve_mu_;
   std::map<uint64_t, ServeSession> serve_sessions_;

@@ -1,10 +1,81 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 
 namespace snapdiff {
+
+ScanEpoch::ScanEpoch(std::vector<PageId> cover) : cover_(std::move(cover)) {
+  std::sort(cover_.begin(), cover_.end());
+}
+
+bool ScanEpoch::Covers(PageId page_id) const {
+  // cover_ is immutable after construction; no lock needed.
+  return std::binary_search(cover_.begin(), cover_.end(), page_id);
+}
+
+const char* ScanEpoch::FindClone(PageId page_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clones_.find(page_id);
+  // The clone allocation is stable once inserted (never mutated, never
+  // erased before the epoch dies), so handing the raw pointer out of the
+  // lock is safe.
+  return it == clones_.end() ? nullptr : it->second.get();
+}
+
+uint64_t ScanEpoch::cloned_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clones_.size();
+}
+
+void ScanEpoch::CloneIfNeeded(PageId page_id, const char* bytes) {
+  if (!Covers(page_id)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = clones_.try_emplace(page_id);
+  if (!inserted) return;  // first writer already froze the pre-image
+  it->second = std::make_unique<char[]>(Page::kPageSize);
+  std::memcpy(it->second.get(), bytes, Page::kPageSize);
+}
+
+std::shared_ptr<ScanEpoch> BufferPool::OpenScanEpoch(
+    std::vector<PageId> cover) {
+  auto epoch = std::make_shared<ScanEpoch>(std::move(cover));
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  open_epochs_.erase(
+      std::remove_if(open_epochs_.begin(), open_epochs_.end(),
+                     [](const std::weak_ptr<ScanEpoch>& e) {
+                       return e.expired();
+                     }),
+      open_epochs_.end());
+  open_epochs_.push_back(epoch);
+  open_epoch_count_.store(open_epochs_.size(), std::memory_order_relaxed);
+  return epoch;
+}
+
+void BufferPool::CloneForEpochs(PageId page_id, const char* bytes) {
+  if (open_epoch_count_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  size_t live = 0;
+  for (const std::weak_ptr<ScanEpoch>& weak : open_epochs_) {
+    if (std::shared_ptr<ScanEpoch> epoch = weak.lock()) {
+      epoch->CloneIfNeeded(page_id, bytes);
+      ++live;
+    }
+  }
+  if (live != open_epochs_.size()) {
+    open_epochs_.erase(
+        std::remove_if(open_epochs_.begin(), open_epochs_.end(),
+                       [](const std::weak_ptr<ScanEpoch>& e) {
+                         return e.expired();
+                       }),
+        open_epochs_.end());
+    open_epoch_count_.store(open_epochs_.size(), std::memory_order_relaxed);
+  }
+}
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
   SNAPDIFF_CHECK(pool_size > 0);

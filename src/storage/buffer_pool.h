@@ -1,11 +1,13 @@
 #ifndef SNAPDIFF_STORAGE_BUFFER_POOL_H_
 #define SNAPDIFF_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -22,6 +24,49 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t flushes = 0;
+};
+
+/// A consistent copy-on-write cut over a fixed set of pages. Opened by a
+/// refresh scan via BufferPool::OpenScanEpoch; writers that are about to
+/// mutate a covered page first deposit the page's pre-image here (see
+/// BufferPool::CloneForEpochs), so readers of the epoch always observe the
+/// bytes as of the open. Clones are epoch-private, memory-only, and never
+/// flushed or WAL-logged — the live frame keeps its own dirty/LSN state.
+/// All clone storage is reclaimed when the last reference to the epoch is
+/// dropped (the handle is a shared_ptr; BufferPool only holds a weak ref).
+class ScanEpoch {
+ public:
+  explicit ScanEpoch(std::vector<PageId> cover);
+
+  ScanEpoch(const ScanEpoch&) = delete;
+  ScanEpoch& operator=(const ScanEpoch&) = delete;
+
+  /// Whether the page existed at the epoch's cut (pages allocated later are
+  /// outside the epoch and are never cloned).
+  bool Covers(PageId page_id) const;
+
+  /// The frozen pre-image of `page_id`, or nullptr if no writer has touched
+  /// it since the cut (in which case the live frame still holds the cut
+  /// bytes). The returned pointer is immutable and stable for the epoch's
+  /// lifetime.
+  const char* FindClone(PageId page_id) const;
+
+  /// Number of pages cloned so far (writer touched them since the cut).
+  uint64_t cloned_pages() const;
+
+ private:
+  friend class BufferPool;
+
+  /// Deposits `bytes` as the pre-image of `page_id` if the page is covered
+  /// and not already cloned. Called by writers with the page latch held.
+  void CloneIfNeeded(PageId page_id, const char* bytes);
+
+  mutable std::mutex mu_;
+  /// Sorted; immutable after construction. Binary-searched by Covers() —
+  /// a hash set here would cost one node allocation per covered page on
+  /// every epoch open, putting O(pages) heap traffic on each refresh.
+  std::vector<PageId> cover_;
+  std::unordered_map<PageId, std::unique_ptr<char[]>> clones_;
 };
 
 /// A classic pin-count buffer pool with LRU replacement over unpinned
@@ -71,6 +116,26 @@ class BufferPool {
   using PreFlushHook = std::function<Status(PageId, const char*)>;
   void SetPreFlushHook(PreFlushHook hook);
 
+  /// Opens a copy-on-write scan epoch over `cover` (a table's page list at
+  /// the cut). Writers mutating a covered page clone its pre-image into the
+  /// epoch first, so epoch readers see a consistent snapshot while the live
+  /// table keeps moving. Dropping the returned handle closes the epoch and
+  /// reclaims its clones.
+  std::shared_ptr<ScanEpoch> OpenScanEpoch(std::vector<PageId> cover);
+
+  /// Writer-side copy-on-write hook: deposits `bytes` (the page's current
+  /// contents) into every open epoch that covers `page_id` and has not yet
+  /// cloned it. Must be called with the page's latch held, *before* the
+  /// first mutation of the page bytes in that critical section. No-op (one
+  /// relaxed atomic load) when no epoch is open.
+  void CloneForEpochs(PageId page_id, const char* bytes);
+
+  /// Number of scan epochs currently open (expired handles are counted
+  /// until the next OpenScanEpoch/CloneForEpochs sweeps them out).
+  size_t open_epochs() const {
+    return open_epoch_count_.load(std::memory_order_relaxed);
+  }
+
   /// The backing page store (restart recovery extends it when replaying
   /// ALLOC_PAGE records for pages the crash left unallocated).
   DiskManager* disk() const { return disk_; }
@@ -107,6 +172,14 @@ class BufferPool {
   std::vector<uint8_t> in_lru_;
   size_t lru_head_ = kLruNil;
   size_t lru_tail_ = kLruNil;
+  // Open scan epochs, weakly held (the handle returned by OpenScanEpoch is
+  // the owning reference; expired entries are swept on the next open/clone).
+  // open_epoch_count_ is the writers' fast-path gate: when zero, a mutation
+  // skips epochs_mu_ entirely, so the no-refresh-running write path costs
+  // one relaxed load. Lock order: page latch -> epochs_mu_ -> ScanEpoch::mu_.
+  mutable std::mutex epochs_mu_;
+  std::vector<std::weak_ptr<ScanEpoch>> open_epochs_;
+  std::atomic<size_t> open_epoch_count_{0};
   BufferPoolStats stats_;
   // System-wide aggregates ("storage.buffer_pool.*"): every pool of the
   // process feeds the same registry counters.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 
 #include "common/types.h"
 
@@ -28,6 +29,15 @@ class Page {
   int pin_count() const { return pin_count_; }
   bool is_dirty() const { return is_dirty_; }
 
+  /// Short-duration latch over the page *bytes*. Writers hold it across a
+  /// single slotted-page mutation (plus the copy-on-write clone that
+  /// precedes it); epoch scans hold it just long enough to copy the frame.
+  /// It is a property of the frame, not the page: it survives Reset() and
+  /// therefore eviction/reload, which is harmless — a latch on the wrong
+  /// incarnation only costs a moment of false contention. Lock order:
+  /// page latch before any buffer-pool epoch mutex, never after.
+  std::mutex& latch() const { return latch_; }
+
  private:
   friend class BufferPool;
 
@@ -42,6 +52,7 @@ class Page {
   PageId page_id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool is_dirty_ = false;
+  mutable std::mutex latch_;
 };
 
 }  // namespace snapdiff

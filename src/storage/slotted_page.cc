@@ -11,22 +11,22 @@ namespace snapdiff {
 
 uint16_t SlottedPage::ReadU16(size_t off) const {
   uint16_t v;
-  std::memcpy(&v, page_->data() + off, 2);
+  std::memcpy(&v, data_ + off, 2);
   return v;
 }
 
 void SlottedPage::WriteU16(size_t off, uint16_t v) {
-  std::memcpy(page_->data() + off, &v, 2);
+  std::memcpy(data_ + off, &v, 2);
 }
 
 uint64_t SlottedPage::ReadU64(size_t off) const {
   uint64_t v;
-  std::memcpy(&v, page_->data() + off, 8);
+  std::memcpy(&v, data_ + off, 8);
   return v;
 }
 
 void SlottedPage::WriteU64(size_t off, uint64_t v) {
-  std::memcpy(page_->data() + off, &v, 8);
+  std::memcpy(data_ + off, &v, 8);
 }
 
 void SlottedPage::Init() {
@@ -49,7 +49,7 @@ Result<std::string_view> SlottedPage::Get(SlotId slot) const {
   if (!IsOccupied(slot)) {
     return Status::NotFound("slot " + std::to_string(slot) + " is empty");
   }
-  return std::string_view(page_->data() + SlotOffset(slot), SlotLength(slot));
+  return std::string_view(data_ + SlotOffset(slot), SlotLength(slot));
 }
 
 size_t SlottedPage::ContiguousFree() const {
@@ -81,12 +81,12 @@ void SlottedPage::Compact() {
   std::vector<std::string> bytes;
   bytes.reserve(live.size());
   for (const Live& l : live) {
-    bytes.emplace_back(page_->data() + l.offset, l.length);
+    bytes.emplace_back(data_ + l.offset, l.length);
   }
   uint16_t cursor = static_cast<uint16_t>(Page::kPageSize);
   for (size_t i = 0; i < live.size(); ++i) {
     cursor = static_cast<uint16_t>(cursor - live[i].length);
-    std::memcpy(page_->data() + cursor, bytes[i].data(), bytes[i].size());
+    std::memcpy(data_ + cursor, bytes[i].data(), bytes[i].size());
     SetSlot(live[i].slot, cursor, live[i].length);
   }
   WriteU16(2, cursor);  // free_end
@@ -127,7 +127,7 @@ Result<SlotId> SlottedPage::Insert(std::string_view data, bool reuse_slots) {
     SetSlot(slot, 0, 0);
   }
   const uint16_t offset = AllocateSpace(len);
-  std::memcpy(page_->data() + offset, data.data(), len);
+  std::memcpy(data_ + offset, data.data(), len);
   SetSlot(slot, offset, len);
   WriteU16(6, static_cast<uint16_t>(live_count() + 1));
   return slot;
@@ -157,7 +157,7 @@ Status SlottedPage::RedoInsertAt(SlotId slot, std::string_view data) {
   if (ContiguousFree() < len) Compact();
   SNAPDIFF_DCHECK(ContiguousFree() >= len);
   const uint16_t offset = AllocateSpace(len);
-  std::memcpy(page_->data() + offset, data.data(), len);
+  std::memcpy(data_ + offset, data.data(), len);
   SetSlot(slot, offset, len);
   WriteU16(6, static_cast<uint16_t>(live_count() + 1));
   return Status::OK();
@@ -186,7 +186,7 @@ Status SlottedPage::Update(SlotId slot, std::string_view data) {
   const uint16_t old_len = SlotLength(slot);
   if (len <= old_len) {
     // Shrink in place; tail bytes become garbage.
-    std::memcpy(page_->data() + SlotOffset(slot), data.data(), len);
+    std::memcpy(data_ + SlotOffset(slot), data.data(), len);
     SetSlot(slot, SlotOffset(slot), len);
     WriteU16(4, static_cast<uint16_t>(garbage() + (old_len - len)));
     return Status::OK();
@@ -201,7 +201,7 @@ Status SlottedPage::Update(SlotId slot, std::string_view data) {
   if (ContiguousFree() < len) Compact();
   SNAPDIFF_DCHECK(ContiguousFree() >= len);
   const uint16_t offset = AllocateSpace(len);
-  std::memcpy(page_->data() + offset, data.data(), len);
+  std::memcpy(data_ + offset, data.data(), len);
   SetSlot(slot, offset, len);
   return Status::OK();
 }

@@ -37,7 +37,15 @@ class SlottedPage {
   static constexpr size_t kMaxTupleSize =
       Page::kPageSize - kHeaderSize - kSlotSize;
 
-  explicit SlottedPage(Page* page) : page_(page) {}
+  explicit SlottedPage(Page* page) : data_(page->data()) {}
+
+  /// A read-only slotted view over raw page bytes that are not resident in
+  /// a buffer-pool frame — an epoch's copy-on-write clone, or a scratch
+  /// copy of a latched page. Calling any mutator through a view obtained
+  /// this way is undefined; only the accessors are legal.
+  static SlottedPage ReadOnlyView(const char* bytes) {
+    return SlottedPage(const_cast<char*>(bytes));
+  }
 
   /// Formats a fresh (zeroed) page.
   void Init();
@@ -104,7 +112,9 @@ class SlottedPage {
   /// Carves `len` bytes off the free region; precondition: they fit.
   uint16_t AllocateSpace(uint16_t len);
 
-  Page* page_;
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  char* data_;
 };
 
 }  // namespace snapdiff

@@ -1,6 +1,7 @@
 #include "storage/table_heap.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
@@ -23,6 +24,114 @@ std::string_view PlacementPolicyToString(PlacementPolicy policy) {
 TableHeap::TableHeap(BufferPool* pool, PlacementPolicy policy, uint64_t seed)
     : pool_(pool), policy_(policy), rng_(seed) {}
 
+std::shared_ptr<TableEpoch> TableHeap::OpenEpoch() {
+  std::vector<PageId> pages = pages_;
+  std::shared_ptr<ScanEpoch> cow = pool_->OpenScanEpoch(pages);
+  return std::shared_ptr<TableEpoch>(
+      new TableEpoch(pool_, std::move(cow), std::move(pages)));
+}
+
+TableEpoch::Cursor::Cursor(const TableEpoch* epoch, size_t first_page_idx,
+                           size_t end_page_idx)
+    : epoch_(epoch),
+      page_idx_(first_page_idx),
+      end_page_idx_(end_page_idx),
+      scratch_(std::make_unique<char[]>(Page::kPageSize)) {}
+
+Status TableEpoch::Cursor::LoadPage() {
+  const PageId page_id = epoch_->pages_[page_idx_];
+  SNAPDIFF_FR_INSTANT("storage.epoch_cursor.page", page_id);
+  // Fast path: a writer already froze the pre-image for us — read the
+  // clone directly, no pin, no latch, no copy.
+  cur_bytes_ = epoch_->cow_->FindClone(page_id);
+  if (cur_bytes_ != nullptr) return Status::OK();
+  ASSIGN_OR_RETURN(Page * page, epoch_->pool_->FetchPage(page_id));
+  PageGuard guard(epoch_->pool_, page);
+  {
+    std::lock_guard<std::mutex> latch(page->latch());
+    // A writer may have cloned-and-mutated between the check above and the
+    // latch acquisition; under the latch the answer is definitive.
+    cur_bytes_ = epoch_->cow_->FindClone(page_id);
+    if (cur_bytes_ == nullptr) {
+      // Live frame still holds the cut image. Copy it out under the latch
+      // so a concurrent writer can't tear the read; this 4 KB memcpy is
+      // the entire window a writer can block on.
+      std::memcpy(scratch_.get(), page->data(), Page::kPageSize);
+      cur_bytes_ = scratch_.get();
+    }
+  }
+  return Status::OK();
+}
+
+Status TableEpoch::Cursor::FindNext() {
+  valid_ = false;
+  while (page_idx_ < end_page_idx_) {
+    if (cur_bytes_ == nullptr) {
+      RETURN_IF_ERROR(LoadPage());
+    }
+    const PageId page_id = epoch_->pages_[page_idx_];
+    SlottedPage sp = SlottedPage::ReadOnlyView(cur_bytes_);
+    while (slot_ < sp.slot_count()) {
+      const SlotId s = static_cast<SlotId>(slot_);
+      ++slot_;
+      if (sp.IsOccupied(s)) {
+        ASSIGN_OR_RETURN(tuple_, sp.Get(s));
+        address_ = Address::FromPageSlot(page_id, s);
+        valid_ = true;
+        return Status::OK();
+      }
+    }
+    cur_bytes_ = nullptr;
+    ++page_idx_;
+    slot_ = 0;
+  }
+  tuple_ = {};
+  return Status::OK();
+}
+
+Status TableEpoch::Cursor::Next() {
+  if (!valid_) return Status::Internal("Next() past end");
+  return FindNext();
+}
+
+Result<TableEpoch::Cursor> TableEpoch::OpenCursor(size_t first_page_idx,
+                                                  size_t page_count) const {
+  if (first_page_idx > pages_.size() ||
+      page_count > pages_.size() - first_page_idx) {
+    return Status::InvalidArgument("OpenCursor: page range out of bounds");
+  }
+  Cursor cur(this, first_page_idx, first_page_idx + page_count);
+  RETURN_IF_ERROR(cur.FindNext());
+  return cur;
+}
+
+Result<std::optional<std::string>> TableEpoch::Read(Address addr) const {
+  if (!addr.IsReal()) return Status::InvalidArgument("epoch read: bad address");
+  if (!cow_->Covers(addr.page())) {
+    return std::optional<std::string>();  // page allocated after the cut
+  }
+  const char* clone = cow_->FindClone(addr.page());
+  if (clone != nullptr) {
+    SlottedPage sp = SlottedPage::ReadOnlyView(clone);
+    if (addr.slot() >= sp.slot_count() || !sp.IsOccupied(addr.slot())) {
+      return std::optional<std::string>();
+    }
+    ASSIGN_OR_RETURN(std::string_view view, sp.Get(addr.slot()));
+    return std::optional<std::string>(std::string(view));
+  }
+  ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
+  PageGuard guard(pool_, page);
+  std::lock_guard<std::mutex> latch(page->latch());
+  clone = cow_->FindClone(addr.page());
+  const char* bytes = clone != nullptr ? clone : page->data();
+  SlottedPage sp = SlottedPage::ReadOnlyView(bytes);
+  if (addr.slot() >= sp.slot_count() || !sp.IsOccupied(addr.slot())) {
+    return std::optional<std::string>();
+  }
+  ASSIGN_OR_RETURN(std::string_view view, sp.Get(addr.slot()));
+  return std::optional<std::string>(std::string(view));
+}
+
 Result<std::unique_ptr<TableHeap>> TableHeap::Attach(
     BufferPool* pool, std::vector<PageId> pages, PlacementPolicy policy,
     uint64_t seed) {
@@ -31,11 +140,13 @@ Result<std::unique_ptr<TableHeap>> TableHeap::Attach(
   }
   auto heap = std::make_unique<TableHeap>(pool, policy, seed);
   heap->pages_ = std::move(pages);
+  uint64_t live = 0;
   for (PageId id : heap->pages_) {
     ASSIGN_OR_RETURN(Page * page, pool->FetchPage(id));
     PageGuard guard(pool, page);
-    heap->live_tuples_ += SlottedPage(page).live_count();
+    live += SlottedPage(page).live_count();
   }
+  heap->live_tuples_.store(live, std::memory_order_relaxed);
   return heap;
 }
 
@@ -99,9 +210,12 @@ Result<Address> TableHeap::Insert(std::string_view bytes) {
   ASSIGN_OR_RETURN(PageId page_id, PickPageForInsert(bytes.size()));
   ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   PageGuard guard(pool_, page, /*dirty=*/true);
+  std::unique_lock<std::mutex> latch(page->latch());
+  pool_->CloneForEpochs(page_id, page->data());
   ASSIGN_OR_RETURN(SlotId slot,
                    SlottedPage(page).Insert(bytes, SlotReuseAllowed()));
-  ++live_tuples_;
+  latch.unlock();
+  live_tuples_.fetch_add(1, std::memory_order_relaxed);
   ++stats_.inserts;
   return Address::FromPageSlot(page_id, slot);
 }
@@ -110,8 +224,11 @@ Status TableHeap::Delete(Address addr) {
   if (!addr.IsReal()) return Status::InvalidArgument("delete: bad address");
   ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
   PageGuard guard(pool_, page, /*dirty=*/true);
+  std::unique_lock<std::mutex> latch(page->latch());
+  pool_->CloneForEpochs(addr.page(), page->data());
   RETURN_IF_ERROR(SlottedPage(page).Delete(addr.slot()));
-  --live_tuples_;
+  latch.unlock();
+  live_tuples_.fetch_sub(1, std::memory_order_relaxed);
   ++stats_.deletes;
   return Status::OK();
 }
@@ -120,7 +237,10 @@ Status TableHeap::Update(Address addr, std::string_view bytes) {
   if (!addr.IsReal()) return Status::InvalidArgument("update: bad address");
   ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
   PageGuard guard(pool_, page, /*dirty=*/true);
+  std::unique_lock<std::mutex> latch(page->latch());
+  pool_->CloneForEpochs(addr.page(), page->data());
   RETURN_IF_ERROR(SlottedPage(page).Update(addr.slot(), bytes));
+  latch.unlock();
   ++stats_.updates;
   return Status::OK();
 }
@@ -148,9 +268,12 @@ Result<TableHeap::MutableTupleRef> TableHeap::GetMutable(Address addr) {
   if (!addr.IsReal()) return Status::InvalidArgument("get: bad address");
   ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(addr.page()));
   PageGuard guard(pool_, page, /*dirty=*/true);
+  std::unique_lock<std::mutex> latch(page->latch());
+  pool_->CloneForEpochs(addr.page(), page->data());
   ASSIGN_OR_RETURN(std::string_view view, SlottedPage(page).Get(addr.slot()));
   MutableTupleRef ref;
   ref.guard = std::move(guard);
+  ref.latch = std::move(latch);
   ref.data = page->data() + (view.data() - page->data());
   ref.size = view.size();
   ++stats_.updates;
@@ -160,6 +283,8 @@ Result<TableHeap::MutableTupleRef> TableHeap::GetMutable(Address addr) {
 Status TableHeap::StampPageLsn(PageId page_id, Lsn lsn) {
   ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   PageGuard guard(pool_, page, /*dirty=*/true);
+  std::lock_guard<std::mutex> latch(page->latch());
+  pool_->CloneForEpochs(page_id, page->data());
   SlottedPage(page).set_page_lsn(lsn);
   return Status::OK();
 }
@@ -183,7 +308,7 @@ Status TableHeap::RecountLive() {
     PageGuard guard(pool_, page);
     live += SlottedPage(page).live_count();
   }
-  live_tuples_ = live;
+  live_tuples_.store(live, std::memory_order_relaxed);
   return Status::OK();
 }
 

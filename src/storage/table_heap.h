@@ -1,8 +1,10 @@
 #ifndef SNAPDIFF_STORAGE_TABLE_HEAP_H_
 #define SNAPDIFF_STORAGE_TABLE_HEAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +38,121 @@ struct TableHeapStats {
   uint64_t deletes = 0;
   uint64_t updates = 0;
   uint64_t page_allocations = 0;
+};
+
+/// A consistent copy-on-write cut over one table, opened while writers keep
+/// mutating the live heap. The epoch freezes two things at open: the
+/// table's page list (pages allocated later are invisible) and, via the
+/// buffer pool's ScanEpoch, the byte image of every frozen page (writers
+/// clone a page's pre-image into the epoch before first touching it). A
+/// Cursor therefore iterates exactly the rows that were live at the cut, in
+/// address order, byte-for-byte — while Insert/Update/Delete proceed
+/// concurrently on the live heap. All clone storage is reclaimed when the
+/// last shared_ptr to the epoch drops.
+class TableEpoch {
+ public:
+  TableEpoch(const TableEpoch&) = delete;
+  TableEpoch& operator=(const TableEpoch&) = delete;
+
+  /// The table's page ids at the cut (a prefix of the live heap's pages(),
+  /// since the heap only ever appends).
+  const std::vector<PageId>& pages() const { return pages_; }
+  size_t page_count() const { return pages_.size(); }
+
+  /// Pages a writer has touched (and therefore cloned) since the cut.
+  uint64_t cloned_pages() const { return cow_->cloned_pages(); }
+
+  /// BaseTable::mutation_tick() at the cut — the validity token delta-cache
+  /// fills must carry (a fill built from this epoch describes the table as
+  /// of this tick, not as of fill completion).
+  uint64_t cut_tick = 0;
+
+  /// WAL end at the cut: the log-based executor collects committed changes
+  /// only up to this LSN, so its delta ends at the same cut a heap scan
+  /// would. kInvalidLsn when the table has no WAL.
+  Lsn cut_lsn = kInvalidLsn;
+
+  /// Forward cursor over the rows live at the cut, in address order. Reads
+  /// a page's frozen clone when a writer has touched it, else copies the
+  /// live frame under its latch (bounded writer stall: one 4 KB memcpy).
+  /// tuple() is valid until the next Next() call.
+  class Cursor {
+   public:
+    Cursor() = default;
+    Cursor(Cursor&&) noexcept = default;
+    Cursor& operator=(Cursor&&) noexcept = default;
+
+    bool Valid() const { return valid_; }
+    Address address() const { return address_; }
+    std::string_view tuple() const { return tuple_; }
+
+    Status Next();
+
+   private:
+    friend class TableEpoch;
+    Cursor(const TableEpoch* epoch, size_t first_page_idx,
+           size_t end_page_idx);
+
+    /// Resolves pages_[page_idx_] to a frozen byte image (clone or latched
+    /// scratch copy) in cur_bytes_.
+    Status LoadPage();
+    Status FindNext();
+
+    const TableEpoch* epoch_ = nullptr;
+    size_t page_idx_ = 0;
+    size_t end_page_idx_ = 0;
+    uint32_t slot_ = 0;               // next slot to examine
+    const char* cur_bytes_ = nullptr; // frozen image of the current page
+    std::unique_ptr<char[]> scratch_; // backing store when copying live
+    bool valid_ = false;
+    Address address_;
+    std::string_view tuple_;
+  };
+
+  /// Opens a cursor over the epoch's pages [first_page_idx, first_page_idx
+  /// + page_count) — the same partitioned-scan shape the live cursor has.
+  Result<Cursor> OpenCursor(size_t first_page_idx, size_t page_count) const;
+  Result<Cursor> OpenCursor() const { return OpenCursor(0, pages_.size()); }
+
+  /// Point read at the cut: the tuple bytes at `addr` as of the epoch, or
+  /// nullopt if no live tuple occupied `addr` then (including addresses on
+  /// pages allocated after the cut).
+  Result<std::optional<std::string>> Read(Address addr) const;
+
+  /// Calls `fn(address, bytes)` for every row live at the cut, in address
+  /// order. `bytes` is invalidated by the next iteration — copy to keep.
+  template <typename Fn>
+  Status ForEach(Fn&& fn) const {
+    ASSIGN_OR_RETURN(Cursor cur, OpenCursor());
+    while (cur.Valid()) {
+      RETURN_IF_ERROR(fn(cur.address(), cur.tuple()));
+      RETURN_IF_ERROR(cur.Next());
+    }
+    return Status::OK();
+  }
+
+  /// ForEach over the epoch's pages [first_page_idx, first_page_idx +
+  /// page_count) — the parallel extract workers' shape.
+  template <typename Fn>
+  Status ForEachInPageRange(size_t first_page_idx, size_t page_count,
+                            Fn&& fn) const {
+    ASSIGN_OR_RETURN(Cursor cur, OpenCursor(first_page_idx, page_count));
+    while (cur.Valid()) {
+      RETURN_IF_ERROR(fn(cur.address(), cur.tuple()));
+      RETURN_IF_ERROR(cur.Next());
+    }
+    return Status::OK();
+  }
+
+ private:
+  friend class TableHeap;
+  TableEpoch(BufferPool* pool, std::shared_ptr<ScanEpoch> cow,
+             std::vector<PageId> pages)
+      : pool_(pool), cow_(std::move(cow)), pages_(std::move(pages)) {}
+
+  BufferPool* pool_;
+  std::shared_ptr<ScanEpoch> cow_;
+  std::vector<PageId> pages_;
 };
 
 /// A heap table of byte-string tuples with stable, totally ordered
@@ -86,14 +203,19 @@ class TableHeap {
 
   /// A pinned, mutable window over one tuple's bytes, already marked
   /// dirty. In-place patching only: the tuple's length cannot change.
+  /// Holds the page latch for its lifetime (writers and epoch scans stay
+  /// out while the caller patches), so keep it short-lived. Declared after
+  /// `guard` so destruction releases the latch before dropping the pin.
   struct MutableTupleRef {
     PageGuard guard;
+    std::unique_lock<std::mutex> latch;
     char* data = nullptr;
     size_t size = 0;
   };
 
-  /// Pins the tuple's page for an in-place overwrite (counts as an
-  /// update). Callers may rewrite bytes within [data, data + size) but
+  /// Pins and latches the tuple's page for an in-place overwrite (counts
+  /// as an update); the page's pre-image is cloned into any open scan
+  /// epoch first. Callers may rewrite bytes within [data, data + size) but
   /// must not change the tuple length.
   Result<MutableTupleRef> GetMutable(Address addr);
 
@@ -126,7 +248,15 @@ class TableHeap {
   /// directly underneath the heap, so the cached count must be rebuilt.
   Status RecountLive();
 
-  uint64_t live_tuples() const { return live_tuples_; }
+  /// Opens a copy-on-write scan epoch over the table's current pages. See
+  /// TableEpoch. Callers that need a tick/LSN cut (BaseTable::OpenEpoch)
+  /// must open the epoch while holding their mutation lock so the page
+  /// list, tick, and LSN describe the same instant.
+  std::shared_ptr<TableEpoch> OpenEpoch();
+
+  uint64_t live_tuples() const {
+    return live_tuples_.load(std::memory_order_relaxed);
+  }
   const TableHeapStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TableHeapStats{}; }
   const std::vector<PageId>& pages() const { return pages_; }
@@ -259,7 +389,9 @@ class TableHeap {
   PlacementPolicy policy_;
   Random rng_;
   std::vector<PageId> pages_;  // in allocation (= address) order
-  uint64_t live_tuples_ = 0;
+  // Atomic because refresh bookkeeping reads it while writers mutate; the
+  // writers themselves are serialized externally (BaseTable::mutate_mu_).
+  std::atomic<uint64_t> live_tuples_{0};
   TableHeapStats stats_;
 };
 

@@ -12,6 +12,7 @@ LockManager::LockManager() {
 }
 
 Status LockManager::Acquire(TxnId txn, TableId table, LockMode mode) {
+  std::lock_guard<std::mutex> guard(mu_);
   TableLock& lock = locks_[table];
   if (lock.holders.empty()) {
     lock.mode = mode;
@@ -54,6 +55,7 @@ Status LockManager::Acquire(TxnId txn, TableId table, LockMode mode) {
 }
 
 Status LockManager::Release(TxnId txn, TableId table) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = locks_.find(table);
   if (it == locks_.end() || !it->second.holders.contains(txn)) {
     return Status::NotFound("txn " + std::to_string(txn) +
@@ -66,6 +68,7 @@ Status LockManager::Release(TxnId txn, TableId table) {
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto it = locks_.begin(); it != locks_.end();) {
     it->second.holders.erase(txn);
     if (it->second.holders.empty()) {
@@ -77,11 +80,13 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 bool LockManager::HoldsLock(TxnId txn, TableId table) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = locks_.find(table);
   return it != locks_.end() && it->second.holders.contains(txn);
 }
 
 bool LockManager::IsLocked(TableId table) const {
+  std::lock_guard<std::mutex> guard(mu_);
   return locks_.contains(table);
 }
 

@@ -2,6 +2,7 @@
 #define SNAPDIFF_TXN_LOCK_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
@@ -13,13 +14,18 @@ namespace snapdiff {
 
 /// Table-level lock modes. The paper requires "a table level lock on the
 /// base table during the fix up (and refresh) procedures" to obtain a
-/// transaction-consistent view.
+/// transaction-consistent view; this implementation deviates — a refresh
+/// takes only a *shared* lock and reads a copy-on-write scan epoch
+/// (BaseTable::OpenEpoch), so writers are never lock-managed out of the
+/// table. The exclusive mode remains for admin operations and tests.
 enum class LockMode { kShared, kExclusive };
 
-/// A non-blocking table-level S/X lock manager for the single-threaded
-/// simulation: conflicting requests fail immediately with Aborted rather
-/// than waiting (no deadlocks by construction). Shared locks are
-/// re-entrant; upgrade from S to X succeeds only for a sole holder.
+/// A non-blocking table-level S/X lock manager: conflicting requests fail
+/// immediately with Aborted rather than waiting (no deadlocks by
+/// construction). Shared locks are re-entrant; upgrade from S to X
+/// succeeds only for a sole holder. Thread-safe — serve threads acquire
+/// and release concurrently now that refresh execution is admitted per
+/// table instead of serialized globally.
 class LockManager {
  public:
   LockManager();
@@ -38,7 +44,10 @@ class LockManager {
     uint64_t conflicts = 0;
     uint64_t upgrades = 0;
   };
-  const LockStats& stats() const { return stats_; }
+  LockStats stats() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return stats_;
+  }
 
  private:
   struct TableLock {
@@ -46,6 +55,7 @@ class LockManager {
     std::set<TxnId> holders;
   };
 
+  mutable std::mutex mu_;
   std::unordered_map<TableId, TableLock> locks_;
   LockStats stats_;
   obs::Counter* metric_acquisitions_;

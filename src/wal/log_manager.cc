@@ -17,6 +17,7 @@ LogManager::LogManager() {
 }
 
 Lsn LogManager::Append(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
   record.lsn = base_lsn_ + records_.size() + 1;
   records_.push_back(std::move(record));
   metric_records_->Inc();
@@ -27,11 +28,13 @@ Lsn LogManager::Append(LogRecord record) {
 }
 
 Status LogManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sink_ == nullptr) return Status::OK();
   return sink_->Sync();
 }
 
 Status LogManager::RestoreFrom(std::vector<LogRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!records_.empty() || base_lsn_ != 0) {
     return Status::InvalidArgument("RestoreFrom on a non-empty log");
   }
@@ -43,7 +46,8 @@ Status LogManager::RestoreFrom(std::vector<LogRecord> records) {
       return Status::Corruption("non-contiguous LSNs in recovered log");
     }
   }
-  records_ = std::move(records);
+  records_.assign(std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
   return Status::OK();
 }
 
@@ -161,7 +165,8 @@ Lsn LogManager::LogCheckpoint(std::string payload) {
 }
 
 Result<const LogRecord*> LogManager::Get(Lsn lsn) const {
-  if (lsn == kInvalidLsn || lsn > LastLsn()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lsn == kInvalidLsn || lsn > base_lsn_ + records_.size()) {
     return Status::NotFound("no record with lsn " + std::to_string(lsn));
   }
   if (lsn <= base_lsn_ + truncated_) {
@@ -171,6 +176,7 @@ Result<const LogRecord*> LogManager::Get(Lsn lsn) const {
 }
 
 std::vector<const LogRecord*> LogManager::Scan(Lsn from_lsn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const LogRecord*> out;
   const size_t local_from = from_lsn > base_lsn_ ? from_lsn - base_lsn_ : 0;
   const size_t start = std::max<size_t>(local_from, truncated_);
@@ -181,19 +187,27 @@ std::vector<const LogRecord*> LogManager::Scan(Lsn from_lsn) const {
 }
 
 Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
-    TableId table, Lsn from_lsn, CullStats* stats) const {
+    TableId table, Lsn from_lsn, CullStats* stats, Lsn end_lsn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (from_lsn < base_lsn_ + truncated_) {
     return Status::OutOfRange(
         "log truncated past requested start lsn " + std::to_string(from_lsn) +
         "; full refresh required");
   }
   const size_t local_from = from_lsn - base_lsn_;
+  // The cut: records with lsn > end_lsn are invisible to this cull (they
+  // committed after the caller's epoch opened).
+  const size_t local_end =
+      end_lsn == kInvalidLsn
+          ? records_.size()
+          : std::min<size_t>(records_.size(),
+                             end_lsn > base_lsn_ ? end_lsn - base_lsn_ : 0);
   metric_culls_->Inc();
-  // Pass 1: find transactions committed within or after the interval. A
-  // transaction's changes count once its commit record exists anywhere in
-  // the retained log.
+  // Pass 1: find transactions committed within or after the interval (but
+  // at or before the cut). A transaction's changes count once its commit
+  // record exists anywhere in the retained, visible log.
   std::unordered_set<TxnId> committed;
-  for (size_t i = truncated_; i < records_.size(); ++i) {
+  for (size_t i = truncated_; i < local_end; ++i) {
     if (records_[i].type == LogRecordType::kCommit) {
       committed.insert(records_[i].txn_id);
     }
@@ -201,7 +215,7 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
 
   // Pass 2: fold data records of committed transactions, in LSN order.
   std::map<Address, NetChange> net;
-  for (size_t i = local_from; i < records_.size(); ++i) {
+  for (size_t i = local_from; i < local_end; ++i) {
     const LogRecord& rec = records_[i];
     if (stats != nullptr) {
       ++stats->records_scanned;
@@ -269,6 +283,7 @@ Result<std::map<Address, NetChange>> LogManager::CollectCommittedChanges(
 }
 
 void LogManager::Truncate(Lsn up_to) {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t local_up_to = up_to > base_lsn_ ? up_to - base_lsn_ : 0;
   if (local_up_to <= truncated_) return;
   metric_truncations_->Inc();
@@ -285,6 +300,7 @@ void LogManager::Truncate(Lsn up_to) {
 }
 
 size_t LogManager::retained_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
   for (size_t i = truncated_; i < records_.size(); ++i) {
     bytes += records_[i].SerializedSize();

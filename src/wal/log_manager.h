@@ -1,7 +1,9 @@
 #ifndef SNAPDIFF_WAL_LOG_MANAGER_H_
 #define SNAPDIFF_WAL_LOG_MANAGER_H_
 
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,13 @@ struct CullStats {
 /// walks the interval (from_lsn, end], keeps only records of committed
 /// transactions touching one table, and coalesces multiple changes to the
 /// same address into a net change.
+///
+/// Thread safety: all methods are internally serialized by one mutex, so
+/// writers of different tables (each under its own BaseTable mutation lock)
+/// can append concurrently while a lock-free refresh culls or truncates.
+/// Records live in a deque, so the pointers Get()/Scan() hand out stay
+/// valid across concurrent appends; they are still invalidated by
+/// Truncate(), which only runs quiesced (restart recovery, checkpoints).
 class LogManager {
  public:
   LogManager();
@@ -70,8 +79,14 @@ class LogManager {
   /// Attaches the durable sink: every Append is also framed into `sink`'s
   /// pending buffer; Sync() makes the appended prefix durable. Pass nullptr
   /// for a purely in-memory log (the default; memory-backed sites).
-  void AttachSink(WalFile* sink) { sink_ = sink; }
-  WalFile* sink() const { return sink_; }
+  void AttachSink(WalFile* sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = sink;
+  }
+  WalFile* sink() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sink_;
+  }
 
   /// Syncs the durable sink (no-op without one). Called after each
   /// autocommit operation before it is acknowledged, and by checkpoints.
@@ -83,10 +98,16 @@ class LogManager {
   Status RestoreFrom(std::vector<LogRecord> records);
 
   /// The LSN of the most recent record (kInvalidLsn when empty).
-  Lsn LastLsn() const { return base_lsn_ + records_.size(); }
+  Lsn LastLsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return base_lsn_ + records_.size();
+  }
 
   /// LSNs at or below this are gone from the in-memory log (compaction).
-  Lsn base_lsn() const { return base_lsn_; }
+  Lsn base_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return base_lsn_;
+  }
 
   /// The record at `lsn` (1-based).
   Result<const LogRecord*> Get(Lsn lsn) const;
@@ -101,9 +122,13 @@ class LogManager {
   ///   updates                → kUpdate with first before / last after
   ///   updates + delete       → kDelete with the first before image
   /// Changes of uncommitted or aborted transactions are ignored. The result
-  /// is keyed (and therefore ordered) by address.
+  /// is keyed (and therefore ordered) by address. `end_lsn` bounds the
+  /// interval to (from_lsn, end_lsn] — the log-based executor passes its
+  /// epoch's cut LSN so concurrent writers committing past the cut are
+  /// excluded; kInvalidLsn means "through the end of the log".
   Result<std::map<Address, NetChange>> CollectCommittedChanges(
-      TableId table, Lsn from_lsn, CullStats* stats = nullptr) const;
+      TableId table, Lsn from_lsn, CullStats* stats = nullptr,
+      Lsn end_lsn = kInvalidLsn) const;
 
   /// Truncates records with lsn <= up_to (log-space reclamation once every
   /// dependent snapshot has refreshed past them). Truncated LSNs remain
@@ -111,14 +136,18 @@ class LogManager {
   void Truncate(Lsn up_to);
 
   /// Number of retained (non-truncated) records.
-  size_t retained_records() const { return records_.size() - truncated_; }
+  size_t retained_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size() - truncated_;
+  }
 
   /// Bytes held by retained records — the buffering cost the paper worries
   /// about ("considerable space ... to recoverably buffer changes").
   size_t retained_bytes() const;
 
  private:
-  std::vector<LogRecord> records_;  // index i holds lsn base_lsn_ + i + 1
+  mutable std::mutex mu_;
+  std::deque<LogRecord> records_;   // index i holds lsn base_lsn_ + i + 1
   Lsn base_lsn_ = 0;                // lsns <= base_lsn_ compacted away
   size_t truncated_ = 0;            // leading records logically removed
   WalFile* sink_ = nullptr;         // not owned; durable frame sink

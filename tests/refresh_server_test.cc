@@ -323,15 +323,17 @@ TEST(RefreshServerTest, ResumeOfEvictedSessionFallsBackToFreshServe) {
   ASSERT_TRUE(a_info.ok());
   ASSERT_TRUE(b_info.ok());
 
-  // Serve A but never acknowledge: its session keeps the base table lock.
+  // Serve A but never acknowledge: its session stays live, pinning its
+  // scan epoch.
   Channel a_wire;
   SnapshotSystem::ServeRequest a_request;
   a_request.snapshot_id = a_info->id;
   auto a_outcome = sys.ServeRefresh(a_request, &a_wire);
   ASSERT_TRUE(a_outcome.ok());
 
-  // Serving B needs the same base table: the dangling session's lock is
-  // stolen and A's session evicted.
+  // Serving B over the same base table no longer steals anything: A's
+  // dangling session holds an epoch and a shared lock, not the exclusive
+  // table lock, so B streams right past it.
   Channel b_wire;
   SnapshotSystem::ServeRequest b_request;
   b_request.snapshot_id = b_info->id;
@@ -339,7 +341,17 @@ TEST(RefreshServerTest, ResumeOfEvictedSessionFallsBackToFreshServe) {
   ASSERT_TRUE(b_outcome.ok()) << b_outcome.status().ToString();
   ASSERT_TRUE(sys.AcknowledgeServe(b_info->id, b_outcome->session_id).ok());
 
-  // A's late acknowledgement finds no session (harmless)...
+  // What does evict A's first session is a *fresh* serve of A itself
+  // (supersession: the client abandoned the stream and re-demanded).
+  Channel a2_wire;
+  auto a2_outcome = sys.ServeRefresh(a_request, &a2_wire);
+  ASSERT_TRUE(a2_outcome.ok());
+  EXPECT_NE(a2_outcome->session_id, a_outcome->session_id);
+  ASSERT_TRUE(
+      sys.AcknowledgeServe(a_info->id, a2_outcome->session_id).ok());
+
+  // The superseded session's late acknowledgement finds no session
+  // (harmless)...
   EXPECT_TRUE(
       sys.AcknowledgeServe(a_info->id, a_outcome->session_id).IsNotFound());
 
