@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <rows_per_table> <clients> <out.json> [rounds] "
-                 "[--tables=N] [--addr=ADDR] [--connect=ADDR]\n",
+                 "[--tables=N] [--addr=ADDR] [--connect=ADDR] [--wire=0|1]\n",
                  argv[0]);
     return 1;
   }
@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   size_t tables = 8;
   std::string addr;
   std::string connect;
+  bool wire_on = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tables=", 0) == 0) {
@@ -114,6 +115,8 @@ int main(int argc, char** argv) {
       addr = arg.substr(7);
     } else if (arg.rfind("--connect=", 0) == 0) {
       connect = arg.substr(10);
+    } else if (arg.rfind("--wire=", 0) == 0) {
+      wire_on = std::atoi(arg.c_str() + 7) != 0;
     } else if (arg[0] != '-') {
       rounds = std::strtoull(arg.c_str(), nullptr, 10);
     } else {
@@ -179,6 +182,8 @@ int main(int argc, char** argv) {
     ServerOptions server_options;
     server_options.listen_addr = addr;
     server_options.backlog = 1024;
+    server_options.wire_encoding = wire_on;
+    server_options.wire_compression = wire_on;
     server = std::make_unique<RefreshServer>(sys.get(), server_options);
     if (Status st = server->Start(); !st.ok()) {
       std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
@@ -238,6 +243,8 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::microseconds(200 * (i % 64)));
         RemoteSiteOptions site_options;
         site_options.pool_pages = 64;
+        site_options.wire_encoding = wire_on;
+        site_options.wire_compression = wire_on;
         Result<std::unique_ptr<RemoteSnapshotSite>> site =
             RemoteSnapshotSite::Connect(bound, "snap" + std::to_string(i),
                                         site_options);
@@ -373,6 +380,8 @@ int main(int argc, char** argv) {
   json += "  \"ops_per_round\": " + std::to_string(ops_per_round) + ",\n";
   json += "  \"selectivity\": 0.5,\n";  // class mix is uniform over thirds
   json += "  \"wal_enabled\": false,\n";
+  json += std::string("  \"wire_encoded\": ") + (wire_on ? "true" : "false") +
+          ",\n";
   json += "  \"peak_concurrent_sessions\": " +
           std::to_string(live_peak.load()) + ",\n";
   char buf[256];

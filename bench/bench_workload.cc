@@ -59,6 +59,8 @@ struct Args {
   std::string data = "bench_workload.db";
   std::string trace_path;
   double overhead_gate_pct = -1.0;  // < 0 = gate off
+  size_t workers = 1;               // refresh scan/apply worker threads
+  bool wire = false;                // encode refresh traffic (wire + LZ)
 };
 
 struct Profile {
@@ -152,6 +154,9 @@ SnapshotSystemOptions SystemOptions(const Args& a, const char* profile) {
   // million-row population would be dominated by log appends. Recorded in
   // the JSON so the gate never compares across this setting.
   opts.enable_wal = false;
+  opts.refresh_workers = a.workers;
+  opts.wire_encoding = a.wire;
+  opts.wire_compression = a.wire;
   if (a.data != "mem") opts.base_data_path = a.data + "." + profile;
   return opts;
 }
@@ -336,6 +341,9 @@ Status Run(const Args& a) {
   json += std::string("  \"file_backed\": ") +
           (a.data != "mem" ? "true" : "false") + ",\n";
   json += "  \"wal_enabled\": false,\n";
+  json += "  \"workers\": " + std::to_string(a.workers) + ",\n";
+  json += std::string("  \"wire_encoded\": ") + (a.wire ? "true" : "false") +
+          ",\n";
 #ifdef SNAPDIFF_FLIGHT_RECORDER_ENABLED
   json += "  \"flight_recorder_compiled_in\": true,\n";
 #else
@@ -407,6 +415,11 @@ int main(int argc, char** argv) {
       args.trace_path = arg.substr(8);
     } else if (arg.rfind("--overhead-gate=", 0) == 0) {
       args.overhead_gate_pct = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      args.workers = std::max<size_t>(
+          1, std::strtoull(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--wire=", 0) == 0) {
+      args.wire = std::atoi(arg.c_str() + 7) != 0;
     } else if (positional == 0) {
       args.rows = std::strtoull(arg.c_str(), nullptr, 10);
       ++positional;
@@ -427,9 +440,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "=== Workload harness: YCSB churn + differential refresh "
-      "(N = %llu, %d rounds + %d warmup, %s)\n\n",
+      "(N = %llu, %d rounds + %d warmup, %s, %zu worker%s%s)\n\n",
       static_cast<unsigned long long>(args.rows), args.iters, args.warmup,
-      args.data == "mem" ? "in-memory" : "file-backed");
+      args.data == "mem" ? "in-memory" : "file-backed", args.workers,
+      args.workers == 1 ? "" : "s", args.wire ? ", wire-encoded" : "");
   snapdiff::Status st = snapdiff::Run(args);
   if (!st.ok()) {
     std::fprintf(stderr, "bench_workload failed: %s\n", st.ToString().c_str());

@@ -23,7 +23,7 @@ WL_ROWS="${WL_ROWS:-$((ROWS * 50))}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
   bench_fig8 bench_fig9 bench_parallel_refresh bench_scan bench_workload \
-  bench_group_refresh bench_server bench_mvcc
+  bench_group_refresh bench_server bench_mvcc bench_wire
 
 # Figure reproductions: capture the printed series alongside the CSV the
 # binaries already embed in their stdout.
@@ -62,7 +62,21 @@ SRV_CLIENTS="${SRV_CLIENTS:-512}"
 # perf_gate.py additionally gates the JSON against its baseline in CI.
 "${BUILD_DIR}/bench/bench_mvcc" "${ROWS}" "${ITERS}" BENCH_mvcc.json
 
+# Wire-encoding cost model: plain vs encoded vs encoded+LZ mirrors under a
+# three-way equivalence oracle. Exits nonzero unless the encoded modes cut
+# wire bytes/row by >= 2x on the wide_row and delta_friendly profiles;
+# perf_gate.py gates the JSON against its baseline in CI.
+"${BUILD_DIR}/bench/bench_wire" "${ROWS}" "$((ITERS + 1))" BENCH_wire.json
+
+# Multi-worker workload sanity: the same YCSB harness with 4 refresh
+# workers and wire encoding on — proves the parallel scan path and the
+# encoder compose outside the unit tests. Not a gated series (throughput
+# depends on host cores); the JSON records workers/wire for inspection.
+"${BUILD_DIR}/bench/bench_workload" "${ROWS}" "${ITERS}" \
+  BENCH_workload_mt.json 1 --workers=4 --wire=1
+
 echo
 echo "refreshed: BENCH_fig8.txt BENCH_fig9.txt BENCH_refresh.json" \
   "BENCH_scan.json BENCH_workload.json BENCH_workload.trace.json" \
-  "BENCH_group.json BENCH_server.json BENCH_mvcc.json"
+  "BENCH_group.json BENCH_server.json BENCH_mvcc.json BENCH_wire.json" \
+  "BENCH_workload_mt.json"

@@ -217,7 +217,13 @@ def self_test(baseline_path):
     # noise pushes the threshold past 20% is too noisy to gate with —
     # also a failure).
     slowed = copy.deepcopy(baseline)
-    if "server" in slowed:
+    if slowed.get("bench") == "wire":
+        # bench_wire's headline is deterministic bytes/row per profile x
+        # mode: a 20% inflation on every config must trip the strict gate.
+        for cfg in slowed.get("configs", []):
+            cfg["wire_bytes_per_row"] *= 1.2
+        injected = "20% wire bytes/row inflation"
+    elif "server" in slowed:
         slowed["server"]["wire_bytes"] = int(
             slowed["server"]["wire_bytes"] * 1.2)
         injected = "20% aggregate wire-byte inflation"

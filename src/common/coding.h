@@ -83,6 +83,57 @@ inline Status GetLengthPrefixed(std::string_view* input, std::string* s) {
   return Status::OK();
 }
 
+/// LEB128 varint (7 bits per byte, continuation in the high bit) — the
+/// integer coding of the compact wire encoding (net/encoding.h). At most
+/// 10 bytes for a uint64_t.
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+inline Status GetVarint64(std::string_view* input, uint64_t* v) {
+  uint64_t result = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (input->empty()) return Status::Corruption("GetVarint64 underflow");
+    const uint8_t byte = static_cast<uint8_t>(input->front());
+    input->remove_prefix(1);
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("GetVarint64 overflow");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("GetVarint64 overlong");
+}
+
+/// Zigzag folds signed deltas into small unsigned varints: 0, -1, 1, -2...
+/// become 0, 1, 2, 3...
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline void PutZigzagVarint(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigzagEncode(v));
+}
+
+inline Status GetZigzagVarint(std::string_view* input, int64_t* v) {
+  uint64_t raw = 0;
+  RETURN_IF_ERROR(GetVarint64(input, &raw));
+  *v = ZigzagDecode(raw);
+  return Status::OK();
+}
+
 }  // namespace snapdiff
 
 #endif  // SNAPDIFF_COMMON_CODING_H_

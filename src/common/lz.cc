@@ -1,0 +1,155 @@
+#include "common/lz.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace snapdiff {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t Read32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash32(uint32_t v) {
+  // Fibonacci hashing spreads the 4-byte window across the table.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutRunLength(std::string* out, size_t len) {
+  // Nibble held 15; the remainder extends in 255-runs, LZ4 style.
+  len -= 15;
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+void EmitSequence(std::string_view input, size_t lit_start, size_t lit_len,
+                  size_t offset, size_t match_len, std::string* out) {
+  const size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  // match_len == 0 marks the block-final literal-only sequence.
+  const size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const size_t match_nibble = match_code < 15 ? match_code : 15;
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_len >= 15) PutRunLength(out, lit_len);
+  out->append(input.data() + lit_start, lit_len);
+  if (match_len == 0) return;
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_code >= 15) PutRunLength(out, match_code);
+}
+
+}  // namespace
+
+void LzCompress(std::string_view input, std::string* output) {
+  output->clear();
+  const size_t n = input.size();
+  if (n < kMinMatch + 1) {
+    if (n > 0) EmitSequence(input, 0, n, 0, 0, output);
+    return;
+  }
+  std::vector<uint32_t> table(kHashSize, 0);  // position + 1; 0 = empty
+  size_t lit_start = 0;
+  size_t pos = 0;
+  // The last kMinMatch bytes can never start a match (nothing to extend).
+  const size_t match_limit = n - kMinMatch;
+  while (pos <= match_limit) {
+    const uint32_t window = Read32(input.data() + pos);
+    const uint32_t slot = Hash32(window);
+    const uint32_t candidate = table[slot];
+    table[slot] = static_cast<uint32_t>(pos + 1);
+    if (candidate != 0) {
+      const size_t cand_pos = candidate - 1;
+      const size_t offset = pos - cand_pos;
+      if (offset > 0 && offset <= kMaxOffset &&
+          Read32(input.data() + cand_pos) == window) {
+        size_t match_len = kMinMatch;
+        while (pos + match_len < n &&
+               input[cand_pos + match_len] == input[pos + match_len]) {
+          ++match_len;
+        }
+        EmitSequence(input, lit_start, pos - lit_start, offset, match_len,
+                     output);
+        pos += match_len;
+        lit_start = pos;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  if (lit_start < n) EmitSequence(input, lit_start, n - lit_start, 0, 0,
+                                  output);
+}
+
+namespace {
+
+Status GetRunExtension(std::string_view* in, size_t* len) {
+  for (;;) {
+    if (in->empty()) return Status::Corruption("lz: truncated run length");
+    const uint8_t byte = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    *len += byte;
+    if (byte != 0xff) return Status::OK();
+  }
+}
+
+}  // namespace
+
+Status LzDecompress(std::string_view input, size_t max_output,
+                    std::string* output) {
+  output->clear();
+  output->reserve(max_output < (1u << 20) ? max_output : (1u << 20));
+  std::string_view in = input;
+  while (!in.empty()) {
+    const uint8_t token = static_cast<uint8_t>(in.front());
+    in.remove_prefix(1);
+    size_t lit_len = token >> 4;
+    if (lit_len == 15) RETURN_IF_ERROR(GetRunExtension(&in, &lit_len));
+    if (in.size() < lit_len) return Status::Corruption("lz: literal overrun");
+    if (output->size() + lit_len > max_output) {
+      return Status::Corruption("lz: output overflow");
+    }
+    output->append(in.data(), lit_len);
+    in.remove_prefix(lit_len);
+    if (in.empty()) {
+      // Block-final literal-only sequence.
+      if ((token & 0x0f) != 0) {
+        return Status::Corruption("lz: dangling match token");
+      }
+      break;
+    }
+    if (in.size() < 2) return Status::Corruption("lz: truncated offset");
+    const size_t offset = static_cast<uint8_t>(in[0]) |
+                          (static_cast<size_t>(static_cast<uint8_t>(in[1]))
+                           << 8);
+    in.remove_prefix(2);
+    if (offset == 0 || offset > output->size()) {
+      return Status::Corruption("lz: offset past produced prefix");
+    }
+    size_t match_len = token & 0x0f;
+    if (match_len == 15) RETURN_IF_ERROR(GetRunExtension(&in, &match_len));
+    match_len += kMinMatch;
+    if (output->size() + match_len > max_output) {
+      return Status::Corruption("lz: output overflow");
+    }
+    // Byte-by-byte: overlapping matches (offset < match_len) replicate the
+    // just-written bytes, which is the run-length trick LZ4 leans on.
+    size_t from = output->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      output->push_back((*output)[from + i]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace snapdiff

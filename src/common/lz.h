@@ -1,0 +1,34 @@
+#ifndef SNAPDIFF_COMMON_LZ_H_
+#define SNAPDIFF_COMMON_LZ_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace snapdiff {
+
+/// A vendored, dependency-free LZ77 block codec in the LZ4 mold: greedy
+/// hash-chain matching, byte-aligned sequences of
+///   [token: literal_len<<4 | match_len][literal_len ext*][literals]
+///   [offset u16 LE][match_len ext*]
+/// where the 15-valued nibbles extend with 255-run bytes and the minimum
+/// match is 4 bytes. A block may end after a literal run with no match —
+/// exactly LZ4's end-of-block rule. This is the optional wire compression
+/// applied to closed encoded frames (net/encoding.h); it trades a little
+/// ratio for a decoder small enough to bounds-check exhaustively.
+///
+/// LzCompress never fails: incompressible input simply produces output
+/// (slightly) larger than the input, and the caller keeps whichever is
+/// smaller. LzDecompress rejects any malformed block — truncated streams,
+/// offsets past the produced prefix, output overruns past `max_output` —
+/// with Corruption, never undefined behavior, so it is safe on bytes read
+/// off the network.
+void LzCompress(std::string_view input, std::string* output);
+
+Status LzDecompress(std::string_view input, size_t max_output,
+                    std::string* output);
+
+}  // namespace snapdiff
+
+#endif  // SNAPDIFF_COMMON_LZ_H_

@@ -32,6 +32,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "SESSION_ACK";
     case MessageType::kServerError:
       return "SERVER_ERROR";
+    case MessageType::kEncoded:
+      return "ENCODED";
   }
   return "UNKNOWN";
 }
@@ -50,7 +52,7 @@ void Message::SerializeTo(std::string* dst) const {
 Result<Message> Message::DeserializeFrom(std::string_view* input) {
   if (input->empty()) return Status::Corruption("empty message");
   const uint8_t type_raw = static_cast<uint8_t>((*input)[0]);
-  if (type_raw > static_cast<uint8_t>(MessageType::kServerError)) {
+  if (type_raw > static_cast<uint8_t>(MessageType::kEncoded)) {
     return Status::Corruption("bad message type");
   }
   input->remove_prefix(1);

@@ -67,6 +67,15 @@ enum class MessageType : uint8_t {
   /// server → client: a demand failed at the base site; `payload` carries
   /// the error text. The connection stays usable.
   kServerError = 12,
+  /// base → snapshot: a compact-wire wrapper around one data message of an
+  /// encoded refresh stream (negotiated in HELLO/HELLO_ACK; see
+  /// net/encoding.h). The outer header is the wrapped message's header
+  /// verbatim; the payload is
+  /// [inner_type u8][flags u8][varint stream_gen][varint count][body],
+  /// where the body delta/columnar-encodes (and optionally compresses) the
+  /// inner payload. WireDecoder::Admit restores the canonical message
+  /// byte-exactly at the snapshot site's admission point.
+  kEncoded = 13,
 };
 
 std::string_view MessageTypeToString(MessageType type);
@@ -91,7 +100,7 @@ struct Message {
   bool IsDataMessage() const {
     return type == MessageType::kEntry || type == MessageType::kUpsert ||
            type == MessageType::kDelete || type == MessageType::kDeleteRange ||
-           type == MessageType::kEntryBatch;
+           type == MessageType::kEntryBatch || type == MessageType::kEncoded;
   }
 
   void SerializeTo(std::string* dst) const;

@@ -19,7 +19,11 @@ obs::Counter* ServerCounter(const char* name) {
 }  // namespace
 
 RefreshServer::RefreshServer(SnapshotSystem* system, ServerOptions options)
-    : system_(system), options_(std::move(options)) {}
+    : system_(system), options_(std::move(options)) {
+  if (options_.wire_encoding) {
+    wire_memo_ = std::make_shared<WireEncodeMemo>();
+  }
+}
 
 RefreshServer::~RefreshServer() { Stop(); }
 
@@ -184,11 +188,35 @@ bool RefreshServer::Dispatch(Connection* conn, const Message& msg) {
       Result<SnapshotSystem::SnapshotWireInfo> info =
           system_->DescribeSnapshot(msg.payload);
       if (!info.ok()) return send_error(info.status());
+      // Wire-capability negotiation: the client's offer rides HELLO's
+      // otherwise-unused session_id, the acceptance (bitwise AND with what
+      // this server enables) rides back on HELLO_ACK. Old peers offer 0
+      // and keep the canonical protocol.
+      const uint64_t offered = msg.session_id;
+      uint64_t server_caps = 0;
+      if (options_.wire_encoding) server_caps |= kWireCapEncoding;
+      if (options_.wire_compression) server_caps |= kWireCapCompression;
+      conn->wire_caps = offered & server_caps;
+      // Compression is a property of encoded bodies; without the encoding
+      // bit it grants nothing, so the negotiated caps say so.
+      if (!(conn->wire_caps & kWireCapEncoding)) conn->wire_caps = 0;
+      if (conn->wire_caps & kWireCapEncoding) {
+        WireCodecOptions codec;
+        codec.compression = (conn->wire_caps & kWireCapCompression) != 0;
+        conn->encoder = std::make_unique<WireEncoder>(
+            codec,
+            [sys = system_](SnapshotId id) {
+              return sys->ResolveValueSchema(id);
+            },
+            wire_memo_);
+      } else {
+        conn->encoder.reset();
+      }
       std::string schema_bytes;
       wire::SerializeSchema(info->value_schema, &schema_bytes);
-      return conn->transport
-          ->Send(MakeHelloAck(info->id, std::move(schema_bytes)))
-          .ok();
+      Message ack = MakeHelloAck(info->id, std::move(schema_bytes));
+      ack.session_id = conn->wire_caps;
+      return conn->transport->Send(ack).ok();
     }
     case MessageType::kRefreshRequest:
     case MessageType::kResumeRefresh: {
@@ -201,6 +229,11 @@ bool RefreshServer::Dispatch(Connection* conn, const Message& msg) {
         request.resume_session_id = msg.session_id;
         request.resume_after_seq = msg.seq;
       }
+      request.encoder = conn->encoder.get();
+      // A codec-speaking client reports its committed generation in the
+      // demand's otherwise-unused base_addr (Null = legacy demand).
+      request.client_codec_gen =
+          msg.base_addr.IsNull() ? 0 : msg.base_addr.raw();
       Result<SnapshotSystem::ServeOutcome> outcome =
           system_->ServeRefresh(request, conn->transport.get());
       if (outcome.ok()) {
@@ -230,7 +263,14 @@ bool RefreshServer::Dispatch(Connection* conn, const Message& msg) {
       }
       // NotFound = the session was superseded meanwhile; harmless, the
       // superseding serve restaged from the uncommitted state.
-      (void)system_->AcknowledgeServe(msg.snapshot_id, msg.session_id);
+      Status acked =
+          system_->AcknowledgeServe(msg.snapshot_id, msg.session_id);
+      if (acked.ok() && conn->encoder != nullptr) {
+        // The client applied the session end-to-end: the encoder's
+        // in-session folds become its committed shadow (CommitStream
+        // no-ops if a later serve already superseded the stream).
+        conn->encoder->CommitStream(msg.snapshot_id, msg.session_id);
+      }
       return true;
     }
     default:

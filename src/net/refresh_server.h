@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "net/encoding.h"
 #include "net/message.h"
 #include "net/socket_transport.h"
 #include "net/transport.h"
@@ -41,6 +42,12 @@ struct ServerOptions {
   size_t io_threads = 0;
   /// Framing/metering model applied to every accepted connection.
   TransportOptions transport;
+  /// Offer the compact wire encoding (net/encoding.h) to clients. A client
+  /// that also offers it (HELLO capability bits) gets delta/columnar
+  /// streams; everyone else keeps the canonical protocol unchanged.
+  bool wire_encoding = false;
+  /// Additionally offer LZ block compression of encoded bodies.
+  bool wire_compression = false;
 };
 
 /// Aggregate server-side counters (also mirrored into
@@ -109,6 +116,11 @@ class RefreshServer {
     uint64_t id = 0;
     std::unique_ptr<SocketTransport> transport;
     std::thread handler;
+    /// Capability bits accepted for this connection (HELLO ∧ server offer).
+    uint64_t wire_caps = 0;
+    /// Per-connection compact-wire encoder (wire_caps & kWireCapEncoding).
+    /// Serve streams pass through it; SESSION_ACK commits its shadow.
+    std::unique_ptr<WireEncoder> encoder;
     /// Handler finished (guarded by mu_); its meters have been folded into
     /// dead_transport_stats_ and the thread awaits a join.
     bool done = false;
@@ -131,6 +143,10 @@ class RefreshServer {
   std::map<uint64_t, std::unique_ptr<Connection>> conns_;
   std::vector<std::thread> reaped_;  // finished handlers awaiting join
   uint64_t next_conn_id_ = 1;
+  /// Encode-once-serve-many memo shared by every connection's encoder:
+  /// same-class subscribers refreshing off one base scan reuse each
+  /// other's encoded bodies.
+  std::shared_ptr<WireEncodeMemo> wire_memo_;
   ServerStats stats_;
   ChannelStats dead_transport_stats_;  // meters of closed connections
   FaultPlan next_conn_plan_;

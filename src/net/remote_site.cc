@@ -30,7 +30,15 @@ Result<std::unique_ptr<RemoteSnapshotSite>> RemoteSnapshotSite::Connect(
   std::unique_ptr<RemoteSnapshotSite> site(
       new RemoteSnapshotSite(addr, snapshot_name, options));
   ASSIGN_OR_RETURN(site->fd_, wire::Connect(addr));
-  RETURN_IF_ERROR(wire::WriteMessage(site->fd_, MakeHello(snapshot_name)));
+  // Offer wire-codec capabilities in HELLO's otherwise-unused session_id;
+  // the HELLO_ACK echoes what the server accepted. A legacy server leaves
+  // the field 0 and both ends keep the canonical protocol.
+  uint64_t offer = 0;
+  if (options.wire_encoding) offer |= kWireCapEncoding;
+  if (options.wire_compression) offer |= kWireCapCompression;
+  Message hello = MakeHello(snapshot_name);
+  hello.session_id = offer;
+  RETURN_IF_ERROR(wire::WriteMessage(site->fd_, hello));
   ASSIGN_OR_RETURN(Message reply, wire::ReadMessage(site->fd_));
   if (reply.type == MessageType::kServerError) {
     return Status::InvalidArgument("attach rejected: " + reply.payload);
@@ -51,6 +59,19 @@ Result<std::unique_ptr<RemoteSnapshotSite>> RemoteSnapshotSite::Connect(
       site->table_,
       SnapshotTable::Create(site->catalog_.get(), snapshot_name,
                             std::move(value_schema), site->oracle_.get()));
+  site->wire_caps_ = reply.session_id & offer;
+  // Compression without encoding grants nothing (it only applies to
+  // encoded bodies); normalize so wire_caps() reports what is in effect.
+  if (!(site->wire_caps_ & kWireCapEncoding)) site->wire_caps_ = 0;
+  if (site->wire_caps_ & kWireCapEncoding) {
+    // The resolver hands the decoder this replica's value schema; the
+    // site outlives the decoder, so the raw capture is safe.
+    site->decoder_ = std::make_unique<WireDecoder>(
+        WireCodecOptions{}, [s = site.get()](SnapshotId id) -> const Schema* {
+          if (id != s->snapshot_id_ || s->table_ == nullptr) return nullptr;
+          return &s->table_->value_schema();
+        });
+  }
   return site;
 }
 
@@ -78,6 +99,13 @@ Status RemoteSnapshotSite::Reconnect(RemoteRefreshReport* report) {
     } else {
       demand = MakeRefreshRequest(snapshot_id_, table_->snap_time(), "");
     }
+    if (decoder_ != nullptr) {
+      // Report the decoder's committed generation (demand's unused
+      // base_addr) so the server's fresh per-connection encoder realigns
+      // with our shadow before it streams.
+      demand.base_addr =
+          Address::FromRaw(decoder_->generation(snapshot_id_));
+    }
     if (wire::WriteMessage(fd_, demand).ok()) {
       ++report->reconnects;
       return Status::OK();
@@ -88,12 +116,21 @@ Status RemoteSnapshotSite::Reconnect(RemoteRefreshReport* report) {
 
 Status RemoteSnapshotSite::Admit(const Message& msg,
                                  RemoteRefreshReport* report) {
+  // Admission is exactly-once and in seq order (the caller's duplicate/
+  // reorder screen), which is precisely the discipline the wire decoder's
+  // row shadow requires — so decoding happens here, not at the transport.
+  Message decoded;
+  const Message* canonical = &msg;
+  if (decoder_ != nullptr) {
+    ASSIGN_OR_RETURN(decoded, decoder_->Admit(msg));
+    canonical = &decoded;
+  }
   if (options_.record_stream) {
     std::string bytes;
-    msg.SerializeTo(&bytes);
+    canonical->SerializeTo(&bytes);
     recorded_.push_back(std::move(bytes));
   }
-  RETURN_IF_ERROR(table_->ApplyMessage(msg, &report->stats));
+  RETURN_IF_ERROR(table_->ApplyMessage(*canonical, &report->stats));
   ++report->messages_applied;
   return Status::OK();
 }
@@ -114,6 +151,10 @@ Result<RemoteRefreshReport> RemoteSnapshotSite::Refresh() {
       pending_resume_target_ = session_id_;
     } else {
       demand = MakeRefreshRequest(snapshot_id_, table_->snap_time(), "");
+    }
+    if (decoder_ != nullptr) {
+      demand.base_addr =
+          Address::FromRaw(decoder_->generation(snapshot_id_));
     }
     if (!wire::WriteMessage(fd_, demand).ok()) {
       RETURN_IF_ERROR(Reconnect(&report));

@@ -10,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "net/encoding.h"
 #include "net/message.h"
 #include "snapshot/refresh_types.h"
 #include "snapshot/snapshot_table.h"
@@ -29,7 +30,14 @@ struct RemoteSiteOptions {
   int reconnect_backoff_ms = 2;
   /// Record the serialized bytes of every admitted refresh-stream message
   /// (the byte-identity tests compare this against an in-process Channel).
+  /// With the wire codec negotiated, what is recorded is the *decoded*
+  /// canonical message — the decode-equivalence oracle.
   bool record_stream = false;
+  /// Offer the compact wire encoding (net/encoding.h) in the HELLO
+  /// handshake; effective only if the server accepts.
+  bool wire_encoding = false;
+  /// Additionally offer LZ block compression of encoded bodies.
+  bool wire_compression = false;
 };
 
 /// What one remote refresh did, seen from the client.
@@ -90,6 +98,15 @@ class RemoteSnapshotSite {
   /// the next Refresh() reconnects.
   void DropConnection();
 
+  /// Capability bits the server accepted in the HELLO_ACK (0 = canonical
+  /// protocol end to end).
+  uint64_t wire_caps() const { return wire_caps_; }
+  /// Decoder counters when the compact wire encoding is active (all-zero
+  /// stats otherwise).
+  WireCodecStats wire_stats() const {
+    return decoder_ != nullptr ? decoder_->stats() : WireCodecStats{};
+  }
+
  private:
   RemoteSnapshotSite(std::string addr, std::string snapshot_name,
                      RemoteSiteOptions options);
@@ -103,6 +120,10 @@ class RemoteSnapshotSite {
   RemoteSiteOptions options_;
   int fd_ = -1;
   SnapshotId snapshot_id_ = 0;
+  uint64_t wire_caps_ = 0;
+  /// Present when the server accepted kWireCapEncoding; every arriving
+  /// stream message is admitted through it before apply.
+  std::unique_ptr<WireDecoder> decoder_;
 
   // Local replica plumbing (construction order matters).
   std::unique_ptr<MemoryDiskManager> disk_;

@@ -53,6 +53,7 @@ Status SocketTransport::DrainOutbuf(size_t keep) {
 Status SocketTransport::Send(const Message& msg) {
   std::string bytes;
   msg.SerializeTo(&bytes);
+  std::lock_guard<std::mutex> lock(send_mu_);
   const TransportMeter::SendVerdict verdict = meter_.OnSend(msg, bytes);
   if (verdict.rejected) {
     return Status::Unavailable("transport partitioned");
@@ -81,6 +82,7 @@ bool SocketTransport::HasPending() const {
 
 void SocketTransport::FlushFrame() {
   // Closing the accounting frame ends the burst: nothing left to reorder.
+  std::lock_guard<std::mutex> lock(send_mu_);
   (void)DrainOutbuf(0);
   meter_.FlushFrame();
 }
@@ -88,16 +90,24 @@ void SocketTransport::FlushFrame() {
 void SocketTransport::Arm(FaultPlan plan) {
   // A new plan supersedes the old reorder window; release held frames
   // under the old plan's ordering first.
+  std::lock_guard<std::mutex> lock(send_mu_);
   (void)DrainOutbuf(0);
   meter_.Arm(plan);
 }
 
 void SocketTransport::Heal() {
+  std::lock_guard<std::mutex> lock(send_mu_);
   (void)DrainOutbuf(0);
   meter_.Heal();
 }
 
+void SocketTransport::AdvanceTime(uint64_t ticks) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  meter_.AdvanceTime(ticks);
+}
+
 void SocketTransport::ResetStats() {
+  std::lock_guard<std::mutex> lock(send_mu_);
   (void)DrainOutbuf(0);
   meter_.ResetStats();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -30,7 +31,11 @@ namespace snapdiff {
 /// injected partition from a dead peer, which is the point.
 ///
 /// Send/Receive are each single-caller (one writer thread, one reader
-/// thread); the two directions are independent.
+/// thread); the two directions are independent. The fault lifecycle
+/// (Arm/Heal/AdvanceTime/ResetStats) may be driven from a third thread
+/// while a send is in flight — the send-side state (meter + reorder
+/// buffer) is internally locked, so a mid-stream Arm serializes against
+/// the sender instead of corrupting the buffered frames.
 class SocketTransport : public Transport {
  public:
   /// Takes ownership of a connected fd; closes it on destruction.
@@ -55,7 +60,7 @@ class SocketTransport : public Transport {
 
   void Arm(FaultPlan plan) override;
   void Heal() override;
-  void AdvanceTime(uint64_t ticks) override { meter_.AdvanceTime(ticks); }
+  void AdvanceTime(uint64_t ticks) override;
   FaultPhase fault_phase() const override { return meter_.fault_phase(); }
   const FaultPlan& fault_plan() const override { return meter_.fault_plan(); }
   bool partitioned() const override { return meter_.partitioned(); }
@@ -89,6 +94,10 @@ class SocketTransport : public Transport {
   Status DrainOutbuf(size_t keep);
 
   int fd_;
+  /// Serializes the sender against cross-thread fault-lifecycle calls.
+  /// Never held across Receive, and never taken by Shutdown — a blocked
+  /// sender must stay wakeable.
+  std::mutex send_mu_;
   TransportMeter meter_;
   /// Outbound frames not yet written — non-empty only while a reorder plan
   /// holds them back for displacement.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/encoding.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
 
@@ -202,6 +203,29 @@ TransportMeter::SendVerdict TransportMeter::OnSend(const Message& msg,
       ++stats_.delete_messages;
       metrics_.delete_messages->Inc();
       break;
+    case MessageType::kEncoded: {
+      // Classify by the wrapped type so encoded streams keep the same
+      // entry/delete accounting as canonical ones.
+      auto inner = EncodedInnerType(msg);
+      if (inner.ok() && (*inner == MessageType::kDelete ||
+                         *inner == MessageType::kDeleteRange)) {
+        ++stats_.delete_messages;
+        metrics_.delete_messages->Inc();
+      } else if (inner.ok() && *inner == MessageType::kClear) {
+        ++stats_.control_messages;
+        metrics_.control_messages->Inc();
+      } else {
+        ++stats_.entry_messages;
+        metrics_.entry_messages->Inc();
+        if (inner.ok() && *inner == MessageType::kEntryBatch) {
+          auto count = EncodedEntryCount(msg);
+          const uint64_t n = count.ok() ? *count : 0;
+          stats_.batched_entries += n;
+          metrics_.batched_entries->Inc(n);
+        }
+      }
+      break;
+    }
     default:
       ++stats_.control_messages;
       metrics_.control_messages->Inc();

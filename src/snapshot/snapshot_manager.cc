@@ -60,10 +60,12 @@ SnapshotSystem::SnapshotSystem(SnapshotSystemOptions options)
       base_catalog_(&base_pool_),
       request_channel_(
           WithMetricsPrefix(options.channel, "net.channel.request")) {
-  sites_.emplace("main",
-                 std::make_unique<SnapshotSite>(
-                     options_.snap_pool_pages,
-                     WithMetricsPrefix(options_.channel, "net.channel.data")));
+  if (options_.wire_encoding) wire_memo_ = std::make_shared<WireEncodeMemo>();
+  auto main_site = sites_.emplace(
+      "main", std::make_unique<SnapshotSite>(
+                  options_.snap_pool_pages,
+                  WithMetricsPrefix(options_.channel, "net.channel.data")));
+  AttachWireCodecs(main_site.first->second.get());
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   metric_refreshes_ = reg.GetCounter("snapshot.refresh.count");
   metric_refresh_retries_ = reg.GetCounter("snapshot.refresh.retries");
@@ -329,11 +331,52 @@ Status SnapshotSystem::AddSnapshotSite(const std::string& site_name) {
   if (sites_.contains(site_name)) {
     return Status::AlreadyExists("site " + site_name + " already exists");
   }
-  sites_.emplace(site_name,
-                 std::make_unique<SnapshotSite>(
+  auto inserted = sites_.emplace(
+      site_name, std::make_unique<SnapshotSite>(
                      options_.snap_pool_pages,
                      WithMetricsPrefix(options_.channel, "net.channel.data")));
+  AttachWireCodecs(inserted.first->second.get());
   return Status::OK();
+}
+
+WireCodecStats SnapshotSystem::WireEncoderStats() const {
+  WireCodecStats total;
+  for (const auto& [name, site] : sites_) {
+    if (site->encoder == nullptr) continue;
+    const WireCodecStats s = site->encoder->stats();
+    total.encoded_messages += s.encoded_messages;
+    total.delta_rows += s.delta_rows;
+    total.columnar_rows += s.columnar_rows;
+    total.opaque_rows += s.opaque_rows;
+    total.compressed_blocks += s.compressed_blocks;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+    total.stream_resets += s.stream_resets;
+  }
+  // The memo is shared across sites; per-encoder stats each report the
+  // shared total, so take it once instead of summing.
+  total.memo_hits = wire_memo_ != nullptr ? wire_memo_->hits() : 0;
+  return total;
+}
+
+const Schema* SnapshotSystem::ResolveValueSchema(SnapshotId id) const {
+  auto it = snapshots_by_id_.find(id);
+  if (it == snapshots_by_id_.end()) return nullptr;
+  return &it->second->table->value_schema();
+}
+
+void SnapshotSystem::AttachWireCodecs(SnapshotSite* site) {
+  if (!options_.wire_encoding) return;
+  WireCodecOptions codec;
+  codec.compression = options_.wire_compression;
+  // The resolver closes over the registry: snapshots may be created and
+  // dropped after the site exists, and a dropped snapshot simply resolves
+  // to no schema (rows ride opaque, which is always sound).
+  WireSchemaResolver resolver = [this](SnapshotId id) -> const Schema* {
+    return ResolveValueSchema(id);
+  };
+  site->encoder = std::make_unique<WireEncoder>(codec, resolver, wire_memo_);
+  site->decoder = std::make_unique<WireDecoder>(codec, resolver);
 }
 
 std::vector<std::string> SnapshotSystem::SnapshotSiteNames() const {
@@ -590,7 +633,16 @@ Status SnapshotSystem::ApplyDelivered(const Message& msg,
   }
   RefreshStats* apply_stats =
       (attributed != nullptr && it->second == attributed) ? stats : nullptr;
-  RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, apply_stats));
+  // Admission is the decode point for compact-wire streams: exactly once,
+  // in sequence order, which is what keeps the decoder's row shadow in
+  // lockstep with the base side's encoder.
+  Message decoded;
+  const Message* to_apply = &msg;
+  if (it->second->site->decoder != nullptr) {
+    ASSIGN_OR_RETURN(decoded, it->second->site->decoder->Admit(msg));
+    to_apply = &decoded;
+  }
+  RETURN_IF_ERROR(it->second->table->ApplyMessage(*to_apply, apply_stats));
   if (applied != nullptr) ++*applied;
   return Status::OK();
 }
@@ -793,6 +845,13 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
   // prefix was just delivered, so the checkpoint state can go.
   PruneSessions(site, desc->id);
 
+  // Compact wire mode: both codec halves are local, so the generation
+  // exchange a remote client carries in its demand is a direct call here.
+  WireEncoder* encoder = sessionless ? nullptr : site->encoder.get();
+  if (encoder != nullptr) {
+    encoder->SyncGeneration(desc->id, site->decoder->generation(desc->id));
+  }
+
   // A scripted per-request fault window: armed before the first attempt,
   // healed (at the latest) when the call returns.
   struct FaultScope {
@@ -873,7 +932,10 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
   uint64_t resume_after = 0;
 
   for (;;) {
-    RefreshSession session(channel, report.session_id, resume_after);
+    if (encoder != nullptr) {
+      encoder->BeginStream(desc->id, report.session_id, resume_after > 0);
+    }
+    RefreshSession session(channel, report.session_id, resume_after, encoder);
     RefreshSession* session_ptr = sessionless ? nullptr : &session;
     obs::Tracer::Span exec_span(&tracer_, execute_label);
     Status exec = RunRefreshAttempt(entry, method, demand.timestamp, request,
@@ -963,6 +1025,9 @@ Result<RefreshReport> SnapshotSystem::Refresh(const RefreshRequest& request) {
   }
 
   stats.traffic = channel->stats() - before;
+  // The site applied the session's END (that is what broke the loop) — the
+  // in-process analogue of SESSION_ACK, so the encoder's folds commit.
+  if (encoder != nullptr) encoder->CommitStream(desc->id, report.session_id);
   CommitRefreshOutcome(desc);
   FinishRefreshTrace(request.snapshot, *desc, *snap, stats);
   report.trace_id = tracer_.name();
@@ -1148,7 +1213,18 @@ Result<SnapshotSystem::ServeOutcome> SnapshotSystem::ServeRefresh(
     }
   }
 
-  RefreshSession session(wire, session_id, resume_after);
+  if (request.encoder != nullptr) {
+    // The demand carried the client decoder's committed generation; a
+    // mismatch resets the shadow and the stream opens with a reset flag.
+    // Syncing on RESUME too is what makes reconnects work: the new
+    // connection's encoder starts at generation 0 with an empty shadow
+    // while the client decoder is at G — adopting G (and re-deriving the
+    // in-session shadow by replaying the suppressed prefix) realigns them.
+    // When generations already match the sync is a no-op.
+    request.encoder->SyncGeneration(desc->id, request.client_codec_gen);
+    request.encoder->BeginStream(desc->id, session_id, resume_after > 0);
+  }
+  RefreshSession session(wire, session_id, resume_after, request.encoder);
   Status exec = RunRefreshAttempt(entry, method, request_time, exec_request,
                                   &session, wire, /*tracer=*/nullptr,
                                   &stats, epoch);
@@ -1234,6 +1310,10 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
   std::vector<std::unique_ptr<RefreshSession>> sessions;
   sessions.reserve(entries.size());
   obs::Tracer::Span request_span(&tracer_, "request");
+  // One encoder serves the whole group: the shared scan fans each row out to
+  // every member session, so the encode memo turns N near-identical encodes
+  // into one encode plus N−1 cache hits.
+  WireEncoder* group_encoder = group_site->encoder.get();
   for (SnapshotEntry* entry : entries) {
     RETURN_IF_ERROR(request_channel_.Send(
         MakeRefreshRequest(entry->descriptor.id, entry->table->snap_time(),
@@ -1241,8 +1321,17 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
     ASSIGN_OR_RETURN(Message request, request_channel_.Receive());
     RefreshStats& stats = results[entry->descriptor.name];
     PruneSessions(group_site, entry->descriptor.id);
+    const uint64_t session_id = next_session_id_++;
+    if (group_encoder != nullptr) {
+      group_encoder->SyncGeneration(
+          entry->descriptor.id,
+          group_site->decoder->generation(entry->descriptor.id));
+      group_encoder->BeginStream(entry->descriptor.id, session_id,
+                                 /*resumed=*/false);
+    }
     sessions.push_back(std::make_unique<RefreshSession>(
-        &group_site->channel, next_session_id_++, /*resume_after=*/0));
+        &group_site->channel, session_id, /*resume_after=*/0,
+        group_encoder));
     members.push_back({&entry->descriptor, request.timestamp, &stats,
                        sessions.back().get()});
   }
@@ -1270,7 +1359,11 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
   // Receive and apply, attributing message counts per snapshot.
   obs::Tracer::Span apply_span(&tracer_, "apply");
   while (channel->HasPending()) {
-    ASSIGN_OR_RETURN(Message msg, channel->Receive());
+    ASSIGN_OR_RETURN(Message raw, channel->Receive());
+    Message msg = raw;
+    if (group_site->decoder != nullptr) {
+      ASSIGN_OR_RETURN(msg, group_site->decoder->Admit(raw));
+    }
     auto it = snapshots_by_id_.find(msg.snapshot_id);
     if (it == snapshots_by_id_.end()) continue;
     RefreshStats* stats = nullptr;
@@ -1297,7 +1390,9 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
           ++stats->traffic.control_messages;
           break;
       }
-      stats->traffic.payload_bytes += msg.SerializedSize();
+      // Attribute the bytes that actually travelled (encoded when the wire
+      // codec is on), not the decoded logical size.
+      stats->traffic.payload_bytes += raw.SerializedSize();
       // Frames are a property of the whole burst; report the total.
       stats->traffic.frames = total.frames;
       stats->traffic.wire_bytes = total.wire_bytes;
@@ -1314,6 +1409,15 @@ Result<std::map<std::string, RefreshStats>> SnapshotSystem::RefreshGroup(
     RETURN_IF_ERROR(it->second->table->ApplyMessage(msg, stats));
   }
   apply_span.Close();
+
+  if (group_encoder != nullptr) {
+    // The in-process group link is fault-free: everything sent has been
+    // applied, so every member stream commits.
+    for (size_t i = 0; i < entries.size(); ++i) {
+      group_encoder->CommitStream(entries[i]->descriptor.id,
+                                  sessions[i]->session_id());
+    }
+  }
 
   tracer_.End();
   metric_refresh_duration_->Observe(

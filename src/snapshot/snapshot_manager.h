@@ -15,6 +15,7 @@
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
 #include "net/channel.h"
+#include "net/encoding.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "snapshot/asap.h"
@@ -63,6 +64,14 @@ struct SnapshotSystemOptions {
   /// the least-recently-used class is evicted; evicted classes fall back
   /// to the rescan path (metered) and are re-filled by it.
   size_t delta_cache_bytes = 64ull << 20;
+  /// Compact wire encoding on refresh streams (net/encoding.h): data
+  /// messages travel delta-encoded against the shared row shadow, batches
+  /// columnar. Off by default — the canonical, byte-identical stream is the
+  /// reference mode and the only mode old peers speak.
+  bool wire_encoding = false;
+  /// LZ block compression on encoded frames (no effect unless
+  /// wire_encoding is on).
+  bool wire_compression = false;
 };
 
 /// Per-snapshot creation options.
@@ -186,6 +195,17 @@ class SnapshotSystem {
   };
   Result<SnapshotWireInfo> DescribeSnapshot(const std::string& name);
 
+  /// Schema resolver for wire codecs: the projected value schema of a
+  /// snapshot by wire id, nullptr when unknown. Snapshot definition
+  /// precedes serving (same registry discipline as the serve path), so
+  /// server connections may call this concurrently with serves.
+  const Schema* ResolveValueSchema(SnapshotId id) const;
+
+  /// Aggregated wire-codec encoder counters across all snapshot sites
+  /// (all-zero when wire_encoding is off). memo_hits counts encoded-body
+  /// reuse on the shared encode-once-serve-many memo.
+  WireCodecStats WireEncoderStats() const;
+
   struct ServeRequest {
     SnapshotId snapshot_id = 0;
     /// The client's SnapTime (kNullTimestamp before its first refresh).
@@ -201,6 +221,12 @@ class SnapshotSystem {
     /// Server-side execution overrides (default: system options).
     std::optional<size_t> workers;
     std::optional<size_t> batch_size;
+    /// Compact-wire serve (negotiated socket connections): the
+    /// per-connection encoder the stream must pass through, and the
+    /// client's committed codec generation carried by the demand message.
+    /// Null encoder = canonical wire.
+    WireEncoder* encoder = nullptr;
+    uint64_t client_codec_gen = 0;
   };
   struct ServeOutcome {
     uint64_t session_id = 0;   // 0 for sessionless (join) serves
@@ -349,6 +375,12 @@ class SnapshotSystem {
     /// Live refresh sessions, keyed by wire session id. A session for a
     /// snapshot is pruned when a new session for that snapshot starts.
     std::map<uint64_t, ApplySessionState> sessions;
+    /// Compact-wire codec pair for this site's in-process link (created
+    /// when wire_encoding is on): the encoder feeds the base side's
+    /// RefreshSessions, the decoder restores canonical messages at the
+    /// admission point.
+    std::unique_ptr<WireEncoder> encoder;
+    std::unique_ptr<WireDecoder> decoder;
   };
 
   struct SnapshotEntry {
@@ -384,6 +416,9 @@ class SnapshotSystem {
                         RefreshStats* stats, uint64_t* applied);
   /// Forgets session state of superseded sessions for one snapshot.
   void PruneSessions(SnapshotSite* site, SnapshotId snapshot_id);
+  /// Creates a site's codec pair when wire_encoding is on (the schema
+  /// resolver closes over the snapshot registry).
+  void AttachWireCodecs(SnapshotSite* site);
   uint64_t SessionLastApplied(const SnapshotSite* site,
                               uint64_t session_id) const;
   bool SessionComplete(const SnapshotSite* site, uint64_t session_id) const;
@@ -454,6 +489,10 @@ class SnapshotSystem {
   // Epoch delta cache (enabled by options). One per system: class images
   // are keyed by base-table id, so every site's refreshes share it.
   std::unique_ptr<DeltaCache> delta_cache_;
+  /// Encode-once-serve-many memo shared by every site's encoder, so a
+  /// group refresh fanning one scan to N same-class subscribers encodes
+  /// each message once (wire_encoding only).
+  std::shared_ptr<WireEncodeMemo> wire_memo_;
 
   // Snapshot sites (at least "main"); node-based map keeps sites stable.
   std::map<std::string, std::unique_ptr<SnapshotSite>> sites_;

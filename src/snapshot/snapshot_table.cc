@@ -204,6 +204,11 @@ Status SnapshotTable::ApplyMessage(const Message& msg, RefreshStats* stats) {
       // Connection-management traffic; the client strips these before
       // applying the refresh stream to its replica.
       return Status::InvalidArgument("control message is not applicable");
+    case MessageType::kEncoded:
+      // WireDecoder::Admit restores the canonical message at the admission
+      // point, upstream of ApplyMessage.
+      return Status::InvalidArgument(
+          "encoded message reached ApplyMessage undecoded");
   }
   return Status::Internal("bad message type");
 }

@@ -1,0 +1,349 @@
+// Wire-conformance suite: the socket protocol must deliver the SAME
+// canonical stream whether or not the compact wire encoding / compression
+// are negotiated. CI runs this binary across the full knob matrix
+// (SNAPDIFF_WIRE_ENC × SNAPDIFF_WIRE_COMP, each 0/1); with both knobs off
+// it degenerates to the byte-identical-stream invariant, with them on the
+// recorded *decoded* stream is the oracle.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/refresh_server.h"
+#include "net/remote_site.h"
+#include "snapshot/snapshot_manager.h"
+
+namespace snapdiff {
+namespace {
+
+bool EnvFlag(const char* name, bool default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return default_value;
+  return !(raw[0] == '0' || raw[0] == 'f' || raw[0] == 'F' ||
+           raw[0] == 'n' || raw[0] == 'N');
+}
+
+// Both default on so a plain local run exercises the new path; the CI
+// matrix pins each combination explicitly.
+bool WireEncodingOn() { return EnvFlag("SNAPDIFF_WIRE_ENC", true); }
+bool WireCompressionOn() { return EnvFlag("SNAPDIFF_WIRE_COMP", true); }
+
+Schema EmpSchema() {
+  return Schema({{"Name", TypeId::kString, false},
+                 {"Salary", TypeId::kInt64, false}});
+}
+
+Tuple Row(std::string name, int64_t salary) {
+  return Tuple({Value::String(std::move(name)), Value::Int64(salary)});
+}
+
+std::vector<Address> Load(BaseTable* base, int rows) {
+  std::vector<Address> addrs;
+  for (int i = 0; i < rows; ++i) {
+    auto addr = base->Insert(Row("e" + std::to_string(i), i % 100));
+    EXPECT_TRUE(addr.ok());
+    addrs.push_back(*addr);
+  }
+  return addrs;
+}
+
+void Churn(BaseTable* base, std::vector<Address>* addrs, int round) {
+  for (size_t i = round % 3; i < addrs->size(); i += 7) {
+    ASSERT_TRUE(base->Update((*addrs)[i],
+                             Row("u" + std::to_string(i),
+                                 static_cast<int64_t>((i * 3 + round) % 100)))
+                    .ok());
+  }
+  for (size_t i = addrs->size() - 1; i > 0; i -= 13) {
+    ASSERT_TRUE(base->Delete((*addrs)[i]).ok());
+    addrs->erase(addrs->begin() + static_cast<ptrdiff_t>(i));
+    if (i < 13) break;
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto addr = base->Insert(Row("n" + std::to_string(round * 100 + i),
+                                 static_cast<int64_t>((i * 11 + round) % 100)));
+    ASSERT_TRUE(addr.ok());
+    addrs->push_back(*addr);
+  }
+}
+
+void ExpectReplicaFaithful(SnapshotSystem* sys, const std::string& name,
+                           SnapshotTable* replica) {
+  auto expected = sys->ExpectedContents(name);
+  ASSERT_TRUE(expected.ok());
+  auto actual = replica->Contents();
+  ASSERT_TRUE(actual.ok());
+  ASSERT_EQ(actual->size(), expected->size());
+  for (const auto& [addr, row] : *expected) {
+    ASSERT_TRUE(actual->contains(addr)) << "missing " << addr.ToString();
+    EXPECT_TRUE(actual->at(addr).Equals(row))
+        << "differs at " << addr.ToString();
+  }
+  ASSERT_TRUE(replica->ValidateIndex().ok());
+}
+
+std::string UnixAddr(const std::string& tag) {
+  return "unix:" + testing::TempDir() + "snapdiff_wire_" + tag + ".sock";
+}
+
+ServerOptions MatrixServerOptions(const std::string& tag) {
+  ServerOptions options;
+  options.listen_addr = UnixAddr(tag);
+  options.wire_encoding = WireEncodingOn();
+  options.wire_compression = WireCompressionOn();
+  return options;
+}
+
+RemoteSiteOptions MatrixSiteOptions() {
+  RemoteSiteOptions options;
+  options.wire_encoding = WireEncodingOn();
+  options.wire_compression = WireCompressionOn();
+  return options;
+}
+
+class WireConformanceTest : public ::testing::TestWithParam<RefreshMethod> {};
+
+// The decode-equivalence oracle: a twin system serves the same refresh into
+// a plain in-process Channel; the socket client's recorded (post-decode)
+// stream must match it message-for-message, byte-for-byte. With the knobs
+// off this IS the canonical byte-identity test; with them on it proves the
+// codec is invisible above the admission layer.
+TEST_P(WireConformanceTest, DecodedStreamMatchesInProcessReference) {
+  const RefreshMethod method = GetParam();
+
+  SnapshotSystem ref_sys;
+  SnapshotSystem srv_sys;
+  auto ref_base = ref_sys.CreateBaseTable("emp", EmpSchema());
+  auto srv_base = srv_sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(ref_base.ok());
+  ASSERT_TRUE(srv_base.ok());
+  std::vector<Address> ref_addrs = Load(*ref_base, 80);
+  std::vector<Address> srv_addrs = Load(*srv_base, 80);
+
+  SnapshotOptions snap_options;
+  snap_options.method = method;
+  ASSERT_TRUE(
+      ref_sys.CreateSnapshot("snap", "emp", "Salary < 60", snap_options)
+          .ok());
+  ASSERT_TRUE(
+      srv_sys.CreateSnapshot("snap", "emp", "Salary < 60", snap_options)
+          .ok());
+  auto ref_info = ref_sys.DescribeSnapshot("snap");
+  ASSERT_TRUE(ref_info.ok());
+
+  RefreshServer server(
+      &srv_sys,
+      MatrixServerOptions("eq" + std::string(RefreshMethodToString(method))));
+  ASSERT_TRUE(server.Start().ok());
+  RemoteSiteOptions site_options = MatrixSiteOptions();
+  site_options.record_stream = true;
+  auto site =
+      RemoteSnapshotSite::Connect(server.bound_addr(), "snap", site_options);
+  ASSERT_TRUE(site.ok());
+  if (WireEncodingOn()) {
+    EXPECT_NE((*site)->wire_caps() & kWireCapEncoding, 0u)
+        << "both ends asked for encoding; negotiation must accept it";
+  } else {
+    EXPECT_EQ((*site)->wire_caps(), 0u);
+  }
+
+  const auto reference_stream =
+      [&](Timestamp client_time) -> std::vector<std::string> {
+    Channel channel;
+    SnapshotSystem::ServeRequest request;
+    request.snapshot_id = ref_info->id;
+    request.client_snap_time = client_time;
+    auto outcome = ref_sys.ServeRefresh(request, &channel);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    std::vector<std::string> stream;
+    while (channel.HasPending()) {
+      auto msg = channel.Receive();
+      EXPECT_TRUE(msg.ok());
+      std::string bytes;
+      msg->SerializeTo(&bytes);
+      stream.push_back(std::move(bytes));
+    }
+    if (outcome.ok() && outcome->session_id != 0) {
+      EXPECT_TRUE(
+          ref_sys.AcknowledgeServe(ref_info->id, outcome->session_id).ok());
+    }
+    return stream;
+  };
+
+  const auto expect_equivalent = [&](int round) {
+    const Timestamp client_time = (*site)->table()->snap_time();
+    (*site)->ClearRecordedStream();
+    auto report = (*site)->Refresh();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const std::vector<std::string> expected = reference_stream(client_time);
+    const std::vector<std::string>& actual = (*site)->recorded_stream();
+    ASSERT_EQ(actual.size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i])
+          << "round " << round << " message " << i << " differs";
+    }
+    ExpectReplicaFaithful(&srv_sys, "snap", (*site)->table());
+  };
+
+  expect_equivalent(1);
+  if (method != RefreshMethod::kAsap) {
+    for (int round = 1; round <= 3; ++round) {
+      Churn(*ref_base, &ref_addrs, round);
+      {
+        std::lock_guard<std::mutex> lock(srv_sys.serve_mutex());
+        Churn(*srv_base, &srv_addrs, round);
+      }
+      expect_equivalent(round + 1);
+    }
+  }
+  if (WireEncodingOn()) {
+    EXPECT_GT((*site)->wire_stats().encoded_messages, 0u)
+        << "the encoded path never engaged despite negotiation";
+  }
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, WireConformanceTest,
+    ::testing::Values(RefreshMethod::kFull, RefreshMethod::kDifferential,
+                      RefreshMethod::kIdeal, RefreshMethod::kLogBased,
+                      RefreshMethod::kAsap),
+    [](const ::testing::TestParamInfo<RefreshMethod>& param_info) {
+      std::string name(RefreshMethodToString(param_info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Mid-refresh disconnects under the active knob combination: every round
+// kills the live connection partway through the stream, forcing a
+// reconnect + RESUME on a brand-new connection (whose server-side encoder
+// starts empty and must realign with the client's committed generation
+// before streaming the unapplied suffix).
+TEST(WireConformanceTest, DisconnectResumeUnderActiveKnobs) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs = Load(*base, 300);
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 80").ok());
+
+  RefreshServer server(&sys, MatrixServerOptions("resume"));
+  ASSERT_TRUE(server.Start().ok());
+  auto site = RemoteSnapshotSite::Connect(server.bound_addr(), "low",
+                                          MatrixSiteOptions());
+  ASSERT_TRUE(site.ok());
+  ASSERT_TRUE((*site)->Refresh().ok());
+  ExpectReplicaFaithful(&sys, "low", (*site)->table());
+
+  uint64_t total_resumes = 0;
+  for (int round = 1; round <= 4; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    {
+      std::lock_guard<std::mutex> lock(sys.serve_mutex());
+      Churn(*base, &addrs, round);
+    }
+    server.ArmLiveConnections(
+        FaultPlan::PartitionAfter(3 + static_cast<uint64_t>(round) * 2));
+    auto report = (*site)->Refresh();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GE(report->reconnects, 1u);
+    total_resumes += report->resumes;
+    ExpectReplicaFaithful(&sys, "low", (*site)->table());
+  }
+  EXPECT_GT(total_resumes, 0u);
+  if (WireEncodingOn()) {
+    EXPECT_GT((*site)->wire_stats().encoded_messages, 0u);
+  }
+  server.Stop();
+}
+
+// A one-sided upgrade must quietly stay canonical: whichever end lacks the
+// knob, the HELLO/HELLO_ACK capability intersection is empty and the
+// refresh proceeds exactly as before the encoding existed.
+TEST(WireConformanceTest, OneSidedUpgradeNegotiatesDownToCanonical) {
+  struct Case {
+    const char* tag;
+    bool server_on;
+    bool client_on;
+  };
+  for (const Case& c : {Case{"srvonly", true, false},
+                        Case{"cltonly", false, true}}) {
+    SCOPED_TRACE(c.tag);
+    SnapshotSystem sys;
+    auto base = sys.CreateBaseTable("emp", EmpSchema());
+    ASSERT_TRUE(base.ok());
+    std::vector<Address> addrs = Load(*base, 100);
+    ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 50").ok());
+
+    ServerOptions server_options;
+    server_options.listen_addr = UnixAddr(c.tag);
+    server_options.wire_encoding = c.server_on;
+    server_options.wire_compression = c.server_on;
+    RefreshServer server(&sys, server_options);
+    ASSERT_TRUE(server.Start().ok());
+
+    RemoteSiteOptions site_options;
+    site_options.wire_encoding = c.client_on;
+    site_options.wire_compression = c.client_on;
+    auto site = RemoteSnapshotSite::Connect(server.bound_addr(), "low",
+                                            site_options);
+    ASSERT_TRUE(site.ok());
+    EXPECT_EQ((*site)->wire_caps(), 0u)
+        << "a one-sided offer must negotiate down to the canonical protocol";
+
+    ASSERT_TRUE((*site)->Refresh().ok());
+    ExpectReplicaFaithful(&sys, "low", (*site)->table());
+    {
+      std::lock_guard<std::mutex> lock(sys.serve_mutex());
+      Churn(*base, &addrs, 1);
+    }
+    ASSERT_TRUE((*site)->Refresh().ok());
+    ExpectReplicaFaithful(&sys, "low", (*site)->table());
+    EXPECT_EQ((*site)->wire_stats().encoded_messages, 0u);
+    server.Stop();
+  }
+}
+
+// Two independently-negotiated clients of one server: per-connection codec
+// state must not bleed across connections (each decoder tracks its own
+// generation; the server keeps one encoder per connection).
+TEST(WireConformanceTest, TwoClientsKeepIndependentCodecState) {
+  SnapshotSystem sys;
+  auto base = sys.CreateBaseTable("emp", EmpSchema());
+  ASSERT_TRUE(base.ok());
+  std::vector<Address> addrs = Load(*base, 120);
+  ASSERT_TRUE(sys.CreateSnapshot("low", "emp", "Salary < 60").ok());
+
+  RefreshServer server(&sys, MatrixServerOptions("pair"));
+  ASSERT_TRUE(server.Start().ok());
+  auto a = RemoteSnapshotSite::Connect(server.bound_addr(), "low",
+                                       MatrixSiteOptions());
+  RemoteSiteOptions plain;  // deliberately canonical, even in encoded runs
+  auto b = RemoteSnapshotSite::Connect(server.bound_addr(), "low", plain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->wire_caps(), 0u);
+
+  for (int round = 1; round <= 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    ASSERT_TRUE((*a)->Refresh().ok());
+    ASSERT_TRUE((*b)->Refresh().ok());
+    ExpectReplicaFaithful(&sys, "low", (*a)->table());
+    ExpectReplicaFaithful(&sys, "low", (*b)->table());
+    {
+      std::lock_guard<std::mutex> lock(sys.serve_mutex());
+      Churn(*base, &addrs, round);
+    }
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace snapdiff
